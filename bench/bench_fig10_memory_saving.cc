@@ -1,0 +1,87 @@
+// Reproduces Figure 10: enclave memory saved by serving N concurrent
+// requests from one enclave (shared model, per-thread runtime buffers)
+// versus N single-request enclaves.
+//
+//   saving(N) = 1 - peak(one enclave, N threads) / (N * peak(one enclave, 1))
+//
+// The analytic section uses Table I sizes; the measured section runs real
+// concurrent requests through SeMIRT and reads the enclave heap peak.
+
+#include <thread>
+
+#include "bench/bench_common.h"
+
+namespace sesemi::bench {
+namespace {
+
+void AnalyticSection() {
+  sim::CostModel cm = sim::CostModel::PaperSgx2();
+  for (auto framework : {inference::FrameworkKind::kTvm, inference::FrameworkKind::kTflm}) {
+    PrintSection(std::string("Analytic from Table I sizes — ") +
+                 inference::ToString(framework));
+    std::printf("%-8s %10s %12s %12s %12s\n", "Model", "lambda", "N=2", "N=4", "N=8");
+    for (auto arch : {model::Architecture::kMbNet, model::Architecture::kRsNet,
+                      model::Architecture::kDsNet}) {
+      const auto& p = cm.profile(framework, arch);
+      double lambda = static_cast<double>(p.buffer_bytes) / p.model_bytes;
+      std::printf("%-8s %10.2f", model::ToString(arch), lambda);
+      for (int n : {2, 4, 8}) {
+        double shared = static_cast<double>(p.model_bytes) +
+                        static_cast<double>(n) * p.buffer_bytes;
+        double separate =
+            static_cast<double>(n) * (p.model_bytes + p.buffer_bytes);
+        std::printf(" %11.1f%%", 100.0 * (1.0 - shared / separate));
+      }
+      std::printf("\n");
+    }
+  }
+  std::printf("(paper: TFLM saving reaches 86.2%% for RSNET at 8 threads; TVM saves\n"
+              " less because runtime buffers duplicate the weights)\n");
+}
+
+void MeasuredSection() {
+  PrintSection("Measured (this repo, real enclave heap peaks, scaled models)");
+  std::printf("%-12s %12s %12s %12s\n", "", "N=2", "N=4", "N=8");
+  LiveRig rig(0.05);
+  for (const Combo& combo : AllCombos()) {
+    rig.DeployModel(combo.arch);
+    auto peak_for = [&](uint32_t tcs) -> uint64_t {
+      semirt::SemirtOptions options;
+      options.framework = combo.framework;
+      options.num_tcs = tcs;
+      options.heap_size_bytes = 2ull << 30;
+      rig.Authorize(combo.arch, options);
+      auto instance = rig.MakeInstance(options);
+      if (instance == nullptr) return 0;
+      std::vector<std::thread> threads;
+      for (uint32_t i = 0; i < tcs; ++i) {
+        threads.emplace_back([&, i] {
+          (void)rig.TimedRequest(instance.get(), combo.arch, options, i + 1);
+        });
+      }
+      for (auto& t : threads) t.join();
+      return instance->heap_peak();
+    };
+    uint64_t peak1 = peak_for(1);
+    if (peak1 == 0) continue;
+    std::printf("%-12s", combo.label);
+    for (uint32_t n : {2u, 4u, 8u}) {
+      uint64_t peak_n = peak_for(n);
+      double saving =
+          1.0 - static_cast<double>(peak_n) / (static_cast<double>(n) * peak1);
+      std::printf(" %11.1f%%", 100.0 * saving);
+    }
+    std::printf("\n");
+  }
+  std::printf("(shape check: savings grow with N; TFLM > TVM for each model)\n");
+}
+
+}  // namespace
+}  // namespace sesemi::bench
+
+int main() {
+  sesemi::bench::PrintHeader("Figure 10 — enclave memory saving vs concurrency");
+  sesemi::bench::AnalyticSection();
+  sesemi::bench::MeasuredSection();
+  return 0;
+}

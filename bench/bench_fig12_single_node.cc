@@ -1,0 +1,88 @@
+// Reproduces Figure 12: p95 latency versus request rate on a single node,
+// hot invocations, SeSeMI vs Iso-reuse vs Native.
+//  (a) TVM-MBNET, SGX2  (b) TVM-RSNET, SGX2
+//  (c) TVM-MBNET, SGX1  (d) TFLM-MBNET, SGX1
+
+#include "bench/bench_common.h"
+#include "sim/cluster.h"
+#include "workload/generators.h"
+
+namespace sesemi::bench {
+namespace {
+
+/// p95 latency at a fixed request rate; -1 when the system is past saturation
+/// (p95 > 30 s), matching the paper's truncated curves.
+double P95AtRate(const sim::CostModel& cm, inference::FrameworkKind framework,
+                 model::Architecture arch, semirt::RuntimeMode mode, double rps) {
+  sim::SimConfig config;
+  config.num_nodes = 1;
+  config.cost_model = cm;
+  // Table V / §VI-B: invoker memory admits exactly one single-TCS container
+  // per physical core; overload queues instead of spawning new sandboxes.
+  const uint64_t container_memory = 1ull << 30;
+  config.invoker_memory_bytes =
+      static_cast<uint64_t>(cm.cores_per_node()) * container_memory;
+  sim::ClusterSim sim(config);
+  sim::SimFunction fn;
+  fn.name = "f";
+  fn.framework = framework;
+  fn.arch = arch;
+  fn.mode = mode;
+  fn.num_tcs = 1;
+  fn.container_memory_bytes = container_memory;
+  sim.AddFunction(fn);
+  // §VI-B setup: the node is fully warmed with as many single-TCS containers
+  // as it has cores (Table V memory config), so no invocation is cold.
+  if (!sim.Prewarm("f", cm.cores_per_node(), "m0", "u0").ok()) return -1;
+  auto trace = workload::FixedRate(rps, 60, "m0", "u0", SecondsToMicros(1));
+  for (const auto& a : trace) sim.Submit("f", a.model_id, a.user_id, a.time);
+  sim.Run();
+  double p95 = sim.metrics().PercentileLatencySeconds(95);
+  return p95 > 30 ? -1 : p95;
+}
+
+void Sweep(const char* title, const sim::CostModel& cm,
+           inference::FrameworkKind framework, model::Architecture arch,
+           const std::vector<double>& rates) {
+  PrintSection(title);
+  std::printf("%-10s %10s %10s %10s\n", "RPS", "SeSeMI", "Iso-reuse", "Native");
+  for (double rps : rates) {
+    std::printf("%-10.0f", rps);
+    for (auto mode : {semirt::RuntimeMode::kSesemi, semirt::RuntimeMode::kIsoReuse,
+                      semirt::RuntimeMode::kNative}) {
+      double p95 = P95AtRate(cm, framework, arch, mode, rps);
+      if (p95 < 0) {
+        std::printf(" %10s", "saturated");
+      } else {
+        std::printf(" %10.3f", p95);
+      }
+    }
+    std::printf("\n");
+  }
+}
+
+}  // namespace
+}  // namespace sesemi::bench
+
+int main() {
+  using sesemi::inference::FrameworkKind;
+  using sesemi::model::Architecture;
+  using sesemi::sim::CostModel;
+  sesemi::bench::PrintHeader("Figure 12 — single-node serving, p95 latency vs rate");
+  sesemi::bench::Sweep("(a) TVM-MBNET, SGX2", CostModel::PaperSgx2(),
+                       FrameworkKind::kTvm, Architecture::kMbNet,
+                       {30, 35, 40, 44, 46, 48, 50});
+  sesemi::bench::Sweep("(b) TVM-RSNET, SGX2", CostModel::PaperSgx2(),
+                       FrameworkKind::kTvm, Architecture::kRsNet,
+                       {1, 2, 3, 4, 5, 6});
+  sesemi::bench::Sweep("(c) TVM-MBNET, SGX1", CostModel::PaperSgx1(),
+                       FrameworkKind::kTvm, Architecture::kMbNet,
+                       {2, 5, 8, 11, 14, 16});
+  sesemi::bench::Sweep("(d) TFLM-MBNET, SGX1", CostModel::PaperSgx1(),
+                       FrameworkKind::kTflm, Architecture::kMbNet,
+                       {2, 5, 8, 11, 14, 16, 18});
+  std::printf("\n(shape check: SeSeMI sustains the highest rate; Iso-reuse saturates\n"
+              " earlier for RSNET — repeated model loads; Native earliest everywhere.\n"
+              " On SGX1, TFLM sustains >18 rps where TVM stalls near 14 — Fig 12c/d.)\n");
+  return 0;
+}

@@ -1,0 +1,100 @@
+// Reproduces Figure 13: average latency over time when serving an MMPP
+// workload (rate alternating around 20<->40 rps) on an 8-node cluster, for
+// TVM-DSNET and TVM-RSNET, comparing SeSeMI / Iso-reuse / Native.
+
+#include "bench/bench_common.h"
+#include "sim/cluster.h"
+#include "workload/generators.h"
+
+namespace sesemi::bench {
+namespace {
+
+struct RunResult {
+  std::vector<double> bucket_avg;  // avg latency per 30 s bucket
+  double overall_avg = 0;
+};
+
+RunResult RunMmpp(model::Architecture arch, semirt::RuntimeMode mode,
+                  const std::vector<workload::Arrival>& trace, double duration_s) {
+  sim::SimConfig config;
+  config.num_nodes = 8;
+  config.cost_model = sim::CostModel::PaperSgx2();
+  // §VI-C: invoker memory is configured so the enclave threads on a node
+  // never exceed the physical cores; with the Table V memory budgets this
+  // caps containers per node (2 here, 16 cluster-wide), which is what makes
+  // the system sensitive to the 40 rps bursts like the paper's testbed.
+  uint64_t container_memory =
+      arch == model::Architecture::kRsNet ? (768ull << 20) : (256ull << 20);
+  // RSNET's ~1 s executions need more in-flight slots for the same rate
+  // (the paper's RSNET run is near-saturated: avgs of 8-12 s).
+  config.invoker_memory_bytes =
+      (arch == model::Architecture::kRsNet ? 6 : 3) * container_memory;
+  sim::ClusterSim sim(config);
+  sim::SimFunction fn;
+  fn.name = "f";
+  fn.framework = inference::FrameworkKind::kTvm;
+  fn.arch = arch;
+  fn.mode = mode;
+  fn.num_tcs = 1;
+  fn.container_memory_bytes = container_memory;
+  sim.AddFunction(fn);
+  // Paper warms the system at 20 rps before measuring.
+  const auto& p = config.cost_model.profile(fn.framework, fn.arch);
+  int warm = std::max(1, std::min(16, static_cast<int>(20 * p.execute_s * 1.5 + 1)));
+  (void)sim.Prewarm("f", warm, "m0", "u0");
+  for (const auto& a : trace) sim.Submit("f", a.model_id, a.user_id, a.time);
+  sim.Run();
+
+  RunResult result;
+  const double kBucket = 30.0;
+  for (double t = 0; t < duration_s; t += kBucket) {
+    result.bucket_avg.push_back(sim.metrics().AvgLatencySecondsBetween(
+        SecondsToMicros(t), SecondsToMicros(t + kBucket)));
+  }
+  result.overall_avg = sim.metrics().AvgLatencySeconds();
+  return result;
+}
+
+void RunModel(const char* title, model::Architecture arch) {
+  PrintSection(title);
+  workload::MmppSpec spec;  // 20 <-> 40 rps, 900 s
+  auto trace = workload::Mmpp(spec, "m0", "u0");
+  std::printf("workload: %zu requests over %.0f s (mean %.1f rps)\n", trace.size(),
+              spec.duration_s, trace.size() / spec.duration_s);
+
+  std::map<semirt::RuntimeMode, RunResult> results;
+  for (auto mode : {semirt::RuntimeMode::kSesemi, semirt::RuntimeMode::kIsoReuse,
+                    semirt::RuntimeMode::kNative}) {
+    results[mode] = RunMmpp(arch, mode, trace, spec.duration_s);
+  }
+
+  std::printf("%-10s %10s %10s %10s\n", "t (s)", "SeSeMI", "Iso-reuse", "Native");
+  const auto& sesemi_buckets = results[semirt::RuntimeMode::kSesemi].bucket_avg;
+  for (size_t i = 0; i < sesemi_buckets.size(); ++i) {
+    std::printf("%-10.0f", (i + 1) * 30.0);
+    for (auto mode : {semirt::RuntimeMode::kSesemi, semirt::RuntimeMode::kIsoReuse,
+                      semirt::RuntimeMode::kNative}) {
+      std::printf(" %10.2f", results[mode].bucket_avg[i]);
+    }
+    std::printf("\n");
+  }
+  std::printf("overall avg: SeSeMI %.2f s, Iso-reuse %.2f s, Native %.2f s",
+              results[semirt::RuntimeMode::kSesemi].overall_avg,
+              results[semirt::RuntimeMode::kIsoReuse].overall_avg,
+              results[semirt::RuntimeMode::kNative].overall_avg);
+  double improvement = 100.0 * (1.0 - results[semirt::RuntimeMode::kSesemi].overall_avg /
+                                          results[semirt::RuntimeMode::kIsoReuse].overall_avg);
+  std::printf("  (SeSeMI vs Iso-reuse: %.0f%% lower)\n", improvement);
+}
+
+}  // namespace
+}  // namespace sesemi::bench
+
+int main() {
+  sesemi::bench::PrintHeader("Figure 13 — serving under the MMPP workload (8 nodes)");
+  sesemi::bench::RunModel("(b) TVM-DSNET", sesemi::model::Architecture::kDsNet);
+  sesemi::bench::RunModel("(c) TVM-RSNET", sesemi::model::Architecture::kRsNet);
+  std::printf("\n(paper: DSNET avg 0.64 s SeSeMI vs 3.35 s Iso-reuse — 81%% lower;\n"
+              " Native worst and unstable; Iso-reuse stays elevated after bursts)\n");
+  return 0;
+}

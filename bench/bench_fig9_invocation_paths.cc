@@ -1,0 +1,86 @@
+// Reproduces Figure 9: execution time per invocation path (hot / warm /
+// cold / untrusted / untrusted-reuse) for all six combos. Sandbox init is
+// excluded, as in the paper.
+
+#include "bench/bench_common.h"
+
+namespace sesemi::bench {
+namespace {
+
+void CalibratedSection() {
+  PrintSection("Calibrated (paper SGX2 measurements, seconds)");
+  std::printf("%-12s %8s %8s %8s %10s %12s\n", "", "Hot", "Warm", "Cold",
+              "Untrusted", "Untr(reuse)");
+  sim::CostModel cm = sim::CostModel::PaperSgx2();
+  for (const Combo& combo : AllCombos()) {
+    const auto& p = cm.profile(combo.framework, combo.arch);
+    double hot = p.execute_s;
+    double warm = p.model_load_s + p.runtime_init_s + p.execute_s;
+    double cold = p.enclave_init_s + p.key_fetch_s + warm;
+    double untrusted = p.plain_model_load_s + p.plain_runtime_init_s + p.plain_execute_s;
+    double untrusted_reuse = p.plain_execute_s;
+    std::printf("%-12s %8.3f %8.3f %8.3f %10.3f %12.3f\n", combo.label, hot, warm,
+                cold, untrusted, untrusted_reuse);
+  }
+  {
+    const auto& p = cm.profile(inference::FrameworkKind::kTvm,
+                               model::Architecture::kMbNet);
+    double hot = p.execute_s;
+    double cold = p.enclave_init_s + p.key_fetch_s + p.model_load_s +
+                  p.runtime_init_s + p.execute_s;
+    double warm = p.model_load_s + p.runtime_init_s + p.execute_s;
+    std::printf("(TVM-MBNET speedups over cold: hot %.0fx, warm %.0fx — paper: 21x/11x)\n",
+                cold / hot, cold / warm);
+  }
+}
+
+void MeasuredSection() {
+  PrintSection("Measured (this repo, live pipeline, scaled models, seconds)");
+  std::printf("%-12s %8s %8s %8s %10s %12s\n", "", "Hot", "Warm", "Cold",
+              "Untrusted", "Untr(reuse)");
+  LiveRig rig(0.02);
+  for (const Combo& combo : AllCombos()) {
+    rig.DeployModel(combo.arch);
+    semirt::SemirtOptions options;
+    options.framework = combo.framework;
+    rig.Authorize(combo.arch, options);
+
+    auto instance = rig.MakeInstance(options);
+    if (instance == nullptr) continue;
+    auto cold = rig.TimedRequest(instance.get(), combo.arch, options);   // cold
+    auto hot = rig.TimedRequest(instance.get(), combo.arch, options);    // hot
+    // Warm: force a model reload by clearing the execution context.
+    instance->ClearExecutionContext();
+    auto warm = rig.TimedRequest(instance.get(), combo.arch, options);
+
+    semirt::SemirtOptions untrusted_options;
+    untrusted_options.framework = combo.framework;
+    untrusted_options.mode = semirt::RuntimeMode::kUntrusted;
+    auto untrusted_instance = rig.MakeInstance(untrusted_options);
+    auto untrusted =
+        rig.TimedRequest(untrusted_instance.get(), combo.arch, untrusted_options);
+    auto untrusted_reuse =
+        rig.TimedRequest(untrusted_instance.get(), combo.arch, untrusted_options);
+
+    if (!cold.ok() || !hot.ok() || !warm.ok() || !untrusted.ok() ||
+        !untrusted_reuse.ok()) {
+      std::printf("%-12s measurement failed\n", combo.label);
+      continue;
+    }
+    std::printf("%-12s %8.4f %8.4f %8.4f %10.4f %12.4f\n", combo.label,
+                MicrosToSeconds(hot->total), MicrosToSeconds(warm->total),
+                MicrosToSeconds(cold->total), MicrosToSeconds(untrusted->total),
+                MicrosToSeconds(untrusted_reuse->total));
+  }
+  std::printf("(shape check: hot < warm < cold for every combo; hot ~= untrusted-reuse)\n");
+}
+
+}  // namespace
+}  // namespace sesemi::bench
+
+int main() {
+  sesemi::bench::PrintHeader("Figure 9 — execution time under different invocations");
+  sesemi::bench::CalibratedSection();
+  sesemi::bench::MeasuredSection();
+  return 0;
+}

@@ -1,0 +1,93 @@
+#ifndef SESEMI_BENCH_BENCH_FNPACKER_COMMON_H_
+#define SESEMI_BENCH_BENCH_FNPACKER_COMMON_H_
+
+// Shared driver for the FnPacker evaluation (Tables III & IV): five
+// TVM-RSNET models (m0-m4), Poisson traffic on m0/m1 at 2 rps for 8 minutes,
+// and two interactive sessions sweeping m0-m4 at ~4 and ~6 minutes.
+// Routed onto simulated endpoints by FnPacker / One-to-one / All-in-one.
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "fnpacker/router.h"
+#include "sim/cluster.h"
+#include "workload/generators.h"
+
+namespace sesemi::bench {
+
+struct FnPackerRun {
+  /// Avg latency of the Poisson traffic (Table III).
+  double poisson_avg_ms = 0;
+  /// Per (session user, model) latency in ms (Table IV).
+  std::map<std::pair<std::string, std::string>, double> session_ms;
+};
+
+inline std::vector<workload::Arrival> FnPackerWorkload() {
+  std::vector<std::vector<workload::Arrival>> parts;
+  parts.push_back(workload::Poisson(2.0, 480, "m0", "poisson-user", 101));
+  parts.push_back(workload::Poisson(2.0, 480, "m1", "poisson-user", 202));
+  parts.push_back(workload::InteractiveSession(
+      SecondsToMicros(240), {"m0", "m1", "m2", "m3", "m4"}, "session1", 4.0));
+  parts.push_back(workload::InteractiveSession(
+      SecondsToMicros(360), {"m0", "m1", "m2", "m3", "m4"}, "session2", 4.0));
+  return workload::Merge(std::move(parts));
+}
+
+/// Run the workload through `router`; endpoints map to simulated functions
+/// "ep<i>", each able to serve any of the five models (model switches cost a
+/// reload inside the shared sandbox).
+inline FnPackerRun RunWithRouter(fnpacker::RequestRouter* router) {
+  sim::SimConfig config;
+  config.num_nodes = 8;
+  config.cost_model = sim::CostModel::PaperSgx2();
+  sim::ClusterSim sim(config);
+  for (int i = 0; i < router->num_endpoints(); ++i) {
+    sim::SimFunction fn;
+    fn.name = "ep" + std::to_string(i);
+    fn.framework = inference::FrameworkKind::kTvm;
+    fn.arch = model::Architecture::kRsNet;
+    fn.num_tcs = 1;
+    fn.container_memory_bytes = 768ull << 20;
+    sim.AddFunction(fn);
+  }
+
+  FnPackerRun result;
+  double poisson_total_ms = 0;
+  int poisson_count = 0;
+
+  auto trace = FnPackerWorkload();
+  for (const auto& arrival : trace) {
+    workload::Arrival a = arrival;
+    sim.queue().ScheduleAt(a.time, [&sim, router, a, &result, &poisson_total_ms,
+                                    &poisson_count] {
+      auto endpoint = router->Route(a.model_id, sim.now());
+      if (!endpoint.ok()) return;
+      int ep = *endpoint;
+      sim.Submit("ep" + std::to_string(ep), a.model_id, a.user_id, sim.now(),
+                 [router, ep, &result, &poisson_total_ms,
+                  &poisson_count](const sim::RequestRecord& record) {
+                   router->OnComplete(record.model_id, ep, record.complete);
+                   double ms = 1000.0 * MicrosToSeconds(record.latency());
+                   if (record.user_id == "poisson-user") {
+                     poisson_total_ms += ms;
+                     poisson_count++;
+                   } else {
+                     result.session_ms[{record.user_id, record.model_id}] = ms;
+                   }
+                 });
+    });
+  }
+  sim.Run();
+  result.poisson_avg_ms = poisson_count > 0 ? poisson_total_ms / poisson_count : 0;
+  return result;
+}
+
+inline std::vector<std::string> FnPackerModels() {
+  return {"m0", "m1", "m2", "m3", "m4"};
+}
+
+}  // namespace sesemi::bench
+
+#endif  // SESEMI_BENCH_BENCH_FNPACKER_COMMON_H_

@@ -1,0 +1,116 @@
+// Google-benchmark microbenchmarks for the substrates: crypto primitives,
+// RA-TLS handshakes, model (de)serialization, and the end-to-end SeMIRT hot
+// path. These are the building blocks behind every figure; regressions here
+// shift the calibrated curves.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_common.h"
+#include "crypto/gcm.h"
+#include "crypto/sha256.h"
+#include "crypto/x25519.h"
+#include "model/format.h"
+#include "ratls/handshake.h"
+
+namespace sesemi::bench {
+namespace {
+
+void BM_Sha256(benchmark::State& state) {
+  Bytes data(static_cast<size_t>(state.range(0)), 0xab);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::Sha256::Hash(data));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Sha256)->Arg(1024)->Arg(64 * 1024)->Arg(1024 * 1024);
+
+void BM_AesGcmEncrypt(benchmark::State& state) {
+  Bytes key(16, 1), nonce(12, 2);
+  Bytes data(static_cast<size_t>(state.range(0)), 0xcd);
+  auto gcm = crypto::AesGcm::Create(key);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gcm->Encrypt(nonce, {}, data));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_AesGcmEncrypt)->Arg(1024)->Arg(64 * 1024)->Arg(1024 * 1024);
+
+void BM_X25519SharedSecret(benchmark::State& state) {
+  auto a = crypto::GenerateX25519KeyPair();
+  auto b = crypto::GenerateX25519KeyPair();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::X25519SharedSecret(a.private_key, b.public_key));
+  }
+}
+BENCHMARK(BM_X25519SharedSecret);
+
+void BM_RatlsMutualHandshake(benchmark::State& state) {
+  sgx::AttestationAuthority authority;
+  sgx::SgxPlatform platform(sgx::SgxGeneration::kSgx2, &authority);
+  sgx::EnclaveImage server_image("s", {{"c", ToBytes("ks")}}, {});
+  sgx::EnclaveImage client_image("c", {{"c", ToBytes("rt")}}, {});
+  auto server = std::move(*platform.CreateEnclave(server_image));
+  auto client = std::move(*platform.CreateEnclave(client_image));
+  for (auto _ : state) {
+    ratls::RatlsInitiator initiator(&authority, client.get());
+    auto hello = initiator.Start();
+    ratls::RatlsAcceptor acceptor(server.get());
+    auto accepted = acceptor.Accept(*hello, true);
+    benchmark::DoNotOptimize(initiator.Finish(accepted->hello, server->mrenclave()));
+  }
+}
+BENCHMARK(BM_RatlsMutualHandshake);
+
+void BM_ModelSerializeParse(benchmark::State& state) {
+  model::ZooSpec spec;
+  spec.arch = model::Architecture::kDsNet;
+  spec.scale = 0.01;
+  spec.input_hw = 16;
+  auto graph = model::BuildModel(spec);
+  Bytes wire = model::SerializeModel(*graph);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model::ParseModel(wire));
+  }
+  state.SetBytesProcessed(state.iterations() * wire.size());
+}
+BENCHMARK(BM_ModelSerializeParse);
+
+void BM_InferenceExecute(benchmark::State& state) {
+  auto kind = state.range(0) == 0 ? inference::FrameworkKind::kTflm
+                                  : inference::FrameworkKind::kTvm;
+  model::ZooSpec spec;
+  spec.arch = model::Architecture::kMbNet;
+  spec.scale = 0.01;
+  spec.input_hw = 16;
+  auto graph = model::BuildModel(spec);
+  auto framework = inference::CreateFramework(kind);
+  auto loaded = framework->WrapModel(*graph);
+  auto runtime = std::move(*framework->CreateRuntime(*loaded));
+  Bytes input = model::GenerateRandomInput(*graph, 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(runtime->Execute(input));
+  }
+  state.SetLabel(inference::ToString(kind));
+}
+BENCHMARK(BM_InferenceExecute)->Arg(0)->Arg(1);
+
+void BM_SemirtHotPath(benchmark::State& state) {
+  LiveRig rig(0.01);
+  rig.DeployModel(model::Architecture::kMbNet);
+  semirt::SemirtOptions options;
+  rig.Authorize(model::Architecture::kMbNet, options);
+  auto instance = rig.MakeInstance(options);
+  // Warm to hot.
+  (void)rig.TimedRequest(instance.get(), model::Architecture::kMbNet, options);
+  uint64_t seed = 2;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        rig.TimedRequest(instance.get(), model::Architecture::kMbNet, options, seed++));
+  }
+}
+BENCHMARK(BM_SemirtHotPath);
+
+}  // namespace
+}  // namespace sesemi::bench
+
+BENCHMARK_MAIN();

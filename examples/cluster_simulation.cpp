@@ -1,0 +1,64 @@
+// Cluster-scale what-if analysis with the discrete-event simulator: size a
+// SeSeMI deployment for a bursty diagnosis workload before paying for it.
+//
+// Sweeps the per-enclave concurrency (TCS count) under the paper's MMPP
+// workload and reports the latency/cost trade-off — the Figure 14 experiment
+// as a capacity-planning tool.
+
+#include <cstdio>
+
+#include "sim/cluster.h"
+#include "workload/generators.h"
+
+using namespace sesemi;
+
+int main() {
+  std::printf("== Capacity planning a SeSeMI deployment (simulated) ==\n\n");
+  std::printf("workload: MMPP alternating 20<->40 rps for 10 minutes, TVM-DSNET\n");
+  std::printf("cluster : 8 SGX2 nodes, 3-minute keep-alive\n\n");
+
+  workload::MmppSpec wl;
+  wl.duration_s = 600;
+  auto trace = workload::Mmpp(wl, "diagnosis", "clinic");
+
+  std::printf("%-6s %10s %10s %12s %12s %12s\n", "TCS", "avg (s)", "p95 (s)",
+              "cold starts", "peak mem GB", "cost GB-s");
+  for (int tcs : {1, 2, 4, 8}) {
+    sim::SimConfig config;
+    config.num_nodes = 8;
+    config.cost_model = sim::CostModel::PaperSgx2();
+    // Keep total enclave threads per node at the core count (§VI-C).
+    uint64_t container_memory = (256ull << 20) + (tcs - 1) * (64ull << 20);
+    config.invoker_memory_bytes =
+        static_cast<uint64_t>(
+            std::max(1, config.cost_model.cores_per_node() / tcs)) *
+        container_memory;
+
+    sim::ClusterSim sim(config);
+    sim::SimFunction fn;
+    fn.name = "diagnose";
+    fn.framework = inference::FrameworkKind::kTvm;
+    fn.arch = model::Architecture::kDsNet;
+    fn.num_tcs = tcs;
+    fn.container_memory_bytes = container_memory;
+    sim.AddFunction(fn);
+
+    for (const auto& a : trace) {
+      sim.Submit("diagnose", a.model_id, a.user_id, a.time);
+    }
+    sim.Run();
+
+    const sim::Metrics& m = sim.metrics();
+    std::printf("%-6d %10.2f %10.2f %12d %12.2f %12.0f\n", tcs,
+                m.AvgLatencySeconds(), m.PercentileLatencySeconds(95),
+                m.CountKind(semirt::InvocationKind::kCold),
+                m.PeakMemoryBytes() / (1ull << 30),
+                m.GbSeconds(SecondsToMicros(wl.duration_s)));
+  }
+
+  std::printf("\nReading the table: more TCS per enclave shares the in-enclave\n"
+              "model buffer across requests, cutting the GB-s bill (the paper\n"
+              "reports -59%% for DSNET going 1 -> 4) at a small latency cost\n"
+              "once requests start queueing on shared containers.\n");
+  return 0;
+}

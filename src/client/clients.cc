@@ -1,0 +1,186 @@
+#include "client/clients.h"
+
+#include "crypto/key.h"
+#include "model/format.h"
+#include "ratls/handshake.h"
+#include "semirt/semirt.h"
+
+namespace sesemi::client {
+
+using keyservice::OpCode;
+using keyservice::Request;
+using keyservice::Response;
+
+Result<std::unique_ptr<KeyServiceClient>> KeyServiceClient::Connect(
+    keyservice::KeyServiceServer* server,
+    const sgx::AttestationAuthority* authority, const sgx::Measurement& expected) {
+  ratls::RatlsInitiator initiator(authority);
+  SESEMI_ASSIGN_OR_RETURN(ratls::ClientHello hello, initiator.Start());
+  uint64_t session_id = 0;
+  SESEMI_ASSIGN_OR_RETURN(ratls::ServerHello reply,
+                          server->Connect(hello, &session_id));
+  SESEMI_ASSIGN_OR_RETURN(ratls::SecureSession session,
+                          initiator.Finish(reply, expected));
+  return std::unique_ptr<KeyServiceClient>(
+      new KeyServiceClient(server, session_id, std::move(session)));
+}
+
+KeyServiceClient::~KeyServiceClient() {
+  server_->Disconnect(session_id_);
+}
+
+Result<Bytes> KeyServiceClient::Call(OpCode op, const std::string& caller_id,
+                                     Bytes payload) {
+  Request request;
+  request.op = op;
+  request.caller_id = caller_id;
+  request.payload = std::move(payload);
+  SESEMI_ASSIGN_OR_RETURN(Bytes sealed, session_.Seal(request.Serialize()));
+  SESEMI_ASSIGN_OR_RETURN(Bytes sealed_response, server_->Handle(session_id_, sealed));
+  SESEMI_ASSIGN_OR_RETURN(Bytes wire, session_.Open(sealed_response));
+  SESEMI_ASSIGN_OR_RETURN(Response response, Response::Parse(wire));
+  if (!response.ok()) {
+    return Status(static_cast<StatusCode>(response.code), response.message);
+  }
+  return response.payload;
+}
+
+// ---------------------------------------------------------------- ModelOwner
+
+ModelOwner::ModelOwner(std::string display_name)
+    : display_name_(std::move(display_name)),
+      identity_key_(crypto::GenerateSymmetricKey(32)) {}
+
+Status ModelOwner::Register(KeyServiceClient* keyservice) {
+  SESEMI_ASSIGN_OR_RETURN(
+      Bytes id_bytes,
+      keyservice->Call(OpCode::kUserRegistration, "", identity_key_));
+  id_ = ToString(id_bytes);
+  if (id_ != crypto::DeriveIdentity(identity_key_)) {
+    return Status::Internal("KeyService returned an unexpected identity");
+  }
+  return Status::OK();
+}
+
+Status ModelOwner::DeployModel(KeyServiceClient* keyservice,
+                               storage::ObjectStore* storage,
+                               const model::ModelGraph& graph,
+                               bool with_plaintext_copy) {
+  if (id_.empty()) return Status::FailedPrecondition("owner not registered");
+  Bytes model_key = crypto::GenerateSymmetricKey();
+
+  SESEMI_ASSIGN_OR_RETURN(Bytes sealed_model, model::EncryptModel(graph, model_key));
+  SESEMI_RETURN_IF_ERROR(storage->Put(
+      semirt::SemirtInstance::ModelObjectKey(graph.model_id), std::move(sealed_model)));
+  if (with_plaintext_copy) {
+    SESEMI_RETURN_IF_ERROR(
+        storage->Put(semirt::SemirtInstance::PlainModelObjectKey(graph.model_id),
+                     model::SerializeModel(graph)));
+  }
+
+  SESEMI_ASSIGN_OR_RETURN(
+      Bytes payload,
+      keyservice::SealAddModelKey(identity_key_, graph.model_id, model_key));
+  SESEMI_ASSIGN_OR_RETURN(Bytes unused,
+                          keyservice->Call(OpCode::kAddModelKey, id_, payload));
+  (void)unused;
+  model_keys_[graph.model_id] = std::move(model_key);
+  return Status::OK();
+}
+
+Status ModelOwner::GrantAccess(KeyServiceClient* keyservice,
+                               const std::string& model_id,
+                               const sgx::Measurement& enclave_identity,
+                               const std::string& user_id) {
+  if (id_.empty()) return Status::FailedPrecondition("owner not registered");
+  SESEMI_ASSIGN_OR_RETURN(
+      Bytes payload, keyservice::SealGrantAccess(identity_key_, model_id,
+                                                 enclave_identity.ToHex(), user_id));
+  SESEMI_ASSIGN_OR_RETURN(Bytes unused,
+                          keyservice->Call(OpCode::kGrantAccess, id_, payload));
+  (void)unused;
+  return Status::OK();
+}
+
+Result<Bytes> ModelOwner::ModelKey(const std::string& model_id) const {
+  auto it = model_keys_.find(model_id);
+  if (it == model_keys_.end()) return Status::NotFound("no key for " + model_id);
+  return it->second;
+}
+
+// ---------------------------------------------------------------- ModelUser
+
+ModelUser::ModelUser(std::string display_name)
+    : display_name_(std::move(display_name)),
+      identity_key_(crypto::GenerateSymmetricKey(32)) {}
+
+Status ModelUser::Register(KeyServiceClient* keyservice) {
+  SESEMI_ASSIGN_OR_RETURN(
+      Bytes id_bytes,
+      keyservice->Call(OpCode::kUserRegistration, "", identity_key_));
+  id_ = ToString(id_bytes);
+  return Status::OK();
+}
+
+Status ModelUser::ProvisionRequestKey(KeyServiceClient* keyservice,
+                                      const std::string& model_id,
+                                      const sgx::Measurement& enclave_identity) {
+  if (id_.empty()) return Status::FailedPrecondition("user not registered");
+  Bytes request_key = crypto::GenerateSymmetricKey();
+  SESEMI_ASSIGN_OR_RETURN(
+      Bytes payload, keyservice::SealAddReqKey(identity_key_, model_id,
+                                               enclave_identity.ToHex(), request_key));
+  SESEMI_ASSIGN_OR_RETURN(Bytes unused,
+                          keyservice->Call(OpCode::kAddReqKey, id_, payload));
+  (void)unused;
+  request_keys_[model_id + "|" + enclave_identity.ToHex()] = std::move(request_key);
+  return Status::OK();
+}
+
+Result<Bytes> ModelUser::RequestKeyFor(
+    const std::string& model_id, const sgx::Measurement* enclave_identity) const {
+  if (enclave_identity != nullptr) {
+    auto it = request_keys_.find(model_id + "|" + enclave_identity->ToHex());
+    if (it == request_keys_.end()) {
+      return Status::FailedPrecondition("no request key for " + model_id +
+                                        " on that enclave");
+    }
+    return it->second;
+  }
+  const std::string prefix = model_id + "|";
+  const Bytes* found = nullptr;
+  for (auto it = request_keys_.lower_bound(prefix);
+       it != request_keys_.end() && it->first.compare(0, prefix.size(), prefix) == 0;
+       ++it) {
+    if (found != nullptr) {
+      return Status::FailedPrecondition(
+          "multiple enclave deployments provisioned for " + model_id +
+          "; pass the enclave identity");
+    }
+    found = &it->second;
+  }
+  if (found == nullptr) {
+    return Status::FailedPrecondition("no request key provisioned for " + model_id);
+  }
+  return *found;
+}
+
+Result<semirt::InferenceRequest> ModelUser::BuildRequest(
+    const std::string& model_id, ByteSpan input,
+    const sgx::Measurement* enclave_identity) const {
+  SESEMI_ASSIGN_OR_RETURN(Bytes key, RequestKeyFor(model_id, enclave_identity));
+  semirt::InferenceRequest request;
+  request.user_id = id_;
+  request.model_id = model_id;
+  SESEMI_ASSIGN_OR_RETURN(request.encrypted_input,
+                          semirt::EncryptRequestPayload(key, model_id, input));
+  return request;
+}
+
+Result<Bytes> ModelUser::DecryptResult(const std::string& model_id, ByteSpan sealed,
+                                       const sgx::Measurement* enclave_identity) const {
+  SESEMI_ASSIGN_OR_RETURN(Bytes key, RequestKeyFor(model_id, enclave_identity));
+  return semirt::DecryptResultPayload(key, model_id, sealed);
+}
+
+}  // namespace sesemi::client

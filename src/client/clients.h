@@ -1,0 +1,121 @@
+#ifndef SESEMI_CLIENT_CLIENTS_H_
+#define SESEMI_CLIENT_CLIENTS_H_
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "common/result.h"
+#include "keyservice/keyservice.h"
+#include "model/graph.h"
+#include "ratls/session.h"
+#include "semirt/request_codec.h"
+#include "sgx/attestation.h"
+#include "storage/object_store.h"
+
+namespace sesemi::client {
+
+/// A client-side attested connection to KeyService. Model owners and users
+/// verify E_K during Connect (the paper's key-setup step 1) and then issue
+/// Algorithm 1 operations over the channel.
+class KeyServiceClient {
+ public:
+  /// Attest `server` and establish a secure channel. Fails if the service's
+  /// quote doesn't verify or its measurement differs from `expected`.
+  static Result<std::unique_ptr<KeyServiceClient>> Connect(
+      keyservice::KeyServiceServer* server,
+      const sgx::AttestationAuthority* authority, const sgx::Measurement& expected);
+
+  ~KeyServiceClient();
+
+  /// Issue one operation; returns the response payload on success.
+  Result<Bytes> Call(keyservice::OpCode op, const std::string& caller_id,
+                     Bytes payload);
+
+ private:
+  KeyServiceClient(keyservice::KeyServiceServer* server, uint64_t session_id,
+                   ratls::SecureSession session)
+      : server_(server), session_id_(session_id), session_(std::move(session)) {}
+
+  keyservice::KeyServiceServer* server_;
+  uint64_t session_id_;
+  ratls::SecureSession session_;
+};
+
+/// The model-owner role: owns a long-term identity key, per-model model keys,
+/// and drives the service-deployment workflow (encrypt + upload + register +
+/// grant).
+class ModelOwner {
+ public:
+  explicit ModelOwner(std::string display_name);
+
+  const std::string& display_name() const { return display_name_; }
+  /// id = SHA256(K_oid); valid after Register().
+  const std::string& id() const { return id_; }
+
+  /// USER_REGISTRATION with the owner's long-term key.
+  Status Register(KeyServiceClient* keyservice);
+
+  /// Deploy `graph`: generate a model key, encrypt, upload to `storage`
+  /// (and a plaintext copy for the untrusted baselines when
+  /// `with_plaintext_copy`), and ADD_MODEL_KEY at KeyService.
+  Status DeployModel(KeyServiceClient* keyservice, storage::ObjectStore* storage,
+                     const model::ModelGraph& graph, bool with_plaintext_copy = false);
+
+  /// GRANT_ACCESS: authorize `user_id` to use `model_id` through enclaves
+  /// measuring `enclave_identity`.
+  Status GrantAccess(KeyServiceClient* keyservice, const std::string& model_id,
+                     const sgx::Measurement& enclave_identity,
+                     const std::string& user_id);
+
+  /// The owner's local copy of a deployed model's key (for tests/recovery).
+  Result<Bytes> ModelKey(const std::string& model_id) const;
+
+ private:
+  std::string display_name_;
+  Bytes identity_key_;
+  std::string id_;
+  std::map<std::string, Bytes> model_keys_;
+};
+
+/// The model-user role: registers an identity, provisions per-(model,enclave)
+/// request keys, and encrypts/decrypts request payloads.
+class ModelUser {
+ public:
+  explicit ModelUser(std::string display_name);
+
+  const std::string& display_name() const { return display_name_; }
+  const std::string& id() const { return id_; }
+
+  Status Register(KeyServiceClient* keyservice);
+
+  /// Generate K_R for (model, enclave) and ADD_REQ_KEY it at KeyService.
+  /// Request keys are scoped per ⟨model, enclave identity⟩, matching KS_R.
+  Status ProvisionRequestKey(KeyServiceClient* keyservice,
+                             const std::string& model_id,
+                             const sgx::Measurement& enclave_identity);
+
+  /// Build an encrypted inference request for `model_id`. When the user has
+  /// provisioned keys for several enclave deployments of the same model,
+  /// `enclave_identity` disambiguates; with one deployment it may be null.
+  Result<semirt::InferenceRequest> BuildRequest(
+      const std::string& model_id, ByteSpan input,
+      const sgx::Measurement* enclave_identity = nullptr) const;
+
+  /// Decrypt an inference result for `model_id` (same disambiguation rule).
+  Result<Bytes> DecryptResult(const std::string& model_id, ByteSpan sealed,
+                              const sgx::Measurement* enclave_identity = nullptr) const;
+
+ private:
+  Result<Bytes> RequestKeyFor(const std::string& model_id,
+                              const sgx::Measurement* enclave_identity) const;
+
+  std::string display_name_;
+  Bytes identity_key_;
+  std::string id_;
+  std::map<std::string, Bytes> request_keys_;  // "model|es_hex" -> K_R
+};
+
+}  // namespace sesemi::client
+
+#endif  // SESEMI_CLIENT_CLIENTS_H_

@@ -1,0 +1,61 @@
+#ifndef SESEMI_COMMON_CLOCK_H_
+#define SESEMI_COMMON_CLOCK_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace sesemi {
+
+/// Simulation/real time, in microseconds. All platform and scheduler code is
+/// written against this unit so the same policies run under a wall clock (live
+/// mode) and a virtual clock (discrete-event simulation).
+using TimeMicros = int64_t;
+
+constexpr TimeMicros kMicrosPerMilli = 1000;
+constexpr TimeMicros kMicrosPerSecond = 1000 * 1000;
+
+/// Convert seconds (double) to TimeMicros, rounding to nearest.
+constexpr TimeMicros SecondsToMicros(double s) {
+  return static_cast<TimeMicros>(s * 1e6 + (s >= 0 ? 0.5 : -0.5));
+}
+
+/// Convert TimeMicros to seconds.
+constexpr double MicrosToSeconds(TimeMicros t) {
+  return static_cast<double>(t) / 1e6;
+}
+
+/// Abstract time source.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  virtual TimeMicros Now() const = 0;
+};
+
+/// Wall clock (steady, monotonic), for live-mode runs.
+class RealClock : public Clock {
+ public:
+  RealClock() : origin_(std::chrono::steady_clock::now()) {}
+  TimeMicros Now() const override {
+    auto d = std::chrono::steady_clock::now() - origin_;
+    return std::chrono::duration_cast<std::chrono::microseconds>(d).count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point origin_;
+};
+
+/// Manually-advanced clock, for unit tests and the discrete-event engine.
+class ManualClock : public Clock {
+ public:
+  explicit ManualClock(TimeMicros start = 0) : now_(start) {}
+  TimeMicros Now() const override { return now_; }
+  void Set(TimeMicros t) { now_ = t; }
+  void Advance(TimeMicros dt) { now_ += dt; }
+
+ private:
+  TimeMicros now_;
+};
+
+}  // namespace sesemi
+
+#endif  // SESEMI_COMMON_CLOCK_H_

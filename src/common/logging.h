@@ -1,0 +1,44 @@
+#ifndef SESEMI_COMMON_LOGGING_H_
+#define SESEMI_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace sesemi {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Process-wide minimum level; messages below it are dropped at the call site.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+void EmitLog(LogLevel level, const char* file, int line, const std::string& msg);
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line)
+      : level_(level), file_(file), line_(line) {}
+  ~LogMessage() { EmitLog(level_, file_, line_, stream_.str()); }
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+}  // namespace internal
+
+#define SESEMI_LOG(level)                                            \
+  if (::sesemi::GetLogLevel() <= ::sesemi::LogLevel::level)          \
+  ::sesemi::internal::LogMessage(::sesemi::LogLevel::level, __FILE__, __LINE__).stream()
+
+#define SESEMI_DLOG SESEMI_LOG(kDebug)
+#define SESEMI_ILOG SESEMI_LOG(kInfo)
+#define SESEMI_WLOG SESEMI_LOG(kWarn)
+#define SESEMI_ELOG SESEMI_LOG(kError)
+
+}  // namespace sesemi
+
+#endif  // SESEMI_COMMON_LOGGING_H_

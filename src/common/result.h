@@ -1,0 +1,77 @@
+#ifndef SESEMI_COMMON_RESULT_H_
+#define SESEMI_COMMON_RESULT_H_
+
+#include <cassert>
+#include <utility>
+#include <variant>
+
+#include "common/status.h"
+
+namespace sesemi {
+
+/// Value-or-Status, in the style of arrow::Result.
+///
+/// A Result<T> holds either a T (the operation succeeded) or a non-OK Status.
+/// Constructing a Result from an OK Status is a programming error.
+template <typename T>
+class Result {
+ public:
+  /// Success.
+  Result(T value) : repr_(std::move(value)) {}  // NOLINT: implicit by design
+  /// Failure. `status` must not be OK.
+  Result(Status status) : repr_(std::move(status)) {  // NOLINT
+    assert(!std::get<Status>(repr_).ok() && "Result constructed from OK status");
+  }
+
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+
+  /// The failure Status, or OK if a value is held.
+  Status status() const {
+    return ok() ? Status::OK() : std::get<Status>(repr_);
+  }
+
+  /// The held value; undefined behaviour if !ok().
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(repr_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<T>(repr_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(repr_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  T&& operator*() && { return std::move(*this).value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// The held value, or `fallback` on failure.
+  T value_or(T fallback) const {
+    return ok() ? value() : std::move(fallback);
+  }
+
+ private:
+  std::variant<T, Status> repr_;
+};
+
+/// Assign a Result's value to `lhs`, or propagate its Status.
+#define SESEMI_ASSIGN_OR_RETURN_IMPL(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                                 \
+  if (!tmp.ok()) return tmp.status();                 \
+  lhs = std::move(tmp).value();
+
+#define SESEMI_ASSIGN_OR_RETURN_CAT(a, b) a##b
+#define SESEMI_ASSIGN_OR_RETURN_NAME(a, b) SESEMI_ASSIGN_OR_RETURN_CAT(a, b)
+
+#define SESEMI_ASSIGN_OR_RETURN(lhs, rexpr) \
+  SESEMI_ASSIGN_OR_RETURN_IMPL(             \
+      SESEMI_ASSIGN_OR_RETURN_NAME(_result_tmp_, __LINE__), lhs, rexpr)
+
+}  // namespace sesemi
+
+#endif  // SESEMI_COMMON_RESULT_H_

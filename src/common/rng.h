@@ -1,0 +1,56 @@
+#ifndef SESEMI_COMMON_RNG_H_
+#define SESEMI_COMMON_RNG_H_
+
+#include <cstdint>
+
+#include "common/bytes.h"
+
+namespace sesemi {
+
+/// Deterministic pseudo-random generator (xoshiro256**), used for workload
+/// generation, synthetic model weights, and test/sim reproducibility.
+///
+/// NOT a CSPRNG — cryptographic key material goes through crypto::RandomBytes,
+/// which mixes in entropy. All experiment harnesses take an explicit seed so
+/// results are reproducible run-to-run.
+class Rng {
+ public:
+  /// Seeds the four 64-bit lanes via splitmix64 on `seed`.
+  explicit Rng(uint64_t seed = 0x5e5e313ULL);
+
+  /// Next raw 64-bit output.
+  uint64_t NextUint64();
+
+  /// Uniform in [0, bound). bound == 0 yields 0. Uses rejection sampling so
+  /// the distribution is exact.
+  uint64_t UniformUint64(uint64_t bound);
+
+  /// Uniform in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double UniformDouble();
+
+  /// Uniform double in [lo, hi).
+  double UniformDouble(double lo, double hi);
+
+  /// Exponentially distributed with rate `lambda` (mean 1/lambda); the
+  /// inter-arrival law of a Poisson process.
+  double Exponential(double lambda);
+
+  /// Standard normal via Box-Muller.
+  double Gaussian();
+
+  /// Fill `n` pseudo-random bytes.
+  Bytes NextBytes(size_t n);
+
+  /// True with probability p (clamped to [0,1]).
+  bool Bernoulli(double p);
+
+ private:
+  uint64_t s_[4];
+};
+
+}  // namespace sesemi
+
+#endif  // SESEMI_COMMON_RNG_H_

@@ -1,0 +1,114 @@
+#ifndef SESEMI_COMMON_STATUS_H_
+#define SESEMI_COMMON_STATUS_H_
+
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace sesemi {
+
+/// Error category for a failed operation. Mirrors the RocksDB/Arrow pattern of
+/// a small closed set of codes plus a free-form message.
+enum class StatusCode : int {
+  kOk = 0,
+  kInvalidArgument = 1,   ///< caller passed something malformed
+  kNotFound = 2,          ///< key / object / model absent
+  kAlreadyExists = 3,     ///< unique insert collided
+  kPermissionDenied = 4,  ///< access-control check failed
+  kUnauthenticated = 5,   ///< attestation / MAC / signature check failed
+  kFailedPrecondition = 6,///< call sequencing violated (e.g. no session)
+  kResourceExhausted = 7, ///< EPC / memory / TCS / capacity exceeded
+  kInternal = 8,          ///< invariant broken inside the library
+  kUnavailable = 9,       ///< transient: endpoint busy / service down
+  kCorruption = 10,       ///< stored bytes failed integrity checks
+  kUnimplemented = 11,    ///< feature not supported by this build
+  kDeadlineExceeded = 12, ///< operation timed out
+  kAborted = 13,          ///< operation cancelled mid-flight
+};
+
+/// Human-readable name of a StatusCode (e.g. "NotFound").
+std::string_view StatusCodeToString(StatusCode code);
+
+/// Outcome of a fallible operation: a code plus an optional message.
+///
+/// The default-constructed Status is OK. Statuses are cheap to copy when OK
+/// (no allocation). Follows the "check or propagate" discipline: callers must
+/// either branch on ok() or return the status upward.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string msg) : code_(code), msg_(std::move(msg)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string m) {
+    return Status(StatusCode::kInvalidArgument, std::move(m));
+  }
+  static Status NotFound(std::string m) {
+    return Status(StatusCode::kNotFound, std::move(m));
+  }
+  static Status AlreadyExists(std::string m) {
+    return Status(StatusCode::kAlreadyExists, std::move(m));
+  }
+  static Status PermissionDenied(std::string m) {
+    return Status(StatusCode::kPermissionDenied, std::move(m));
+  }
+  static Status Unauthenticated(std::string m) {
+    return Status(StatusCode::kUnauthenticated, std::move(m));
+  }
+  static Status FailedPrecondition(std::string m) {
+    return Status(StatusCode::kFailedPrecondition, std::move(m));
+  }
+  static Status ResourceExhausted(std::string m) {
+    return Status(StatusCode::kResourceExhausted, std::move(m));
+  }
+  static Status Internal(std::string m) {
+    return Status(StatusCode::kInternal, std::move(m));
+  }
+  static Status Unavailable(std::string m) {
+    return Status(StatusCode::kUnavailable, std::move(m));
+  }
+  static Status Corruption(std::string m) {
+    return Status(StatusCode::kCorruption, std::move(m));
+  }
+  static Status Unimplemented(std::string m) {
+    return Status(StatusCode::kUnimplemented, std::move(m));
+  }
+  static Status DeadlineExceeded(std::string m) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(m));
+  }
+  static Status Aborted(std::string m) {
+    return Status(StatusCode::kAborted, std::move(m));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return msg_; }
+
+  bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+  bool IsPermissionDenied() const { return code_ == StatusCode::kPermissionDenied; }
+  bool IsUnauthenticated() const { return code_ == StatusCode::kUnauthenticated; }
+  bool IsResourceExhausted() const { return code_ == StatusCode::kResourceExhausted; }
+  bool IsUnavailable() const { return code_ == StatusCode::kUnavailable; }
+  bool IsCorruption() const { return code_ == StatusCode::kCorruption; }
+  bool IsInvalidArgument() const { return code_ == StatusCode::kInvalidArgument; }
+
+  /// "OK" or "<Code>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const { return code_ == other.code_; }
+
+ private:
+  StatusCode code_;
+  std::string msg_;
+};
+
+/// Propagate a non-OK Status to the caller.
+#define SESEMI_RETURN_IF_ERROR(expr)                \
+  do {                                              \
+    ::sesemi::Status _st = (expr);                  \
+    if (!_st.ok()) return _st;                      \
+  } while (0)
+
+}  // namespace sesemi
+
+#endif  // SESEMI_COMMON_STATUS_H_

@@ -1,0 +1,42 @@
+#ifndef SESEMI_CRYPTO_AES_H_
+#define SESEMI_CRYPTO_AES_H_
+
+#include <cstdint>
+
+#include "common/bytes.h"
+#include "common/result.h"
+
+namespace sesemi::crypto {
+
+constexpr size_t kAesBlockSize = 16;
+constexpr size_t kAes128KeySize = 16;
+constexpr size_t kAes256KeySize = 32;
+
+/// AES block cipher (FIPS 197), 128- or 256-bit keys.
+///
+/// Only the forward (encryption) direction is implemented: the library uses
+/// AES exclusively in counter-based modes (GCM), which never need the inverse
+/// cipher. This keeps the in-enclave TCB small, matching the paper's goal of a
+/// minimal enclave interface.
+class Aes {
+ public:
+  /// Expands the key schedule. Accepts 16- or 32-byte keys.
+  static Result<Aes> Create(ByteSpan key);
+
+  /// Encrypt exactly one 16-byte block, in == out allowed.
+  void EncryptBlock(const uint8_t in[kAesBlockSize], uint8_t out[kAesBlockSize]) const;
+
+  /// Number of AES rounds (10 for AES-128, 14 for AES-256).
+  int rounds() const { return rounds_; }
+
+ private:
+  Aes() = default;
+  void ExpandKey(ByteSpan key);
+
+  uint32_t round_keys_[60];  // max 15 round keys * 4 words
+  int rounds_ = 0;
+};
+
+}  // namespace sesemi::crypto
+
+#endif  // SESEMI_CRYPTO_AES_H_

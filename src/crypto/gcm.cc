@@ -1,0 +1,213 @@
+#include "crypto/gcm.h"
+
+#include <cstring>
+
+#include "crypto/random.h"
+
+namespace sesemi::crypto {
+
+namespace {
+// Reduction constants for Shoup's 4-bit GHASH table method: last4[rem] is the
+// contribution of the 4 bits shifted out of the low end, folded back into the
+// top of the 128-bit value (already shifted into position 48..63 of the high
+// word by the caller).
+constexpr uint64_t kLast4[16] = {
+    0x0000, 0x1c20, 0x3840, 0x2460, 0x7080, 0x6ca0, 0x48c0, 0x54e0,
+    0xe100, 0xfd20, 0xd940, 0xc560, 0x9180, 0x8da0, 0xa9c0, 0xb5e0};
+
+inline uint64_t Load64BE(const uint8_t* p) {
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v = (v << 8) | p[i];
+  return v;
+}
+
+inline void Store64BE(uint8_t* p, uint64_t v) {
+  for (int i = 0; i < 8; ++i) p[i] = static_cast<uint8_t>(v >> (56 - 8 * i));
+}
+
+inline void Inc32(uint8_t counter[16]) {
+  for (int i = 15; i >= 12; --i) {
+    if (++counter[i] != 0) break;
+  }
+}
+}  // namespace
+
+Result<AesGcm> AesGcm::Create(ByteSpan key) {
+  SESEMI_ASSIGN_OR_RETURN(Aes aes, Aes::Create(key));
+  return AesGcm(std::move(aes));
+}
+
+AesGcm::AesGcm(Aes aes) : aes_(std::move(aes)) {
+  uint8_t zero[16] = {0};
+  uint8_t h[16];
+  aes_.EncryptBlock(zero, h);
+  h_hi_ = Load64BE(h);
+  h_lo_ = Load64BE(h + 8);
+
+  // Build the 4-bit multiplication table: table[1000b] = H, then halve
+  // (multiply by x, i.e. right shift in the reflected representation) for
+  // 0100b, 0010b, 0001b, and fill composites by XOR.
+  uint64_t vh = h_hi_;
+  uint64_t vl = h_lo_;
+  table_hi_[8] = vh;
+  table_lo_[8] = vl;
+  for (int i = 4; i > 0; i >>= 1) {
+    uint32_t carry = static_cast<uint32_t>(vl & 1);
+    vl = (vl >> 1) | (vh << 63);
+    vh >>= 1;
+    if (carry) vh ^= 0xe100000000000000ULL;
+    table_hi_[i] = vh;
+    table_lo_[i] = vl;
+  }
+  table_hi_[0] = 0;
+  table_lo_[0] = 0;
+  for (int i = 2; i < 16; i <<= 1) {
+    for (int j = 1; j < i; ++j) {
+      table_hi_[i + j] = table_hi_[i] ^ table_hi_[j];
+      table_lo_[i + j] = table_lo_[i] ^ table_lo_[j];
+    }
+  }
+}
+
+void AesGcm::GHashBlock(uint8_t y[16], const uint8_t block[16]) const {
+  uint8_t x[16];
+  for (int i = 0; i < 16; ++i) x[i] = y[i] ^ block[i];
+
+  // Shoup 4-bit table multiply: process nibbles from the low end.
+  uint8_t lo = x[15] & 0xf;
+  uint64_t zh = table_hi_[lo];
+  uint64_t zl = table_lo_[lo];
+  for (int i = 15; i >= 0; --i) {
+    lo = x[i] & 0xf;
+    uint8_t hi = x[i] >> 4;
+    if (i != 15) {
+      uint8_t rem = static_cast<uint8_t>(zl & 0xf);
+      zl = (zh << 60) | (zl >> 4);
+      zh = zh >> 4;
+      zh ^= kLast4[rem] << 48;
+      zh ^= table_hi_[lo];
+      zl ^= table_lo_[lo];
+    }
+    uint8_t rem = static_cast<uint8_t>(zl & 0xf);
+    zl = (zh << 60) | (zl >> 4);
+    zh = zh >> 4;
+    zh ^= kLast4[rem] << 48;
+    zh ^= table_hi_[hi];
+    zl ^= table_lo_[hi];
+  }
+  Store64BE(y, zh);
+  Store64BE(y + 8, zl);
+}
+
+void AesGcm::GHash(ByteSpan aad, ByteSpan data, uint8_t out[16]) const {
+  std::memset(out, 0, 16);
+  uint8_t block[16];
+
+  auto absorb = [&](ByteSpan src) {
+    size_t i = 0;
+    while (i + 16 <= src.size()) {
+      GHashBlock(out, src.data() + i);
+      i += 16;
+    }
+    if (i < src.size()) {
+      std::memset(block, 0, 16);
+      std::memcpy(block, src.data() + i, src.size() - i);
+      GHashBlock(out, block);
+    }
+  };
+  absorb(aad);
+  absorb(data);
+
+  Store64BE(block, static_cast<uint64_t>(aad.size()) * 8);
+  Store64BE(block + 8, static_cast<uint64_t>(data.size()) * 8);
+  GHashBlock(out, block);
+}
+
+void AesGcm::Ctr32Crypt(const uint8_t j0[16], ByteSpan in, uint8_t* out) const {
+  uint8_t counter[16];
+  std::memcpy(counter, j0, 16);
+  uint8_t keystream[16];
+  size_t i = 0;
+  while (i < in.size()) {
+    Inc32(counter);
+    aes_.EncryptBlock(counter, keystream);
+    size_t take = std::min<size_t>(16, in.size() - i);
+    for (size_t b = 0; b < take; ++b) out[i + b] = in[i + b] ^ keystream[b];
+    i += take;
+  }
+}
+
+Result<Bytes> AesGcm::Encrypt(ByteSpan nonce, ByteSpan aad, ByteSpan plaintext) const {
+  if (nonce.size() != kGcmNonceSize) {
+    return Status::InvalidArgument("GCM nonce must be 12 bytes");
+  }
+  uint8_t j0[16];
+  std::memcpy(j0, nonce.data(), 12);
+  j0[12] = j0[13] = j0[14] = 0;
+  j0[15] = 1;
+
+  Bytes out(plaintext.size() + kGcmTagSize);
+  Ctr32Crypt(j0, plaintext, out.data());
+
+  uint8_t s[16];
+  GHash(aad, ByteSpan(out.data(), plaintext.size()), s);
+  uint8_t ekj0[16];
+  aes_.EncryptBlock(j0, ekj0);
+  for (int i = 0; i < 16; ++i) out[plaintext.size() + i] = s[i] ^ ekj0[i];
+  return out;
+}
+
+Result<Bytes> AesGcm::Decrypt(ByteSpan nonce, ByteSpan aad,
+                              ByteSpan ciphertext_and_tag) const {
+  if (nonce.size() != kGcmNonceSize) {
+    return Status::InvalidArgument("GCM nonce must be 12 bytes");
+  }
+  if (ciphertext_and_tag.size() < kGcmTagSize) {
+    return Status::Unauthenticated("GCM message shorter than tag");
+  }
+  size_t ct_len = ciphertext_and_tag.size() - kGcmTagSize;
+  ByteSpan ct(ciphertext_and_tag.data(), ct_len);
+  ByteSpan tag(ciphertext_and_tag.data() + ct_len, kGcmTagSize);
+
+  uint8_t j0[16];
+  std::memcpy(j0, nonce.data(), 12);
+  j0[12] = j0[13] = j0[14] = 0;
+  j0[15] = 1;
+
+  uint8_t s[16];
+  GHash(aad, ct, s);
+  uint8_t ekj0[16];
+  aes_.EncryptBlock(j0, ekj0);
+  uint8_t expect[16];
+  for (int i = 0; i < 16; ++i) expect[i] = s[i] ^ ekj0[i];
+  if (!ConstantTimeEqual(ByteSpan(expect, 16), tag)) {
+    return Status::Unauthenticated("GCM tag mismatch");
+  }
+
+  Bytes plain(ct_len);
+  Ctr32Crypt(j0, ct, plain.data());
+  return plain;
+}
+
+Result<Bytes> GcmSeal(ByteSpan key, ByteSpan aad, ByteSpan plaintext) {
+  SESEMI_ASSIGN_OR_RETURN(AesGcm gcm, AesGcm::Create(key));
+  Bytes nonce = RandomBytes(kGcmNonceSize);
+  SESEMI_ASSIGN_OR_RETURN(Bytes ct, gcm.Encrypt(nonce, aad, plaintext));
+  Bytes out;
+  out.reserve(nonce.size() + ct.size());
+  Append(&out, nonce);
+  Append(&out, ct);
+  return out;
+}
+
+Result<Bytes> GcmOpen(ByteSpan key, ByteSpan aad, ByteSpan sealed) {
+  if (sealed.size() < kGcmNonceSize + kGcmTagSize) {
+    return Status::Unauthenticated("sealed message too short");
+  }
+  SESEMI_ASSIGN_OR_RETURN(AesGcm gcm, AesGcm::Create(key));
+  ByteSpan nonce(sealed.data(), kGcmNonceSize);
+  ByteSpan ct(sealed.data() + kGcmNonceSize, sealed.size() - kGcmNonceSize);
+  return gcm.Decrypt(nonce, aad, ct);
+}
+
+}  // namespace sesemi::crypto

@@ -1,0 +1,54 @@
+#ifndef SESEMI_CRYPTO_GCM_H_
+#define SESEMI_CRYPTO_GCM_H_
+
+#include "common/bytes.h"
+#include "common/result.h"
+#include "crypto/aes.h"
+
+namespace sesemi::crypto {
+
+constexpr size_t kGcmNonceSize = 12;
+constexpr size_t kGcmTagSize = 16;
+
+/// AES-GCM authenticated encryption (NIST SP 800-38D).
+///
+/// This is the cipher the paper uses for both model and request encryption
+/// (§V: "We use AES-GCM for model and request encryption"). Sealed messages
+/// are laid out `nonce(12) || ciphertext || tag(16)` by the convenience
+/// helpers below.
+class AesGcm {
+ public:
+  /// Build a GCM instance over a 16- or 32-byte AES key.
+  static Result<AesGcm> Create(ByteSpan key);
+
+  /// Encrypt `plaintext` with `nonce` (must be 12 bytes) and additional
+  /// authenticated data `aad`. Output is ciphertext || tag.
+  Result<Bytes> Encrypt(ByteSpan nonce, ByteSpan aad, ByteSpan plaintext) const;
+
+  /// Authenticated decryption; input is ciphertext || tag. Returns
+  /// Unauthenticated on any tag mismatch (tampered data, wrong key, wrong AAD).
+  Result<Bytes> Decrypt(ByteSpan nonce, ByteSpan aad, ByteSpan ciphertext_and_tag) const;
+
+ private:
+  explicit AesGcm(Aes aes);
+  void GHashBlock(uint8_t y[16], const uint8_t block[16]) const;
+  void GHash(ByteSpan aad, ByteSpan data, uint8_t out[16]) const;
+  void Ctr32Crypt(const uint8_t j0[16], ByteSpan in, uint8_t* out) const;
+
+  Aes aes_;
+  // GHASH key H in two big-endian halves, plus Shoup 4-bit table for speed.
+  uint64_t h_hi_ = 0;
+  uint64_t h_lo_ = 0;
+  uint64_t table_hi_[16];
+  uint64_t table_lo_[16];
+};
+
+/// Seal with a random nonce: returns nonce || ciphertext || tag.
+Result<Bytes> GcmSeal(ByteSpan key, ByteSpan aad, ByteSpan plaintext);
+
+/// Open a nonce || ciphertext || tag message produced by GcmSeal.
+Result<Bytes> GcmOpen(ByteSpan key, ByteSpan aad, ByteSpan sealed);
+
+}  // namespace sesemi::crypto
+
+#endif  // SESEMI_CRYPTO_GCM_H_

@@ -1,0 +1,35 @@
+#include "crypto/hkdf.h"
+
+#include "crypto/hmac.h"
+
+namespace sesemi::crypto {
+
+Bytes HkdfExtract(ByteSpan salt, ByteSpan ikm) {
+  return HmacSha256ToBytes(salt, ikm);
+}
+
+Result<Bytes> HkdfExpand(ByteSpan prk, ByteSpan info, size_t length) {
+  if (length > 255 * kSha256DigestSize) {
+    return Status::InvalidArgument("HKDF-Expand output too long");
+  }
+  Bytes okm;
+  okm.reserve(length);
+  Bytes t;  // T(0) = empty
+  uint8_t counter = 1;
+  while (okm.size() < length) {
+    Bytes block = t;
+    Append(&block, info);
+    block.push_back(counter++);
+    t = HmacSha256ToBytes(prk, block);
+    size_t take = std::min(t.size(), length - okm.size());
+    okm.insert(okm.end(), t.begin(), t.begin() + take);
+  }
+  return okm;
+}
+
+Result<Bytes> Hkdf(ByteSpan salt, ByteSpan ikm, ByteSpan info, size_t length) {
+  Bytes prk = HkdfExtract(salt, ikm);
+  return HkdfExpand(prk, info, length);
+}
+
+}  // namespace sesemi::crypto

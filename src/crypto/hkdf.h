@@ -1,0 +1,21 @@
+#ifndef SESEMI_CRYPTO_HKDF_H_
+#define SESEMI_CRYPTO_HKDF_H_
+
+#include "common/bytes.h"
+#include "common/result.h"
+
+namespace sesemi::crypto {
+
+/// HKDF-Extract (RFC 5869): PRK = HMAC(salt, ikm).
+Bytes HkdfExtract(ByteSpan salt, ByteSpan ikm);
+
+/// HKDF-Expand (RFC 5869): derive `length` bytes from a PRK and context info.
+/// Fails if length > 255 * 32.
+Result<Bytes> HkdfExpand(ByteSpan prk, ByteSpan info, size_t length);
+
+/// Extract-then-expand in one call.
+Result<Bytes> Hkdf(ByteSpan salt, ByteSpan ikm, ByteSpan info, size_t length);
+
+}  // namespace sesemi::crypto
+
+#endif  // SESEMI_CRYPTO_HKDF_H_

@@ -1,0 +1,44 @@
+#include "crypto/hmac.h"
+
+#include <cstring>
+
+namespace sesemi::crypto {
+
+Sha256Digest HmacSha256(ByteSpan key, ByteSpan message) {
+  uint8_t block_key[kSha256BlockSize];
+  std::memset(block_key, 0, sizeof(block_key));
+  if (key.size() > kSha256BlockSize) {
+    Sha256Digest kd = Sha256::Hash(key);
+    std::memcpy(block_key, kd.data(), kd.size());
+  } else {
+    std::memcpy(block_key, key.data(), key.size());
+  }
+
+  uint8_t ipad[kSha256BlockSize], opad[kSha256BlockSize];
+  for (size_t i = 0; i < kSha256BlockSize; ++i) {
+    ipad[i] = block_key[i] ^ 0x36;
+    opad[i] = block_key[i] ^ 0x5c;
+  }
+
+  Sha256 inner;
+  inner.Update(ByteSpan(ipad, kSha256BlockSize));
+  inner.Update(message);
+  Sha256Digest inner_digest = inner.Finish();
+
+  Sha256 outer;
+  outer.Update(ByteSpan(opad, kSha256BlockSize));
+  outer.Update(ByteSpan(inner_digest.data(), inner_digest.size()));
+  return outer.Finish();
+}
+
+Bytes HmacSha256ToBytes(ByteSpan key, ByteSpan message) {
+  Sha256Digest d = HmacSha256(key, message);
+  return Bytes(d.begin(), d.end());
+}
+
+bool VerifyHmacSha256(ByteSpan key, ByteSpan message, ByteSpan tag) {
+  Sha256Digest expect = HmacSha256(key, message);
+  return ConstantTimeEqual(ByteSpan(expect.data(), expect.size()), tag);
+}
+
+}  // namespace sesemi::crypto

@@ -1,0 +1,20 @@
+#ifndef SESEMI_CRYPTO_HMAC_H_
+#define SESEMI_CRYPTO_HMAC_H_
+
+#include "common/bytes.h"
+#include "crypto/sha256.h"
+
+namespace sesemi::crypto {
+
+/// HMAC-SHA256 (RFC 2104). Keys longer than the block size are hashed first.
+Sha256Digest HmacSha256(ByteSpan key, ByteSpan message);
+
+/// HMAC-SHA256 as a Bytes buffer.
+Bytes HmacSha256ToBytes(ByteSpan key, ByteSpan message);
+
+/// Constant-time verification of an HMAC tag.
+bool VerifyHmacSha256(ByteSpan key, ByteSpan message, ByteSpan tag);
+
+}  // namespace sesemi::crypto
+
+#endif  // SESEMI_CRYPTO_HMAC_H_

@@ -1,0 +1,30 @@
+#ifndef SESEMI_CRYPTO_KEY_H_
+#define SESEMI_CRYPTO_KEY_H_
+
+#include <string>
+
+#include "common/bytes.h"
+#include "crypto/random.h"
+#include "crypto/sha256.h"
+
+namespace sesemi::crypto {
+
+/// Default symmetric key size used across SeSeMI (AES-128, matching the Intel
+/// SGX SDK default for sealing/provisioning keys).
+constexpr size_t kSymmetricKeySize = 16;
+
+/// Generate a fresh random symmetric key.
+inline Bytes GenerateSymmetricKey(size_t size = kSymmetricKeySize) {
+  return RandomBytes(size);
+}
+
+/// Identity derivation per Algorithm 1, line 6 of the paper:
+/// id = SHA256(K_id), rendered as lower-case hex so it is printable in wire
+/// messages and logs.
+inline std::string DeriveIdentity(ByteSpan long_term_key) {
+  return HexEncode(Sha256::HashToBytes(long_term_key));
+}
+
+}  // namespace sesemi::crypto
+
+#endif  // SESEMI_CRYPTO_KEY_H_

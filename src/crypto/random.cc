@@ -1,0 +1,69 @@
+#include "crypto/random.h"
+
+#include <chrono>
+#include <cstdio>
+#include <mutex>
+
+#include "crypto/sha256.h"
+
+namespace sesemi::crypto {
+
+namespace {
+std::mutex g_mutex;
+bool g_deterministic = false;
+uint64_t g_counter = 0;
+Bytes g_seed_material;
+
+Bytes DrbgBlock(uint64_t counter, ByteSpan seed) {
+  Bytes input;
+  PutUint64BE(&input, counter);
+  Append(&input, seed);
+  return Sha256::HashToBytes(input);
+}
+}  // namespace
+
+void SetDeterministicRandomForTesting(bool enabled, uint64_t seed) {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  g_deterministic = enabled;
+  g_counter = 0;
+  g_seed_material.clear();
+  PutUint64BE(&g_seed_material, seed);
+}
+
+Bytes RandomBytes(size_t n) {
+  {
+    std::lock_guard<std::mutex> lock(g_mutex);
+    if (g_deterministic) {
+      Bytes out;
+      out.reserve(n);
+      while (out.size() < n) {
+        Bytes block = DrbgBlock(g_counter++, g_seed_material);
+        size_t take = std::min(block.size(), n - out.size());
+        out.insert(out.end(), block.begin(), block.begin() + take);
+      }
+      return out;
+    }
+  }
+
+  Bytes out(n);
+  static FILE* urandom = std::fopen("/dev/urandom", "rb");
+  if (urandom != nullptr && std::fread(out.data(), 1, n, urandom) == n) {
+    return out;
+  }
+
+  // Fallback DRBG: hash a monotonically increasing counter with a clock seed.
+  std::lock_guard<std::mutex> lock(g_mutex);
+  if (g_seed_material.empty()) {
+    auto now = std::chrono::high_resolution_clock::now().time_since_epoch().count();
+    PutUint64BE(&g_seed_material, static_cast<uint64_t>(now));
+  }
+  out.clear();
+  while (out.size() < n) {
+    Bytes block = DrbgBlock(g_counter++, g_seed_material);
+    size_t take = std::min(block.size(), n - out.size());
+    out.insert(out.end(), block.begin(), block.begin() + take);
+  }
+  return out;
+}
+
+}  // namespace sesemi::crypto

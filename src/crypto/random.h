@@ -1,0 +1,20 @@
+#ifndef SESEMI_CRYPTO_RANDOM_H_
+#define SESEMI_CRYPTO_RANDOM_H_
+
+#include "common/bytes.h"
+
+namespace sesemi::crypto {
+
+/// Fill `n` bytes from the OS entropy source (/dev/urandom), falling back to
+/// a ChaCha-free DRBG built on SHA-256 over a high-resolution clock seed if
+/// the device is unavailable (e.g. inside a restricted sandbox).
+Bytes RandomBytes(size_t n);
+
+/// Deterministic test hook: when enabled, RandomBytes produces a reproducible
+/// stream derived from `seed` (tests use this to pin nonces). Pass `enabled =
+/// false` to restore entropy-backed behaviour.
+void SetDeterministicRandomForTesting(bool enabled, uint64_t seed = 0);
+
+}  // namespace sesemi::crypto
+
+#endif  // SESEMI_CRYPTO_RANDOM_H_

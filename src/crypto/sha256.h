@@ -1,0 +1,50 @@
+#ifndef SESEMI_CRYPTO_SHA256_H_
+#define SESEMI_CRYPTO_SHA256_H_
+
+#include <array>
+#include <cstdint>
+
+#include "common/bytes.h"
+
+namespace sesemi::crypto {
+
+/// Size of a SHA-256 digest in bytes.
+constexpr size_t kSha256DigestSize = 32;
+/// SHA-256 block size in bytes (relevant for HMAC).
+constexpr size_t kSha256BlockSize = 64;
+
+using Sha256Digest = std::array<uint8_t, kSha256DigestSize>;
+
+/// Incremental SHA-256 (FIPS 180-4).
+///
+/// Used for enclave measurement (MRENCLAVE derivation), identity hashing
+/// (Algorithm 1 line 6: id = SHA256(K_id)), and as the compression core of
+/// HMAC/HKDF.
+class Sha256 {
+ public:
+  Sha256() { Reset(); }
+
+  /// Restart for a fresh message.
+  void Reset();
+  /// Absorb bytes; may be called any number of times.
+  void Update(ByteSpan data);
+  /// Finalize and produce the digest. The object must be Reset() before reuse.
+  Sha256Digest Finish();
+
+  /// One-shot convenience.
+  static Sha256Digest Hash(ByteSpan data);
+  /// One-shot digest as a Bytes buffer.
+  static Bytes HashToBytes(ByteSpan data);
+
+ private:
+  void ProcessBlock(const uint8_t* block);
+
+  uint32_t state_[8];
+  uint64_t bit_count_;
+  uint8_t buffer_[kSha256BlockSize];
+  size_t buffer_len_;
+};
+
+}  // namespace sesemi::crypto
+
+#endif  // SESEMI_CRYPTO_SHA256_H_

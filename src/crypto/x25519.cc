@@ -1,0 +1,176 @@
+#include "crypto/x25519.h"
+
+#include <cstring>
+
+#include "crypto/random.h"
+
+namespace sesemi::crypto {
+
+// Field arithmetic over GF(2^255 - 19) with 16 limbs of 16 bits each,
+// following the compact TweetNaCl formulation (public domain).
+namespace {
+using Gf = int64_t[16];
+
+const Gf k121665 = {0xDB41, 1};
+
+void Carry(Gf o) {
+  for (int i = 0; i < 16; ++i) {
+    o[i] += (1LL << 16);
+    int64_t c = o[i] >> 16;
+    o[(i + 1) * (i < 15)] += c - 1 + 37 * (c - 1) * (i == 15);
+    o[i] -= c << 16;
+  }
+}
+
+// Constant-time conditional swap of p and q when b == 1.
+void Swap(Gf p, Gf q, int64_t b) {
+  int64_t c = ~(b - 1);
+  for (int i = 0; i < 16; ++i) {
+    int64_t t = c & (p[i] ^ q[i]);
+    p[i] ^= t;
+    q[i] ^= t;
+  }
+}
+
+void Pack(uint8_t* o, const Gf n) {
+  Gf t, m;
+  for (int i = 0; i < 16; ++i) t[i] = n[i];
+  Carry(t);
+  Carry(t);
+  Carry(t);
+  for (int j = 0; j < 2; ++j) {
+    m[0] = t[0] - 0xffed;
+    for (int i = 1; i < 15; ++i) {
+      m[i] = t[i] - 0xffff - ((m[i - 1] >> 16) & 1);
+      m[i - 1] &= 0xffff;
+    }
+    m[15] = t[15] - 0x7fff - ((m[14] >> 16) & 1);
+    int64_t b = (m[15] >> 16) & 1;
+    m[14] &= 0xffff;
+    Swap(t, m, 1 - b);
+  }
+  for (int i = 0; i < 16; ++i) {
+    o[2 * i] = static_cast<uint8_t>(t[i] & 0xff);
+    o[2 * i + 1] = static_cast<uint8_t>(t[i] >> 8);
+  }
+}
+
+void Unpack(Gf o, const uint8_t* n) {
+  for (int i = 0; i < 16; ++i) {
+    o[i] = n[2 * i] + (static_cast<int64_t>(n[2 * i + 1]) << 8);
+  }
+  o[15] &= 0x7fff;
+}
+
+void Add(Gf o, const Gf a, const Gf b) {
+  for (int i = 0; i < 16; ++i) o[i] = a[i] + b[i];
+}
+
+void Sub(Gf o, const Gf a, const Gf b) {
+  for (int i = 0; i < 16; ++i) o[i] = a[i] - b[i];
+}
+
+void Mul(Gf o, const Gf a, const Gf b) {
+  int64_t t[31];
+  for (auto& v : t) v = 0;
+  for (int i = 0; i < 16; ++i) {
+    for (int j = 0; j < 16; ++j) t[i + j] += a[i] * b[j];
+  }
+  for (int i = 0; i < 15; ++i) t[i] += 38 * t[i + 16];
+  for (int i = 0; i < 16; ++i) o[i] = t[i];
+  Carry(o);
+  Carry(o);
+}
+
+void Square(Gf o, const Gf a) { Mul(o, a, a); }
+
+void Invert(Gf o, const Gf in) {
+  Gf c;
+  for (int i = 0; i < 16; ++i) c[i] = in[i];
+  // Fermat inversion: exponent 2^255 - 21 (all ones except bits 2 and 4).
+  for (int a = 253; a >= 0; --a) {
+    Square(c, c);
+    if (a != 2 && a != 4) Mul(c, c, in);
+  }
+  for (int i = 0; i < 16; ++i) o[i] = c[i];
+}
+}  // namespace
+
+X25519Key X25519(const X25519Key& scalar, const X25519Key& point) {
+  uint8_t z[32];
+  std::memcpy(z, scalar.data(), 32);
+  // RFC 7748 clamping.
+  z[0] &= 248;
+  z[31] = (z[31] & 127) | 64;
+
+  Gf x;
+  Unpack(x, point.data());
+
+  Gf a, b, c, d, e, f;
+  for (int i = 0; i < 16; ++i) {
+    b[i] = x[i];
+    a[i] = c[i] = d[i] = 0;
+  }
+  a[0] = d[0] = 1;
+
+  for (int i = 254; i >= 0; --i) {
+    int64_t r = (z[i >> 3] >> (i & 7)) & 1;
+    Swap(a, b, r);
+    Swap(c, d, r);
+    Add(e, a, c);
+    Sub(a, a, c);
+    Add(c, b, d);
+    Sub(b, b, d);
+    Square(d, e);
+    Square(f, a);
+    Mul(a, c, a);
+    Mul(c, b, e);
+    Add(e, a, c);
+    Sub(a, a, c);
+    Square(b, a);
+    Sub(c, d, f);
+    Mul(a, c, k121665);
+    Add(a, a, d);
+    Mul(c, c, a);
+    Mul(a, d, f);
+    Mul(d, b, x);
+    Square(b, e);
+    Swap(a, b, r);
+    Swap(c, d, r);
+  }
+
+  Invert(c, c);
+  Mul(a, a, c);
+  X25519Key out;
+  Pack(out.data(), a);
+  return out;
+}
+
+X25519Key X25519Base(const X25519Key& scalar) {
+  X25519Key base{};
+  base[0] = 9;
+  return X25519(scalar, base);
+}
+
+X25519KeyPair GenerateX25519KeyPair() {
+  X25519KeyPair kp;
+  Bytes priv = RandomBytes(kX25519KeySize);
+  std::memcpy(kp.private_key.data(), priv.data(), kX25519KeySize);
+  kp.private_key[0] &= 248;
+  kp.private_key[31] = (kp.private_key[31] & 127) | 64;
+  kp.public_key = X25519Base(kp.private_key);
+  return kp;
+}
+
+Result<Bytes> X25519SharedSecret(const X25519Key& private_key,
+                                 const X25519Key& peer_public) {
+  X25519Key shared = X25519(private_key, peer_public);
+  uint8_t acc = 0;
+  for (uint8_t byte : shared) acc |= byte;
+  if (acc == 0) {
+    return Status::Unauthenticated("X25519 produced all-zero shared secret");
+  }
+  return Bytes(shared.begin(), shared.end());
+}
+
+}  // namespace sesemi::crypto

@@ -1,0 +1,39 @@
+#ifndef SESEMI_CRYPTO_X25519_H_
+#define SESEMI_CRYPTO_X25519_H_
+
+#include <array>
+
+#include "common/bytes.h"
+#include "common/result.h"
+
+namespace sesemi::crypto {
+
+constexpr size_t kX25519KeySize = 32;
+
+using X25519Key = std::array<uint8_t, kX25519KeySize>;
+
+/// An X25519 (RFC 7748) key pair used for the ephemeral Diffie-Hellman in
+/// attested channel establishment (RA-TLS-style handshakes).
+struct X25519KeyPair {
+  X25519Key private_key;
+  X25519Key public_key;
+};
+
+/// Scalar multiplication: out = scalar * point. Constant-time Montgomery
+/// ladder over Curve25519.
+X25519Key X25519(const X25519Key& scalar, const X25519Key& point);
+
+/// scalar * base point (9).
+X25519Key X25519Base(const X25519Key& scalar);
+
+/// Generate a key pair from the entropy source (clamped per RFC 7748).
+X25519KeyPair GenerateX25519KeyPair();
+
+/// Compute the shared secret `scalar * peer_public`. Fails on the all-zero
+/// output (contributory behaviour check against low-order points).
+Result<Bytes> X25519SharedSecret(const X25519Key& private_key,
+                                 const X25519Key& peer_public);
+
+}  // namespace sesemi::crypto
+
+#endif  // SESEMI_CRYPTO_X25519_H_

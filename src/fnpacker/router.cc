@@ -1,0 +1,121 @@
+#include "fnpacker/router.h"
+
+#include <algorithm>
+
+namespace sesemi::fnpacker {
+
+FnPackerRouter::FnPackerRouter(FnPoolSpec spec)
+    : spec_(std::move(spec)), endpoints_(spec_.num_endpoints) {
+  for (const std::string& m : spec_.models) models_[m] = ModelState{};
+}
+
+Result<int> FnPackerRouter::Route(const std::string& model_id, TimeMicros now) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = models_.find(model_id);
+  if (it == models_.end()) {
+    return Status::NotFound("model not in Fnpool: " + model_id);
+  }
+  ModelState& model = it->second;
+
+  int chosen = -1;
+  if (model.pending > 0 && model.endpoint >= 0) {
+    // Sticky: in-flight work pins the model to its endpoint and marks it
+    // exclusive, so a busy model never interleaves with others.
+    chosen = model.endpoint;
+    endpoints_[chosen].exclusive_model = model_id;
+  } else {
+    // Prefer the endpoint already serving this model (loaded state), if free.
+    if (model.endpoint >= 0) {
+      const EndpointState& e = endpoints_[model.endpoint];
+      if (e.pending == 0 &&
+          (e.exclusive_model.empty() || e.exclusive_model == model_id)) {
+        chosen = model.endpoint;
+      }
+    }
+    if (chosen < 0) {
+      for (size_t i = 0; i < endpoints_.size(); ++i) {
+        const EndpointState& e = endpoints_[i];
+        const bool unmarked_idle =
+            e.pending == 0 &&
+            (e.exclusive_model.empty() || e.exclusive_model == model_id);
+        const bool expired_exclusive =
+            e.pending == 0 && !e.exclusive_model.empty() &&
+            e.last_request >= 0 &&
+            now - e.last_request >= spec_.exclusive_idle_timeout;
+        if (unmarked_idle || expired_exclusive) {
+          chosen = static_cast<int>(i);
+          if (expired_exclusive) endpoints_[i].exclusive_model.clear();
+          break;
+        }
+      }
+    }
+    if (chosen < 0) {
+      // Every endpoint busy: fall back to the least-loaded one.
+      chosen = 0;
+      for (size_t i = 1; i < endpoints_.size(); ++i) {
+        if (endpoints_[i].pending < endpoints_[chosen].pending) {
+          chosen = static_cast<int>(i);
+        }
+      }
+      stats_.overflow++;
+    }
+  }
+
+  EndpointState& endpoint = endpoints_[chosen];
+  if (model.endpoint != chosen) stats_.model_switches += (model.endpoint >= 0);
+  model.endpoint = chosen;
+  model.pending++;
+  model.last_invocation = now;
+  endpoint.pending++;
+  endpoint.last_request = now;
+  stats_.routed++;
+  return chosen;
+}
+
+void FnPackerRouter::OnComplete(const std::string& model_id, int endpoint,
+                                TimeMicros now) {
+  (void)now;
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = models_.find(model_id);
+  if (it != models_.end() && it->second.pending > 0) it->second.pending--;
+  if (endpoint >= 0 && endpoint < static_cast<int>(endpoints_.size()) &&
+      endpoints_[endpoint].pending > 0) {
+    endpoints_[endpoint].pending--;
+  }
+}
+
+RouterStats FnPackerRouter::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+ModelState FnPackerRouter::model_state(const std::string& model_id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = models_.find(model_id);
+  return it == models_.end() ? ModelState{} : it->second;
+}
+
+EndpointState FnPackerRouter::endpoint_state(int endpoint) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return endpoints_.at(endpoint);
+}
+
+OneToOneRouter::OneToOneRouter(std::vector<std::string> models)
+    : models_(std::move(models)) {
+  for (size_t i = 0; i < models_.size(); ++i) index_[models_[i]] = static_cast<int>(i);
+}
+
+Result<int> OneToOneRouter::Route(const std::string& model_id, TimeMicros now) {
+  (void)now;
+  auto it = index_.find(model_id);
+  if (it == index_.end()) return Status::NotFound("unknown model: " + model_id);
+  return it->second;
+}
+
+void OneToOneRouter::OnComplete(const std::string&, int, TimeMicros) {}
+
+Result<int> AllInOneRouter::Route(const std::string&, TimeMicros) { return 0; }
+
+void AllInOneRouter::OnComplete(const std::string&, int, TimeMicros) {}
+
+}  // namespace sesemi::fnpacker

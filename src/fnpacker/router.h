@@ -1,0 +1,121 @@
+#ifndef SESEMI_FNPACKER_ROUTER_H_
+#define SESEMI_FNPACKER_ROUTER_H_
+
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/result.h"
+
+namespace sesemi::fnpacker {
+
+/// Per-model execution statistics FnPacker keeps (§IV-C): in-flight requests,
+/// last invocation time, and which endpoint currently serves the model.
+struct ModelState {
+  int pending = 0;
+  TimeMicros last_invocation = -1;
+  int endpoint = -1;
+};
+
+/// Per-endpoint state: in-flight requests, exclusivity marker, last time a
+/// request was sent to it.
+struct EndpointState {
+  int pending = 0;
+  std::string exclusive_model;  ///< empty = unmarked
+  TimeMicros last_request = -1;
+};
+
+/// Routing statistics for evaluation.
+struct RouterStats {
+  int routed = 0;
+  int model_switches = 0;  ///< endpoint had to change serving model
+  int overflow = 0;        ///< no preferred endpoint free; least-loaded fallback
+};
+
+/// Abstract request router: decides which function endpoint serves a request.
+/// Pure policy — shared verbatim between the live platform and the
+/// discrete-event simulator.
+class RequestRouter {
+ public:
+  virtual ~RequestRouter() = default;
+
+  /// Pick an endpoint for a request to `model_id` arriving at `now`.
+  virtual Result<int> Route(const std::string& model_id, TimeMicros now) = 0;
+
+  /// Record completion of a request previously routed to `endpoint`.
+  virtual void OnComplete(const std::string& model_id, int endpoint,
+                          TimeMicros now) = 0;
+
+  virtual int num_endpoints() const = 0;
+  virtual const char* name() const = 0;
+};
+
+/// An Fnpool: the models packed together and the endpoint budget
+/// (the paper's "set of models and the memory budget for an instance").
+struct FnPoolSpec {
+  std::vector<std::string> models;
+  int num_endpoints = 2;
+  /// "large interval" after which an exclusive endpoint may be reassigned.
+  TimeMicros exclusive_idle_timeout = SecondsToMicros(30);
+};
+
+/// FnPacker's scheduler (§IV-C): requests to models with pending responses
+/// stick to their endpoint (marked exclusive); requests to idle models go to
+/// the first endpoint not busy serving another model, where "not busy" means
+/// (a) no pending work and not exclusive to someone else, or (b) exclusive but
+/// idle past the timeout. Hot models therefore keep private endpoints while
+/// cold models share, which is exactly what cuts cold starts under
+/// infrequent multi-model traffic (Tables III & IV).
+class FnPackerRouter final : public RequestRouter {
+ public:
+  explicit FnPackerRouter(FnPoolSpec spec);
+
+  Result<int> Route(const std::string& model_id, TimeMicros now) override;
+  void OnComplete(const std::string& model_id, int endpoint, TimeMicros now) override;
+  int num_endpoints() const override { return static_cast<int>(endpoints_.size()); }
+  const char* name() const override { return "fnpacker"; }
+
+  RouterStats stats() const;
+  /// Inspection helpers for tests.
+  ModelState model_state(const std::string& model_id) const;
+  EndpointState endpoint_state(int endpoint) const;
+
+ private:
+  FnPoolSpec spec_;
+  mutable std::mutex mutex_;
+  std::map<std::string, ModelState> models_;
+  std::vector<EndpointState> endpoints_;
+  RouterStats stats_;
+};
+
+/// Baseline: one endpoint per model (no sharing; every cold model cold-starts
+/// its own sandbox).
+class OneToOneRouter final : public RequestRouter {
+ public:
+  explicit OneToOneRouter(std::vector<std::string> models);
+
+  Result<int> Route(const std::string& model_id, TimeMicros now) override;
+  void OnComplete(const std::string& model_id, int endpoint, TimeMicros now) override;
+  int num_endpoints() const override { return static_cast<int>(models_.size()); }
+  const char* name() const override { return "one-to-one"; }
+
+ private:
+  std::vector<std::string> models_;
+  std::map<std::string, int> index_;
+};
+
+/// Baseline: a single endpoint serves every model (maximal sharing; endless
+/// model switching under interleaved traffic — Figure 7).
+class AllInOneRouter final : public RequestRouter {
+ public:
+  Result<int> Route(const std::string& model_id, TimeMicros now) override;
+  void OnComplete(const std::string& model_id, int endpoint, TimeMicros now) override;
+  int num_endpoints() const override { return 1; }
+  const char* name() const override { return "all-in-one"; }
+};
+
+}  // namespace sesemi::fnpacker
+
+#endif  // SESEMI_FNPACKER_ROUTER_H_

@@ -1,0 +1,90 @@
+#include "inference/executor.h"
+
+#include <cstring>
+
+#include "inference/ops.h"
+
+namespace sesemi::inference {
+
+using model::Layer;
+using model::LayerKind;
+using model::ModelGraph;
+
+GraphExecutionPlan::GraphExecutionPlan(const ModelGraph& graph) {
+  offsets_.reserve(graph.layers.size());
+  uint64_t cursor = 0;
+  for (const Layer& layer : graph.layers) {
+    offsets_.push_back(cursor);
+    cursor += layer.output_shape.elements();
+  }
+  total_elements_ = cursor;
+}
+
+Result<Bytes> GraphExecutionPlan::Execute(const ModelGraph& graph,
+                                          const float* weights, ByteSpan input,
+                                          float* arena) const {
+  if (graph.layers.size() != offsets_.size()) {
+    return Status::InvalidArgument("plan does not match graph");
+  }
+  const size_t input_elements = graph.input_shape.elements();
+  if (input.size() != input_elements * sizeof(float)) {
+    return Status::InvalidArgument(
+        "input size mismatch: want " + std::to_string(input_elements * sizeof(float)) +
+        " bytes, got " + std::to_string(input.size()));
+  }
+
+  for (size_t i = 0; i < graph.layers.size(); ++i) {
+    const Layer& layer = graph.layers[i];
+    float* out = arena + offsets_[i];
+    auto in_ptr = [&](int slot) {
+      return arena + offsets_[layer.inputs[slot]];
+    };
+    auto in_shape = [&](int slot) -> const model::TensorShape& {
+      return graph.layers[layer.inputs[slot]].output_shape;
+    };
+    const float* w = weights + layer.weight_offset;
+
+    switch (layer.kind) {
+      case LayerKind::kInput:
+        std::memcpy(out, input.data(), input.size());
+        break;
+      case LayerKind::kConv2d:
+        ops::Conv2d(in_ptr(0), in_shape(0), w, layer.kernel, layer.stride,
+                    layer.out_channels, out);
+        break;
+      case LayerKind::kDepthwiseConv2d:
+        ops::DepthwiseConv2d(in_ptr(0), in_shape(0), w, layer.kernel, layer.stride,
+                             out);
+        break;
+      case LayerKind::kDense:
+        ops::Dense(in_ptr(0), in_shape(0).elements(), w, layer.units, out);
+        break;
+      case LayerKind::kRelu:
+        ops::Relu(in_ptr(0), in_shape(0).elements(), out);
+        break;
+      case LayerKind::kMaxPool:
+        ops::MaxPool2x2(in_ptr(0), in_shape(0), out);
+        break;
+      case LayerKind::kGlobalAvgPool:
+        ops::GlobalAvgPool(in_ptr(0), in_shape(0), out);
+        break;
+      case LayerKind::kAdd:
+        ops::Add(in_ptr(0), in_ptr(1), in_shape(0).elements(), out);
+        break;
+      case LayerKind::kConcat:
+        ops::ConcatChannels(in_ptr(0), in_shape(0), in_ptr(1), in_shape(1), out);
+        break;
+      case LayerKind::kSoftmax:
+        ops::Softmax(in_ptr(0), in_shape(0).elements(), out);
+        break;
+    }
+  }
+
+  const Layer& last = graph.layers.back();
+  const float* result = arena + offsets_.back();
+  Bytes out(last.output_shape.elements() * sizeof(float));
+  std::memcpy(out.data(), result, out.size());
+  return out;
+}
+
+}  // namespace sesemi::inference

@@ -1,0 +1,40 @@
+#ifndef SESEMI_INFERENCE_EXECUTOR_H_
+#define SESEMI_INFERENCE_EXECUTOR_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "model/graph.h"
+
+namespace sesemi::inference {
+
+/// Precomputed execution plan for a model graph: one arena slot per layer,
+/// laid out back-to-back (DenseNet-style concat topologies keep many
+/// activations live, so per-layer slots are the simple correct choice).
+///
+/// Both frameworks execute through this plan; they differ in where the
+/// weights live (µTFLM reads them in place from the loaded model, µTVM from
+/// its own packed copy inside the runtime buffer).
+class GraphExecutionPlan {
+ public:
+  /// Builds offsets for `graph`. The graph must already be validated.
+  explicit GraphExecutionPlan(const model::ModelGraph& graph);
+
+  /// Total floats of arena required.
+  uint64_t arena_elements() const { return total_elements_; }
+  uint64_t arena_bytes() const { return total_elements_ * sizeof(float); }
+
+  /// Run the graph. `weights` must hold graph.weights.size() floats; `input`
+  /// is raw float32 of the input shape; `arena` must provide arena_elements()
+  /// floats. Returns the final layer's activation as raw float32 bytes.
+  Result<Bytes> Execute(const model::ModelGraph& graph, const float* weights,
+                        ByteSpan input, float* arena) const;
+
+ private:
+  std::vector<uint64_t> offsets_;
+  uint64_t total_elements_;
+};
+
+}  // namespace sesemi::inference
+
+#endif  // SESEMI_INFERENCE_EXECUTOR_H_

@@ -1,0 +1,22 @@
+#include "inference/framework.h"
+
+namespace sesemi::inference {
+
+std::unique_ptr<InferenceFramework> CreateTflmFramework();
+std::unique_ptr<InferenceFramework> CreateTvmFramework();
+
+const char* ToString(FrameworkKind kind) {
+  return kind == FrameworkKind::kTflm ? "tflm" : "tvm";
+}
+
+Result<FrameworkKind> FrameworkFromString(const std::string& name) {
+  if (name == "tflm") return FrameworkKind::kTflm;
+  if (name == "tvm") return FrameworkKind::kTvm;
+  return Status::InvalidArgument("unknown framework: " + name);
+}
+
+std::unique_ptr<InferenceFramework> CreateFramework(FrameworkKind kind) {
+  return kind == FrameworkKind::kTflm ? CreateTflmFramework() : CreateTvmFramework();
+}
+
+}  // namespace sesemi::inference

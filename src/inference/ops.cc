@@ -1,0 +1,152 @@
+#include "inference/ops.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace sesemi::inference::ops {
+
+void Conv2d(const float* in, const TensorShape& in_shape, const float* weights,
+            int kernel, int stride, int out_c, float* out) {
+  const int pad = (kernel - 1) / 2;
+  const int out_h = (in_shape.h + stride - 1) / stride;
+  const int out_w = (in_shape.w + stride - 1) / stride;
+  const float* bias = weights + static_cast<size_t>(kernel) * kernel * in_shape.c * out_c;
+
+  for (int oy = 0; oy < out_h; ++oy) {
+    for (int ox = 0; ox < out_w; ++ox) {
+      float* out_px = out + (static_cast<size_t>(oy) * out_w + ox) * out_c;
+      for (int oc = 0; oc < out_c; ++oc) out_px[oc] = bias[oc];
+      for (int ky = 0; ky < kernel; ++ky) {
+        const int iy = oy * stride + ky - pad;
+        if (iy < 0 || iy >= in_shape.h) continue;
+        for (int kx = 0; kx < kernel; ++kx) {
+          const int ix = ox * stride + kx - pad;
+          if (ix < 0 || ix >= in_shape.w) continue;
+          const float* in_px =
+              in + (static_cast<size_t>(iy) * in_shape.w + ix) * in_shape.c;
+          const float* w_px =
+              weights +
+              ((static_cast<size_t>(ky) * kernel + kx) * in_shape.c) * out_c;
+          for (int ic = 0; ic < in_shape.c; ++ic) {
+            const float v = in_px[ic];
+            const float* w_row = w_px + static_cast<size_t>(ic) * out_c;
+            for (int oc = 0; oc < out_c; ++oc) out_px[oc] += v * w_row[oc];
+          }
+        }
+      }
+    }
+  }
+}
+
+void DepthwiseConv2d(const float* in, const TensorShape& in_shape,
+                     const float* weights, int kernel, int stride, float* out) {
+  const int pad = (kernel - 1) / 2;
+  const int out_h = (in_shape.h + stride - 1) / stride;
+  const int out_w = (in_shape.w + stride - 1) / stride;
+  const int c = in_shape.c;
+  const float* bias = weights + static_cast<size_t>(kernel) * kernel * c;
+
+  for (int oy = 0; oy < out_h; ++oy) {
+    for (int ox = 0; ox < out_w; ++ox) {
+      float* out_px = out + (static_cast<size_t>(oy) * out_w + ox) * c;
+      for (int ch = 0; ch < c; ++ch) out_px[ch] = bias[ch];
+      for (int ky = 0; ky < kernel; ++ky) {
+        const int iy = oy * stride + ky - pad;
+        if (iy < 0 || iy >= in_shape.h) continue;
+        for (int kx = 0; kx < kernel; ++kx) {
+          const int ix = ox * stride + kx - pad;
+          if (ix < 0 || ix >= in_shape.w) continue;
+          const float* in_px =
+              in + (static_cast<size_t>(iy) * in_shape.w + ix) * c;
+          const float* w_px = weights + (static_cast<size_t>(ky) * kernel + kx) * c;
+          for (int ch = 0; ch < c; ++ch) out_px[ch] += in_px[ch] * w_px[ch];
+        }
+      }
+    }
+  }
+}
+
+void Dense(const float* in, size_t in_features, const float* weights, int units,
+           float* out) {
+  const float* bias = weights + in_features * static_cast<size_t>(units);
+  for (int u = 0; u < units; ++u) out[u] = bias[u];
+  for (size_t i = 0; i < in_features; ++i) {
+    const float v = in[i];
+    if (v == 0.0f) continue;  // post-ReLU inputs are sparse
+    const float* w_row = weights + i * static_cast<size_t>(units);
+    for (int u = 0; u < units; ++u) out[u] += v * w_row[u];
+  }
+}
+
+void Relu(const float* in, size_t n, float* out) {
+  for (size_t i = 0; i < n; ++i) out[i] = in[i] > 0.0f ? in[i] : 0.0f;
+}
+
+void MaxPool2x2(const float* in, const TensorShape& in_shape, float* out) {
+  const int out_h = (in_shape.h + 1) / 2;
+  const int out_w = (in_shape.w + 1) / 2;
+  const int c = in_shape.c;
+  for (int oy = 0; oy < out_h; ++oy) {
+    for (int ox = 0; ox < out_w; ++ox) {
+      float* out_px = out + (static_cast<size_t>(oy) * out_w + ox) * c;
+      for (int ch = 0; ch < c; ++ch) {
+        float best = -INFINITY;
+        for (int dy = 0; dy < 2; ++dy) {
+          const int iy = oy * 2 + dy;
+          if (iy >= in_shape.h) continue;
+          for (int dx = 0; dx < 2; ++dx) {
+            const int ix = ox * 2 + dx;
+            if (ix >= in_shape.w) continue;
+            best = std::max(
+                best, in[(static_cast<size_t>(iy) * in_shape.w + ix) * c + ch]);
+          }
+        }
+        out_px[ch] = best;
+      }
+    }
+  }
+}
+
+void GlobalAvgPool(const float* in, const TensorShape& in_shape, float* out) {
+  const int c = in_shape.c;
+  const size_t pixels = static_cast<size_t>(in_shape.h) * in_shape.w;
+  for (int ch = 0; ch < c; ++ch) out[ch] = 0.0f;
+  for (size_t p = 0; p < pixels; ++p) {
+    const float* px = in + p * c;
+    for (int ch = 0; ch < c; ++ch) out[ch] += px[ch];
+  }
+  const float inv = 1.0f / static_cast<float>(pixels);
+  for (int ch = 0; ch < c; ++ch) out[ch] *= inv;
+}
+
+void Add(const float* a, const float* b, size_t n, float* out) {
+  for (size_t i = 0; i < n; ++i) out[i] = a[i] + b[i];
+}
+
+void ConcatChannels(const float* a, const TensorShape& a_shape, const float* b,
+                    const TensorShape& b_shape, float* out) {
+  const size_t pixels = static_cast<size_t>(a_shape.h) * a_shape.w;
+  const int ac = a_shape.c;
+  const int bc = b_shape.c;
+  for (size_t p = 0; p < pixels; ++p) {
+    float* out_px = out + p * (ac + bc);
+    const float* a_px = a + p * ac;
+    const float* b_px = b + p * bc;
+    std::copy(a_px, a_px + ac, out_px);
+    std::copy(b_px, b_px + bc, out_px + ac);
+  }
+}
+
+void Softmax(const float* in, size_t n, float* out) {
+  float max_v = -INFINITY;
+  for (size_t i = 0; i < n; ++i) max_v = std::max(max_v, in[i]);
+  float sum = 0.0f;
+  for (size_t i = 0; i < n; ++i) {
+    out[i] = std::exp(in[i] - max_v);
+    sum += out[i];
+  }
+  const float inv = 1.0f / sum;
+  for (size_t i = 0; i < n; ++i) out[i] *= inv;
+}
+
+}  // namespace sesemi::inference::ops

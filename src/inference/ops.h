@@ -1,0 +1,46 @@
+#ifndef SESEMI_INFERENCE_OPS_H_
+#define SESEMI_INFERENCE_OPS_H_
+
+#include <cstddef>
+
+#include "model/graph.h"
+
+namespace sesemi::inference::ops {
+
+using model::TensorShape;
+
+/// Same-padding 2D convolution, HWC layout.
+/// Weight layout: w[ky][kx][in_c][out_c], followed by out_c biases.
+void Conv2d(const float* in, const TensorShape& in_shape, const float* weights,
+            int kernel, int stride, int out_c, float* out);
+
+/// Same-padding depthwise convolution (channel multiplier 1).
+/// Weight layout: w[ky][kx][c], followed by c biases.
+void DepthwiseConv2d(const float* in, const TensorShape& in_shape,
+                     const float* weights, int kernel, int stride, float* out);
+
+/// Fully connected: out[u] = sum_i in[i] * w[i][u] + b[u].
+/// Weight layout: w[in][units], followed by units biases.
+void Dense(const float* in, size_t in_features, const float* weights, int units,
+           float* out);
+
+void Relu(const float* in, size_t n, float* out);
+
+/// 2x2 max pool, stride 2, ceil semantics at odd edges.
+void MaxPool2x2(const float* in, const TensorShape& in_shape, float* out);
+
+/// HxWxC -> 1x1xC mean.
+void GlobalAvgPool(const float* in, const TensorShape& in_shape, float* out);
+
+void Add(const float* a, const float* b, size_t n, float* out);
+
+/// Channel-wise concat of two same-HxW tensors.
+void ConcatChannels(const float* a, const TensorShape& a_shape, const float* b,
+                    const TensorShape& b_shape, float* out);
+
+/// Numerically stable softmax.
+void Softmax(const float* in, size_t n, float* out);
+
+}  // namespace sesemi::inference::ops
+
+#endif  // SESEMI_INFERENCE_OPS_H_

@@ -1,0 +1,91 @@
+// µTFLM: the TensorFlow-Lite-Micro-flavoured framework.
+//
+// Characteristics mirrored from the real system (paper Table I, §VI-A):
+//  - the loaded model is the single source of weights; execution reads them
+//    in place (no packing), so runtime buffers are only the activation arena
+//    (λ = buffer/model ≈ 0.14-0.29);
+//  - RUNTIME_INIT is cheap (allocate the arena, no weight processing);
+//  - execution is interpreted, i.e. slower than TVM's compiled executor.
+
+#include "inference/executor.h"
+#include "inference/framework.h"
+#include "model/format.h"
+
+namespace sesemi::inference {
+namespace {
+
+class TflmLoadedModel final : public LoadedModel {
+ public:
+  explicit TflmLoadedModel(model::ModelGraph graph)
+      : graph_(std::move(graph)), plan_(graph_) {}
+
+  const model::ModelGraph& graph() const override { return graph_; }
+  uint64_t memory_bytes() const override {
+    // Flatbuffer-in-place semantics: the model occupies ~its serialized size.
+    return graph_.WeightBytes() + graph_.layers.size() * 128;
+  }
+  const GraphExecutionPlan& plan() const { return plan_; }
+
+ private:
+  model::ModelGraph graph_;
+  GraphExecutionPlan plan_;
+};
+
+class TflmRuntime final : public ModelRuntime {
+ public:
+  explicit TflmRuntime(std::shared_ptr<const TflmLoadedModel> loaded)
+      : loaded_(std::move(loaded)),
+        arena_(loaded_->plan().arena_elements(), 0.0f) {}
+
+  const std::string& model_id() const override {
+    return loaded_->graph().model_id;
+  }
+
+  uint64_t buffer_bytes() const override {
+    return arena_.size() * sizeof(float);
+  }
+
+  Result<Bytes> Execute(ByteSpan input) override {
+    // Interpreter: weights are read from the shared loaded model in place.
+    return loaded_->plan().Execute(loaded_->graph(),
+                                   loaded_->graph().weights.data(), input,
+                                   arena_.data());
+  }
+
+ private:
+  std::shared_ptr<const TflmLoadedModel> loaded_;
+  std::vector<float> arena_;
+};
+
+class TflmFramework final : public InferenceFramework {
+ public:
+  FrameworkKind kind() const override { return FrameworkKind::kTflm; }
+
+  Result<std::shared_ptr<LoadedModel>> LoadModel(ByteSpan plain_model) const override {
+    SESEMI_ASSIGN_OR_RETURN(model::ModelGraph graph, model::ParseModel(plain_model));
+    return WrapModel(std::move(graph));
+  }
+
+  Result<std::shared_ptr<LoadedModel>> WrapModel(model::ModelGraph graph) const override {
+    SESEMI_RETURN_IF_ERROR(graph.Validate());
+    return std::shared_ptr<LoadedModel>(
+        std::make_shared<TflmLoadedModel>(std::move(graph)));
+  }
+
+  Result<std::unique_ptr<ModelRuntime>> CreateRuntime(
+      std::shared_ptr<const LoadedModel> loaded) const override {
+    auto typed = std::dynamic_pointer_cast<const TflmLoadedModel>(loaded);
+    if (typed == nullptr) {
+      return Status::InvalidArgument("model was not loaded by the TFLM framework");
+    }
+    return std::unique_ptr<ModelRuntime>(std::make_unique<TflmRuntime>(std::move(typed)));
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<InferenceFramework> CreateTflmFramework() {
+  return std::make_unique<TflmFramework>();
+}
+
+}  // namespace sesemi::inference

@@ -1,0 +1,249 @@
+#include "keyservice/keyservice.h"
+
+#include "crypto/key.h"
+
+namespace sesemi::keyservice {
+
+namespace {
+/// The KeyService "code pages". Fixed content gives the fixed identity E_K
+/// that owners and users can derive independently (§IV-A).
+std::vector<std::pair<std::string, Bytes>> KeyServiceCodeUnits() {
+  return {{"keyservice-core", ToBytes("sesemi keyservice algorithm-1 v1")},
+          {"ratls", ToBytes("sesemi ratls acceptor v1")}};
+}
+
+sgx::EnclaveConfig KeyServiceConfig(uint32_t num_tcs) {
+  sgx::EnclaveConfig config;
+  config.heap_size_bytes = 16ull << 20;  // key material is small
+  config.num_tcs = num_tcs;
+  return config;
+}
+}  // namespace
+
+Result<std::unique_ptr<KeyServiceEnclave>> KeyServiceEnclave::Create(
+    sgx::SgxPlatform* platform, uint32_t num_tcs) {
+  sgx::EnclaveImage image("keyservice", KeyServiceCodeUnits(),
+                          KeyServiceConfig(num_tcs));
+  SESEMI_ASSIGN_OR_RETURN(std::unique_ptr<sgx::Enclave> enclave,
+                          platform->CreateEnclave(image));
+  return std::unique_ptr<KeyServiceEnclave>(
+      new KeyServiceEnclave(std::move(enclave)));
+}
+
+sgx::Measurement KeyServiceEnclave::ExpectedMeasurement() {
+  // Derivable from public code alone — the same derivation the enclave's
+  // launch performs. num_tcs is part of the deployed configuration; the
+  // canonical public build uses 8 connection slots.
+  sgx::EnclaveImage image("keyservice", KeyServiceCodeUnits(), KeyServiceConfig(8));
+  return image.mrenclave();
+}
+
+Result<Bytes> KeyServiceEnclave::IdentityKeyFor(const std::string& id) const {
+  auto it = ks_i_.find(id);
+  if (it == ks_i_.end()) {
+    return Status::NotFound("identity not registered: " + id);
+  }
+  return it->second;
+}
+
+Result<std::string> KeyServiceEnclave::UserRegistration(ByteSpan identity_key) {
+  if (identity_key.size() < crypto::kSymmetricKeySize) {
+    return Status::InvalidArgument("identity key too short");
+  }
+  std::string id = crypto::DeriveIdentity(identity_key);
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (ks_i_.count(id) > 0) {
+    // Idempotent: re-registering the same key yields the same id.
+    return id;
+  }
+  SESEMI_RETURN_IF_ERROR(ChargeHeap(id.size() + identity_key.size()));
+  ks_i_.emplace(id, Bytes(identity_key.begin(), identity_key.end()));
+  return id;
+}
+
+Status KeyServiceEnclave::AddModelKey(const std::string& owner_id,
+                                      ByteSpan sealed_payload) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  SESEMI_ASSIGN_OR_RETURN(Bytes owner_key, IdentityKeyFor(owner_id));
+  // GCM-authenticated under K_oid: only the owner could have produced this.
+  SESEMI_ASSIGN_OR_RETURN(auto payload, OpenAddModelKey(owner_key, sealed_payload));
+  auto& [model_id, model_key] = payload;
+  auto it = ks_m_.find(model_id);
+  if (it != ks_m_.end() && it->second.first != owner_id) {
+    return Status::PermissionDenied("model id registered by another owner");
+  }
+  SESEMI_RETURN_IF_ERROR(ChargeHeap(model_id.size() + model_key.size()));
+  ks_m_[model_id] = {owner_id, std::move(model_key)};
+  return Status::OK();
+}
+
+Status KeyServiceEnclave::GrantAccess(const std::string& owner_id,
+                                      ByteSpan sealed_payload) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  SESEMI_ASSIGN_OR_RETURN(Bytes owner_key, IdentityKeyFor(owner_id));
+  SESEMI_ASSIGN_OR_RETURN(GrantAccessPayload p,
+                          OpenGrantAccess(owner_key, sealed_payload));
+  auto it = ks_m_.find(p.model_id);
+  if (it == ks_m_.end()) {
+    return Status::NotFound("no model key for " + p.model_id);
+  }
+  if (it->second.first != owner_id) {
+    return Status::PermissionDenied("only the model owner may grant access");
+  }
+  std::string entry = p.model_id + "|" + p.enclave_hex + "|" + p.user_id;
+  SESEMI_RETURN_IF_ERROR(ChargeHeap(entry.size()));
+  acm_.insert(std::move(entry));
+  return Status::OK();
+}
+
+Status KeyServiceEnclave::AddReqKey(const std::string& user_id,
+                                    ByteSpan sealed_payload) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  SESEMI_ASSIGN_OR_RETURN(Bytes user_key, IdentityKeyFor(user_id));
+  SESEMI_ASSIGN_OR_RETURN(AddReqKeyPayload p, OpenAddReqKey(user_key, sealed_payload));
+  std::string entry = p.model_id + "|" + p.enclave_hex + "|" + user_id;
+  SESEMI_RETURN_IF_ERROR(ChargeHeap(entry.size() + p.request_key.size()));
+  ks_r_[std::move(entry)] = std::move(p.request_key);
+  return Status::OK();
+}
+
+Result<std::pair<Bytes, Bytes>> KeyServiceEnclave::KeyProvisioning(
+    const std::string& user_id, const std::string& model_id,
+    const sgx::Measurement& enclave_identity) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::string entry = model_id + "|" + enclave_identity.ToHex() + "|" + user_id;
+  // Algorithm 1 line 23: the triple must be authorized by BOTH the owner's
+  // ACM and the user's KS_R.
+  if (acm_.count(entry) == 0) {
+    return Status::PermissionDenied("owner has not authorized " + entry);
+  }
+  auto kr_it = ks_r_.find(entry);
+  if (kr_it == ks_r_.end()) {
+    return Status::PermissionDenied("user has not provided a request key for " + entry);
+  }
+  auto km_it = ks_m_.find(model_id);
+  if (km_it == ks_m_.end()) {
+    return Status::NotFound("no model key for " + model_id);
+  }
+  return std::make_pair(km_it->second.second, kr_it->second);
+}
+
+size_t KeyServiceEnclave::registered_identities() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return ks_i_.size();
+}
+size_t KeyServiceEnclave::stored_model_keys() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return ks_m_.size();
+}
+size_t KeyServiceEnclave::stored_request_keys() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return ks_r_.size();
+}
+size_t KeyServiceEnclave::access_control_entries() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return acm_.size();
+}
+
+// ---------------------------------------------------------------- Server
+
+Result<ratls::ServerHello> KeyServiceServer::Connect(
+    const ratls::ClientHello& hello, uint64_t* session_id) {
+  sgx::TcsGuard tcs = service_->enclave()->EnterEcall();
+  ratls::RatlsAcceptor acceptor(service_->enclave());
+  SESEMI_ASSIGN_OR_RETURN(ratls::RatlsAcceptor::Accepted accepted,
+                          acceptor.Accept(hello, /*require_peer_quote=*/false));
+  std::lock_guard<std::mutex> lock(mutex_);
+  uint64_t id = next_session_id_++;
+  sessions_.emplace(id, Session{std::move(accepted.session), std::nullopt});
+  *session_id = id;
+  return accepted.hello;
+}
+
+Result<ratls::ServerHello> KeyServiceServer::ConnectEnclave(
+    const ratls::ClientHello& hello, uint64_t* session_id) {
+  sgx::TcsGuard tcs = service_->enclave()->EnterEcall();
+  ratls::RatlsAcceptor acceptor(service_->enclave());
+  SESEMI_ASSIGN_OR_RETURN(ratls::RatlsAcceptor::Accepted accepted,
+                          acceptor.Accept(hello, /*require_peer_quote=*/true));
+  std::lock_guard<std::mutex> lock(mutex_);
+  uint64_t id = next_session_id_++;
+  sessions_.emplace(id, Session{std::move(accepted.session), accepted.peer_mrenclave});
+  *session_id = id;
+  return accepted.hello;
+}
+
+Result<Bytes> KeyServiceServer::Handle(uint64_t session_id, ByteSpan sealed_request) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  auto it = sessions_.find(session_id);
+  if (it == sessions_.end()) {
+    return Status::NotFound("unknown session");
+  }
+  Session& session = it->second;
+
+  sgx::TcsGuard tcs = service_->enclave()->EnterEcall();
+  SESEMI_ASSIGN_OR_RETURN(Bytes request_wire, session.channel.Open(sealed_request));
+
+  Response response;
+  auto request = Request::Parse(request_wire);
+  if (!request.ok()) {
+    response = Response::FromStatus(request.status());
+  } else {
+    response = Dispatch(*request, session);
+  }
+  return session.channel.Seal(response.Serialize());
+}
+
+Response KeyServiceServer::Dispatch(const Request& request, const Session& session) {
+  switch (request.op) {
+    case OpCode::kUserRegistration: {
+      auto id = service_->UserRegistration(request.payload);
+      if (!id.ok()) return Response::FromStatus(id.status());
+      Response resp;
+      resp.payload = ToBytes(*id);
+      return resp;
+    }
+    case OpCode::kAddModelKey:
+      return Response::FromStatus(
+          service_->AddModelKey(request.caller_id, request.payload));
+    case OpCode::kGrantAccess:
+      return Response::FromStatus(
+          service_->GrantAccess(request.caller_id, request.payload));
+    case OpCode::kAddReqKey:
+      return Response::FromStatus(
+          service_->AddReqKey(request.caller_id, request.payload));
+    case OpCode::kKeyProvisioning: {
+      if (!session.peer_mrenclave.has_value()) {
+        return Response::FromStatus(Status::PermissionDenied(
+            "KEY_PROVISIONING requires a mutually attested session"));
+      }
+      auto parsed = ParseKeyProvisioningPayload(request.payload);
+      if (!parsed.ok()) return Response::FromStatus(parsed.status());
+      const auto& [user_id, model_id] = *parsed;
+      auto keys = service_->KeyProvisioning(user_id, model_id, *session.peer_mrenclave);
+      if (!keys.ok()) return Response::FromStatus(keys.status());
+      Response resp;
+      resp.payload = BuildProvisionedKeys(keys->first, keys->second);
+      return resp;
+    }
+  }
+  return Response::FromStatus(Status::InvalidArgument("unknown opcode"));
+}
+
+void KeyServiceServer::Disconnect(uint64_t session_id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  sessions_.erase(session_id);
+}
+
+size_t KeyServiceServer::active_sessions() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return sessions_.size();
+}
+
+Result<std::unique_ptr<KeyServiceServer>> StartKeyService(sgx::SgxPlatform* platform) {
+  SESEMI_ASSIGN_OR_RETURN(std::unique_ptr<KeyServiceEnclave> service,
+                          KeyServiceEnclave::Create(platform));
+  return std::make_unique<KeyServiceServer>(std::move(service));
+}
+
+}  // namespace sesemi::keyservice

@@ -1,0 +1,131 @@
+#ifndef SESEMI_KEYSERVICE_KEYSERVICE_H_
+#define SESEMI_KEYSERVICE_KEYSERVICE_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <set>
+#include <string>
+
+#include "common/result.h"
+#include "keyservice/messages.h"
+#include "ratls/handshake.h"
+#include "sgx/platform.h"
+
+namespace sesemi::keyservice {
+
+/// Trusted KeyService logic (Algorithm 1): the four key/policy stores and
+/// five operations. Lives inside a KeyService enclave; all state is charged
+/// to the enclave's trusted heap.
+///
+///  - KS_I: id -> long-term identity key
+///  - KS_M: model id -> (owner id, model key)
+///  - KS_R: Moid||ES||uid -> request key
+///  - ACM : set of authorized Moid||ES||uid triples
+class KeyServiceEnclave {
+ public:
+  /// Launch the KeyService enclave on `platform`. `num_tcs` bounds concurrent
+  /// connections (one TCS per connection thread, §V).
+  static Result<std::unique_ptr<KeyServiceEnclave>> Create(sgx::SgxPlatform* platform,
+                                                           uint32_t num_tcs = 8);
+
+  /// The fixed enclave identity E_K. Owners and users compare this against
+  /// the measurement in KeyService's attestation report before registering.
+  static sgx::Measurement ExpectedMeasurement();
+
+  sgx::Enclave* enclave() { return enclave_.get(); }
+
+  // ---- Algorithm 1 operations (invoked with a TCS held) ----
+
+  /// USER_REGISTRATION: store the long-term key; returns id = SHA256(K_id).
+  Result<std::string> UserRegistration(ByteSpan identity_key);
+
+  /// ADD_MODEL_KEY: open [Moid||KM]_{Koid} and store ⟨Moid, KM⟩.
+  Status AddModelKey(const std::string& owner_id, ByteSpan sealed_payload);
+
+  /// GRANT_ACCESS: open [Moid||ES||uid]_{Koid}; only the model's owner can
+  /// grant; stores ⟨Moid||ES||uid⟩ in ACM.
+  Status GrantAccess(const std::string& owner_id, ByteSpan sealed_payload);
+
+  /// ADD_REQ_KEY: open [Moid||ES||KR]_{Kuid}; stores the request key under
+  /// ⟨Moid||ES||uid⟩.
+  Status AddReqKey(const std::string& user_id, ByteSpan sealed_payload);
+
+  /// KEY_PROVISIONING: `enclave_identity` comes from the verified mutual
+  /// attestation, never from the request. Returns (KM, KR) iff the triple is
+  /// authorized by both the owner (ACM) and the user (KS_R).
+  Result<std::pair<Bytes, Bytes>> KeyProvisioning(
+      const std::string& user_id, const std::string& model_id,
+      const sgx::Measurement& enclave_identity);
+
+  // ---- Introspection for tests/metrics ----
+  size_t registered_identities() const;
+  size_t stored_model_keys() const;
+  size_t stored_request_keys() const;
+  size_t access_control_entries() const;
+
+ private:
+  explicit KeyServiceEnclave(std::unique_ptr<sgx::Enclave> enclave)
+      : enclave_(std::move(enclave)) {}
+
+  Status ChargeHeap(size_t bytes) { return enclave_->AllocateTrusted(bytes); }
+  Result<Bytes> IdentityKeyFor(const std::string& id) const;
+
+  std::unique_ptr<sgx::Enclave> enclave_;
+
+  mutable std::mutex mutex_;
+  std::map<std::string, Bytes> ks_i_;
+  std::map<std::string, std::pair<std::string, Bytes>> ks_m_;  // Moid -> (oid, KM)
+  std::map<std::string, Bytes> ks_r_;                          // Moid|ES|uid -> KR
+  std::set<std::string> acm_;
+};
+
+/// Untrusted front-end: accepts attested connections, maintains sessions,
+/// and dispatches sealed requests into the enclave. This is the component
+/// deployed as the always-on KeyService node in Figure 3.
+class KeyServiceServer {
+ public:
+  explicit KeyServiceServer(std::unique_ptr<KeyServiceEnclave> service)
+      : service_(std::move(service)) {}
+
+  KeyServiceEnclave* service() { return service_.get(); }
+
+  /// Client-side (owner/user) handshake: one-way attestation.
+  Result<ratls::ServerHello> Connect(const ratls::ClientHello& hello,
+                                     uint64_t* session_id);
+
+  /// Enclave-side (SeMIRT) handshake: mutual attestation; the verified peer
+  /// measurement is pinned to the session and used as ES.
+  Result<ratls::ServerHello> ConnectEnclave(const ratls::ClientHello& hello,
+                                            uint64_t* session_id);
+
+  /// Open a sealed request on `session_id`, execute it, return the sealed
+  /// response. KEY_PROVISIONING is rejected on non-mutually-attested sessions.
+  Result<Bytes> Handle(uint64_t session_id, ByteSpan sealed_request);
+
+  /// Drop a session (client disconnect).
+  void Disconnect(uint64_t session_id);
+
+  size_t active_sessions() const;
+
+ private:
+  struct Session {
+    ratls::SecureSession channel;
+    std::optional<sgx::Measurement> peer_mrenclave;
+  };
+
+  Response Dispatch(const Request& request, const Session& session);
+
+  std::unique_ptr<KeyServiceEnclave> service_;
+  mutable std::mutex mutex_;
+  std::map<uint64_t, Session> sessions_;
+  uint64_t next_session_id_ = 1;
+};
+
+/// Convenience: launch enclave + server on `platform`.
+Result<std::unique_ptr<KeyServiceServer>> StartKeyService(sgx::SgxPlatform* platform);
+
+}  // namespace sesemi::keyservice
+
+#endif  // SESEMI_KEYSERVICE_KEYSERVICE_H_

@@ -1,0 +1,162 @@
+#include "keyservice/messages.h"
+
+#include "crypto/gcm.h"
+
+namespace sesemi::keyservice {
+
+namespace {
+constexpr char kAadAddModelKey[] = "sesemi-add-model-key";
+constexpr char kAadGrantAccess[] = "sesemi-grant-access";
+constexpr char kAadAddReqKey[] = "sesemi-add-req-key";
+}  // namespace
+
+Bytes Request::Serialize() const {
+  ByteWriter w;
+  w.WriteUint8(static_cast<uint8_t>(op));
+  w.WriteLengthPrefixedString(caller_id);
+  w.WriteLengthPrefixed(payload);
+  return std::move(w).Take();
+}
+
+Result<Request> Request::Parse(ByteSpan wire) {
+  ByteReader r(wire);
+  Request req;
+  uint8_t op = 0;
+  if (!r.ReadUint8(&op) || op < 1 || op > 5 ||
+      !r.ReadLengthPrefixedString(&req.caller_id) ||
+      !r.ReadLengthPrefixed(&req.payload)) {
+    return Status::Corruption("malformed keyservice request");
+  }
+  req.op = static_cast<OpCode>(op);
+  return req;
+}
+
+Bytes Response::Serialize() const {
+  ByteWriter w;
+  w.WriteUint32(code);
+  w.WriteLengthPrefixedString(message);
+  w.WriteLengthPrefixed(payload);
+  return std::move(w).Take();
+}
+
+Result<Response> Response::Parse(ByteSpan wire) {
+  ByteReader r(wire);
+  Response resp;
+  if (!r.ReadUint32(&resp.code) || !r.ReadLengthPrefixedString(&resp.message) ||
+      !r.ReadLengthPrefixed(&resp.payload)) {
+    return Status::Corruption("malformed keyservice response");
+  }
+  return resp;
+}
+
+Response Response::FromStatus(const Status& status) {
+  Response resp;
+  resp.code = static_cast<uint32_t>(status.code());
+  resp.message = status.message();
+  return resp;
+}
+
+Result<Bytes> SealAddModelKey(ByteSpan identity_key, const std::string& model_id,
+                              ByteSpan model_key) {
+  ByteWriter w;
+  w.WriteLengthPrefixedString(model_id);
+  w.WriteLengthPrefixed(model_key);
+  return crypto::GcmSeal(identity_key, ToBytes(kAadAddModelKey), w.bytes());
+}
+
+Result<std::pair<std::string, Bytes>> OpenAddModelKey(ByteSpan identity_key,
+                                                      ByteSpan sealed) {
+  SESEMI_ASSIGN_OR_RETURN(Bytes plain,
+                          crypto::GcmOpen(identity_key, ToBytes(kAadAddModelKey), sealed));
+  ByteReader r(plain);
+  std::string model_id;
+  Bytes model_key;
+  if (!r.ReadLengthPrefixedString(&model_id) || !r.ReadLengthPrefixed(&model_key) ||
+      !r.done()) {
+    return Status::Corruption("malformed add-model-key payload");
+  }
+  return std::make_pair(std::move(model_id), std::move(model_key));
+}
+
+Result<Bytes> SealGrantAccess(ByteSpan identity_key, const std::string& model_id,
+                              const std::string& enclave_hex,
+                              const std::string& user_id) {
+  ByteWriter w;
+  w.WriteLengthPrefixedString(model_id);
+  w.WriteLengthPrefixedString(enclave_hex);
+  w.WriteLengthPrefixedString(user_id);
+  return crypto::GcmSeal(identity_key, ToBytes(kAadGrantAccess), w.bytes());
+}
+
+Result<GrantAccessPayload> OpenGrantAccess(ByteSpan identity_key, ByteSpan sealed) {
+  SESEMI_ASSIGN_OR_RETURN(Bytes plain,
+                          crypto::GcmOpen(identity_key, ToBytes(kAadGrantAccess), sealed));
+  ByteReader r(plain);
+  GrantAccessPayload p;
+  if (!r.ReadLengthPrefixedString(&p.model_id) ||
+      !r.ReadLengthPrefixedString(&p.enclave_hex) ||
+      !r.ReadLengthPrefixedString(&p.user_id) || !r.done()) {
+    return Status::Corruption("malformed grant-access payload");
+  }
+  return p;
+}
+
+Result<Bytes> SealAddReqKey(ByteSpan identity_key, const std::string& model_id,
+                            const std::string& enclave_hex, ByteSpan request_key) {
+  ByteWriter w;
+  w.WriteLengthPrefixedString(model_id);
+  w.WriteLengthPrefixedString(enclave_hex);
+  w.WriteLengthPrefixed(request_key);
+  return crypto::GcmSeal(identity_key, ToBytes(kAadAddReqKey), w.bytes());
+}
+
+Result<AddReqKeyPayload> OpenAddReqKey(ByteSpan identity_key, ByteSpan sealed) {
+  SESEMI_ASSIGN_OR_RETURN(Bytes plain,
+                          crypto::GcmOpen(identity_key, ToBytes(kAadAddReqKey), sealed));
+  ByteReader r(plain);
+  AddReqKeyPayload p;
+  if (!r.ReadLengthPrefixedString(&p.model_id) ||
+      !r.ReadLengthPrefixedString(&p.enclave_hex) ||
+      !r.ReadLengthPrefixed(&p.request_key) || !r.done()) {
+    return Status::Corruption("malformed add-req-key payload");
+  }
+  return p;
+}
+
+Bytes BuildKeyProvisioningPayload(const std::string& user_id,
+                                  const std::string& model_id) {
+  ByteWriter w;
+  w.WriteLengthPrefixedString(user_id);
+  w.WriteLengthPrefixedString(model_id);
+  return std::move(w).Take();
+}
+
+Result<std::pair<std::string, std::string>> ParseKeyProvisioningPayload(
+    ByteSpan wire) {
+  ByteReader r(wire);
+  std::string user_id, model_id;
+  if (!r.ReadLengthPrefixedString(&user_id) ||
+      !r.ReadLengthPrefixedString(&model_id) || !r.done()) {
+    return Status::Corruption("malformed key-provisioning payload");
+  }
+  return std::make_pair(std::move(user_id), std::move(model_id));
+}
+
+Bytes BuildProvisionedKeys(ByteSpan model_key, ByteSpan request_key) {
+  ByteWriter w;
+  w.WriteLengthPrefixed(model_key);
+  w.WriteLengthPrefixed(request_key);
+  return std::move(w).Take();
+}
+
+Result<std::pair<Bytes, Bytes>> ParseProvisionedKeys(ByteSpan wire) {
+  ByteReader r(wire);
+  Bytes model_key, request_key;
+  if (!r.ReadLengthPrefixed(&model_key) || !r.ReadLengthPrefixed(&request_key) ||
+      !r.done()) {
+    return Status::Corruption("malformed provisioned keys");
+  }
+  return std::make_pair(std::move(model_key), std::move(request_key));
+}
+
+}  // namespace sesemi::keyservice

@@ -1,0 +1,89 @@
+#ifndef SESEMI_KEYSERVICE_MESSAGES_H_
+#define SESEMI_KEYSERVICE_MESSAGES_H_
+
+#include <string>
+
+#include "common/bytes.h"
+#include "common/result.h"
+
+namespace sesemi::keyservice {
+
+/// Operations of Algorithm 1, carried over the attested channel.
+enum class OpCode : uint8_t {
+  kUserRegistration = 1,
+  kAddModelKey = 2,
+  kGrantAccess = 3,
+  kAddReqKey = 4,
+  kKeyProvisioning = 5,
+};
+
+/// A request record: opcode, caller id (empty for registration), and an
+/// opaque payload. For the Add*/Grant* calls the payload is itself encrypted
+/// under the caller's long-term identity key (the "[...]_{K_id}" notation in
+/// Algorithm 1), so even KeyService's front-end never sees key material —
+/// only the enclave logic that holds KS_I can open it.
+struct Request {
+  OpCode op;
+  std::string caller_id;
+  Bytes payload;
+
+  Bytes Serialize() const;
+  static Result<Request> Parse(ByteSpan wire);
+};
+
+/// A response record: a status code (mirrors StatusCode) plus payload.
+struct Response {
+  uint32_t code = 0;  ///< 0 = OK
+  std::string message;
+  Bytes payload;
+
+  bool ok() const { return code == 0; }
+  Bytes Serialize() const;
+  static Result<Response> Parse(ByteSpan wire);
+  static Response FromStatus(const Status& status);
+};
+
+// -------- Inner (identity-key-sealed) payload builders & parsers. --------
+// AAD strings bind each payload to its operation so a sealed ADD_MODEL_KEY
+// blob cannot be replayed as a GRANT_ACCESS.
+
+/// [Moid || KM]_{Koid}
+Result<Bytes> SealAddModelKey(ByteSpan identity_key, const std::string& model_id,
+                              ByteSpan model_key);
+Result<std::pair<std::string, Bytes>> OpenAddModelKey(ByteSpan identity_key,
+                                                      ByteSpan sealed);
+
+/// [Moid || ES || uid]_{Koid}
+Result<Bytes> SealGrantAccess(ByteSpan identity_key, const std::string& model_id,
+                              const std::string& enclave_hex,
+                              const std::string& user_id);
+struct GrantAccessPayload {
+  std::string model_id;
+  std::string enclave_hex;
+  std::string user_id;
+};
+Result<GrantAccessPayload> OpenGrantAccess(ByteSpan identity_key, ByteSpan sealed);
+
+/// [Moid || ES || KR]_{Kuid}
+Result<Bytes> SealAddReqKey(ByteSpan identity_key, const std::string& model_id,
+                            const std::string& enclave_hex, ByteSpan request_key);
+struct AddReqKeyPayload {
+  std::string model_id;
+  std::string enclave_hex;
+  Bytes request_key;
+};
+Result<AddReqKeyPayload> OpenAddReqKey(ByteSpan identity_key, ByteSpan sealed);
+
+/// KEY_PROVISIONING request payload (plaintext inside the mutually attested
+/// channel): uid || Moid.
+Bytes BuildKeyProvisioningPayload(const std::string& user_id,
+                                  const std::string& model_id);
+Result<std::pair<std::string, std::string>> ParseKeyProvisioningPayload(ByteSpan wire);
+
+/// KEY_PROVISIONING response payload: KM || KR.
+Bytes BuildProvisionedKeys(ByteSpan model_key, ByteSpan request_key);
+Result<std::pair<Bytes, Bytes>> ParseProvisionedKeys(ByteSpan wire);
+
+}  // namespace sesemi::keyservice
+
+#endif  // SESEMI_KEYSERVICE_MESSAGES_H_

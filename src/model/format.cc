@@ -1,0 +1,160 @@
+#include "model/format.h"
+
+#include <cstring>
+
+#include "crypto/gcm.h"
+#include "crypto/sha256.h"
+
+namespace sesemi::model {
+
+namespace {
+constexpr char kMagic[4] = {'S', 'S', 'M', 'I'};
+
+void WriteShape(ByteWriter* w, const TensorShape& s) {
+  w->WriteUint32(static_cast<uint32_t>(s.h));
+  w->WriteUint32(static_cast<uint32_t>(s.w));
+  w->WriteUint32(static_cast<uint32_t>(s.c));
+}
+
+bool ReadShape(ByteReader* r, TensorShape* s) {
+  uint32_t h, w, c;
+  if (!r->ReadUint32(&h) || !r->ReadUint32(&w) || !r->ReadUint32(&c)) return false;
+  s->h = static_cast<int32_t>(h);
+  s->w = static_cast<int32_t>(w);
+  s->c = static_cast<int32_t>(c);
+  return true;
+}
+}  // namespace
+
+Bytes SerializeModel(const ModelGraph& graph) {
+  ByteWriter w;
+  w.WriteBytes(ByteSpan(reinterpret_cast<const uint8_t*>(kMagic), 4));
+  w.WriteUint32(kModelFormatVersion);
+  w.WriteLengthPrefixedString(graph.model_id);
+  w.WriteLengthPrefixedString(graph.architecture);
+  WriteShape(&w, graph.input_shape);
+
+  w.WriteUint32(static_cast<uint32_t>(graph.layers.size()));
+  for (const Layer& layer : graph.layers) {
+    w.WriteUint8(static_cast<uint8_t>(layer.kind));
+    w.WriteLengthPrefixedString(layer.name);
+    w.WriteUint32(static_cast<uint32_t>(layer.inputs.size()));
+    for (int32_t in : layer.inputs) w.WriteUint32(static_cast<uint32_t>(in));
+    w.WriteUint32(static_cast<uint32_t>(layer.kernel));
+    w.WriteUint32(static_cast<uint32_t>(layer.stride));
+    w.WriteUint32(static_cast<uint32_t>(layer.out_channels));
+    w.WriteUint32(static_cast<uint32_t>(layer.units));
+    w.WriteUint64(layer.weight_offset);
+    w.WriteUint64(layer.weight_count);
+    WriteShape(&w, layer.output_shape);
+  }
+
+  w.WriteUint64(graph.weights.size());
+  // Weights are stored little-endian IEEE-754, i.e. memcpy on the platforms
+  // we target; a portability shim would go here for big-endian hosts.
+  const uint8_t* raw = reinterpret_cast<const uint8_t*>(graph.weights.data());
+  w.WriteBytes(ByteSpan(raw, graph.weights.size() * sizeof(float)));
+
+  Bytes body = std::move(w).Take();
+  Bytes digest = crypto::Sha256::HashToBytes(body);
+  Append(&body, digest);
+  return body;
+}
+
+Result<ModelGraph> ParseModel(ByteSpan wire) {
+  if (wire.size() < 4 + 4 + crypto::kSha256DigestSize) {
+    return Status::Corruption("model blob too short");
+  }
+  ByteSpan body(wire.data(), wire.size() - crypto::kSha256DigestSize);
+  ByteSpan trailer(wire.data() + body.size(), crypto::kSha256DigestSize);
+  Bytes digest = crypto::Sha256::HashToBytes(body);
+  if (!ConstantTimeEqual(digest, trailer)) {
+    return Status::Corruption("model integrity digest mismatch");
+  }
+
+  ByteReader r(body);
+  Bytes magic;
+  if (!r.ReadBytes(4, &magic) || std::memcmp(magic.data(), kMagic, 4) != 0) {
+    return Status::Corruption("bad model magic");
+  }
+  uint32_t version = 0;
+  if (!r.ReadUint32(&version)) return Status::Corruption("truncated model header");
+  if (version != kModelFormatVersion) {
+    return Status::InvalidArgument("unsupported model format version " +
+                                   std::to_string(version));
+  }
+
+  ModelGraph graph;
+  if (!r.ReadLengthPrefixedString(&graph.model_id) ||
+      !r.ReadLengthPrefixedString(&graph.architecture) ||
+      !ReadShape(&r, &graph.input_shape)) {
+    return Status::Corruption("truncated model header");
+  }
+
+  uint32_t layer_count = 0;
+  if (!r.ReadUint32(&layer_count)) return Status::Corruption("truncated layer table");
+  if (layer_count > 1'000'000) return Status::Corruption("absurd layer count");
+  graph.layers.reserve(layer_count);
+  for (uint32_t i = 0; i < layer_count; ++i) {
+    Layer layer;
+    uint8_t kind = 0;
+    uint32_t input_count = 0;
+    if (!r.ReadUint8(&kind) || kind > static_cast<uint8_t>(LayerKind::kSoftmax) ||
+        !r.ReadLengthPrefixedString(&layer.name) || !r.ReadUint32(&input_count) ||
+        input_count > 16) {
+      return Status::Corruption("truncated layer entry");
+    }
+    layer.kind = static_cast<LayerKind>(kind);
+    layer.inputs.resize(input_count);
+    for (uint32_t j = 0; j < input_count; ++j) {
+      uint32_t in = 0;
+      if (!r.ReadUint32(&in)) return Status::Corruption("truncated layer inputs");
+      layer.inputs[j] = static_cast<int32_t>(in);
+    }
+    uint32_t kernel, stride, out_channels, units;
+    if (!r.ReadUint32(&kernel) || !r.ReadUint32(&stride) ||
+        !r.ReadUint32(&out_channels) || !r.ReadUint32(&units) ||
+        !r.ReadUint64(&layer.weight_offset) || !r.ReadUint64(&layer.weight_count) ||
+        !ReadShape(&r, &layer.output_shape)) {
+      return Status::Corruption("truncated layer entry");
+    }
+    layer.kernel = static_cast<int32_t>(kernel);
+    layer.stride = static_cast<int32_t>(stride);
+    layer.out_channels = static_cast<int32_t>(out_channels);
+    layer.units = static_cast<int32_t>(units);
+    graph.layers.push_back(std::move(layer));
+  }
+
+  uint64_t weight_count = 0;
+  if (!r.ReadUint64(&weight_count)) return Status::Corruption("truncated weights");
+  if (r.remaining() != weight_count * sizeof(float)) {
+    return Status::Corruption("weight blob size mismatch");
+  }
+  Bytes raw;
+  if (!r.ReadBytes(weight_count * sizeof(float), &raw)) {
+    return Status::Corruption("truncated weights");
+  }
+  graph.weights.resize(weight_count);
+  std::memcpy(graph.weights.data(), raw.data(), raw.size());
+
+  SESEMI_RETURN_IF_ERROR(graph.Validate());
+  return graph;
+}
+
+Result<Bytes> EncryptModel(const ModelGraph& graph, ByteSpan model_key) {
+  Bytes plain = SerializeModel(graph);
+  return crypto::GcmSeal(model_key, ToBytes(graph.model_id), plain);
+}
+
+Result<ModelGraph> DecryptModel(ByteSpan sealed, ByteSpan model_key,
+                                const std::string& model_id) {
+  SESEMI_ASSIGN_OR_RETURN(Bytes plain,
+                          crypto::GcmOpen(model_key, ToBytes(model_id), sealed));
+  SESEMI_ASSIGN_OR_RETURN(ModelGraph graph, ParseModel(plain));
+  if (graph.model_id != model_id) {
+    return Status::Corruption("decrypted model id does not match requested id");
+  }
+  return graph;
+}
+
+}  // namespace sesemi::model

@@ -1,0 +1,37 @@
+#ifndef SESEMI_MODEL_FORMAT_H_
+#define SESEMI_MODEL_FORMAT_H_
+
+#include "common/bytes.h"
+#include "common/result.h"
+#include "model/graph.h"
+
+namespace sesemi::model {
+
+/// Binary model format version understood by this build.
+constexpr uint32_t kModelFormatVersion = 1;
+
+/// Serialize a model to the SeSeMI binary format:
+///   magic "SSMI" | version | header (id, arch, input shape) |
+///   layer table | weight blob | SHA-256 integrity trailer.
+/// The trailer catches accidental corruption; tamper-resistance comes from
+/// AES-GCM when the model is encrypted for upload.
+Bytes SerializeModel(const ModelGraph& graph);
+
+/// Parse and validate a serialized model. Rejects bad magic, unsupported
+/// versions, truncated layer tables, weight-blob size mismatches, digest
+/// mismatches, and graphs that fail ModelGraph::Validate().
+Result<ModelGraph> ParseModel(ByteSpan wire);
+
+/// Encrypt a serialized model under the owner's model key K_M, binding the
+/// model id as AAD so a ciphertext cannot be re-labelled as another model.
+/// Layout: nonce || ciphertext || tag (GcmSeal).
+Result<Bytes> EncryptModel(const ModelGraph& graph, ByteSpan model_key);
+
+/// Decrypt + parse an encrypted model. `model_id` must match the AAD used at
+/// encryption time (SeMIRT passes the id from the request).
+Result<ModelGraph> DecryptModel(ByteSpan sealed, ByteSpan model_key,
+                                const std::string& model_id);
+
+}  // namespace sesemi::model
+
+#endif  // SESEMI_MODEL_FORMAT_H_

@@ -1,0 +1,177 @@
+#include "ratls/handshake.h"
+
+#include "crypto/sha256.h"
+
+namespace sesemi::ratls {
+
+namespace {
+Bytes TranscriptHash(const crypto::X25519Key& initiator_pub,
+                     const crypto::X25519Key& acceptor_pub) {
+  Bytes transcript;
+  Append(&transcript, ByteSpan(initiator_pub.data(), initiator_pub.size()));
+  Append(&transcript, ByteSpan(acceptor_pub.data(), acceptor_pub.size()));
+  return crypto::Sha256::HashToBytes(transcript);
+}
+}  // namespace
+
+Bytes ClientHello::Serialize() const {
+  ByteWriter w;
+  w.WriteBytes(ByteSpan(public_key.data(), public_key.size()));
+  if (quote.has_value()) {
+    w.WriteUint8(1);
+    w.WriteLengthPrefixed(quote->Serialize());
+  } else {
+    w.WriteUint8(0);
+  }
+  return std::move(w).Take();
+}
+
+Result<ClientHello> ClientHello::Parse(ByteSpan wire) {
+  ByteReader r(wire);
+  ClientHello hello;
+  Bytes pub;
+  uint8_t has_quote = 0;
+  if (!r.ReadBytes(crypto::kX25519KeySize, &pub) || !r.ReadUint8(&has_quote)) {
+    return Status::Corruption("truncated ClientHello");
+  }
+  std::copy(pub.begin(), pub.end(), hello.public_key.begin());
+  if (has_quote == 1) {
+    Bytes quote_wire;
+    if (!r.ReadLengthPrefixed(&quote_wire)) {
+      return Status::Corruption("truncated ClientHello quote");
+    }
+    SESEMI_ASSIGN_OR_RETURN(sgx::Quote q, sgx::Quote::Parse(quote_wire));
+    hello.quote = std::move(q);
+  } else if (has_quote != 0) {
+    return Status::Corruption("bad ClientHello quote flag");
+  }
+  return hello;
+}
+
+Bytes ServerHello::Serialize() const {
+  ByteWriter w;
+  w.WriteBytes(ByteSpan(public_key.data(), public_key.size()));
+  w.WriteLengthPrefixed(quote.Serialize());
+  return std::move(w).Take();
+}
+
+Result<ServerHello> ServerHello::Parse(ByteSpan wire) {
+  ByteReader r(wire);
+  ServerHello hello;
+  Bytes pub, quote_wire;
+  if (!r.ReadBytes(crypto::kX25519KeySize, &pub) ||
+      !r.ReadLengthPrefixed(&quote_wire)) {
+    return Status::Corruption("truncated ServerHello");
+  }
+  std::copy(pub.begin(), pub.end(), hello.public_key.begin());
+  SESEMI_ASSIGN_OR_RETURN(hello.quote, sgx::Quote::Parse(quote_wire));
+  return hello;
+}
+
+sgx::ReportData ChannelBinding(const crypto::X25519Key& acceptor_pub,
+                               const crypto::X25519Key& initiator_pub) {
+  Bytes input;
+  Append(&input, ByteSpan(acceptor_pub.data(), acceptor_pub.size()));
+  Append(&input, ByteSpan(initiator_pub.data(), initiator_pub.size()));
+  Bytes digest = crypto::Sha256::HashToBytes(input);
+  sgx::ReportData data{};
+  std::copy(digest.begin(), digest.end(), data.begin());
+  return data;
+}
+
+sgx::ReportData InitiatorBinding(const crypto::X25519Key& initiator_pub) {
+  Bytes digest =
+      crypto::Sha256::HashToBytes(ByteSpan(initiator_pub.data(), initiator_pub.size()));
+  sgx::ReportData data{};
+  std::copy(digest.begin(), digest.end(), data.begin());
+  return data;
+}
+
+RatlsInitiator::RatlsInitiator(const sgx::AttestationAuthority* authority,
+                               sgx::Enclave* enclave)
+    : authority_(authority), enclave_(enclave) {}
+
+Result<ClientHello> RatlsInitiator::Start() {
+  ephemeral_ = crypto::GenerateX25519KeyPair();
+  started_ = true;
+  ClientHello hello;
+  hello.public_key = ephemeral_.public_key;
+  if (enclave_ != nullptr) {
+    sgx::ReportData binding = InitiatorBinding(ephemeral_.public_key);
+    sgx::AttestationReport report =
+        enclave_->CreateReport(ByteSpan(binding.data(), binding.size()));
+    SESEMI_ASSIGN_OR_RETURN(sgx::Quote quote,
+                            enclave_->platform()->GenerateQuote(report));
+    hello.quote = std::move(quote);
+  }
+  return hello;
+}
+
+Result<SecureSession> RatlsInitiator::Finish(
+    const ServerHello& hello, const sgx::Measurement& expected_mrenclave) {
+  if (!started_) {
+    return Status::FailedPrecondition("Finish() before Start()");
+  }
+  SESEMI_ASSIGN_OR_RETURN(sgx::AttestationReport report,
+                          authority_->VerifyQuote(hello.quote));
+  if (report.mrenclave != expected_mrenclave) {
+    return Status::Unauthenticated("acceptor MRENCLAVE mismatch: got " +
+                                   report.mrenclave.ToHex());
+  }
+  sgx::ReportData expect_binding =
+      ChannelBinding(hello.public_key, ephemeral_.public_key);
+  if (!ConstantTimeEqual(ByteSpan(report.report_data.data(), report.report_data.size()),
+                         ByteSpan(expect_binding.data(), expect_binding.size()))) {
+    return Status::Unauthenticated("channel binding mismatch in acceptor quote");
+  }
+
+  SESEMI_ASSIGN_OR_RETURN(
+      Bytes secret,
+      crypto::X25519SharedSecret(ephemeral_.private_key, hello.public_key));
+  Bytes transcript = TranscriptHash(ephemeral_.public_key, hello.public_key);
+  SESEMI_ASSIGN_OR_RETURN(SessionKeys keys, DeriveSessionKeys(secret, transcript));
+  return SecureSession::Create(keys.initiator_to_acceptor,
+                               keys.acceptor_to_initiator);
+}
+
+Result<RatlsAcceptor::Accepted> RatlsAcceptor::Accept(const ClientHello& hello,
+                                                      bool require_peer_quote) {
+  std::optional<sgx::Measurement> peer;
+  if (require_peer_quote) {
+    if (!hello.quote.has_value()) {
+      return Status::Unauthenticated("peer quote required for mutual attestation");
+    }
+    SESEMI_ASSIGN_OR_RETURN(
+        sgx::AttestationReport peer_report,
+        enclave_->platform()->authority()->VerifyQuote(*hello.quote));
+    sgx::ReportData expect = InitiatorBinding(hello.public_key);
+    if (!ConstantTimeEqual(
+            ByteSpan(peer_report.report_data.data(), peer_report.report_data.size()),
+            ByteSpan(expect.data(), expect.size()))) {
+      return Status::Unauthenticated("peer quote does not bind its channel key");
+    }
+    peer = peer_report.mrenclave;
+  }
+
+  crypto::X25519KeyPair eph = crypto::GenerateX25519KeyPair();
+  sgx::ReportData binding = ChannelBinding(eph.public_key, hello.public_key);
+  sgx::AttestationReport report =
+      enclave_->CreateReport(ByteSpan(binding.data(), binding.size()));
+  SESEMI_ASSIGN_OR_RETURN(sgx::Quote quote,
+                          enclave_->platform()->GenerateQuote(report));
+
+  SESEMI_ASSIGN_OR_RETURN(
+      Bytes secret, crypto::X25519SharedSecret(eph.private_key, hello.public_key));
+  Bytes transcript = TranscriptHash(hello.public_key, eph.public_key);
+  SESEMI_ASSIGN_OR_RETURN(SessionKeys keys, DeriveSessionKeys(secret, transcript));
+  SESEMI_ASSIGN_OR_RETURN(
+      SecureSession session,
+      SecureSession::Create(keys.acceptor_to_initiator, keys.initiator_to_acceptor));
+
+  ServerHello reply;
+  reply.public_key = eph.public_key;
+  reply.quote = std::move(quote);
+  return Accepted{std::move(reply), std::move(session), peer};
+}
+
+}  // namespace sesemi::ratls

@@ -1,0 +1,91 @@
+#ifndef SESEMI_RATLS_HANDSHAKE_H_
+#define SESEMI_RATLS_HANDSHAKE_H_
+
+#include <optional>
+
+#include "common/result.h"
+#include "crypto/x25519.h"
+#include "ratls/session.h"
+#include "sgx/enclave.h"
+#include "sgx/platform.h"
+
+namespace sesemi::ratls {
+
+/// First flight: the initiator's ephemeral public key, plus a quote binding
+/// that key when the initiator is itself an enclave (mutual attestation, used
+/// by SeMIRT when it fetches keys from KeyService — Appendix A).
+struct ClientHello {
+  crypto::X25519Key public_key{};
+  std::optional<sgx::Quote> quote;
+
+  Bytes Serialize() const;
+  static Result<ClientHello> Parse(ByteSpan wire);
+};
+
+/// Second flight: the acceptor's ephemeral public key and its quote. The
+/// quote's report_data binds SHA256(acceptor_pub || initiator_pub), the
+/// RA-TLS trick of welding the attestation to this exact channel.
+struct ServerHello {
+  crypto::X25519Key public_key{};
+  sgx::Quote quote;
+
+  Bytes Serialize() const;
+  static Result<ServerHello> Parse(ByteSpan wire);
+};
+
+/// Binding hash placed in the acceptor's report_data.
+sgx::ReportData ChannelBinding(const crypto::X25519Key& acceptor_pub,
+                               const crypto::X25519Key& initiator_pub);
+
+/// Binding hash placed in an initiator's (mutual-attestation) report_data.
+sgx::ReportData InitiatorBinding(const crypto::X25519Key& initiator_pub);
+
+/// Client side of the attested handshake. Used by model owners and users to
+/// attest KeyService, and (with `enclave` set) by SeMIRT enclaves to perform
+/// mutual attestation with KeyService.
+class RatlsInitiator {
+ public:
+  /// `authority` verifies the acceptor's quote. If `enclave` is non-null the
+  /// ClientHello carries this enclave's quote (mutual attestation); failure to
+  /// generate the quote surfaces from Start().
+  RatlsInitiator(const sgx::AttestationAuthority* authority,
+                 sgx::Enclave* enclave = nullptr);
+
+  /// Produce the first flight.
+  Result<ClientHello> Start();
+
+  /// Verify the acceptor's quote (authority signature + expected MRENCLAVE +
+  /// channel binding) and derive the session. Must be called after Start().
+  Result<SecureSession> Finish(const ServerHello& hello,
+                               const sgx::Measurement& expected_mrenclave);
+
+ private:
+  const sgx::AttestationAuthority* authority_;
+  sgx::Enclave* enclave_;
+  crypto::X25519KeyPair ephemeral_{};
+  bool started_ = false;
+};
+
+/// Server side of the attested handshake; lives inside an enclave app.
+class RatlsAcceptor {
+ public:
+  struct Accepted {
+    ServerHello hello;                               ///< flight to send back
+    SecureSession session;                           ///< established channel
+    std::optional<sgx::Measurement> peer_mrenclave;  ///< set on mutual attestation
+  };
+
+  explicit RatlsAcceptor(sgx::Enclave* enclave) : enclave_(enclave) {}
+
+  /// Process a ClientHello. When `require_peer_quote` is true (KeyService's
+  /// KEY_PROVISIONING endpoint), hellos without a valid quote are rejected and
+  /// the verified peer measurement is returned in `Accepted::peer_mrenclave`.
+  Result<Accepted> Accept(const ClientHello& hello, bool require_peer_quote);
+
+ private:
+  sgx::Enclave* enclave_;
+};
+
+}  // namespace sesemi::ratls
+
+#endif  // SESEMI_RATLS_HANDSHAKE_H_

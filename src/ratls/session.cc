@@ -1,0 +1,51 @@
+#include "ratls/session.h"
+
+#include "crypto/hkdf.h"
+
+namespace sesemi::ratls {
+
+namespace {
+Bytes MakeNonce(uint8_t direction, uint64_t seq) {
+  Bytes nonce;
+  nonce.reserve(crypto::kGcmNonceSize);
+  nonce.push_back(direction);
+  nonce.push_back(0);
+  nonce.push_back(0);
+  nonce.push_back(0);
+  PutUint64BE(&nonce, seq);
+  return nonce;
+}
+}  // namespace
+
+Result<SecureSession> SecureSession::Create(ByteSpan send_key, ByteSpan recv_key) {
+  SESEMI_ASSIGN_OR_RETURN(crypto::AesGcm send, crypto::AesGcm::Create(send_key));
+  SESEMI_ASSIGN_OR_RETURN(crypto::AesGcm recv, crypto::AesGcm::Create(recv_key));
+  return SecureSession(std::move(send), std::move(recv));
+}
+
+Result<Bytes> SecureSession::Seal(ByteSpan plaintext) {
+  Bytes nonce = MakeNonce(/*direction=*/1, send_seq_);
+  SESEMI_ASSIGN_OR_RETURN(Bytes record, send_.Encrypt(nonce, {}, plaintext));
+  ++send_seq_;
+  return record;
+}
+
+Result<Bytes> SecureSession::Open(ByteSpan record) {
+  Bytes nonce = MakeNonce(/*direction=*/1, recv_seq_);
+  SESEMI_ASSIGN_OR_RETURN(Bytes plaintext, recv_.Decrypt(nonce, {}, record));
+  ++recv_seq_;
+  return plaintext;
+}
+
+Result<SessionKeys> DeriveSessionKeys(ByteSpan shared_secret,
+                                      ByteSpan transcript_hash) {
+  SESEMI_ASSIGN_OR_RETURN(
+      Bytes okm, crypto::Hkdf(transcript_hash, shared_secret,
+                              ToBytes("sesemi ratls v1 keys"), 32));
+  SessionKeys keys;
+  keys.initiator_to_acceptor.assign(okm.begin(), okm.begin() + 16);
+  keys.acceptor_to_initiator.assign(okm.begin() + 16, okm.end());
+  return keys;
+}
+
+}  // namespace sesemi::ratls

@@ -1,0 +1,52 @@
+#ifndef SESEMI_RATLS_SESSION_H_
+#define SESEMI_RATLS_SESSION_H_
+
+#include "common/bytes.h"
+#include "common/result.h"
+#include "crypto/gcm.h"
+
+namespace sesemi::ratls {
+
+/// An established attested channel: AES-GCM in both directions with
+/// per-direction keys and strictly increasing sequence numbers (replayed,
+/// reordered, or dropped records fail authentication).
+class SecureSession {
+ public:
+  /// `send_key` / `recv_key` are 16- or 32-byte AES keys. The two sides of a
+  /// channel construct mirror-image sessions (A's send key is B's recv key).
+  static Result<SecureSession> Create(ByteSpan send_key, ByteSpan recv_key);
+
+  SecureSession(SecureSession&&) = default;
+  SecureSession& operator=(SecureSession&&) = default;
+
+  /// Encrypt one record. Consumes the next send sequence number.
+  Result<Bytes> Seal(ByteSpan plaintext);
+
+  /// Decrypt the next record in order.
+  Result<Bytes> Open(ByteSpan record);
+
+  uint64_t send_seq() const { return send_seq_; }
+  uint64_t recv_seq() const { return recv_seq_; }
+
+ private:
+  SecureSession(crypto::AesGcm send, crypto::AesGcm recv)
+      : send_(std::move(send)), recv_(std::move(recv)) {}
+
+  crypto::AesGcm send_;
+  crypto::AesGcm recv_;
+  uint64_t send_seq_ = 0;
+  uint64_t recv_seq_ = 0;
+};
+
+/// Derive the two directional keys for a channel from an ECDH shared secret.
+/// Both sides call this with the same transcript and split the output; the
+/// `initiator` flag selects which half is the send key.
+struct SessionKeys {
+  Bytes initiator_to_acceptor;
+  Bytes acceptor_to_initiator;
+};
+Result<SessionKeys> DeriveSessionKeys(ByteSpan shared_secret, ByteSpan transcript_hash);
+
+}  // namespace sesemi::ratls
+
+#endif  // SESEMI_RATLS_SESSION_H_

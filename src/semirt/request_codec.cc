@@ -1,0 +1,55 @@
+#include "semirt/request_codec.h"
+
+#include "crypto/gcm.h"
+
+namespace sesemi::semirt {
+
+namespace {
+Bytes RequestAad(const std::string& model_id) {
+  return ToBytes("sesemi-request:" + model_id);
+}
+Bytes ResultAad(const std::string& model_id) {
+  return ToBytes("sesemi-result:" + model_id);
+}
+}  // namespace
+
+Bytes InferenceRequest::Serialize() const {
+  ByteWriter w;
+  w.WriteLengthPrefixedString(user_id);
+  w.WriteLengthPrefixedString(model_id);
+  w.WriteLengthPrefixed(encrypted_input);
+  return std::move(w).Take();
+}
+
+Result<InferenceRequest> InferenceRequest::Parse(ByteSpan wire) {
+  ByteReader r(wire);
+  InferenceRequest req;
+  if (!r.ReadLengthPrefixedString(&req.user_id) ||
+      !r.ReadLengthPrefixedString(&req.model_id) ||
+      !r.ReadLengthPrefixed(&req.encrypted_input) || !r.done()) {
+    return Status::Corruption("malformed inference request");
+  }
+  return req;
+}
+
+Result<Bytes> EncryptRequestPayload(ByteSpan request_key, const std::string& model_id,
+                                    ByteSpan input) {
+  return crypto::GcmSeal(request_key, RequestAad(model_id), input);
+}
+
+Result<Bytes> DecryptRequestPayload(ByteSpan request_key, const std::string& model_id,
+                                    ByteSpan sealed) {
+  return crypto::GcmOpen(request_key, RequestAad(model_id), sealed);
+}
+
+Result<Bytes> EncryptResultPayload(ByteSpan request_key, const std::string& model_id,
+                                   ByteSpan output) {
+  return crypto::GcmSeal(request_key, ResultAad(model_id), output);
+}
+
+Result<Bytes> DecryptResultPayload(ByteSpan request_key, const std::string& model_id,
+                                   ByteSpan sealed) {
+  return crypto::GcmOpen(request_key, ResultAad(model_id), sealed);
+}
+
+}  // namespace sesemi::semirt

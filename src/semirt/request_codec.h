@@ -1,0 +1,39 @@
+#ifndef SESEMI_SEMIRT_REQUEST_CODEC_H_
+#define SESEMI_SEMIRT_REQUEST_CODEC_H_
+
+#include <string>
+
+#include "common/bytes.h"
+#include "common/result.h"
+
+namespace sesemi::semirt {
+
+/// An inference invocation as it arrives at a serverless instance: the user
+/// and model identifiers are routing metadata (not sensitive — §IV-D), the
+/// input is encrypted under the user's request key K_R.
+struct InferenceRequest {
+  std::string user_id;
+  std::string model_id;
+  Bytes encrypted_input;
+
+  Bytes Serialize() const;
+  static Result<InferenceRequest> Parse(ByteSpan wire);
+};
+
+/// Encrypt an input tensor under K_R. The AAD binds direction and model id,
+/// so a request ciphertext cannot be replayed as a response or re-targeted
+/// at a different model.
+Result<Bytes> EncryptRequestPayload(ByteSpan request_key, const std::string& model_id,
+                                    ByteSpan input);
+Result<Bytes> DecryptRequestPayload(ByteSpan request_key, const std::string& model_id,
+                                    ByteSpan sealed);
+
+/// Encrypt an inference result under the same K_R (paper §III step 6).
+Result<Bytes> EncryptResultPayload(ByteSpan request_key, const std::string& model_id,
+                                   ByteSpan output);
+Result<Bytes> DecryptResultPayload(ByteSpan request_key, const std::string& model_id,
+                                   ByteSpan sealed);
+
+}  // namespace sesemi::semirt
+
+#endif  // SESEMI_SEMIRT_REQUEST_CODEC_H_

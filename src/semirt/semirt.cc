@@ -1,0 +1,484 @@
+#include "semirt/semirt.h"
+
+#include <chrono>
+#include <cmath>
+
+#include "model/format.h"
+
+namespace sesemi::semirt {
+
+namespace {
+TimeMicros NowMicros() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// §IV-D model-extraction mitigation: quantize the raw float32 output to
+/// `decimals` decimal places, in place. Runs inside the enclave before the
+/// result is encrypted, so the precise scores never leave the TEE.
+void RoundScores(Bytes* raw_output, int decimals) {
+  if (decimals <= 0 || raw_output->size() % sizeof(float) != 0) return;
+  const double factor = std::pow(10.0, decimals);
+  float* values = reinterpret_cast<float*>(raw_output->data());
+  size_t n = raw_output->size() / sizeof(float);
+  for (size_t i = 0; i < n; ++i) {
+    values[i] = static_cast<float>(
+        std::round(static_cast<double>(values[i]) * factor) / factor);
+  }
+}
+}  // namespace
+
+const char* ToString(RuntimeMode mode) {
+  switch (mode) {
+    case RuntimeMode::kSesemi: return "sesemi";
+    case RuntimeMode::kIsoReuse: return "iso-reuse";
+    case RuntimeMode::kNative: return "native";
+    case RuntimeMode::kUntrusted: return "untrusted";
+  }
+  return "unknown";
+}
+
+const char* ToString(InvocationKind kind) {
+  switch (kind) {
+    case InvocationKind::kCold: return "cold";
+    case InvocationKind::kWarm: return "warm";
+    case InvocationKind::kHot: return "hot";
+  }
+  return "unknown";
+}
+
+std::string SemirtInstance::ModelObjectKey(const std::string& model_id) {
+  return "models/" + model_id;
+}
+
+std::string SemirtInstance::PlainModelObjectKey(const std::string& model_id) {
+  return "plainmodels/" + model_id;
+}
+
+sgx::Measurement SemirtInstance::MeasurementFor(const SemirtOptions& options) {
+  // The enclave image covers the runtime core, the inference framework, the
+  // expected KeyService identity (Appendix A), and the execution-restriction
+  // configuration (§V) — but never model weights or keys.
+  std::vector<std::pair<std::string, Bytes>> units = {
+      {"semirt-core", ToBytes("sesemi semirt runtime v1")},
+      {"inference-framework",
+       ToBytes(std::string("framework:") + inference::ToString(options.framework))},
+      {"keyservice-identity",
+       ToBytes(keyservice::KeyServiceEnclave::ExpectedMeasurement().ToHex())},
+  };
+  sgx::EnclaveConfig config;
+  config.heap_size_bytes = options.heap_size_bytes;
+  config.num_tcs = options.num_tcs;
+  config.sequential_mode = options.sequential_mode;
+  config.disable_key_cache = options.disable_key_cache;
+  config.fixed_model_id = options.fixed_model_id;
+  config.round_scores_decimals = static_cast<uint32_t>(options.round_scores_decimals);
+  sgx::EnclaveImage image("semirt", std::move(units), config);
+  return image.mrenclave();
+}
+
+Result<std::unique_ptr<SemirtInstance>> SemirtInstance::Create(
+    sgx::SgxPlatform* platform, const SemirtOptions& options,
+    storage::ObjectStore* storage, keyservice::KeyServiceServer* keyservice) {
+  if (options.mode != RuntimeMode::kUntrusted && keyservice == nullptr) {
+    return Status::InvalidArgument("trusted modes require a KeyService");
+  }
+  if (options.sequential_mode && options.num_tcs != 1) {
+    return Status::InvalidArgument("sequential mode requires num_tcs == 1");
+  }
+  if (options.mode == RuntimeMode::kNative && options.num_tcs != 1) {
+    return Status::InvalidArgument(
+        "the Native baseline launches one enclave per request (num_tcs == 1)");
+  }
+  if (storage == nullptr) {
+    return Status::InvalidArgument("storage is required");
+  }
+  auto instance = std::unique_ptr<SemirtInstance>(
+      new SemirtInstance(platform, options, storage, keyservice));
+  SESEMI_RETURN_IF_ERROR(instance->Initialize());
+  return instance;
+}
+
+SemirtInstance::SemirtInstance(sgx::SgxPlatform* platform, SemirtOptions options,
+                               storage::ObjectStore* storage,
+                               keyservice::KeyServiceServer* keyservice)
+    : platform_(platform),
+      options_(std::move(options)),
+      storage_(storage),
+      keyservice_(keyservice),
+      framework_(inference::CreateFramework(options_.framework)),
+      contexts_(options_.num_tcs) {}
+
+SemirtInstance::~SemirtInstance() { ClearExecutionContext(); }
+
+Status SemirtInstance::Initialize() {
+  if (options_.mode == RuntimeMode::kUntrusted) return Status::OK();
+
+  std::vector<std::pair<std::string, Bytes>> units = {
+      {"semirt-core", ToBytes("sesemi semirt runtime v1")},
+      {"inference-framework",
+       ToBytes(std::string("framework:") + inference::ToString(options_.framework))},
+      {"keyservice-identity",
+       ToBytes(keyservice::KeyServiceEnclave::ExpectedMeasurement().ToHex())},
+  };
+  sgx::EnclaveConfig config;
+  config.heap_size_bytes = options_.heap_size_bytes;
+  config.num_tcs = options_.num_tcs;
+  config.sequential_mode = options_.sequential_mode;
+  config.disable_key_cache = options_.disable_key_cache;
+  config.fixed_model_id = options_.fixed_model_id;
+  config.round_scores_decimals = static_cast<uint32_t>(options_.round_scores_decimals);
+  sgx::EnclaveImage image("semirt", std::move(units), config);
+  SESEMI_ASSIGN_OR_RETURN(enclave_, platform_->CreateEnclave(image));
+  link_ = std::make_unique<KeyServiceLink>(
+      keyservice_, keyservice::KeyServiceEnclave::ExpectedMeasurement());
+  return Status::OK();
+}
+
+Status SemirtInstance::ChargeHeap(uint64_t bytes) {
+  if (enclave_ != nullptr) return enclave_->AllocateTrusted(bytes);
+  uint64_t used = untrusted_heap_used_.fetch_add(bytes) + bytes;
+  uint64_t peak = untrusted_heap_peak_.load();
+  while (used > peak && !untrusted_heap_peak_.compare_exchange_weak(peak, used)) {
+  }
+  return Status::OK();
+}
+
+void SemirtInstance::FreeHeap(uint64_t bytes) {
+  if (enclave_ != nullptr) {
+    enclave_->FreeTrusted(bytes);
+    return;
+  }
+  uint64_t used = untrusted_heap_used_.load();
+  uint64_t clamped = bytes > used ? used : bytes;
+  untrusted_heap_used_.fetch_sub(clamped);
+}
+
+uint64_t SemirtInstance::heap_peak() const {
+  if (enclave_ != nullptr) return enclave_->heap_peak();
+  return untrusted_heap_peak_.load();
+}
+
+int SemirtInstance::AcquireSlot() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    for (size_t i = 0; i < contexts_.size(); ++i) {
+      if (!contexts_[i].busy) {
+        contexts_[i].busy = true;
+        return static_cast<int>(i);
+      }
+    }
+    slot_cv_.wait(lock);
+  }
+}
+
+void SemirtInstance::ReleaseSlot(int slot) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    contexts_[slot].busy = false;
+  }
+  slot_cv_.notify_one();
+}
+
+void SemirtInstance::DropRuntimeLocked(ThreadContext* ctx) {
+  if (ctx->runtime != nullptr) {
+    FreeHeap(ctx->charged_bytes);
+    ctx->runtime.reset();
+    ctx->charged_bytes = 0;
+    ctx->model_id.clear();
+  }
+}
+
+Result<std::pair<Bytes, Bytes>> SemirtInstance::EnsureKeys(
+    const std::string& user_id, const std::string& model_id, bool* fetched) {
+  const std::string key_id = model_id + "|" + user_id;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!options_.disable_key_cache && cached_key_id_ == key_id) {
+      return std::make_pair(cached_model_key_, cached_request_key_);
+    }
+  }
+  // Round trip to KeyService outside the instance lock.
+  SESEMI_ASSIGN_OR_RETURN(auto keys,
+                          link_->FetchKeys(enclave_.get(), user_id, model_id));
+  *fetched = true;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stats_.key_fetches++;
+    if (!options_.disable_key_cache) {
+      // Cache exactly one ⟨uid,Moid⟩ pair (Algorithm 2 line 8) so requests
+      // from multiple users never share an enclave concurrently.
+      cached_key_id_ = key_id;
+      cached_model_key_ = keys.first;
+      cached_request_key_ = keys.second;
+    }
+  }
+  return keys;
+}
+
+Result<std::shared_ptr<inference::LoadedModel>> SemirtInstance::EnsureModel(
+    const std::string& model_id, ByteSpan model_key, bool* loaded) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (loaded_model_ != nullptr && loaded_model_id_ == model_id &&
+        options_.mode == RuntimeMode::kSesemi) {
+      return loaded_model_;
+    }
+  }
+
+  // OC_LOAD_MODEL: the untrusted side fetches the ciphertext from storage.
+  if (enclave_ != nullptr) enclave_->RecordOcall();
+  SESEMI_ASSIGN_OR_RETURN(Bytes sealed, storage_->Get(ModelObjectKey(model_id)));
+
+  // The ciphertext is copied into enclave memory before decryption
+  // (Appendix D: the enclave holds the encrypted copy + the decrypted model
+  // at peak).
+  SESEMI_RETURN_IF_ERROR(ChargeHeap(sealed.size()));
+  auto decrypted = model::DecryptModel(sealed, model_key, model_id);
+  if (!decrypted.ok()) {
+    FreeHeap(sealed.size());
+    return decrypted.status();
+  }
+  auto wrapped = framework_->WrapModel(std::move(*decrypted));
+  if (!wrapped.ok()) {
+    FreeHeap(sealed.size());
+    return wrapped.status();
+  }
+  uint64_t model_bytes = (*wrapped)->memory_bytes();
+  Status charge = ChargeHeap(model_bytes);
+  // OC_FREE_LOADED: release the ciphertext staging copy.
+  FreeHeap(sealed.size());
+  if (enclave_ != nullptr) enclave_->RecordOcall();
+  if (!charge.ok()) return charge;
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  // Model switch invalidates every thread's runtime for the old model (done
+  // lazily in EnsureRuntime); free the old model's charge now.
+  if (loaded_model_ != nullptr) FreeHeap(model_charged_bytes_);
+  loaded_model_ = std::move(*wrapped);
+  loaded_model_id_ = model_id;
+  model_charged_bytes_ = model_bytes;
+  stats_.model_loads++;
+  *loaded = true;
+  return loaded_model_;
+}
+
+Status SemirtInstance::EnsureRuntime(
+    int slot, const std::string& model_id,
+    const std::shared_ptr<inference::LoadedModel>& model, bool* inited) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  ThreadContext& ctx = contexts_[slot];
+  const bool reuse_allowed =
+      options_.mode == RuntimeMode::kSesemi ||
+      (options_.mode == RuntimeMode::kUntrusted && options_.reuse_model);
+  const bool reusable =
+      ctx.runtime != nullptr && ctx.model_id == model_id && reuse_allowed;
+  if (reusable) return Status::OK();
+
+  DropRuntimeLocked(&ctx);
+  lock.unlock();
+
+  auto runtime = framework_->CreateRuntime(model);
+  if (!runtime.ok()) return runtime.status();
+  uint64_t bytes = (*runtime)->buffer_bytes();
+  SESEMI_RETURN_IF_ERROR(ChargeHeap(bytes));
+
+  lock.lock();
+  ctx.runtime = std::move(*runtime);
+  ctx.model_id = model_id;
+  ctx.charged_bytes = bytes;
+  stats_.runtime_inits++;
+  *inited = true;
+  return Status::OK();
+}
+
+Result<Bytes> SemirtInstance::HandleRequest(const InferenceRequest& request,
+                                            StageTimings* timings) {
+  if (request.model_id.empty() || request.encrypted_input.empty()) {
+    return Status::InvalidArgument("empty model id or input");
+  }
+  if (!options_.fixed_model_id.empty() &&
+      request.model_id != options_.fixed_model_id) {
+    return Status::PermissionDenied("enclave is fixed to model " +
+                                    options_.fixed_model_id);
+  }
+
+  StageTimings local;
+  StageTimings* t = timings != nullptr ? timings : &local;
+  const TimeMicros start = NowMicros();
+
+  int slot = AcquireSlot();
+  Result<Bytes> result = options_.mode == RuntimeMode::kUntrusted
+                             ? HandleUntrusted(request, slot, t)
+                             : HandleTrusted(request, slot, t);
+  ReleaseSlot(slot);
+  t->total = NowMicros() - start;
+  return result;
+}
+
+Result<Bytes> SemirtInstance::HandleTrusted(const InferenceRequest& request,
+                                            int slot, StageTimings* timings) {
+  if (request.user_id.empty()) {
+    return Status::InvalidArgument("missing user id");
+  }
+  if (options_.mode == RuntimeMode::kNative && !enclave_fresh_) {
+    // Native baseline: tear down and relaunch the enclave for every request
+    // (the sandbox is reused, the enclave is not — §VI "Baselines"). The
+    // single TCS slot serializes requests, so this is race-free.
+    ClearExecutionContext();
+    enclave_.reset();
+    SESEMI_RETURN_IF_ERROR(Initialize());
+    std::lock_guard<std::mutex> lock(mutex_);
+    enclave_fresh_ = true;
+  }
+  // EC_MODEL_INF: a thread enters the enclave through a TCS.
+  sgx::TcsGuard tcs = enclave_->EnterEcall();
+
+  bool key_fetched = false, model_loaded = false, runtime_inited = false;
+
+  TimeMicros mark = NowMicros();
+  SESEMI_ASSIGN_OR_RETURN(auto keys,
+                          EnsureKeys(request.user_id, request.model_id, &key_fetched));
+  timings->key_fetch = NowMicros() - mark;
+  const Bytes& model_key = keys.first;
+  const Bytes& request_key = keys.second;
+
+  mark = NowMicros();
+  SESEMI_ASSIGN_OR_RETURN(
+      std::shared_ptr<inference::LoadedModel> model,
+      EnsureModel(request.model_id, model_key, &model_loaded));
+  timings->model_load = NowMicros() - mark;
+
+  mark = NowMicros();
+  SESEMI_RETURN_IF_ERROR(
+      EnsureRuntime(slot, request.model_id, model, &runtime_inited));
+  timings->runtime_init = NowMicros() - mark;
+
+  mark = NowMicros();
+  SESEMI_ASSIGN_OR_RETURN(
+      Bytes input, DecryptRequestPayload(request_key, request.model_id,
+                                         request.encrypted_input));
+  Result<Bytes> output = [&]() -> Result<Bytes> {
+    std::unique_lock<std::mutex> lock(mutex_);
+    inference::ModelRuntime* runtime = contexts_[slot].runtime.get();
+    lock.unlock();
+    return runtime->Execute(input);
+  }();
+  if (!output.ok()) return output.status();
+  RoundScores(&output.value(), options_.round_scores_decimals);
+  SESEMI_ASSIGN_OR_RETURN(
+      Bytes sealed, EncryptResultPayload(request_key, request.model_id, *output));
+  timings->execute = NowMicros() - mark;
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (enclave_fresh_) {
+    timings->kind = InvocationKind::kCold;
+    stats_.cold_invocations++;
+    enclave_fresh_ = false;
+  } else if (key_fetched || model_loaded || runtime_inited) {
+    timings->kind = InvocationKind::kWarm;
+    stats_.warm_invocations++;
+  } else {
+    timings->kind = InvocationKind::kHot;
+    stats_.hot_invocations++;
+  }
+  stats_.requests++;
+
+  if (options_.sequential_mode) {
+    // Strong isolation (§V, Table II): return the enclave to a state holding
+    // only the loaded model — drop runtimes and cached keys.
+    DropRuntimeLocked(&contexts_[slot]);
+    cached_key_id_.clear();
+    cached_model_key_.clear();
+    cached_request_key_.clear();
+  }
+  return sealed;
+}
+
+Result<Bytes> SemirtInstance::HandleUntrusted(const InferenceRequest& request,
+                                              int slot, StageTimings* timings) {
+  bool model_loaded = false, runtime_inited = false;
+
+  // Plaintext model path (no keys, no attestation).
+  TimeMicros mark = NowMicros();
+  std::shared_ptr<inference::LoadedModel> model;
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (loaded_model_ != nullptr && loaded_model_id_ == request.model_id &&
+        options_.reuse_model) {
+      model = loaded_model_;
+    }
+  }
+  if (model == nullptr) {
+    SESEMI_ASSIGN_OR_RETURN(Bytes plain,
+                            storage_->Get(PlainModelObjectKey(request.model_id)));
+    SESEMI_ASSIGN_OR_RETURN(model, framework_->LoadModel(plain));
+    uint64_t bytes = model->memory_bytes();
+    SESEMI_RETURN_IF_ERROR(ChargeHeap(bytes));
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (loaded_model_ != nullptr) FreeHeap(model_charged_bytes_);
+    loaded_model_ = model;
+    loaded_model_id_ = request.model_id;
+    model_charged_bytes_ = bytes;
+    stats_.model_loads++;
+    model_loaded = true;
+  }
+  timings->model_load = NowMicros() - mark;
+
+  mark = NowMicros();
+  SESEMI_RETURN_IF_ERROR(
+      EnsureRuntime(slot, request.model_id, model, &runtime_inited));
+  timings->runtime_init = NowMicros() - mark;
+
+  mark = NowMicros();
+  Result<Bytes> output = [&]() -> Result<Bytes> {
+    std::unique_lock<std::mutex> lock(mutex_);
+    inference::ModelRuntime* runtime = contexts_[slot].runtime.get();
+    lock.unlock();
+    return runtime->Execute(request.encrypted_input);  // plaintext in this mode
+  }();
+  if (!output.ok()) return output.status();
+  timings->execute = NowMicros() - mark;
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (enclave_fresh_) {
+    timings->kind = InvocationKind::kCold;
+    stats_.cold_invocations++;
+    enclave_fresh_ = false;
+  } else if (model_loaded || runtime_inited) {
+    timings->kind = InvocationKind::kWarm;
+    stats_.warm_invocations++;
+  } else {
+    timings->kind = InvocationKind::kHot;
+    stats_.hot_invocations++;
+  }
+  stats_.requests++;
+  return *output;
+}
+
+void SemirtInstance::ClearExecutionContext() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (ThreadContext& ctx : contexts_) DropRuntimeLocked(&ctx);
+  if (loaded_model_ != nullptr) {
+    FreeHeap(model_charged_bytes_);
+    loaded_model_.reset();
+    loaded_model_id_.clear();
+    model_charged_bytes_ = 0;
+  }
+  cached_key_id_.clear();
+  cached_model_key_.clear();
+  cached_request_key_.clear();
+}
+
+std::string SemirtInstance::loaded_model_id() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return loaded_model_id_;
+}
+
+SemirtStats SemirtInstance::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+}  // namespace sesemi::semirt

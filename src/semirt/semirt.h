@@ -1,0 +1,193 @@
+#ifndef SESEMI_SEMIRT_SEMIRT_H_
+#define SESEMI_SEMIRT_SEMIRT_H_
+
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/result.h"
+#include "inference/framework.h"
+#include "keyservice/keyservice.h"
+#include "semirt/keyservice_link.h"
+#include "semirt/request_codec.h"
+#include "sgx/platform.h"
+#include "storage/object_store.h"
+
+namespace sesemi::semirt {
+
+/// Execution strategy of a serverless instance. kSesemi is this paper's
+/// runtime; the others are the evaluation baselines (§VI):
+///  - kIsoReuse  — S-FaaS/Clemmys-style: reuse enclave + decryption keys, but
+///    reload the model and re-initialize the runtime for every request.
+///  - kNative    — existing serverless runtimes: a fresh enclave per request.
+///  - kUntrusted — no TEE, plaintext models and requests (Figure 9's
+///    "Untrusted"); model reuse across requests gives "Untrusted (reuse)".
+enum class RuntimeMode { kSesemi, kIsoReuse, kNative, kUntrusted };
+
+const char* ToString(RuntimeMode mode);
+
+/// Classification of an invocation per Figure 4.
+enum class InvocationKind { kCold, kWarm, kHot };
+
+const char* ToString(InvocationKind kind);
+
+/// Deployment-time configuration. Everything here except `heap_size_bytes`
+/// defaults is part of the enclave identity (MeasurementFor), matching §V.
+struct SemirtOptions {
+  inference::FrameworkKind framework = inference::FrameworkKind::kTvm;
+  RuntimeMode mode = RuntimeMode::kSesemi;
+  uint32_t num_tcs = 1;
+  uint64_t heap_size_bytes = 256ull << 20;
+  bool sequential_mode = false;    ///< Table II: strict per-request isolation
+  bool disable_key_cache = false;  ///< part of sequential isolation build
+  std::string fixed_model_id;      ///< restrict the enclave to one model
+  bool reuse_model = true;         ///< kUntrusted only: cache the loaded model
+  /// §IV-D model-extraction mitigation: round output confidence scores to
+  /// this many decimal places before encryption (0 = disabled). Part of the
+  /// enclave identity, so users can verify the policy is actually enforced.
+  int round_scores_decimals = 0;
+};
+
+/// Per-request stage timings (live-mode measurements; the sim substitutes its
+/// calibrated cost model for the same stages).
+struct StageTimings {
+  InvocationKind kind = InvocationKind::kHot;
+  TimeMicros key_fetch = 0;     ///< attestation + KEY_PROVISIONING
+  TimeMicros model_load = 0;    ///< storage fetch + copy-in + decrypt + parse
+  TimeMicros runtime_init = 0;  ///< RUNTIME_INIT
+  TimeMicros execute = 0;       ///< decrypt input + MODEL_EXEC + encrypt result
+  TimeMicros total = 0;
+};
+
+/// Cumulative instance statistics.
+struct SemirtStats {
+  int cold_invocations = 0;
+  int warm_invocations = 0;
+  int hot_invocations = 0;
+  int key_fetches = 0;
+  int model_loads = 0;
+  int runtime_inits = 0;
+  int requests = 0;
+};
+
+/// One serverless sandbox running the SeMIRT runtime (Figure 6): an enclave
+/// with a shared decrypted-model cache, a single cached ⟨uid,Moid⟩ key pair,
+/// and per-TCS thread contexts holding model runtimes.
+///
+/// Thread-safe: HandleRequest may be called from up to `num_tcs` threads
+/// concurrently (more block on TCS acquisition, as on real SGX).
+class SemirtInstance {
+ public:
+  /// Launch the instance: creates the enclave (the expensive part of a cold
+  /// start) and connects the KeyService link. `keyservice` may be null only
+  /// in kUntrusted mode.
+  static Result<std::unique_ptr<SemirtInstance>> Create(
+      sgx::SgxPlatform* platform, const SemirtOptions& options,
+      storage::ObjectStore* storage, keyservice::KeyServiceServer* keyservice);
+
+  ~SemirtInstance();
+
+  /// The enclave identity E_S a deployment of `options` will have. Model
+  /// owners and users derive this from the published code + configuration to
+  /// write access-control entries (§III).
+  static sgx::Measurement MeasurementFor(const SemirtOptions& options);
+
+  /// ECALL EC_MODEL_INF + EC_GET_OUTPUT: serve one request, returning the
+  /// result encrypted under the request key (raw output in kUntrusted mode).
+  Result<Bytes> HandleRequest(const InferenceRequest& request,
+                              StageTimings* timings = nullptr);
+
+  /// ECALL EC_CLEAR_EXEC_CTX: drop all thread-local runtimes, the cached
+  /// model, and cached keys, returning the enclave to its post-init state.
+  void ClearExecutionContext();
+
+  const SemirtOptions& options() const { return options_; }
+  sgx::Enclave* enclave() { return enclave_.get(); }  ///< null in kUntrusted
+  SemirtStats stats() const;
+
+  /// Peak trusted-heap usage (Figure 10's measurement).
+  uint64_t heap_peak() const;
+
+  /// Currently loaded model id (empty if none) — used by schedulers that
+  /// prefer hot containers.
+  std::string loaded_model_id() const;
+
+  /// Storage key where model `id`'s ciphertext lives.
+  static std::string ModelObjectKey(const std::string& model_id);
+  /// Storage key for the plaintext copy used by the untrusted baselines.
+  static std::string PlainModelObjectKey(const std::string& model_id);
+
+ private:
+  struct ThreadContext {
+    bool busy = false;
+    std::string model_id;
+    std::unique_ptr<inference::ModelRuntime> runtime;
+    uint64_t charged_bytes = 0;
+  };
+
+  SemirtInstance(sgx::SgxPlatform* platform, SemirtOptions options,
+                 storage::ObjectStore* storage,
+                 keyservice::KeyServiceServer* keyservice);
+
+  Status Initialize();
+  Result<Bytes> HandleTrusted(const InferenceRequest& request, int slot,
+                              StageTimings* timings);
+  Result<Bytes> HandleUntrusted(const InferenceRequest& request, int slot,
+                                StageTimings* timings);
+
+  /// Ensure (K_M, K_R) for (uid, Moid) are available, honoring the one-pair
+  /// key cache. Sets *fetched if a KeyService round trip happened.
+  Result<std::pair<Bytes, Bytes>> EnsureKeys(const std::string& user_id,
+                                             const std::string& model_id,
+                                             bool* fetched);
+
+  /// Ensure the target model is the loaded model (OC_LOAD_MODEL + decrypt +
+  /// MODEL_LOAD). Sets *loaded if a load happened.
+  Result<std::shared_ptr<inference::LoadedModel>> EnsureModel(
+      const std::string& model_id, ByteSpan model_key, bool* loaded);
+
+  /// Ensure slot's runtime targets `model_id`. Sets *inited on RUNTIME_INIT.
+  Status EnsureRuntime(int slot, const std::string& model_id,
+                       const std::shared_ptr<inference::LoadedModel>& model,
+                       bool* inited);
+
+  int AcquireSlot();
+  void ReleaseSlot(int slot);
+  void DropRuntimeLocked(ThreadContext* ctx);
+  Status ChargeHeap(uint64_t bytes);
+  void FreeHeap(uint64_t bytes);
+
+  sgx::SgxPlatform* platform_;
+  SemirtOptions options_;
+  storage::ObjectStore* storage_;
+  keyservice::KeyServiceServer* keyservice_;
+
+  std::unique_ptr<sgx::Enclave> enclave_;
+  std::unique_ptr<KeyServiceLink> link_;
+  std::unique_ptr<inference::InferenceFramework> framework_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable slot_cv_;
+  std::vector<ThreadContext> contexts_;
+
+  // Shared (enclave-heap) state: one model, one key pair (Algorithm 2).
+  std::shared_ptr<inference::LoadedModel> loaded_model_;
+  std::string loaded_model_id_;
+  uint64_t model_charged_bytes_ = 0;
+  std::string cached_key_id_;  // Moid|uid
+  Bytes cached_model_key_;
+  Bytes cached_request_key_;
+
+  bool enclave_fresh_ = true;  // next request is the cold one
+  SemirtStats stats_;
+  // Heap accounting for kUntrusted (no enclave). Atomic so Charge/Free are
+  // safe from paths that already hold mutex_.
+  std::atomic<uint64_t> untrusted_heap_peak_{0};
+  std::atomic<uint64_t> untrusted_heap_used_{0};
+};
+
+}  // namespace sesemi::semirt
+
+#endif  // SESEMI_SEMIRT_SEMIRT_H_

@@ -1,0 +1,169 @@
+#include "serverless/platform.h"
+
+#include <algorithm>
+
+namespace sesemi::serverless {
+
+namespace {
+constexpr uint64_t kMemoryGranularity = 128ull << 20;
+
+uint64_t RoundUpToGranularity(uint64_t bytes) {
+  return (bytes + kMemoryGranularity - 1) / kMemoryGranularity * kMemoryGranularity;
+}
+}  // namespace
+
+ServerlessPlatform::ServerlessPlatform(const PlatformConfig& config,
+                                       sgx::AttestationAuthority* authority,
+                                       storage::ObjectStore* storage,
+                                       keyservice::KeyServiceServer* keyservice,
+                                       Clock* clock)
+    : config_(config), storage_(storage), keyservice_(keyservice) {
+  if (clock == nullptr) {
+    owned_clock_ = std::make_unique<RealClock>();
+    clock_ = owned_clock_.get();
+  } else {
+    clock_ = clock;
+  }
+  nodes_.resize(config_.num_nodes);
+  for (auto& node : nodes_) {
+    node.platform = std::make_unique<sgx::SgxPlatform>(config_.generation, authority);
+  }
+}
+
+Status ServerlessPlatform::DeployFunction(const FunctionSpec& spec) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (functions_.count(spec.name) > 0) {
+    return Status::AlreadyExists("function already deployed: " + spec.name);
+  }
+  FunctionSpec normalized = spec;
+  normalized.container_memory_bytes =
+      RoundUpToGranularity(spec.container_memory_bytes);
+  functions_[spec.name] = std::move(normalized);
+  return Status::OK();
+}
+
+Result<ServerlessPlatform::Container*> ServerlessPlatform::AcquireContainer(
+    const std::string& function, const std::string& model_id, bool* cold_start) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto fn_it = functions_.find(function);
+  if (fn_it == functions_.end()) {
+    return Status::NotFound("no such function: " + function);
+  }
+  const FunctionSpec& spec = fn_it->second;
+
+  // Warm path: free slot, prefer a container already serving this model.
+  Container* best = nullptr;
+  int best_score = -1;
+  for (auto& c : containers_) {
+    if (c->function != function) continue;
+    if (c->in_flight >= static_cast<int>(spec.options.num_tcs)) continue;
+    int score = 1 + (c->instance->loaded_model_id() == model_id ? 2 : 0);
+    if (score > best_score) {
+      best_score = score;
+      best = c.get();
+    }
+  }
+  if (best != nullptr) {
+    best->in_flight++;
+    *cold_start = false;
+    return best;
+  }
+
+  // Cold start: place on the node with the most free memory (OpenWhisk's
+  // memory-based scheduling), preferring a node that already hosts this
+  // function (co-location).
+  int chosen = -1;
+  for (const auto& c : containers_) {
+    if (c->function == function &&
+        nodes_[c->node].memory_used + spec.container_memory_bytes <=
+            config_.invoker_memory_bytes) {
+      chosen = c->node;
+      break;
+    }
+  }
+  if (chosen < 0) {
+    uint64_t best_free = 0;
+    for (size_t i = 0; i < nodes_.size(); ++i) {
+      uint64_t used = nodes_[i].memory_used;
+      uint64_t free =
+          config_.invoker_memory_bytes > used ? config_.invoker_memory_bytes - used : 0;
+      if (free >= spec.container_memory_bytes && free > best_free) {
+        best_free = free;
+        chosen = static_cast<int>(i);
+      }
+    }
+  }
+  if (chosen < 0) {
+    return Status::ResourceExhausted("no invoker has memory for " + function);
+  }
+
+  auto instance = semirt::SemirtInstance::Create(
+      nodes_[chosen].platform.get(), spec.options, storage_, keyservice_);
+  if (!instance.ok()) return instance.status();
+
+  auto container = std::make_unique<Container>();
+  container->function = function;
+  container->node = chosen;
+  container->memory_bytes = spec.container_memory_bytes;
+  container->instance = std::move(*instance);
+  container->in_flight = 1;
+  container->last_used = clock_->Now();
+  nodes_[chosen].memory_used += container->memory_bytes;
+  containers_.push_back(std::move(container));
+  stats_.cold_starts++;
+  *cold_start = true;
+  return containers_.back().get();
+}
+
+Result<Bytes> ServerlessPlatform::Invoke(const std::string& function,
+                                         const semirt::InferenceRequest& request,
+                                         semirt::StageTimings* timings,
+                                         bool* cold_start) {
+  ReapIdleContainers();
+  bool cold = false;
+  SESEMI_ASSIGN_OR_RETURN(Container * container,
+                          AcquireContainer(function, request.model_id, &cold));
+  if (cold_start != nullptr) *cold_start = cold;
+
+  Result<Bytes> result = container->instance->HandleRequest(request, timings);
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  container->in_flight--;
+  container->last_used = clock_->Now();
+  stats_.invocations++;
+  return result;
+}
+
+int ServerlessPlatform::ReapIdleContainers() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const TimeMicros now = clock_->Now();
+  int reaped = 0;
+  for (auto it = containers_.begin(); it != containers_.end();) {
+    Container* c = it->get();
+    if (c->in_flight == 0 && now - c->last_used >= config_.keep_alive) {
+      nodes_[c->node].memory_used -=
+          std::min(nodes_[c->node].memory_used, c->memory_bytes);
+      it = containers_.erase(it);
+      ++reaped;
+    } else {
+      ++it;
+    }
+  }
+  stats_.reaped_containers += reaped;
+  return reaped;
+}
+
+int ServerlessPlatform::ContainerCount(const std::string& function) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (function.empty()) return static_cast<int>(containers_.size());
+  int n = 0;
+  for (const auto& c : containers_) n += (c->function == function);
+  return n;
+}
+
+PlatformStats ServerlessPlatform::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+}  // namespace sesemi::serverless

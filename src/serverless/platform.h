@@ -1,0 +1,120 @@
+#ifndef SESEMI_SERVERLESS_PLATFORM_H_
+#define SESEMI_SERVERLESS_PLATFORM_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/result.h"
+#include "fnpacker/router.h"
+#include "keyservice/keyservice.h"
+#include "semirt/semirt.h"
+#include "sgx/platform.h"
+#include "storage/object_store.h"
+
+namespace sesemi::serverless {
+
+/// Platform-level configuration (the OpenWhisk knobs from Table V).
+struct PlatformConfig {
+  int num_nodes = 1;
+  uint64_t invoker_memory_bytes = 4ull << 30;  ///< per-node sandbox budget
+  TimeMicros keep_alive = SecondsToMicros(180);
+  sgx::SgxGeneration generation = sgx::SgxGeneration::kSgx2;
+};
+
+/// A deployed function: a name bound to a SeMIRT (or baseline) runtime
+/// configuration and a container memory budget.
+struct FunctionSpec {
+  std::string name;
+  semirt::SemirtOptions options;
+  /// Memory charged against the invoker per container; rounded up to the
+  /// 128 MB provisioning granularity.
+  uint64_t container_memory_bytes = 256ull << 20;
+};
+
+/// Cumulative platform statistics.
+struct PlatformStats {
+  int invocations = 0;
+  int cold_starts = 0;
+  int reaped_containers = 0;
+};
+
+/// A live, in-process serverless platform: invoker nodes with memory-based
+/// placement, warm-container reuse, keep-alive reclamation, and cold starts
+/// that launch SeMIRT sandboxes. This is the execution substrate the
+/// examples and integration tests run on; the discrete-event simulator in
+/// src/sim mirrors its policies at cluster scale.
+///
+/// Thread-safe; Invoke may be called concurrently.
+class ServerlessPlatform {
+ public:
+  /// `clock` defaults to a process-lifetime RealClock; tests inject a
+  /// ManualClock to drive keep-alive expiry.
+  ServerlessPlatform(const PlatformConfig& config,
+                     sgx::AttestationAuthority* authority,
+                     storage::ObjectStore* storage,
+                     keyservice::KeyServiceServer* keyservice,
+                     Clock* clock = nullptr);
+
+  /// Register a function (the owner's deployment step). Fails on duplicates.
+  Status DeployFunction(const FunctionSpec& spec);
+
+  /// Synchronously execute one request on `function`: reuses a warm container
+  /// with a free TCS slot (preferring one already serving the request's
+  /// model) or cold-starts a new one. Sets *cold_start if provisioning
+  /// happened.
+  Result<Bytes> Invoke(const std::string& function,
+                       const semirt::InferenceRequest& request,
+                       semirt::StageTimings* timings = nullptr,
+                       bool* cold_start = nullptr);
+
+  /// Reclaim containers idle longer than the keep-alive window. Called
+  /// opportunistically by Invoke; exposed for tests and maintenance loops.
+  int ReapIdleContainers();
+
+  /// Number of live containers for `function` ("" = all).
+  int ContainerCount(const std::string& function = "") const;
+
+  PlatformStats stats() const;
+
+  /// The SGX platform backing node `i` (for EPC/attestation inspection).
+  sgx::SgxPlatform* node(int i) { return nodes_.at(i).platform.get(); }
+
+ private:
+  struct Container {
+    std::string function;
+    int node = 0;
+    uint64_t memory_bytes = 0;
+    std::unique_ptr<semirt::SemirtInstance> instance;
+    int in_flight = 0;
+    TimeMicros last_used = 0;
+  };
+
+  struct Node {
+    std::unique_ptr<sgx::SgxPlatform> platform;
+    uint64_t memory_used = 0;
+  };
+
+  Result<Container*> AcquireContainer(const std::string& function,
+                                      const std::string& model_id,
+                                      bool* cold_start);
+
+  PlatformConfig config_;
+  storage::ObjectStore* storage_;
+  keyservice::KeyServiceServer* keyservice_;
+  std::unique_ptr<Clock> owned_clock_;
+  Clock* clock_;
+
+  mutable std::mutex mutex_;
+  std::vector<Node> nodes_;
+  std::map<std::string, FunctionSpec> functions_;
+  std::vector<std::unique_ptr<Container>> containers_;
+  PlatformStats stats_;
+};
+
+}  // namespace sesemi::serverless
+
+#endif  // SESEMI_SERVERLESS_PLATFORM_H_

@@ -1,0 +1,46 @@
+#include "sgx/epc.h"
+
+#include <algorithm>
+
+namespace sesemi::sgx {
+
+Status EpcManager::Commit(uint64_t bytes) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (strict_ && committed_bytes_ + bytes > capacity_) {
+    return Status::ResourceExhausted("EPC capacity exceeded");
+  }
+  committed_bytes_ += bytes;
+  peak_bytes_ = std::max(peak_bytes_, committed_bytes_);
+  return Status::OK();
+}
+
+void EpcManager::Release(uint64_t bytes) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  committed_bytes_ = bytes > committed_bytes_ ? 0 : committed_bytes_ - bytes;
+}
+
+uint64_t EpcManager::committed() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return committed_bytes_;
+}
+
+uint64_t EpcManager::peak_committed() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return peak_bytes_;
+}
+
+double EpcManager::Utilization() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (capacity_ == 0) return 0.0;
+  return static_cast<double>(committed_bytes_) / static_cast<double>(capacity_);
+}
+
+double EpcManager::PagingSlowdown() const {
+  double util = Utilization();
+  if (util <= 1.0) return 1.0;
+  // Each unit of over-subscription adds a full capacity's worth of page
+  // traffic; calibrated against the SGX1 MBNET curve in Figure 11b.
+  return 1.0 + 2.0 * (util - 1.0);
+}
+
+}  // namespace sesemi::sgx

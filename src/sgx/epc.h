@@ -1,0 +1,58 @@
+#ifndef SESEMI_SGX_EPC_H_
+#define SESEMI_SGX_EPC_H_
+
+#include <cstdint>
+#include <mutex>
+
+#include "common/status.h"
+
+namespace sesemi::sgx {
+
+/// Enclave Page Cache accounting for one physical machine.
+///
+/// SGX1 machines cap the EPC at 128 MB; exceeding it triggers kernel paging of
+/// enclave pages, which the paper shows dominates latency (Figure 11b). SGX2
+/// machines configure up to 64 GB, shifting the bottleneck to CPU (§VI-B).
+/// This manager tracks committed bytes, exposes an over-subscription ratio the
+/// cost model converts into a paging slowdown, and enforces nothing by default
+/// (like real hardware, which pages rather than fails) unless `strict` is set.
+class EpcManager {
+ public:
+  explicit EpcManager(uint64_t capacity_bytes, bool strict = false)
+      : capacity_(capacity_bytes), strict_(strict) {}
+
+  /// Commit pages for an enclave. In strict mode fails when the commitment
+  /// would exceed capacity; otherwise always succeeds and records pressure.
+  Status Commit(uint64_t bytes);
+
+  /// Release previously committed pages.
+  void Release(uint64_t bytes);
+
+  uint64_t capacity() const { return capacity_; }
+  uint64_t committed() const;
+  uint64_t peak_committed() const;
+
+  /// committed / capacity; > 1.0 means the machine is paging enclave memory.
+  double Utilization() const;
+
+  /// Multiplicative slowdown for enclave memory access under EPC pressure.
+  /// 1.0 while within capacity; grows linearly with over-subscription,
+  /// matching the near-linear latency growth in Figure 11b once the total
+  /// enclave memory exceeds the EPC limit.
+  double PagingSlowdown() const;
+
+ private:
+  uint64_t capacity_;
+  bool strict_;
+  mutable std::mutex mutex_;
+  uint64_t committed_bytes_ = 0;
+  uint64_t peak_bytes_ = 0;
+};
+
+/// EPC capacity presets from the paper's experimental setup (§VI).
+constexpr uint64_t kSgx1EpcBytes = 128ull << 20;  // 128 MB
+constexpr uint64_t kSgx2EpcBytes = 64ull << 30;   // 64 GB
+
+}  // namespace sesemi::sgx
+
+#endif  // SESEMI_SGX_EPC_H_

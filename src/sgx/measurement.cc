@@ -1,0 +1,53 @@
+#include "sgx/measurement.h"
+
+#include <algorithm>
+
+namespace sesemi::sgx {
+
+Measurement Measurement::FromHex(std::string_view hex) {
+  Measurement m;
+  Bytes b = HexDecode(hex);
+  if (b.size() == kSize) {
+    std::copy(b.begin(), b.end(), m.value_.begin());
+  }
+  return m;
+}
+
+bool Measurement::IsZero() const {
+  return std::all_of(value_.begin(), value_.end(), [](uint8_t b) { return b == 0; });
+}
+
+Bytes EnclaveConfig::Serialize() const {
+  ByteWriter w;
+  w.WriteUint64(heap_size_bytes);
+  w.WriteUint32(num_tcs);
+  w.WriteUint8(sequential_mode ? 1 : 0);
+  w.WriteUint8(disable_key_cache ? 1 : 0);
+  w.WriteLengthPrefixedString(fixed_model_id);
+  w.WriteUint32(round_scores_decimals);
+  return std::move(w).Take();
+}
+
+EnclaveImage::EnclaveImage(std::string name,
+                           std::vector<std::pair<std::string, Bytes>> code_units,
+                           EnclaveConfig config)
+    : name_(std::move(name)), config_(std::move(config)), code_size_(0) {
+  std::sort(code_units.begin(), code_units.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  // MRENCLAVE = H(EADD-style transcript): each code unit contributes its name
+  // and content; the config contributes its canonical form. The enclave *name*
+  // deliberately does not contribute — identity is code, not labels.
+  crypto::Sha256 h;
+  h.Update(ToBytes("sesemi-enclave-v1"));
+  for (const auto& [unit_name, content] : code_units) {
+    ByteWriter w;
+    w.WriteLengthPrefixedString(unit_name);
+    w.WriteLengthPrefixed(content);
+    h.Update(w.bytes());
+    code_size_ += content.size();
+  }
+  h.Update(config_.Serialize());
+  mrenclave_ = Measurement(h.Finish());
+}
+
+}  // namespace sesemi::sgx

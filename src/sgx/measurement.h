@@ -1,0 +1,85 @@
+#ifndef SESEMI_SGX_MEASUREMENT_H_
+#define SESEMI_SGX_MEASUREMENT_H_
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "crypto/sha256.h"
+
+namespace sesemi::sgx {
+
+/// MRENCLAVE-style enclave measurement: a SHA-256 over the enclave's code
+/// pages and launch configuration. Matching the paper (§III, Appendix B), the
+/// measurement covers only the code for loading and executing models — never
+/// model content, keys, or request data — so owners and users can derive the
+/// expected value independently from the published enclave build.
+class Measurement {
+ public:
+  static constexpr size_t kSize = crypto::kSha256DigestSize;
+
+  Measurement() : value_{} {}
+  explicit Measurement(const crypto::Sha256Digest& digest) {
+    std::copy(digest.begin(), digest.end(), value_.begin());
+  }
+
+  /// Parse from 64-char hex; returns a zero measurement on malformed input.
+  static Measurement FromHex(std::string_view hex);
+
+  const std::array<uint8_t, kSize>& value() const { return value_; }
+  ByteSpan span() const { return ByteSpan(value_.data(), value_.size()); }
+  std::string ToHex() const { return HexEncode(span()); }
+  bool IsZero() const;
+
+  bool operator==(const Measurement& o) const { return value_ == o.value_; }
+  bool operator!=(const Measurement& o) const { return !(*this == o); }
+  bool operator<(const Measurement& o) const { return value_ < o.value_; }
+
+ private:
+  std::array<uint8_t, kSize> value_;
+};
+
+/// Configuration baked into the enclave identity. These knobs are "part of the
+/// enclave codes" in the paper's words (§V): changing any of them yields a
+/// different MRENCLAVE, which is how KeyService access control distinguishes,
+/// e.g., the sequential-isolation build from the concurrent build.
+struct EnclaveConfig {
+  uint64_t heap_size_bytes = 64ull << 20;  ///< trusted heap budget
+  uint32_t num_tcs = 1;                    ///< max concurrent ECALL threads
+  bool sequential_mode = false;            ///< Table II: strict request isolation
+  bool disable_key_cache = false;          ///< §V: no cross-request key reuse
+  std::string fixed_model_id;              ///< non-empty: enclave serves one model
+  uint32_t round_scores_decimals = 0;      ///< §IV-D output-rounding policy
+
+  /// Canonical serialization folded into the measurement.
+  Bytes Serialize() const;
+};
+
+/// A built enclave binary: named code units plus launch configuration.
+/// EnclaveImage is to this simulator what a signed .so is to the SGX SDK.
+class EnclaveImage {
+ public:
+  /// `code_units` are (name, bytes) pairs representing the trusted code pages;
+  /// order is canonicalized by name so builds are reproducible.
+  EnclaveImage(std::string name,
+               std::vector<std::pair<std::string, Bytes>> code_units,
+               EnclaveConfig config);
+
+  const std::string& name() const { return name_; }
+  const EnclaveConfig& config() const { return config_; }
+  const Measurement& mrenclave() const { return mrenclave_; }
+
+  /// Total bytes of code pages (contributes to enclave committed memory).
+  uint64_t code_size() const { return code_size_; }
+
+ private:
+  std::string name_;
+  EnclaveConfig config_;
+  Measurement mrenclave_;
+  uint64_t code_size_;
+};
+
+}  // namespace sesemi::sgx
+
+#endif  // SESEMI_SGX_MEASUREMENT_H_

@@ -1,0 +1,36 @@
+#include "sgx/platform.h"
+
+namespace sesemi::sgx {
+
+SgxPlatform::SgxPlatform(SgxGeneration generation, AttestationAuthority* authority,
+                         uint64_t epc_bytes)
+    : generation_(generation),
+      authority_(authority),
+      platform_id_(authority->RegisterPlatform(generation)),
+      platform_key_(*authority->PlatformKey(platform_id_)),
+      epc_(epc_bytes != 0 ? epc_bytes
+                          : (generation == SgxGeneration::kSgx1 ? kSgx1EpcBytes
+                                                                : kSgx2EpcBytes)) {}
+
+Result<std::unique_ptr<Enclave>> SgxPlatform::CreateEnclave(
+    const EnclaveImage& image) {
+  uint64_t committed = image.code_size() + image.config().heap_size_bytes +
+                       static_cast<uint64_t>(image.config().num_tcs) * kTcsStackBytes;
+  SESEMI_RETURN_IF_ERROR(epc_.Commit(committed));
+  enclave_count_.fetch_add(1);
+  return std::unique_ptr<Enclave>(new Enclave(image, this, committed));
+}
+
+Result<Quote> SgxPlatform::GenerateQuote(const AttestationReport& report) const {
+  if (report.platform_id != platform_id_) {
+    return Status::InvalidArgument("report was not produced on this platform");
+  }
+  return authority_->GenerateQuote(report);
+}
+
+void SgxPlatform::OnEnclaveDestroyed(uint64_t committed_bytes) {
+  epc_.Release(committed_bytes);
+  enclave_count_.fetch_sub(1);
+}
+
+}  // namespace sesemi::sgx

@@ -1,0 +1,64 @@
+#ifndef SESEMI_SGX_PLATFORM_H_
+#define SESEMI_SGX_PLATFORM_H_
+
+#include <memory>
+
+#include "common/result.h"
+#include "sgx/attestation.h"
+#include "sgx/enclave.h"
+#include "sgx/epc.h"
+
+namespace sesemi::sgx {
+
+/// One SGX-capable machine: a generation, an EPC, and a provisioned platform
+/// key chained to the attestation authority. Cluster simulations create one
+/// per node.
+class SgxPlatform {
+ public:
+  /// Registers the platform with `authority` and provisions its key.
+  /// `epc_bytes` defaults to the generation's preset (128 MB / 64 GB).
+  SgxPlatform(SgxGeneration generation, AttestationAuthority* authority,
+              uint64_t epc_bytes = 0);
+
+  /// Launch an enclave from `image`. Commits code + heap + per-TCS stack
+  /// against the EPC (the whole enclave is committed at EINIT time, as on
+  /// SGX1 and on SGX2 with pre-allocated EPC in the paper's configuration).
+  Result<std::unique_ptr<Enclave>> CreateEnclave(const EnclaveImage& image);
+
+  /// Ask the authority to quote a report produced by one of this platform's
+  /// enclaves (QE analogue).
+  Result<Quote> GenerateQuote(const AttestationReport& report) const;
+
+  SgxGeneration generation() const { return generation_; }
+  AttestationType attestation_type() const {
+    return generation_ == SgxGeneration::kSgx1 ? AttestationType::kEpid
+                                               : AttestationType::kEcdsa;
+  }
+  uint64_t platform_id() const { return platform_id_; }
+  const Bytes& platform_key() const { return platform_key_; }
+  EpcManager& epc() { return epc_; }
+  const EpcManager& epc() const { return epc_; }
+  AttestationAuthority* authority() const { return authority_; }
+
+  /// Number of live enclaves on this platform.
+  int enclave_count() const { return enclave_count_.load(); }
+
+ private:
+  friend class Enclave;
+  void OnEnclaveDestroyed(uint64_t committed_bytes);
+
+  SgxGeneration generation_;
+  AttestationAuthority* authority_;
+  uint64_t platform_id_;
+  Bytes platform_key_;
+  EpcManager epc_;
+  std::atomic<int> enclave_count_{0};
+};
+
+/// Per-thread trusted stack size used in EPC commitment accounting (SDK
+/// default order of magnitude).
+constexpr uint64_t kTcsStackBytes = 256 * 1024;
+
+}  // namespace sesemi::sgx
+
+#endif  // SESEMI_SGX_PLATFORM_H_

@@ -1,0 +1,393 @@
+#include "sim/cluster.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace sesemi::sim {
+
+using semirt::InvocationKind;
+using semirt::RuntimeMode;
+
+namespace {
+constexpr uint64_t kMemoryGranularity = 128ull << 20;  // Table V
+
+uint64_t RoundUpToGranularity(uint64_t bytes) {
+  return (bytes + kMemoryGranularity - 1) / kMemoryGranularity * kMemoryGranularity;
+}
+}  // namespace
+
+ClusterSim::ClusterSim(SimConfig config) : config_(std::move(config)) {
+  nodes_.resize(config_.num_nodes);
+  for (int i = 0; i < config_.num_nodes; ++i) nodes_[i].id = i;
+}
+
+void ClusterSim::AddFunction(SimFunction function) {
+  functions_[function.name] = std::move(function);
+}
+
+const SimFunction& ClusterSim::FunctionSpec(const std::string& name) const {
+  auto it = functions_.find(name);
+  assert(it != functions_.end() && "unknown function");
+  return it->second;
+}
+
+uint64_t ClusterSim::EnclaveBytes(const SimFunction& fn) const {
+  if (fn.mode == RuntimeMode::kUntrusted) return 0;
+  const ModelProfile& p = config_.cost_model.profile(fn.framework, fn.arch);
+  // Appendix D: the base enclave memory configuration covers one runtime;
+  // each additional TCS adds another runtime buffer.
+  return p.enclave_bytes + static_cast<uint64_t>(fn.num_tcs - 1) * p.buffer_bytes;
+}
+
+uint64_t ClusterSim::ContainerMemory(const SimFunction& fn) const {
+  if (fn.container_memory_bytes != 0) return fn.container_memory_bytes;
+  const ModelProfile& p = config_.cost_model.profile(fn.framework, fn.arch);
+  uint64_t need = fn.mode == RuntimeMode::kUntrusted
+                      ? p.model_bytes + static_cast<uint64_t>(fn.num_tcs) * p.buffer_bytes
+                      : EnclaveBytes(fn);
+  return RoundUpToGranularity(need + (32ull << 20));  // container overhead
+}
+
+int ClusterSim::total_containers() const {
+  int n = 0;
+  for (const auto& [id, c] : containers_) n += !c->reclaimed;
+  return n;
+}
+
+int ClusterSim::serving_containers() const {
+  int n = 0;
+  for (const auto& [id, c] : containers_) {
+    if (c->reclaimed) continue;
+    for (const auto& slot : c->slots) {
+      if (slot.busy) {
+        ++n;
+        break;
+      }
+    }
+  }
+  return n;
+}
+
+void ClusterSim::SampleUsage() {
+  double memory = 0;
+  for (const auto& node : nodes_) memory += static_cast<double>(node.memory_used);
+  metrics_.SampleMemory(queue_.now(), memory);
+  metrics_.SampleSandboxes(queue_.now(), total_containers(), serving_containers());
+}
+
+ClusterSim::Container* ClusterSim::CreateContainer(const std::string& function) {
+  const SimFunction& fn = FunctionSpec(function);
+  uint64_t memory = ContainerMemory(fn);
+  uint64_t enclave_bytes = EnclaveBytes(fn);
+
+  // Placement: OpenWhisk schedules on memory and prefers co-locating a
+  // function's containers; fall back to the node with the most free memory.
+  int chosen = -1;
+  for (const auto& [id, c] : containers_) {
+    if (!c->reclaimed && c->function == function &&
+        nodes_[c->node].memory_used + memory <= config_.invoker_memory_bytes) {
+      chosen = c->node;
+      break;
+    }
+  }
+  if (chosen < 0) {
+    uint64_t best_free = 0;
+    for (const auto& node : nodes_) {
+      uint64_t free = config_.invoker_memory_bytes > node.memory_used
+                          ? config_.invoker_memory_bytes - node.memory_used
+                          : 0;
+      if (free >= memory && free > best_free) {
+        best_free = free;
+        chosen = node.id;
+      }
+    }
+  }
+  if (chosen < 0) return nullptr;  // cluster saturated
+
+  Node& node = nodes_[chosen];
+  node.memory_used += memory;
+  node.epc_committed += enclave_bytes;
+
+  auto container = std::make_unique<Container>();
+  Container* raw = container.get();
+  raw->id = next_container_id_++;
+  raw->node = chosen;
+  raw->function = function;
+  raw->memory_bytes = memory;
+  raw->enclave_bytes = enclave_bytes;
+  raw->slots.resize(static_cast<size_t>(fn.num_tcs));
+  raw->last_used = queue_.now();
+
+  double init_s = config_.cost_model.SandboxInitSeconds();
+  if (fn.mode != RuntimeMode::kUntrusted) {
+    node.launches_in_progress++;
+    // Profile-calibrated single-launch cost (Fig 17), scaled for extra TCS
+    // heap and for concurrent launches on this node (Fig 15).
+    const ModelProfile& p = config_.cost_model.profile(fn.framework, fn.arch);
+    double size_scale = static_cast<double>(enclave_bytes) /
+                        static_cast<double>(p.enclave_bytes);
+    init_s += p.enclave_init_s * size_scale * node.launches_in_progress;
+    int node_id = chosen;
+    queue_.ScheduleAfter(SecondsToMicros(init_s), [this, node_id] {
+      nodes_[node_id].launches_in_progress--;
+    });
+  }
+  raw->ready_at = queue_.now() + SecondsToMicros(init_s);
+
+  containers_[raw->id] = std::move(container);
+  SampleUsage();
+  return raw;
+}
+
+ClusterSim::Container* ClusterSim::FindOrCreateContainer(
+    const PendingRequest& request) {
+  const SimFunction& fn = FunctionSpec(request.function);
+  Container* best = nullptr;
+  int best_score = -1;
+  for (auto& [id, c] : containers_) {
+    if (c->reclaimed || c->function != request.function) continue;
+    bool has_free_slot = false;
+    for (const auto& slot : c->slots) has_free_slot |= !slot.busy;
+    if (!has_free_slot) continue;
+    // Prefer hot containers: model loaded + same user's key cached.
+    int score = 1;
+    if (c->loaded_model == request.model_id) score += 2;
+    if (c->cached_key == request.model_id + "|" + request.user_id) score += 1;
+    if (queue_.now() >= c->ready_at) score += 1;  // already warm, not starting
+    if (score > best_score) {
+      best_score = score;
+      best = c.get();
+    }
+  }
+  if (best != nullptr) return best;
+  (void)fn;
+  return CreateContainer(request.function);
+}
+
+void ClusterSim::Submit(const std::string& function, const std::string& model_id,
+                        const std::string& user_id, TimeMicros t,
+                        CompletionCallback on_complete) {
+  PendingRequest request{function, model_id, user_id, t, std::move(on_complete)};
+  queue_.ScheduleAt(t, [this, request] {
+    Container* container = FindOrCreateContainer(request);
+    if (container == nullptr) {
+      waiting_[request.function].push_back(request);
+      return;
+    }
+    StartRequest(request, container);
+  });
+}
+
+void ClusterSim::StartRequest(const PendingRequest& request, Container* container) {
+  const SimFunction& fn = FunctionSpec(request.function);
+  const ModelProfile& profile = config_.cost_model.profile(fn.framework, fn.arch);
+  const bool trusted = fn.mode != RuntimeMode::kUntrusted;
+  const bool fresh = container->busy_count == 0 && container->ready_at > request.submit;
+
+  // Reserve a slot now.
+  int slot = -1;
+  for (size_t i = 0; i < container->slots.size(); ++i) {
+    if (!container->slots[i].busy) {
+      slot = static_cast<int>(i);
+      break;
+    }
+  }
+  assert(slot >= 0);
+  container->slots[slot].busy = true;
+  container->busy_count++;
+  container->last_used = queue_.now();
+  SampleUsage();
+
+  // ---- Pre-execution stages (key fetch, model load, runtime init) ----
+  // Every invocation pays the platform's controller/proxy overhead; it holds
+  // the container slot but no model CPU.
+  double pre_s = config_.cost_model.PlatformOverheadSeconds();
+  bool key_fetched = false, model_loaded = false, runtime_inited = false;
+  const std::string key_id = request.model_id + "|" + request.user_id;
+
+  if (trusted) {
+    if (fn.mode == RuntimeMode::kNative && !fresh) {
+      // Native relaunches the enclave inside the warm sandbox.
+      Node& node = nodes_[container->node];
+      double size_scale = static_cast<double>(container->enclave_bytes) /
+                          static_cast<double>(profile.enclave_bytes);
+      pre_s += profile.enclave_init_s * size_scale *
+               (node.launches_in_progress + 1);
+      container->attested = false;
+      container->cached_key.clear();
+      container->loaded_model.clear();
+      for (auto& s : container->slots) s.runtime_model.clear();
+    }
+    const bool key_cached = !fn.sequential_isolation && container->cached_key == key_id;
+    if (!key_cached) {
+      key_fetched = true;
+      if (!container->attested) {
+        Node& node = nodes_[container->node];
+        node.attestations_in_progress++;
+        // profile.key_fetch_s already contains one uncontended attestation;
+        // add the contention surcharge beyond it.
+        double contention =
+            config_.cost_model.AttestationSeconds(node.attestations_in_progress) -
+            config_.cost_model.AttestationSeconds(1);
+        pre_s += profile.key_fetch_s + contention;
+        int node_id = container->node;
+        queue_.ScheduleAfter(SecondsToMicros(pre_s), [this, node_id] {
+          nodes_[node_id].attestations_in_progress--;
+        });
+        container->attested = true;
+      } else {
+        pre_s += config_.cost_model.WarmKeyFetchSeconds();
+      }
+      container->cached_key = fn.sequential_isolation ? "" : key_id;
+    }
+    const bool model_cached = container->loaded_model == request.model_id &&
+                              fn.mode == RuntimeMode::kSesemi;
+    if (!model_cached) {
+      model_loaded = true;
+      pre_s += profile.model_load_s;
+      if (config_.remote_storage) {
+        pre_s += MicrosToSeconds(
+            config_.cost_model.storage_latency().TransferTime(profile.model_bytes));
+      }
+      container->loaded_model = request.model_id;
+      for (auto& s : container->slots) s.runtime_model.clear();
+    }
+    const bool runtime_cached =
+        container->slots[slot].runtime_model == request.model_id &&
+        fn.mode == RuntimeMode::kSesemi && !fn.sequential_isolation;
+    if (!runtime_cached) {
+      runtime_inited = true;
+      pre_s += profile.runtime_init_s;
+      container->slots[slot].runtime_model = request.model_id;
+    }
+    if (fn.sequential_isolation && !key_fetched && !model_loaded && !runtime_inited) {
+      pre_s += config_.cost_model.SequentialHotSeconds(profile);
+    }
+  } else {
+    // Untrusted baseline: plaintext stages only.
+    const bool model_cached = container->loaded_model == request.model_id;
+    if (!model_cached) {
+      model_loaded = true;
+      pre_s += profile.plain_model_load_s;
+      if (config_.remote_storage) {
+        pre_s += MicrosToSeconds(
+            config_.cost_model.storage_latency().TransferTime(profile.model_bytes));
+      }
+      container->loaded_model = request.model_id;
+      for (auto& s : container->slots) s.runtime_model.clear();
+    }
+    if (container->slots[slot].runtime_model != request.model_id) {
+      runtime_inited = true;
+      pre_s += profile.plain_runtime_init_s;
+      container->slots[slot].runtime_model = request.model_id;
+    }
+  }
+
+  InvocationKind kind = fresh ? InvocationKind::kCold
+                        : (key_fetched || model_loaded || runtime_inited)
+                            ? InvocationKind::kWarm
+                            : InvocationKind::kHot;
+  if (fn.mode == RuntimeMode::kNative && !fresh) kind = InvocationKind::kCold;
+
+  // Begin stages when the container is ready.
+  TimeMicros begin = std::max(queue_.now(), container->ready_at);
+  TimeMicros exec_begin = begin + SecondsToMicros(pre_s);
+  int container_id = container->id;
+  PendingRequest req = request;
+  queue_.ScheduleAt(exec_begin, [this, req, container_id, slot, kind, trusted] {
+    auto it = containers_.find(container_id);
+    assert(it != containers_.end());
+    Container* c = it->second.get();
+    const SimFunction& f = FunctionSpec(req.function);
+    const ModelProfile& p = config_.cost_model.profile(f.framework, f.arch);
+    Node& node = nodes_[c->node];
+    node.runnable++;
+    double epc_util = config_.cost_model.epc_bytes() == 0
+                          ? 0.0
+                          : static_cast<double>(node.epc_committed) /
+                                static_cast<double>(config_.cost_model.epc_bytes());
+    double exec_s =
+        config_.cost_model.ExecuteSeconds(p, node.runnable,
+                                          config_.cost_model.cores_per_node(),
+                                          epc_util, trusted);
+    queue_.ScheduleAfter(SecondsToMicros(exec_s), [this, req, container_id, slot, kind] {
+      auto it2 = containers_.find(container_id);
+      assert(it2 != containers_.end());
+      Container* c2 = it2->second.get();
+      nodes_[c2->node].runnable--;
+      FinishRequest(req, c2, slot, kind);
+    });
+  });
+}
+
+void ClusterSim::FinishRequest(const PendingRequest& request, Container* container,
+                               int slot, InvocationKind kind) {
+  container->slots[slot].busy = false;
+  container->last_used = queue_.now();
+
+  RequestRecord record;
+  record.function = request.function;
+  record.model_id = request.model_id;
+  record.user_id = request.user_id;
+  record.submit = request.submit;
+  record.complete = queue_.now();
+  record.kind = kind;
+  if (request.on_complete) request.on_complete(record);
+  metrics_.Record(std::move(record));
+
+  SampleUsage();
+  ScheduleReclaim(container);
+  DrainQueue(request.function);
+}
+
+void ClusterSim::ScheduleReclaim(Container* container) {
+  int id = container->id;
+  queue_.ScheduleAfter(config_.keep_alive + 1, [this, id] { ReclaimIfIdle(id); });
+}
+
+void ClusterSim::ReclaimIfIdle(int container_id) {
+  auto it = containers_.find(container_id);
+  if (it == containers_.end() || it->second->reclaimed) return;
+  Container* c = it->second.get();
+  for (const auto& slot : c->slots) {
+    if (slot.busy) return;
+  }
+  if (queue_.now() - c->last_used < config_.keep_alive) return;
+  c->reclaimed = true;
+  Node& node = nodes_[c->node];
+  node.memory_used -= std::min(node.memory_used, c->memory_bytes);
+  node.epc_committed -= std::min(node.epc_committed, c->enclave_bytes);
+  SampleUsage();
+}
+
+void ClusterSim::DrainQueue(const std::string& function) {
+  auto it = waiting_.find(function);
+  if (it == waiting_.end() || it->second.empty()) return;
+  PendingRequest request = it->second.front();
+  Container* container = FindOrCreateContainer(request);
+  if (container == nullptr) return;
+  it->second.pop_front();
+  StartRequest(request, container);
+}
+
+Status ClusterSim::Prewarm(const std::string& function, int count,
+                           const std::string& model_id, const std::string& user_id) {
+  if (functions_.count(function) == 0) {
+    return Status::NotFound("unknown function: " + function);
+  }
+  for (int i = 0; i < count; ++i) {
+    Container* c = CreateContainer(function);
+    if (c == nullptr) {
+      return Status::ResourceExhausted("cluster cannot fit prewarmed container");
+    }
+    c->ready_at = queue_.now();
+    c->loaded_model = model_id;
+    c->cached_key = model_id + "|" + user_id;
+    c->attested = true;
+    c->busy_count = 1;  // not fresh: first request is hot, not cold
+    for (auto& slot : c->slots) slot.runtime_model = model_id;
+  }
+  return Status::OK();
+}
+
+}  // namespace sesemi::sim

@@ -1,0 +1,145 @@
+#ifndef SESEMI_SIM_CLUSTER_H_
+#define SESEMI_SIM_CLUSTER_H_
+
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/cost_model.h"
+#include "sim/event_queue.h"
+#include "sim/metrics.h"
+
+namespace sesemi::sim {
+
+/// A deployed function (one serverless endpoint). Multiple models may be
+/// served by one function (FnPacker pools); the architecture/framework fix
+/// the cost profile.
+struct SimFunction {
+  std::string name;
+  inference::FrameworkKind framework = inference::FrameworkKind::kTvm;
+  model::Architecture arch = model::Architecture::kMbNet;
+  semirt::RuntimeMode mode = semirt::RuntimeMode::kSesemi;
+  int num_tcs = 1;
+  bool sequential_isolation = false;  ///< Table II build
+  /// Container memory budget; 0 = derive from the enclave size, rounded up
+  /// to the 128 MB provisioning granularity (Table V).
+  uint64_t container_memory_bytes = 0;
+};
+
+/// Cluster-level configuration (Table V + §VI setup).
+struct SimConfig {
+  int num_nodes = 8;
+  uint64_t invoker_memory_bytes = 64ull << 30;  ///< per node
+  TimeMicros keep_alive = SecondsToMicros(180);  ///< 3-minute warm window
+  bool remote_storage = false;  ///< add cloud-storage download to model loads
+  CostModel cost_model = CostModel::PaperSgx2();
+};
+
+/// Discrete-event simulation of the OpenWhisk-style cluster running SeMIRT
+/// (or a baseline runtime). Reproduces the paper's cluster experiments with
+/// the calibrated cost model; all scheduling policies (warm-container
+/// preference, memory-based placement, keep-alive reclaim, per-enclave key /
+/// model / runtime caching) are the behavioural ones from the live system.
+class ClusterSim {
+ public:
+  explicit ClusterSim(SimConfig config);
+
+  void AddFunction(SimFunction function);
+
+  /// Create `count` ready containers for `function`, with `model_id` loaded
+  /// hot for `user_id` (the paper's warm-up step).
+  Status Prewarm(const std::string& function, int count, const std::string& model_id,
+                 const std::string& user_id);
+
+  /// Callback invoked (in virtual time) when a request completes.
+  using CompletionCallback = std::function<void(const RequestRecord&)>;
+
+  /// Schedule a request arrival at absolute time `t`.
+  void Submit(const std::string& function, const std::string& model_id,
+              const std::string& user_id, TimeMicros t,
+              CompletionCallback on_complete = nullptr);
+
+  /// Run the simulation to completion (all arrivals processed).
+  void Run() { queue_.RunAll(); }
+
+  EventQueue& queue() { return queue_; }
+  Metrics& metrics() { return metrics_; }
+  TimeMicros now() const { return queue_.now(); }
+
+  /// Total containers currently alive / currently executing.
+  int total_containers() const;
+  int serving_containers() const;
+
+ private:
+  struct Container;
+  struct Node {
+    int id = 0;
+    uint64_t memory_used = 0;
+    uint64_t epc_committed = 0;
+    int launches_in_progress = 0;
+    int attestations_in_progress = 0;
+    int runnable = 0;  ///< CPU-bound requests executing now
+  };
+
+  struct Slot {
+    bool busy = false;
+    std::string runtime_model;  ///< model this slot's runtime was built for
+  };
+
+  struct Container {
+    int id = 0;
+    int node = -1;
+    std::string function;
+    uint64_t memory_bytes = 0;
+    uint64_t enclave_bytes = 0;
+    TimeMicros ready_at = 0;
+    bool reclaimed = false;
+    TimeMicros last_used = 0;
+    std::vector<Slot> slots;
+    std::string loaded_model;
+    std::string cached_key;  ///< "model|user" (single-pair key cache)
+    bool attested = false;   ///< KeyService channel established
+    uint64_t busy_count = 0;
+  };
+
+  struct PendingRequest {
+    std::string function;
+    std::string model_id;
+    std::string user_id;
+    TimeMicros submit = 0;
+    CompletionCallback on_complete;
+  };
+
+  const SimFunction& FunctionSpec(const std::string& name) const;
+  uint64_t ContainerMemory(const SimFunction& fn) const;
+  uint64_t EnclaveBytes(const SimFunction& fn) const;
+
+  /// Place a request: returns a container with a free slot (possibly freshly
+  /// created, not yet ready), or null if the cluster is saturated (request
+  /// queued).
+  Container* FindOrCreateContainer(const PendingRequest& request);
+  Container* CreateContainer(const std::string& function);
+  void StartRequest(const PendingRequest& request, Container* container);
+  void FinishRequest(const PendingRequest& request, Container* container, int slot,
+                     semirt::InvocationKind kind);
+  void ScheduleReclaim(Container* container);
+  void ReclaimIfIdle(int container_id);
+  void DrainQueue(const std::string& function);
+  void SampleUsage();
+
+  SimConfig config_;
+  EventQueue queue_;
+  Metrics metrics_;
+  std::map<std::string, SimFunction> functions_;
+  std::vector<Node> nodes_;
+  std::map<int, std::unique_ptr<Container>> containers_;
+  std::map<std::string, std::deque<PendingRequest>> waiting_;
+  int next_container_id_ = 1;
+};
+
+}  // namespace sesemi::sim
+
+#endif  // SESEMI_SIM_CLUSTER_H_

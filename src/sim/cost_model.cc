@@ -1,0 +1,138 @@
+#include "sim/cost_model.h"
+
+namespace sesemi::sim {
+
+namespace {
+constexpr int FrameworkIndex(inference::FrameworkKind framework) {
+  return framework == inference::FrameworkKind::kTflm ? 0 : 1;
+}
+constexpr int ArchIndex(model::Architecture arch) {
+  switch (arch) {
+    case model::Architecture::kMbNet: return 0;
+    case model::Architecture::kRsNet: return 1;
+    case model::Architecture::kDsNet: return 2;
+  }
+  return 0;
+}
+
+/// Figure 17 / Figure 18 / Table I / Appendix D constants, SGX2 testbed.
+/// Index order: [tflm|tvm][mbnet|rsnet|dsnet].
+constexpr double kEnclaveInit[2][3] = {{0.154, 0.874, 0.270}, {0.192, 1.300, 0.356}};
+constexpr double kKeyFetch[2][3] = {{1.040, 0.957, 1.170}, {1.180, 0.888, 1.220}};
+constexpr double kModelLoad[2][3] = {{0.00944, 0.0766, 0.0267}, {0.0116, 0.0696, 0.0204}};
+constexpr double kRuntimeInit[2][3] = {{0.0132, 0.104, 0.0319}, {0.0251, 0.200, 0.0510}};
+constexpr double kExecute[2][3] = {{0.747, 14.30, 3.350}, {0.0635, 0.938, 0.339}};
+constexpr double kPlainModelLoad[2][3] = {{0.0229, 0.161, 0.0479}, {0.0136, 0.0834, 0.0218}};
+constexpr double kPlainRuntimeInit[2][3] = {{1e-05, 1e-05, 2e-05}, {0.0381, 0.216, 0.0677}};
+constexpr double kPlainExecute[2][3] = {{0.567, 13.60, 3.210}, {0.070, 0.945, 0.392}};
+constexpr uint64_t kModelBytes[3] = {17ull << 20, 170ull << 20, 44ull << 20};
+constexpr uint64_t kBufferBytes[2][3] = {{5ull << 20, 24ull << 20, 12ull << 20},
+                                         {30ull << 20, 205ull << 20, 55ull << 20}};
+// Appendix D enclave memory configurations (concurrency 1).
+constexpr uint64_t kEnclaveBytes[2][3] = {
+    {0x3000000ull, 0x16000000ull, 0x6000000ull},
+    {0x4000000ull, 0x23000000ull, 0x8000000ull}};
+
+void FillProfiles(ModelProfile profiles[2][3], double trusted_scale,
+                  double attestation_extra, double tflm_exec_scale,
+                  double tvm_exec_scale) {
+  for (int f = 0; f < 2; ++f) {
+    double exec_scale = f == 0 ? tflm_exec_scale : tvm_exec_scale;
+    for (int a = 0; a < 3; ++a) {
+      ModelProfile& p = profiles[f][a];
+      p.enclave_init_s = kEnclaveInit[f][a] * trusted_scale;
+      p.key_fetch_s = kKeyFetch[f][a] + attestation_extra;
+      p.model_load_s = kModelLoad[f][a];
+      p.runtime_init_s = kRuntimeInit[f][a];
+      p.execute_s = kExecute[f][a] * exec_scale;
+      p.plain_model_load_s = kPlainModelLoad[f][a];
+      p.plain_runtime_init_s = kPlainRuntimeInit[f][a];
+      p.plain_execute_s = kPlainExecute[f][a] * exec_scale;
+      p.model_bytes = kModelBytes[a];
+      p.buffer_bytes = kBufferBytes[f][a];
+      p.enclave_bytes = kEnclaveBytes[f][a];
+      // Sequential one-pass interpretation (TFLM) vs random-access packed
+      // execution (TVM) — see ModelProfile::paging_sensitivity.
+      p.paging_sensitivity = f == 0 ? 0.05 : 2.0;
+    }
+  }
+}
+}  // namespace
+
+CostModel CostModel::PaperSgx2() {
+  CostModel m;
+  m.generation_ = sgx::SgxGeneration::kSgx2;
+  m.epc_bytes_ = 64ull << 30;
+  m.cores_per_node_ = 12;  // Xeon Gold 5317
+  m.enclave_init_base_s_ = 0.02;
+  m.enclave_init_rate_s_per_gb_ = 1.1;
+  m.attestation_base_s_ = 0.08;
+  m.attestation_per_concurrent_s_ = 0.06;
+  FillProfiles(m.profiles_, /*trusted_scale=*/1.0, /*attestation_extra=*/0.0,
+               /*tflm_exec_scale=*/1.0, /*tvm_exec_scale=*/1.0);
+  return m;
+}
+
+CostModel CostModel::PaperSgx1() {
+  CostModel m;
+  m.generation_ = sgx::SgxGeneration::kSgx1;
+  m.epc_bytes_ = 128ull << 20;
+  m.cores_per_node_ = 10;  // Xeon W-1290P
+  // Appendix C Fig 15b: SGX1 launch is ~2x slower and degrades harder under
+  // concurrent launches (EPC adds serialize on 128 MB of EWB traffic).
+  m.enclave_init_base_s_ = 0.05;
+  m.enclave_init_rate_s_per_gb_ = 2.4;
+  // Fig 16b: EPID + IAS round trip dominates (~2 s base, worse contended).
+  m.attestation_base_s_ = 2.0;
+  m.attestation_per_concurrent_s_ = 0.15;
+  // The SGX1 testbed (W-1290P, 3.7 GHz, single socket) executes the small
+  // models faster than the 3.0 GHz Xeon Gold; the interpreter benefits most
+  // from the higher clock. Calibrated against Figure 12c/d: TVM-MBNET
+  // saturates near 14 rps, TFLM-MBNET sustains >18 rps.
+  FillProfiles(m.profiles_, /*trusted_scale=*/1.6, /*attestation_extra=*/1.5,
+               /*tflm_exec_scale=*/0.4, /*tvm_exec_scale=*/0.8);
+  return m;
+}
+
+const ModelProfile& CostModel::profile(inference::FrameworkKind framework,
+                                       model::Architecture arch) const {
+  return profiles_[FrameworkIndex(framework)][ArchIndex(arch)];
+}
+
+double CostModel::EnclaveInitSeconds(uint64_t enclave_bytes,
+                                     int concurrent_launches) const {
+  double size_gb = static_cast<double>(enclave_bytes) / (1ull << 30);
+  int concurrent = concurrent_launches < 1 ? 1 : concurrent_launches;
+  // Concurrent launches fair-share the serialized EPC page-add path, so the
+  // size-proportional term scales with the number of simultaneous launches
+  // (Fig 15a: one 256 MB SGX2 enclave ≈ 0.3 s, sixteen ≈ 4.06 s each; the
+  // SGX1 rate is ~2x worse because every added page may evict another —
+  // Fig 15b).
+  return enclave_init_base_s_ + size_gb * enclave_init_rate_s_per_gb_ * concurrent;
+}
+
+double CostModel::AttestationSeconds(int concurrent_quotes) const {
+  int concurrent = concurrent_quotes < 1 ? 1 : concurrent_quotes;
+  return attestation_base_s_ + attestation_per_concurrent_s_ * (concurrent - 1);
+}
+
+double CostModel::ExecuteSeconds(const ModelProfile& profile, int runnable,
+                                 int cores, double epc_utilization,
+                                 bool trusted) const {
+  double base = trusted ? profile.execute_s : profile.plain_execute_s;
+  double cpu_factor =
+      runnable <= cores ? 1.0 : static_cast<double>(runnable) / cores;
+  double paging = 1.0;
+  if (trusted && epc_utilization > 1.0) {
+    paging = 1.0 + profile.paging_sensitivity * (epc_utilization - 1.0);
+  }
+  return base * cpu_factor * paging;
+}
+
+double CostModel::SequentialHotSeconds(const ModelProfile& profile) const {
+  // Table II: hot latency grows by key refetch over the warm channel,
+  // runtime re-initialization, and buffer scrubbing (~runtime_init again).
+  return warm_key_fetch_s_ + 2.0 * profile.runtime_init_s + 0.15;
+}
+
+}  // namespace sesemi::sim

@@ -1,0 +1,38 @@
+#include "sim/event_queue.h"
+
+#include <cassert>
+
+namespace sesemi::sim {
+
+void EventQueue::ScheduleAt(TimeMicros t, std::function<void()> fn) {
+  assert(t >= now_ && "cannot schedule in the past");
+  heap_.push(Event{t < now_ ? now_ : t, next_seq_++, std::move(fn)});
+}
+
+bool EventQueue::RunNext() {
+  if (heap_.empty()) return false;
+  // priority_queue::top() is const; the closure must be moved out via a copy
+  // of the wrapper (cheap: std::function move after const_cast is UB-adjacent,
+  // so copy the small struct fields and pop first).
+  Event event = heap_.top();
+  heap_.pop();
+  now_ = event.time;
+  event.fn();
+  return true;
+}
+
+void EventQueue::RunUntil(TimeMicros deadline) {
+  while (!heap_.empty() && heap_.top().time <= deadline) {
+    RunNext();
+  }
+  if (now_ < deadline) now_ = deadline;
+}
+
+void EventQueue::RunAll(size_t max_events) {
+  size_t n = 0;
+  while (RunNext()) {
+    if (++n >= max_events) break;
+  }
+}
+
+}  // namespace sesemi::sim

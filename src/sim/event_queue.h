@@ -1,0 +1,54 @@
+#ifndef SESEMI_SIM_EVENT_QUEUE_H_
+#define SESEMI_SIM_EVENT_QUEUE_H_
+
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/clock.h"
+
+namespace sesemi::sim {
+
+/// Discrete-event engine: a priority queue of (time, sequence, closure).
+/// Single-threaded by design — determinism is the point. Ties break in
+/// scheduling order.
+class EventQueue {
+ public:
+  /// Schedule `fn` at absolute time `t` (>= now).
+  void ScheduleAt(TimeMicros t, std::function<void()> fn);
+
+  /// Schedule `fn` `delay` after now.
+  void ScheduleAfter(TimeMicros delay, std::function<void()> fn) {
+    ScheduleAt(now_ + delay, std::move(fn));
+  }
+
+  /// Pop and run the earliest event, advancing the clock. False when empty.
+  bool RunNext();
+
+  /// Run events until the queue is empty or the clock passes `deadline`.
+  void RunUntil(TimeMicros deadline);
+
+  /// Run everything (with a safety cap on event count).
+  void RunAll(size_t max_events = 100'000'000);
+
+  TimeMicros now() const { return now_; }
+  size_t pending() const { return heap_.size(); }
+
+ private:
+  struct Event {
+    TimeMicros time;
+    uint64_t seq;
+    std::function<void()> fn;
+    bool operator>(const Event& o) const {
+      return time != o.time ? time > o.time : seq > o.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> heap_;
+  TimeMicros now_ = 0;
+  uint64_t next_seq_ = 0;
+};
+
+}  // namespace sesemi::sim
+
+#endif  // SESEMI_SIM_EVENT_QUEUE_H_

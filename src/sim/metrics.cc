@@ -1,0 +1,64 @@
+#include "sim/metrics.h"
+
+#include <algorithm>
+
+namespace sesemi::sim {
+
+double Metrics::AvgLatencySeconds() const {
+  if (records_.empty()) return 0.0;
+  double sum = 0;
+  for (const auto& r : records_) sum += MicrosToSeconds(r.latency());
+  return sum / static_cast<double>(records_.size());
+}
+
+double Metrics::PercentileLatencySeconds(double p) const {
+  if (records_.empty()) return 0.0;
+  std::vector<TimeMicros> latencies;
+  latencies.reserve(records_.size());
+  for (const auto& r : records_) latencies.push_back(r.latency());
+  std::sort(latencies.begin(), latencies.end());
+  double rank = p / 100.0 * static_cast<double>(latencies.size() - 1);
+  size_t lo = static_cast<size_t>(rank);
+  size_t hi = std::min(lo + 1, latencies.size() - 1);
+  double frac = rank - static_cast<double>(lo);
+  return MicrosToSeconds(static_cast<TimeMicros>(
+      static_cast<double>(latencies[lo]) * (1 - frac) +
+      static_cast<double>(latencies[hi]) * frac));
+}
+
+int Metrics::CountKind(semirt::InvocationKind kind) const {
+  int n = 0;
+  for (const auto& r : records_) n += (r.kind == kind);
+  return n;
+}
+
+double Metrics::AvgLatencySecondsBetween(TimeMicros from, TimeMicros to) const {
+  double sum = 0;
+  int n = 0;
+  for (const auto& r : records_) {
+    if (r.complete >= from && r.complete < to) {
+      sum += MicrosToSeconds(r.latency());
+      ++n;
+    }
+  }
+  return n == 0 ? 0.0 : sum / n;
+}
+
+double Metrics::GbSeconds(TimeMicros end_time) const {
+  if (memory_.empty()) return 0.0;
+  double integral = 0;  // byte-micros
+  for (size_t i = 0; i < memory_.size(); ++i) {
+    TimeMicros next = i + 1 < memory_.size() ? memory_[i + 1].time : end_time;
+    if (next <= memory_[i].time) continue;
+    integral += memory_[i].value * static_cast<double>(next - memory_[i].time);
+  }
+  return integral / 1e6 / static_cast<double>(1ull << 30);
+}
+
+double Metrics::PeakMemoryBytes() const {
+  double peak = 0;
+  for (const auto& s : memory_) peak = std::max(peak, s.value);
+  return peak;
+}
+
+}  // namespace sesemi::sim

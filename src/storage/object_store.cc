@@ -1,0 +1,46 @@
+#include "storage/object_store.h"
+
+namespace sesemi::storage {
+
+Status InMemoryObjectStore::Put(const std::string& key, Bytes data) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  objects_[key] = std::move(data);
+  return Status::OK();
+}
+
+Result<Bytes> InMemoryObjectStore::Get(const std::string& key) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = objects_.find(key);
+  if (it == objects_.end()) return Status::NotFound("no object: " + key);
+  return it->second;
+}
+
+Status InMemoryObjectStore::Delete(const std::string& key) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (objects_.erase(key) == 0) return Status::NotFound("no object: " + key);
+  return Status::OK();
+}
+
+bool InMemoryObjectStore::Exists(const std::string& key) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return objects_.count(key) > 0;
+}
+
+Result<uint64_t> InMemoryObjectStore::Size(const std::string& key) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = objects_.find(key);
+  if (it == objects_.end()) return Status::NotFound("no object: " + key);
+  return static_cast<uint64_t>(it->second.size());
+}
+
+std::vector<std::string> InMemoryObjectStore::List(const std::string& prefix) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> keys;
+  for (auto it = objects_.lower_bound(prefix); it != objects_.end(); ++it) {
+    if (it->first.compare(0, prefix.size(), prefix) != 0) break;
+    keys.push_back(it->first);
+  }
+  return keys;
+}
+
+}  // namespace sesemi::storage

@@ -1,0 +1,70 @@
+#ifndef SESEMI_STORAGE_OBJECT_STORE_H_
+#define SESEMI_STORAGE_OBJECT_STORE_H_
+
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/clock.h"
+#include "common/result.h"
+
+namespace sesemi::storage {
+
+/// Cloud storage abstraction. The paper's deployment stores encrypted models
+/// and function images in cloud object storage (Figure 2); the evaluation
+/// emulates it with NFS and quotes Azure Blob latencies (§VI-A).
+class ObjectStore {
+ public:
+  virtual ~ObjectStore() = default;
+
+  virtual Status Put(const std::string& key, Bytes data) = 0;
+  virtual Result<Bytes> Get(const std::string& key) const = 0;
+  virtual Status Delete(const std::string& key) = 0;
+  virtual bool Exists(const std::string& key) const = 0;
+  virtual Result<uint64_t> Size(const std::string& key) const = 0;
+  /// Keys with the given prefix, sorted.
+  virtual std::vector<std::string> List(const std::string& prefix) const = 0;
+};
+
+/// Thread-safe in-memory object store.
+class InMemoryObjectStore final : public ObjectStore {
+ public:
+  Status Put(const std::string& key, Bytes data) override;
+  Result<Bytes> Get(const std::string& key) const override;
+  Status Delete(const std::string& key) override;
+  bool Exists(const std::string& key) const override;
+  Result<uint64_t> Size(const std::string& key) const override;
+  std::vector<std::string> List(const std::string& prefix) const override;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, Bytes> objects_;
+};
+
+/// Latency model for simulated storage access: latency = base + bytes / rate.
+struct StorageLatencyModel {
+  TimeMicros base_micros = 0;
+  double bytes_per_second = 1e12;
+
+  TimeMicros TransferTime(uint64_t bytes) const {
+    return base_micros +
+           static_cast<TimeMicros>(static_cast<double>(bytes) / bytes_per_second * 1e6);
+  }
+
+  /// Cluster NFS, as in the paper's testbed (10 Gbps Ethernet).
+  static StorageLatencyModel LocalNfs() {
+    return {SecondsToMicros(0.002), 1.0e9};
+  }
+
+  /// Azure Blob same-region, calibrated to §VI-A: 17 MB ≈ 0.21 s,
+  /// 44 MB ≈ 0.55 s, 170 MB ≈ 2.1 s.
+  static StorageLatencyModel AzureBlobSameRegion() {
+    return {SecondsToMicros(0.01), 85.0e6};
+  }
+};
+
+}  // namespace sesemi::storage
+
+#endif  // SESEMI_STORAGE_OBJECT_STORE_H_

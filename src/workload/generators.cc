@@ -1,0 +1,99 @@
+#include "workload/generators.h"
+
+#include <algorithm>
+
+#include "common/rng.h"
+
+namespace sesemi::workload {
+
+std::vector<Arrival> FixedRate(double rps, double duration_s,
+                               const std::string& model_id,
+                               const std::string& user_id, TimeMicros start) {
+  std::vector<Arrival> trace;
+  if (rps <= 0) return trace;
+  const TimeMicros gap = static_cast<TimeMicros>(1e6 / rps);
+  const TimeMicros end = start + SecondsToMicros(duration_s);
+  for (TimeMicros t = start; t < end; t += gap) {
+    trace.push_back({t, model_id, user_id});
+  }
+  return trace;
+}
+
+std::vector<Arrival> Poisson(double rps, double duration_s,
+                             const std::string& model_id,
+                             const std::string& user_id, uint64_t seed,
+                             TimeMicros start) {
+  std::vector<Arrival> trace;
+  if (rps <= 0) return trace;
+  Rng rng(seed);
+  const TimeMicros end = start + SecondsToMicros(duration_s);
+  double t = static_cast<double>(start);
+  for (;;) {
+    t += rng.Exponential(rps) * 1e6;
+    if (t >= static_cast<double>(end)) break;
+    trace.push_back({static_cast<TimeMicros>(t), model_id, user_id});
+  }
+  return trace;
+}
+
+std::vector<Arrival> Mmpp(const MmppSpec& spec, const std::string& model_id,
+                          const std::string& user_id, TimeMicros start) {
+  std::vector<Arrival> trace;
+  Rng rng(spec.seed);
+  const TimeMicros end = start + SecondsToMicros(spec.duration_s);
+  double now = static_cast<double>(start);
+  bool high = false;
+  while (now < static_cast<double>(end)) {
+    double dwell_s = rng.Exponential(1.0 / spec.mean_dwell_s);
+    double state_end = std::min(now + dwell_s * 1e6, static_cast<double>(end));
+    double rate = high ? spec.high_rps : spec.low_rps;
+    double t = now;
+    for (;;) {
+      t += rng.Exponential(rate) * 1e6;
+      if (t >= state_end) break;
+      trace.push_back({static_cast<TimeMicros>(t), model_id, user_id});
+    }
+    now = state_end;
+    high = !high;
+  }
+  return trace;
+}
+
+std::vector<Arrival> InteractiveSession(TimeMicros start,
+                                        const std::vector<std::string>& models,
+                                        const std::string& user_id,
+                                        double think_time_s) {
+  std::vector<Arrival> trace;
+  TimeMicros t = start;
+  for (const std::string& model : models) {
+    trace.push_back({t, model, user_id});
+    t += SecondsToMicros(think_time_s);
+  }
+  return trace;
+}
+
+std::vector<Arrival> Merge(std::vector<std::vector<Arrival>> traces) {
+  std::vector<Arrival> merged;
+  size_t total = 0;
+  for (const auto& t : traces) total += t.size();
+  merged.reserve(total);
+  for (auto& t : traces) {
+    merged.insert(merged.end(), std::make_move_iterator(t.begin()),
+                  std::make_move_iterator(t.end()));
+  }
+  std::stable_sort(merged.begin(), merged.end(),
+                   [](const Arrival& a, const Arrival& b) { return a.time < b.time; });
+  return merged;
+}
+
+std::vector<double> RatePerSecond(const std::vector<Arrival>& trace,
+                                  double duration_s) {
+  std::vector<double> rates(static_cast<size_t>(duration_s) + 1, 0.0);
+  for (const Arrival& a : trace) {
+    size_t bucket = static_cast<size_t>(MicrosToSeconds(a.time));
+    if (bucket < rates.size()) rates[bucket] += 1.0;
+  }
+  return rates;
+}
+
+}  // namespace sesemi::workload

@@ -1,0 +1,61 @@
+#ifndef SESEMI_WORKLOAD_GENERATORS_H_
+#define SESEMI_WORKLOAD_GENERATORS_H_
+
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+
+namespace sesemi::workload {
+
+/// One request arrival in an open-loop workload trace.
+struct Arrival {
+  TimeMicros time = 0;
+  std::string model_id;
+  std::string user_id;
+};
+
+/// Deterministic arrivals at a fixed rate (the paper's single-node
+/// throughput sweeps, Figure 12).
+std::vector<Arrival> FixedRate(double rps, double duration_s,
+                               const std::string& model_id,
+                               const std::string& user_id,
+                               TimeMicros start = 0);
+
+/// Poisson process with rate `rps` (Table III's popular-model traffic).
+std::vector<Arrival> Poisson(double rps, double duration_s,
+                             const std::string& model_id,
+                             const std::string& user_id, uint64_t seed,
+                             TimeMicros start = 0);
+
+/// Two-state Markov-modulated Poisson process (Figure 13/14's workload):
+/// the rate alternates between `low_rps` and `high_rps`, dwelling in each
+/// state for an exponentially distributed time with mean `mean_dwell_s`.
+struct MmppSpec {
+  double low_rps = 20;
+  double high_rps = 40;
+  double mean_dwell_s = 60;
+  double duration_s = 900;
+  uint64_t seed = 42;
+};
+std::vector<Arrival> Mmpp(const MmppSpec& spec, const std::string& model_id,
+                          const std::string& user_id, TimeMicros start = 0);
+
+/// An interactive session (Table IV): the models are queried sequentially,
+/// each issued `think_time_s` after the previous one completes — approximated
+/// open-loop with a fixed gap.
+std::vector<Arrival> InteractiveSession(TimeMicros start,
+                                        const std::vector<std::string>& models,
+                                        const std::string& user_id,
+                                        double think_time_s = 2.0);
+
+/// Merge traces into one time-ordered trace.
+std::vector<Arrival> Merge(std::vector<std::vector<Arrival>> traces);
+
+/// Per-second request-rate series of a trace (for plotting Figure 13a).
+std::vector<double> RatePerSecond(const std::vector<Arrival>& trace,
+                                  double duration_s);
+
+}  // namespace sesemi::workload
+
+#endif  // SESEMI_WORKLOAD_GENERATORS_H_

@@ -1,0 +1,141 @@
+#include <gtest/gtest.h>
+
+#include "client/clients.h"
+#include "crypto/key.h"
+#include "keyservice/keyservice.h"
+#include "model/zoo.h"
+#include "semirt/semirt.h"
+#include "sgx/platform.h"
+#include "storage/object_store.h"
+
+namespace sesemi::client {
+namespace {
+
+class ClientTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    keyservice_ = std::move(*keyservice::StartKeyService(&platform_));
+    client_ = std::move(*KeyServiceClient::Connect(
+        keyservice_.get(), &authority_,
+        keyservice::KeyServiceEnclave::ExpectedMeasurement()));
+  }
+
+  model::ModelGraph SmallModel(const std::string& id) {
+    model::ZooSpec spec;
+    spec.model_id = id;
+    spec.scale = 0.002;
+    spec.input_hw = 16;
+    return std::move(*model::BuildModel(spec));
+  }
+
+  sgx::AttestationAuthority authority_;
+  sgx::SgxPlatform platform_{sgx::SgxGeneration::kSgx2, &authority_};
+  std::unique_ptr<keyservice::KeyServiceServer> keyservice_;
+  std::unique_ptr<KeyServiceClient> client_;
+  storage::InMemoryObjectStore storage_;
+};
+
+TEST_F(ClientTest, OperationsRequireRegistration) {
+  ModelOwner owner("o");
+  ModelUser user("u");
+  model::ModelGraph graph = SmallModel("m0");
+
+  EXPECT_FALSE(owner.DeployModel(client_.get(), &storage_, graph).ok());
+  EXPECT_FALSE(owner.GrantAccess(client_.get(), "m0", sgx::Measurement(), "x").ok());
+  EXPECT_FALSE(user.ProvisionRequestKey(client_.get(), "m0", sgx::Measurement()).ok());
+  EXPECT_TRUE(owner.id().empty());
+}
+
+TEST_F(ClientTest, OwnerTracksModelKeys) {
+  ModelOwner owner("o");
+  ASSERT_TRUE(owner.Register(client_.get()).ok());
+  EXPECT_FALSE(owner.ModelKey("m0").ok());
+  ASSERT_TRUE(owner.DeployModel(client_.get(), &storage_, SmallModel("m0")).ok());
+  auto key = owner.ModelKey("m0");
+  ASSERT_TRUE(key.ok());
+  EXPECT_EQ(key->size(), crypto::kSymmetricKeySize);
+  // Two deployments get independent keys.
+  ASSERT_TRUE(owner.DeployModel(client_.get(), &storage_, SmallModel("m1")).ok());
+  EXPECT_NE(*owner.ModelKey("m0"), *owner.ModelKey("m1"));
+}
+
+TEST_F(ClientTest, UserRequiresProvisionedKeyToBuildRequests) {
+  ModelUser user("u");
+  ASSERT_TRUE(user.Register(client_.get()).ok());
+  auto r = user.BuildRequest("m0", Bytes(16, 0));
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_FALSE(user.DecryptResult("m0", Bytes(64, 0)).ok());
+}
+
+TEST_F(ClientTest, AmbiguousDeploymentNeedsExplicitIdentity) {
+  ModelOwner owner("o");
+  ModelUser user("u");
+  ASSERT_TRUE(owner.Register(client_.get()).ok());
+  ASSERT_TRUE(user.Register(client_.get()).ok());
+  ASSERT_TRUE(owner.DeployModel(client_.get(), &storage_, SmallModel("m0")).ok());
+
+  semirt::SemirtOptions a, b;
+  b.num_tcs = 4;
+  sgx::Measurement es_a = semirt::SemirtInstance::MeasurementFor(a);
+  sgx::Measurement es_b = semirt::SemirtInstance::MeasurementFor(b);
+  ASSERT_TRUE(user.ProvisionRequestKey(client_.get(), "m0", es_a).ok());
+  // One deployment: no identity needed.
+  EXPECT_TRUE(user.BuildRequest("m0", Bytes(16, 1)).ok());
+
+  ASSERT_TRUE(user.ProvisionRequestKey(client_.get(), "m0", es_b).ok());
+  // Two deployments: ambiguous without identity, fine with one.
+  EXPECT_FALSE(user.BuildRequest("m0", Bytes(16, 1)).ok());
+  EXPECT_TRUE(user.BuildRequest("m0", Bytes(16, 1), &es_a).ok());
+  EXPECT_TRUE(user.BuildRequest("m0", Bytes(16, 1), &es_b).ok());
+  // Unknown identity still fails.
+  sgx::Measurement other = sgx::Measurement::FromHex(std::string(64, 'e'));
+  EXPECT_FALSE(user.BuildRequest("m0", Bytes(16, 1), &other).ok());
+}
+
+TEST_F(ClientTest, DistinctActorsGetDistinctIdentities) {
+  ModelOwner o1("a"), o2("b");
+  ModelUser u1("c");
+  ASSERT_TRUE(o1.Register(client_.get()).ok());
+  ASSERT_TRUE(o2.Register(client_.get()).ok());
+  ASSERT_TRUE(u1.Register(client_.get()).ok());
+  EXPECT_NE(o1.id(), o2.id());
+  EXPECT_NE(o1.id(), u1.id());
+  EXPECT_EQ(keyservice_->service()->registered_identities(), 3u);
+}
+
+TEST_F(ClientTest, ConnectRejectsWrongExpectedMeasurement) {
+  auto bad = KeyServiceClient::Connect(keyservice_.get(), &authority_,
+                                       sgx::Measurement::FromHex(std::string(64, '1')));
+  EXPECT_FALSE(bad.ok());
+  EXPECT_TRUE(bad.status().IsUnauthenticated());
+}
+
+TEST_F(ClientTest, DeployWithPlaintextCopyStoresBoth) {
+  ModelOwner owner("o");
+  ASSERT_TRUE(owner.Register(client_.get()).ok());
+  ASSERT_TRUE(owner.DeployModel(client_.get(), &storage_, SmallModel("m0"),
+                                /*with_plaintext_copy=*/true).ok());
+  EXPECT_TRUE(storage_.Exists("models/m0"));
+  EXPECT_TRUE(storage_.Exists("plainmodels/m0"));
+  // The two stored blobs differ (one sealed, one raw).
+  EXPECT_NE(*storage_.Get("models/m0"), *storage_.Get("plainmodels/m0"));
+}
+
+TEST_F(ClientTest, RequestPayloadsDifferPerBuild) {
+  // Fresh GCM nonces: identical inputs produce distinct ciphertexts.
+  ModelOwner owner("o");
+  ModelUser user("u");
+  ASSERT_TRUE(owner.Register(client_.get()).ok());
+  ASSERT_TRUE(user.Register(client_.get()).ok());
+  ASSERT_TRUE(owner.DeployModel(client_.get(), &storage_, SmallModel("m0")).ok());
+  sgx::Measurement es = semirt::SemirtInstance::MeasurementFor({});
+  ASSERT_TRUE(user.ProvisionRequestKey(client_.get(), "m0", es).ok());
+  auto r1 = user.BuildRequest("m0", Bytes(16, 5));
+  auto r2 = user.BuildRequest("m0", Bytes(16, 5));
+  ASSERT_TRUE(r1.ok() && r2.ok());
+  EXPECT_NE(r1->encrypted_input, r2->encrypted_input);
+}
+
+}  // namespace
+}  // namespace sesemi::client

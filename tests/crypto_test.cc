@@ -1,0 +1,472 @@
+#include <gtest/gtest.h>
+
+#include "common/bytes.h"
+#include "common/rng.h"
+#include "crypto/aes.h"
+#include "crypto/gcm.h"
+#include "crypto/hkdf.h"
+#include "crypto/hmac.h"
+#include "crypto/key.h"
+#include "crypto/random.h"
+#include "crypto/sha256.h"
+#include "crypto/x25519.h"
+
+namespace sesemi::crypto {
+namespace {
+
+std::string HashHex(ByteSpan data) {
+  return HexEncode(Sha256::HashToBytes(data));
+}
+
+// ---------------------------------------------------------------- SHA-256
+// Vectors from FIPS 180-4 / NIST CAVP.
+
+TEST(Sha256Test, EmptyString) {
+  EXPECT_EQ(HashHex(ToBytes("")),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256Test, Abc) {
+  EXPECT_EQ(HashHex(ToBytes("abc")),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256Test, TwoBlockMessage) {
+  EXPECT_EQ(HashHex(ToBytes("abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq")),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256Test, MillionA) {
+  Sha256 h;
+  Bytes chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) h.Update(chunk);
+  EXPECT_EQ(HexEncode(Bytes(h.Finish().begin(), h.Finish().end())).substr(0, 0), "");
+  // Finish() mutates; recompute properly.
+  Sha256 h2;
+  for (int i = 0; i < 1000; ++i) h2.Update(chunk);
+  auto d = h2.Finish();
+  EXPECT_EQ(HexEncode(ByteSpan(d.data(), d.size())),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256Test, IncrementalMatchesOneShot) {
+  Rng rng(1);
+  Bytes data = rng.NextBytes(10000);
+  Sha256 h;
+  // Feed in irregular chunk sizes that straddle block boundaries.
+  size_t pos = 0;
+  size_t sizes[] = {1, 63, 64, 65, 127, 128, 1000, 8552};
+  for (size_t s : sizes) {
+    h.Update(ByteSpan(data.data() + pos, s));
+    pos += s;
+  }
+  ASSERT_EQ(pos, data.size());
+  EXPECT_EQ(h.Finish(), Sha256::Hash(data));
+}
+
+TEST(Sha256Test, ResetAllowsReuse) {
+  Sha256 h;
+  h.Update(ToBytes("garbage"));
+  h.Reset();
+  h.Update(ToBytes("abc"));
+  EXPECT_EQ(h.Finish(), Sha256::Hash(ToBytes("abc")));
+}
+
+// Boundary lengths around the 55/56-byte padding edge.
+class Sha256PaddingTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(Sha256PaddingTest, MatchesIncrementalByteFeed) {
+  size_t n = GetParam();
+  Bytes data(n, 0x5a);
+  Sha256 h;
+  for (size_t i = 0; i < n; ++i) h.Update(ByteSpan(data.data() + i, 1));
+  EXPECT_EQ(h.Finish(), Sha256::Hash(data)) << "length " << n;
+}
+
+INSTANTIATE_TEST_SUITE_P(PaddingEdges, Sha256PaddingTest,
+                         ::testing::Values(0, 1, 54, 55, 56, 57, 63, 64, 65, 119,
+                                           120, 128, 129));
+
+// ---------------------------------------------------------------- HMAC
+// Vectors from RFC 4231.
+
+TEST(HmacTest, Rfc4231Case1) {
+  Bytes key(20, 0x0b);
+  auto tag = HmacSha256(key, ToBytes("Hi There"));
+  EXPECT_EQ(HexEncode(ByteSpan(tag.data(), tag.size())),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7");
+}
+
+TEST(HmacTest, Rfc4231Case2) {
+  auto tag = HmacSha256(ToBytes("Jefe"), ToBytes("what do ya want for nothing?"));
+  EXPECT_EQ(HexEncode(ByteSpan(tag.data(), tag.size())),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843");
+}
+
+TEST(HmacTest, LongKeyIsHashedFirst) {
+  Bytes long_key(131, 0xaa);  // RFC 4231 case 6 key size
+  auto tag = HmacSha256(long_key, ToBytes("Test Using Larger Than Block-Size Key - Hash Key First"));
+  EXPECT_EQ(HexEncode(ByteSpan(tag.data(), tag.size())),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54");
+}
+
+TEST(HmacTest, VerifyAcceptsAndRejects) {
+  Bytes key = ToBytes("k");
+  Bytes msg = ToBytes("m");
+  Bytes tag = HmacSha256ToBytes(key, msg);
+  EXPECT_TRUE(VerifyHmacSha256(key, msg, tag));
+  tag[0] ^= 1;
+  EXPECT_FALSE(VerifyHmacSha256(key, msg, tag));
+  EXPECT_FALSE(VerifyHmacSha256(key, ToBytes("m2"), tag));
+  EXPECT_FALSE(VerifyHmacSha256(key, msg, Bytes{}));
+}
+
+// ---------------------------------------------------------------- HKDF
+// Vector from RFC 5869, Test Case 1.
+
+TEST(HkdfTest, Rfc5869Case1) {
+  Bytes ikm(22, 0x0b);
+  Bytes salt = HexDecode("000102030405060708090a0b0c");
+  Bytes info = HexDecode("f0f1f2f3f4f5f6f7f8f9");
+  auto okm = Hkdf(salt, ikm, info, 42);
+  ASSERT_TRUE(okm.ok());
+  EXPECT_EQ(HexEncode(*okm),
+            "3cb25f25faacd57a90434f64d0362f2a2d2d0a90cf1a5a4c5db02d56ecc4c5bf"
+            "34007208d5b887185865");
+}
+
+TEST(HkdfTest, RejectsOverlongOutput) {
+  auto r = HkdfExpand(Bytes(32, 1), {}, 255 * 32 + 1);
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsInvalidArgument());
+}
+
+TEST(HkdfTest, DifferentInfoYieldsIndependentKeys) {
+  Bytes ikm = ToBytes("shared secret");
+  auto a = Hkdf({}, ikm, ToBytes("client"), 32);
+  auto b = Hkdf({}, ikm, ToBytes("server"), 32);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_NE(*a, *b);
+}
+
+TEST(HkdfTest, ExpandIsPrefixConsistent) {
+  Bytes prk = HkdfExtract({}, ToBytes("ikm"));
+  auto short_out = HkdfExpand(prk, ToBytes("ctx"), 16);
+  auto long_out = HkdfExpand(prk, ToBytes("ctx"), 64);
+  ASSERT_TRUE(short_out.ok());
+  ASSERT_TRUE(long_out.ok());
+  EXPECT_TRUE(std::equal(short_out->begin(), short_out->end(), long_out->begin()));
+}
+
+// ---------------------------------------------------------------- AES
+// Vectors from FIPS 197 Appendix C.
+
+TEST(AesTest, Fips197Aes128) {
+  Bytes key = HexDecode("000102030405060708090a0b0c0d0e0f");
+  Bytes pt = HexDecode("00112233445566778899aabbccddeeff");
+  auto aes = Aes::Create(key);
+  ASSERT_TRUE(aes.ok());
+  EXPECT_EQ(aes->rounds(), 10);
+  uint8_t ct[16];
+  aes->EncryptBlock(pt.data(), ct);
+  EXPECT_EQ(HexEncode(ByteSpan(ct, 16)), "69c4e0d86a7b0430d8cdb78070b4c55a");
+}
+
+TEST(AesTest, Fips197Aes256) {
+  Bytes key = HexDecode("000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f");
+  Bytes pt = HexDecode("00112233445566778899aabbccddeeff");
+  auto aes = Aes::Create(key);
+  ASSERT_TRUE(aes.ok());
+  EXPECT_EQ(aes->rounds(), 14);
+  uint8_t ct[16];
+  aes->EncryptBlock(pt.data(), ct);
+  EXPECT_EQ(HexEncode(ByteSpan(ct, 16)), "8ea2b7ca516745bfeafc49904b496089");
+}
+
+TEST(AesTest, RejectsBadKeySizes) {
+  EXPECT_FALSE(Aes::Create(Bytes(15, 0)).ok());
+  EXPECT_FALSE(Aes::Create(Bytes(24, 0)).ok());  // AES-192 unsupported by design
+  EXPECT_FALSE(Aes::Create(Bytes(0, 0)).ok());
+}
+
+TEST(AesTest, InPlaceEncryption) {
+  Bytes key = HexDecode("000102030405060708090a0b0c0d0e0f");
+  auto aes = Aes::Create(key);
+  ASSERT_TRUE(aes.ok());
+  uint8_t buf[16];
+  Bytes pt = HexDecode("00112233445566778899aabbccddeeff");
+  memcpy(buf, pt.data(), 16);
+  aes->EncryptBlock(buf, buf);
+  EXPECT_EQ(HexEncode(ByteSpan(buf, 16)), "69c4e0d86a7b0430d8cdb78070b4c55a");
+}
+
+// ---------------------------------------------------------------- AES-GCM
+// Vectors from the original GCM spec (McGrew & Viega), test cases 1-4.
+
+TEST(GcmTest, SpecCase1EmptyEverything) {
+  Bytes key(16, 0);
+  Bytes nonce(12, 0);
+  auto gcm = AesGcm::Create(key);
+  ASSERT_TRUE(gcm.ok());
+  auto ct = gcm->Encrypt(nonce, {}, {});
+  ASSERT_TRUE(ct.ok());
+  EXPECT_EQ(HexEncode(*ct), "58e2fccefa7e3061367f1d57a4e7455a");
+}
+
+TEST(GcmTest, SpecCase2SingleBlock) {
+  Bytes key(16, 0);
+  Bytes nonce(12, 0);
+  Bytes pt(16, 0);
+  auto gcm = AesGcm::Create(key);
+  ASSERT_TRUE(gcm.ok());
+  auto ct = gcm->Encrypt(nonce, {}, pt);
+  ASSERT_TRUE(ct.ok());
+  EXPECT_EQ(HexEncode(*ct),
+            "0388dace60b6a392f328c2b971b2fe78"
+            "ab6e47d42cec13bdf53a67b21257bddf");
+}
+
+TEST(GcmTest, SpecCase3FourBlocks) {
+  Bytes key = HexDecode("feffe9928665731c6d6a8f9467308308");
+  Bytes nonce = HexDecode("cafebabefacedbaddecaf888");
+  Bytes pt = HexDecode(
+      "d9313225f88406e5a55909c5aff5269a86a7a9531534f7da2e4c303d8a318a72"
+      "1c3c0c95956809532fcf0e2449a6b525b16aedf5aa0de657ba637b391aafd255");
+  auto gcm = AesGcm::Create(key);
+  ASSERT_TRUE(gcm.ok());
+  auto ct = gcm->Encrypt(nonce, {}, pt);
+  ASSERT_TRUE(ct.ok());
+  EXPECT_EQ(HexEncode(*ct),
+            "42831ec2217774244b7221b784d0d49ce3aa212f2c02a4e035c17e2329aca12e"
+            "21d514b25466931c7d8f6a5aac84aa051ba30b396a0aac973d58e091473f5985"
+            "4d5c2af327cd64a62cf35abd2ba6fab4");
+}
+
+TEST(GcmTest, SpecCase4WithAad) {
+  Bytes key = HexDecode("feffe9928665731c6d6a8f9467308308");
+  Bytes nonce = HexDecode("cafebabefacedbaddecaf888");
+  Bytes pt = HexDecode(
+      "d9313225f88406e5a55909c5aff5269a86a7a9531534f7da2e4c303d8a318a72"
+      "1c3c0c95956809532fcf0e2449a6b525b16aedf5aa0de657ba637b39");
+  Bytes aad = HexDecode("feedfacedeadbeeffeedfacedeadbeefabaddad2");
+  auto gcm = AesGcm::Create(key);
+  ASSERT_TRUE(gcm.ok());
+  auto ct = gcm->Encrypt(nonce, aad, pt);
+  ASSERT_TRUE(ct.ok());
+  EXPECT_EQ(HexEncode(*ct),
+            "42831ec2217774244b7221b784d0d49ce3aa212f2c02a4e035c17e2329aca12e"
+            "21d514b25466931c7d8f6a5aac84aa051ba30b396a0aac973d58e091"
+            "5bc94fbc3221a5db94fae95ae7121a47");
+}
+
+TEST(GcmTest, DecryptRoundTrip) {
+  Bytes key = GenerateSymmetricKey(32);
+  Bytes nonce = RandomBytes(12);
+  Bytes pt = ToBytes("patient record: glucose 5.4 mmol/L");
+  Bytes aad = ToBytes("request-header");
+  auto gcm = AesGcm::Create(key);
+  ASSERT_TRUE(gcm.ok());
+  auto ct = gcm->Encrypt(nonce, aad, pt);
+  ASSERT_TRUE(ct.ok());
+  auto back = gcm->Decrypt(nonce, aad, *ct);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, pt);
+}
+
+TEST(GcmTest, TamperedCiphertextRejected) {
+  Bytes key = GenerateSymmetricKey();
+  Bytes nonce = RandomBytes(12);
+  auto gcm = AesGcm::Create(key);
+  ASSERT_TRUE(gcm.ok());
+  auto ct = gcm->Encrypt(nonce, {}, ToBytes("secret model weights"));
+  ASSERT_TRUE(ct.ok());
+  Bytes tampered = *ct;
+  tampered[0] ^= 0x01;
+  auto r = gcm->Decrypt(nonce, {}, tampered);
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsUnauthenticated());
+}
+
+TEST(GcmTest, TamperedTagRejected) {
+  Bytes key = GenerateSymmetricKey();
+  Bytes nonce = RandomBytes(12);
+  auto gcm = AesGcm::Create(key);
+  ASSERT_TRUE(gcm.ok());
+  auto ct = gcm->Encrypt(nonce, {}, ToBytes("x"));
+  ASSERT_TRUE(ct.ok());
+  Bytes tampered = *ct;
+  tampered.back() ^= 0x80;
+  EXPECT_FALSE(gcm->Decrypt(nonce, {}, tampered).ok());
+}
+
+TEST(GcmTest, WrongAadRejected) {
+  Bytes key = GenerateSymmetricKey();
+  Bytes nonce = RandomBytes(12);
+  auto gcm = AesGcm::Create(key);
+  ASSERT_TRUE(gcm.ok());
+  auto ct = gcm->Encrypt(nonce, ToBytes("aad-1"), ToBytes("x"));
+  ASSERT_TRUE(ct.ok());
+  EXPECT_FALSE(gcm->Decrypt(nonce, ToBytes("aad-2"), *ct).ok());
+}
+
+TEST(GcmTest, WrongKeyRejected) {
+  Bytes nonce = RandomBytes(12);
+  auto g1 = AesGcm::Create(Bytes(16, 1));
+  auto g2 = AesGcm::Create(Bytes(16, 2));
+  ASSERT_TRUE(g1.ok());
+  ASSERT_TRUE(g2.ok());
+  auto ct = g1->Encrypt(nonce, {}, ToBytes("x"));
+  ASSERT_TRUE(ct.ok());
+  EXPECT_FALSE(g2->Decrypt(nonce, {}, *ct).ok());
+}
+
+TEST(GcmTest, RejectsBadNonceAndShortMessages) {
+  auto gcm = AesGcm::Create(Bytes(16, 0));
+  ASSERT_TRUE(gcm.ok());
+  EXPECT_FALSE(gcm->Encrypt(Bytes(11, 0), {}, {}).ok());
+  EXPECT_FALSE(gcm->Decrypt(Bytes(12, 0), {}, Bytes(15, 0)).ok());
+}
+
+TEST(GcmTest, SealOpenRoundTrip) {
+  Bytes key = GenerateSymmetricKey();
+  Bytes pt = ToBytes("inference request payload");
+  auto sealed = GcmSeal(key, ToBytes("hdr"), pt);
+  ASSERT_TRUE(sealed.ok());
+  auto opened = GcmOpen(key, ToBytes("hdr"), *sealed);
+  ASSERT_TRUE(opened.ok());
+  EXPECT_EQ(*opened, pt);
+}
+
+TEST(GcmTest, SealUsesFreshNonces) {
+  Bytes key = GenerateSymmetricKey();
+  auto a = GcmSeal(key, {}, ToBytes("same"));
+  auto b = GcmSeal(key, {}, ToBytes("same"));
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_NE(*a, *b);  // nonce differs, so the whole message differs
+}
+
+// Round-trip across plaintext sizes spanning block boundaries.
+class GcmSizeTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(GcmSizeTest, RoundTrip) {
+  size_t n = GetParam();
+  Rng rng(n + 1);
+  Bytes pt = rng.NextBytes(n);
+  Bytes key = rng.NextBytes(16);
+  Bytes nonce = rng.NextBytes(12);
+  auto gcm = AesGcm::Create(key);
+  ASSERT_TRUE(gcm.ok());
+  auto ct = gcm->Encrypt(nonce, {}, pt);
+  ASSERT_TRUE(ct.ok());
+  EXPECT_EQ(ct->size(), n + kGcmTagSize);
+  auto back = gcm->Decrypt(nonce, {}, *ct);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, pt);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, GcmSizeTest,
+                         ::testing::Values(0, 1, 15, 16, 17, 31, 32, 33, 255, 256,
+                                           1000, 4096, 65537));
+
+// ---------------------------------------------------------------- X25519
+// Vectors from RFC 7748 §5.2 and §6.1.
+
+X25519Key KeyFromHex(std::string_view hex) {
+  Bytes b = HexDecode(hex);
+  X25519Key k{};
+  std::copy(b.begin(), b.end(), k.begin());
+  return k;
+}
+
+TEST(X25519Test, Rfc7748Vector1) {
+  auto scalar = KeyFromHex(
+      "a546e36bf0527c9d3b16154b82465edd62144c0ac1fc5a18506a2244ba449ac4");
+  auto point = KeyFromHex(
+      "e6db6867583030db3594c1a424b15f7c726624ec26b3353b10a903a6d0ab1c4c");
+  auto out = X25519(scalar, point);
+  EXPECT_EQ(HexEncode(ByteSpan(out.data(), out.size())),
+            "c3da55379de9c6908e94ea4df28d084f32eccf03491c71f754b4075577a28552");
+}
+
+TEST(X25519Test, Rfc7748Vector2) {
+  auto scalar = KeyFromHex(
+      "4b66e9d4d1b4673c5ad22691957d6af5c11b6421e0ea01d42ca4169e7918ba0d");
+  auto point = KeyFromHex(
+      "e5210f12786811d3f4b7959d0538ae2c31dbe7106fc03c3efc4cd549c715a493");
+  auto out = X25519(scalar, point);
+  EXPECT_EQ(HexEncode(ByteSpan(out.data(), out.size())),
+            "95cbde9476e8907d7aade45cb4b873f88b595a68799fa152e6f8f7647aac7957");
+}
+
+TEST(X25519Test, Rfc7748DiffieHellman) {
+  auto alice_priv = KeyFromHex(
+      "77076d0a7318a57d3c16c17251b26645df4c2f87ebc0992ab177fba51db92c2a");
+  auto bob_priv = KeyFromHex(
+      "5dab087e624a8a4b79e17f8b83800ee66f3bb1292618b6fd1c2f8b27ff88e0eb");
+  auto alice_pub = X25519Base(alice_priv);
+  auto bob_pub = X25519Base(bob_priv);
+  EXPECT_EQ(HexEncode(ByteSpan(alice_pub.data(), 32)),
+            "8520f0098930a754748b7ddcb43ef75a0dbf3a0d26381af4eba4a98eaa9b4e6a");
+  EXPECT_EQ(HexEncode(ByteSpan(bob_pub.data(), 32)),
+            "de9edb7d7b7dc1b4d35b61c2ece435373f8343c85b78674dadfc7e146f882b4f");
+  auto s1 = X25519SharedSecret(alice_priv, bob_pub);
+  auto s2 = X25519SharedSecret(bob_priv, alice_pub);
+  ASSERT_TRUE(s1.ok());
+  ASSERT_TRUE(s2.ok());
+  EXPECT_EQ(*s1, *s2);
+  EXPECT_EQ(HexEncode(*s1),
+            "4a5d9d5ba4ce2de1728e3bf480350f25e07e21c947d19e3376f09b3c1e161742");
+}
+
+TEST(X25519Test, GeneratedPairsAgree) {
+  for (int i = 0; i < 5; ++i) {
+    auto a = GenerateX25519KeyPair();
+    auto b = GenerateX25519KeyPair();
+    auto s1 = X25519SharedSecret(a.private_key, b.public_key);
+    auto s2 = X25519SharedSecret(b.private_key, a.public_key);
+    ASSERT_TRUE(s1.ok());
+    ASSERT_TRUE(s2.ok());
+    EXPECT_EQ(*s1, *s2);
+  }
+}
+
+TEST(X25519Test, RejectsLowOrderPoint) {
+  auto kp = GenerateX25519KeyPair();
+  X25519Key zero{};
+  auto r = X25519SharedSecret(kp.private_key, zero);
+  EXPECT_FALSE(r.ok());
+}
+
+// ---------------------------------------------------------------- Random / key
+
+TEST(RandomTest, ProducesRequestedLength) {
+  EXPECT_EQ(RandomBytes(0).size(), 0u);
+  EXPECT_EQ(RandomBytes(33).size(), 33u);
+}
+
+TEST(RandomTest, SuccessiveCallsDiffer) {
+  EXPECT_NE(RandomBytes(32), RandomBytes(32));
+}
+
+TEST(RandomTest, DeterministicModeIsReproducible) {
+  SetDeterministicRandomForTesting(true, 99);
+  Bytes a = RandomBytes(48);
+  SetDeterministicRandomForTesting(true, 99);
+  Bytes b = RandomBytes(48);
+  SetDeterministicRandomForTesting(false);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(RandomBytes(48), a);
+}
+
+TEST(KeyTest, DeriveIdentityIsStableAndDistinct) {
+  Bytes k1 = ToBytes("owner long term key");
+  Bytes k2 = ToBytes("user long term key");
+  EXPECT_EQ(DeriveIdentity(k1), DeriveIdentity(k1));
+  EXPECT_NE(DeriveIdentity(k1), DeriveIdentity(k2));
+  EXPECT_EQ(DeriveIdentity(k1).size(), 64u);  // hex of 32 bytes
+}
+
+}  // namespace
+}  // namespace sesemi::crypto

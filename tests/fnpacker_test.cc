@@ -1,0 +1,197 @@
+#include <gtest/gtest.h>
+
+#include "fnpacker/router.h"
+
+namespace sesemi::fnpacker {
+namespace {
+
+FnPoolSpec PoolOf(std::vector<std::string> models, int endpoints,
+                  TimeMicros idle_timeout = SecondsToMicros(30)) {
+  FnPoolSpec spec;
+  spec.models = std::move(models);
+  spec.num_endpoints = endpoints;
+  spec.exclusive_idle_timeout = idle_timeout;
+  return spec;
+}
+
+TEST(FnPackerTest, UnknownModelRejected) {
+  FnPackerRouter router(PoolOf({"m0"}, 1));
+  EXPECT_FALSE(router.Route("m9", 0).ok());
+}
+
+TEST(FnPackerTest, PendingRequestsStickToEndpoint) {
+  FnPackerRouter router(PoolOf({"m0", "m1"}, 2));
+  auto e1 = router.Route("m0", 0);
+  ASSERT_TRUE(e1.ok());
+  // Still in flight: the next m0 request must go to the same endpoint,
+  // which is now exclusive.
+  auto e2 = router.Route("m0", 1000);
+  ASSERT_TRUE(e2.ok());
+  EXPECT_EQ(*e1, *e2);
+  EXPECT_EQ(router.endpoint_state(*e1).exclusive_model, "m0");
+  EXPECT_EQ(router.model_state("m0").pending, 2);
+}
+
+TEST(FnPackerTest, IdleModelAvoidsBusyEndpoint) {
+  FnPackerRouter router(PoolOf({"m0", "m1"}, 2));
+  auto e0 = router.Route("m0", 0);
+  ASSERT_TRUE(e0.ok());
+  // m0 still pending; m1 must get the other endpoint.
+  auto e1 = router.Route("m1", 10);
+  ASSERT_TRUE(e1.ok());
+  EXPECT_NE(*e0, *e1);
+}
+
+TEST(FnPackerTest, CompletedModelFreesEndpointAfterTimeout) {
+  const TimeMicros timeout = SecondsToMicros(30);
+  FnPackerRouter router(PoolOf({"m0", "m1"}, 1, timeout));
+  auto e0 = router.Route("m0", 0);
+  ASSERT_TRUE(e0.ok());
+  router.OnComplete("m0", *e0, SecondsToMicros(1));
+
+  // Endpoint 0 is exclusive to m0 and recently used: m1 has nowhere clean to
+  // go (single endpoint) -> falls back, counted as overflow OR reuses after
+  // timeout. Before timeout the endpoint is still marked.
+  auto e1 = router.Route("m1", SecondsToMicros(2));
+  ASSERT_TRUE(e1.ok());
+  EXPECT_EQ(*e1, 0);  // only endpoint
+  router.OnComplete("m1", *e1, SecondsToMicros(3));
+
+  // After the idle timeout the exclusivity expires cleanly.
+  auto e2 = router.Route("m1", SecondsToMicros(40));
+  ASSERT_TRUE(e2.ok());
+  EXPECT_EQ(*e2, 0);
+}
+
+TEST(FnPackerTest, InfrequentModelsPackOntoSharedEndpoint) {
+  // Three cold models, two endpoints: sequential (non-overlapping) requests
+  // should all reuse the first endpoint — that's the packing that saves
+  // cold starts (Table IV).
+  FnPackerRouter router(PoolOf({"m2", "m3", "m4"}, 2));
+  TimeMicros t = 0;
+  for (const std::string m : {"m2", "m3", "m4", "m2", "m3"}) {
+    auto e = router.Route(m, t);
+    ASSERT_TRUE(e.ok());
+    EXPECT_EQ(*e, 0) << "sequential idle-model requests should share endpoint 0";
+    router.OnComplete(m, *e, t + SecondsToMicros(1));
+    t += SecondsToMicros(2);
+  }
+}
+
+TEST(FnPackerTest, HotModelKeepsExclusiveEndpointWhileColdModelsShare) {
+  // m0 streams continuously; m2/m3 arrive occasionally. m0 must never share.
+  FnPackerRouter router(PoolOf({"m0", "m2", "m3"}, 2));
+  auto hot = router.Route("m0", 0);
+  ASSERT_TRUE(hot.ok());
+
+  TimeMicros t = SecondsToMicros(1);
+  auto c1 = router.Route("m2", t);
+  ASSERT_TRUE(c1.ok());
+  EXPECT_NE(*c1, *hot);
+  router.OnComplete("m2", *c1, t + 100);
+
+  auto c2 = router.Route("m3", t + SecondsToMicros(1));
+  ASSERT_TRUE(c2.ok());
+  EXPECT_NE(*c2, *hot) << "cold models must not preempt the hot endpoint";
+  router.OnComplete("m3", *c2, t + SecondsToMicros(1) + 100);
+
+  // m0's stream continues on its endpoint.
+  auto hot2 = router.Route("m0", t + SecondsToMicros(2));
+  ASSERT_TRUE(hot2.ok());
+  EXPECT_EQ(*hot2, *hot);
+}
+
+TEST(FnPackerTest, PrefersEndpointWithModelLoaded) {
+  FnPackerRouter router(PoolOf({"m0", "m1"}, 2));
+  auto e0 = router.Route("m0", 0);
+  ASSERT_TRUE(e0.ok());
+  router.OnComplete("m0", *e0, 100);
+  // m0 again, idle: should return to the endpoint that has it loaded.
+  auto e1 = router.Route("m0", 200);
+  ASSERT_TRUE(e1.ok());
+  EXPECT_EQ(*e0, *e1);
+  EXPECT_EQ(router.stats().model_switches, 0);
+}
+
+TEST(FnPackerTest, OverflowFallsBackToLeastLoaded) {
+  FnPackerRouter router(PoolOf({"m0", "m1", "m2"}, 2));
+  ASSERT_TRUE(router.Route("m0", 0).ok());   // ep busy
+  ASSERT_TRUE(router.Route("m1", 1).ok());   // other ep busy
+  ASSERT_TRUE(router.Route("m1", 2).ok());   // m1's ep now pending=2
+  auto e = router.Route("m2", 3);            // everything busy
+  ASSERT_TRUE(e.ok());
+  EXPECT_EQ(router.stats().overflow, 1);
+  // Fallback picks the least-loaded endpoint: m0's (pending 1 vs m1's 2).
+  EXPECT_EQ(router.endpoint_state(*e).pending, 2);  // 1 (m0) + the overflow
+  EXPECT_GE(*e, 0);
+  EXPECT_LT(*e, 2);
+}
+
+TEST(FnPackerTest, StatsCountRoutingDecisions) {
+  FnPackerRouter router(PoolOf({"m0", "m1"}, 1));
+  ASSERT_TRUE(router.Route("m0", 0).ok());
+  router.OnComplete("m0", 0, 1);
+  ASSERT_TRUE(router.Route("m1", SecondsToMicros(60)).ok());
+  router.OnComplete("m1", 0, SecondsToMicros(61));
+  ASSERT_TRUE(router.Route("m0", SecondsToMicros(120)).ok());
+  RouterStats stats = router.stats();
+  EXPECT_EQ(stats.routed, 3);
+  EXPECT_EQ(stats.model_switches, 0);  // same endpoint, switches counted per model
+}
+
+TEST(OneToOneTest, EachModelGetsOwnEndpoint) {
+  OneToOneRouter router({"m0", "m1", "m2"});
+  EXPECT_EQ(router.num_endpoints(), 3);
+  auto e0 = router.Route("m0", 0);
+  auto e1 = router.Route("m1", 0);
+  auto e2 = router.Route("m2", 0);
+  ASSERT_TRUE(e0.ok() && e1.ok() && e2.ok());
+  EXPECT_NE(*e0, *e1);
+  EXPECT_NE(*e1, *e2);
+  // Stable over time.
+  EXPECT_EQ(*router.Route("m0", 100), *e0);
+  EXPECT_FALSE(router.Route("m9", 0).ok());
+}
+
+TEST(AllInOneTest, EverythingLandsOnEndpointZero) {
+  AllInOneRouter router;
+  EXPECT_EQ(router.num_endpoints(), 1);
+  EXPECT_EQ(*router.Route("m0", 0), 0);
+  EXPECT_EQ(*router.Route("m1", 5), 0);
+  EXPECT_EQ(*router.Route("anything", 10), 0);
+}
+
+/// Property sweep: under interleaved two-model traffic, FnPacker never
+/// routes a request for model A onto an endpoint with model B's work in
+/// flight (no interleaving on one sandbox).
+class FnPackerInterleaveTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(FnPackerInterleaveTest, NeverMixesInFlightModels) {
+  int endpoints = GetParam();
+  FnPackerRouter router(PoolOf({"a", "b"}, endpoints));
+  std::map<int, std::string> in_flight_model;  // endpoint -> model
+  TimeMicros t = 0;
+  for (int i = 0; i < 100; ++i) {
+    std::string model = (i % 3 == 0) ? "b" : "a";
+    auto e = router.Route(model, t);
+    ASSERT_TRUE(e.ok());
+    auto it = in_flight_model.find(*e);
+    if (it != in_flight_model.end()) {
+      EXPECT_EQ(it->second, model)
+          << "endpoint " << *e << " mixed models at step " << i;
+    }
+    in_flight_model[*e] = model;
+    // Complete every request after two steps to keep some overlap.
+    if (i % 2 == 1) {
+      router.OnComplete(model, *e, t + 1);
+      in_flight_model.erase(*e);
+    }
+    t += 1000;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(EndpointCounts, FnPackerInterleaveTest,
+                         ::testing::Values(2, 3, 4));
+
+}  // namespace
+}  // namespace sesemi::fnpacker

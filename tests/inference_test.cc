@@ -1,0 +1,291 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "inference/executor.h"
+#include "inference/framework.h"
+#include "inference/ops.h"
+#include "model/format.h"
+#include "model/zoo.h"
+
+namespace sesemi::inference {
+namespace {
+
+using model::Architecture;
+using model::ModelGraph;
+using model::TensorShape;
+using model::ZooSpec;
+
+ZooSpec SmallSpec(Architecture arch) {
+  ZooSpec spec;
+  spec.arch = arch;
+  spec.scale = 0.002;
+  spec.input_hw = 16;
+  return spec;
+}
+
+// ---------------------------------------------------------------- ops
+
+TEST(OpsTest, Conv2dIdentityKernel) {
+  // 1x1 kernel with identity weights and zero bias copies channels.
+  TensorShape in_shape{2, 2, 2};
+  std::vector<float> in = {1, 2, 3, 4, 5, 6, 7, 8};
+  // w[0][0][ic][oc]: identity 2x2, bias 0,0.
+  std::vector<float> w = {1, 0, 0, 1, 0, 0};
+  std::vector<float> out(8);
+  ops::Conv2d(in.data(), in_shape, w.data(), 1, 1, 2, out.data());
+  EXPECT_EQ(out, in);
+}
+
+TEST(OpsTest, Conv2dBiasOnly) {
+  TensorShape in_shape{2, 2, 1};
+  std::vector<float> in = {0, 0, 0, 0};
+  std::vector<float> w = {0, 5.0f};  // zero weight, bias 5
+  std::vector<float> out(4);
+  ops::Conv2d(in.data(), in_shape, w.data(), 1, 1, 1, out.data());
+  for (float v : out) EXPECT_FLOAT_EQ(v, 5.0f);
+}
+
+TEST(OpsTest, Conv2dSamePaddingSum) {
+  // 3x3 all-ones kernel over a single-channel all-ones image computes the
+  // number of valid neighbours at each position.
+  TensorShape in_shape{3, 3, 1};
+  std::vector<float> in(9, 1.0f);
+  std::vector<float> w(10, 1.0f);
+  w[9] = 0.0f;  // bias
+  std::vector<float> out(9);
+  ops::Conv2d(in.data(), in_shape, w.data(), 3, 1, 1, out.data());
+  EXPECT_FLOAT_EQ(out[4], 9.0f);  // center sees all 9
+  EXPECT_FLOAT_EQ(out[0], 4.0f);  // corner sees 4
+  EXPECT_FLOAT_EQ(out[1], 6.0f);  // edge sees 6
+}
+
+TEST(OpsTest, Conv2dStrideTwoHalvesOutput) {
+  TensorShape in_shape{4, 4, 1};
+  std::vector<float> in(16, 1.0f);
+  std::vector<float> w = {1, 0};  // 1x1 identity
+  std::vector<float> out(4);
+  ops::Conv2d(in.data(), in_shape, w.data(), 1, 2, 1, out.data());
+  for (float v : out) EXPECT_FLOAT_EQ(v, 1.0f);
+}
+
+TEST(OpsTest, DepthwiseKeepsChannelsSeparate) {
+  TensorShape in_shape{1, 1, 2};
+  std::vector<float> in = {3, 5};
+  // 1x1 depthwise: w[c] = {2, 10}, bias = {1, -1}.
+  std::vector<float> w = {2, 10, 1, -1};
+  std::vector<float> out(2);
+  ops::DepthwiseConv2d(in.data(), in_shape, w.data(), 1, 1, out.data());
+  EXPECT_FLOAT_EQ(out[0], 7.0f);
+  EXPECT_FLOAT_EQ(out[1], 49.0f);
+}
+
+TEST(OpsTest, DenseMatchesManualComputation) {
+  std::vector<float> in = {1, 2};
+  // w[in][unit]: [[1,3],[2,4]], bias [10, 20].
+  std::vector<float> w = {1, 3, 2, 4, 10, 20};
+  std::vector<float> out(2);
+  ops::Dense(in.data(), 2, w.data(), 2, out.data());
+  EXPECT_FLOAT_EQ(out[0], 1 * 1 + 2 * 2 + 10);
+  EXPECT_FLOAT_EQ(out[1], 1 * 3 + 2 * 4 + 20);
+}
+
+TEST(OpsTest, ReluClampsNegatives) {
+  std::vector<float> in = {-1, 0, 2.5f};
+  std::vector<float> out(3);
+  ops::Relu(in.data(), 3, out.data());
+  EXPECT_FLOAT_EQ(out[0], 0);
+  EXPECT_FLOAT_EQ(out[1], 0);
+  EXPECT_FLOAT_EQ(out[2], 2.5f);
+}
+
+TEST(OpsTest, MaxPoolPicksMaxAndHandlesOddEdges) {
+  TensorShape in_shape{3, 3, 1};
+  std::vector<float> in = {1, 2, 3, 4, 9, 6, 7, 8, 5};
+  std::vector<float> out(4);
+  ops::MaxPool2x2(in.data(), in_shape, out.data());
+  EXPECT_FLOAT_EQ(out[0], 9);  // max(1,2,4,9)
+  EXPECT_FLOAT_EQ(out[1], 6);  // max(3,6) — odd edge
+  EXPECT_FLOAT_EQ(out[2], 8);  // max(7,8)
+  EXPECT_FLOAT_EQ(out[3], 5);  // single corner
+}
+
+TEST(OpsTest, GlobalAvgPool) {
+  TensorShape in_shape{2, 2, 2};
+  std::vector<float> in = {1, 10, 2, 20, 3, 30, 4, 40};
+  std::vector<float> out(2);
+  ops::GlobalAvgPool(in.data(), in_shape, out.data());
+  EXPECT_FLOAT_EQ(out[0], 2.5f);
+  EXPECT_FLOAT_EQ(out[1], 25.0f);
+}
+
+TEST(OpsTest, AddAndConcat) {
+  std::vector<float> a = {1, 2}, b = {10, 20};
+  std::vector<float> sum(2);
+  ops::Add(a.data(), b.data(), 2, sum.data());
+  EXPECT_FLOAT_EQ(sum[0], 11);
+  EXPECT_FLOAT_EQ(sum[1], 22);
+
+  TensorShape sa{1, 1, 2}, sb{1, 1, 2};
+  std::vector<float> cat(4);
+  ops::ConcatChannels(a.data(), sa, b.data(), sb, cat.data());
+  EXPECT_EQ(cat, (std::vector<float>{1, 2, 10, 20}));
+}
+
+TEST(OpsTest, SoftmaxSumsToOneAndOrdersCorrectly) {
+  std::vector<float> in = {1, 3, 2};
+  std::vector<float> out(3);
+  ops::Softmax(in.data(), 3, out.data());
+  EXPECT_NEAR(out[0] + out[1] + out[2], 1.0f, 1e-6);
+  EXPECT_GT(out[1], out[2]);
+  EXPECT_GT(out[2], out[0]);
+}
+
+TEST(OpsTest, SoftmaxStableForLargeLogits) {
+  std::vector<float> in = {1000, 1001, 999};
+  std::vector<float> out(3);
+  ops::Softmax(in.data(), 3, out.data());
+  EXPECT_FALSE(std::isnan(out[0]));
+  EXPECT_NEAR(out[0] + out[1] + out[2], 1.0f, 1e-6);
+}
+
+// ---------------------------------------------------------------- frameworks
+
+class FrameworkTest
+    : public ::testing::TestWithParam<std::tuple<FrameworkKind, Architecture>> {};
+
+TEST_P(FrameworkTest, EndToEndInference) {
+  auto [kind, arch] = GetParam();
+  auto framework = CreateFramework(kind);
+  auto graph = model::BuildModel(SmallSpec(arch));
+  ASSERT_TRUE(graph.ok());
+  Bytes wire = model::SerializeModel(*graph);
+
+  auto loaded = framework->LoadModel(wire);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  auto runtime = framework->CreateRuntime(*loaded);
+  ASSERT_TRUE(runtime.ok());
+
+  Bytes input = model::GenerateRandomInput(*graph, 42);
+  auto output = (*runtime)->Execute(input);
+  ASSERT_TRUE(output.ok()) << output.status().ToString();
+
+  auto scores = model::ParseOutput(*output);
+  ASSERT_TRUE(scores.ok());
+  ASSERT_EQ(scores->size(), 10u);
+  float sum = std::accumulate(scores->begin(), scores->end(), 0.0f);
+  EXPECT_NEAR(sum, 1.0f, 1e-4);  // softmax output
+  for (float s : *scores) {
+    EXPECT_GE(s, 0.0f);
+    EXPECT_FALSE(std::isnan(s));
+  }
+}
+
+TEST_P(FrameworkTest, ExecutionIsDeterministic) {
+  auto [kind, arch] = GetParam();
+  auto framework = CreateFramework(kind);
+  auto graph = model::BuildModel(SmallSpec(arch));
+  ASSERT_TRUE(graph.ok());
+  auto loaded = framework->WrapModel(*graph);
+  ASSERT_TRUE(loaded.ok());
+  auto rt1 = framework->CreateRuntime(*loaded);
+  auto rt2 = framework->CreateRuntime(*loaded);
+  ASSERT_TRUE(rt1.ok() && rt2.ok());
+  Bytes input = model::GenerateRandomInput(*graph, 7);
+  auto o1 = (*rt1)->Execute(input);
+  auto o2 = (*rt2)->Execute(input);
+  ASSERT_TRUE(o1.ok() && o2.ok());
+  EXPECT_EQ(*o1, *o2);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCombos, FrameworkTest,
+    ::testing::Combine(::testing::Values(FrameworkKind::kTflm, FrameworkKind::kTvm),
+                       ::testing::Values(Architecture::kMbNet, Architecture::kRsNet,
+                                         Architecture::kDsNet)));
+
+TEST(FrameworkContrastTest, BothFrameworksAgreeOnOutput) {
+  // Same graph, same input — the two execution strategies must agree.
+  auto graph = model::BuildModel(SmallSpec(Architecture::kRsNet));
+  ASSERT_TRUE(graph.ok());
+  Bytes input = model::GenerateRandomInput(*graph, 3);
+
+  auto tflm = CreateFramework(FrameworkKind::kTflm);
+  auto tvm = CreateFramework(FrameworkKind::kTvm);
+  auto lm1 = tflm->WrapModel(*graph);
+  auto lm2 = tvm->WrapModel(*graph);
+  ASSERT_TRUE(lm1.ok() && lm2.ok());
+  auto r1 = tflm->CreateRuntime(*lm1);
+  auto r2 = tvm->CreateRuntime(*lm2);
+  ASSERT_TRUE(r1.ok() && r2.ok());
+  auto o1 = (*r1)->Execute(input);
+  auto o2 = (*r2)->Execute(input);
+  ASSERT_TRUE(o1.ok() && o2.ok());
+  EXPECT_EQ(*o1, *o2);
+}
+
+TEST(FrameworkContrastTest, TvmBuffersExceedTflmBuffers) {
+  // Table I: TVM runtime buffers include packed weights, TFLM's only the
+  // activation arena. The λ ordering must hold for every architecture.
+  for (Architecture arch : {Architecture::kMbNet, Architecture::kRsNet,
+                            Architecture::kDsNet}) {
+    // Large enough that weights dominate activations, as with the real models.
+    ZooSpec spec = SmallSpec(arch);
+    spec.scale = 0.05;
+    auto graph = model::BuildModel(spec);
+    ASSERT_TRUE(graph.ok());
+    auto tflm = CreateFramework(FrameworkKind::kTflm);
+    auto tvm = CreateFramework(FrameworkKind::kTvm);
+    auto lm_tflm = tflm->WrapModel(*graph);
+    auto lm_tvm = tvm->WrapModel(*graph);
+    ASSERT_TRUE(lm_tflm.ok() && lm_tvm.ok());
+    auto rt_tflm = tflm->CreateRuntime(*lm_tflm);
+    auto rt_tvm = tvm->CreateRuntime(*lm_tvm);
+    ASSERT_TRUE(rt_tflm.ok() && rt_tvm.ok());
+
+    uint64_t model_bytes = graph->WeightBytes();
+    EXPECT_LT((*rt_tflm)->buffer_bytes(), model_bytes)
+        << ToString(arch) << ": TFLM arena must be smaller than the model";
+    EXPECT_GT((*rt_tvm)->buffer_bytes(), model_bytes)
+        << ToString(arch) << ": TVM buffer must exceed the model (packed copy)";
+  }
+}
+
+TEST(FrameworkTest, RejectsCrossFrameworkRuntime) {
+  auto graph = model::BuildModel(SmallSpec(Architecture::kMbNet));
+  ASSERT_TRUE(graph.ok());
+  auto tflm = CreateFramework(FrameworkKind::kTflm);
+  auto tvm = CreateFramework(FrameworkKind::kTvm);
+  auto loaded = tflm->WrapModel(*graph);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_FALSE(tvm->CreateRuntime(*loaded).ok());
+}
+
+TEST(FrameworkTest, RejectsWrongInputSize)  {
+  auto graph = model::BuildModel(SmallSpec(Architecture::kMbNet));
+  ASSERT_TRUE(graph.ok());
+  auto framework = CreateFramework(FrameworkKind::kTflm);
+  auto loaded = framework->WrapModel(*graph);
+  ASSERT_TRUE(loaded.ok());
+  auto runtime = framework->CreateRuntime(*loaded);
+  ASSERT_TRUE(runtime.ok());
+  EXPECT_FALSE((*runtime)->Execute(Bytes(13, 0)).ok());
+  EXPECT_FALSE((*runtime)->Execute(Bytes{}).ok());
+}
+
+TEST(FrameworkTest, RejectsCorruptModelBytes) {
+  auto framework = CreateFramework(FrameworkKind::kTvm);
+  EXPECT_FALSE(framework->LoadModel(Bytes(100, 7)).ok());
+}
+
+TEST(FrameworkTest, NamesRoundTrip) {
+  EXPECT_STREQ(ToString(FrameworkKind::kTflm), "tflm");
+  EXPECT_STREQ(ToString(FrameworkKind::kTvm), "tvm");
+  EXPECT_TRUE(FrameworkFromString("tflm").ok());
+  EXPECT_TRUE(FrameworkFromString("tvm").ok());
+  EXPECT_FALSE(FrameworkFromString("onnx").ok());
+}
+
+}  // namespace
+}  // namespace sesemi::inference

@@ -1,0 +1,233 @@
+#include <gtest/gtest.h>
+
+#include "crypto/key.h"
+#include "model/format.h"
+#include "model/graph.h"
+#include "model/zoo.h"
+
+namespace sesemi::model {
+namespace {
+
+ZooSpec SmallSpec(Architecture arch, const std::string& id = "m0") {
+  ZooSpec spec;
+  spec.model_id = id;
+  spec.arch = arch;
+  spec.scale = 0.002;  // tens of kilobytes: fast tests
+  spec.input_hw = 16;
+  return spec;
+}
+
+// ---------------------------------------------------------------- Zoo
+
+class ZooArchTest : public ::testing::TestWithParam<Architecture> {};
+
+TEST_P(ZooArchTest, BuildsValidGraph) {
+  auto graph = BuildModel(SmallSpec(GetParam()));
+  ASSERT_TRUE(graph.ok()) << graph.status().ToString();
+  EXPECT_TRUE(graph->Validate().ok());
+  EXPECT_EQ(graph->architecture, ToString(GetParam()));
+  EXPECT_EQ(graph->OutputClasses(), 10);
+  EXPECT_EQ(graph->layers.back().kind, LayerKind::kSoftmax);
+}
+
+TEST_P(ZooArchTest, SerializedSizeHitsTarget) {
+  ZooSpec spec = SmallSpec(GetParam());
+  spec.scale = 0.01;
+  auto graph = BuildModel(spec);
+  ASSERT_TRUE(graph.ok());
+  uint64_t target = static_cast<uint64_t>(spec.scale * PaperModelBytes(spec.arch));
+  uint64_t actual = SerializeModel(*graph).size();
+  EXPECT_NEAR(static_cast<double>(actual), static_cast<double>(target),
+              0.05 * static_cast<double>(target))
+      << "arch " << ToString(spec.arch);
+}
+
+TEST_P(ZooArchTest, DeterministicForSameSeed) {
+  auto a = BuildModel(SmallSpec(GetParam()));
+  auto b = BuildModel(SmallSpec(GetParam()));
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(SerializeModel(*a), SerializeModel(*b));
+}
+
+TEST_P(ZooArchTest, DifferentSeedsGiveDifferentWeights) {
+  ZooSpec s1 = SmallSpec(GetParam());
+  ZooSpec s2 = SmallSpec(GetParam());
+  s2.seed = s1.seed + 1;
+  auto a = BuildModel(s1);
+  auto b = BuildModel(s2);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_NE(a->weights, b->weights);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllArchitectures, ZooArchTest,
+                         ::testing::Values(Architecture::kMbNet,
+                                           Architecture::kRsNet,
+                                           Architecture::kDsNet));
+
+TEST(ZooTest, ArchitectureCharacteristicsPresent) {
+  auto count_kind = [](const ModelGraph& g, LayerKind k) {
+    int n = 0;
+    for (const auto& layer : g.layers) n += (layer.kind == k);
+    return n;
+  };
+  auto mbnet = BuildModel(SmallSpec(Architecture::kMbNet));
+  auto rsnet = BuildModel(SmallSpec(Architecture::kRsNet));
+  auto dsnet = BuildModel(SmallSpec(Architecture::kDsNet));
+  ASSERT_TRUE(mbnet.ok() && rsnet.ok() && dsnet.ok());
+  EXPECT_GT(count_kind(*mbnet, LayerKind::kDepthwiseConv2d), 0);
+  EXPECT_EQ(count_kind(*mbnet, LayerKind::kAdd), 0);
+  EXPECT_GT(count_kind(*rsnet, LayerKind::kAdd), 0);       // residual blocks
+  EXPECT_GT(count_kind(*dsnet, LayerKind::kConcat), 0);    // dense blocks
+  // ResNet101 analogue is the deepest.
+  EXPECT_GT(rsnet->layers.size(), mbnet->layers.size());
+}
+
+TEST(ZooTest, PaperSizesMatchTableOne) {
+  EXPECT_EQ(PaperModelBytes(Architecture::kMbNet), 17ull << 20);
+  EXPECT_EQ(PaperModelBytes(Architecture::kRsNet), 170ull << 20);
+  EXPECT_EQ(PaperModelBytes(Architecture::kDsNet), 44ull << 20);
+}
+
+TEST(ZooTest, RejectsImpossiblySmallTarget) {
+  ZooSpec spec = SmallSpec(Architecture::kRsNet);
+  spec.scale = 1e-6;
+  auto r = BuildModel(spec);
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsInvalidArgument());
+}
+
+TEST(ZooTest, RejectsBadSpecs) {
+  ZooSpec spec = SmallSpec(Architecture::kMbNet);
+  spec.scale = 0;
+  EXPECT_FALSE(BuildModel(spec).ok());
+  spec = SmallSpec(Architecture::kMbNet);
+  spec.input_hw = 4;
+  EXPECT_FALSE(BuildModel(spec).ok());
+  spec = SmallSpec(Architecture::kMbNet);
+  spec.classes = 1;
+  EXPECT_FALSE(BuildModel(spec).ok());
+}
+
+TEST(ZooTest, RandomInputMatchesShape) {
+  auto graph = BuildModel(SmallSpec(Architecture::kMbNet));
+  ASSERT_TRUE(graph.ok());
+  Bytes input = GenerateRandomInput(*graph, 1);
+  EXPECT_EQ(input.size(), graph->input_shape.elements() * sizeof(float));
+  EXPECT_EQ(GenerateRandomInput(*graph, 1), input);       // deterministic
+  EXPECT_NE(GenerateRandomInput(*graph, 2), input);       // seed-sensitive
+}
+
+// ---------------------------------------------------------------- Graph validation
+
+TEST(GraphValidationTest, DetectsStructuralErrors) {
+  auto graph = BuildModel(SmallSpec(Architecture::kRsNet));
+  ASSERT_TRUE(graph.ok());
+
+  ModelGraph broken = *graph;
+  broken.layers[2].inputs = {99999};
+  EXPECT_FALSE(broken.Validate().ok());
+
+  broken = *graph;
+  broken.layers[1].weight_count = broken.weights.size() + 100;
+  EXPECT_FALSE(broken.Validate().ok());
+
+  broken = *graph;
+  broken.layers.erase(broken.layers.begin());
+  EXPECT_FALSE(broken.Validate().ok());
+}
+
+TEST(GraphValidationTest, AddShapeMismatchCaught) {
+  auto graph = BuildModel(SmallSpec(Architecture::kRsNet));
+  ASSERT_TRUE(graph.ok());
+  for (auto& layer : graph->layers) {
+    if (layer.kind == LayerKind::kAdd) {
+      layer.inputs[1] = 0;  // input layer has a different shape
+      break;
+    }
+  }
+  EXPECT_FALSE(graph->Validate().ok());
+}
+
+// ---------------------------------------------------------------- Format
+
+TEST(FormatTest, SerializeParseRoundTrip) {
+  auto graph = BuildModel(SmallSpec(Architecture::kDsNet, "dsnet-0"));
+  ASSERT_TRUE(graph.ok());
+  Bytes wire = SerializeModel(*graph);
+  auto parsed = ParseModel(wire);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->model_id, "dsnet-0");
+  EXPECT_EQ(parsed->architecture, "dsnet");
+  EXPECT_EQ(parsed->weights, graph->weights);
+  EXPECT_EQ(parsed->layers.size(), graph->layers.size());
+  for (size_t i = 0; i < parsed->layers.size(); ++i) {
+    EXPECT_EQ(parsed->layers[i].kind, graph->layers[i].kind);
+    EXPECT_EQ(parsed->layers[i].output_shape, graph->layers[i].output_shape);
+  }
+}
+
+TEST(FormatTest, CorruptionDetected) {
+  auto graph = BuildModel(SmallSpec(Architecture::kMbNet));
+  ASSERT_TRUE(graph.ok());
+  Bytes wire = SerializeModel(*graph);
+
+  Bytes flipped = wire;
+  flipped[wire.size() / 2] ^= 0xff;
+  EXPECT_TRUE(ParseModel(flipped).status().IsCorruption());
+
+  Bytes truncated(wire.begin(), wire.begin() + wire.size() / 2);
+  EXPECT_FALSE(ParseModel(truncated).ok());
+
+  Bytes bad_magic = wire;
+  bad_magic[0] = 'X';
+  EXPECT_FALSE(ParseModel(bad_magic).ok());
+
+  EXPECT_FALSE(ParseModel(Bytes{}).ok());
+}
+
+TEST(FormatTest, EncryptDecryptRoundTrip) {
+  auto graph = BuildModel(SmallSpec(Architecture::kMbNet, "model-7"));
+  ASSERT_TRUE(graph.ok());
+  Bytes key = crypto::GenerateSymmetricKey();
+  auto sealed = EncryptModel(*graph, key);
+  ASSERT_TRUE(sealed.ok());
+  auto back = DecryptModel(*sealed, key, "model-7");
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(back->weights, graph->weights);
+}
+
+TEST(FormatTest, DecryptWithWrongKeyFails) {
+  auto graph = BuildModel(SmallSpec(Architecture::kMbNet, "m"));
+  ASSERT_TRUE(graph.ok());
+  auto sealed = EncryptModel(*graph, crypto::GenerateSymmetricKey());
+  ASSERT_TRUE(sealed.ok());
+  auto r = DecryptModel(*sealed, crypto::GenerateSymmetricKey(), "m");
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsUnauthenticated());
+}
+
+TEST(FormatTest, ModelIdBoundAsAad) {
+  // A ciphertext for model A cannot be served as model B, even with the key.
+  auto graph = BuildModel(SmallSpec(Architecture::kMbNet, "model-a"));
+  ASSERT_TRUE(graph.ok());
+  Bytes key = crypto::GenerateSymmetricKey();
+  auto sealed = EncryptModel(*graph, key);
+  ASSERT_TRUE(sealed.ok());
+  EXPECT_FALSE(DecryptModel(*sealed, key, "model-b").ok());
+}
+
+TEST(FormatTest, TamperedCiphertextRejected) {
+  auto graph = BuildModel(SmallSpec(Architecture::kMbNet, "m"));
+  ASSERT_TRUE(graph.ok());
+  Bytes key = crypto::GenerateSymmetricKey();
+  auto sealed = EncryptModel(*graph, key);
+  ASSERT_TRUE(sealed.ok());
+  Bytes tampered = *sealed;
+  tampered[tampered.size() / 2] ^= 1;
+  EXPECT_FALSE(DecryptModel(tampered, key, "m").ok());
+}
+
+}  // namespace
+}  // namespace sesemi::model

@@ -1,0 +1,231 @@
+#include <gtest/gtest.h>
+
+#include "ratls/handshake.h"
+#include "ratls/session.h"
+#include "sgx/platform.h"
+
+namespace sesemi::ratls {
+namespace {
+
+using sgx::AttestationAuthority;
+using sgx::EnclaveConfig;
+using sgx::EnclaveImage;
+using sgx::SgxGeneration;
+using sgx::SgxPlatform;
+
+struct Rig {
+  AttestationAuthority authority;
+  SgxPlatform platform{SgxGeneration::kSgx2, &authority};
+  std::unique_ptr<sgx::Enclave> server_enclave;
+  std::unique_ptr<sgx::Enclave> client_enclave;
+
+  Rig() {
+    EnclaveImage server_image("keyservice", {{"ks", ToBytes("keyservice code")}}, {});
+    EnclaveImage client_image("semirt", {{"rt", ToBytes("semirt code")}}, {});
+    server_enclave = std::move(*platform.CreateEnclave(server_image));
+    client_enclave = std::move(*platform.CreateEnclave(client_image));
+  }
+};
+
+// ---------------------------------------------------------------- Session
+
+TEST(SecureSessionTest, BidirectionalRoundTrip) {
+  Bytes k1(16, 1), k2(16, 2);
+  auto a = SecureSession::Create(k1, k2);
+  auto b = SecureSession::Create(k2, k1);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+
+  auto record = a->Seal(ToBytes("hello"));
+  ASSERT_TRUE(record.ok());
+  auto plain = b->Open(*record);
+  ASSERT_TRUE(plain.ok());
+  EXPECT_EQ(ToString(*plain), "hello");
+
+  auto reply = b->Seal(ToBytes("world"));
+  ASSERT_TRUE(reply.ok());
+  auto plain2 = a->Open(*reply);
+  ASSERT_TRUE(plain2.ok());
+  EXPECT_EQ(ToString(*plain2), "world");
+}
+
+TEST(SecureSessionTest, ReplayRejected) {
+  Bytes k1(16, 1), k2(16, 2);
+  auto a = SecureSession::Create(k1, k2);
+  auto b = SecureSession::Create(k2, k1);
+  ASSERT_TRUE(a.ok() && b.ok());
+  auto r = a->Seal(ToBytes("msg"));
+  ASSERT_TRUE(r.ok());
+  ASSERT_TRUE(b->Open(*r).ok());
+  EXPECT_FALSE(b->Open(*r).ok());  // same record replayed
+}
+
+TEST(SecureSessionTest, ReorderRejected) {
+  Bytes k1(16, 1), k2(16, 2);
+  auto a = SecureSession::Create(k1, k2);
+  auto b = SecureSession::Create(k2, k1);
+  ASSERT_TRUE(a.ok() && b.ok());
+  auto r1 = a->Seal(ToBytes("first"));
+  auto r2 = a->Seal(ToBytes("second"));
+  ASSERT_TRUE(r1.ok() && r2.ok());
+  EXPECT_FALSE(b->Open(*r2).ok());  // delivered out of order
+}
+
+TEST(SecureSessionTest, SequenceNumbersAdvance) {
+  Bytes k1(16, 1), k2(16, 2);
+  auto a = SecureSession::Create(k1, k2);
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ(a->send_seq(), 0u);
+  ASSERT_TRUE(a->Seal(ToBytes("x")).ok());
+  ASSERT_TRUE(a->Seal(ToBytes("y")).ok());
+  EXPECT_EQ(a->send_seq(), 2u);
+}
+
+TEST(SessionKeysTest, DirectionalKeysDiffer) {
+  Bytes secret(32, 7);
+  Bytes transcript(32, 9);
+  auto keys = DeriveSessionKeys(secret, transcript);
+  ASSERT_TRUE(keys.ok());
+  EXPECT_NE(keys->initiator_to_acceptor, keys->acceptor_to_initiator);
+  EXPECT_EQ(keys->initiator_to_acceptor.size(), 16u);
+}
+
+// ---------------------------------------------------------------- Handshake
+
+TEST(HandshakeTest, OneWayAttestationEstablishesChannel) {
+  Rig rig;
+  RatlsInitiator client(&rig.authority);
+  auto hello = client.Start();
+  ASSERT_TRUE(hello.ok());
+  EXPECT_FALSE(hello->quote.has_value());
+
+  RatlsAcceptor acceptor(rig.server_enclave.get());
+  auto accepted = acceptor.Accept(*hello, /*require_peer_quote=*/false);
+  ASSERT_TRUE(accepted.ok());
+  EXPECT_FALSE(accepted->peer_mrenclave.has_value());
+
+  auto session = client.Finish(accepted->hello, rig.server_enclave->mrenclave());
+  ASSERT_TRUE(session.ok());
+
+  // Client -> server -> client echo through the channel.
+  auto record = session->Seal(ToBytes("register key"));
+  ASSERT_TRUE(record.ok());
+  auto plain = accepted->session.Open(*record);
+  ASSERT_TRUE(plain.ok());
+  EXPECT_EQ(ToString(*plain), "register key");
+  auto reply = accepted->session.Seal(ToBytes("ok"));
+  ASSERT_TRUE(reply.ok());
+  EXPECT_TRUE(session->Open(*reply).ok());
+}
+
+TEST(HandshakeTest, MutualAttestationExposesPeerIdentity) {
+  Rig rig;
+  RatlsInitiator semirt(&rig.authority, rig.client_enclave.get());
+  auto hello = semirt.Start();
+  ASSERT_TRUE(hello.ok());
+  ASSERT_TRUE(hello->quote.has_value());
+
+  RatlsAcceptor keyservice(rig.server_enclave.get());
+  auto accepted = keyservice.Accept(*hello, /*require_peer_quote=*/true);
+  ASSERT_TRUE(accepted.ok());
+  ASSERT_TRUE(accepted->peer_mrenclave.has_value());
+  EXPECT_EQ(*accepted->peer_mrenclave, rig.client_enclave->mrenclave());
+
+  auto session = semirt.Finish(accepted->hello, rig.server_enclave->mrenclave());
+  ASSERT_TRUE(session.ok());
+}
+
+TEST(HandshakeTest, MissingPeerQuoteRejectedWhenRequired) {
+  Rig rig;
+  RatlsInitiator plain_client(&rig.authority);
+  auto hello = plain_client.Start();
+  ASSERT_TRUE(hello.ok());
+  RatlsAcceptor keyservice(rig.server_enclave.get());
+  auto accepted = keyservice.Accept(*hello, /*require_peer_quote=*/true);
+  EXPECT_FALSE(accepted.ok());
+  EXPECT_TRUE(accepted.status().IsUnauthenticated());
+}
+
+TEST(HandshakeTest, WrongServerMeasurementRejected) {
+  Rig rig;
+  RatlsInitiator client(&rig.authority);
+  auto hello = client.Start();
+  ASSERT_TRUE(hello.ok());
+  RatlsAcceptor acceptor(rig.server_enclave.get());
+  auto accepted = acceptor.Accept(*hello, false);
+  ASSERT_TRUE(accepted.ok());
+  // Client expects a different enclave (e.g. attacker swapped the server).
+  auto session = client.Finish(accepted->hello, rig.client_enclave->mrenclave());
+  EXPECT_FALSE(session.ok());
+  EXPECT_TRUE(session.status().IsUnauthenticated());
+}
+
+TEST(HandshakeTest, SubstitutedChannelKeyRejected) {
+  Rig rig;
+  RatlsInitiator client(&rig.authority);
+  auto hello = client.Start();
+  ASSERT_TRUE(hello.ok());
+  RatlsAcceptor acceptor(rig.server_enclave.get());
+  auto accepted = acceptor.Accept(*hello, false);
+  ASSERT_TRUE(accepted.ok());
+
+  // A MITM replaces the server's public key but cannot re-bind the quote.
+  ServerHello mitm = accepted->hello;
+  auto attacker = crypto::GenerateX25519KeyPair();
+  mitm.public_key = attacker.public_key;
+  auto session = client.Finish(mitm, rig.server_enclave->mrenclave());
+  EXPECT_FALSE(session.ok());
+}
+
+TEST(HandshakeTest, QuoteReplayForDifferentClientRejected) {
+  Rig rig;
+  RatlsAcceptor acceptor(rig.server_enclave.get());
+
+  RatlsInitiator client_a(&rig.authority);
+  auto hello_a = client_a.Start();
+  ASSERT_TRUE(hello_a.ok());
+  auto accepted_a = acceptor.Accept(*hello_a, false);
+  ASSERT_TRUE(accepted_a.ok());
+
+  // Replaying A's ServerHello to client B must fail: the binding covers the
+  // client key, which differs.
+  RatlsInitiator client_b(&rig.authority);
+  ASSERT_TRUE(client_b.Start().ok());
+  auto session = client_b.Finish(accepted_a->hello, rig.server_enclave->mrenclave());
+  EXPECT_FALSE(session.ok());
+}
+
+TEST(HandshakeTest, FinishBeforeStartFails) {
+  Rig rig;
+  RatlsInitiator client(&rig.authority);
+  ServerHello bogus;
+  auto session = client.Finish(bogus, rig.server_enclave->mrenclave());
+  EXPECT_FALSE(session.ok());
+}
+
+TEST(HandshakeTest, HelloSerializationRoundTrip) {
+  Rig rig;
+  RatlsInitiator semirt(&rig.authority, rig.client_enclave.get());
+  auto hello = semirt.Start();
+  ASSERT_TRUE(hello.ok());
+  auto parsed = ClientHello::Parse(hello->Serialize());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->public_key, hello->public_key);
+  ASSERT_TRUE(parsed->quote.has_value());
+
+  RatlsAcceptor acceptor(rig.server_enclave.get());
+  auto accepted = acceptor.Accept(*parsed, true);
+  ASSERT_TRUE(accepted.ok());
+  auto hello2 = ServerHello::Parse(accepted->hello.Serialize());
+  ASSERT_TRUE(hello2.ok());
+  auto session = semirt.Finish(*hello2, rig.server_enclave->mrenclave());
+  EXPECT_TRUE(session.ok());
+}
+
+TEST(HandshakeTest, ParseRejectsTruncatedHellos) {
+  EXPECT_FALSE(ClientHello::Parse(Bytes(10, 0)).ok());
+  EXPECT_FALSE(ServerHello::Parse(Bytes(33, 0)).ok());
+}
+
+}  // namespace
+}  // namespace sesemi::ratls

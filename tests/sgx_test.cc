@@ -1,0 +1,313 @@
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "sgx/attestation.h"
+#include "sgx/enclave.h"
+#include "sgx/epc.h"
+#include "sgx/measurement.h"
+#include "sgx/platform.h"
+
+namespace sesemi::sgx {
+namespace {
+
+EnclaveImage MakeImage(EnclaveConfig config = {},
+                       std::string code = "model inference code v1") {
+  return EnclaveImage("test-enclave", {{"main", ToBytes(code)}}, std::move(config));
+}
+
+// ---------------------------------------------------------------- Measurement
+
+TEST(MeasurementTest, SameInputsSameMeasurement) {
+  EXPECT_EQ(MakeImage().mrenclave(), MakeImage().mrenclave());
+}
+
+TEST(MeasurementTest, CodeChangesMeasurement) {
+  EXPECT_NE(MakeImage({}, "code A").mrenclave(), MakeImage({}, "code B").mrenclave());
+}
+
+TEST(MeasurementTest, ConfigChangesMeasurement) {
+  // The paper (§V) bakes execution restrictions into the enclave identity:
+  // a sequential-isolation build must not share identity with the default.
+  EnclaveConfig sequential;
+  sequential.sequential_mode = true;
+  EXPECT_NE(MakeImage().mrenclave(), MakeImage(sequential).mrenclave());
+
+  EnclaveConfig more_tcs;
+  more_tcs.num_tcs = 8;
+  EXPECT_NE(MakeImage().mrenclave(), MakeImage(more_tcs).mrenclave());
+
+  EnclaveConfig fixed;
+  fixed.fixed_model_id = "m0";
+  EXPECT_NE(MakeImage().mrenclave(), MakeImage(fixed).mrenclave());
+}
+
+TEST(MeasurementTest, NameDoesNotChangeMeasurement) {
+  EnclaveImage a("name-a", {{"main", ToBytes("c")}}, {});
+  EnclaveImage b("name-b", {{"main", ToBytes("c")}}, {});
+  EXPECT_EQ(a.mrenclave(), b.mrenclave());
+}
+
+TEST(MeasurementTest, CodeUnitOrderIsCanonical) {
+  EnclaveImage a("e", {{"u1", ToBytes("x")}, {"u2", ToBytes("y")}}, {});
+  EnclaveImage b("e", {{"u2", ToBytes("y")}, {"u1", ToBytes("x")}}, {});
+  EXPECT_EQ(a.mrenclave(), b.mrenclave());
+}
+
+TEST(MeasurementTest, HexRoundTrip) {
+  Measurement m = MakeImage().mrenclave();
+  EXPECT_EQ(Measurement::FromHex(m.ToHex()), m);
+  EXPECT_FALSE(m.IsZero());
+  EXPECT_TRUE(Measurement().IsZero());
+  EXPECT_TRUE(Measurement::FromHex("zz").IsZero());
+}
+
+// ---------------------------------------------------------------- EPC
+
+TEST(EpcTest, TracksCommittedAndPeak) {
+  EpcManager epc(1000);
+  ASSERT_TRUE(epc.Commit(600).ok());
+  ASSERT_TRUE(epc.Commit(300).ok());
+  EXPECT_EQ(epc.committed(), 900u);
+  epc.Release(500);
+  EXPECT_EQ(epc.committed(), 400u);
+  EXPECT_EQ(epc.peak_committed(), 900u);
+}
+
+TEST(EpcTest, NonStrictAllowsOversubscription) {
+  EpcManager epc(100);
+  EXPECT_TRUE(epc.Commit(250).ok());
+  EXPECT_DOUBLE_EQ(epc.Utilization(), 2.5);
+  EXPECT_GT(epc.PagingSlowdown(), 1.0);
+}
+
+TEST(EpcTest, StrictRejectsOversubscription) {
+  EpcManager epc(100, /*strict=*/true);
+  EXPECT_TRUE(epc.Commit(100).ok());
+  auto s = epc.Commit(1);
+  EXPECT_TRUE(s.IsResourceExhausted());
+}
+
+TEST(EpcTest, NoSlowdownWithinCapacity) {
+  EpcManager epc(1 << 20);
+  ASSERT_TRUE(epc.Commit(1 << 19).ok());
+  EXPECT_DOUBLE_EQ(epc.PagingSlowdown(), 1.0);
+}
+
+TEST(EpcTest, SlowdownGrowsWithPressure) {
+  EpcManager a(100), b(100);
+  ASSERT_TRUE(a.Commit(150).ok());
+  ASSERT_TRUE(b.Commit(300).ok());
+  EXPECT_LT(a.PagingSlowdown(), b.PagingSlowdown());
+}
+
+TEST(EpcTest, ReleaseClampsAtZero) {
+  EpcManager epc(100);
+  ASSERT_TRUE(epc.Commit(10).ok());
+  epc.Release(50);
+  EXPECT_EQ(epc.committed(), 0u);
+}
+
+// ---------------------------------------------------------------- Platform & enclave
+
+TEST(PlatformTest, GenerationDeterminesDefaults) {
+  AttestationAuthority authority;
+  SgxPlatform sgx1(SgxGeneration::kSgx1, &authority);
+  SgxPlatform sgx2(SgxGeneration::kSgx2, &authority);
+  EXPECT_EQ(sgx1.epc().capacity(), kSgx1EpcBytes);
+  EXPECT_EQ(sgx2.epc().capacity(), kSgx2EpcBytes);
+  EXPECT_EQ(sgx1.attestation_type(), AttestationType::kEpid);
+  EXPECT_EQ(sgx2.attestation_type(), AttestationType::kEcdsa);
+  EXPECT_NE(sgx1.platform_id(), sgx2.platform_id());
+}
+
+TEST(PlatformTest, EnclaveCommitsEpc) {
+  AttestationAuthority authority;
+  SgxPlatform platform(SgxGeneration::kSgx2, &authority);
+  EnclaveConfig config;
+  config.heap_size_bytes = 32 << 20;
+  config.num_tcs = 4;
+  auto enclave = platform.CreateEnclave(MakeImage(config));
+  ASSERT_TRUE(enclave.ok());
+  EXPECT_GE(platform.epc().committed(), config.heap_size_bytes);
+  EXPECT_EQ(platform.enclave_count(), 1);
+  uint64_t committed = platform.epc().committed();
+  enclave->reset();
+  EXPECT_EQ(platform.epc().committed(), committed - (*enclave == nullptr ? committed : 0));
+  EXPECT_EQ(platform.enclave_count(), 0);
+}
+
+TEST(EnclaveTest, HeapBudgetEnforced) {
+  AttestationAuthority authority;
+  SgxPlatform platform(SgxGeneration::kSgx2, &authority);
+  EnclaveConfig config;
+  config.heap_size_bytes = 1000;
+  auto enclave = platform.CreateEnclave(MakeImage(config));
+  ASSERT_TRUE(enclave.ok());
+  EXPECT_TRUE((*enclave)->AllocateTrusted(600).ok());
+  EXPECT_TRUE((*enclave)->AllocateTrusted(400).ok());
+  EXPECT_TRUE((*enclave)->AllocateTrusted(1).IsResourceExhausted());
+  (*enclave)->FreeTrusted(500);
+  EXPECT_TRUE((*enclave)->AllocateTrusted(500).ok());
+  EXPECT_EQ((*enclave)->heap_peak(), 1000u);
+}
+
+TEST(EnclaveTest, TcsPoolBoundsConcurrentEntry) {
+  AttestationAuthority authority;
+  SgxPlatform platform(SgxGeneration::kSgx2, &authority);
+  EnclaveConfig config;
+  config.num_tcs = 2;
+  auto enclave = platform.CreateEnclave(MakeImage(config));
+  ASSERT_TRUE(enclave.ok());
+
+  auto g1 = (*enclave)->TryEnterEcall();
+  auto g2 = (*enclave)->TryEnterEcall();
+  ASSERT_TRUE(g1.ok());
+  ASSERT_TRUE(g2.ok());
+  auto g3 = (*enclave)->TryEnterEcall();
+  EXPECT_TRUE(g3.status().IsResourceExhausted());
+  EXPECT_EQ((*enclave)->busy_tcs(), 2);
+  {
+    TcsGuard released = std::move(*g1);
+  }
+  EXPECT_EQ((*enclave)->busy_tcs(), 1);
+  EXPECT_TRUE((*enclave)->TryEnterEcall().ok());
+  EXPECT_EQ((*enclave)->ecall_count(), 3u);  // only successful entries count
+}
+
+TEST(EnclaveTest, BlockingEnterEventuallyProceeds) {
+  AttestationAuthority authority;
+  SgxPlatform platform(SgxGeneration::kSgx2, &authority);
+  EnclaveConfig config;
+  config.num_tcs = 1;
+  auto enclave_or = platform.CreateEnclave(MakeImage(config));
+  ASSERT_TRUE(enclave_or.ok());
+  Enclave* enclave = enclave_or->get();
+
+  std::atomic<bool> second_entered{false};
+  auto guard = std::make_unique<TcsGuard>(enclave->EnterEcall());
+  std::thread blocked([&] {
+    TcsGuard g = enclave->EnterEcall();
+    second_entered = true;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(second_entered.load());
+  guard.reset();
+  blocked.join();
+  EXPECT_TRUE(second_entered.load());
+}
+
+// ---------------------------------------------------------------- Attestation
+
+TEST(AttestationTest, QuoteRoundTrip) {
+  AttestationAuthority authority;
+  SgxPlatform platform(SgxGeneration::kSgx2, &authority);
+  auto enclave = platform.CreateEnclave(MakeImage());
+  ASSERT_TRUE(enclave.ok());
+
+  Bytes data = ToBytes("channel binding");
+  AttestationReport report = (*enclave)->CreateReport(data);
+  auto quote = platform.GenerateQuote(report);
+  ASSERT_TRUE(quote.ok());
+  EXPECT_EQ(quote->type, AttestationType::kEcdsa);
+
+  auto verified = authority.VerifyQuote(*quote);
+  ASSERT_TRUE(verified.ok());
+  EXPECT_EQ(verified->mrenclave, (*enclave)->mrenclave());
+  EXPECT_EQ(ToString(verified->generation), std::string("SGX2"));
+}
+
+TEST(AttestationTest, Sgx1UsesEpid) {
+  AttestationAuthority authority;
+  SgxPlatform platform(SgxGeneration::kSgx1, &authority);
+  auto enclave = platform.CreateEnclave(MakeImage());
+  ASSERT_TRUE(enclave.ok());
+  auto quote = platform.GenerateQuote((*enclave)->CreateReport({}));
+  ASSERT_TRUE(quote.ok());
+  EXPECT_EQ(quote->type, AttestationType::kEpid);
+}
+
+TEST(AttestationTest, ForgedReportRejected) {
+  AttestationAuthority authority;
+  SgxPlatform platform(SgxGeneration::kSgx2, &authority);
+  auto enclave = platform.CreateEnclave(MakeImage());
+  ASSERT_TRUE(enclave.ok());
+
+  AttestationReport report = (*enclave)->CreateReport(ToBytes("x"));
+  report.mrenclave = Measurement::FromHex(std::string(64, 'a'));  // attacker edit
+  auto quote = authority.GenerateQuote(report);
+  EXPECT_FALSE(quote.ok());
+  EXPECT_TRUE(quote.status().IsUnauthenticated() || quote.status().IsNotFound());
+}
+
+TEST(AttestationTest, TamperedQuoteSignatureRejected) {
+  AttestationAuthority authority;
+  SgxPlatform platform(SgxGeneration::kSgx2, &authority);
+  auto enclave = platform.CreateEnclave(MakeImage());
+  ASSERT_TRUE(enclave.ok());
+  auto quote = platform.GenerateQuote((*enclave)->CreateReport({}));
+  ASSERT_TRUE(quote.ok());
+  Quote tampered = *quote;
+  tampered.signature[0] ^= 1;
+  EXPECT_FALSE(authority.VerifyQuote(tampered).ok());
+}
+
+TEST(AttestationTest, QuoteFromForeignAuthorityRejected) {
+  AttestationAuthority intel, rogue;
+  SgxPlatform platform(SgxGeneration::kSgx2, &intel);
+  auto enclave = platform.CreateEnclave(MakeImage());
+  ASSERT_TRUE(enclave.ok());
+  auto quote = platform.GenerateQuote((*enclave)->CreateReport({}));
+  ASSERT_TRUE(quote.ok());
+  // The rogue authority never provisioned this platform.
+  EXPECT_FALSE(rogue.VerifyQuote(*quote).ok());
+}
+
+TEST(AttestationTest, ReportSerializationRoundTrip) {
+  AttestationAuthority authority;
+  SgxPlatform platform(SgxGeneration::kSgx1, &authority);
+  auto enclave = platform.CreateEnclave(MakeImage());
+  ASSERT_TRUE(enclave.ok());
+  AttestationReport report = (*enclave)->CreateReport(ToBytes("abc"));
+  auto parsed = AttestationReport::Parse(report.Serialize());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->mrenclave, report.mrenclave);
+  EXPECT_EQ(parsed->platform_id, report.platform_id);
+  EXPECT_EQ(parsed->report_data, report.report_data);
+  EXPECT_EQ(parsed->mac, report.mac);
+}
+
+TEST(AttestationTest, QuoteSerializationRoundTrip) {
+  AttestationAuthority authority;
+  SgxPlatform platform(SgxGeneration::kSgx2, &authority);
+  auto enclave = platform.CreateEnclave(MakeImage());
+  ASSERT_TRUE(enclave.ok());
+  auto quote = platform.GenerateQuote((*enclave)->CreateReport({}));
+  ASSERT_TRUE(quote.ok());
+  auto parsed = Quote::Parse(quote->Serialize());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_TRUE(authority.VerifyQuote(*parsed).ok());
+}
+
+TEST(AttestationTest, LongReportDataIsHashed) {
+  AttestationAuthority authority;
+  SgxPlatform platform(SgxGeneration::kSgx2, &authority);
+  auto enclave = platform.CreateEnclave(MakeImage());
+  ASSERT_TRUE(enclave.ok());
+  Bytes long_data(100, 0x42);
+  AttestationReport r = (*enclave)->CreateReport(long_data);
+  // Must still be quotable and verifiable.
+  auto quote = platform.GenerateQuote(r);
+  ASSERT_TRUE(quote.ok());
+  EXPECT_TRUE(authority.VerifyQuote(*quote).ok());
+}
+
+TEST(AttestationTest, ParseRejectsGarbage) {
+  EXPECT_FALSE(AttestationReport::Parse(Bytes{1, 2, 3}).ok());
+  EXPECT_FALSE(Quote::Parse(Bytes{}).ok());
+  EXPECT_FALSE(Quote::Parse(Bytes{9, 0, 0, 0, 1, 7}).ok());
+}
+
+}  // namespace
+}  // namespace sesemi::sgx

@@ -1,0 +1,69 @@
+#include <gtest/gtest.h>
+
+#include "storage/object_store.h"
+
+namespace sesemi::storage {
+namespace {
+
+TEST(InMemoryObjectStoreTest, PutGetRoundTrip) {
+  InMemoryObjectStore store;
+  ASSERT_TRUE(store.Put("models/m0", Bytes{1, 2, 3}).ok());
+  auto r = store.Get("models/m0");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, (Bytes{1, 2, 3}));
+  EXPECT_TRUE(store.Exists("models/m0"));
+  EXPECT_EQ(*store.Size("models/m0"), 3u);
+}
+
+TEST(InMemoryObjectStoreTest, MissingKeyIsNotFound) {
+  InMemoryObjectStore store;
+  EXPECT_TRUE(store.Get("nope").status().IsNotFound());
+  EXPECT_TRUE(store.Size("nope").status().IsNotFound());
+  EXPECT_TRUE(store.Delete("nope").IsNotFound());
+  EXPECT_FALSE(store.Exists("nope"));
+}
+
+TEST(InMemoryObjectStoreTest, OverwriteReplaces) {
+  InMemoryObjectStore store;
+  ASSERT_TRUE(store.Put("k", Bytes{1}).ok());
+  ASSERT_TRUE(store.Put("k", Bytes{2, 3}).ok());
+  EXPECT_EQ(*store.Get("k"), (Bytes{2, 3}));
+}
+
+TEST(InMemoryObjectStoreTest, DeleteRemoves) {
+  InMemoryObjectStore store;
+  ASSERT_TRUE(store.Put("k", Bytes{1}).ok());
+  ASSERT_TRUE(store.Delete("k").ok());
+  EXPECT_FALSE(store.Exists("k"));
+}
+
+TEST(InMemoryObjectStoreTest, ListByPrefixSorted) {
+  InMemoryObjectStore store;
+  ASSERT_TRUE(store.Put("models/b", Bytes{}).ok());
+  ASSERT_TRUE(store.Put("models/a", Bytes{}).ok());
+  ASSERT_TRUE(store.Put("plain/x", Bytes{}).ok());
+  auto keys = store.List("models/");
+  ASSERT_EQ(keys.size(), 2u);
+  EXPECT_EQ(keys[0], "models/a");
+  EXPECT_EQ(keys[1], "models/b");
+  EXPECT_EQ(store.List("zzz").size(), 0u);
+  EXPECT_EQ(store.List("").size(), 3u);
+}
+
+TEST(StorageLatencyModelTest, TransferTimeIsAffine) {
+  StorageLatencyModel model{SecondsToMicros(0.01), 100e6};
+  EXPECT_EQ(model.TransferTime(0), SecondsToMicros(0.01));
+  // 100 MB at 100 MB/s = 1 s + base.
+  EXPECT_NEAR(MicrosToSeconds(model.TransferTime(100'000'000)), 1.01, 1e-3);
+}
+
+TEST(StorageLatencyModelTest, AzurePresetMatchesPaperQuotes) {
+  // §VI-A: MBNET ≈ 180 ms, DSNET ≈ 360 ms, RSNET ≈ 2100 ms (same region).
+  auto azure = StorageLatencyModel::AzureBlobSameRegion();
+  EXPECT_NEAR(MicrosToSeconds(azure.TransferTime(17ull << 20)), 0.18, 0.1);
+  EXPECT_NEAR(MicrosToSeconds(azure.TransferTime(44ull << 20)), 0.36, 0.25);
+  EXPECT_NEAR(MicrosToSeconds(azure.TransferTime(170ull << 20)), 2.1, 0.5);
+}
+
+}  // namespace
+}  // namespace sesemi::storage

@@ -1,0 +1,118 @@
+#include <gtest/gtest.h>
+
+#include "workload/generators.h"
+
+namespace sesemi::workload {
+namespace {
+
+TEST(FixedRateTest, EvenSpacingAndCount) {
+  auto trace = FixedRate(10, 5, "m0", "u0");
+  EXPECT_EQ(trace.size(), 50u);
+  for (size_t i = 1; i < trace.size(); ++i) {
+    EXPECT_EQ(trace[i].time - trace[i - 1].time, 100000);  // 100 ms
+  }
+  EXPECT_EQ(trace[0].model_id, "m0");
+  EXPECT_EQ(trace[0].user_id, "u0");
+}
+
+TEST(FixedRateTest, ZeroRateIsEmpty) {
+  EXPECT_TRUE(FixedRate(0, 10, "m", "u").empty());
+}
+
+TEST(FixedRateTest, StartOffsetApplies) {
+  auto trace = FixedRate(1, 2, "m", "u", SecondsToMicros(100));
+  ASSERT_FALSE(trace.empty());
+  EXPECT_EQ(trace[0].time, SecondsToMicros(100));
+}
+
+TEST(PoissonTest, RateApproximatelyCorrect) {
+  auto trace = Poisson(50, 100, "m", "u", 7);
+  // 5000 expected; Poisson sd ~70. Allow 5 sigma.
+  EXPECT_NEAR(static_cast<double>(trace.size()), 5000.0, 350.0);
+}
+
+TEST(PoissonTest, DeterministicPerSeed) {
+  auto a = Poisson(10, 10, "m", "u", 3);
+  auto b = Poisson(10, 10, "m", "u", 3);
+  auto c = Poisson(10, 10, "m", "u", 4);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i].time, b[i].time);
+  EXPECT_NE(a.size(), c.size());
+}
+
+TEST(PoissonTest, ArrivalsWithinWindowAndOrdered) {
+  auto trace = Poisson(20, 10, "m", "u", 5, SecondsToMicros(50));
+  for (size_t i = 0; i < trace.size(); ++i) {
+    EXPECT_GE(trace[i].time, SecondsToMicros(50));
+    EXPECT_LT(trace[i].time, SecondsToMicros(60));
+    if (i > 0) EXPECT_GE(trace[i].time, trace[i - 1].time);
+  }
+}
+
+TEST(MmppTest, RateAlternatesBetweenStates) {
+  MmppSpec spec;
+  spec.low_rps = 20;
+  spec.high_rps = 40;
+  spec.mean_dwell_s = 60;
+  spec.duration_s = 900;
+  spec.seed = 42;
+  auto trace = Mmpp(spec, "m", "u");
+  // Overall mean must sit between the two state rates.
+  double mean_rps = static_cast<double>(trace.size()) / spec.duration_s;
+  EXPECT_GT(mean_rps, 22.0);
+  EXPECT_LT(mean_rps, 38.0);
+
+  // Per-second rates should span both regimes.
+  auto rates = RatePerSecond(trace, spec.duration_s);
+  int low_seconds = 0, high_seconds = 0;
+  for (double r : rates) {
+    if (r <= 25) ++low_seconds;
+    if (r >= 35) ++high_seconds;
+  }
+  EXPECT_GT(low_seconds, 50);
+  EXPECT_GT(high_seconds, 50);
+}
+
+TEST(MmppTest, OrderedAndBounded) {
+  MmppSpec spec;
+  spec.duration_s = 100;
+  auto trace = Mmpp(spec, "m", "u");
+  for (size_t i = 1; i < trace.size(); ++i) {
+    EXPECT_GE(trace[i].time, trace[i - 1].time);
+  }
+  ASSERT_FALSE(trace.empty());
+  EXPECT_LT(trace.back().time, SecondsToMicros(100));
+}
+
+TEST(InteractiveSessionTest, SequentialWithThinkTime) {
+  auto trace = InteractiveSession(SecondsToMicros(240), {"m0", "m1", "m2"}, "u", 2.0);
+  ASSERT_EQ(trace.size(), 3u);
+  EXPECT_EQ(trace[0].time, SecondsToMicros(240));
+  EXPECT_EQ(trace[1].time, SecondsToMicros(242));
+  EXPECT_EQ(trace[2].time, SecondsToMicros(244));
+  EXPECT_EQ(trace[1].model_id, "m1");
+}
+
+TEST(MergeTest, ProducesTimeOrderedUnion) {
+  auto a = FixedRate(1, 5, "a", "u");              // t = 0,1,2,3,4 s
+  auto b = FixedRate(1, 5, "b", "u", 500000);      // t = 0.5,...
+  auto merged = Merge({a, b});
+  ASSERT_EQ(merged.size(), 10u);
+  for (size_t i = 1; i < merged.size(); ++i) {
+    EXPECT_LE(merged[i - 1].time, merged[i].time);
+  }
+  EXPECT_EQ(merged[0].model_id, "a");
+  EXPECT_EQ(merged[1].model_id, "b");
+}
+
+TEST(RatePerSecondTest, CountsPerBucket) {
+  auto trace = FixedRate(4, 3, "m", "u");
+  auto rates = RatePerSecond(trace, 3);
+  ASSERT_GE(rates.size(), 3u);
+  EXPECT_DOUBLE_EQ(rates[0], 4.0);
+  EXPECT_DOUBLE_EQ(rates[1], 4.0);
+  EXPECT_DOUBLE_EQ(rates[2], 4.0);
+}
+
+}  // namespace
+}  // namespace sesemi::workload
