@@ -2,6 +2,12 @@
 // RA-TLS handshakes, model (de)serialization, and the end-to-end SeMIRT hot
 // path. These are the building blocks behind every figure; regressions here
 // shift the calibrated curves.
+//
+// Machine-readable output for the BENCH_*.json trajectory:
+//   bench_micro --benchmark_format=json --benchmark_out=bench_micro.json
+// Throughput appears as bytes_per_second (GCM/SHA, i.e. GB/s after scaling)
+// and the FLOPS counter (Conv2d/Dense, GFLOP/s after scaling). The *Naive
+// variants run the seed scalar kernels for an in-binary speedup baseline.
 
 #include <benchmark/benchmark.h>
 
@@ -9,6 +15,7 @@
 #include "crypto/gcm.h"
 #include "crypto/sha256.h"
 #include "crypto/x25519.h"
+#include "inference/ops.h"
 #include "model/format.h"
 #include "ratls/handshake.h"
 
@@ -34,6 +41,131 @@ void BM_AesGcmEncrypt(benchmark::State& state) {
   state.SetBytesProcessed(state.iterations() * state.range(0));
 }
 BENCHMARK(BM_AesGcmEncrypt)->Arg(1024)->Arg(64 * 1024)->Arg(1024 * 1024);
+
+void BM_AesGcmDecrypt(benchmark::State& state) {
+  Bytes key(16, 1), nonce(12, 2);
+  Bytes data(static_cast<size_t>(state.range(0)), 0xcd);
+  auto gcm = crypto::AesGcm::Create(key);
+  Bytes sealed = std::move(*gcm->Encrypt(nonce, {}, data));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gcm->Decrypt(nonce, {}, sealed));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_AesGcmDecrypt)->Arg(1024)->Arg(64 * 1024)->Arg(1024 * 1024);
+
+// GcmSeal/GcmOpen are the exact calls on the SeMIRT request path (key
+// schedule + GHASH table build per call included), reported as end-to-end
+// payload throughput.
+void BM_GcmSeal(benchmark::State& state) {
+  Bytes key(16, 7);
+  Bytes aad = ToBytes("sesemi-request:mbnet");
+  Bytes data(static_cast<size_t>(state.range(0)), 0x5c);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::GcmSeal(key, aad, data));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_GcmSeal)->Arg(1024)->Arg(64 * 1024)->Arg(1024 * 1024);
+
+void BM_GcmOpen(benchmark::State& state) {
+  Bytes key(16, 7);
+  Bytes aad = ToBytes("sesemi-request:mbnet");
+  Bytes data(static_cast<size_t>(state.range(0)), 0x5c);
+  Bytes sealed = std::move(*crypto::GcmSeal(key, aad, data));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::GcmOpen(key, aad, sealed));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_GcmOpen)->Arg(1024)->Arg(64 * 1024)->Arg(1024 * 1024);
+
+// ------------------------------------------------ inference kernels
+// FLOPS counter = multiply-adds * 2 per second; naive twins measure the
+// seed scalar kernels so the GEMM speedup is visible in one run.
+
+std::vector<float> BenchVec(size_t n) {
+  std::vector<float> v(n);
+  for (size_t i = 0; i < n; ++i) {
+    v[i] = static_cast<float>((i * 2654435761u % 1024) / 512.0) - 1.0f;
+  }
+  return v;
+}
+
+struct ConvSetup {
+  model::TensorShape shape;
+  int kernel = 3, stride = 1, out_c;
+  std::vector<float> in, weights, out;
+  double flops;
+
+  explicit ConvSetup(int hw, int c, int oc) : shape{hw, hw, c}, out_c(oc) {
+    in = BenchVec(shape.elements());
+    weights = BenchVec(static_cast<size_t>(kernel) * kernel * c * oc + oc);
+    out.resize(static_cast<size_t>(hw) * hw * oc);
+    flops = 2.0 * hw * hw * oc * kernel * kernel * c;
+  }
+};
+
+void BM_Conv2d(benchmark::State& state) {
+  ConvSetup s(static_cast<int>(state.range(0)), static_cast<int>(state.range(1)),
+              static_cast<int>(state.range(2)));
+  std::vector<float> scratch(
+      inference::ops::Conv2dScratchElements(s.shape, s.kernel, s.stride));
+  for (auto _ : state) {
+    inference::ops::Conv2d(s.in.data(), s.shape, s.weights.data(), s.kernel,
+                           s.stride, s.out_c, s.out.data(), scratch.data());
+    benchmark::DoNotOptimize(s.out.data());
+  }
+  state.counters["FLOPS"] = benchmark::Counter(
+      s.flops * static_cast<double>(state.iterations()), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_Conv2d)->Args({32, 64, 64})->Args({16, 32, 64})->Args({64, 16, 16});
+
+void BM_Conv2dNaive(benchmark::State& state) {
+  ConvSetup s(static_cast<int>(state.range(0)), static_cast<int>(state.range(1)),
+              static_cast<int>(state.range(2)));
+  for (auto _ : state) {
+    inference::ops::Conv2dNaive(s.in.data(), s.shape, s.weights.data(), s.kernel,
+                                s.stride, s.out_c, s.out.data());
+    benchmark::DoNotOptimize(s.out.data());
+  }
+  state.counters["FLOPS"] = benchmark::Counter(
+      s.flops * static_cast<double>(state.iterations()), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_Conv2dNaive)->Args({32, 64, 64})->Args({16, 32, 64})->Args({64, 16, 16});
+
+void BM_Dense(benchmark::State& state) {
+  const size_t in_features = static_cast<size_t>(state.range(0));
+  const int units = static_cast<int>(state.range(1));
+  std::vector<float> in = BenchVec(in_features);
+  std::vector<float> weights = BenchVec(in_features * units + units);
+  std::vector<float> out(units);
+  for (auto _ : state) {
+    inference::ops::Dense(in.data(), in_features, weights.data(), units, out.data());
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.counters["FLOPS"] = benchmark::Counter(
+      2.0 * static_cast<double>(in_features) * units * state.iterations(),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_Dense)->Args({1024, 1024})->Args({4096, 256});
+
+void BM_DenseNaive(benchmark::State& state) {
+  const size_t in_features = static_cast<size_t>(state.range(0));
+  const int units = static_cast<int>(state.range(1));
+  std::vector<float> in = BenchVec(in_features);
+  std::vector<float> weights = BenchVec(in_features * units + units);
+  std::vector<float> out(units);
+  for (auto _ : state) {
+    inference::ops::DenseNaive(in.data(), in_features, weights.data(), units,
+                               out.data());
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.counters["FLOPS"] = benchmark::Counter(
+      2.0 * static_cast<double>(in_features) * units * state.iterations(),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_DenseNaive)->Args({1024, 1024})->Args({4096, 256});
 
 void BM_X25519SharedSecret(benchmark::State& state) {
   auto a = crypto::GenerateX25519KeyPair();

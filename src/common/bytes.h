@@ -19,6 +19,11 @@ using ByteSpan = std::span<const uint8_t>;
 /// Copy a string's bytes into a Bytes buffer.
 Bytes ToBytes(std::string_view s);
 
+/// Zero-copy view of a string's bytes (the string must outlive the span).
+inline ByteSpan SpanOf(std::string_view s) {
+  return ByteSpan(reinterpret_cast<const uint8_t*>(s.data()), s.size());
+}
+
 /// Interpret a byte buffer as a std::string (no encoding applied).
 std::string ToString(ByteSpan b);
 
@@ -75,6 +80,10 @@ class ByteReader {
 /// Builder counterpart of ByteReader.
 class ByteWriter {
  public:
+  /// Pre-size the buffer so a known message layout serializes with a single
+  /// allocation and no growth copies.
+  void Reserve(size_t bytes) { buf_.reserve(buf_.size() + bytes); }
+
   void WriteUint8(uint8_t v) { buf_.push_back(v); }
   void WriteUint32(uint32_t v) { PutUint32BE(&buf_, v); }
   void WriteUint64(uint64_t v) { PutUint64BE(&buf_, v); }

@@ -1,0 +1,135 @@
+#include "common/parallel_for.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace sesemi {
+
+namespace {
+
+// A minimal fork-join pool: one shared job at a time, chunks handed out by an
+// atomic cursor. GEMM outer blocks are coarse (whole row panels), so the
+// single-job model is enough and keeps the dispatch path to one atomic
+// fetch_add per chunk.
+//
+// Lifetime protocol: the Job lives on the caller's stack. Workers may only
+// take a reservation (active++) under the pool mutex while job_ is non-null;
+// the caller retires the job by clearing job_ under the same mutex and then
+// waiting for active to reach zero, so no worker can touch a dead Job.
+class ForkJoinPool {
+ public:
+  static ForkJoinPool& Instance() {
+    static ForkJoinPool* pool = new ForkJoinPool();  // leaked: lives for the process
+    return *pool;
+  }
+
+  int degree() const { return static_cast<int>(workers_.size()) + 1; }
+
+  void Run(int64_t begin, int64_t end, int64_t grain,
+           const std::function<void(int64_t, int64_t)>& fn) {
+    Job job;
+    job.fn = &fn;
+    job.next.store(begin, std::memory_order_relaxed);
+    job.end = end;
+    job.grain = grain;
+    job.active.store(1, std::memory_order_relaxed);  // the caller's reservation
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      job_ = &job;
+      generation_++;
+    }
+    wake_.notify_all();
+
+    DrainChunks(&job);  // the caller works too
+
+    std::unique_lock<std::mutex> lock(mutex_);
+    // No new reservations for this job from here on. A concurrent Run may
+    // have already published its own job; only clear our own registration.
+    if (job_ == &job) job_ = nullptr;
+    if (job.active.fetch_sub(1, std::memory_order_acq_rel) != 1) {
+      done_.wait(lock,
+                 [&] { return job.active.load(std::memory_order_acquire) == 0; });
+    }
+  }
+
+ private:
+  struct Job {
+    const std::function<void(int64_t, int64_t)>* fn;
+    std::atomic<int64_t> next{0};
+    int64_t end = 0;
+    int64_t grain = 1;
+    std::atomic<int> active{0};
+  };
+
+  ForkJoinPool() {
+    const unsigned hw = std::thread::hardware_concurrency();
+    const int extra = hw > 1 ? static_cast<int>(hw) - 1 : 0;
+    workers_.reserve(extra);
+    for (int i = 0; i < extra; ++i) {
+      workers_.emplace_back([this] { WorkerLoop(); });
+    }
+  }
+
+  void DrainChunks(Job* job) {
+    for (;;) {
+      const int64_t start = job->next.fetch_add(job->grain, std::memory_order_relaxed);
+      if (start >= job->end) break;
+      const int64_t stop = std::min(start + job->grain, job->end);
+      (*job->fn)(start, stop);
+    }
+  }
+
+  void WorkerLoop() {
+    uint64_t seen = 0;
+    for (;;) {
+      Job* job = nullptr;
+      {
+        std::unique_lock<std::mutex> lock(mutex_);
+        wake_.wait(lock, [&] { return generation_ != seen; });
+        seen = generation_;
+        job = job_;
+        if (job != nullptr) job->active.fetch_add(1, std::memory_order_acq_rel);
+      }
+      if (job == nullptr) continue;
+      DrainChunks(job);
+      if (job->active.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        std::lock_guard<std::mutex> lock(mutex_);
+        done_.notify_all();
+      }
+    }
+  }
+
+  std::mutex mutex_;
+  std::condition_variable wake_;
+  std::condition_variable done_;
+  Job* job_ = nullptr;
+  uint64_t generation_ = 0;
+  std::vector<std::thread> workers_;
+};
+
+thread_local bool t_inside_parallel_for = false;
+
+}  // namespace
+
+int ParallelismDegree() { return ForkJoinPool::Instance().degree(); }
+
+void ParallelFor(int64_t begin, int64_t end, int64_t grain,
+                 const std::function<void(int64_t, int64_t)>& fn) {
+  if (begin >= end) return;
+  if (grain < 1) grain = 1;
+  // Serial fast path: tiny ranges, single-core machines, and nested calls
+  // (a pool worker re-entering ParallelFor would deadlock waiting on itself).
+  if (t_inside_parallel_for || end - begin <= grain ||
+      ForkJoinPool::Instance().degree() == 1) {
+    fn(begin, end);
+    return;
+  }
+  t_inside_parallel_for = true;
+  ForkJoinPool::Instance().Run(begin, end, grain, fn);
+  t_inside_parallel_for = false;
+}
+
+}  // namespace sesemi

@@ -1,0 +1,26 @@
+#ifndef SESEMI_COMMON_PARALLEL_FOR_H_
+#define SESEMI_COMMON_PARALLEL_FOR_H_
+
+#include <cstdint>
+#include <functional>
+
+namespace sesemi {
+
+/// Number of workers ParallelFor can spread across (>= 1). Lazily starts the
+/// process-wide pool on first use.
+int ParallelismDegree();
+
+/// Partition [begin, end) into contiguous chunks of at least `grain`
+/// iterations and run `fn(chunk_begin, chunk_end)` across the process-wide
+/// thread pool, blocking until every chunk is done. The calling thread
+/// participates, so ParallelFor never deadlocks on a single-core machine and
+/// degrades to a plain loop when the range is smaller than `grain` or the
+/// pool has one worker. Nested calls run inline on the caller.
+///
+/// `fn` must be safe to invoke concurrently on disjoint chunks.
+void ParallelFor(int64_t begin, int64_t end, int64_t grain,
+                 const std::function<void(int64_t, int64_t)>& fn);
+
+}  // namespace sesemi
+
+#endif  // SESEMI_COMMON_PARALLEL_FOR_H_

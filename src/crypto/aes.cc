@@ -1,5 +1,6 @@
 #include "crypto/aes.h"
 
+#include <array>
 #include <cstring>
 
 namespace sesemi::crypto {
@@ -32,17 +33,65 @@ constexpr uint8_t kSbox[256] = {
 constexpr uint8_t kRcon[15] = {0x01, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40, 0x80,
                                0x1b, 0x36, 0x6c, 0xd8, 0xab, 0x4d, 0x9a};
 
+constexpr uint8_t XTimeC(uint8_t x) {
+  return static_cast<uint8_t>((x << 1) ^ ((x >> 7) * 0x1b));
+}
+
+// T-tables: Te0[x] packs the MixColumns contribution of an input byte at row
+// 0 as the big-endian word [2·S(x), S(x), S(x), 3·S(x)]; Te1..Te3 are byte
+// rotations of Te0 covering rows 1..3 after ShiftRows. One round of
+// SubBytes+ShiftRows+MixColumns then collapses to 16 table lookups and 12
+// XORs. (These are key-independent public tables; the classic cache-timing
+// caveat applies exactly as it does to the S-box path they replace.)
+struct TeTables {
+  uint32_t te0[256], te1[256], te2[256], te3[256];
+};
+
+constexpr TeTables MakeTeTables() {
+  TeTables t{};
+  for (int i = 0; i < 256; ++i) {
+    const uint8_t s = kSbox[i];
+    const uint8_t s2 = XTimeC(s);
+    const uint8_t s3 = static_cast<uint8_t>(s2 ^ s);
+    const uint32_t w = (static_cast<uint32_t>(s2) << 24) |
+                       (static_cast<uint32_t>(s) << 16) |
+                       (static_cast<uint32_t>(s) << 8) | s3;
+    t.te0[i] = w;
+    t.te1[i] = (w >> 8) | (w << 24);
+    t.te2[i] = (w >> 16) | (w << 16);
+    t.te3[i] = (w >> 24) | (w << 8);
+  }
+  return t;
+}
+
+constexpr TeTables kTe = MakeTeTables();
+
 inline uint32_t SubWord(uint32_t w) {
-  return (static_cast<uint32_t>(kSbox[(w >> 24) & 0xff]) << 24) |
-         (static_cast<uint32_t>(kSbox[(w >> 16) & 0xff]) << 16) |
-         (static_cast<uint32_t>(kSbox[(w >> 8) & 0xff]) << 8) |
-         static_cast<uint32_t>(kSbox[w & 0xff]);
+  // T-table-driven SubBytes for the key schedule: the low byte of Te2[x] is
+  // S(x), so no separate S-box pass is needed on this path either.
+  return ((kTe.te2[(w >> 24) & 0xff] & 0xff) << 24) |
+         ((kTe.te2[(w >> 16) & 0xff] & 0xff) << 16) |
+         ((kTe.te2[(w >> 8) & 0xff] & 0xff) << 8) |
+         (kTe.te2[w & 0xff] & 0xff);
 }
 
 inline uint32_t RotWord(uint32_t w) { return (w << 8) | (w >> 24); }
 
-inline uint8_t XTime(uint8_t x) {
-  return static_cast<uint8_t>((x << 1) ^ ((x >> 7) * 0x1b));
+#if __BYTE_ORDER__ == __ORDER_BIG_ENDIAN__
+inline uint32_t HostToBe32(uint32_t v) { return v; }
+#else
+inline uint32_t HostToBe32(uint32_t v) { return __builtin_bswap32(v); }
+#endif
+
+inline uint32_t Load32BE(const uint8_t* p) {
+  uint32_t v;
+  std::memcpy(&v, p, 4);
+  return HostToBe32(v);
+}
+
+inline void Store32BE(uint8_t* p, uint32_t v) {
+  v = HostToBe32(v);
+  std::memcpy(p, &v, 4);
 }
 }  // namespace
 
@@ -61,10 +110,7 @@ void Aes::ExpandKey(ByteSpan key) {
   const int total_words = 4 * (rounds_ + 1);
 
   for (int i = 0; i < nk; ++i) {
-    round_keys_[i] = (static_cast<uint32_t>(key[4 * i]) << 24) |
-                     (static_cast<uint32_t>(key[4 * i + 1]) << 16) |
-                     (static_cast<uint32_t>(key[4 * i + 2]) << 8) |
-                     static_cast<uint32_t>(key[4 * i + 3]);
+    round_keys_[i] = Load32BE(key.data() + 4 * i);
   }
   for (int i = nk; i < total_words; ++i) {
     uint32_t temp = round_keys_[i - 1];
@@ -79,43 +125,109 @@ void Aes::ExpandKey(ByteSpan key) {
 
 void Aes::EncryptBlock(const uint8_t in[kAesBlockSize],
                        uint8_t out[kAesBlockSize]) const {
-  uint8_t s[16];
-  std::memcpy(s, in, 16);
+  const uint32_t* rk = round_keys_;
+  uint32_t s0 = Load32BE(in) ^ rk[0];
+  uint32_t s1 = Load32BE(in + 4) ^ rk[1];
+  uint32_t s2 = Load32BE(in + 8) ^ rk[2];
+  uint32_t s3 = Load32BE(in + 12) ^ rk[3];
+  rk += 4;
 
-  auto add_round_key = [&](int round) {
-    for (int c = 0; c < 4; ++c) {
-      uint32_t w = round_keys_[4 * round + c];
-      s[4 * c] ^= static_cast<uint8_t>(w >> 24);
-      s[4 * c + 1] ^= static_cast<uint8_t>(w >> 16);
-      s[4 * c + 2] ^= static_cast<uint8_t>(w >> 8);
-      s[4 * c + 3] ^= static_cast<uint8_t>(w);
-    }
-  };
-
-  add_round_key(0);
-  for (int round = 1; round <= rounds_; ++round) {
-    // SubBytes
-    for (auto& b : s) b = kSbox[b];
-    // ShiftRows: row r rotated left by r. State is column-major: s[4c + r].
-    uint8_t t;
-    t = s[1]; s[1] = s[5]; s[5] = s[9]; s[9] = s[13]; s[13] = t;
-    t = s[2]; s[2] = s[10]; s[10] = t; t = s[6]; s[6] = s[14]; s[14] = t;
-    t = s[15]; s[15] = s[11]; s[11] = s[7]; s[7] = s[3]; s[3] = t;
-    if (round != rounds_) {
-      // MixColumns
-      for (int c = 0; c < 4; ++c) {
-        uint8_t* col = s + 4 * c;
-        uint8_t a0 = col[0], a1 = col[1], a2 = col[2], a3 = col[3];
-        uint8_t all = static_cast<uint8_t>(a0 ^ a1 ^ a2 ^ a3);
-        col[0] = static_cast<uint8_t>(a0 ^ all ^ XTime(static_cast<uint8_t>(a0 ^ a1)));
-        col[1] = static_cast<uint8_t>(a1 ^ all ^ XTime(static_cast<uint8_t>(a1 ^ a2)));
-        col[2] = static_cast<uint8_t>(a2 ^ all ^ XTime(static_cast<uint8_t>(a2 ^ a3)));
-        col[3] = static_cast<uint8_t>(a3 ^ all ^ XTime(static_cast<uint8_t>(a3 ^ a0)));
-      }
-    }
-    add_round_key(round);
+  for (int round = 1; round < rounds_; ++round, rk += 4) {
+    const uint32_t t0 = kTe.te0[s0 >> 24] ^ kTe.te1[(s1 >> 16) & 0xff] ^
+                        kTe.te2[(s2 >> 8) & 0xff] ^ kTe.te3[s3 & 0xff] ^ rk[0];
+    const uint32_t t1 = kTe.te0[s1 >> 24] ^ kTe.te1[(s2 >> 16) & 0xff] ^
+                        kTe.te2[(s3 >> 8) & 0xff] ^ kTe.te3[s0 & 0xff] ^ rk[1];
+    const uint32_t t2 = kTe.te0[s2 >> 24] ^ kTe.te1[(s3 >> 16) & 0xff] ^
+                        kTe.te2[(s0 >> 8) & 0xff] ^ kTe.te3[s1 & 0xff] ^ rk[2];
+    const uint32_t t3 = kTe.te0[s3 >> 24] ^ kTe.te1[(s0 >> 16) & 0xff] ^
+                        kTe.te2[(s1 >> 8) & 0xff] ^ kTe.te3[s2 & 0xff] ^ rk[3];
+    s0 = t0;
+    s1 = t1;
+    s2 = t2;
+    s3 = t3;
   }
-  std::memcpy(out, s, 16);
+
+  // Final round: SubBytes + ShiftRows + AddRoundKey (no MixColumns).
+  const uint32_t o0 = (static_cast<uint32_t>(kSbox[s0 >> 24]) << 24) |
+                      (static_cast<uint32_t>(kSbox[(s1 >> 16) & 0xff]) << 16) |
+                      (static_cast<uint32_t>(kSbox[(s2 >> 8) & 0xff]) << 8) |
+                      kSbox[s3 & 0xff];
+  const uint32_t o1 = (static_cast<uint32_t>(kSbox[s1 >> 24]) << 24) |
+                      (static_cast<uint32_t>(kSbox[(s2 >> 16) & 0xff]) << 16) |
+                      (static_cast<uint32_t>(kSbox[(s3 >> 8) & 0xff]) << 8) |
+                      kSbox[s0 & 0xff];
+  const uint32_t o2 = (static_cast<uint32_t>(kSbox[s2 >> 24]) << 24) |
+                      (static_cast<uint32_t>(kSbox[(s3 >> 16) & 0xff]) << 16) |
+                      (static_cast<uint32_t>(kSbox[(s0 >> 8) & 0xff]) << 8) |
+                      kSbox[s1 & 0xff];
+  const uint32_t o3 = (static_cast<uint32_t>(kSbox[s3 >> 24]) << 24) |
+                      (static_cast<uint32_t>(kSbox[(s0 >> 16) & 0xff]) << 16) |
+                      (static_cast<uint32_t>(kSbox[(s1 >> 8) & 0xff]) << 8) |
+                      kSbox[s2 & 0xff];
+  Store32BE(out, o0 ^ rk[0]);
+  Store32BE(out + 4, o1 ^ rk[1]);
+  Store32BE(out + 8, o2 ^ rk[2]);
+  Store32BE(out + 12, o3 ^ rk[3]);
+}
+
+void Aes::EncryptBlocks4(const uint8_t in[4 * kAesBlockSize],
+                         uint8_t out[4 * kAesBlockSize]) const {
+  // Four independent blocks interleaved round-by-round: the per-lookup L1
+  // latency of one block's round overlaps the others', which is what makes
+  // the CTR keystream batch in GCM run close to table-lookup throughput.
+  uint32_t s[4][4];
+  const uint32_t* rk = round_keys_;
+  for (int b = 0; b < 4; ++b) {
+    const uint8_t* p = in + 16 * b;
+    s[b][0] = Load32BE(p) ^ rk[0];
+    s[b][1] = Load32BE(p + 4) ^ rk[1];
+    s[b][2] = Load32BE(p + 8) ^ rk[2];
+    s[b][3] = Load32BE(p + 12) ^ rk[3];
+  }
+  rk += 4;
+  for (int round = 1; round < rounds_; ++round, rk += 4) {
+    for (int b = 0; b < 4; ++b) {
+      const uint32_t t0 = kTe.te0[s[b][0] >> 24] ^ kTe.te1[(s[b][1] >> 16) & 0xff] ^
+                          kTe.te2[(s[b][2] >> 8) & 0xff] ^ kTe.te3[s[b][3] & 0xff] ^
+                          rk[0];
+      const uint32_t t1 = kTe.te0[s[b][1] >> 24] ^ kTe.te1[(s[b][2] >> 16) & 0xff] ^
+                          kTe.te2[(s[b][3] >> 8) & 0xff] ^ kTe.te3[s[b][0] & 0xff] ^
+                          rk[1];
+      const uint32_t t2 = kTe.te0[s[b][2] >> 24] ^ kTe.te1[(s[b][3] >> 16) & 0xff] ^
+                          kTe.te2[(s[b][0] >> 8) & 0xff] ^ kTe.te3[s[b][1] & 0xff] ^
+                          rk[2];
+      const uint32_t t3 = kTe.te0[s[b][3] >> 24] ^ kTe.te1[(s[b][0] >> 16) & 0xff] ^
+                          kTe.te2[(s[b][1] >> 8) & 0xff] ^ kTe.te3[s[b][2] & 0xff] ^
+                          rk[3];
+      s[b][0] = t0;
+      s[b][1] = t1;
+      s[b][2] = t2;
+      s[b][3] = t3;
+    }
+  }
+  for (int b = 0; b < 4; ++b) {
+    uint8_t* p = out + 16 * b;
+    const uint32_t o0 = (static_cast<uint32_t>(kSbox[s[b][0] >> 24]) << 24) |
+                        (static_cast<uint32_t>(kSbox[(s[b][1] >> 16) & 0xff]) << 16) |
+                        (static_cast<uint32_t>(kSbox[(s[b][2] >> 8) & 0xff]) << 8) |
+                        kSbox[s[b][3] & 0xff];
+    const uint32_t o1 = (static_cast<uint32_t>(kSbox[s[b][1] >> 24]) << 24) |
+                        (static_cast<uint32_t>(kSbox[(s[b][2] >> 16) & 0xff]) << 16) |
+                        (static_cast<uint32_t>(kSbox[(s[b][3] >> 8) & 0xff]) << 8) |
+                        kSbox[s[b][0] & 0xff];
+    const uint32_t o2 = (static_cast<uint32_t>(kSbox[s[b][2] >> 24]) << 24) |
+                        (static_cast<uint32_t>(kSbox[(s[b][3] >> 16) & 0xff]) << 16) |
+                        (static_cast<uint32_t>(kSbox[(s[b][0] >> 8) & 0xff]) << 8) |
+                        kSbox[s[b][1] & 0xff];
+    const uint32_t o3 = (static_cast<uint32_t>(kSbox[s[b][3] >> 24]) << 24) |
+                        (static_cast<uint32_t>(kSbox[(s[b][0] >> 16) & 0xff]) << 16) |
+                        (static_cast<uint32_t>(kSbox[(s[b][1] >> 8) & 0xff]) << 8) |
+                        kSbox[s[b][2] & 0xff];
+    Store32BE(p, o0 ^ rk[0]);
+    Store32BE(p + 4, o1 ^ rk[1]);
+    Store32BE(p + 8, o2 ^ rk[2]);
+    Store32BE(p + 12, o3 ^ rk[3]);
+  }
 }
 
 }  // namespace sesemi::crypto

@@ -26,6 +26,11 @@ class Aes {
   /// Encrypt exactly one 16-byte block, in == out allowed.
   void EncryptBlock(const uint8_t in[kAesBlockSize], uint8_t out[kAesBlockSize]) const;
 
+  /// Encrypt four independent 16-byte blocks, rounds interleaved for ILP.
+  /// `in == out` allowed. This is the CTR keystream batch primitive.
+  void EncryptBlocks4(const uint8_t in[4 * kAesBlockSize],
+                      uint8_t out[4 * kAesBlockSize]) const;
+
   /// Number of AES rounds (10 for AES-128, 14 for AES-256).
   int rounds() const { return rounds_; }
 

@@ -7,30 +7,58 @@
 namespace sesemi::crypto {
 
 namespace {
-// Reduction constants for Shoup's 4-bit GHASH table method: last4[rem] is the
-// contribution of the 4 bits shifted out of the low end, folded back into the
-// top of the 128-bit value (already shifted into position 48..63 of the high
-// word by the caller).
-constexpr uint64_t kLast4[16] = {
-    0x0000, 0x1c20, 0x3840, 0x2460, 0x7080, 0x6ca0, 0x48c0, 0x54e0,
-    0xe100, 0xfd20, 0xd940, 0xc560, 0x9180, 0x8da0, 0xa9c0, 0xb5e0};
+#if __BYTE_ORDER__ == __ORDER_BIG_ENDIAN__
+inline uint64_t HostToBe64(uint64_t v) { return v; }
+inline uint32_t HostToBe32(uint32_t v) { return v; }
+#else
+inline uint64_t HostToBe64(uint64_t v) { return __builtin_bswap64(v); }
+inline uint32_t HostToBe32(uint32_t v) { return __builtin_bswap32(v); }
+#endif
 
 inline uint64_t Load64BE(const uint8_t* p) {
-  uint64_t v = 0;
-  for (int i = 0; i < 8; ++i) v = (v << 8) | p[i];
-  return v;
+  uint64_t v;
+  std::memcpy(&v, p, 8);
+  return HostToBe64(v);
 }
 
 inline void Store64BE(uint8_t* p, uint64_t v) {
-  for (int i = 0; i < 8; ++i) p[i] = static_cast<uint8_t>(v >> (56 - 8 * i));
+  v = HostToBe64(v);
+  std::memcpy(p, &v, 8);
 }
 
-inline void Inc32(uint8_t counter[16]) {
-  for (int i = 15; i >= 12; --i) {
-    if (++counter[i] != 0) break;
+// Fold-back constants for the 8-bit Shoup table walk: when the 128-bit
+// accumulator is shifted right by a whole byte, the 8 bits shifted out (rem)
+// re-enter at the top reduced by the GHASH polynomial. kReduce8[rem] is that
+// contribution, already positioned in the high word.
+constexpr uint64_t Reduce8(uint32_t rem) {
+  uint64_t zh = 0, zl = rem;
+  for (int i = 0; i < 8; ++i) {
+    const uint64_t carry = zl & 1;
+    zl = (zl >> 1) | (zh << 63);
+    zh >>= 1;
+    if (carry) zh ^= 0xe100000000000000ULL;
   }
+  return zh;
 }
+
+struct Reduce8Table {
+  uint64_t v[256];
+};
+
+constexpr Reduce8Table MakeReduce8Table() {
+  Reduce8Table t{};
+  for (uint32_t r = 0; r < 256; ++r) t.v[r] = Reduce8(r);
+  return t;
+}
+
+constexpr Reduce8Table kReduce8 = MakeReduce8Table();
 }  // namespace
+
+struct AesGcm::GhashState {
+  uint8_t y[16] = {0};
+  uint8_t buf[16];
+  size_t buflen = 0;
+};
 
 Result<AesGcm> AesGcm::Create(ByteSpan key) {
   SESEMI_ASSIGN_OR_RETURN(Aes aes, Aes::Create(key));
@@ -41,18 +69,16 @@ AesGcm::AesGcm(Aes aes) : aes_(std::move(aes)) {
   uint8_t zero[16] = {0};
   uint8_t h[16];
   aes_.EncryptBlock(zero, h);
-  h_hi_ = Load64BE(h);
-  h_lo_ = Load64BE(h + 8);
 
-  // Build the 4-bit multiplication table: table[1000b] = H, then halve
-  // (multiply by x, i.e. right shift in the reflected representation) for
-  // 0100b, 0010b, 0001b, and fill composites by XOR.
-  uint64_t vh = h_hi_;
-  uint64_t vl = h_lo_;
-  table_hi_[8] = vh;
-  table_lo_[8] = vl;
-  for (int i = 4; i > 0; i >>= 1) {
-    uint32_t carry = static_cast<uint32_t>(vl & 1);
+  // Build the 8-bit multiplication table: table[1000'0000b] = H, then halve
+  // (multiply by x, i.e. right shift in the reflected representation) down to
+  // 0000'0001b, and fill composites by XOR.
+  uint64_t vh = Load64BE(h);
+  uint64_t vl = Load64BE(h + 8);
+  table_hi_[0x80] = vh;
+  table_lo_[0x80] = vl;
+  for (int i = 0x40; i > 0; i >>= 1) {
+    const uint64_t carry = vl & 1;
     vl = (vl >> 1) | (vh << 63);
     vh >>= 1;
     if (carry) vh ^= 0xe100000000000000ULL;
@@ -61,7 +87,7 @@ AesGcm::AesGcm(Aes aes) : aes_(std::move(aes)) {
   }
   table_hi_[0] = 0;
   table_lo_[0] = 0;
-  for (int i = 2; i < 16; i <<= 1) {
+  for (int i = 2; i < 256; i <<= 1) {
     for (int j = 1; j < i; ++j) {
       table_hi_[i + j] = table_hi_[i] ^ table_hi_[j];
       table_lo_[i + j] = table_lo_[i] ^ table_lo_[j];
@@ -69,75 +95,136 @@ AesGcm::AesGcm(Aes aes) : aes_(std::move(aes)) {
   }
 }
 
-void AesGcm::GHashBlock(uint8_t y[16], const uint8_t block[16]) const {
-  uint8_t x[16];
-  for (int i = 0; i < 16; ++i) x[i] = y[i] ^ block[i];
+void AesGcm::GHashBlocks(uint8_t y[16], const uint8_t* data, size_t blocks) const {
+  uint64_t yh = Load64BE(y);
+  uint64_t yl = Load64BE(y + 8);
 
-  // Shoup 4-bit table multiply: process nibbles from the low end.
-  uint8_t lo = x[15] & 0xf;
-  uint64_t zh = table_hi_[lo];
-  uint64_t zl = table_lo_[lo];
-  for (int i = 15; i >= 0; --i) {
-    lo = x[i] & 0xf;
-    uint8_t hi = x[i] >> 4;
-    if (i != 15) {
-      uint8_t rem = static_cast<uint8_t>(zl & 0xf);
-      zl = (zh << 60) | (zl >> 4);
-      zh = zh >> 4;
-      zh ^= kLast4[rem] << 48;
-      zh ^= table_hi_[lo];
-      zl ^= table_lo_[lo];
+  for (size_t blk = 0; blk < blocks; ++blk, data += 16) {
+    uint64_t vh = yh ^ Load64BE(data);
+    uint64_t vl = yl ^ Load64BE(data + 8);
+
+    // 8-bit Shoup walk, bytes from the low end of (vh, vl).
+    uint64_t zh = table_hi_[vl & 0xff];
+    uint64_t zl = table_lo_[vl & 0xff];
+    for (int i = 1; i < 8; ++i) {
+      const uint8_t b = static_cast<uint8_t>(vl >> (8 * i));
+      const uint32_t rem = static_cast<uint32_t>(zl & 0xff);
+      zl = (zh << 56) | (zl >> 8);
+      zh = (zh >> 8) ^ kReduce8.v[rem];
+      zh ^= table_hi_[b];
+      zl ^= table_lo_[b];
     }
-    uint8_t rem = static_cast<uint8_t>(zl & 0xf);
-    zl = (zh << 60) | (zl >> 4);
-    zh = zh >> 4;
-    zh ^= kLast4[rem] << 48;
-    zh ^= table_hi_[hi];
-    zl ^= table_lo_[hi];
+    for (int i = 0; i < 8; ++i) {
+      const uint8_t b = static_cast<uint8_t>(vh >> (8 * i));
+      const uint32_t rem = static_cast<uint32_t>(zl & 0xff);
+      zl = (zh << 56) | (zl >> 8);
+      zh = (zh >> 8) ^ kReduce8.v[rem];
+      zh ^= table_hi_[b];
+      zl ^= table_lo_[b];
+    }
+    yh = zh;
+    yl = zl;
   }
-  Store64BE(y, zh);
-  Store64BE(y + 8, zl);
+  Store64BE(y, yh);
+  Store64BE(y + 8, yl);
 }
 
-void AesGcm::GHash(ByteSpan aad, ByteSpan data, uint8_t out[16]) const {
-  std::memset(out, 0, 16);
-  uint8_t block[16];
-
-  auto absorb = [&](ByteSpan src) {
-    size_t i = 0;
-    while (i + 16 <= src.size()) {
-      GHashBlock(out, src.data() + i);
-      i += 16;
-    }
-    if (i < src.size()) {
-      std::memset(block, 0, 16);
-      std::memcpy(block, src.data() + i, src.size() - i);
-      GHashBlock(out, block);
-    }
-  };
-  absorb(aad);
-  absorb(data);
-
-  Store64BE(block, static_cast<uint64_t>(aad.size()) * 8);
-  Store64BE(block + 8, static_cast<uint64_t>(data.size()) * 8);
-  GHashBlock(out, block);
-}
-
-void AesGcm::Ctr32Crypt(const uint8_t j0[16], ByteSpan in, uint8_t* out) const {
-  uint8_t counter[16];
-  std::memcpy(counter, j0, 16);
-  uint8_t keystream[16];
+void AesGcm::GHashUpdate(GhashState* st, ByteSpan data) const {
+  if (data.empty()) return;
   size_t i = 0;
-  while (i < in.size()) {
-    Inc32(counter);
-    aes_.EncryptBlock(counter, keystream);
-    size_t take = std::min<size_t>(16, in.size() - i);
-    for (size_t b = 0; b < take; ++b) out[i + b] = in[i + b] ^ keystream[b];
-    i += take;
+  if (st->buflen > 0) {
+    const size_t take = std::min<size_t>(16 - st->buflen, data.size());
+    std::memcpy(st->buf + st->buflen, data.data(), take);
+    st->buflen += take;
+    i = take;
+    if (st->buflen < 16) return;
+    GHashBlocks(st->y, st->buf, 1);
+    st->buflen = 0;
+  }
+  const size_t whole = (data.size() - i) / 16;
+  if (whole > 0) {
+    GHashBlocks(st->y, data.data() + i, whole);
+    i += whole * 16;
+  }
+  if (i < data.size()) {
+    st->buflen = data.size() - i;
+    std::memcpy(st->buf, data.data() + i, st->buflen);
   }
 }
 
-Result<Bytes> AesGcm::Encrypt(ByteSpan nonce, ByteSpan aad, ByteSpan plaintext) const {
+void AesGcm::GHashFlush(GhashState* st) const {
+  if (st->buflen == 0) return;
+  std::memset(st->buf + st->buflen, 0, 16 - st->buflen);
+  GHashBlocks(st->y, st->buf, 1);
+  st->buflen = 0;
+}
+
+void AesGcm::CtrCryptAndHash(const uint8_t j0[16], ByteSpan in, uint8_t* out,
+                             uint8_t y[16], bool hash_output) const {
+  uint8_t counters[64];
+  uint8_t keystream[64];
+  std::memcpy(counters, j0, 12);
+  std::memcpy(counters + 16, j0, 12);
+  std::memcpy(counters + 32, j0, 12);
+  std::memcpy(counters + 48, j0, 12);
+  uint32_t ctr;
+  std::memcpy(&ctr, j0 + 12, 4);
+  ctr = HostToBe32(ctr);  // big-endian counter -> host int
+
+  const uint8_t* src = in.data();
+  size_t remaining = in.size();
+
+  // Fused bulk path: 4 counter blocks -> batched keystream -> XOR -> GHASH,
+  // all while the 64-byte batch is hot in L1.
+  while (remaining >= 64) {
+    for (int b = 0; b < 4; ++b) {
+      const uint32_t c = HostToBe32(ctr + 1 + static_cast<uint32_t>(b));
+      std::memcpy(counters + 16 * b + 12, &c, 4);
+    }
+    ctr += 4;
+    aes_.EncryptBlocks4(counters, keystream);
+    for (int i = 0; i < 64; i += 8) {
+      uint64_t d, k;
+      std::memcpy(&d, src + i, 8);
+      std::memcpy(&k, keystream + i, 8);
+      d ^= k;
+      std::memcpy(out + i, &d, 8);
+    }
+    GHashBlocks(y, hash_output ? out : src, 4);
+    src += 64;
+    out += 64;
+    remaining -= 64;
+  }
+
+  // Tail: block-at-a-time, final partial block zero-padded for GHASH.
+  while (remaining > 0) {
+    const uint32_t c = HostToBe32(++ctr);
+    std::memcpy(counters + 12, &c, 4);
+    aes_.EncryptBlock(counters, keystream);
+    const size_t take = std::min<size_t>(16, remaining);
+    for (size_t b = 0; b < take; ++b) out[b] = src[b] ^ keystream[b];
+    uint8_t block[16] = {0};
+    std::memcpy(block, hash_output ? out : src, take);
+    GHashBlocks(y, block, 1);
+    src += take;
+    out += take;
+    remaining -= take;
+  }
+}
+
+void AesGcm::ComputeTag(const uint8_t j0[16], uint8_t y[16], size_t aad_len,
+                        size_t ct_len, uint8_t tag[16]) const {
+  uint8_t block[16];
+  Store64BE(block, static_cast<uint64_t>(aad_len) * 8);
+  Store64BE(block + 8, static_cast<uint64_t>(ct_len) * 8);
+  GHashBlocks(y, block, 1);
+  uint8_t ekj0[16];
+  aes_.EncryptBlock(j0, ekj0);
+  for (int i = 0; i < 16; ++i) tag[i] = y[i] ^ ekj0[i];
+}
+
+Status AesGcm::EncryptInto(ByteSpan nonce, ByteSpan aad_a, ByteSpan aad_b,
+                           ByteSpan plaintext, uint8_t* out) const {
   if (nonce.size() != kGcmNonceSize) {
     return Status::InvalidArgument("GCM nonce must be 12 bytes");
   }
@@ -146,26 +233,25 @@ Result<Bytes> AesGcm::Encrypt(ByteSpan nonce, ByteSpan aad, ByteSpan plaintext) 
   j0[12] = j0[13] = j0[14] = 0;
   j0[15] = 1;
 
-  Bytes out(plaintext.size() + kGcmTagSize);
-  Ctr32Crypt(j0, plaintext, out.data());
-
-  uint8_t s[16];
-  GHash(aad, ByteSpan(out.data(), plaintext.size()), s);
-  uint8_t ekj0[16];
-  aes_.EncryptBlock(j0, ekj0);
-  for (int i = 0; i < 16; ++i) out[plaintext.size() + i] = s[i] ^ ekj0[i];
-  return out;
+  GhashState st;
+  GHashUpdate(&st, aad_a);
+  GHashUpdate(&st, aad_b);
+  GHashFlush(&st);
+  CtrCryptAndHash(j0, plaintext, out, st.y, /*hash_output=*/true);
+  ComputeTag(j0, st.y, aad_a.size() + aad_b.size(), plaintext.size(),
+             out + plaintext.size());
+  return Status::OK();
 }
 
-Result<Bytes> AesGcm::Decrypt(ByteSpan nonce, ByteSpan aad,
-                              ByteSpan ciphertext_and_tag) const {
+Status AesGcm::DecryptInto(ByteSpan nonce, ByteSpan aad_a, ByteSpan aad_b,
+                           ByteSpan ciphertext_and_tag, uint8_t* out) const {
   if (nonce.size() != kGcmNonceSize) {
     return Status::InvalidArgument("GCM nonce must be 12 bytes");
   }
   if (ciphertext_and_tag.size() < kGcmTagSize) {
     return Status::Unauthenticated("GCM message shorter than tag");
   }
-  size_t ct_len = ciphertext_and_tag.size() - kGcmTagSize;
+  const size_t ct_len = ciphertext_and_tag.size() - kGcmTagSize;
   ByteSpan ct(ciphertext_and_tag.data(), ct_len);
   ByteSpan tag(ciphertext_and_tag.data() + ct_len, kGcmTagSize);
 
@@ -174,40 +260,68 @@ Result<Bytes> AesGcm::Decrypt(ByteSpan nonce, ByteSpan aad,
   j0[12] = j0[13] = j0[14] = 0;
   j0[15] = 1;
 
-  uint8_t s[16];
-  GHash(aad, ct, s);
-  uint8_t ekj0[16];
-  aes_.EncryptBlock(j0, ekj0);
+  GhashState st;
+  GHashUpdate(&st, aad_a);
+  GHashUpdate(&st, aad_b);
+  GHashFlush(&st);
+  // Single pass: decrypt while absorbing the *ciphertext* into GHASH.
+  CtrCryptAndHash(j0, ct, out, st.y, /*hash_output=*/false);
   uint8_t expect[16];
-  for (int i = 0; i < 16; ++i) expect[i] = s[i] ^ ekj0[i];
+  ComputeTag(j0, st.y, aad_a.size() + aad_b.size(), ct_len, expect);
   if (!ConstantTimeEqual(ByteSpan(expect, 16), tag)) {
+    // The plaintext was produced before authentication; never release it.
+    if (ct_len > 0) std::memset(out, 0, ct_len);
     return Status::Unauthenticated("GCM tag mismatch");
   }
-
-  Bytes plain(ct_len);
-  Ctr32Crypt(j0, ct, plain.data());
-  return plain;
+  return Status::OK();
 }
 
-Result<Bytes> GcmSeal(ByteSpan key, ByteSpan aad, ByteSpan plaintext) {
-  SESEMI_ASSIGN_OR_RETURN(AesGcm gcm, AesGcm::Create(key));
-  Bytes nonce = RandomBytes(kGcmNonceSize);
-  SESEMI_ASSIGN_OR_RETURN(Bytes ct, gcm.Encrypt(nonce, aad, plaintext));
-  Bytes out;
-  out.reserve(nonce.size() + ct.size());
-  Append(&out, nonce);
-  Append(&out, ct);
+Result<Bytes> AesGcm::Encrypt(ByteSpan nonce, ByteSpan aad, ByteSpan plaintext) const {
+  Bytes out(plaintext.size() + kGcmTagSize);
+  SESEMI_RETURN_IF_ERROR(EncryptInto(nonce, aad, {}, plaintext, out.data()));
   return out;
 }
 
-Result<Bytes> GcmOpen(ByteSpan key, ByteSpan aad, ByteSpan sealed) {
+Result<Bytes> AesGcm::Decrypt(ByteSpan nonce, ByteSpan aad,
+                              ByteSpan ciphertext_and_tag) const {
+  if (ciphertext_and_tag.size() < kGcmTagSize) {
+    return Status::Unauthenticated("GCM message shorter than tag");
+  }
+  Bytes plain(ciphertext_and_tag.size() - kGcmTagSize);
+  SESEMI_RETURN_IF_ERROR(DecryptInto(nonce, aad, {}, ciphertext_and_tag, plain.data()));
+  return plain;
+}
+
+Result<Bytes> GcmSealParts(ByteSpan key, ByteSpan aad_a, ByteSpan aad_b,
+                           ByteSpan plaintext) {
+  SESEMI_ASSIGN_OR_RETURN(AesGcm gcm, AesGcm::Create(key));
+  // One allocation for nonce || ciphertext || tag, written in place.
+  Bytes out(kGcmNonceSize + plaintext.size() + kGcmTagSize);
+  FillRandomBytes(out.data(), kGcmNonceSize);
+  SESEMI_RETURN_IF_ERROR(gcm.EncryptInto(ByteSpan(out.data(), kGcmNonceSize), aad_a,
+                                         aad_b, plaintext, out.data() + kGcmNonceSize));
+  return out;
+}
+
+Result<Bytes> GcmOpenParts(ByteSpan key, ByteSpan aad_a, ByteSpan aad_b,
+                           ByteSpan sealed) {
   if (sealed.size() < kGcmNonceSize + kGcmTagSize) {
     return Status::Unauthenticated("sealed message too short");
   }
   SESEMI_ASSIGN_OR_RETURN(AesGcm gcm, AesGcm::Create(key));
   ByteSpan nonce(sealed.data(), kGcmNonceSize);
   ByteSpan ct(sealed.data() + kGcmNonceSize, sealed.size() - kGcmNonceSize);
-  return gcm.Decrypt(nonce, aad, ct);
+  Bytes plain(ct.size() - kGcmTagSize);
+  SESEMI_RETURN_IF_ERROR(gcm.DecryptInto(nonce, aad_a, aad_b, ct, plain.data()));
+  return plain;
+}
+
+Result<Bytes> GcmSeal(ByteSpan key, ByteSpan aad, ByteSpan plaintext) {
+  return GcmSealParts(key, aad, {}, plaintext);
+}
+
+Result<Bytes> GcmOpen(ByteSpan key, ByteSpan aad, ByteSpan sealed) {
+  return GcmOpenParts(key, aad, {}, sealed);
 }
 
 }  // namespace sesemi::crypto

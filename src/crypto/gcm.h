@@ -16,6 +16,11 @@ constexpr size_t kGcmTagSize = 16;
 /// (§V: "We use AES-GCM for model and request encryption"). Sealed messages
 /// are laid out `nonce(12) || ciphertext || tag(16)` by the convenience
 /// helpers below.
+///
+/// The bulk path is a fused single pass: the CTR keystream is generated in
+/// 4-block (64-byte) batches and GHASH is accumulated over the same batch
+/// before moving on, so each ciphertext byte is touched once while hot in
+/// L1. GHASH uses a per-key 256-entry (8-bit Shoup) table.
 class AesGcm {
  public:
   /// Build a GCM instance over a 16- or 32-byte AES key.
@@ -29,18 +34,39 @@ class AesGcm {
   /// Unauthenticated on any tag mismatch (tampered data, wrong key, wrong AAD).
   Result<Bytes> Decrypt(ByteSpan nonce, ByteSpan aad, ByteSpan ciphertext_and_tag) const;
 
+  /// Zero-copy seal: writes ciphertext || tag (plaintext.size() + 16 bytes)
+  /// into `out`. The AAD is the logical concatenation aad_a || aad_b, hashed
+  /// as a stream so callers never materialize a combined buffer.
+  Status EncryptInto(ByteSpan nonce, ByteSpan aad_a, ByteSpan aad_b,
+                     ByteSpan plaintext, uint8_t* out) const;
+
+  /// Zero-copy open: verifies the tag, then writes the plaintext
+  /// (ciphertext_and_tag.size() - 16 bytes) into `out`.
+  Status DecryptInto(ByteSpan nonce, ByteSpan aad_a, ByteSpan aad_b,
+                     ByteSpan ciphertext_and_tag, uint8_t* out) const;
+
  private:
   explicit AesGcm(Aes aes);
-  void GHashBlock(uint8_t y[16], const uint8_t block[16]) const;
-  void GHash(ByteSpan aad, ByteSpan data, uint8_t out[16]) const;
-  void Ctr32Crypt(const uint8_t j0[16], ByteSpan in, uint8_t* out) const;
+
+  struct GhashState;
+  void GHashBlocks(uint8_t y[16], const uint8_t* data, size_t blocks) const;
+  void GHashUpdate(GhashState* st, ByteSpan data) const;
+  void GHashFlush(GhashState* st) const;
+
+  /// One fused pass over `in`: CTR-crypt into `out` while absorbing either
+  /// the output (encrypt) or the input (decrypt) into the GHASH accumulator
+  /// `y`, 64 bytes at a time.
+  void CtrCryptAndHash(const uint8_t j0[16], ByteSpan in, uint8_t* out,
+                       uint8_t y[16], bool hash_output) const;
+
+  void ComputeTag(const uint8_t j0[16], uint8_t y[16], size_t aad_len,
+                  size_t ct_len, uint8_t tag[16]) const;
 
   Aes aes_;
-  // GHASH key H in two big-endian halves, plus Shoup 4-bit table for speed.
-  uint64_t h_hi_ = 0;
-  uint64_t h_lo_ = 0;
-  uint64_t table_hi_[16];
-  uint64_t table_lo_[16];
+  // 8-bit Shoup GHASH table: table_*_[b] = (the byte b, as the top 8 bits of
+  // a field element) · H, in two big-endian halves.
+  uint64_t table_hi_[256];
+  uint64_t table_lo_[256];
 };
 
 /// Seal with a random nonce: returns nonce || ciphertext || tag.
@@ -48,6 +74,16 @@ Result<Bytes> GcmSeal(ByteSpan key, ByteSpan aad, ByteSpan plaintext);
 
 /// Open a nonce || ciphertext || tag message produced by GcmSeal.
 Result<Bytes> GcmOpen(ByteSpan key, ByteSpan aad, ByteSpan sealed);
+
+/// Single-allocation seal with a two-part AAD (aad_a || aad_b): the output
+/// buffer is sized once and the ciphertext+tag are written in place — no
+/// intermediate Bytes copies, no materialized AAD concatenation.
+Result<Bytes> GcmSealParts(ByteSpan key, ByteSpan aad_a, ByteSpan aad_b,
+                           ByteSpan plaintext);
+
+/// Counterpart of GcmSealParts for opening.
+Result<Bytes> GcmOpenParts(ByteSpan key, ByteSpan aad_a, ByteSpan aad_b,
+                           ByteSpan sealed);
 
 }  // namespace sesemi::crypto
 

@@ -2,6 +2,7 @@
 
 #include <chrono>
 #include <cstdio>
+#include <cstring>
 #include <mutex>
 
 #include "crypto/sha256.h"
@@ -30,25 +31,25 @@ void SetDeterministicRandomForTesting(bool enabled, uint64_t seed) {
   PutUint64BE(&g_seed_material, seed);
 }
 
-Bytes RandomBytes(size_t n) {
+void FillRandomBytes(uint8_t* out, size_t n) {
+  if (n == 0) return;
   {
     std::lock_guard<std::mutex> lock(g_mutex);
     if (g_deterministic) {
-      Bytes out;
-      out.reserve(n);
-      while (out.size() < n) {
+      size_t filled = 0;
+      while (filled < n) {
         Bytes block = DrbgBlock(g_counter++, g_seed_material);
-        size_t take = std::min(block.size(), n - out.size());
-        out.insert(out.end(), block.begin(), block.begin() + take);
+        size_t take = std::min(block.size(), n - filled);
+        std::memcpy(out + filled, block.data(), take);
+        filled += take;
       }
-      return out;
+      return;
     }
   }
 
-  Bytes out(n);
   static FILE* urandom = std::fopen("/dev/urandom", "rb");
-  if (urandom != nullptr && std::fread(out.data(), 1, n, urandom) == n) {
-    return out;
+  if (urandom != nullptr && std::fread(out, 1, n, urandom) == n) {
+    return;
   }
 
   // Fallback DRBG: hash a monotonically increasing counter with a clock seed.
@@ -57,12 +58,18 @@ Bytes RandomBytes(size_t n) {
     auto now = std::chrono::high_resolution_clock::now().time_since_epoch().count();
     PutUint64BE(&g_seed_material, static_cast<uint64_t>(now));
   }
-  out.clear();
-  while (out.size() < n) {
+  size_t filled = 0;
+  while (filled < n) {
     Bytes block = DrbgBlock(g_counter++, g_seed_material);
-    size_t take = std::min(block.size(), n - out.size());
-    out.insert(out.end(), block.begin(), block.begin() + take);
+    size_t take = std::min(block.size(), n - filled);
+    std::memcpy(out + filled, block.data(), take);
+    filled += take;
   }
+}
+
+Bytes RandomBytes(size_t n) {
+  Bytes out(n);
+  FillRandomBytes(out.data(), n);
   return out;
 }
 

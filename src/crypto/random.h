@@ -10,6 +10,10 @@ namespace sesemi::crypto {
 /// the device is unavailable (e.g. inside a restricted sandbox).
 Bytes RandomBytes(size_t n);
 
+/// Same entropy source, written into a caller-provided buffer (used by the
+/// zero-copy seal path to fill the nonce in place).
+void FillRandomBytes(uint8_t* out, size_t n);
+
 /// Deterministic test hook: when enabled, RandomBytes produces a reproducible
 /// stream derived from `seed` (tests use this to pin nonces). Pass `enabled =
 /// false` to restore entropy-backed behaviour.

@@ -6,6 +6,7 @@ namespace sesemi::fnpacker {
 
 FnPackerRouter::FnPackerRouter(FnPoolSpec spec)
     : spec_(std::move(spec)), endpoints_(spec_.num_endpoints) {
+  models_.reserve(spec_.models.size());
   for (const std::string& m : spec_.models) models_[m] = ModelState{};
 }
 
@@ -102,6 +103,7 @@ EndpointState FnPackerRouter::endpoint_state(int endpoint) const {
 
 OneToOneRouter::OneToOneRouter(std::vector<std::string> models)
     : models_(std::move(models)) {
+  index_.reserve(models_.size());
   for (size_t i = 0; i < models_.size(); ++i) index_[models_[i]] = static_cast<int>(i);
 }
 

@@ -1,9 +1,9 @@
 #ifndef SESEMI_FNPACKER_ROUTER_H_
 #define SESEMI_FNPACKER_ROUTER_H_
 
-#include <map>
 #include <mutex>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "common/clock.h"
@@ -85,7 +85,9 @@ class FnPackerRouter final : public RequestRouter {
  private:
   FnPoolSpec spec_;
   mutable std::mutex mutex_;
-  std::map<std::string, ModelState> models_;
+  // Route() holds the global mutex, so the per-model lookup is on every
+  // request's critical path: hashed lookup, capacity reserved up front.
+  std::unordered_map<std::string, ModelState> models_;
   std::vector<EndpointState> endpoints_;
   RouterStats stats_;
 };
@@ -103,7 +105,7 @@ class OneToOneRouter final : public RequestRouter {
 
  private:
   std::vector<std::string> models_;
-  std::map<std::string, int> index_;
+  std::unordered_map<std::string, int> index_;
 };
 
 /// Baseline: a single endpoint serves every model (maximal sharing; endless

@@ -13,11 +13,20 @@ using model::ModelGraph;
 GraphExecutionPlan::GraphExecutionPlan(const ModelGraph& graph) {
   offsets_.reserve(graph.layers.size());
   uint64_t cursor = 0;
+  uint64_t scratch = 0;
   for (const Layer& layer : graph.layers) {
     offsets_.push_back(cursor);
     cursor += layer.output_shape.elements();
+    if (layer.kind == LayerKind::kConv2d && !layer.inputs.empty()) {
+      const model::TensorShape& in_shape =
+          graph.layers[layer.inputs[0]].output_shape;
+      scratch = std::max<uint64_t>(
+          scratch,
+          ops::Conv2dScratchElements(in_shape, layer.kernel, layer.stride));
+    }
   }
   total_elements_ = cursor;
+  scratch_elements_ = scratch;
 }
 
 Result<Bytes> GraphExecutionPlan::Execute(const ModelGraph& graph,
@@ -32,6 +41,9 @@ Result<Bytes> GraphExecutionPlan::Execute(const ModelGraph& graph,
         "input size mismatch: want " + std::to_string(input_elements * sizeof(float)) +
         " bytes, got " + std::to_string(input.size()));
   }
+
+  // The shared conv scratch region sits after the last activation slot.
+  float* scratch = arena + total_elements_;
 
   for (size_t i = 0; i < graph.layers.size(); ++i) {
     const Layer& layer = graph.layers[i];
@@ -50,7 +62,7 @@ Result<Bytes> GraphExecutionPlan::Execute(const ModelGraph& graph,
         break;
       case LayerKind::kConv2d:
         ops::Conv2d(in_ptr(0), in_shape(0), w, layer.kernel, layer.stride,
-                    layer.out_channels, out);
+                    layer.out_channels, out, scratch);
         break;
       case LayerKind::kDepthwiseConv2d:
         ops::DepthwiseConv2d(in_ptr(0), in_shape(0), w, layer.kernel, layer.stride,

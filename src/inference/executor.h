@@ -10,7 +10,10 @@ namespace sesemi::inference {
 
 /// Precomputed execution plan for a model graph: one arena slot per layer,
 /// laid out back-to-back (DenseNet-style concat topologies keep many
-/// activations live, so per-layer slots are the simple correct choice).
+/// activations live, so per-layer slots are the simple correct choice),
+/// followed by one shared scratch region sized for the largest im2col row
+/// tile any convolution needs — so the GEMM fast path never allocates
+/// per-op at execution time.
 ///
 /// Both frameworks execute through this plan; they differ in where the
 /// weights live (µTFLM reads them in place from the loaded model, µTVM from
@@ -20,9 +23,12 @@ class GraphExecutionPlan {
   /// Builds offsets for `graph`. The graph must already be validated.
   explicit GraphExecutionPlan(const model::ModelGraph& graph);
 
-  /// Total floats of arena required.
-  uint64_t arena_elements() const { return total_elements_; }
-  uint64_t arena_bytes() const { return total_elements_ * sizeof(float); }
+  /// Total floats of arena required (activation slots + conv scratch).
+  uint64_t arena_elements() const { return total_elements_ + scratch_elements_; }
+  uint64_t arena_bytes() const { return arena_elements() * sizeof(float); }
+
+  /// Floats of the trailing scratch region inside the arena.
+  uint64_t scratch_elements() const { return scratch_elements_; }
 
   /// Run the graph. `weights` must hold graph.weights.size() floats; `input`
   /// is raw float32 of the input shape; `arena` must provide arena_elements()
@@ -33,6 +39,7 @@ class GraphExecutionPlan {
  private:
   std::vector<uint64_t> offsets_;
   uint64_t total_elements_;
+  uint64_t scratch_elements_;
 };
 
 }  // namespace sesemi::inference

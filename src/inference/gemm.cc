@@ -1,0 +1,279 @@
+#include "inference/gemm.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/parallel_for.h"
+
+// The SIMD micro-kernels are x86-only (AVX2+FMA, selected at runtime); other
+// architectures build the portable register-blocked kernels alone.
+#if defined(__x86_64__) || defined(__i386__)
+#define SESEMI_GEMM_X86 1
+#include <immintrin.h>
+#endif
+
+namespace sesemi::inference::gemm {
+
+namespace {
+
+// Register-blocked micro-tile: MR rows of A against a 16-wide panel of B.
+// 16 columns = two SIMD accumulator registers per row on AVX2; MR = 6 keeps
+// 12 accumulators + 2 B registers + 1 broadcast inside the 16 ymm registers.
+constexpr int kMaxMr = 6;
+constexpr int kNr = 16;
+
+// Scratch budget for one im2col row tile: 64K floats = 256 KiB, sized to sit
+// in L2 next to the weight panel it multiplies against.
+constexpr size_t kScratchBudgetFloats = 64 * 1024;
+
+// Row-panel grain for the thread pool: multiples of the micro-tile height so
+// chunk edges never split a micro-tile.
+constexpr int64_t kPanelRows = 24;
+
+// Problems smaller than this many multiply-adds run serially; pool dispatch
+// costs about a microsecond and would dominate.
+constexpr int64_t kParallelFlopThreshold = 1 << 16;
+
+#ifdef SESEMI_GEMM_X86
+template <int MR>
+__attribute__((target("avx2,fma"))) void MicroKernelAvx2(
+    const float* a, int lda, const float* b, int n, const float* bias, float* c,
+    int k, int n0) {
+  __m256 acc_lo[MR], acc_hi[MR];
+  const __m256 seed_lo = bias != nullptr ? _mm256_loadu_ps(bias + n0) : _mm256_setzero_ps();
+  const __m256 seed_hi = bias != nullptr ? _mm256_loadu_ps(bias + n0 + 8) : _mm256_setzero_ps();
+  for (int r = 0; r < MR; ++r) {
+    acc_lo[r] = seed_lo;
+    acc_hi[r] = seed_hi;
+  }
+  const float* brow = b + n0;
+  for (int kk = 0; kk < k; ++kk, brow += n) {
+    const __m256 b_lo = _mm256_loadu_ps(brow);
+    const __m256 b_hi = _mm256_loadu_ps(brow + 8);
+    for (int r = 0; r < MR; ++r) {
+      const __m256 av = _mm256_set1_ps(a[static_cast<size_t>(r) * lda + kk]);
+      acc_lo[r] = _mm256_fmadd_ps(av, b_lo, acc_lo[r]);
+      acc_hi[r] = _mm256_fmadd_ps(av, b_hi, acc_hi[r]);
+    }
+  }
+  for (int r = 0; r < MR; ++r) {
+    _mm256_storeu_ps(c + static_cast<size_t>(r) * n + n0, acc_lo[r]);
+    _mm256_storeu_ps(c + static_cast<size_t>(r) * n + n0 + 8, acc_hi[r]);
+  }
+}
+#endif  // SESEMI_GEMM_X86
+
+template <int MR>
+void MicroKernelPortable(const float* a, int lda, const float* b, int n,
+                         const float* bias, float* c, int k, int n0) {
+  float acc[MR][kNr];
+  for (int r = 0; r < MR; ++r) {
+    for (int j = 0; j < kNr; ++j) acc[r][j] = bias != nullptr ? bias[n0 + j] : 0.0f;
+  }
+  const float* brow = b + n0;
+  for (int kk = 0; kk < k; ++kk, brow += n) {
+    for (int r = 0; r < MR; ++r) {
+      const float av = a[static_cast<size_t>(r) * lda + kk];
+      for (int j = 0; j < kNr; ++j) acc[r][j] += av * brow[j];
+    }
+  }
+  for (int r = 0; r < MR; ++r) {
+    std::memcpy(c + static_cast<size_t>(r) * n + n0, acc[r], kNr * sizeof(float));
+  }
+}
+
+// Ragged right/bottom edge: per-row accumulator strip of nr (< 16) columns.
+void EdgeKernel(const float* a, int lda, const float* b, int n, const float* bias,
+                float* c, int k, int n0, int mr, int nr) {
+  for (int r = 0; r < mr; ++r) {
+    float acc[kNr];
+    for (int j = 0; j < nr; ++j) acc[j] = bias != nullptr ? bias[n0 + j] : 0.0f;
+    const float* arow = a + static_cast<size_t>(r) * lda;
+    const float* brow = b + n0;
+    for (int kk = 0; kk < k; ++kk, brow += n) {
+      const float av = arow[kk];
+      for (int j = 0; j < nr; ++j) acc[j] += av * brow[j];
+    }
+    std::memcpy(c + static_cast<size_t>(r) * n + n0, acc, nr * sizeof(float));
+  }
+}
+
+bool HasAvx2Fma() {
+#ifdef SESEMI_GEMM_X86
+  static const bool has = __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+  return has;
+#else
+  return false;
+#endif
+}
+
+#ifdef SESEMI_GEMM_X86
+// M == 1 (Dense): the micro-tile column panels would stride through B once
+// per 16 columns; a row-streaming GEMV touches every weight exactly once in
+// prefetcher-friendly order instead.
+__attribute__((target("avx2,fma"))) void GemvAvx2(const float* a, const float* b,
+                                                  const float* bias, float* c,
+                                                  int n, int k) {
+  if (bias != nullptr) {
+    std::memcpy(c, bias, static_cast<size_t>(n) * sizeof(float));
+  } else {
+    std::memset(c, 0, static_cast<size_t>(n) * sizeof(float));
+  }
+  const int n8 = n - n % 8;
+  const float* brow = b;
+  for (int kk = 0; kk < k; ++kk, brow += n) {
+    const __m256 av = _mm256_set1_ps(a[kk]);
+    for (int j = 0; j < n8; j += 8) {
+      _mm256_storeu_ps(c + j, _mm256_fmadd_ps(av, _mm256_loadu_ps(brow + j),
+                                              _mm256_loadu_ps(c + j)));
+    }
+    for (int j = n8; j < n; ++j) c[j] += a[kk] * brow[j];
+  }
+}
+#endif  // SESEMI_GEMM_X86
+
+void GemvPortable(const float* a, const float* b, const float* bias, float* c,
+                  int n, int k) {
+  for (int j = 0; j < n; ++j) c[j] = bias != nullptr ? bias[j] : 0.0f;
+  const float* brow = b;
+  for (int kk = 0; kk < k; ++kk, brow += n) {
+    const float av = a[kk];
+    for (int j = 0; j < n; ++j) c[j] += av * brow[j];
+  }
+}
+
+using KernelFn = void (*)(const float*, int, const float*, int, const float*,
+                          float*, int, int);
+
+KernelFn FullTileKernel(int mr) {
+  static const KernelFn portable[kMaxMr] = {
+      MicroKernelPortable<1>, MicroKernelPortable<2>, MicroKernelPortable<3>,
+      MicroKernelPortable<4>, MicroKernelPortable<5>, MicroKernelPortable<6>};
+#ifdef SESEMI_GEMM_X86
+  static const KernelFn avx2[kMaxMr] = {
+      MicroKernelAvx2<1>, MicroKernelAvx2<2>, MicroKernelAvx2<3>,
+      MicroKernelAvx2<4>, MicroKernelAvx2<5>, MicroKernelAvx2<6>};
+  if (HasAvx2Fma()) return avx2[mr - 1];
+#endif
+  return portable[mr - 1];
+}
+
+// All rows [m0, m1) of C for every column panel.
+void GemmRows(const float* a, const float* b, const float* bias, float* c, int m0,
+              int m1, int n, int k) {
+  const int n_full = n - n % kNr;
+  for (int m = m0; m < m1; m += kMaxMr) {
+    const int mr = std::min(kMaxMr, m1 - m);
+    const float* arow = a + static_cast<size_t>(m) * k;
+    float* crow = c + static_cast<size_t>(m) * n;
+    KernelFn kernel = FullTileKernel(mr);
+    for (int n0 = 0; n0 < n_full; n0 += kNr) {
+      kernel(arow, k, b, n, bias, crow, k, n0);
+    }
+    if (n_full < n) {
+      EdgeKernel(arow, k, b, n, bias, crow, k, n_full, mr, n - n_full);
+    }
+  }
+}
+
+}  // namespace
+
+void Gemm(const float* a, const float* b, const float* bias, float* c, int m,
+          int n, int k) {
+  if (m <= 0 || n <= 0) return;
+  if (m == 1) {
+#ifdef SESEMI_GEMM_X86
+    if (HasAvx2Fma()) {
+      GemvAvx2(a, b, bias, c, n, k);
+      return;
+    }
+#endif
+    GemvPortable(a, b, bias, c, n, k);
+    return;
+  }
+  const int64_t flops = static_cast<int64_t>(m) * n * k;
+  if (flops < kParallelFlopThreshold) {
+    GemmRows(a, b, bias, c, 0, m, n, k);
+    return;
+  }
+  ParallelFor(0, m, kPanelRows, [&](int64_t r0, int64_t r1) {
+    GemmRows(a, b, bias, c, static_cast<int>(r0), static_cast<int>(r1), n, k);
+  });
+}
+
+void Im2ColRows(const float* in, const TensorShape& in_shape, int kernel,
+                int stride, int out_w, int m0, int m1, float* patch) {
+  const int pad = (kernel - 1) / 2;
+  const int in_c = in_shape.c;
+  const size_t row_floats = static_cast<size_t>(kernel) * in_c;
+  for (int m = m0; m < m1; ++m) {
+    const int oy = m / out_w;
+    const int ox = m % out_w;
+    const int iy0 = oy * stride - pad;
+    const int ix0 = ox * stride - pad;
+    float* dst = patch + static_cast<size_t>(m - m0) * kernel * row_floats;
+    for (int ky = 0; ky < kernel; ++ky, dst += row_floats) {
+      const int iy = iy0 + ky;
+      if (iy < 0 || iy >= in_shape.h) {
+        std::memset(dst, 0, row_floats * sizeof(float));
+        continue;
+      }
+      if (ix0 >= 0 && ix0 + kernel <= in_shape.w) {
+        // Interior: the whole kx window is one contiguous HWC run.
+        std::memcpy(dst,
+                    in + (static_cast<size_t>(iy) * in_shape.w + ix0) * in_c,
+                    row_floats * sizeof(float));
+        continue;
+      }
+      for (int kx = 0; kx < kernel; ++kx) {
+        const int ix = ix0 + kx;
+        float* cell = dst + static_cast<size_t>(kx) * in_c;
+        if (ix < 0 || ix >= in_shape.w) {
+          std::memset(cell, 0, in_c * sizeof(float));
+        } else {
+          std::memcpy(cell,
+                      in + (static_cast<size_t>(iy) * in_shape.w + ix) * in_c,
+                      in_c * sizeof(float));
+        }
+      }
+    }
+  }
+}
+
+size_t Conv2dScratchElements(const TensorShape& in_shape, int kernel, int stride) {
+  if (kernel == 1 && stride == 1) {
+    return 0;  // 1x1 stride-1 convolutions multiply the input in place
+  }
+  const size_t k = static_cast<size_t>(kernel) * kernel * in_shape.c;
+  const size_t out_pixels = static_cast<size_t>(in_shape.h) * in_shape.w;
+  const size_t tile_rows = std::max<size_t>(1, std::min(out_pixels, kScratchBudgetFloats / k));
+  return tile_rows * k;
+}
+
+void Conv2dGemm(const float* in, const TensorShape& in_shape,
+                const float* weights, int kernel, int stride, int out_c,
+                float* out, float* scratch) {
+  const int out_h = (in_shape.h + stride - 1) / stride;
+  const int out_w = (in_shape.w + stride - 1) / stride;
+  const int m = out_h * out_w;
+  const int k = kernel * kernel * in_shape.c;
+  const float* bias = weights + static_cast<size_t>(k) * out_c;
+
+  if (kernel == 1 && stride == 1) {
+    // A 1x1 stride-1 convolution is exactly C = in (M x c) * W (c x out_c).
+    Gemm(in, weights, bias, out, m, out_c, in_shape.c);
+    return;
+  }
+
+  const int tile_rows =
+      static_cast<int>(Conv2dScratchElements(in_shape, kernel, stride) /
+                       static_cast<size_t>(k));
+  for (int m0 = 0; m0 < m; m0 += tile_rows) {
+    const int m1 = std::min(m, m0 + tile_rows);
+    Im2ColRows(in, in_shape, kernel, stride, out_w, m0, m1, scratch);
+    Gemm(scratch, weights, bias, out + static_cast<size_t>(m0) * out_c, m1 - m0,
+         out_c, k);
+  }
+}
+
+}  // namespace sesemi::inference::gemm

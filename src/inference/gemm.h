@@ -1,0 +1,40 @@
+#ifndef SESEMI_INFERENCE_GEMM_H_
+#define SESEMI_INFERENCE_GEMM_H_
+
+#include <cstddef>
+
+#include "model/graph.h"
+
+namespace sesemi::inference::gemm {
+
+using model::TensorShape;
+
+/// C (M x N) = A (M x K, row-major) * B (K x N, row-major), with C[m][n]
+/// seeded from bias[n] (bias == nullptr seeds zero). Register-blocked
+/// micro-kernels with an AVX2+FMA variant selected at runtime; the k loop
+/// runs strictly ascending per output element, so results match the naive
+/// triple loop up to FMA rounding. Outer row panels are spread across the
+/// process thread pool when the problem is large enough to amortize it.
+void Gemm(const float* a, const float* b, const float* bias, float* c, int m,
+          int n, int k);
+
+/// Write the im2col patch rows for output pixels [m0, m1) of a same-padding
+/// convolution: row m holds the kernel*kernel*in_c input window of output
+/// pixel m (out-of-bounds taps zero-filled), matching the w[ky][kx][ic][oc]
+/// weight layout so convolution becomes patch-matrix x weight-matrix.
+void Im2ColRows(const float* in, const TensorShape& in_shape, int kernel,
+                int stride, int out_w, int m0, int m1, float* patch);
+
+/// Elements of scratch Conv2dGemm wants for one im2col row tile of this
+/// layer (bounded by a fixed L2-friendly budget, never smaller than one row).
+size_t Conv2dScratchElements(const TensorShape& in_shape, int kernel, int stride);
+
+/// Same-padding convolution via im2col + blocked GEMM. `scratch` must hold at
+/// least Conv2dScratchElements(in_shape, kernel) floats.
+void Conv2dGemm(const float* in, const TensorShape& in_shape,
+                const float* weights, int kernel, int stride, int out_c,
+                float* out, float* scratch);
+
+}  // namespace sesemi::inference::gemm
+
+#endif  // SESEMI_INFERENCE_GEMM_H_

@@ -2,11 +2,30 @@
 
 #include <algorithm>
 #include <cmath>
+#include <vector>
+
+#include "inference/gemm.h"
 
 namespace sesemi::inference::ops {
 
+size_t Conv2dScratchElements(const TensorShape& in_shape, int kernel, int stride) {
+  return gemm::Conv2dScratchElements(in_shape, kernel, stride);
+}
+
+void Conv2d(const float* in, const TensorShape& in_shape, const float* weights,
+            int kernel, int stride, int out_c, float* out, float* scratch) {
+  gemm::Conv2dGemm(in, in_shape, weights, kernel, stride, out_c, out, scratch);
+}
+
 void Conv2d(const float* in, const TensorShape& in_shape, const float* weights,
             int kernel, int stride, int out_c, float* out) {
+  std::vector<float> scratch(Conv2dScratchElements(in_shape, kernel, stride));
+  Conv2d(in, in_shape, weights, kernel, stride, out_c, out, scratch.data());
+}
+
+void Conv2dNaive(const float* in, const TensorShape& in_shape,
+                 const float* weights, int kernel, int stride, int out_c,
+                 float* out) {
   const int pad = (kernel - 1) / 2;
   const int out_h = (in_shape.h + stride - 1) / stride;
   const int out_w = (in_shape.w + stride - 1) / stride;
@@ -68,6 +87,12 @@ void DepthwiseConv2d(const float* in, const TensorShape& in_shape,
 
 void Dense(const float* in, size_t in_features, const float* weights, int units,
            float* out) {
+  const float* bias = weights + in_features * static_cast<size_t>(units);
+  gemm::Gemm(in, weights, bias, out, 1, units, static_cast<int>(in_features));
+}
+
+void DenseNaive(const float* in, size_t in_features, const float* weights,
+                int units, float* out) {
   const float* bias = weights + in_features * static_cast<size_t>(units);
   for (int u = 0; u < units; ++u) out[u] = bias[u];
   for (size_t i = 0; i < in_features; ++i) {

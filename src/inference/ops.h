@@ -9,20 +9,42 @@ namespace sesemi::inference::ops {
 
 using model::TensorShape;
 
-/// Same-padding 2D convolution, HWC layout.
+/// Same-padding 2D convolution, HWC layout, routed through the im2col +
+/// blocked-GEMM fast path (src/inference/gemm.h).
 /// Weight layout: w[ky][kx][in_c][out_c], followed by out_c biases.
 void Conv2d(const float* in, const TensorShape& in_shape, const float* weights,
             int kernel, int stride, int out_c, float* out);
+
+/// Allocation-free variant for executor use: `scratch` must hold at least
+/// Conv2dScratchElements(in_shape, kernel, stride) floats (the plan's arena
+/// reserves this). The plain overload above allocates its own scratch.
+void Conv2d(const float* in, const TensorShape& in_shape, const float* weights,
+            int kernel, int stride, int out_c, float* out, float* scratch);
+
+/// Scratch floats the fast-path Conv2d needs for this layer shape.
+size_t Conv2dScratchElements(const TensorShape& in_shape, int kernel, int stride);
+
+/// Reference scalar convolution (the seed kernel). Kept as the parity and
+/// benchmark baseline for the GEMM path; not used by the executor.
+void Conv2dNaive(const float* in, const TensorShape& in_shape,
+                 const float* weights, int kernel, int stride, int out_c,
+                 float* out);
 
 /// Same-padding depthwise convolution (channel multiplier 1).
 /// Weight layout: w[ky][kx][c], followed by c biases.
 void DepthwiseConv2d(const float* in, const TensorShape& in_shape,
                      const float* weights, int kernel, int stride, float* out);
 
-/// Fully connected: out[u] = sum_i in[i] * w[i][u] + b[u].
+/// Fully connected: out[u] = sum_i in[i] * w[i][u] + b[u], computed as a
+/// 1 x units GEMM against the w[in][units] weight matrix.
 /// Weight layout: w[in][units], followed by units biases.
 void Dense(const float* in, size_t in_features, const float* weights, int units,
            float* out);
+
+/// Reference scalar fully-connected kernel (the seed kernel, including its
+/// skip-zero-input sparsity shortcut). Parity/benchmark baseline only.
+void DenseNaive(const float* in, size_t in_features, const float* weights,
+                int units, float* out);
 
 void Relu(const float* in, size_t n, float* out);
 

@@ -12,6 +12,7 @@ constexpr char kAadAddReqKey[] = "sesemi-add-req-key";
 
 Bytes Request::Serialize() const {
   ByteWriter w;
+  w.Reserve(1 + 2 * sizeof(uint32_t) + caller_id.size() + payload.size());
   w.WriteUint8(static_cast<uint8_t>(op));
   w.WriteLengthPrefixedString(caller_id);
   w.WriteLengthPrefixed(payload);
@@ -61,13 +62,13 @@ Result<Bytes> SealAddModelKey(ByteSpan identity_key, const std::string& model_id
   ByteWriter w;
   w.WriteLengthPrefixedString(model_id);
   w.WriteLengthPrefixed(model_key);
-  return crypto::GcmSeal(identity_key, ToBytes(kAadAddModelKey), w.bytes());
+  return crypto::GcmSealParts(identity_key, SpanOf(kAadAddModelKey), {}, w.bytes());
 }
 
 Result<std::pair<std::string, Bytes>> OpenAddModelKey(ByteSpan identity_key,
                                                       ByteSpan sealed) {
   SESEMI_ASSIGN_OR_RETURN(Bytes plain,
-                          crypto::GcmOpen(identity_key, ToBytes(kAadAddModelKey), sealed));
+                          crypto::GcmOpenParts(identity_key, SpanOf(kAadAddModelKey), {}, sealed));
   ByteReader r(plain);
   std::string model_id;
   Bytes model_key;
@@ -85,12 +86,12 @@ Result<Bytes> SealGrantAccess(ByteSpan identity_key, const std::string& model_id
   w.WriteLengthPrefixedString(model_id);
   w.WriteLengthPrefixedString(enclave_hex);
   w.WriteLengthPrefixedString(user_id);
-  return crypto::GcmSeal(identity_key, ToBytes(kAadGrantAccess), w.bytes());
+  return crypto::GcmSealParts(identity_key, SpanOf(kAadGrantAccess), {}, w.bytes());
 }
 
 Result<GrantAccessPayload> OpenGrantAccess(ByteSpan identity_key, ByteSpan sealed) {
   SESEMI_ASSIGN_OR_RETURN(Bytes plain,
-                          crypto::GcmOpen(identity_key, ToBytes(kAadGrantAccess), sealed));
+                          crypto::GcmOpenParts(identity_key, SpanOf(kAadGrantAccess), {}, sealed));
   ByteReader r(plain);
   GrantAccessPayload p;
   if (!r.ReadLengthPrefixedString(&p.model_id) ||
@@ -107,12 +108,12 @@ Result<Bytes> SealAddReqKey(ByteSpan identity_key, const std::string& model_id,
   w.WriteLengthPrefixedString(model_id);
   w.WriteLengthPrefixedString(enclave_hex);
   w.WriteLengthPrefixed(request_key);
-  return crypto::GcmSeal(identity_key, ToBytes(kAadAddReqKey), w.bytes());
+  return crypto::GcmSealParts(identity_key, SpanOf(kAadAddReqKey), {}, w.bytes());
 }
 
 Result<AddReqKeyPayload> OpenAddReqKey(ByteSpan identity_key, ByteSpan sealed) {
   SESEMI_ASSIGN_OR_RETURN(Bytes plain,
-                          crypto::GcmOpen(identity_key, ToBytes(kAadAddReqKey), sealed));
+                          crypto::GcmOpenParts(identity_key, SpanOf(kAadAddReqKey), {}, sealed));
   ByteReader r(plain);
   AddReqKeyPayload p;
   if (!r.ReadLengthPrefixedString(&p.model_id) ||

@@ -5,16 +5,17 @@
 namespace sesemi::semirt {
 
 namespace {
-Bytes RequestAad(const std::string& model_id) {
-  return ToBytes("sesemi-request:" + model_id);
-}
-Bytes ResultAad(const std::string& model_id) {
-  return ToBytes("sesemi-result:" + model_id);
-}
+// AAD prefixes are passed as spans alongside the model id, so the request
+// hot path never materializes a "prefix + model_id" buffer per call — the
+// GCM layer hashes the two parts as one logical stream.
+inline ByteSpan RequestAadPrefix() { return SpanOf("sesemi-request:"); }
+inline ByteSpan ResultAadPrefix() { return SpanOf("sesemi-result:"); }
 }  // namespace
 
 Bytes InferenceRequest::Serialize() const {
   ByteWriter w;
+  w.Reserve(3 * sizeof(uint32_t) + user_id.size() + model_id.size() +
+            encrypted_input.size());
   w.WriteLengthPrefixedString(user_id);
   w.WriteLengthPrefixedString(model_id);
   w.WriteLengthPrefixed(encrypted_input);
@@ -34,22 +35,26 @@ Result<InferenceRequest> InferenceRequest::Parse(ByteSpan wire) {
 
 Result<Bytes> EncryptRequestPayload(ByteSpan request_key, const std::string& model_id,
                                     ByteSpan input) {
-  return crypto::GcmSeal(request_key, RequestAad(model_id), input);
+  return crypto::GcmSealParts(request_key, RequestAadPrefix(), SpanOf(model_id),
+                              input);
 }
 
 Result<Bytes> DecryptRequestPayload(ByteSpan request_key, const std::string& model_id,
                                     ByteSpan sealed) {
-  return crypto::GcmOpen(request_key, RequestAad(model_id), sealed);
+  return crypto::GcmOpenParts(request_key, RequestAadPrefix(), SpanOf(model_id),
+                              sealed);
 }
 
 Result<Bytes> EncryptResultPayload(ByteSpan request_key, const std::string& model_id,
                                    ByteSpan output) {
-  return crypto::GcmSeal(request_key, ResultAad(model_id), output);
+  return crypto::GcmSealParts(request_key, ResultAadPrefix(), SpanOf(model_id),
+                              output);
 }
 
 Result<Bytes> DecryptResultPayload(ByteSpan request_key, const std::string& model_id,
                                    ByteSpan sealed) {
-  return crypto::GcmOpen(request_key, ResultAad(model_id), sealed);
+  return crypto::GcmOpenParts(request_key, ResultAadPrefix(), SpanOf(model_id),
+                              sealed);
 }
 
 }  // namespace sesemi::semirt

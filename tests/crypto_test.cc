@@ -370,6 +370,105 @@ INSTANTIATE_TEST_SUITE_P(Sizes, GcmSizeTest,
                          ::testing::Values(0, 1, 15, 16, 17, 31, 32, 33, 255, 256,
                                            1000, 4096, 65537));
 
+// NIST vectors exercising the fused-pipeline edge cases: AAD-only messages
+// (the CTR/GHASH bulk loop never runs), AES-256 with empty input, and a
+// partial final block with AAD (tail path + zero-padded GHASH block).
+
+TEST(GcmTest, NistCavpAadOnly) {
+  // CAVP gcmEncryptExtIV128: PTlen=0, AADlen=128, Taglen=128.
+  Bytes key = HexDecode("77be63708971c4e240d1cb79e8d77feb");
+  Bytes nonce = HexDecode("e0e00f19fed7ba0136a797f3");
+  Bytes aad = HexDecode("7a43ec1d9c0a5a78a0b16533a6213cab");
+  auto gcm = AesGcm::Create(key);
+  ASSERT_TRUE(gcm.ok());
+  auto ct = gcm->Encrypt(nonce, aad, {});
+  ASSERT_TRUE(ct.ok());
+  EXPECT_EQ(HexEncode(*ct), "209fcc8d3675ed938e9c7166709dd946");
+  auto back = gcm->Decrypt(nonce, aad, *ct);
+  ASSERT_TRUE(back.ok());
+  EXPECT_TRUE(back->empty());
+}
+
+TEST(GcmTest, SpecCase13Aes256EmptyEverything) {
+  auto gcm = AesGcm::Create(Bytes(32, 0));
+  ASSERT_TRUE(gcm.ok());
+  auto ct = gcm->Encrypt(Bytes(12, 0), {}, {});
+  ASSERT_TRUE(ct.ok());
+  EXPECT_EQ(HexEncode(*ct), "530f8afbc74536b9a963b4f1c4cb738b");
+}
+
+TEST(GcmTest, SpecCase16Aes256PartialBlockWithAad) {
+  Bytes key = HexDecode(
+      "feffe9928665731c6d6a8f9467308308feffe9928665731c6d6a8f9467308308");
+  Bytes nonce = HexDecode("cafebabefacedbaddecaf888");
+  // 60-byte plaintext: the last block is partial, so both the CTR tail and
+  // the zero-padded GHASH absorption are exercised.
+  Bytes pt = HexDecode(
+      "d9313225f88406e5a55909c5aff5269a86a7a9531534f7da2e4c303d8a318a72"
+      "1c3c0c95956809532fcf0e2449a6b525b16aedf5aa0de657ba637b39");
+  Bytes aad = HexDecode("feedfacedeadbeeffeedfacedeadbeefabaddad2");
+  auto gcm = AesGcm::Create(key);
+  ASSERT_TRUE(gcm.ok());
+  auto ct = gcm->Encrypt(nonce, aad, pt);
+  ASSERT_TRUE(ct.ok());
+  EXPECT_EQ(HexEncode(*ct),
+            "522dc1f099567d07f47f37a32a84427d643a8cdcbfe5c0c97598a2bd2555d1aa"
+            "8cb08e48590dbb3da7b08b1056828838c5f61e6393ba7a0abcc9f662"
+            "76fc6ece0f4e1768cddf8853bb2d551b");
+  auto back = gcm->Decrypt(nonce, aad, *ct);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, pt);
+}
+
+TEST(GcmTest, SplitAadMatchesConcatenatedAad) {
+  // The zero-copy parts API must hash aad_a || aad_b exactly like the
+  // single-span API hashes the concatenation, for every split of a length
+  // that straddles block boundaries.
+  Rng rng(77);
+  Bytes key = rng.NextBytes(16);
+  Bytes nonce = rng.NextBytes(12);
+  Bytes aad = rng.NextBytes(45);
+  Bytes pt = rng.NextBytes(100);
+  auto gcm = AesGcm::Create(key);
+  ASSERT_TRUE(gcm.ok());
+  auto expect = gcm->Encrypt(nonce, aad, pt);
+  ASSERT_TRUE(expect.ok());
+  for (size_t split = 0; split <= aad.size(); ++split) {
+    Bytes out(pt.size() + kGcmTagSize);
+    ByteSpan aad_a(aad.data(), split);
+    ByteSpan aad_b(aad.data() + split, aad.size() - split);
+    ASSERT_TRUE(gcm->EncryptInto(nonce, aad_a, aad_b, pt, out.data()).ok());
+    EXPECT_EQ(out, *expect) << "split " << split;
+    Bytes plain(pt.size());
+    ASSERT_TRUE(gcm->DecryptInto(nonce, aad_a, aad_b, out, plain.data()).ok());
+    EXPECT_EQ(plain, pt);
+  }
+}
+
+TEST(GcmTest, SealPartsInteroperatesWithSeal) {
+  Bytes key(16, 3);
+  Bytes payload = ToBytes("payload bytes");
+  auto sealed = GcmSealParts(key, ToBytes("prefix:"), ToBytes("model-7"), payload);
+  ASSERT_TRUE(sealed.ok());
+  auto opened = GcmOpen(key, ToBytes("prefix:model-7"), *sealed);
+  ASSERT_TRUE(opened.ok());
+  EXPECT_EQ(*opened, payload);
+  EXPECT_FALSE(GcmOpen(key, ToBytes("prefix:model-8"), *sealed).ok());
+}
+
+TEST(GcmTest, DecryptIntoZeroesOutputOnTagMismatch) {
+  Bytes key(16, 4), nonce(12, 5);
+  Bytes pt = ToBytes("super secret plaintext");
+  auto gcm = AesGcm::Create(key);
+  ASSERT_TRUE(gcm.ok());
+  auto ct = gcm->Encrypt(nonce, {}, pt);
+  ASSERT_TRUE(ct.ok());
+  (*ct)[ct->size() - 1] ^= 1;  // corrupt the tag
+  Bytes out(pt.size(), 0xee);
+  EXPECT_FALSE(gcm->DecryptInto(nonce, {}, {}, *ct, out.data()).ok());
+  EXPECT_EQ(out, Bytes(pt.size(), 0));  // never leaks unauthenticated bytes
+}
+
 // ---------------------------------------------------------------- X25519
 // Vectors from RFC 7748 §5.2 and §6.1.
 

@@ -150,6 +150,106 @@ TEST(OpsTest, SoftmaxStableForLargeLogits) {
   EXPECT_NEAR(out[0] + out[1] + out[2], 1.0f, 1e-6);
 }
 
+// ------------------------------------------------- GEMM fast-path parity
+// The im2col + blocked-GEMM kernels must reproduce the naive reference
+// loops. Shapes sweep strides, kernel sizes, channel counts around the
+// 16-wide/6-tall micro-tile edges, and non-multiples of both.
+
+// Worst elementwise error, scaled: |a-b| / (1 + |a|), i.e. absolute for
+// small magnitudes and relative for large ones (FMA in the GEMM kernels
+// rounds differently from the naive mul+add chain).
+float MaxScaledDiff(const std::vector<float>& a, const std::vector<float>& b) {
+  float worst = 0.0f;
+  for (size_t i = 0; i < a.size(); ++i) {
+    worst = std::max(worst, std::abs(a[i] - b[i]) / (1.0f + std::abs(a[i])));
+  }
+  return worst;
+}
+
+std::vector<float> RandomVec(size_t n, uint32_t seed) {
+  std::vector<float> v(n);
+  uint32_t state = seed * 2654435761u + 1;
+  for (size_t i = 0; i < n; ++i) {
+    state = state * 1664525u + 1013904223u;
+    v[i] = static_cast<float>(static_cast<int32_t>(state >> 8) % 2001 - 1000) / 500.0f;
+  }
+  return v;
+}
+
+struct ConvCase {
+  int h, w, c, kernel, stride, out_c;
+};
+
+class ConvParityTest : public ::testing::TestWithParam<ConvCase> {};
+
+TEST_P(ConvParityTest, GemmMatchesNaive) {
+  const ConvCase p = GetParam();
+  TensorShape shape{p.h, p.w, p.c};
+  const size_t w_count =
+      static_cast<size_t>(p.kernel) * p.kernel * p.c * p.out_c + p.out_c;
+  std::vector<float> in = RandomVec(shape.elements(), 11);
+  std::vector<float> weights = RandomVec(w_count, 22);
+  const int out_h = (p.h + p.stride - 1) / p.stride;
+  const int out_w = (p.w + p.stride - 1) / p.stride;
+  const size_t out_n = static_cast<size_t>(out_h) * out_w * p.out_c;
+
+  std::vector<float> expect(out_n), got(out_n);
+  ops::Conv2dNaive(in.data(), shape, weights.data(), p.kernel, p.stride, p.out_c,
+                   expect.data());
+  ops::Conv2d(in.data(), shape, weights.data(), p.kernel, p.stride, p.out_c,
+              got.data());
+  EXPECT_LE(MaxScaledDiff(expect, got), 1e-5f)
+      << p.h << "x" << p.w << "x" << p.c << " k" << p.kernel << " s" << p.stride
+      << " oc" << p.out_c;
+
+  // The scratch-supplied overload (executor path) must agree too.
+  std::vector<float> scratch(
+      ops::Conv2dScratchElements(shape, p.kernel, p.stride));
+  std::vector<float> got2(out_n);
+  ops::Conv2d(in.data(), shape, weights.data(), p.kernel, p.stride, p.out_c,
+              got2.data(), scratch.data());
+  EXPECT_EQ(got, got2);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, ConvParityTest,
+    ::testing::Values(ConvCase{8, 8, 3, 3, 1, 8}, ConvCase{16, 16, 16, 3, 1, 32},
+                      ConvCase{16, 16, 8, 3, 2, 16}, ConvCase{7, 9, 5, 3, 1, 17},
+                      ConvCase{12, 12, 32, 1, 1, 16}, ConvCase{13, 13, 6, 1, 2, 7},
+                      ConvCase{5, 5, 2, 5, 1, 3}, ConvCase{32, 32, 4, 3, 1, 6},
+                      ConvCase{1, 1, 16, 3, 1, 16}, ConvCase{16, 16, 3, 3, 1, 1}));
+
+TEST(GemmParityTest, DenseMatchesNaiveAcrossSizes) {
+  const struct {
+    size_t in_features;
+    int units;
+  } cases[] = {{1, 1},   {7, 5},    {16, 16},  {100, 10},
+               {256, 64}, {300, 33}, {513, 17}, {64, 1000}};
+  for (const auto& c : cases) {
+    std::vector<float> in = RandomVec(c.in_features, 5);
+    std::vector<float> weights =
+        RandomVec(c.in_features * static_cast<size_t>(c.units) + c.units, 6);
+    // Sprinkle zeros so the naive kernel's skip-zero shortcut is exercised.
+    for (size_t i = 0; i < in.size(); i += 3) in[i] = 0.0f;
+    std::vector<float> expect(c.units), got(c.units);
+    ops::DenseNaive(in.data(), c.in_features, weights.data(), c.units,
+                    expect.data());
+    ops::Dense(in.data(), c.in_features, weights.data(), c.units, got.data());
+    EXPECT_LE(MaxScaledDiff(expect, got), 1e-5f)
+        << c.in_features << " -> " << c.units;
+  }
+}
+
+TEST(GemmParityTest, ExecutorArenaIncludesScratch) {
+  // The plan's arena must be at least activations + the largest conv
+  // scratch; a model with a 3x3 conv therefore reports a nonzero region.
+  auto graph = model::BuildModel(SmallSpec(Architecture::kRsNet));
+  ASSERT_TRUE(graph.ok());
+  GraphExecutionPlan plan(*graph);
+  EXPECT_GT(plan.scratch_elements(), 0u);
+  EXPECT_GE(plan.arena_elements(), plan.scratch_elements());
+}
+
 // ---------------------------------------------------------------- frameworks
 
 class FrameworkTest
