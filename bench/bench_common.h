@@ -18,6 +18,16 @@
 
 namespace sesemi::bench {
 
+/// \file
+/// Shared harness for the bench_fig*/bench_table* drivers (one binary per
+/// paper artifact — the figure/table map lives in docs/BENCHMARKS.md).
+/// Two measurement modes coexist:
+///  - *live*  — LiveRig below: real requests through real (simulated-SGX)
+///    enclaves, timed in microseconds;
+///  - *calibrated* — the sim/ cluster simulator replaying the same policies
+///    against sim::CostModel::PaperSgx1/PaperSgx2, for curves that need a
+///    12-core SGX cluster the CI runner does not have.
+
 /// The six (framework, architecture) combos every micro artifact sweeps.
 struct Combo {
   inference::FrameworkKind framework;
@@ -49,10 +59,18 @@ inline void PrintSection(const std::string& title) {
 
 /// A live end-to-end rig for measured (as opposed to calibrated) numbers:
 /// KeyService + storage + one owner + one user + scaled-down models, all on
-/// one simulated SGX2 platform.
+/// one simulated SGX2 platform. Construction performs the full deployment
+/// preamble (KeyService launch, owner/user registration); DeployModel and
+/// Authorize then set up one (model, enclave-identity) pair each.
 class LiveRig {
  public:
-  /// `scale` controls synthetic model size (fraction of the paper's sizes).
+  /// Harness knobs:
+  ///  - `scale`: fraction of the paper's model sizes used when synthesizing
+  ///    zoo models. Scaling shrinks channel counts, not graph depth, so
+  ///    stage *ratios* stay representative while a full figure sweep runs in
+  ///    seconds (figure drivers use 0.002–0.01).
+  ///  - `input_hw`: synthetic input height/width; with `scale` this sets
+  ///    both request payload size (crypto cost) and conv FLOPs (exec cost).
   explicit LiveRig(double scale = 0.01, int input_hw = 16)
       : scale_(scale), input_hw_(input_hw) {
     keyservice_ = std::move(*keyservice::StartKeyService(&platform_));

@@ -134,6 +134,45 @@ void BM_Conv2dNaive(benchmark::State& state) {
 }
 BENCHMARK(BM_Conv2dNaive)->Args({32, 64, 64})->Args({16, 32, 64})->Args({64, 16, 16});
 
+struct DepthwiseSetup {
+  model::TensorShape shape;
+  static constexpr int kernel = 3;
+  static constexpr int stride = 1;
+  std::vector<float> in, weights, out;
+  double flops = 0;
+
+  explicit DepthwiseSetup(int hw, int c) : shape{hw, hw, c} {
+    in = BenchVec(shape.elements());
+    weights = BenchVec(static_cast<size_t>(kernel) * kernel * c + c);
+    out.resize(shape.elements());
+    flops = 2.0 * hw * hw * kernel * kernel * c;
+  }
+};
+
+void BM_DepthwiseConv2d(benchmark::State& state) {
+  DepthwiseSetup s(static_cast<int>(state.range(0)), static_cast<int>(state.range(1)));
+  for (auto _ : state) {
+    inference::ops::DepthwiseConv2d(s.in.data(), s.shape, s.weights.data(),
+                                    s.kernel, s.stride, s.out.data());
+    benchmark::DoNotOptimize(s.out.data());
+  }
+  state.counters["FLOPS"] = benchmark::Counter(
+      s.flops * static_cast<double>(state.iterations()), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_DepthwiseConv2d)->Args({64, 64})->Args({32, 256});
+
+void BM_DepthwiseConv2dNaive(benchmark::State& state) {
+  DepthwiseSetup s(static_cast<int>(state.range(0)), static_cast<int>(state.range(1)));
+  for (auto _ : state) {
+    inference::ops::DepthwiseConv2dNaive(s.in.data(), s.shape, s.weights.data(),
+                                         s.kernel, s.stride, s.out.data());
+    benchmark::DoNotOptimize(s.out.data());
+  }
+  state.counters["FLOPS"] = benchmark::Counter(
+      s.flops * static_cast<double>(state.iterations()), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_DepthwiseConv2dNaive)->Args({64, 64})->Args({32, 256});
+
 void BM_Dense(benchmark::State& state) {
   const size_t in_features = static_cast<size_t>(state.range(0));
   const int units = static_cast<int>(state.range(1));

@@ -1,22 +1,28 @@
 #include "fnpacker/router.h"
 
 #include <algorithm>
+#include <mutex>
 
 namespace sesemi::fnpacker {
 
 FnPackerRouter::FnPackerRouter(FnPoolSpec spec)
     : spec_(std::move(spec)), endpoints_(spec_.num_endpoints) {
   models_.reserve(spec_.models.size());
-  for (const std::string& m : spec_.models) models_[m] = ModelState{};
+  for (const std::string& m : spec_.models) {
+    models_.emplace(m, std::make_unique<ModelState>());
+  }
 }
 
 Result<int> FnPackerRouter::Route(const std::string& model_id, TimeMicros now) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  // Lock-free lookup: the key set is an immutable snapshot taken at
+  // construction, so find() races only with other readers.
   auto it = models_.find(model_id);
   if (it == models_.end()) {
     return Status::NotFound("model not in Fnpool: " + model_id);
   }
-  ModelState& model = it->second;
+
+  std::unique_lock<std::shared_mutex> lock(mutex_);
+  ModelState& model = *it->second;
 
   int chosen = -1;
   if (model.pending > 0 && model.endpoint >= 0) {
@@ -76,9 +82,9 @@ Result<int> FnPackerRouter::Route(const std::string& model_id, TimeMicros now) {
 void FnPackerRouter::OnComplete(const std::string& model_id, int endpoint,
                                 TimeMicros now) {
   (void)now;
-  std::lock_guard<std::mutex> lock(mutex_);
-  auto it = models_.find(model_id);
-  if (it != models_.end() && it->second.pending > 0) it->second.pending--;
+  auto it = models_.find(model_id);  // lock-free (immutable key set)
+  std::unique_lock<std::shared_mutex> lock(mutex_);
+  if (it != models_.end() && it->second->pending > 0) it->second->pending--;
   if (endpoint >= 0 && endpoint < static_cast<int>(endpoints_.size()) &&
       endpoints_[endpoint].pending > 0) {
     endpoints_[endpoint].pending--;
@@ -86,18 +92,18 @@ void FnPackerRouter::OnComplete(const std::string& model_id, int endpoint,
 }
 
 RouterStats FnPackerRouter::stats() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::shared_lock<std::shared_mutex> lock(mutex_);
   return stats_;
 }
 
 ModelState FnPackerRouter::model_state(const std::string& model_id) const {
-  std::lock_guard<std::mutex> lock(mutex_);
   auto it = models_.find(model_id);
-  return it == models_.end() ? ModelState{} : it->second;
+  std::shared_lock<std::shared_mutex> lock(mutex_);
+  return it == models_.end() ? ModelState{} : *it->second;
 }
 
 EndpointState FnPackerRouter::endpoint_state(int endpoint) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::shared_lock<std::shared_mutex> lock(mutex_);
   return endpoints_.at(endpoint);
 }
 

@@ -1,7 +1,8 @@
 #ifndef SESEMI_FNPACKER_ROUTER_H_
 #define SESEMI_FNPACKER_ROUTER_H_
 
-#include <mutex>
+#include <memory>
+#include <shared_mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -37,6 +38,10 @@ struct RouterStats {
 /// Abstract request router: decides which function endpoint serves a request.
 /// Pure policy — shared verbatim between the live platform and the
 /// discrete-event simulator.
+///
+/// \threadsafety Implementations must allow Route and OnComplete to be called
+/// concurrently from many request threads (the live platform drives them from
+/// the fork-join pool).
 class RequestRouter {
  public:
   virtual ~RequestRouter() = default;
@@ -68,6 +73,18 @@ struct FnPoolSpec {
 /// idle past the timeout. Hot models therefore keep private endpoints while
 /// cold models share, which is exactly what cuts cold starts under
 /// infrequent multi-model traffic (Tables III & IV).
+///
+/// \par Concurrency design
+/// The model table is an RCU-style immutable snapshot: the set of keys is
+/// fixed at construction (Route never inserts), so the per-request hash
+/// lookup runs with no lock at all — concurrent lookups race only against
+/// other readers. Only the routing *decision* — which mutates pending
+/// counters and exclusivity marks and must observe a consistent endpoint
+/// view — serializes, on a writer lock held for a few dozen instructions.
+/// Inspection (stats, state accessors) takes the shared side, so monitors
+/// never stall the request path.
+///
+/// \threadsafety All methods are safe to call concurrently.
 class FnPackerRouter final : public RequestRouter {
  public:
   explicit FnPackerRouter(FnPoolSpec spec);
@@ -84,16 +101,23 @@ class FnPackerRouter final : public RequestRouter {
 
  private:
   FnPoolSpec spec_;
-  mutable std::mutex mutex_;
-  // Route() holds the global mutex, so the per-model lookup is on every
-  // request's critical path: hashed lookup, capacity reserved up front.
-  std::unordered_map<std::string, ModelState> models_;
-  std::vector<EndpointState> endpoints_;
-  RouterStats stats_;
+
+  /// Key set frozen at construction; values are mutable slots guarded by
+  /// `mutex_`. Lookups (find) touch only the immutable table structure and
+  /// therefore run lock-free.
+  std::unordered_map<std::string, std::unique_ptr<ModelState>> models_;
+
+  /// Writer side: Route / OnComplete (mutate counters); reader side: stats
+  /// and state inspection.
+  mutable std::shared_mutex mutex_;
+  std::vector<EndpointState> endpoints_;  ///< guarded by mutex_
+  RouterStats stats_;                     ///< guarded by mutex_
 };
 
 /// Baseline: one endpoint per model (no sharing; every cold model cold-starts
 /// its own sandbox).
+///
+/// \threadsafety Immutable after construction; all methods safe concurrently.
 class OneToOneRouter final : public RequestRouter {
  public:
   explicit OneToOneRouter(std::vector<std::string> models);
@@ -110,6 +134,8 @@ class OneToOneRouter final : public RequestRouter {
 
 /// Baseline: a single endpoint serves every model (maximal sharing; endless
 /// model switching under interleaved traffic — Figure 7).
+///
+/// \threadsafety Stateless; all methods safe concurrently.
 class AllInOneRouter final : public RequestRouter {
  public:
   Result<int> Route(const std::string& model_id, TimeMicros now) override;

@@ -176,7 +176,118 @@ void GemmRows(const float* a, const float* b, const float* bias, float* c, int m
   }
 }
 
+#ifdef SESEMI_GEMM_X86
+// Depthwise row panel, AVX2: per output pixel, channel strips of 8 keep the
+// accumulator in a register across every (ky,kx) tap — each tap is then a
+// single fused multiply-add over the contiguous HWC channel run.
+__attribute__((target("avx2,fma"))) void DepthwiseRowsAvx2(
+    const float* in, const TensorShape& in_shape, const float* w,
+    const float* bias, int kernel, int stride, int out_w, int oy0, int oy1,
+    float* out) {
+  const int pad = (kernel - 1) / 2;
+  const int c = in_shape.c;
+  const int c8 = c - c % 8;
+  for (int oy = oy0; oy < oy1; ++oy) {
+    for (int ox = 0; ox < out_w; ++ox) {
+      float* out_px = out + (static_cast<size_t>(oy) * out_w + ox) * c;
+      const int iy0 = oy * stride - pad;
+      const int ix0 = ox * stride - pad;
+      int ch = 0;
+      for (; ch < c8; ch += 8) {
+        __m256 acc = _mm256_loadu_ps(bias + ch);
+        for (int ky = 0; ky < kernel; ++ky) {
+          const int iy = iy0 + ky;
+          if (iy < 0 || iy >= in_shape.h) continue;
+          for (int kx = 0; kx < kernel; ++kx) {
+            const int ix = ix0 + kx;
+            if (ix < 0 || ix >= in_shape.w) continue;
+            const float* in_px =
+                in + (static_cast<size_t>(iy) * in_shape.w + ix) * c + ch;
+            const float* w_px =
+                w + (static_cast<size_t>(ky) * kernel + kx) * c + ch;
+            acc = _mm256_fmadd_ps(_mm256_loadu_ps(in_px), _mm256_loadu_ps(w_px),
+                                  acc);
+          }
+        }
+        _mm256_storeu_ps(out_px + ch, acc);
+      }
+      for (; ch < c; ++ch) {
+        float acc = bias[ch];
+        for (int ky = 0; ky < kernel; ++ky) {
+          const int iy = iy0 + ky;
+          if (iy < 0 || iy >= in_shape.h) continue;
+          for (int kx = 0; kx < kernel; ++kx) {
+            const int ix = ix0 + kx;
+            if (ix < 0 || ix >= in_shape.w) continue;
+            acc += in[(static_cast<size_t>(iy) * in_shape.w + ix) * c + ch] *
+                   w[(static_cast<size_t>(ky) * kernel + kx) * c + ch];
+          }
+        }
+        out_px[ch] = acc;
+      }
+    }
+  }
+}
+#endif  // SESEMI_GEMM_X86
+
+// Portable depthwise row panel: same tap order, plain channel loop the
+// compiler auto-vectorizes at -O3.
+void DepthwiseRowsPortable(const float* in, const TensorShape& in_shape,
+                           const float* w, const float* bias, int kernel,
+                           int stride, int out_w, int oy0, int oy1, float* out) {
+  const int pad = (kernel - 1) / 2;
+  const int c = in_shape.c;
+  for (int oy = oy0; oy < oy1; ++oy) {
+    for (int ox = 0; ox < out_w; ++ox) {
+      float* out_px = out + (static_cast<size_t>(oy) * out_w + ox) * c;
+      for (int ch = 0; ch < c; ++ch) out_px[ch] = bias[ch];
+      for (int ky = 0; ky < kernel; ++ky) {
+        const int iy = oy * stride + ky - pad;
+        if (iy < 0 || iy >= in_shape.h) continue;
+        for (int kx = 0; kx < kernel; ++kx) {
+          const int ix = ox * stride + kx - pad;
+          if (ix < 0 || ix >= in_shape.w) continue;
+          const float* in_px =
+              in + (static_cast<size_t>(iy) * in_shape.w + ix) * c;
+          const float* w_px = w + (static_cast<size_t>(ky) * kernel + kx) * c;
+          for (int ch = 0; ch < c; ++ch) out_px[ch] += in_px[ch] * w_px[ch];
+        }
+      }
+    }
+  }
+}
+
 }  // namespace
+
+void DepthwiseConv2d(const float* in, const TensorShape& in_shape,
+                     const float* weights, int kernel, int stride, float* out) {
+  const int out_h = (in_shape.h + stride - 1) / stride;
+  const int out_w = (in_shape.w + stride - 1) / stride;
+  const int c = in_shape.c;
+  const float* bias = weights + static_cast<size_t>(kernel) * kernel * c;
+
+  auto rows = [&](int64_t y0, int64_t y1) {
+#ifdef SESEMI_GEMM_X86
+    if (HasAvx2Fma()) {
+      DepthwiseRowsAvx2(in, in_shape, weights, bias, kernel, stride, out_w,
+                        static_cast<int>(y0), static_cast<int>(y1), out);
+      return;
+    }
+#endif
+    DepthwiseRowsPortable(in, in_shape, weights, bias, kernel, stride, out_w,
+                          static_cast<int>(y0), static_cast<int>(y1), out);
+  };
+
+  const int64_t flops_per_row =
+      static_cast<int64_t>(out_w) * kernel * kernel * c;
+  if (static_cast<int64_t>(out_h) * flops_per_row < kParallelFlopThreshold) {
+    rows(0, out_h);
+    return;
+  }
+  const int64_t grain =
+      std::max<int64_t>(1, kParallelFlopThreshold / std::max<int64_t>(1, flops_per_row));
+  ParallelFor(0, out_h, grain, rows);
+}
 
 void Gemm(const float* a, const float* b, const float* bias, float* c, int m,
           int n, int k) {

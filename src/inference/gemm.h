@@ -35,6 +35,17 @@ void Conv2dGemm(const float* in, const TensorShape& in_shape,
                 const float* weights, int kernel, int stride, int out_c,
                 float* out, float* scratch);
 
+/// Same-padding depthwise convolution (channel multiplier 1) on the fast
+/// path: each output row is a panel of per-channel GEMV strips — the channel
+/// dimension is contiguous in HWC, so every (ky,kx) tap is one fused
+/// multiply-add sweep over the channel vector (AVX2+FMA when available,
+/// auto-vectorizable scalar otherwise) — and row panels fan out over the
+/// process fork-join pool exactly like Gemm's row panels. Tap accumulation
+/// order matches the naive kernel, so results agree up to FMA rounding.
+/// Weight layout: w[ky][kx][c], followed by c biases.
+void DepthwiseConv2d(const float* in, const TensorShape& in_shape,
+                     const float* weights, int kernel, int stride, float* out);
+
 }  // namespace sesemi::inference::gemm
 
 #endif  // SESEMI_INFERENCE_GEMM_H_

@@ -59,6 +59,12 @@ void Conv2dNaive(const float* in, const TensorShape& in_shape,
 
 void DepthwiseConv2d(const float* in, const TensorShape& in_shape,
                      const float* weights, int kernel, int stride, float* out) {
+  gemm::DepthwiseConv2d(in, in_shape, weights, kernel, stride, out);
+}
+
+void DepthwiseConv2dNaive(const float* in, const TensorShape& in_shape,
+                          const float* weights, int kernel, int stride,
+                          float* out) {
   const int pad = (kernel - 1) / 2;
   const int out_h = (in_shape.h + stride - 1) / stride;
   const int out_w = (in_shape.w + stride - 1) / stride;

@@ -30,10 +30,18 @@ void Conv2dNaive(const float* in, const TensorShape& in_shape,
                  const float* weights, int kernel, int stride, int out_c,
                  float* out);
 
-/// Same-padding depthwise convolution (channel multiplier 1).
+/// Same-padding depthwise convolution (channel multiplier 1), routed through
+/// the fast path (src/inference/gemm.h): channel-vectorized taps, output row
+/// panels spread over the process fork-join pool.
 /// Weight layout: w[ky][kx][c], followed by c biases.
 void DepthwiseConv2d(const float* in, const TensorShape& in_shape,
                      const float* weights, int kernel, int stride, float* out);
+
+/// Reference scalar depthwise kernel (the seed kernel). Parity/benchmark
+/// baseline for the fast path; not used by the executor.
+void DepthwiseConv2dNaive(const float* in, const TensorShape& in_shape,
+                          const float* weights, int kernel, int stride,
+                          float* out);
 
 /// Fully connected: out[u] = sum_i in[i] * w[i][u] + b[u], computed as a
 /// 1 x units GEMM against the w[in][units] weight matrix.

@@ -1,5 +1,6 @@
 #include "semirt/semirt.h"
 
+#include <bit>
 #include <chrono>
 #include <cmath>
 
@@ -108,7 +109,14 @@ SemirtInstance::SemirtInstance(sgx::SgxPlatform* platform, SemirtOptions options
       storage_(storage),
       keyservice_(keyservice),
       framework_(inference::CreateFramework(options_.framework)),
-      contexts_(options_.num_tcs) {}
+      contexts_(options_.num_tcs),
+      use_slot_bitmap_(options_.num_tcs <= 64) {
+  if (use_slot_bitmap_) {
+    const uint32_t n = options_.num_tcs;
+    free_slot_bits_.store(n >= 64 ? ~0ull : (1ull << n) - 1,
+                          std::memory_order_relaxed);
+  }
+}
 
 SemirtInstance::~SemirtInstance() { ClearExecutionContext(); }
 
@@ -160,8 +168,42 @@ uint64_t SemirtInstance::heap_peak() const {
   return untrusted_heap_peak_.load();
 }
 
+int SemirtInstance::TryAcquireSlotFast() {
+  // seq_cst load: pairs with ReleaseSlot's seq_cst fetch_or + waiter-count
+  // check so a parked waiter's re-try is guaranteed to observe the freed bit
+  // whenever the releaser skipped the notify.
+  uint64_t mask = free_slot_bits_.load(std::memory_order_seq_cst);
+  while (mask != 0) {
+    const int slot = std::countr_zero(mask);
+    if (free_slot_bits_.compare_exchange_weak(mask, mask & ~(1ull << slot),
+                                              std::memory_order_acquire,
+                                              std::memory_order_relaxed)) {
+      return slot;
+    }
+  }
+  return -1;
+}
+
 int SemirtInstance::AcquireSlot() {
-  std::unique_lock<std::mutex> lock(mutex_);
+  if (use_slot_bitmap_) {
+    int slot = TryAcquireSlotFast();
+    if (slot >= 0) return slot;
+    // All slots busy: park. The waiter count and the free-bit mask are both
+    // seq_cst, so either the releaser's load sees our increment (and
+    // notifies under the lock) or our re-try under the lock sees its freed
+    // bit — no lost wakeups, and idle releases skip the lock entirely.
+    std::unique_lock<std::mutex> lock(slot_mutex_);
+    slot_waiters_.fetch_add(1, std::memory_order_seq_cst);
+    for (;;) {
+      slot = TryAcquireSlotFast();
+      if (slot >= 0) {
+        slot_waiters_.fetch_sub(1, std::memory_order_seq_cst);
+        return slot;
+      }
+      slot_cv_.wait(lock);
+    }
+  }
+  std::unique_lock<std::mutex> lock(slot_mutex_);
   for (;;) {
     for (size_t i = 0; i < contexts_.size(); ++i) {
       if (!contexts_[i].busy) {
@@ -174,8 +216,16 @@ int SemirtInstance::AcquireSlot() {
 }
 
 void SemirtInstance::ReleaseSlot(int slot) {
+  if (use_slot_bitmap_) {
+    free_slot_bits_.fetch_or(1ull << slot, std::memory_order_seq_cst);
+    if (slot_waiters_.load(std::memory_order_seq_cst) > 0) {
+      std::lock_guard<std::mutex> lock(slot_mutex_);
+      slot_cv_.notify_one();
+    }
+    return;
+  }
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    std::lock_guard<std::mutex> lock(slot_mutex_);
     contexts_[slot].busy = false;
   }
   slot_cv_.notify_one();

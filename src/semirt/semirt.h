@@ -1,6 +1,7 @@
 #ifndef SESEMI_SEMIRT_SEMIRT_H_
 #define SESEMI_SEMIRT_SEMIRT_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <memory>
 #include <mutex>
@@ -76,8 +77,23 @@ struct SemirtStats {
 /// with a shared decrypted-model cache, a single cached ⟨uid,Moid⟩ key pair,
 /// and per-TCS thread contexts holding model runtimes.
 ///
-/// Thread-safe: HandleRequest may be called from up to `num_tcs` threads
-/// concurrently (more block on TCS acquisition, as on real SGX).
+/// \par Thread-safety contract
+///  - HandleRequest may be called from any number of threads concurrently;
+///    at most `num_tcs` execute inside at once, the rest block on TCS slot
+///    acquisition exactly as on real SGX. Slot acquisition is a lock-free
+///    CAS on a free-slot bitmap when num_tcs <= 64 (a mutex scan otherwise);
+///    waiting uses a condition variable either way.
+///  - A thread holding a slot has exclusive use of that slot's ThreadContext
+///    (its model runtime and activation buffers); the instance mutex guards
+///    only the shared state — loaded-model cache, key cache, statistics —
+///    and is never held across model execution or KeyService round trips.
+///  - Concurrent EnsureKeys / EnsureModel for the same (user, model) may
+///    both do the fetch/load; the second write wins and the duplicate work
+///    is benign (both produce identical state).
+///  - ClearExecutionContext must not race with in-flight HandleRequest calls
+///    (it tears down the runtimes those requests execute on); callers
+///    serialize externally — the platform only invokes it on idle containers.
+///  - stats(), heap_peak(), loaded_model_id() are safe at any time.
 class SemirtInstance {
  public:
   /// Launch the instance: creates the enclave (the expensive part of a cold
@@ -154,6 +170,7 @@ class SemirtInstance {
                        bool* inited);
 
   int AcquireSlot();
+  int TryAcquireSlotFast();
   void ReleaseSlot(int slot);
   void DropRuntimeLocked(ThreadContext* ctx);
   Status ChargeHeap(uint64_t bytes);
@@ -169,8 +186,18 @@ class SemirtInstance {
   std::unique_ptr<inference::InferenceFramework> framework_;
 
   mutable std::mutex mutex_;
-  std::condition_variable slot_cv_;
   std::vector<ThreadContext> contexts_;
+
+  // TCS slot pool. For num_tcs <= 64 acquisition is a CAS on the free-bit
+  // mask (bit i set = slot i free) so the request hot path never takes a
+  // lock; slot_mutex_/slot_cv_ only park threads when every slot is busy.
+  // Larger TCS counts fall back to a scan of ThreadContext::busy under
+  // slot_mutex_.
+  const bool use_slot_bitmap_;
+  std::atomic<uint64_t> free_slot_bits_{0};
+  std::atomic<int> slot_waiters_{0};  ///< parked threads; gates the notify
+  std::mutex slot_mutex_;
+  std::condition_variable slot_cv_;
 
   // Shared (enclave-heap) state: one model, one key pair (Algorithm 2).
   std::shared_ptr<inference::LoadedModel> loaded_model_;

@@ -1,6 +1,7 @@
 #include "serverless/platform.h"
 
 #include <algorithm>
+#include <utility>
 
 namespace sesemi::serverless {
 
@@ -11,6 +12,10 @@ uint64_t RoundUpToGranularity(uint64_t bytes) {
   return (bytes + kMemoryGranularity - 1) / kMemoryGranularity * kMemoryGranularity;
 }
 }  // namespace
+
+ServerlessPlatform::FunctionShard::~FunctionShard() {
+  for (auto& chunk : chunks) delete[] chunk.load(std::memory_order_relaxed);
+}
 
 ServerlessPlatform::ServerlessPlatform(const PlatformConfig& config,
                                        sgx::AttestationAuthority* authority,
@@ -24,146 +29,376 @@ ServerlessPlatform::ServerlessPlatform(const PlatformConfig& config,
   } else {
     clock_ = clock;
   }
-  nodes_.resize(config_.num_nodes);
+  nodes_ = std::vector<Node>(config_.num_nodes);
   for (auto& node : nodes_) {
     node.platform = std::make_unique<sgx::SgxPlatform>(config_.generation, authority);
   }
+  window_limit_ = config_.max_inflight > 0 ? config_.max_inflight
+                                           : 2 * ParallelismDegree();
 }
 
+ServerlessPlatform::~ServerlessPlatform() { async_tasks_.Wait(); }
+
 Status ServerlessPlatform::DeployFunction(const FunctionSpec& spec) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  if (functions_.count(spec.name) > 0) {
-    return Status::AlreadyExists("function already deployed: " + spec.name);
-  }
   FunctionSpec normalized = spec;
   normalized.container_memory_bytes =
       RoundUpToGranularity(spec.container_memory_bytes);
-  functions_[spec.name] = std::move(normalized);
+  std::unique_lock<std::shared_mutex> lock(functions_mutex_);
+  auto [it, inserted] = functions_.try_emplace(spec.name, nullptr);
+  if (!inserted) {
+    return Status::AlreadyExists("function already deployed: " + spec.name);
+  }
+  it->second = std::make_unique<FunctionShard>(std::move(normalized));
+  it->second->free_head.store(PackHead(0, kNilSlot), std::memory_order_relaxed);
   return Status::OK();
 }
 
-Result<ServerlessPlatform::Container*> ServerlessPlatform::AcquireContainer(
-    const std::string& function, const std::string& model_id, bool* cold_start) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  auto fn_it = functions_.find(function);
-  if (fn_it == functions_.end()) {
-    return Status::NotFound("no such function: " + function);
-  }
-  const FunctionSpec& spec = fn_it->second;
+ServerlessPlatform::FunctionShard* ServerlessPlatform::FindShard(
+    const std::string& function) const {
+  std::shared_lock<std::shared_mutex> lock(functions_mutex_);
+  auto it = functions_.find(function);
+  return it == functions_.end() ? nullptr : it->second.get();
+}
 
-  // Warm path: free slot, prefer a container already serving this model.
-  Container* best = nullptr;
-  int best_score = -1;
-  for (auto& c : containers_) {
-    if (c->function != function) continue;
-    if (c->in_flight >= static_cast<int>(spec.options.num_tcs)) continue;
-    int score = 1 + (c->instance->loaded_model_id() == model_id ? 2 : 0);
-    if (score > best_score) {
-      best_score = score;
-      best = c.get();
+ServerlessPlatform::WarmSlot* ServerlessPlatform::SlotAt(const FunctionShard& shard,
+                                                         uint32_t index) const {
+  WarmSlot* chunk = shard.chunks[index / kSlotChunk].load(std::memory_order_acquire);
+  return &chunk[index % kSlotChunk];
+}
+
+// Lock-free pop (warm acquisition). The `next` read may be stale if another
+// thread pops or steals concurrently, but any such interleaving bumps the
+// head tag, so our CAS fails and we retry with fresh state.
+uint32_t ServerlessPlatform::PopWarmSlot(FunctionShard* shard) {
+  uint64_t head = shard->free_head.load(std::memory_order_acquire);
+  for (;;) {
+    const uint32_t index = HeadIndex(head);
+    if (index == kNilSlot) return kNilSlot;
+    const uint32_t next = SlotAt(*shard, index)->next.load(std::memory_order_relaxed);
+    const uint64_t want = PackHead(HeadTag(head) + 1, next);
+    if (shard->free_head.compare_exchange_weak(head, want,
+                                               std::memory_order_acq_rel,
+                                               std::memory_order_acquire)) {
+      return index;
     }
   }
-  if (best != nullptr) {
-    best->in_flight++;
-    *cold_start = false;
-    return best;
-  }
+}
 
-  // Cold start: place on the node with the most free memory (OpenWhisk's
-  // memory-based scheduling), preferring a node that already hosts this
-  // function (co-location).
-  int chosen = -1;
-  for (const auto& c : containers_) {
-    if (c->function == function &&
-        nodes_[c->node].memory_used + spec.container_memory_bytes <=
-            config_.invoker_memory_bytes) {
-      chosen = c->node;
-      break;
+void ServerlessPlatform::PushWarmSlot(FunctionShard* shard, uint32_t index,
+                                      Container* container) {
+  WarmSlot* slot = SlotAt(*shard, index);
+  slot->container.store(container, std::memory_order_relaxed);
+  uint64_t head = shard->free_head.load(std::memory_order_relaxed);
+  for (;;) {
+    slot->next.store(HeadIndex(head), std::memory_order_relaxed);
+    const uint64_t want = PackHead(HeadTag(head) + 1, index);
+    if (shard->free_head.compare_exchange_weak(head, want,
+                                               std::memory_order_acq_rel,
+                                               std::memory_order_relaxed)) {
+      return;
     }
   }
-  if (chosen < 0) {
+}
+
+uint32_t ServerlessPlatform::AllocSlotRecordLocked(FunctionShard* shard) {
+  if (!shard->spare_slots.empty()) {
+    const uint32_t index = shard->spare_slots.back();
+    shard->spare_slots.pop_back();
+    return index;
+  }
+  const uint32_t index = shard->slot_count;
+  if (index >= kSlotChunk * kMaxChunks) return kNilSlot;
+  if (index % kSlotChunk == 0) {
+    shard->chunks[index / kSlotChunk].store(new WarmSlot[kSlotChunk],
+                                            std::memory_order_release);
+  }
+  shard->slot_count++;
+  return index;
+}
+
+bool ServerlessPlatform::TryReserveNodeMemory(int node, uint64_t bytes) {
+  std::atomic<uint64_t>& used = nodes_[node].memory_used;
+  uint64_t current = used.load(std::memory_order_relaxed);
+  for (;;) {
+    if (current + bytes > config_.invoker_memory_bytes) return false;
+    if (used.compare_exchange_weak(current, current + bytes,
+                                   std::memory_order_acq_rel,
+                                   std::memory_order_relaxed)) {
+      return true;
+    }
+  }
+}
+
+int ServerlessPlatform::ChooseAndReserveNode(FunctionShard* shard, uint64_t bytes) {
+  // Co-location preference: try the node that last hosted this function.
+  const int hint = shard->placement_hint.load(std::memory_order_relaxed);
+  if (hint >= 0 && TryReserveNodeMemory(hint, bytes)) return hint;
+
+  // OpenWhisk-style memory-based scheduling: most free memory first. Retry a
+  // few times — a losing CAS means another cold start landed concurrently.
+  for (int attempt = 0; attempt < 4; ++attempt) {
+    int best = -1;
     uint64_t best_free = 0;
     for (size_t i = 0; i < nodes_.size(); ++i) {
-      uint64_t used = nodes_[i].memory_used;
-      uint64_t free =
+      const uint64_t used = nodes_[i].memory_used.load(std::memory_order_relaxed);
+      const uint64_t free =
           config_.invoker_memory_bytes > used ? config_.invoker_memory_bytes - used : 0;
-      if (free >= spec.container_memory_bytes && free > best_free) {
+      if (free >= bytes && free > best_free) {
         best_free = free;
-        chosen = static_cast<int>(i);
+        best = static_cast<int>(i);
       }
     }
+    if (best < 0) return -1;
+    if (TryReserveNodeMemory(best, bytes)) {
+      shard->placement_hint.store(best, std::memory_order_relaxed);
+      return best;
+    }
   }
-  if (chosen < 0) {
-    return Status::ResourceExhausted("no invoker has memory for " + function);
+  return -1;
+}
+
+Result<ServerlessPlatform::Container*> ServerlessPlatform::ColdStart(
+    FunctionShard* shard, uint32_t* slot_index) {
+  const FunctionSpec& spec = shard->spec;
+  const int node = ChooseAndReserveNode(shard, spec.container_memory_bytes);
+  if (node < 0) {
+    return Status::ResourceExhausted("no invoker has memory for " + spec.name);
   }
 
-  auto instance = semirt::SemirtInstance::Create(
-      nodes_[chosen].platform.get(), spec.options, storage_, keyservice_);
-  if (!instance.ok()) return instance.status();
+  // The expensive part — enclave launch — runs outside every platform lock,
+  // so cold starts proceed in parallel with each other and with warm traffic.
+  auto instance = semirt::SemirtInstance::Create(nodes_[node].platform.get(),
+                                                 spec.options, storage_, keyservice_);
+  if (!instance.ok()) {
+    nodes_[node].memory_used.fetch_sub(spec.container_memory_bytes,
+                                       std::memory_order_acq_rel);
+    return instance.status();
+  }
 
   auto container = std::make_unique<Container>();
-  container->function = function;
-  container->node = chosen;
+  container->function = spec.name;
+  container->node = node;
   container->memory_bytes = spec.container_memory_bytes;
   container->instance = std::move(*instance);
-  container->in_flight = 1;
-  container->last_used = clock_->Now();
-  nodes_[chosen].memory_used += container->memory_bytes;
-  containers_.push_back(std::move(container));
-  stats_.cold_starts++;
-  *cold_start = true;
-  return containers_.back().get();
+  container->in_flight.store(1, std::memory_order_relaxed);
+  container->last_used.store(clock_->Now(), std::memory_order_relaxed);
+  Container* raw = container.get();
+
+  const uint32_t num_tcs = std::max<uint32_t>(1, spec.options.num_tcs);
+  std::vector<uint32_t> slots;
+  {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    slots.reserve(num_tcs);
+    for (uint32_t i = 0; i < num_tcs; ++i) {
+      const uint32_t index = AllocSlotRecordLocked(shard);
+      if (index == kNilSlot) break;  // slot directory full; cap concurrency
+      slots.push_back(index);
+    }
+    if (slots.empty()) {
+      nodes_[node].memory_used.fetch_sub(spec.container_memory_bytes,
+                                         std::memory_order_acq_rel);
+      return Status::ResourceExhausted("slot directory exhausted for " + spec.name);
+    }
+    container->num_tokens = static_cast<uint32_t>(slots.size());
+    shard->containers.push_back(std::move(container));
+  }
+
+  // The caller keeps the first token; the rest become warm capacity.
+  *slot_index = slots.front();
+  SlotAt(*shard, *slot_index)->container.store(raw, std::memory_order_relaxed);
+  for (size_t i = 1; i < slots.size(); ++i) PushWarmSlot(shard, slots[i], raw);
+
+  cold_starts_.fetch_add(1, std::memory_order_relaxed);
+  return raw;
 }
 
 Result<Bytes> ServerlessPlatform::Invoke(const std::string& function,
                                          const semirt::InferenceRequest& request,
                                          semirt::StageTimings* timings,
                                          bool* cold_start) {
-  ReapIdleContainers();
+  MaybeReap();
+
+  FunctionShard* shard = FindShard(function);
+  if (shard == nullptr) {
+    return Status::NotFound("no such function: " + function);
+  }
+
   bool cold = false;
-  SESEMI_ASSIGN_OR_RETURN(Container * container,
-                          AcquireContainer(function, request.model_id, &cold));
+  Container* container = nullptr;
+  uint32_t slot_index = PopWarmSlot(shard);
+  if (slot_index != kNilSlot) {
+    container = SlotAt(*shard, slot_index)->container.load(std::memory_order_relaxed);
+    // Model affinity: LIFO already lands on the hottest container, but under
+    // pooled endpoints two warm containers may hold different models. Peek a
+    // bounded number of further tokens for one whose instance has this
+    // request's model loaded; return the rest. This recovers the seed's
+    // prefer-loaded-model scoring without a global scan or lock.
+    if (container->instance->loaded_model_id() != request.model_id) {
+      uint32_t returned[2];
+      Container* returned_owner[2];
+      int returned_count = 0;
+      for (int peek = 0; peek < 2; ++peek) {
+        const uint32_t other_index = PopWarmSlot(shard);
+        if (other_index == kNilSlot) break;
+        Container* other =
+            SlotAt(*shard, other_index)->container.load(std::memory_order_relaxed);
+        if (other->instance->loaded_model_id() == request.model_id) {
+          returned[returned_count] = slot_index;
+          returned_owner[returned_count++] = container;
+          slot_index = other_index;
+          container = other;
+          break;
+        }
+        returned[returned_count] = other_index;
+        returned_owner[returned_count++] = other;
+      }
+      for (int i = returned_count - 1; i >= 0; --i) {
+        PushWarmSlot(shard, returned[i], returned_owner[i]);
+      }
+    }
+    container->in_flight.fetch_add(1, std::memory_order_acq_rel);
+  } else {
+    SESEMI_ASSIGN_OR_RETURN(container, ColdStart(shard, &slot_index));
+    cold = true;
+  }
   if (cold_start != nullptr) *cold_start = cold;
 
   Result<Bytes> result = container->instance->HandleRequest(request, timings);
 
-  std::lock_guard<std::mutex> lock(mutex_);
-  container->in_flight--;
-  container->last_used = clock_->Now();
-  stats_.invocations++;
+  container->last_used.store(clock_->Now(), std::memory_order_relaxed);
+  container->in_flight.fetch_sub(1, std::memory_order_acq_rel);
+  PushWarmSlot(shard, slot_index, container);
+  invocations_.fetch_add(1, std::memory_order_relaxed);
   return result;
 }
 
-int ServerlessPlatform::ReapIdleContainers() {
-  std::lock_guard<std::mutex> lock(mutex_);
+std::future<InvocationResult> ServerlessPlatform::InvokeAsync(
+    const std::string& function, semirt::InferenceRequest request) {
+  // Admission: block until the in-flight window has room (backpressure).
+  {
+    std::unique_lock<std::mutex> lock(window_mutex_);
+    window_cv_.wait(lock, [&] { return window_in_use_ < window_limit_; });
+    window_in_use_++;
+  }
+
+  auto promise = std::make_shared<std::promise<InvocationResult>>();
+  std::future<InvocationResult> future = promise->get_future();
+  async_tasks_.Submit(
+      [this, promise, function, request = std::move(request)]() mutable {
+        InvocationResult out;
+        out.response = Invoke(function, request, &out.timings, &out.cold_start);
+        {
+          std::lock_guard<std::mutex> lock(window_mutex_);
+          window_in_use_--;
+        }
+        window_cv_.notify_one();
+        promise->set_value(std::move(out));
+      });
+  return future;
+}
+
+void ServerlessPlatform::MaybeReap() {
+  // Rate-limit the opportunistic sweep so it never contends with the
+  // lock-free warm path on every request.
+  const TimeMicros interval =
+      std::min<TimeMicros>(config_.keep_alive / 4 + 1, SecondsToMicros(1));
   const TimeMicros now = clock_->Now();
+  TimeMicros last = last_reap_.load(std::memory_order_relaxed);
+  if (now - last < interval) return;
+  if (!last_reap_.compare_exchange_strong(last, now, std::memory_order_acq_rel)) {
+    return;  // another thread took this sweep
+  }
+  ReapIdleContainers();
+}
+
+int ServerlessPlatform::ReapShard(FunctionShard* shard, TimeMicros now) {
+  std::lock_guard<std::mutex> lock(shard->mutex);
+
+  // Steal the whole freelist in one CAS; we then own the chain exclusively
+  // (in-progress pops that loaded the old head fail their CAS on the bumped
+  // tag). Warm acquisitions racing with the sweep see an empty list and may
+  // cold-start spuriously — harmless, and only within the sweep's window.
+  uint64_t head = shard->free_head.load(std::memory_order_acquire);
+  for (;;) {
+    const uint64_t want = PackHead(HeadTag(head) + 1, kNilSlot);
+    if (shard->free_head.compare_exchange_weak(head, want,
+                                               std::memory_order_acq_rel,
+                                               std::memory_order_acquire)) {
+      break;
+    }
+  }
+
+  // Group the stolen tokens by container. A container is reapable only if
+  // every one of its tokens was in the freelist (nothing in flight).
+  std::unordered_map<Container*, std::vector<uint32_t>> tokens;
+  for (uint32_t index = HeadIndex(head); index != kNilSlot;) {
+    WarmSlot* slot = SlotAt(*shard, index);
+    tokens[slot->container.load(std::memory_order_relaxed)].push_back(index);
+    index = slot->next.load(std::memory_order_relaxed);
+  }
+
   int reaped = 0;
-  for (auto it = containers_.begin(); it != containers_.end();) {
+  for (auto it = shard->containers.begin(); it != shard->containers.end();) {
     Container* c = it->get();
-    if (c->in_flight == 0 && now - c->last_used >= config_.keep_alive) {
-      nodes_[c->node].memory_used -=
-          std::min(nodes_[c->node].memory_used, c->memory_bytes);
-      it = containers_.erase(it);
+    auto token_it = tokens.find(c);
+    const size_t free_tokens = token_it == tokens.end() ? 0 : token_it->second.size();
+    const bool idle = free_tokens == c->num_tokens &&
+                      c->in_flight.load(std::memory_order_acquire) == 0;
+    if (idle && now - c->last_used.load(std::memory_order_relaxed) >=
+                    config_.keep_alive) {
+      nodes_[c->node].memory_used.fetch_sub(c->memory_bytes,
+                                            std::memory_order_acq_rel);
+      // Recycle the slot records (tagged head makes the reuse ABA-safe).
+      shard->spare_slots.insert(shard->spare_slots.end(),
+                                token_it->second.begin(), token_it->second.end());
+      tokens.erase(token_it);
+      it = shard->containers.erase(it);
       ++reaped;
     } else {
       ++it;
     }
   }
-  stats_.reaped_containers += reaped;
+
+  // Survivors' tokens go back to the freelist (reverse order keeps the
+  // pre-sweep LIFO preference roughly intact).
+  std::vector<std::pair<uint32_t, Container*>> back;
+  for (auto& [container, indices] : tokens) {
+    for (uint32_t index : indices) back.emplace_back(index, container);
+  }
+  for (auto rit = back.rbegin(); rit != back.rend(); ++rit) {
+    PushWarmSlot(shard, rit->first, rit->second);
+  }
+  return reaped;
+}
+
+int ServerlessPlatform::ReapIdleContainers() {
+  const TimeMicros now = clock_->Now();
+  int reaped = 0;
+  std::shared_lock<std::shared_mutex> lock(functions_mutex_);
+  for (auto& [name, shard] : functions_) {
+    reaped += ReapShard(shard.get(), now);
+  }
+  reaped_containers_.fetch_add(reaped, std::memory_order_relaxed);
   return reaped;
 }
 
 int ServerlessPlatform::ContainerCount(const std::string& function) const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  if (function.empty()) return static_cast<int>(containers_.size());
-  int n = 0;
-  for (const auto& c : containers_) n += (c->function == function);
-  return n;
+  std::shared_lock<std::shared_mutex> lock(functions_mutex_);
+  int count = 0;
+  for (const auto& [name, shard] : functions_) {
+    if (!function.empty() && name != function) continue;
+    std::lock_guard<std::mutex> shard_lock(shard->mutex);
+    count += static_cast<int>(shard->containers.size());
+  }
+  return count;
 }
 
 PlatformStats ServerlessPlatform::stats() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return stats_;
+  PlatformStats stats;
+  stats.invocations = invocations_.load(std::memory_order_relaxed);
+  stats.cold_starts = cold_starts_.load(std::memory_order_relaxed);
+  stats.reaped_containers = reaped_containers_.load(std::memory_order_relaxed);
+  return stats;
 }
 
 }  // namespace sesemi::serverless

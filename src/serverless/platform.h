@@ -1,13 +1,19 @@
 #ifndef SESEMI_SERVERLESS_PLATFORM_H_
 #define SESEMI_SERVERLESS_PLATFORM_H_
 
-#include <map>
+#include <array>
+#include <atomic>
+#include <condition_variable>
+#include <future>
 #include <memory>
 #include <mutex>
+#include <shared_mutex>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "common/clock.h"
+#include "common/parallel_for.h"
 #include "common/result.h"
 #include "fnpacker/router.h"
 #include "keyservice/keyservice.h"
@@ -23,6 +29,10 @@ struct PlatformConfig {
   uint64_t invoker_memory_bytes = 4ull << 30;  ///< per-node sandbox budget
   TimeMicros keep_alive = SecondsToMicros(180);
   sgx::SgxGeneration generation = sgx::SgxGeneration::kSgx2;
+  /// Upper bound on requests admitted into InvokeAsync concurrently (the
+  /// in-flight window). Callers past the window block in InvokeAsync until a
+  /// slot frees — backpressure, not rejection. 0 = 2 x ParallelismDegree().
+  int max_inflight = 0;
 };
 
 /// A deployed function: a name bound to a SeMIRT (or baseline) runtime
@@ -42,13 +52,37 @@ struct PlatformStats {
   int reaped_containers = 0;
 };
 
+/// Everything one asynchronous invocation produces: the sealed response (or
+/// error), the per-stage timings, and whether a container was provisioned.
+struct InvocationResult {
+  Result<Bytes> response = Status::Internal("not executed");
+  semirt::StageTimings timings;
+  bool cold_start = false;
+};
+
 /// A live, in-process serverless platform: invoker nodes with memory-based
 /// placement, warm-container reuse, keep-alive reclamation, and cold starts
 /// that launch SeMIRT sandboxes. This is the execution substrate the
-/// examples and integration tests run on; the discrete-event simulator in
-/// src/sim mirrors its policies at cluster scale.
+/// examples, benchmarks, and integration tests run on; the discrete-event
+/// simulator in src/sim mirrors its policies at cluster scale.
 ///
-/// Thread-safe; Invoke may be called concurrently.
+/// \par Concurrency design
+/// The invocation hot path is sharded so concurrent requests never serialize
+/// behind one global lock:
+///  - the function table is read-mostly (`std::shared_mutex`; deploys are the
+///    only writers, and shards are heap-stable so a reference obtained under
+///    the shared lock stays valid for the platform's lifetime);
+///  - each function shard keeps a lock-free warm-slot freelist (a tagged
+///    Treiber stack of TCS slot tokens) — a warm acquisition is one CAS, and
+///    the LIFO order naturally prefers the most recently used (hottest)
+///    container;
+///  - per-node memory accounting is a CAS reservation on an atomic counter,
+///    and the expensive SemirtInstance launch runs outside every lock, so
+///    cold starts of different functions proceed in parallel;
+///  - a shard mutex serializes only the rare paths: container creation,
+///    reaping, and inspection.
+///
+/// \threadsafety All public methods are safe to call concurrently.
 class ServerlessPlatform {
  public:
   /// `clock` defaults to a process-lifetime RealClock; tests inject a
@@ -59,20 +93,38 @@ class ServerlessPlatform {
                      keyservice::KeyServiceServer* keyservice,
                      Clock* clock = nullptr);
 
+  /// Waits for every outstanding InvokeAsync to complete before tearing the
+  /// platform down.
+  ~ServerlessPlatform();
+
   /// Register a function (the owner's deployment step). Fails on duplicates.
+  /// \threadsafety May race with Invoke/InvokeAsync on other functions.
   Status DeployFunction(const FunctionSpec& spec);
 
   /// Synchronously execute one request on `function`: reuses a warm container
-  /// with a free TCS slot (preferring one already serving the request's
-  /// model) or cold-starts a new one. Sets *cold_start if provisioning
-  /// happened.
+  /// with a free TCS slot (most recently used first) or cold-starts a new
+  /// one. Sets *cold_start if provisioning happened.
+  /// \threadsafety Safe to call from many threads at once; warm acquisitions
+  /// are lock-free.
   Result<Bytes> Invoke(const std::string& function,
                        const semirt::InferenceRequest& request,
                        semirt::StageTimings* timings = nullptr,
                        bool* cold_start = nullptr);
 
+  /// Asynchronously execute one request: admits the request into the bounded
+  /// in-flight window (blocking the caller when the window is full), then
+  /// runs it on the process-wide fork-join pool so the request's crypto and
+  /// GEMM work interleaves with other in-flight requests. On single-threaded
+  /// pools the request executes inline before the future is returned.
+  ///
+  /// The returned future is always satisfied (errors are carried inside
+  /// InvocationResult::response, never thrown).
+  std::future<InvocationResult> InvokeAsync(const std::string& function,
+                                            semirt::InferenceRequest request);
+
   /// Reclaim containers idle longer than the keep-alive window. Called
-  /// opportunistically by Invoke; exposed for tests and maintenance loops.
+  /// opportunistically (and rate-limited) by Invoke; exposed for tests and
+  /// maintenance loops, where it always runs a full sweep.
   int ReapIdleContainers();
 
   /// Number of live containers for `function` ("" = all).
@@ -89,18 +141,80 @@ class ServerlessPlatform {
     int node = 0;
     uint64_t memory_bytes = 0;
     std::unique_ptr<semirt::SemirtInstance> instance;
-    int in_flight = 0;
-    TimeMicros last_used = 0;
+    /// Warm tokens this container contributed (== num_tcs unless the slot
+    /// directory ran out); the reaper's fully-idle test compares against
+    /// this, not num_tcs, so short-tokened containers still get reclaimed.
+    uint32_t num_tokens = 0;
+    std::atomic<int> in_flight{0};
+    std::atomic<TimeMicros> last_used{0};
+  };
+
+  /// One warm TCS slot token. A container contributes `num_tcs` tokens to its
+  /// shard's freelist; holding a popped token is the (lock-free) right to run
+  /// one request on that container. Records are recycled across containers;
+  /// the tagged freelist head makes reuse ABA-safe.
+  struct WarmSlot {
+    std::atomic<Container*> container{nullptr};
+    std::atomic<uint32_t> next{0};
+  };
+
+  static constexpr uint32_t kNilSlot = 0xffffffffu;
+  static constexpr uint32_t kSlotChunk = 64;     ///< slots per storage chunk
+  static constexpr uint32_t kMaxChunks = 1024;   ///< 65536 slots per function
+
+  /// Per-function state. The shard mutex guards only the cold/maintenance
+  /// paths; the warm path touches nothing but `free_head` and slot records.
+  struct FunctionShard {
+    explicit FunctionShard(FunctionSpec s) : spec(std::move(s)) {}
+    ~FunctionShard();
+
+    const FunctionSpec spec;
+
+    /// Lock-free freelist head: {tag:32 | slot index:32}. Every successful
+    /// push/pop/steal bumps the tag, so a popped-and-reused slot can never
+    /// satisfy a stale CAS (ABA).
+    std::atomic<uint64_t> free_head;
+
+    /// Stable slot storage: fixed chunk directory, chunks allocated under
+    /// `mutex`, read lock-free via acquire loads.
+    std::array<std::atomic<WarmSlot*>, kMaxChunks> chunks{};
+
+    /// Placement hint: last node that hosted a container for this function
+    /// (approximates the co-location preference without scanning).
+    std::atomic<int> placement_hint{-1};
+
+    mutable std::mutex mutex;
+    std::vector<std::unique_ptr<Container>> containers;  ///< guarded by mutex
+    std::vector<uint32_t> spare_slots;                   ///< guarded by mutex
+    uint32_t slot_count = 0;                             ///< guarded by mutex
   };
 
   struct Node {
     std::unique_ptr<sgx::SgxPlatform> platform;
-    uint64_t memory_used = 0;
+    std::atomic<uint64_t> memory_used{0};
   };
 
-  Result<Container*> AcquireContainer(const std::string& function,
-                                      const std::string& model_id,
-                                      bool* cold_start);
+  static uint64_t PackHead(uint32_t tag, uint32_t index) {
+    return (static_cast<uint64_t>(tag) << 32) | index;
+  }
+  static uint32_t HeadTag(uint64_t head) { return static_cast<uint32_t>(head >> 32); }
+  static uint32_t HeadIndex(uint64_t head) { return static_cast<uint32_t>(head); }
+
+  WarmSlot* SlotAt(const FunctionShard& shard, uint32_t index) const;
+  uint32_t PopWarmSlot(FunctionShard* shard);
+  void PushWarmSlot(FunctionShard* shard, uint32_t index, Container* container);
+  uint32_t AllocSlotRecordLocked(FunctionShard* shard);  ///< requires shard->mutex
+
+  FunctionShard* FindShard(const std::string& function) const;
+  bool TryReserveNodeMemory(int node, uint64_t bytes);
+  int ChooseAndReserveNode(FunctionShard* shard, uint64_t bytes);
+
+  /// Cold-start a container for `shard`, returning it with one slot token
+  /// (index in *slot_index) already held by the caller.
+  Result<Container*> ColdStart(FunctionShard* shard, uint32_t* slot_index);
+
+  void MaybeReap();
+  int ReapShard(FunctionShard* shard, TimeMicros now);
 
   PlatformConfig config_;
   storage::ObjectStore* storage_;
@@ -108,11 +222,27 @@ class ServerlessPlatform {
   std::unique_ptr<Clock> owned_clock_;
   Clock* clock_;
 
-  mutable std::mutex mutex_;
   std::vector<Node> nodes_;
-  std::map<std::string, FunctionSpec> functions_;
-  std::vector<std::unique_ptr<Container>> containers_;
-  PlatformStats stats_;
+
+  /// Function table: read-shared on every invocation, written only by
+  /// DeployFunction. Shard pointers are stable once inserted.
+  mutable std::shared_mutex functions_mutex_;
+  std::unordered_map<std::string, std::unique_ptr<FunctionShard>> functions_;
+
+  std::atomic<int> invocations_{0};
+  std::atomic<int> cold_starts_{0};
+  std::atomic<int> reaped_containers_{0};
+  std::atomic<TimeMicros> last_reap_{0};
+
+  /// In-flight window (admission control for InvokeAsync).
+  std::mutex window_mutex_;
+  std::condition_variable window_cv_;
+  int window_in_use_ = 0;  ///< guarded by window_mutex_
+  int window_limit_ = 0;
+
+  /// Declared last so outstanding async invocations drain before any other
+  /// member is destroyed.
+  TaskGroup async_tasks_;
 };
 
 }  // namespace sesemi::serverless

@@ -1,5 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <thread>
+#include <vector>
+
 #include "fnpacker/router.h"
 
 namespace sesemi::fnpacker {
@@ -192,6 +196,56 @@ TEST_P(FnPackerInterleaveTest, NeverMixesInFlightModels) {
 
 INSTANTIATE_TEST_SUITE_P(EndpointCounts, FnPackerInterleaveTest,
                          ::testing::Values(2, 3, 4));
+
+/// ThreadSanitizer target: hammers Route/OnComplete and the read-side
+/// accessors from many threads at once. The lock-free model lookup must not
+/// race with the locked decision path, and the counters must balance once
+/// every request completes.
+TEST(FnPackerConcurrencyTest, ParallelRouteAndCompleteStaysConsistent) {
+  const std::vector<std::string> models = {"m0", "m1", "m2", "m3"};
+  FnPackerRouter router(PoolOf(models, 4));
+  constexpr int kThreads = 8;
+  constexpr int kIters = 400;
+
+  std::atomic<int> bad_endpoints{0};
+  std::atomic<int> route_errors{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      const std::string& model = models[t % models.size()];
+      for (int i = 0; i < kIters; ++i) {
+        auto endpoint = router.Route(model, i);
+        if (!endpoint.ok()) {
+          route_errors.fetch_add(1);
+          continue;
+        }
+        if (*endpoint < 0 || *endpoint >= router.num_endpoints()) {
+          bad_endpoints.fetch_add(1);
+        }
+        // Exercise the shared-lock read side concurrently with writers.
+        (void)router.stats();
+        (void)router.model_state(model);
+        (void)router.endpoint_state(*endpoint);
+        router.OnComplete(model, *endpoint, i + 1);
+      }
+      // Unknown models must keep failing cleanly under concurrency too.
+      EXPECT_FALSE(router.Route("missing", 0).ok());
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  EXPECT_EQ(route_errors.load(), 0);
+  EXPECT_EQ(bad_endpoints.load(), 0);
+  RouterStats stats = router.stats();
+  EXPECT_EQ(stats.routed, kThreads * kIters);
+  for (const std::string& m : models) {
+    EXPECT_EQ(router.model_state(m).pending, 0) << m;
+  }
+  for (int e = 0; e < router.num_endpoints(); ++e) {
+    EXPECT_EQ(router.endpoint_state(e).pending, 0) << e;
+  }
+}
 
 }  // namespace
 }  // namespace sesemi::fnpacker

@@ -219,6 +219,33 @@ INSTANTIATE_TEST_SUITE_P(
                       ConvCase{5, 5, 2, 5, 1, 3}, ConvCase{32, 32, 4, 3, 1, 6},
                       ConvCase{1, 1, 16, 3, 1, 16}, ConvCase{16, 16, 3, 3, 1, 1}));
 
+TEST(GemmParityTest, DepthwiseMatchesNaiveAcrossShapes) {
+  const struct {
+    int h, w, c, kernel, stride;
+  } cases[] = {{8, 8, 8, 3, 1},   {16, 16, 32, 3, 1}, {16, 16, 13, 3, 2},
+               {7, 9, 5, 3, 1},   {12, 12, 64, 3, 2}, {5, 5, 3, 5, 1},
+               {1, 1, 16, 3, 1},  {32, 32, 24, 3, 1}, {4, 4, 1, 1, 1},
+               {30, 30, 96, 3, 1}};
+  for (const auto& p : cases) {
+    TensorShape shape{p.h, p.w, p.c};
+    const size_t w_count = static_cast<size_t>(p.kernel) * p.kernel * p.c + p.c;
+    std::vector<float> in = RandomVec(shape.elements(), 31);
+    std::vector<float> weights = RandomVec(w_count, 32);
+    const int out_h = (p.h + p.stride - 1) / p.stride;
+    const int out_w = (p.w + p.stride - 1) / p.stride;
+    const size_t out_n = static_cast<size_t>(out_h) * out_w * p.c;
+
+    std::vector<float> expect(out_n), got(out_n);
+    ops::DepthwiseConv2dNaive(in.data(), shape, weights.data(), p.kernel,
+                              p.stride, expect.data());
+    ops::DepthwiseConv2d(in.data(), shape, weights.data(), p.kernel, p.stride,
+                         got.data());
+    EXPECT_LE(MaxScaledDiff(expect, got), 1e-5f)
+        << p.h << "x" << p.w << "x" << p.c << " k" << p.kernel << " s"
+        << p.stride;
+  }
+}
+
 TEST(GemmParityTest, DenseMatchesNaiveAcrossSizes) {
   const struct {
     size_t in_features;

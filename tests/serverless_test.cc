@@ -1,5 +1,12 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <cmath>
+#include <future>
+#include <map>
+#include <thread>
+#include <vector>
+
 #include "client/clients.h"
 #include "model/zoo.h"
 #include "serverless/platform.h"
@@ -179,6 +186,117 @@ TEST_F(ServerlessTest, FunctionsIsolatedAcrossNodes) {
   ASSERT_TRUE(InvokeOnce("predict-tflm", nullptr, &tflm_es).ok());
   EXPECT_EQ(platform_->ContainerCount("predict"), 1);
   EXPECT_EQ(platform_->ContainerCount("predict-tflm"), 1);
+}
+
+TEST_F(ServerlessTest, ConcurrentInvokeAsyncMatchesSerialExecution) {
+  // Two functions with distinct enclave identities and TCS budgets; requests
+  // for both interleave through InvokeAsync and every response must decrypt
+  // to exactly what a serial Invoke of the same input produces.
+  semirt::SemirtOptions options_a;
+  options_a.num_tcs = 4;
+  DeployAndAuthorize("fn-a", options_a);
+
+  semirt::SemirtOptions options_b;
+  options_b.num_tcs = 2;
+  options_b.framework = inference::FrameworkKind::kTflm;
+  FunctionSpec spec_b;
+  spec_b.name = "fn-b";
+  spec_b.options = options_b;
+  ASSERT_TRUE(platform_->DeployFunction(spec_b).ok());
+  sgx::Measurement es_b = semirt::SemirtInstance::MeasurementFor(options_b);
+  ASSERT_TRUE(owner_->GrantAccess(client_.get(), "m0", es_b, user_->id()).ok());
+  ASSERT_TRUE(user_->ProvisionRequestKey(client_.get(), "m0", es_b).ok());
+  sgx::Measurement es_a = semirt::SemirtInstance::MeasurementFor(options_a);
+
+  struct Case {
+    std::string fn;
+    const sgx::Measurement* es;
+    uint64_t seed;
+  };
+  std::vector<Case> cases;
+  for (uint64_t seed = 1; seed <= 4; ++seed) {
+    cases.push_back({"fn-a", &es_a, seed});
+    cases.push_back({"fn-b", &es_b, seed});
+  }
+
+  // Serial baselines, one per (function, seed).
+  std::map<std::pair<std::string, uint64_t>, std::vector<float>> expected;
+  for (const Case& c : cases) {
+    Bytes input = model::GenerateRandomInput(graph_, c.seed);
+    auto request = user_->BuildRequest("m0", input, c.es);
+    ASSERT_TRUE(request.ok());
+    auto sealed = platform_->Invoke(c.fn, *request);
+    ASSERT_TRUE(sealed.ok()) << sealed.status().ToString();
+    auto output = user_->DecryptResult("m0", *sealed, c.es);
+    ASSERT_TRUE(output.ok());
+    auto parsed = model::ParseOutput(*output);
+    ASSERT_TRUE(parsed.ok());
+    expected[{c.fn, c.seed}] = *parsed;
+  }
+
+  // Stress: several caller threads each fire a burst of InvokeAsync calls
+  // across the mixed cases, then verify plaintext parity per request.
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 12;
+  std::atomic<int> mismatches{0};
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      std::vector<std::pair<const Case*, std::future<InvocationResult>>> inflight;
+      for (int i = 0; i < kPerThread; ++i) {
+        const Case& c = cases[(t * kPerThread + i) % cases.size()];
+        Bytes input = model::GenerateRandomInput(graph_, c.seed);
+        auto request = user_->BuildRequest("m0", input, c.es);
+        if (!request.ok()) {
+          failures.fetch_add(1);
+          continue;
+        }
+        inflight.emplace_back(&c,
+                              platform_->InvokeAsync(c.fn, std::move(*request)));
+      }
+      for (auto& [c, future] : inflight) {
+        InvocationResult result = future.get();
+        if (!result.response.ok()) {
+          failures.fetch_add(1);
+          continue;
+        }
+        auto output = user_->DecryptResult("m0", *result.response, c->es);
+        if (!output.ok()) {
+          failures.fetch_add(1);
+          continue;
+        }
+        auto parsed = model::ParseOutput(*output);
+        if (!parsed.ok()) {
+          failures.fetch_add(1);
+          continue;
+        }
+        std::vector<float> scores = *parsed;
+        const std::vector<float>& want = expected.at({c->fn, c->seed});
+        if (scores.size() != want.size()) {
+          mismatches.fetch_add(1);
+          continue;
+        }
+        for (size_t j = 0; j < scores.size(); ++j) {
+          if (std::abs(scores[j] - want[j]) > 1e-6f) {
+            mismatches.fetch_add(1);
+            break;
+          }
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(mismatches.load(), 0);
+  // Serial baselines + concurrent burst all counted.
+  EXPECT_EQ(platform_->stats().invocations,
+            static_cast<int>(cases.size()) + kThreads * kPerThread);
+  // Warm reuse: at most one container per function beyond what concurrency
+  // forced (each fn-a container carries 4 TCS, fn-b carries 2).
+  EXPECT_GE(platform_->ContainerCount("fn-a"), 1);
+  EXPECT_GE(platform_->ContainerCount("fn-b"), 1);
 }
 
 TEST_F(ServerlessTest, RouterIntegrationFnPackerOverPlatform) {
