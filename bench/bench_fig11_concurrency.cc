@@ -174,6 +174,19 @@ void LiveConcurrencySection() {
         wall_s > 0 ? static_cast<double>(latencies.size()) / wall_s : 0.0,
         PercentileMicros(latencies, 50.0), PercentileMicros(latencies, 99.0));
   }
+  // Scheduler's view of the sweep (the live section now runs through
+  // src/sched): dispatch counts, coalescing, and queue-wait percentiles.
+  const sched::SchedStats sched_stats = platform.scheduler_stats();
+  std::printf(
+      "{\"bench\":\"fig11_sched\",\"policy\":\"%s\",\"dispatched\":%llu,"
+      "\"batches\":%llu,\"avg_batch\":%.2f,\"queue_depth\":%zu,"
+      "\"wait_p50_us\":%lld,\"wait_p99_us\":%lld}\n",
+      sched_stats.policy,
+      static_cast<unsigned long long>(sched_stats.dispatched),
+      static_cast<unsigned long long>(sched_stats.batches),
+      sched_stats.avg_batch_size, sched_stats.queue_depth,
+      static_cast<long long>(sched_stats.wait[1].p50),
+      static_cast<long long>(sched_stats.wait[1].p99));
   std::printf(
       "(shape check: inv_per_s scales with in_flight up to the core count on a\n"
       " multi-core runner; p50 stays near the single-request latency until the\n"

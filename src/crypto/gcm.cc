@@ -292,9 +292,8 @@ Result<Bytes> AesGcm::Decrypt(ByteSpan nonce, ByteSpan aad,
   return plain;
 }
 
-Result<Bytes> GcmSealParts(ByteSpan key, ByteSpan aad_a, ByteSpan aad_b,
-                           ByteSpan plaintext) {
-  SESEMI_ASSIGN_OR_RETURN(AesGcm gcm, AesGcm::Create(key));
+Result<Bytes> GcmSealPartsWith(const AesGcm& gcm, ByteSpan aad_a, ByteSpan aad_b,
+                               ByteSpan plaintext) {
   // One allocation for nonce || ciphertext || tag, written in place.
   Bytes out(kGcmNonceSize + plaintext.size() + kGcmTagSize);
   FillRandomBytes(out.data(), kGcmNonceSize);
@@ -303,17 +302,28 @@ Result<Bytes> GcmSealParts(ByteSpan key, ByteSpan aad_a, ByteSpan aad_b,
   return out;
 }
 
-Result<Bytes> GcmOpenParts(ByteSpan key, ByteSpan aad_a, ByteSpan aad_b,
-                           ByteSpan sealed) {
+Result<Bytes> GcmOpenPartsWith(const AesGcm& gcm, ByteSpan aad_a, ByteSpan aad_b,
+                               ByteSpan sealed) {
   if (sealed.size() < kGcmNonceSize + kGcmTagSize) {
     return Status::Unauthenticated("sealed message too short");
   }
-  SESEMI_ASSIGN_OR_RETURN(AesGcm gcm, AesGcm::Create(key));
   ByteSpan nonce(sealed.data(), kGcmNonceSize);
   ByteSpan ct(sealed.data() + kGcmNonceSize, sealed.size() - kGcmNonceSize);
   Bytes plain(ct.size() - kGcmTagSize);
   SESEMI_RETURN_IF_ERROR(gcm.DecryptInto(nonce, aad_a, aad_b, ct, plain.data()));
   return plain;
+}
+
+Result<Bytes> GcmSealParts(ByteSpan key, ByteSpan aad_a, ByteSpan aad_b,
+                           ByteSpan plaintext) {
+  SESEMI_ASSIGN_OR_RETURN(AesGcm gcm, AesGcm::Create(key));
+  return GcmSealPartsWith(gcm, aad_a, aad_b, plaintext);
+}
+
+Result<Bytes> GcmOpenParts(ByteSpan key, ByteSpan aad_a, ByteSpan aad_b,
+                           ByteSpan sealed) {
+  SESEMI_ASSIGN_OR_RETURN(AesGcm gcm, AesGcm::Create(key));
+  return GcmOpenPartsWith(gcm, aad_a, aad_b, sealed);
 }
 
 Result<Bytes> GcmSeal(ByteSpan key, ByteSpan aad, ByteSpan plaintext) {

@@ -78,6 +78,15 @@ Result<Bytes> GcmOpen(ByteSpan key, ByteSpan aad, ByteSpan sealed);
 /// Single-allocation seal with a two-part AAD (aad_a || aad_b): the output
 /// buffer is sized once and the ciphertext+tag are written in place — no
 /// intermediate Bytes copies, no materialized AAD concatenation.
+/// GcmSealParts / GcmOpenParts over a caller-held cipher: amortizes the AES
+/// key schedule and GHASH table build across many messages under one key
+/// (the scheduler's same-session batches reuse one AesGcm for the whole
+/// batch). Same wire format as the keyed helpers below.
+Result<Bytes> GcmSealPartsWith(const AesGcm& gcm, ByteSpan aad_a, ByteSpan aad_b,
+                               ByteSpan plaintext);
+Result<Bytes> GcmOpenPartsWith(const AesGcm& gcm, ByteSpan aad_a, ByteSpan aad_b,
+                               ByteSpan sealed);
+
 Result<Bytes> GcmSealParts(ByteSpan key, ByteSpan aad_a, ByteSpan aad_b,
                            ByteSpan plaintext);
 

@@ -1,15 +1,50 @@
 #include "fnpacker/router.h"
 
 #include <algorithm>
-#include <mutex>
 
 namespace sesemi::fnpacker {
 
-FnPackerRouter::FnPackerRouter(FnPoolSpec spec)
-    : spec_(std::move(spec)), endpoints_(spec_.num_endpoints) {
+FnPackerRouter::FnPackerRouter(FnPoolSpec spec) : spec_(std::move(spec)) {
+  endpoints_.reserve(spec_.num_endpoints);
+  for (int i = 0; i < spec_.num_endpoints; ++i) {
+    endpoints_.push_back(std::make_unique<EndpointSlot>());
+  }
   models_.reserve(spec_.models.size());
-  for (const std::string& m : spec_.models) {
-    models_.emplace(m, std::make_unique<ModelState>());
+  for (size_t i = 0; i < spec_.models.size(); ++i) {
+    auto slot = std::make_unique<ModelSlot>();
+    slot->index = static_cast<uint32_t>(i);
+    models_.emplace(spec_.models[i], std::move(slot));
+  }
+}
+
+void FnPackerRouter::AddPending(EndpointSlot* endpoint, uint32_t mark_exclusive) {
+  uint64_t word = endpoint->word.load(std::memory_order_relaxed);
+  for (;;) {
+    const uint32_t mark =
+        mark_exclusive == kNoModel ? WordExclusive(word) : mark_exclusive;
+    const uint64_t want = PackWord(mark, WordPending(word) + 1);
+    if (endpoint->word.compare_exchange_weak(word, want,
+                                             std::memory_order_acq_rel,
+                                             std::memory_order_relaxed)) {
+      return;
+    }
+  }
+}
+
+bool FnPackerRouter::TryStickyAddPending(EndpointSlot* endpoint, uint32_t mark) {
+  uint64_t word = endpoint->word.load(std::memory_order_acquire);
+  for (;;) {
+    // Sticky is only valid while the endpoint still has work in flight: if
+    // it drained between the model-state read and here, fall back to a
+    // fresh decision instead of resurrecting (and marking) an idle
+    // endpoint another model may be about to claim.
+    if (WordPending(word) == 0) return false;
+    const uint64_t want = PackWord(mark, WordPending(word) + 1);
+    if (endpoint->word.compare_exchange_weak(word, want,
+                                             std::memory_order_acq_rel,
+                                             std::memory_order_acquire)) {
+      return true;
+    }
   }
 }
 
@@ -20,62 +55,85 @@ Result<int> FnPackerRouter::Route(const std::string& model_id, TimeMicros now) {
   if (it == models_.end()) {
     return Status::NotFound("model not in Fnpool: " + model_id);
   }
+  ModelSlot& model = *it->second;
+  const uint32_t my = model.index;
 
-  std::unique_lock<std::shared_mutex> lock(mutex_);
-  ModelState& model = *it->second;
+  // One CAS claim attempt on endpoint i. The compare-exchange verifies
+  // "pending == 0 and mark compatible" and takes the endpoint in the same
+  // atomic step, so two models can never both see it idle and both claim it.
+  auto try_claim_idle = [&](int i, bool allow_expired) -> bool {
+    EndpointSlot& e = *endpoints_[i];
+    uint64_t word = e.word.load(std::memory_order_acquire);
+    for (;;) {
+      if (WordPending(word) != 0) return false;
+      const uint32_t exclusive = WordExclusive(word);
+      uint64_t want;
+      if (exclusive == kNoModel || exclusive == my) {
+        want = PackWord(exclusive, 1);
+      } else {
+        // Marked for another model: claimable only once the exclusivity has
+        // idled past the timeout ("large interval", §IV-C); the claim clears
+        // the mark.
+        if (!allow_expired) return false;
+        const TimeMicros last = e.last_request.load(std::memory_order_acquire);
+        if (last < 0 || now - last < spec_.exclusive_idle_timeout) return false;
+        want = PackWord(kNoModel, 1);
+      }
+      if (e.word.compare_exchange_weak(word, want, std::memory_order_acq_rel,
+                                       std::memory_order_acquire)) {
+        return true;
+      }
+    }
+  };
 
   int chosen = -1;
-  if (model.pending > 0 && model.endpoint >= 0) {
+  const int sticky = model.endpoint.load(std::memory_order_acquire);
+  if (model.pending.load(std::memory_order_acquire) > 0 && sticky >= 0 &&
+      TryStickyAddPending(endpoints_[sticky].get(), my)) {
     // Sticky: in-flight work pins the model to its endpoint and marks it
     // exclusive, so a busy model never interleaves with others.
-    chosen = model.endpoint;
-    endpoints_[chosen].exclusive_model = model_id;
+    chosen = sticky;
   } else {
-    // Prefer the endpoint already serving this model (loaded state), if free.
-    if (model.endpoint >= 0) {
-      const EndpointState& e = endpoints_[model.endpoint];
-      if (e.pending == 0 &&
-          (e.exclusive_model.empty() || e.exclusive_model == model_id)) {
-        chosen = model.endpoint;
-      }
+    // Prefer the endpoint already serving this model (loaded state), if free
+    // (the preferred probe does not break another model's un-expired mark).
+    if (sticky >= 0 && try_claim_idle(sticky, /*allow_expired=*/false)) {
+      chosen = sticky;
     }
     if (chosen < 0) {
       for (size_t i = 0; i < endpoints_.size(); ++i) {
-        const EndpointState& e = endpoints_[i];
-        const bool unmarked_idle =
-            e.pending == 0 &&
-            (e.exclusive_model.empty() || e.exclusive_model == model_id);
-        const bool expired_exclusive =
-            e.pending == 0 && !e.exclusive_model.empty() &&
-            e.last_request >= 0 &&
-            now - e.last_request >= spec_.exclusive_idle_timeout;
-        if (unmarked_idle || expired_exclusive) {
+        if (try_claim_idle(static_cast<int>(i), /*allow_expired=*/true)) {
           chosen = static_cast<int>(i);
-          if (expired_exclusive) endpoints_[i].exclusive_model.clear();
           break;
         }
       }
     }
     if (chosen < 0) {
-      // Every endpoint busy: fall back to the least-loaded one.
+      // Every endpoint busy: fall back to the least-loaded one (mark kept —
+      // overflow does not grant exclusivity).
       chosen = 0;
+      uint32_t best_pending = WordPending(
+          endpoints_[0]->word.load(std::memory_order_acquire));
       for (size_t i = 1; i < endpoints_.size(); ++i) {
-        if (endpoints_[i].pending < endpoints_[chosen].pending) {
+        const uint32_t pending = WordPending(
+            endpoints_[i]->word.load(std::memory_order_acquire));
+        if (pending < best_pending) {
+          best_pending = pending;
           chosen = static_cast<int>(i);
         }
       }
-      stats_.overflow++;
+      AddPending(endpoints_[chosen].get(), kNoModel);
+      overflow_.fetch_add(1, std::memory_order_relaxed);
     }
   }
 
-  EndpointState& endpoint = endpoints_[chosen];
-  if (model.endpoint != chosen) stats_.model_switches += (model.endpoint >= 0);
-  model.endpoint = chosen;
-  model.pending++;
-  model.last_invocation = now;
-  endpoint.pending++;
-  endpoint.last_request = now;
-  stats_.routed++;
+  const int previous = model.endpoint.exchange(chosen, std::memory_order_acq_rel);
+  if (previous >= 0 && previous != chosen) {
+    model_switches_.fetch_add(1, std::memory_order_relaxed);
+  }
+  model.pending.fetch_add(1, std::memory_order_acq_rel);
+  model.last_invocation.store(now, std::memory_order_relaxed);
+  endpoints_[chosen]->last_request.store(now, std::memory_order_relaxed);
+  routed_.fetch_add(1, std::memory_order_relaxed);
   return chosen;
 }
 
@@ -83,28 +141,57 @@ void FnPackerRouter::OnComplete(const std::string& model_id, int endpoint,
                                 TimeMicros now) {
   (void)now;
   auto it = models_.find(model_id);  // lock-free (immutable key set)
-  std::unique_lock<std::shared_mutex> lock(mutex_);
-  if (it != models_.end() && it->second->pending > 0) it->second->pending--;
-  if (endpoint >= 0 && endpoint < static_cast<int>(endpoints_.size()) &&
-      endpoints_[endpoint].pending > 0) {
-    endpoints_[endpoint].pending--;
+  if (it != models_.end()) {
+    // Floor-zero decrement: a stray completion never drives pending negative.
+    std::atomic<int>& pending = it->second->pending;
+    int current = pending.load(std::memory_order_acquire);
+    while (current > 0 &&
+           !pending.compare_exchange_weak(current, current - 1,
+                                          std::memory_order_acq_rel,
+                                          std::memory_order_acquire)) {
+    }
+  }
+  if (endpoint >= 0 && endpoint < static_cast<int>(endpoints_.size())) {
+    std::atomic<uint64_t>& word_ref = endpoints_[endpoint]->word;
+    uint64_t word = word_ref.load(std::memory_order_acquire);
+    for (;;) {
+      if (WordPending(word) == 0) break;
+      const uint64_t want = PackWord(WordExclusive(word), WordPending(word) - 1);
+      if (word_ref.compare_exchange_weak(word, want, std::memory_order_acq_rel,
+                                         std::memory_order_acquire)) {
+        break;
+      }
+    }
   }
 }
 
 RouterStats FnPackerRouter::stats() const {
-  std::shared_lock<std::shared_mutex> lock(mutex_);
-  return stats_;
+  RouterStats stats;
+  stats.routed = routed_.load(std::memory_order_relaxed);
+  stats.model_switches = model_switches_.load(std::memory_order_relaxed);
+  stats.overflow = overflow_.load(std::memory_order_relaxed);
+  return stats;
 }
 
 ModelState FnPackerRouter::model_state(const std::string& model_id) const {
   auto it = models_.find(model_id);
-  std::shared_lock<std::shared_mutex> lock(mutex_);
-  return it == models_.end() ? ModelState{} : *it->second;
+  if (it == models_.end()) return ModelState{};
+  ModelState state;
+  state.pending = it->second->pending.load(std::memory_order_acquire);
+  state.endpoint = it->second->endpoint.load(std::memory_order_acquire);
+  state.last_invocation = it->second->last_invocation.load(std::memory_order_acquire);
+  return state;
 }
 
 EndpointState FnPackerRouter::endpoint_state(int endpoint) const {
-  std::shared_lock<std::shared_mutex> lock(mutex_);
-  return endpoints_.at(endpoint);
+  const EndpointSlot& slot = *endpoints_.at(endpoint);
+  const uint64_t word = slot.word.load(std::memory_order_acquire);
+  EndpointState state;
+  state.pending = static_cast<int>(WordPending(word));
+  const uint32_t exclusive = WordExclusive(word);
+  if (exclusive != kNoModel) state.exclusive_model = spec_.models[exclusive];
+  state.last_request = slot.last_request.load(std::memory_order_acquire);
+  return state;
 }
 
 OneToOneRouter::OneToOneRouter(std::vector<std::string> models)

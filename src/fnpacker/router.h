@@ -1,8 +1,9 @@
 #ifndef SESEMI_FNPACKER_ROUTER_H_
 #define SESEMI_FNPACKER_ROUTER_H_
 
+#include <atomic>
+#include <cstdint>
 #include <memory>
-#include <shared_mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -75,14 +76,26 @@ struct FnPoolSpec {
 /// infrequent multi-model traffic (Tables III & IV).
 ///
 /// \par Concurrency design
-/// The model table is an RCU-style immutable snapshot: the set of keys is
-/// fixed at construction (Route never inserts), so the per-request hash
-/// lookup runs with no lock at all — concurrent lookups race only against
-/// other readers. Only the routing *decision* — which mutates pending
-/// counters and exclusivity marks and must observe a consistent endpoint
-/// view — serializes, on a writer lock held for a few dozen instructions.
-/// Inspection (stats, state accessors) takes the shared side, so monitors
-/// never stall the request path.
+/// Fully lock-free routing. The model table is an RCU-style immutable
+/// snapshot: the set of keys is fixed at construction (Route never inserts),
+/// so the per-request hash lookup runs with no lock at all. The routing
+/// *decision* claims an endpoint through a per-endpoint CAS slot: each
+/// endpoint packs its {exclusive-model index, pending count} into one atomic
+/// 64-bit word, and a claim is a single compare-exchange that atomically
+/// verifies the endpoint is idle/compatible AND takes it. Decisions for
+/// disjoint models therefore proceed in parallel on different endpoints —
+/// there is no single writer lock to serialize behind. The interleaving
+/// guarantee (never place model A on an endpoint with model B's work in
+/// flight, outside the overflow fallback) holds by CAS atomicity for idle
+/// claims; the sticky path additionally requires the endpoint to still have
+/// in-flight work (conditional CAS), falling back to a fresh decision when
+/// it drained. One narrow window remains lock-free by design: if ALL of a
+/// model's work completes and another model's idle claim lands between a
+/// sticky requester's model-state read and its endpoint CAS, the two
+/// briefly share that endpoint — the same bounded sharing the overflow
+/// fallback already permits under load, self-correcting on the next route.
+/// Per-model counters and stats are plain atomics; inspection reads them
+/// without stalling the request path.
 ///
 /// \threadsafety All methods are safe to call concurrently.
 class FnPackerRouter final : public RequestRouter {
@@ -95,23 +108,61 @@ class FnPackerRouter final : public RequestRouter {
   const char* name() const override { return "fnpacker"; }
 
   RouterStats stats() const;
-  /// Inspection helpers for tests.
+  /// Inspection helpers for tests (consistent per-field snapshots).
   ModelState model_state(const std::string& model_id) const;
   EndpointState endpoint_state(int endpoint) const;
 
  private:
+  /// `exclusive` value meaning "no exclusivity mark".
+  static constexpr uint32_t kNoModel = 0xffffffffu;
+
+  /// Per-model mutable state (atomics; the map structure itself is frozen at
+  /// construction, so lookups are lock-free).
+  struct ModelSlot {
+    uint32_t index = 0;  ///< position in spec_.models (exclusivity id)
+    std::atomic<int> pending{0};
+    std::atomic<int> endpoint{-1};
+    std::atomic<TimeMicros> last_invocation{-1};
+  };
+
+  /// Per-endpoint CAS slot: word = {exclusive model index:32 | pending:32},
+  /// mutated only through compare-exchange so idleness checks and claims are
+  /// one atomic step. last_request is advisory (exclusivity expiry) and
+  /// tracked separately.
+  struct EndpointSlot {
+    std::atomic<uint64_t> word{PackWord(kNoModel, 0)};
+    std::atomic<TimeMicros> last_request{-1};
+  };
+
+  static constexpr uint64_t PackWord(uint32_t exclusive, uint32_t pending) {
+    return (static_cast<uint64_t>(exclusive) << 32) | pending;
+  }
+  static constexpr uint32_t WordExclusive(uint64_t word) {
+    return static_cast<uint32_t>(word >> 32);
+  }
+  static constexpr uint32_t WordPending(uint64_t word) {
+    return static_cast<uint32_t>(word);
+  }
+
+  /// Atomically add one pending request to `endpoint`, preserving its mark
+  /// (the overflow path, where idleness is not required).
+  void AddPending(EndpointSlot* endpoint, uint32_t mark_exclusive);
+
+  /// Sticky claim: add one pending request and set `mark` exclusive, but
+  /// only while the endpoint still has work in flight. Returns false when
+  /// the endpoint drained — the caller re-decides from scratch.
+  bool TryStickyAddPending(EndpointSlot* endpoint, uint32_t mark);
+
   FnPoolSpec spec_;
 
-  /// Key set frozen at construction; values are mutable slots guarded by
-  /// `mutex_`. Lookups (find) touch only the immutable table structure and
-  /// therefore run lock-free.
-  std::unordered_map<std::string, std::unique_ptr<ModelState>> models_;
+  /// Key set frozen at construction; values are atomic slots.
+  std::unordered_map<std::string, std::unique_ptr<ModelSlot>> models_;
 
-  /// Writer side: Route / OnComplete (mutate counters); reader side: stats
-  /// and state inspection.
-  mutable std::shared_mutex mutex_;
-  std::vector<EndpointState> endpoints_;  ///< guarded by mutex_
-  RouterStats stats_;                     ///< guarded by mutex_
+  std::vector<std::unique_ptr<EndpointSlot>> endpoints_;
+
+  std::atomic<int> routed_{0};
+  std::atomic<int> model_switches_{0};
+  std::atomic<int> overflow_{0};
 };
 
 /// Baseline: one endpoint per model (no sharing; every cold model cold-starts

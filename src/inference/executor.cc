@@ -2,6 +2,7 @@
 
 #include <cstring>
 
+#include "inference/gemm.h"
 #include "inference/ops.h"
 
 namespace sesemi::inference {
@@ -97,6 +98,116 @@ Result<Bytes> GraphExecutionPlan::Execute(const ModelGraph& graph,
   Bytes out(last.output_shape.elements() * sizeof(float));
   std::memcpy(out.data(), result, out.size());
   return out;
+}
+
+Status GraphExecutionPlan::ExecuteBatch(const ModelGraph& graph,
+                                        const float* weights,
+                                        const std::vector<ByteSpan>& inputs,
+                                        float* arena,
+                                        std::vector<Bytes>* outputs) const {
+  if (graph.layers.size() != offsets_.size()) {
+    return Status::InvalidArgument("plan does not match graph");
+  }
+  const uint64_t batch = inputs.size();
+  if (batch == 0) return Status::InvalidArgument("empty batch");
+  const size_t input_bytes = graph.input_shape.elements() * sizeof(float);
+  for (const ByteSpan& input : inputs) {
+    if (input.size() != input_bytes) {
+      return Status::InvalidArgument(
+          "batched input size mismatch: want " + std::to_string(input_bytes) +
+          " bytes, got " + std::to_string(input.size()));
+    }
+  }
+
+  // Batch-major slot layout: layer i's activations live at
+  // arena[offsets_[i]*batch + b*elements(i)], so one layer's rows for the
+  // whole batch are contiguous — that contiguity is what turns Dense into a
+  // single M=batch GEMM.
+  float* scratch = arena + total_elements_ * batch;
+  auto slot = [&](size_t layer) { return arena + offsets_[layer] * batch; };
+
+  for (size_t i = 0; i < graph.layers.size(); ++i) {
+    const Layer& layer = graph.layers[i];
+    float* out = slot(i);
+    const uint64_t out_elems = layer.output_shape.elements();
+    auto in_ptr = [&](int s) { return slot(layer.inputs[s]); };
+    auto in_shape = [&](int s) -> const model::TensorShape& {
+      return graph.layers[layer.inputs[s]].output_shape;
+    };
+    auto in_elems = [&](int s) { return in_shape(s).elements(); };
+    const float* w = weights + layer.weight_offset;
+
+    switch (layer.kind) {
+      case LayerKind::kInput:
+        for (uint64_t b = 0; b < batch; ++b) {
+          std::memcpy(out + b * out_elems, inputs[b].data(), input_bytes);
+        }
+        break;
+      case LayerKind::kConv2d:
+        for (uint64_t b = 0; b < batch; ++b) {
+          ops::Conv2d(in_ptr(0) + b * in_elems(0), in_shape(0), w, layer.kernel,
+                      layer.stride, layer.out_channels, out + b * out_elems,
+                      scratch);
+        }
+        break;
+      case LayerKind::kDepthwiseConv2d:
+        for (uint64_t b = 0; b < batch; ++b) {
+          ops::DepthwiseConv2d(in_ptr(0) + b * in_elems(0), in_shape(0), w,
+                               layer.kernel, layer.stride, out + b * out_elems);
+        }
+        break;
+      case LayerKind::kDense: {
+        // The whole batch in one GEMM: rows are the per-sample feature
+        // vectors, already contiguous in the batch-major slot.
+        const float* bias = w + in_elems(0) * static_cast<size_t>(layer.units);
+        gemm::Gemm(in_ptr(0), w, bias, out, static_cast<int>(batch), layer.units,
+                   static_cast<int>(in_elems(0)));
+        break;
+      }
+      case LayerKind::kRelu:
+        ops::Relu(in_ptr(0), in_elems(0) * batch, out);
+        break;
+      case LayerKind::kMaxPool:
+        for (uint64_t b = 0; b < batch; ++b) {
+          ops::MaxPool2x2(in_ptr(0) + b * in_elems(0), in_shape(0),
+                          out + b * out_elems);
+        }
+        break;
+      case LayerKind::kGlobalAvgPool:
+        for (uint64_t b = 0; b < batch; ++b) {
+          ops::GlobalAvgPool(in_ptr(0) + b * in_elems(0), in_shape(0),
+                             out + b * out_elems);
+        }
+        break;
+      case LayerKind::kAdd:
+        ops::Add(in_ptr(0), in_ptr(1), in_elems(0) * batch, out);
+        break;
+      case LayerKind::kConcat:
+        for (uint64_t b = 0; b < batch; ++b) {
+          ops::ConcatChannels(in_ptr(0) + b * in_elems(0), in_shape(0),
+                              in_ptr(1) + b * in_elems(1), in_shape(1),
+                              out + b * out_elems);
+        }
+        break;
+      case LayerKind::kSoftmax:
+        for (uint64_t b = 0; b < batch; ++b) {  // normalization is per sample
+          ops::Softmax(in_ptr(0) + b * in_elems(0), in_elems(0),
+                       out + b * out_elems);
+        }
+        break;
+    }
+  }
+
+  const uint64_t final_elems = graph.layers.back().output_shape.elements();
+  const float* result = slot(graph.layers.size() - 1);
+  outputs->clear();
+  outputs->reserve(batch);
+  for (uint64_t b = 0; b < batch; ++b) {
+    Bytes out_bytes(final_elems * sizeof(float));
+    std::memcpy(out_bytes.data(), result + b * final_elems, out_bytes.size());
+    outputs->push_back(std::move(out_bytes));
+  }
+  return Status::OK();
 }
 
 }  // namespace sesemi::inference

@@ -3,6 +3,7 @@
 
 #include <vector>
 
+#include "common/bytes.h"
 #include "common/result.h"
 #include "model/graph.h"
 
@@ -35,6 +36,26 @@ class GraphExecutionPlan {
   /// floats. Returns the final layer's activation as raw float32 bytes.
   Result<Bytes> Execute(const model::ModelGraph& graph, const float* weights,
                         ByteSpan input, float* arena) const;
+
+  /// Arena floats a batched execution over `batch` samples needs: every
+  /// activation slot is replicated per sample (batch-major: slot i holds
+  /// [batch][elements] rows back-to-back) plus the one shared conv scratch.
+  uint64_t batch_arena_elements(int batch) const {
+    return total_elements_ * static_cast<uint64_t>(batch) + scratch_elements_;
+  }
+
+  /// Run the graph once for `inputs.size()` samples — the scheduler's
+  /// same-model batch. The batch dimension rides the GEMM row panels where
+  /// the layout allows it: each Dense layer becomes ONE M=batch GEMM over
+  /// the contiguous [batch][features] slot rows (amortizing the weight-matrix
+  /// streaming that dominates M=1 GEMV), and elementwise layers fuse into a
+  /// single pass over batch*elements; spatial layers (conv/pool/concat) loop
+  /// per sample through the shared scratch. Per-element accumulation order is
+  /// identical to Execute, so outputs match the unbatched path.
+  /// `arena` must hold batch_arena_elements(inputs.size()) floats.
+  Status ExecuteBatch(const model::ModelGraph& graph, const float* weights,
+                      const std::vector<ByteSpan>& inputs, float* arena,
+                      std::vector<Bytes>* outputs) const;
 
  private:
   std::vector<uint64_t> offsets_;

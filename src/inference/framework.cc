@@ -5,6 +5,17 @@ namespace sesemi::inference {
 std::unique_ptr<InferenceFramework> CreateTflmFramework();
 std::unique_ptr<InferenceFramework> CreateTvmFramework();
 
+Result<std::vector<Bytes>> ModelRuntime::ExecuteBatch(
+    const std::vector<ByteSpan>& inputs) {
+  std::vector<Bytes> outputs;
+  outputs.reserve(inputs.size());
+  for (const ByteSpan& input : inputs) {
+    SESEMI_ASSIGN_OR_RETURN(Bytes out, Execute(input));
+    outputs.push_back(std::move(out));
+  }
+  return outputs;
+}
+
 const char* ToString(FrameworkKind kind) {
   return kind == FrameworkKind::kTflm ? "tflm" : "tvm";
 }

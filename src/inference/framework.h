@@ -3,6 +3,7 @@
 
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "common/result.h"
 #include "model/graph.h"
@@ -41,6 +42,15 @@ class ModelRuntime {
   /// MODEL_EXEC + PREPARE_OUTPUT: run inference on a raw float32 input and
   /// serialize the output scores as raw float32.
   virtual Result<Bytes> Execute(ByteSpan input) = 0;
+
+  /// Batched MODEL_EXEC for the scheduler's same-model coalescer: one call,
+  /// `inputs.size()` samples, outputs in input order and numerically equal to
+  /// per-sample Execute. The base implementation loops Execute; the executor-
+  /// backed runtimes override it to feed the batch dimension through the
+  /// multi-row GEMM path (see GraphExecutionPlan::ExecuteBatch). The batch
+  /// activation arena is transient per call — it is working-set scratch, not
+  /// part of the runtime's resident buffer_bytes() footprint.
+  virtual Result<std::vector<Bytes>> ExecuteBatch(const std::vector<ByteSpan>& inputs);
 };
 
 /// Factory for loaded models and runtimes; one implementation per framework.

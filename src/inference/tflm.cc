@@ -52,9 +52,28 @@ class TflmRuntime final : public ModelRuntime {
                                    arena_.data());
   }
 
+  Result<std::vector<Bytes>> ExecuteBatch(
+      const std::vector<ByteSpan>& inputs) override {
+    if (inputs.size() <= 1) return ModelRuntime::ExecuteBatch(inputs);
+    // Grow-only uninitialized batch arena (see TvmRuntime::ExecuteBatch).
+    const uint64_t need =
+        loaded_->plan().batch_arena_elements(static_cast<int>(inputs.size()));
+    if (batch_arena_capacity_ < need) {
+      batch_arena_ = std::unique_ptr<float[]>(new float[need]);
+      batch_arena_capacity_ = need;
+    }
+    std::vector<Bytes> outputs;
+    SESEMI_RETURN_IF_ERROR(loaded_->plan().ExecuteBatch(
+        loaded_->graph(), loaded_->graph().weights.data(), inputs,
+        batch_arena_.get(), &outputs));
+    return outputs;
+  }
+
  private:
   std::shared_ptr<const TflmLoadedModel> loaded_;
   std::vector<float> arena_;
+  std::unique_ptr<float[]> batch_arena_;
+  uint64_t batch_arena_capacity_ = 0;
 };
 
 class TflmFramework final : public InferenceFramework {

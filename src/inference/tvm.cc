@@ -56,10 +56,32 @@ class TvmRuntime final : public ModelRuntime {
                                    arena_.data());
   }
 
+  Result<std::vector<Bytes>> ExecuteBatch(
+      const std::vector<ByteSpan>& inputs) override {
+    if (inputs.size() <= 1) return ModelRuntime::ExecuteBatch(inputs);
+    // Grow-only uninitialized batch arena, cached across batches. Safe: the
+    // runtime is exclusive to one TCS slot, and every arena slot is written
+    // before it is read (kInput copies, each layer fills its output, im2col
+    // zero-fills its padding taps).
+    const uint64_t need =
+        loaded_->plan().batch_arena_elements(static_cast<int>(inputs.size()));
+    if (batch_arena_capacity_ < need) {
+      batch_arena_ = std::unique_ptr<float[]>(new float[need]);
+      batch_arena_capacity_ = need;
+    }
+    std::vector<Bytes> outputs;
+    SESEMI_RETURN_IF_ERROR(loaded_->plan().ExecuteBatch(
+        loaded_->graph(), packed_weights_.data(), inputs, batch_arena_.get(),
+        &outputs));
+    return outputs;
+  }
+
  private:
   std::shared_ptr<const TvmLoadedModel> loaded_;
   std::vector<float> packed_weights_;
   std::vector<float> arena_;
+  std::unique_ptr<float[]> batch_arena_;
+  uint64_t batch_arena_capacity_ = 0;
 };
 
 class TvmFramework final : public InferenceFramework {

@@ -1,0 +1,61 @@
+#include "sched/batcher.h"
+
+namespace sesemi::sched {
+
+bool SameModelBatcher::Compatible(const QueuedRequest& head,
+                                  const QueuedRequest& other) {
+  return other.model_id == head.model_id && other.session_id == head.session_id &&
+         other.priority == head.priority;
+}
+
+size_t SameModelBatcher::Coalesce(FairQueue* queue, QueuedRequest head,
+                                  int max_batch, std::vector<QueuedRequest>* batch) {
+  if (max_batch <= 1) return 0;
+  FairQueue::FunctionShard* shard = queue->FindShard(head.function);
+  if (shard == nullptr) return 0;
+
+  const size_t want = static_cast<size_t>(max_batch) - 1;
+  const size_t lookahead = static_cast<size_t>(max_batch) * kLookaheadFactor;
+  size_t taken = 0;
+
+  std::lock_guard<std::mutex> lock(shard->mutex);
+  std::deque<QueuedRequest>& q = shard->pending[head.priority];
+  size_t scanned = 0;
+  for (auto it = q.begin(); it != q.end() && taken < want && scanned < lookahead;
+       ++scanned) {
+    if (Compatible(head, *it)) {
+      it->dispatch_seq = head.dispatch_seq;  // dispatched as one unit
+      batch->push_back(std::move(*it));
+      it = q.erase(it);
+      taken++;
+    } else {
+      ++it;
+    }
+  }
+  if (taken > 0) {
+    shard->depth.fetch_sub(taken, std::memory_order_acq_rel);
+    shard->dispatched.fetch_add(taken, std::memory_order_relaxed);
+    queue->total_depth_.fetch_sub(taken, std::memory_order_acq_rel);
+  }
+  return taken;
+}
+
+void SameModelBatcher::RecordDispatch(size_t size) {
+  batches_.fetch_add(1, std::memory_order_relaxed);
+  batched_requests_.fetch_add(size, std::memory_order_relaxed);
+  uint64_t prev = max_batch_size_.load(std::memory_order_relaxed);
+  while (size > prev &&
+         !max_batch_size_.compare_exchange_weak(prev, size,
+                                                std::memory_order_relaxed)) {
+  }
+}
+
+BatchStats SameModelBatcher::stats() const {
+  BatchStats s;
+  s.batches = batches_.load(std::memory_order_relaxed);
+  s.batched_requests = batched_requests_.load(std::memory_order_relaxed);
+  s.max_batch_size = max_batch_size_.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace sesemi::sched

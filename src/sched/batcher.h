@@ -1,0 +1,72 @@
+#ifndef SESEMI_SCHED_BATCHER_H_
+#define SESEMI_SCHED_BATCHER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "sched/queue.h"
+
+namespace sesemi::sched {
+
+/// Cumulative coalescing counters.
+struct BatchStats {
+  uint64_t batches = 0;           ///< dispatches (each 1..max_batch requests)
+  uint64_t batched_requests = 0;  ///< requests dispatched inside those batches
+  uint64_t max_batch_size = 0;
+  double AvgBatchSize() const {
+    return batches == 0 ? 0.0
+                        : static_cast<double>(batched_requests) /
+                              static_cast<double>(batches);
+  }
+};
+
+/// Same-model request coalescer. After the policy pops a head request, the
+/// batcher pulls further queued requests for the *same function* that are
+/// compatible — same model, same session (user), same priority class — up to
+/// the function's `max_batch`, so the platform can run them as one multi-row
+/// inference (one TCS slot, one enclave entry, one key/model/runtime setup,
+/// batch-dim GEMM).
+///
+/// Compatibility is strict by construction: a batch never mixes models (the
+/// enclave holds one loaded model) and never mixes sessions (the enclave
+/// caches one ⟨uid,Moid⟩ key pair — batching across users would violate the
+/// paper's single-pair key-cache isolation).
+///
+/// Lookahead is bounded (`kLookaheadFactor * max_batch` entries) so a
+/// non-matching request parked at the front of the queue can only be
+/// overtaken by a bounded amount of same-model traffic, keeping near-FIFO
+/// order for the rest.
+///
+/// \threadsafety Stateless apart from atomic counters; safe concurrently.
+class SameModelBatcher {
+ public:
+  static constexpr int kLookaheadFactor = 4;
+
+  /// Extend `head` (already popped from `queue`) with up to `max_batch - 1`
+  /// compatible requests from the same function's deque, appending them to
+  /// `batch` in arrival order. `head` itself is NOT appended (taken by value:
+  /// callers typically keep the head inside `batch`, whose growth would
+  /// invalidate a reference). Returns the number of extra requests coalesced.
+  /// `max_batch <= 1` is a no-op.
+  size_t Coalesce(FairQueue* queue, QueuedRequest head, int max_batch,
+                  std::vector<QueuedRequest>* batch);
+
+  /// Record a dispatched batch of `size` requests (the platform calls this
+  /// for every dispatch, size 1 included, so AvgBatchSize is the true mean).
+  void RecordDispatch(size_t size);
+
+  BatchStats stats() const;
+
+ private:
+  static bool Compatible(const QueuedRequest& head, const QueuedRequest& other);
+
+  std::atomic<uint64_t> batches_{0};
+  std::atomic<uint64_t> batched_requests_{0};
+  std::atomic<uint64_t> max_batch_size_{0};
+};
+
+}  // namespace sesemi::sched
+
+#endif  // SESEMI_SCHED_BATCHER_H_

@@ -1,0 +1,221 @@
+#include "sched/queue.h"
+
+#include <algorithm>
+
+namespace sesemi::sched {
+
+const char* ToString(PolicyKind kind) {
+  switch (kind) {
+    case PolicyKind::kFifo: return "fifo";
+    case PolicyKind::kWeightedFair: return "wfq";
+    case PolicyKind::kDeadlineEdf: return "edf";
+  }
+  return "unknown";
+}
+
+size_t FifoPolicy::PickNext(const std::vector<QueueView>& candidates) const {
+  size_t best = 0;
+  for (size_t i = 1; i < candidates.size(); ++i) {
+    if (candidates[i].head_seq < candidates[best].head_seq) best = i;
+  }
+  return best;
+}
+
+size_t WeightedFairPolicy::PickNext(const std::vector<QueueView>& candidates) const {
+  size_t best = 0;
+  for (size_t i = 1; i < candidates.size(); ++i) {
+    const QueueView& c = candidates[i];
+    const QueueView& b = candidates[best];
+    if (c.virtual_finish < b.virtual_finish ||
+        (c.virtual_finish == b.virtual_finish && c.head_seq < b.head_seq)) {
+      best = i;
+    }
+  }
+  return best;
+}
+
+size_t DeadlineEdfPolicy::PickNext(const std::vector<QueueView>& candidates) const {
+  size_t best = 0;
+  for (size_t i = 1; i < candidates.size(); ++i) {
+    const QueueView& c = candidates[i];
+    const QueueView& b = candidates[best];
+    if (c.head_deadline < b.head_deadline ||
+        (c.head_deadline == b.head_deadline && c.head_seq < b.head_seq)) {
+      best = i;
+    }
+  }
+  return best;
+}
+
+std::unique_ptr<SchedulerPolicy> MakePolicy(PolicyKind kind) {
+  switch (kind) {
+    case PolicyKind::kFifo: return std::make_unique<FifoPolicy>();
+    case PolicyKind::kWeightedFair: return std::make_unique<WeightedFairPolicy>();
+    case PolicyKind::kDeadlineEdf: return std::make_unique<DeadlineEdfPolicy>();
+  }
+  return std::make_unique<FifoPolicy>();
+}
+
+FairQueue::FairQueue(PolicyKind kind) : kind_(kind), policy_(MakePolicy(kind)) {}
+
+Status FairQueue::RegisterFunction(const std::string& function,
+                                   const FunctionSchedParams& params) {
+  if (params.weight <= 0.0) {
+    return Status::InvalidArgument("scheduler weight must be positive: " + function);
+  }
+  std::unique_lock<std::shared_mutex> lock(table_mutex_);
+  auto [it, inserted] = shards_.try_emplace(function, nullptr);
+  if (!inserted) {
+    return Status::AlreadyExists("function already scheduled: " + function);
+  }
+  it->second = std::make_unique<FunctionShard>();
+  it->second->name = function;
+  it->second->params = params;
+  shard_list_.push_back(it->second.get());
+  return Status::OK();
+}
+
+FairQueue::FunctionShard* FairQueue::FindShard(const std::string& function) const {
+  std::shared_lock<std::shared_mutex> lock(table_mutex_);
+  auto it = shards_.find(function);
+  return it == shards_.end() ? nullptr : it->second.get();
+}
+
+Status FairQueue::Enqueue(QueuedRequest request, TimeMicros now) {
+  FunctionShard* shard = FindShard(request.function);
+  if (shard == nullptr) {
+    return Status::NotFound("function not scheduled: " + request.function);
+  }
+
+  if (request.priority < 0) request.priority = shard->params.priority;
+  request.priority = std::clamp(request.priority, 0, kNumPriorityClasses - 1);
+  if (request.deadline == kNoDeadline && shard->params.default_slack > 0) {
+    request.deadline = now + shard->params.default_slack;
+  }
+  request.enqueue_time = now;
+
+  size_t prev_depth = 0;
+  {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    // Sequence assignment happens under the shard lock so each deque stays
+    // seq-sorted even with racing submitters — that, plus the pop-side
+    // min-head merge, is what makes FIFO dispatch order equal admission
+    // order globally.
+    request.seq = next_seq_.fetch_add(1, std::memory_order_relaxed);
+    std::deque<QueuedRequest>& q = shard->pending[request.priority];
+    if (kind_ == PolicyKind::kDeadlineEdf) {
+      // Keep the deque deadline-sorted so the head is always the earliest
+      // deadline; stable insertion preserves arrival order among ties.
+      auto it = q.end();
+      while (it != q.begin() && std::prev(it)->deadline > request.deadline) --it;
+      q.insert(it, std::move(request));
+    } else {
+      q.push_back(std::move(request));
+    }
+    prev_depth = shard->depth.fetch_add(1, std::memory_order_acq_rel);
+  }
+  shard->enqueued.fetch_add(1, std::memory_order_relaxed);
+  total_depth_.fetch_add(1, std::memory_order_acq_rel);
+
+  if (prev_depth == 0) {
+    // Idle -> backlogged transition: catch the flow's virtual tag up to the
+    // current virtual time. An idle flow must not bank credit (tag below V
+    // would let it monopolize on return), and its tag must also stop rising
+    // with V once backlogged (or a low-weight flow would starve — its
+    // service horizon would recede forever). Taken outside the shard lock to
+    // respect the pop_mutex_ -> shard->mutex lock order.
+    std::lock_guard<std::mutex> pop_lock(pop_mutex_);
+    shard->finish_tag = std::max(shard->finish_tag, virtual_time_);
+  }
+  return Status::OK();
+}
+
+bool FairQueue::PopNext(QueuedRequest* out) {
+  std::lock_guard<std::mutex> pop_lock(pop_mutex_);
+
+  // Stable shard pointers: registration only appends.
+  std::vector<FunctionShard*> shards;
+  {
+    std::shared_lock<std::shared_mutex> lock(table_mutex_);
+    shards = shard_list_;
+  }
+
+  // The whole selection restarts if the picked deque turns out empty: a
+  // concurrent SameModelBatcher::Coalesce (which holds only the shard mutex,
+  // not pop_mutex_) may drain a deque between our snapshot and the pop.
+  for (;;) {
+    bool retry = false;
+    for (int cls = 0; cls < kNumPriorityClasses && !retry; ++cls) {
+      std::vector<QueueView> views;
+      std::vector<FunctionShard*> owners;
+      for (FunctionShard* shard : shards) {
+        std::lock_guard<std::mutex> lock(shard->mutex);
+        const std::deque<QueuedRequest>& q = shard->pending[cls];
+        if (q.empty()) continue;
+        QueueView view;
+        view.function = &shard->name;
+        view.weight = shard->params.weight;
+        // The backlogged flow's tag advances only when it is served (enqueue
+        // catches it up to V on the idle->busy edge); maxing against the live
+        // V here would push low-weight flows' horizons away forever.
+        view.virtual_finish = shard->finish_tag + 1.0 / shard->params.weight;
+        view.head_seq = q.front().seq;
+        view.head_deadline = q.front().deadline;
+        view.head_enqueue = q.front().enqueue_time;
+        view.depth = shard->depth.load(std::memory_order_relaxed);
+        views.push_back(view);
+        owners.push_back(shard);
+      }
+      if (views.empty()) continue;
+
+      const size_t pick = policy_->PickNext(views);
+      FunctionShard* shard = owners[pick];
+
+      {
+        std::lock_guard<std::mutex> lock(shard->mutex);
+        std::deque<QueuedRequest>& q = shard->pending[cls];
+        if (q.empty()) {
+          // Coalesced away since the snapshot — rebuild the candidate view.
+          retry = true;
+          break;
+        }
+        // An EDF enqueue may have sorted a new, earlier-deadline head in
+        // since the snapshot; popping the current front is still
+        // deadline-min.
+        *out = std::move(q.front());
+        q.pop_front();
+        shard->depth.fetch_sub(1, std::memory_order_acq_rel);
+      }
+
+      // Commit the WFQ bookkeeping regardless of policy (cheap, and lets
+      // the stats expose virtual-time lag under any ordering).
+      const double start = std::max(virtual_time_, shard->finish_tag);
+      shard->finish_tag = start + 1.0 / shard->params.weight;
+      virtual_time_ = start;
+
+      out->dispatch_seq = next_dispatch_seq_++;
+      shard->dispatched.fetch_add(1, std::memory_order_relaxed);
+      total_depth_.fetch_sub(1, std::memory_order_acq_rel);
+      return true;
+    }
+    if (!retry) return false;
+  }
+}
+
+std::vector<FunctionQueueStats> FairQueue::PerFunctionStats() const {
+  std::shared_lock<std::shared_mutex> lock(table_mutex_);
+  std::vector<FunctionQueueStats> out;
+  out.reserve(shard_list_.size());
+  for (const FunctionShard* shard : shard_list_) {
+    FunctionQueueStats s;
+    s.function = shard->name;
+    s.weight = shard->params.weight;
+    s.depth = shard->depth.load(std::memory_order_relaxed);
+    s.enqueued = shard->enqueued.load(std::memory_order_relaxed);
+    s.dispatched = shard->dispatched.load(std::memory_order_relaxed);
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+}  // namespace sesemi::sched

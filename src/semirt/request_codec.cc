@@ -57,4 +57,21 @@ Result<Bytes> DecryptResultPayload(ByteSpan request_key, const std::string& mode
                               sealed);
 }
 
+Result<RequestCipher> RequestCipher::Create(ByteSpan request_key) {
+  SESEMI_ASSIGN_OR_RETURN(crypto::AesGcm gcm, crypto::AesGcm::Create(request_key));
+  return RequestCipher(std::move(gcm));
+}
+
+Result<Bytes> RequestCipher::DecryptRequest(const std::string& model_id,
+                                            ByteSpan sealed) const {
+  return crypto::GcmOpenPartsWith(gcm_, RequestAadPrefix(), SpanOf(model_id),
+                                  sealed);
+}
+
+Result<Bytes> RequestCipher::EncryptResult(const std::string& model_id,
+                                           ByteSpan output) const {
+  return crypto::GcmSealPartsWith(gcm_, ResultAadPrefix(), SpanOf(model_id),
+                                  output);
+}
+
 }  // namespace sesemi::semirt

@@ -5,6 +5,7 @@
 
 #include "common/bytes.h"
 #include "common/result.h"
+#include "crypto/gcm.h"
 
 namespace sesemi::semirt {
 
@@ -33,6 +34,24 @@ Result<Bytes> EncryptResultPayload(ByteSpan request_key, const std::string& mode
                                    ByteSpan output);
 Result<Bytes> DecryptResultPayload(ByteSpan request_key, const std::string& model_id,
                                    ByteSpan sealed);
+
+/// A K_R cipher context reused across a same-session batch: the AES key
+/// schedule and GHASH tables are built once per batch instead of once per
+/// message (they dominate small-payload GCM cost). Produces/consumes exactly
+/// the same wire format as the one-shot helpers above.
+///
+/// \threadsafety Immutable after construction; safe to share across threads.
+class RequestCipher {
+ public:
+  static Result<RequestCipher> Create(ByteSpan request_key);
+
+  Result<Bytes> DecryptRequest(const std::string& model_id, ByteSpan sealed) const;
+  Result<Bytes> EncryptResult(const std::string& model_id, ByteSpan output) const;
+
+ private:
+  explicit RequestCipher(crypto::AesGcm gcm) : gcm_(std::move(gcm)) {}
+  crypto::AesGcm gcm_;
+};
 
 }  // namespace sesemi::semirt
 

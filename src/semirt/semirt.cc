@@ -367,6 +367,154 @@ Result<Bytes> SemirtInstance::HandleRequest(const InferenceRequest& request,
   return result;
 }
 
+std::vector<Result<Bytes>> SemirtInstance::HandleRequestBatch(
+    const std::vector<const InferenceRequest*>& batch, StageTimings* timings) {
+  std::vector<Result<Bytes>> results;
+  results.reserve(batch.size());
+  if (batch.empty()) return results;
+
+  // Baseline modes keep their per-request setup/teardown semantics; a batch
+  // of one gains nothing from the batched plumbing.
+  if (batch.size() == 1 || options_.mode != RuntimeMode::kSesemi ||
+      options_.sequential_mode) {
+    for (const InferenceRequest* request : batch) {
+      results.push_back(HandleRequest(*request, timings));
+    }
+    return results;
+  }
+
+  results.assign(batch.size(), Status::Internal("not executed"));
+  const InferenceRequest& head = *batch[0];
+
+  StageTimings local;
+  StageTimings* t = timings != nullptr ? timings : &local;
+  const TimeMicros start = NowMicros();
+
+  auto fail_all = [&](const Status& status) {
+    for (auto& r : results) r = status;
+    t->total = NowMicros() - start;
+  };
+
+  if (head.model_id.empty() || head.user_id.empty()) {
+    fail_all(Status::InvalidArgument("empty model or user id"));
+    return results;
+  }
+  if (!options_.fixed_model_id.empty() &&
+      head.model_id != options_.fixed_model_id) {
+    fail_all(Status::PermissionDenied("enclave is fixed to model " +
+                                      options_.fixed_model_id));
+    return results;
+  }
+
+  // One slot, one enclave entry for the whole batch — the other TCS slots
+  // stay free for concurrent (unbatched or other-session) traffic.
+  const int slot = AcquireSlot();
+  {
+    sgx::TcsGuard tcs = enclave_->EnterEcall();
+    bool key_fetched = false, model_loaded = false, runtime_inited = false;
+
+    TimeMicros mark = NowMicros();
+    auto keys = EnsureKeys(head.user_id, head.model_id, &key_fetched);
+    if (!keys.ok()) {
+      ReleaseSlot(slot);
+      fail_all(keys.status());
+      return results;
+    }
+    t->key_fetch = NowMicros() - mark;
+    const Bytes& model_key = keys->first;
+    const Bytes& request_key = keys->second;
+
+    mark = NowMicros();
+    auto model = EnsureModel(head.model_id, model_key, &model_loaded);
+    if (!model.ok()) {
+      ReleaseSlot(slot);
+      fail_all(model.status());
+      return results;
+    }
+    t->model_load = NowMicros() - mark;
+
+    mark = NowMicros();
+    Status runtime_ok = EnsureRuntime(slot, head.model_id, *model, &runtime_inited);
+    if (!runtime_ok.ok()) {
+      ReleaseSlot(slot);
+      fail_all(runtime_ok);
+      return results;
+    }
+    t->runtime_init = NowMicros() - mark;
+
+    mark = NowMicros();
+    // One K_R cipher context for the whole batch: the AES key schedule +
+    // GHASH tables are built once here instead of once per decrypt/encrypt.
+    auto cipher = RequestCipher::Create(request_key);
+    if (!cipher.ok()) {
+      ReleaseSlot(slot);
+      fail_all(cipher.status());
+      return results;
+    }
+    // Decrypt per request; a bad ciphertext (or a mixed-in foreign request)
+    // drops only that entry from the execution batch.
+    std::vector<Bytes> plain(batch.size());
+    std::vector<size_t> live;
+    live.reserve(batch.size());
+    for (size_t i = 0; i < batch.size(); ++i) {
+      const InferenceRequest& request = *batch[i];
+      if (request.model_id != head.model_id || request.user_id != head.user_id) {
+        results[i] =
+            Status::InvalidArgument("batch mixes models or users at index " +
+                                    std::to_string(i));
+        continue;
+      }
+      auto input = cipher->DecryptRequest(request.model_id, request.encrypted_input);
+      if (!input.ok()) {
+        results[i] = input.status();
+        continue;
+      }
+      plain[i] = std::move(*input);
+      live.push_back(i);
+    }
+
+    if (!live.empty()) {
+      std::vector<ByteSpan> inputs;
+      inputs.reserve(live.size());
+      for (size_t i : live) inputs.push_back(plain[i]);
+      auto outputs = [&]() -> Result<std::vector<Bytes>> {
+        std::unique_lock<std::mutex> lock(mutex_);
+        inference::ModelRuntime* runtime = contexts_[slot].runtime.get();
+        lock.unlock();
+        return runtime->ExecuteBatch(inputs);
+      }();
+      if (!outputs.ok()) {
+        for (size_t i : live) results[i] = outputs.status();
+      } else {
+        for (size_t k = 0; k < live.size(); ++k) {
+          Bytes& output = (*outputs)[k];
+          RoundScores(&output, options_.round_scores_decimals);
+          results[live[k]] = cipher->EncryptResult(head.model_id, output);
+        }
+      }
+    }
+    t->execute = NowMicros() - mark;
+
+    std::lock_guard<std::mutex> lock(mutex_);
+    const int n = static_cast<int>(batch.size());
+    if (enclave_fresh_) {
+      t->kind = InvocationKind::kCold;
+      stats_.cold_invocations += n;
+      enclave_fresh_ = false;
+    } else if (key_fetched || model_loaded || runtime_inited) {
+      t->kind = InvocationKind::kWarm;
+      stats_.warm_invocations += n;
+    } else {
+      t->kind = InvocationKind::kHot;
+      stats_.hot_invocations += n;
+    }
+    stats_.requests += n;
+  }
+  ReleaseSlot(slot);
+  t->total = NowMicros() - start;
+  return results;
+}
+
 Result<Bytes> SemirtInstance::HandleTrusted(const InferenceRequest& request,
                                             int slot, StageTimings* timings) {
   if (request.user_id.empty()) {

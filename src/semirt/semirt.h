@@ -115,6 +115,24 @@ class SemirtInstance {
   Result<Bytes> HandleRequest(const InferenceRequest& request,
                               StageTimings* timings = nullptr);
 
+  /// Serve a same-user, same-model batch (the scheduler's coalescer output)
+  /// through ONE TCS slot and ONE enclave entry: keys, model, and runtime are
+  /// ensured once, inputs are decrypted individually, inference runs as one
+  /// batched MODEL_EXEC (multi-row GEMM), and each result is sealed under the
+  /// shared request key. Returns per-request results in request order; a
+  /// request that fails validation or decryption gets its own error without
+  /// failing the rest. Entries whose user or model differ from the first
+  /// request's are rejected with InvalidArgument (the key cache holds one
+  /// ⟨uid,Moid⟩ pair — mixing would leak across sessions).
+  ///
+  /// Only the kSesemi mode takes the batched path; the baseline modes (and
+  /// sequential isolation builds) fall back to per-request HandleRequest,
+  /// preserving their per-request setup/teardown semantics.
+  /// `timings` receives the batch's stage timings (shared by its requests).
+  std::vector<Result<Bytes>> HandleRequestBatch(
+      const std::vector<const InferenceRequest*>& batch,
+      StageTimings* timings = nullptr);
+
   /// ECALL EC_CLEAR_EXEC_CTX: drop all thread-local runtimes, the cached
   /// model, and cached keys, returning the enclave to its post-init state.
   void ClearExecutionContext();

@@ -11,6 +11,32 @@ constexpr uint64_t kMemoryGranularity = 128ull << 20;
 uint64_t RoundUpToGranularity(uint64_t bytes) {
   return (bytes + kMemoryGranularity - 1) / kMemoryGranularity * kMemoryGranularity;
 }
+
+/// What an InvokeAsync submission parks in the scheduler: the request itself
+/// and the promise its future resolves from.
+struct PendingInvocation {
+  semirt::InferenceRequest request;
+  std::promise<InvocationResult> promise;
+};
+
+std::shared_ptr<PendingInvocation> PayloadOf(const sched::QueuedRequest& qr) {
+  return std::static_pointer_cast<PendingInvocation>(qr.payload);
+}
+
+int WindowLimitFor(const PlatformConfig& config) {
+  return config.max_inflight > 0 ? config.max_inflight : 2 * ParallelismDegree();
+}
+
+/// The PR 2 window bounded outstanding work by blocking submitters; the
+/// scheduler replaces blocking with typed shedding, so restore a bound by
+/// default: an unset global backlog cap becomes 256 x the in-flight window.
+sched::SchedulerConfig WithDefaultLimits(sched::SchedulerConfig sched_config,
+                                         const PlatformConfig& config) {
+  if (sched_config.limits.max_queued == 0) {
+    sched_config.limits.max_queued = 256 * WindowLimitFor(config);
+  }
+  return sched_config;
+}
 }  // namespace
 
 ServerlessPlatform::FunctionShard::~FunctionShard() {
@@ -22,32 +48,40 @@ ServerlessPlatform::ServerlessPlatform(const PlatformConfig& config,
                                        storage::ObjectStore* storage,
                                        keyservice::KeyServiceServer* keyservice,
                                        Clock* clock)
-    : config_(config), storage_(storage), keyservice_(keyservice) {
-  if (clock == nullptr) {
-    owned_clock_ = std::make_unique<RealClock>();
-    clock_ = owned_clock_.get();
-  } else {
-    clock_ = clock;
-  }
+    : config_(config),
+      storage_(storage),
+      keyservice_(keyservice),
+      owned_clock_(clock == nullptr ? std::make_unique<RealClock>() : nullptr),
+      clock_(clock == nullptr ? owned_clock_.get() : clock),
+      scheduler_(WithDefaultLimits(config.scheduler, config), clock_) {
   nodes_ = std::vector<Node>(config_.num_nodes);
   for (auto& node : nodes_) {
     node.platform = std::make_unique<sgx::SgxPlatform>(config_.generation, authority);
   }
-  window_limit_ = config_.max_inflight > 0 ? config_.max_inflight
-                                           : 2 * ParallelismDegree();
+  window_limit_ = WindowLimitFor(config_);
 }
 
-ServerlessPlatform::~ServerlessPlatform() { async_tasks_.Wait(); }
+ServerlessPlatform::~ServerlessPlatform() {
+  // Release any paused backlog so every outstanding future resolves before
+  // members are torn down.
+  ResumeDispatch();
+  async_tasks_.Wait();
+}
 
 Status ServerlessPlatform::DeployFunction(const FunctionSpec& spec) {
   FunctionSpec normalized = spec;
   normalized.container_memory_bytes =
       RoundUpToGranularity(spec.container_memory_bytes);
   std::unique_lock<std::shared_mutex> lock(functions_mutex_);
-  auto [it, inserted] = functions_.try_emplace(spec.name, nullptr);
-  if (!inserted) {
+  if (functions_.contains(spec.name)) {
     return Status::AlreadyExists("function already deployed: " + spec.name);
   }
+  // Scheduler registration first (still under the deploy lock, so a racing
+  // duplicate deploy cannot interleave): if the sched params are invalid the
+  // function table is untouched and the deploy can be retried.
+  SESEMI_RETURN_IF_ERROR(scheduler_.RegisterFunction(spec.name, spec.sched));
+  auto [it, inserted] = functions_.try_emplace(spec.name, nullptr);
+  (void)inserted;  // guaranteed by the contains() check under the same lock
   it->second = std::make_unique<FunctionShard>(std::move(normalized));
   it->second->free_head.store(PackHead(0, kNilSlot), std::memory_order_relaxed);
   return Status::OK();
@@ -212,28 +246,20 @@ Result<ServerlessPlatform::Container*> ServerlessPlatform::ColdStart(
   return raw;
 }
 
-Result<Bytes> ServerlessPlatform::Invoke(const std::string& function,
-                                         const semirt::InferenceRequest& request,
-                                         semirt::StageTimings* timings,
-                                         bool* cold_start) {
-  MaybeReap();
-
-  FunctionShard* shard = FindShard(function);
-  if (shard == nullptr) {
-    return Status::NotFound("no such function: " + function);
-  }
-
-  bool cold = false;
+Result<ServerlessPlatform::Container*> ServerlessPlatform::AcquireContainer(
+    FunctionShard* shard, const std::string& model_id, uint32_t* slot_index,
+    bool* cold) {
+  *cold = false;
+  uint32_t index = PopWarmSlot(shard);
   Container* container = nullptr;
-  uint32_t slot_index = PopWarmSlot(shard);
-  if (slot_index != kNilSlot) {
-    container = SlotAt(*shard, slot_index)->container.load(std::memory_order_relaxed);
+  if (index != kNilSlot) {
+    container = SlotAt(*shard, index)->container.load(std::memory_order_relaxed);
     // Model affinity: LIFO already lands on the hottest container, but under
     // pooled endpoints two warm containers may hold different models. Peek a
     // bounded number of further tokens for one whose instance has this
     // request's model loaded; return the rest. This recovers the seed's
     // prefer-loaded-model scoring without a global scan or lock.
-    if (container->instance->loaded_model_id() != request.model_id) {
+    if (container->instance->loaded_model_id() != model_id) {
       uint32_t returned[2];
       Container* returned_owner[2];
       int returned_count = 0;
@@ -242,10 +268,10 @@ Result<Bytes> ServerlessPlatform::Invoke(const std::string& function,
         if (other_index == kNilSlot) break;
         Container* other =
             SlotAt(*shard, other_index)->container.load(std::memory_order_relaxed);
-        if (other->instance->loaded_model_id() == request.model_id) {
-          returned[returned_count] = slot_index;
+        if (other->instance->loaded_model_id() == model_id) {
+          returned[returned_count] = index;
           returned_owner[returned_count++] = container;
-          slot_index = other_index;
+          index = other_index;
           container = other;
           break;
         }
@@ -258,43 +284,201 @@ Result<Bytes> ServerlessPlatform::Invoke(const std::string& function,
     }
     container->in_flight.fetch_add(1, std::memory_order_acq_rel);
   } else {
-    SESEMI_ASSIGN_OR_RETURN(container, ColdStart(shard, &slot_index));
-    cold = true;
+    SESEMI_ASSIGN_OR_RETURN(container, ColdStart(shard, &index));
+    *cold = true;
   }
+  *slot_index = index;
+  return container;
+}
+
+void ServerlessPlatform::ReleaseContainer(FunctionShard* shard,
+                                          Container* container,
+                                          uint32_t slot_index) {
+  container->last_used.store(clock_->Now(), std::memory_order_relaxed);
+  container->in_flight.fetch_sub(1, std::memory_order_acq_rel);
+  PushWarmSlot(shard, slot_index, container);
+}
+
+Result<Bytes> ServerlessPlatform::Invoke(const std::string& function,
+                                         const semirt::InferenceRequest& request,
+                                         semirt::StageTimings* timings,
+                                         bool* cold_start) {
+  MaybeReap();
+
+  FunctionShard* shard = FindShard(function);
+  if (shard == nullptr) {
+    return Status::NotFound("no such function: " + function);
+  }
+
+  bool cold = false;
+  uint32_t slot_index = 0;
+  SESEMI_ASSIGN_OR_RETURN(Container * container,
+                          AcquireContainer(shard, request.model_id, &slot_index,
+                                           &cold));
   if (cold_start != nullptr) *cold_start = cold;
 
   Result<Bytes> result = container->instance->HandleRequest(request, timings);
 
-  container->last_used.store(clock_->Now(), std::memory_order_relaxed);
-  container->in_flight.fetch_sub(1, std::memory_order_acq_rel);
-  PushWarmSlot(shard, slot_index, container);
+  ReleaseContainer(shard, container, slot_index);
   invocations_.fetch_add(1, std::memory_order_relaxed);
   return result;
 }
 
 std::future<InvocationResult> ServerlessPlatform::InvokeAsync(
-    const std::string& function, semirt::InferenceRequest request) {
-  // Admission: block until the in-flight window has room (backpressure).
-  {
-    std::unique_lock<std::mutex> lock(window_mutex_);
-    window_cv_.wait(lock, [&] { return window_in_use_ < window_limit_; });
-    window_in_use_++;
+    const std::string& function, semirt::InferenceRequest request,
+    const InvokeOptions& options) {
+  auto pending = std::make_shared<PendingInvocation>();
+  pending->request = std::move(request);
+  std::future<InvocationResult> future = pending->promise.get_future();
+
+  sched::QueuedRequest queued;
+  queued.function = function;
+  queued.model_id = pending->request.model_id;
+  queued.session_id = pending->request.user_id;
+  queued.priority = options.priority;
+  queued.deadline = options.deadline;
+  queued.payload = pending;
+  const uint64_t payload_bytes = pending->request.encrypted_input.size();
+
+  Status admitted = scheduler_.Submit(std::move(queued), payload_bytes);
+  if (!admitted.ok()) {
+    // Typed rejection (rate limit / backlog full / unknown function): the
+    // future resolves immediately — no caller ever parks on a mutex.
+    InvocationResult out;
+    out.response = admitted;
+    pending->promise.set_value(std::move(out));
+    return future;
   }
 
-  auto promise = std::make_shared<std::promise<InvocationResult>>();
-  std::future<InvocationResult> future = promise->get_future();
-  async_tasks_.Submit(
-      [this, promise, function, request = std::move(request)]() mutable {
-        InvocationResult out;
-        out.response = Invoke(function, request, &out.timings, &out.cold_start);
-        {
-          std::lock_guard<std::mutex> lock(window_mutex_);
-          window_in_use_--;
-        }
-        window_cv_.notify_one();
-        promise->set_value(std::move(out));
-      });
+  MaybeSpawnDispatcher();
   return future;
+}
+
+void ServerlessPlatform::MaybeSpawnDispatcher() {
+  {
+    std::lock_guard<std::mutex> lock(dispatch_mutex_);
+    if (dispatch_paused_ || active_dispatchers_ >= window_limit_) return;
+    active_dispatchers_++;
+  }
+  async_tasks_.Submit([this] { PumpScheduler(); });
+}
+
+void ServerlessPlatform::PumpScheduler() {
+  for (;;) {
+    {
+      std::lock_guard<std::mutex> lock(dispatch_mutex_);
+      if (dispatch_paused_) {
+        active_dispatchers_--;
+        return;
+      }
+    }
+    std::vector<sched::QueuedRequest> batch = scheduler_.PopBatch();
+    if (batch.empty()) {
+      // Exit only if the queue is truly drained: the depth re-check under
+      // dispatch_mutex_ pairs with MaybeSpawnDispatcher's increment, so a
+      // submission that saw active_dispatchers_ == limit is guaranteed to be
+      // observed by one of those dispatchers before it exits.
+      std::lock_guard<std::mutex> lock(dispatch_mutex_);
+      if (scheduler_.TotalDepth() == 0 || dispatch_paused_) {
+        active_dispatchers_--;
+        return;
+      }
+      continue;
+    }
+    DispatchBatch(std::move(batch));
+  }
+}
+
+void ServerlessPlatform::PauseDispatch() {
+  std::lock_guard<std::mutex> lock(dispatch_mutex_);
+  dispatch_paused_ = true;
+}
+
+void ServerlessPlatform::ResumeDispatch() {
+  {
+    std::lock_guard<std::mutex> lock(dispatch_mutex_);
+    dispatch_paused_ = false;
+  }
+  // One dispatcher per window slot (bounded inside MaybeSpawnDispatcher);
+  // surplus dispatchers find the queue empty and exit.
+  const size_t depth = scheduler_.TotalDepth();
+  for (size_t i = 0; i < depth; ++i) MaybeSpawnDispatcher();
+}
+
+void ServerlessPlatform::DispatchBatch(std::vector<sched::QueuedRequest> batch) {
+  const TimeMicros now = clock_->Now();
+
+  auto resolve_all = [&](const Status& status) {
+    for (sched::QueuedRequest& qr : batch) {
+      InvocationResult out;
+      out.response = status;
+      out.sched_seq = qr.seq;
+      out.dispatch_seq = qr.dispatch_seq;
+      out.queue_wait = now - qr.enqueue_time;
+      out.batch_size = static_cast<int>(batch.size());
+      PayloadOf(qr)->promise.set_value(std::move(out));
+    }
+  };
+
+  if (batch.size() == 1) {
+    sched::QueuedRequest& qr = batch.front();
+    auto pending = PayloadOf(qr);
+    InvocationResult out;
+    out.sched_seq = qr.seq;
+    out.dispatch_seq = qr.dispatch_seq;
+    out.queue_wait = now - qr.enqueue_time;
+    out.response = Invoke(qr.function, pending->request, &out.timings,
+                          &out.cold_start);
+    pending->promise.set_value(std::move(out));
+    return;
+  }
+
+  // Batched dispatch: one container slot, one enclave entry for the whole
+  // same-model, same-session batch.
+  MaybeReap();
+  FunctionShard* shard = FindShard(batch.front().function);
+  if (shard == nullptr) {
+    resolve_all(Status::NotFound("no such function: " + batch.front().function));
+    return;
+  }
+
+  bool cold = false;
+  uint32_t slot_index = 0;
+  auto container = AcquireContainer(shard, batch.front().model_id, &slot_index,
+                                    &cold);
+  if (!container.ok()) {
+    resolve_all(container.status());
+    return;
+  }
+
+  std::vector<const semirt::InferenceRequest*> requests;
+  std::vector<std::shared_ptr<PendingInvocation>> pendings;
+  requests.reserve(batch.size());
+  pendings.reserve(batch.size());
+  for (const sched::QueuedRequest& qr : batch) {
+    pendings.push_back(PayloadOf(qr));
+    requests.push_back(&pendings.back()->request);
+  }
+
+  semirt::StageTimings timings;
+  std::vector<Result<Bytes>> results =
+      (*container)->instance->HandleRequestBatch(requests, &timings);
+
+  ReleaseContainer(shard, *container, slot_index);
+  invocations_.fetch_add(static_cast<int>(batch.size()),
+                         std::memory_order_relaxed);
+
+  for (size_t i = 0; i < batch.size(); ++i) {
+    InvocationResult out;
+    out.response = std::move(results[i]);
+    out.timings = timings;  // stage costs are shared across the batch
+    out.cold_start = cold;
+    out.sched_seq = batch[i].seq;
+    out.dispatch_seq = batch[i].dispatch_seq;
+    out.queue_wait = now - batch[i].enqueue_time;
+    out.batch_size = static_cast<int>(batch.size());
+    pendings[i]->promise.set_value(std::move(out));
+  }
 }
 
 void ServerlessPlatform::MaybeReap() {

@@ -17,6 +17,7 @@
 #include "common/result.h"
 #include "fnpacker/router.h"
 #include "keyservice/keyservice.h"
+#include "sched/scheduler.h"
 #include "semirt/semirt.h"
 #include "sgx/platform.h"
 #include "storage/object_store.h"
@@ -29,10 +30,19 @@ struct PlatformConfig {
   uint64_t invoker_memory_bytes = 4ull << 30;  ///< per-node sandbox budget
   TimeMicros keep_alive = SecondsToMicros(180);
   sgx::SgxGeneration generation = sgx::SgxGeneration::kSgx2;
-  /// Upper bound on requests admitted into InvokeAsync concurrently (the
-  /// in-flight window). Callers past the window block in InvokeAsync until a
-  /// slot frees — backpressure, not rejection. 0 = 2 x ParallelismDegree().
+  /// Upper bound on concurrently *executing* InvokeAsync dispatches (the
+  /// in-flight window = number of dispatcher tasks pulling from the request
+  /// scheduler). Submissions beyond it queue inside the scheduler in policy
+  /// order — InvokeAsync itself never blocks. 0 = 2 x ParallelismDegree().
   int max_inflight = 0;
+  /// Request scheduler: ordering policy (FIFO / weighted-fair / EDF) and
+  /// global admission limits. Per-function weights, rate limits, and batch
+  /// caps ride on FunctionSpec::sched. When `scheduler.limits.max_queued`
+  /// is 0 the platform installs a default backlog bound of 256 x the
+  /// in-flight window, so an overloaded platform sheds (typed
+  /// ResourceExhausted) instead of queueing unboundedly — set an explicit
+  /// large value to lift it.
+  sched::SchedulerConfig scheduler;
 };
 
 /// A deployed function: a name bound to a SeMIRT (or baseline) runtime
@@ -43,6 +53,9 @@ struct FunctionSpec {
   /// Memory charged against the invoker per container; rounded up to the
   /// 128 MB provisioning granularity.
   uint64_t container_memory_bytes = 256ull << 20;
+  /// Scheduling parameters: weighted-fair share, token-bucket rate limit,
+  /// backlog cap, same-model batch limit, default priority/deadline slack.
+  sched::FunctionSchedParams sched;
 };
 
 /// Cumulative platform statistics.
@@ -53,11 +66,24 @@ struct PlatformStats {
 };
 
 /// Everything one asynchronous invocation produces: the sealed response (or
-/// error), the per-stage timings, and whether a container was provisioned.
+/// error), the per-stage timings, whether a container was provisioned, and
+/// the scheduler's view of the request (admission order, dispatch order,
+/// queue wait, and the size of the coalesced batch it rode in).
 struct InvocationResult {
   Result<Bytes> response = Status::Internal("not executed");
   semirt::StageTimings timings;
   bool cold_start = false;
+  uint64_t sched_seq = 0;     ///< arrival order assigned at admission
+  uint64_t dispatch_seq = 0;  ///< policy order assigned at dispatch
+  TimeMicros queue_wait = 0;  ///< time spent queued before dispatch
+  int batch_size = 1;         ///< requests coalesced into this dispatch
+};
+
+/// Per-call scheduling overrides for InvokeAsync (defaults inherit the
+/// function's FunctionSchedParams).
+struct InvokeOptions {
+  int priority = -1;  ///< -1 = function default; 0 = highest class
+  TimeMicros deadline = sched::kNoDeadline;  ///< absolute, for DeadlineEdf
 };
 
 /// A live, in-process serverless platform: invoker nodes with memory-based
@@ -111,16 +137,31 @@ class ServerlessPlatform {
                        semirt::StageTimings* timings = nullptr,
                        bool* cold_start = nullptr);
 
-  /// Asynchronously execute one request: admits the request into the bounded
-  /// in-flight window (blocking the caller when the window is full), then
-  /// runs it on the process-wide fork-join pool so the request's crypto and
-  /// GEMM work interleaves with other in-flight requests. On single-threaded
-  /// pools the request executes inline before the future is returned.
+  /// Asynchronously execute one request through the request scheduler:
+  /// admission control first (typed rejection — never an indefinite block),
+  /// then policy-ordered queuing, then execution by dispatcher tasks on the
+  /// process-wide fork-join pool, bounded by the in-flight window. Queued
+  /// same-model requests may be coalesced into one batched enclave invocation
+  /// when the function's sched.max_batch allows it. On single-threaded pools
+  /// the dispatcher runs inline, so the queue drains before the future is
+  /// returned (unless dispatch is paused).
   ///
-  /// The returned future is always satisfied (errors are carried inside
-  /// InvocationResult::response, never thrown).
+  /// The returned future is always satisfied (errors — including admission
+  /// rejections — are carried inside InvocationResult::response, never
+  /// thrown).
   std::future<InvocationResult> InvokeAsync(const std::string& function,
-                                            semirt::InferenceRequest request);
+                                            semirt::InferenceRequest request,
+                                            const InvokeOptions& options = {});
+
+  /// Scheduler introspection: queue depth, drops by reason, batch sizes,
+  /// per-class queue-wait percentiles, per-function service counts.
+  sched::SchedStats scheduler_stats() const { return scheduler_.stats(); }
+
+  /// Gate the dispatcher tasks (benchmarks/tests): while paused, InvokeAsync
+  /// submissions accumulate in the scheduler; Resume releases them in policy
+  /// order. The destructor resumes automatically so queued work drains.
+  void PauseDispatch();
+  void ResumeDispatch();
 
   /// Reclaim containers idle longer than the keep-alive window. Called
   /// opportunistically (and rate-limited) by Invoke; exposed for tests and
@@ -213,6 +254,20 @@ class ServerlessPlatform {
   /// (index in *slot_index) already held by the caller.
   Result<Container*> ColdStart(FunctionShard* shard, uint32_t* slot_index);
 
+  /// Acquire one execution right on a container for `shard` (warm slot with
+  /// model affinity, else cold start). Pairs with ReleaseContainer.
+  Result<Container*> AcquireContainer(FunctionShard* shard,
+                                      const std::string& model_id,
+                                      uint32_t* slot_index, bool* cold);
+  void ReleaseContainer(FunctionShard* shard, Container* container,
+                        uint32_t slot_index);
+
+  /// Dispatcher task body: pull batches from the scheduler until it drains.
+  void PumpScheduler();
+  void MaybeSpawnDispatcher();
+  /// Execute one policy-ordered dispatch unit and resolve its promises.
+  void DispatchBatch(std::vector<sched::QueuedRequest> batch);
+
   void MaybeReap();
   int ReapShard(FunctionShard* shard, TimeMicros now);
 
@@ -234,10 +289,13 @@ class ServerlessPlatform {
   std::atomic<int> reaped_containers_{0};
   std::atomic<TimeMicros> last_reap_{0};
 
-  /// In-flight window (admission control for InvokeAsync).
-  std::mutex window_mutex_;
-  std::condition_variable window_cv_;
-  int window_in_use_ = 0;  ///< guarded by window_mutex_
+  /// Request scheduler (admission + fair queues + batcher). Dispatcher tasks
+  /// on the fork-join pool pull from it; their count is bounded by
+  /// window_limit_ (the in-flight window).
+  sched::RequestScheduler scheduler_;
+  std::mutex dispatch_mutex_;
+  int active_dispatchers_ = 0;  ///< guarded by dispatch_mutex_
+  bool dispatch_paused_ = false;  ///< guarded by dispatch_mutex_
   int window_limit_ = 0;
 
   /// Declared last so outstanding async invocations drain before any other

@@ -1,6 +1,7 @@
 #include "workload/generators.h"
 
 #include <algorithm>
+#include <cmath>
 
 #include "common/rng.h"
 
@@ -84,6 +85,29 @@ std::vector<Arrival> Merge(std::vector<std::vector<Arrival>> traces) {
   std::stable_sort(merged.begin(), merged.end(),
                    [](const Arrival& a, const Arrival& b) { return a.time < b.time; });
   return merged;
+}
+
+std::vector<Arrival> MultiTenantPoisson(const std::vector<TenantSpec>& tenants,
+                                        double duration_s, uint64_t seed,
+                                        TimeMicros start) {
+  std::vector<std::vector<Arrival>> traces;
+  traces.reserve(tenants.size());
+  for (size_t i = 0; i < tenants.size(); ++i) {
+    traces.push_back(Poisson(tenants[i].rps, duration_s, tenants[i].model_id,
+                             tenants[i].user_id, seed + i, start));
+  }
+  return Merge(std::move(traces));
+}
+
+std::vector<double> ZipfRates(int n, double alpha, double total_rps) {
+  std::vector<double> rates(std::max(n, 0));
+  double norm = 0.0;
+  for (int i = 0; i < n; ++i) {
+    rates[i] = 1.0 / std::pow(static_cast<double>(i + 1), alpha);
+    norm += rates[i];
+  }
+  for (int i = 0; i < n && norm > 0; ++i) rates[i] *= total_rps / norm;
+  return rates;
 }
 
 std::vector<double> RatePerSecond(const std::vector<Arrival>& trace,

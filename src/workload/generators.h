@@ -52,6 +52,27 @@ std::vector<Arrival> InteractiveSession(TimeMicros start,
 /// Merge traces into one time-ordered trace.
 std::vector<Arrival> Merge(std::vector<std::vector<Arrival>> traces);
 
+/// One tenant of a multi-tenant trace: a (function/model, user) stream at its
+/// own Poisson rate.
+struct TenantSpec {
+  std::string model_id;
+  std::string user_id;
+  double rps = 1.0;
+};
+
+/// Skewed multi-tenant traffic (bench_sched's workload): one independent
+/// Poisson stream per tenant (seeded from `seed` + tenant index), merged into
+/// a single time-ordered trace.
+std::vector<Arrival> MultiTenantPoisson(const std::vector<TenantSpec>& tenants,
+                                        double duration_s, uint64_t seed,
+                                        TimeMicros start = 0);
+
+/// Zipf(alpha) popularity split of `total_rps` over `n` tenants: rate of
+/// tenant i is proportional to 1/(i+1)^alpha, normalized to sum to
+/// `total_rps`. alpha = 0 is uniform; alpha ~ 1 is the classic skew used for
+/// serverless multi-tenant studies.
+std::vector<double> ZipfRates(int n, double alpha, double total_rps);
+
 /// Per-second request-rate series of a trace (for plotting Figure 13a).
 std::vector<double> RatePerSecond(const std::vector<Arrival>& trace,
                                   double duration_s);

@@ -247,5 +247,61 @@ TEST(FnPackerConcurrencyTest, ParallelRouteAndCompleteStaysConsistent) {
   }
 }
 
+/// Per-endpoint CAS slots: routing decisions for disjoint models must
+/// proceed in parallel on their own endpoints with no cross-talk. Each model
+/// is pinned to a distinct endpoint by an initial (held) request, then one
+/// thread per model hammers the sticky path concurrently — every decision
+/// must land on the pinned endpoint, and the packed {exclusive, pending}
+/// words must balance exactly once everything completes.
+TEST(FnPackerConcurrencyTest, DistinctEndpointsRouteInParallel) {
+  const std::vector<std::string> models = {"m0", "m1", "m2", "m3"};
+  FnPackerRouter router(PoolOf(models, 4));
+
+  // Pin: sequential first routes land on distinct endpoints (idle scan).
+  std::vector<int> pinned(models.size());
+  for (size_t i = 0; i < models.size(); ++i) {
+    auto e = router.Route(models[i], 0);
+    ASSERT_TRUE(e.ok());
+    pinned[i] = *e;
+    for (size_t j = 0; j < i; ++j) ASSERT_NE(pinned[i], pinned[j]);
+  }
+
+  constexpr int kIters = 500;
+  std::atomic<int> unpinned_routes{0};
+  std::vector<std::thread> threads;
+  for (size_t m = 0; m < models.size(); ++m) {
+    threads.emplace_back([&, m] {
+      for (int i = 0; i < kIters; ++i) {
+        // The initial request is still pending, so every route must stick to
+        // the pinned endpoint regardless of what other threads are doing on
+        // theirs.
+        auto e = router.Route(models[m], i + 1);
+        if (!e.ok() || *e != pinned[m]) {
+          unpinned_routes.fetch_add(1);
+          continue;
+        }
+        (void)router.endpoint_state(*e);  // reader mixed into the writers
+        router.OnComplete(models[m], *e, i + 2);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  EXPECT_EQ(unpinned_routes.load(), 0);
+  EXPECT_EQ(router.stats().routed,
+            static_cast<int>(models.size()) * (kIters + 1));
+  EXPECT_EQ(router.stats().overflow, 0);
+  EXPECT_EQ(router.stats().model_switches, 0);
+
+  // Release the pins; all counters must return to zero.
+  for (size_t i = 0; i < models.size(); ++i) {
+    router.OnComplete(models[i], pinned[i], 1000);
+    EXPECT_EQ(router.model_state(models[i]).pending, 0) << models[i];
+  }
+  for (int e = 0; e < router.num_endpoints(); ++e) {
+    EXPECT_EQ(router.endpoint_state(e).pending, 0) << e;
+  }
+}
+
 }  // namespace
 }  // namespace sesemi::fnpacker

@@ -309,6 +309,42 @@ TEST_P(FrameworkTest, EndToEndInference) {
   }
 }
 
+TEST_P(FrameworkTest, BatchedExecutionMatchesPerSample) {
+  // The scheduler's same-model batches run through ExecuteBatch (batch-major
+  // arena, Dense layers as one M=batch GEMM); every sample's output must
+  // match the unbatched path.
+  auto [kind, arch] = GetParam();
+  auto framework = CreateFramework(kind);
+  auto graph = model::BuildModel(SmallSpec(arch));
+  ASSERT_TRUE(graph.ok());
+  auto loaded = framework->WrapModel(*graph);
+  ASSERT_TRUE(loaded.ok());
+  auto runtime = framework->CreateRuntime(*loaded);
+  ASSERT_TRUE(runtime.ok());
+
+  constexpr int kBatch = 5;
+  std::vector<Bytes> inputs;
+  for (int b = 0; b < kBatch; ++b) {
+    inputs.push_back(model::GenerateRandomInput(*graph, 100 + b));
+  }
+  std::vector<ByteSpan> spans(inputs.begin(), inputs.end());
+  auto batched = (*runtime)->ExecuteBatch(spans);
+  ASSERT_TRUE(batched.ok()) << batched.status().ToString();
+  ASSERT_EQ(batched->size(), static_cast<size_t>(kBatch));
+
+  for (int b = 0; b < kBatch; ++b) {
+    auto single = (*runtime)->Execute(inputs[b]);
+    ASSERT_TRUE(single.ok());
+    auto want = model::ParseOutput(*single);
+    auto got = model::ParseOutput((*batched)[b]);
+    ASSERT_TRUE(want.ok() && got.ok());
+    ASSERT_EQ(want->size(), got->size());
+    for (size_t i = 0; i < want->size(); ++i) {
+      EXPECT_NEAR((*want)[i], (*got)[i], 1e-5f) << "sample " << b << " idx " << i;
+    }
+  }
+}
+
 TEST_P(FrameworkTest, ExecutionIsDeterministic) {
   auto [kind, arch] = GetParam();
   auto framework = CreateFramework(kind);

@@ -1,0 +1,406 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <map>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "sched/scheduler.h"
+
+namespace sesemi::sched {
+namespace {
+
+QueuedRequest Make(const std::string& function, const std::string& model = "m0",
+                   const std::string& session = "u0", int priority = -1,
+                   TimeMicros deadline = kNoDeadline) {
+  QueuedRequest r;
+  r.function = function;
+  r.model_id = model;
+  r.session_id = session;
+  r.priority = priority;
+  r.deadline = deadline;
+  return r;
+}
+
+TEST(TokenBucketTest, RejectsBeyondBurstThenRefills) {
+  TokenBucket bucket(/*rate_per_s=*/10.0, /*burst=*/5.0);
+  for (int i = 0; i < 5; ++i) EXPECT_TRUE(bucket.TryAcquire(0)) << i;
+  EXPECT_FALSE(bucket.TryAcquire(0));  // burst exhausted
+
+  // 100 ms at 10 rps refills exactly one token.
+  EXPECT_TRUE(bucket.TryAcquire(100000));
+  EXPECT_FALSE(bucket.TryAcquire(100000));
+
+  // Refill caps at the burst: a long idle period grants 5 tokens, not 50.
+  const TimeMicros later = SecondsToMicros(100);
+  for (int i = 0; i < 5; ++i) EXPECT_TRUE(bucket.TryAcquire(later)) << i;
+  EXPECT_FALSE(bucket.TryAcquire(later));
+}
+
+TEST(TokenBucketTest, ZeroRateIsUnlimited) {
+  TokenBucket bucket(0.0, 0.0);
+  for (int i = 0; i < 1000; ++i) ASSERT_TRUE(bucket.TryAcquire(0));
+}
+
+TEST(AdmissionTest, PerFunctionDepthCapRejectsUnavailable) {
+  AdmissionController admission(AdmissionLimits{});
+  FunctionSchedParams params;
+  params.max_queue_depth = 2;
+  ASSERT_TRUE(admission.RegisterFunction("f", params).ok());
+
+  EXPECT_TRUE(admission.Admit("f", 0, 0).ok());
+  EXPECT_TRUE(admission.Admit("f", 0, 0).ok());
+  Status third = admission.Admit("f", 0, 0);
+  EXPECT_EQ(third.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(admission.stats().rejected_depth, 1u);
+
+  admission.OnDequeue("f", 0);
+  EXPECT_TRUE(admission.Admit("f", 0, 0).ok());
+}
+
+TEST(AdmissionTest, GlobalQueueAndByteBudgets) {
+  AdmissionLimits limits;
+  limits.max_queued = 3;
+  AdmissionController admission(limits);
+  ASSERT_TRUE(admission.RegisterFunction("a", {}).ok());
+  ASSERT_TRUE(admission.RegisterFunction("b", {}).ok());
+
+  EXPECT_TRUE(admission.Admit("a", 0, 0).ok());
+  EXPECT_TRUE(admission.Admit("b", 0, 0).ok());
+  EXPECT_TRUE(admission.Admit("a", 0, 0).ok());
+  Status fourth = admission.Admit("b", 0, 0);
+  EXPECT_EQ(fourth.code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(admission.stats().rejected_global, 1u);
+
+  AdmissionLimits byte_limits;
+  byte_limits.max_queued_bytes = 1000;
+  AdmissionController bytes(byte_limits);
+  ASSERT_TRUE(bytes.RegisterFunction("a", {}).ok());
+  EXPECT_TRUE(bytes.Admit("a", 600, 0).ok());
+  EXPECT_FALSE(bytes.Admit("a", 600, 0).ok());  // 1200 > 1000
+  bytes.OnDequeue("a", 600);
+  EXPECT_TRUE(bytes.Admit("a", 600, 0).ok());
+}
+
+TEST(AdmissionTest, UnknownFunctionIsNotFound) {
+  AdmissionController admission(AdmissionLimits{});
+  EXPECT_TRUE(admission.Admit("ghost", 0, 0).IsNotFound());
+}
+
+TEST(FairQueueTest, FifoPopsInGlobalArrivalOrder) {
+  FairQueue queue(PolicyKind::kFifo);
+  ASSERT_TRUE(queue.RegisterFunction("a", {}).ok());
+  ASSERT_TRUE(queue.RegisterFunction("b", {}).ok());
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(queue.Enqueue(Make(i % 2 ? "b" : "a"), i).ok());
+  }
+  uint64_t last_seq = 0;
+  for (int i = 0; i < 10; ++i) {
+    QueuedRequest r;
+    ASSERT_TRUE(queue.PopNext(&r));
+    if (i > 0) EXPECT_GT(r.seq, last_seq) << "FIFO must follow arrival order";
+    EXPECT_EQ(r.dispatch_seq, static_cast<uint64_t>(i));
+    last_seq = r.seq;
+  }
+  QueuedRequest r;
+  EXPECT_FALSE(queue.PopNext(&r));
+}
+
+TEST(FairQueueTest, WeightedFairRatioUnderSaturation) {
+  FairQueue queue(PolicyKind::kWeightedFair);
+  FunctionSchedParams heavy;
+  heavy.weight = 2.0;
+  FunctionSchedParams light;
+  light.weight = 1.0;
+  ASSERT_TRUE(queue.RegisterFunction("heavy", heavy).ok());
+  ASSERT_TRUE(queue.RegisterFunction("light", light).ok());
+
+  for (int i = 0; i < 300; ++i) {
+    ASSERT_TRUE(queue.Enqueue(Make("heavy"), i).ok());
+    ASSERT_TRUE(queue.Enqueue(Make("light"), i).ok());
+  }
+  // Both stay backlogged for the first 300 pops; service there must follow
+  // the 2:1 weights.
+  int heavy_count = 0, light_count = 0;
+  for (int i = 0; i < 300; ++i) {
+    QueuedRequest r;
+    ASSERT_TRUE(queue.PopNext(&r));
+    (r.function == "heavy" ? heavy_count : light_count)++;
+  }
+  ASSERT_GT(light_count, 0);
+  const double ratio = static_cast<double>(heavy_count) / light_count;
+  EXPECT_NEAR(ratio, 2.0, 0.3) << heavy_count << ":" << light_count;
+}
+
+TEST(FairQueueTest, LowWeightFunctionIsNotStarved) {
+  FairQueue queue(PolicyKind::kWeightedFair);
+  FunctionSchedParams huge;
+  huge.weight = 100.0;
+  ASSERT_TRUE(queue.RegisterFunction("huge", huge).ok());
+  ASSERT_TRUE(queue.RegisterFunction("tiny", {}).ok());  // weight 1
+
+  for (int i = 0; i < 400; ++i) ASSERT_TRUE(queue.Enqueue(Make("huge"), i).ok());
+  for (int i = 0; i < 4; ++i) ASSERT_TRUE(queue.Enqueue(Make("tiny"), i).ok());
+
+  // Within 102 pops (one virtual-time unit at weight 100 + slack) the tiny
+  // function must receive service: finish tags bound its wait.
+  bool tiny_served = false;
+  for (int i = 0; i < 102 && !tiny_served; ++i) {
+    QueuedRequest r;
+    ASSERT_TRUE(queue.PopNext(&r));
+    tiny_served = r.function == "tiny";
+  }
+  EXPECT_TRUE(tiny_served) << "low-weight function starved";
+}
+
+TEST(FairQueueTest, EdfPopsEarliestDeadlineFirst) {
+  FairQueue queue(PolicyKind::kDeadlineEdf);
+  ASSERT_TRUE(queue.RegisterFunction("a", {}).ok());
+  ASSERT_TRUE(queue.RegisterFunction("b", {}).ok());
+  ASSERT_TRUE(queue.Enqueue(Make("a", "m0", "u0", -1, 5000), 0).ok());
+  ASSERT_TRUE(queue.Enqueue(Make("b", "m0", "u0", -1, 1000), 0).ok());
+  ASSERT_TRUE(queue.Enqueue(Make("a", "m0", "u0", -1, 3000), 0).ok());
+  ASSERT_TRUE(queue.Enqueue(Make("b", "m0", "u0", -1, kNoDeadline), 0).ok());
+
+  TimeMicros last = 0;
+  for (int i = 0; i < 4; ++i) {
+    QueuedRequest r;
+    ASSERT_TRUE(queue.PopNext(&r));
+    EXPECT_GE(r.deadline, last);
+    last = r.deadline;
+  }
+  EXPECT_EQ(last, kNoDeadline);  // deadline-less work runs last
+}
+
+TEST(FairQueueTest, DefaultSlackAssignsDeadlines) {
+  FairQueue queue(PolicyKind::kDeadlineEdf);
+  FunctionSchedParams params;
+  params.default_slack = 2000;
+  ASSERT_TRUE(queue.RegisterFunction("a", params).ok());
+  ASSERT_TRUE(queue.Enqueue(Make("a"), 1000).ok());
+  QueuedRequest r;
+  ASSERT_TRUE(queue.PopNext(&r));
+  EXPECT_EQ(r.deadline, 3000);
+}
+
+TEST(FairQueueTest, PriorityClassesAreStrict) {
+  FairQueue queue(PolicyKind::kFifo);
+  ASSERT_TRUE(queue.RegisterFunction("a", {}).ok());
+  ASSERT_TRUE(queue.Enqueue(Make("a", "m0", "u0", /*priority=*/2), 0).ok());
+  ASSERT_TRUE(queue.Enqueue(Make("a", "m0", "u0", /*priority=*/1), 1).ok());
+  ASSERT_TRUE(queue.Enqueue(Make("a", "m0", "u0", /*priority=*/0), 2).ok());
+
+  QueuedRequest r;
+  ASSERT_TRUE(queue.PopNext(&r));
+  EXPECT_EQ(r.priority, 0);  // latest arrival, highest class, first out
+  ASSERT_TRUE(queue.PopNext(&r));
+  EXPECT_EQ(r.priority, 1);
+  ASSERT_TRUE(queue.PopNext(&r));
+  EXPECT_EQ(r.priority, 2);
+}
+
+TEST(SchedulerTest, RateLimitedSubmitRejectsTyped) {
+  ManualClock clock;
+  SchedulerConfig config;
+  RequestScheduler scheduler(config, &clock);
+  FunctionSchedParams params;
+  params.rate_per_s = 2.0;
+  params.burst = 2.0;
+  ASSERT_TRUE(scheduler.RegisterFunction("f", params).ok());
+
+  EXPECT_TRUE(scheduler.Submit(Make("f"), 0).ok());
+  EXPECT_TRUE(scheduler.Submit(Make("f"), 0).ok());
+  Status third = scheduler.Submit(Make("f"), 0);
+  EXPECT_TRUE(third.IsResourceExhausted());
+  EXPECT_EQ(scheduler.stats().rejected_rate, 1u);
+
+  clock.Advance(SecondsToMicros(1));  // 2 tokens back
+  EXPECT_TRUE(scheduler.Submit(Make("f"), 0).ok());
+}
+
+TEST(SchedulerTest, PopBatchCoalescesUpToLimit) {
+  ManualClock clock;
+  RequestScheduler scheduler(SchedulerConfig{}, &clock);
+  FunctionSchedParams params;
+  params.max_batch = 4;
+  ASSERT_TRUE(scheduler.RegisterFunction("f", params).ok());
+
+  for (int i = 0; i < 6; ++i) ASSERT_TRUE(scheduler.Submit(Make("f"), 0).ok());
+  EXPECT_EQ(scheduler.PopBatch().size(), 4u);
+  EXPECT_EQ(scheduler.PopBatch().size(), 2u);
+  EXPECT_TRUE(scheduler.PopBatch().empty());
+
+  const SchedStats stats = scheduler.stats();
+  EXPECT_EQ(stats.dispatched, 6u);
+  EXPECT_EQ(stats.batches, 2u);
+  EXPECT_EQ(stats.max_batch_size, 4u);
+  EXPECT_DOUBLE_EQ(stats.avg_batch_size, 3.0);
+}
+
+TEST(SchedulerTest, BatcherNeverMixesModelsOrSessions) {
+  ManualClock clock;
+  RequestScheduler scheduler(SchedulerConfig{}, &clock);
+  FunctionSchedParams params;
+  params.max_batch = 8;
+  ASSERT_TRUE(scheduler.RegisterFunction("f", params).ok());
+
+  // Interleave two models and two sessions.
+  int submitted = 0;
+  for (int i = 0; i < 24; ++i) {
+    const std::string model = (i % 3 == 0) ? "m1" : "m0";
+    const std::string session = (i % 2 == 0) ? "alice" : "bob";
+    ASSERT_TRUE(scheduler.Submit(Make("f", model, session), 0).ok());
+    submitted++;
+  }
+
+  int dispatched = 0;
+  for (;;) {
+    std::vector<QueuedRequest> batch = scheduler.PopBatch();
+    if (batch.empty()) break;
+    for (const QueuedRequest& r : batch) {
+      EXPECT_EQ(r.model_id, batch.front().model_id) << "batch mixed models";
+      EXPECT_EQ(r.session_id, batch.front().session_id) << "batch mixed sessions";
+    }
+    dispatched += static_cast<int>(batch.size());
+  }
+  EXPECT_EQ(dispatched, submitted);  // coalescing loses nothing
+  EXPECT_EQ(scheduler.TotalDepth(), 0u);
+}
+
+TEST(SchedulerTest, QueueWaitPercentilesPerClass) {
+  ManualClock clock;
+  RequestScheduler scheduler(SchedulerConfig{}, &clock);
+  ASSERT_TRUE(scheduler.RegisterFunction("f", {}).ok());
+
+  ASSERT_TRUE(scheduler.Submit(Make("f", "m0", "u0", /*priority=*/0), 0).ok());
+  clock.Advance(1000);
+  ASSERT_TRUE(scheduler.Submit(Make("f", "m0", "u0", /*priority=*/2), 0).ok());
+  clock.Advance(500);
+
+  // P0 popped first after waiting 1500us; P2 after 500us.
+  ASSERT_EQ(scheduler.PopBatch().size(), 1u);
+  ASSERT_EQ(scheduler.PopBatch().size(), 1u);
+  const SchedStats stats = scheduler.stats();
+  EXPECT_EQ(stats.wait[0].count, 1u);
+  EXPECT_EQ(stats.wait[0].p50, 1500);
+  EXPECT_EQ(stats.wait[2].count, 1u);
+  EXPECT_EQ(stats.wait[2].p50, 500);
+}
+
+/// ThreadSanitizer target: many producers, several consumers, two functions
+/// with batching on one of them. Invariants: nothing lost, nothing
+/// double-dispatched, batches stay pure, accounting balances.
+TEST(SchedulerConcurrencyTest, MultiProducerMultiConsumerStress) {
+  RequestScheduler scheduler(SchedulerConfig{});
+  FunctionSchedParams batched;
+  batched.max_batch = 4;
+  batched.weight = 2.0;
+  ASSERT_TRUE(scheduler.RegisterFunction("a", batched).ok());
+  ASSERT_TRUE(scheduler.RegisterFunction("b", {}).ok());
+
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 250;
+  std::atomic<int> submitted{0};
+  std::atomic<bool> producing{true};
+  std::atomic<int> dispatched{0};
+  std::atomic<int> impure_batches{0};
+  std::atomic<uint64_t> seq_seen_twice{0};
+
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        const std::string fn = (i % 3 == 0) ? "b" : "a";
+        const std::string model = (i % 5 == 0) ? "m1" : "m0";
+        if (scheduler.Submit(Make(fn, model, "u" + std::to_string(p % 2)), 16)
+                .ok()) {
+          submitted.fetch_add(1);
+        }
+      }
+    });
+  }
+
+  std::mutex seen_mutex;
+  std::set<uint64_t> seen;
+  std::vector<std::thread> consumers;
+  for (int c = 0; c < 3; ++c) {
+    consumers.emplace_back([&] {
+      for (;;) {
+        std::vector<QueuedRequest> batch = scheduler.PopBatch();
+        if (batch.empty()) {
+          if (!producing.load() && scheduler.TotalDepth() == 0) return;
+          std::this_thread::yield();
+          continue;
+        }
+        for (const QueuedRequest& r : batch) {
+          if (r.model_id != batch.front().model_id ||
+              r.session_id != batch.front().session_id ||
+              r.function != batch.front().function) {
+            impure_batches.fetch_add(1);
+          }
+        }
+        {
+          std::lock_guard<std::mutex> lock(seen_mutex);
+          for (const QueuedRequest& r : batch) {
+            if (!seen.insert(r.seq).second) seq_seen_twice.fetch_add(1);
+          }
+        }
+        dispatched.fetch_add(static_cast<int>(batch.size()));
+      }
+    });
+  }
+
+  for (auto& t : producers) t.join();
+  producing.store(false);
+  for (auto& t : consumers) t.join();
+
+  EXPECT_EQ(dispatched.load(), submitted.load());
+  EXPECT_EQ(impure_batches.load(), 0);
+  EXPECT_EQ(seq_seen_twice.load(), 0u);
+  EXPECT_EQ(scheduler.TotalDepth(), 0u);
+
+  const SchedStats stats = scheduler.stats();
+  EXPECT_EQ(stats.dispatched, static_cast<uint64_t>(dispatched.load()));
+  for (const FunctionQueueStats& f : stats.functions) {
+    EXPECT_EQ(f.enqueued, f.dispatched) << f.function;
+    EXPECT_EQ(f.depth, 0u) << f.function;
+  }
+}
+
+/// Under the Fifo policy, dispatch order must equal admission order even with
+/// concurrent submitters (the policy-ordered-wakeup regression: the old
+/// window woke blocked submitters in arbitrary mutex order).
+TEST(SchedulerConcurrencyTest, FifoDispatchMatchesAdmissionOrder) {
+  RequestScheduler scheduler(SchedulerConfig{});
+  ASSERT_TRUE(scheduler.RegisterFunction("f", {}).ok());
+
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 100;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kPerThread; ++i) {
+        ASSERT_TRUE(scheduler.Submit(Make("f"), 0).ok());
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  uint64_t last_seq = 0;
+  bool first = true;
+  for (;;) {
+    std::vector<QueuedRequest> batch = scheduler.PopBatch();
+    if (batch.empty()) break;
+    ASSERT_EQ(batch.size(), 1u);
+    if (!first) {
+      EXPECT_GT(batch[0].seq, last_seq)
+          << "FIFO dispatched out of admission order";
+    }
+    first = false;
+    last_seq = batch[0].seq;
+  }
+}
+
+}  // namespace
+}  // namespace sesemi::sched

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cmath>
 #include <future>
@@ -297,6 +298,194 @@ TEST_F(ServerlessTest, ConcurrentInvokeAsyncMatchesSerialExecution) {
   // forced (each fn-a container carries 4 TCS, fn-b carries 2).
   EXPECT_GE(platform_->ContainerCount("fn-a"), 1);
   EXPECT_GE(platform_->ContainerCount("fn-b"), 1);
+}
+
+TEST_F(ServerlessTest, FifoPolicyPreservesSubmissionOrderUnderContention) {
+  // Regression for the pre-scheduler backpressure: callers blocked on the
+  // in-flight window woke in arbitrary mutex order. With the scheduler, a
+  // submission's admission order (sched_seq) must equal its dispatch order
+  // (dispatch_seq) under the default FIFO policy, no matter how many threads
+  // race to submit.
+  DeployAndAuthorize("predict");
+  platform_->PauseDispatch();  // build a contended backlog first
+
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 8;
+  std::vector<std::future<InvocationResult>> futures(kThreads * kPerThread);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        Bytes input = model::GenerateRandomInput(graph_, 1);
+        auto request = user_->BuildRequest("m0", input);
+        ASSERT_TRUE(request.ok());
+        futures[t * kPerThread + i] =
+            platform_->InvokeAsync("predict", std::move(*request));
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(platform_->scheduler_stats().queue_depth,
+            static_cast<size_t>(kThreads * kPerThread));
+
+  platform_->ResumeDispatch();
+  std::vector<std::pair<uint64_t, uint64_t>> order;  // (sched_seq, dispatch_seq)
+  for (auto& f : futures) {
+    InvocationResult result = f.get();
+    ASSERT_TRUE(result.response.ok()) << result.response.status().ToString();
+    order.emplace_back(result.sched_seq, result.dispatch_seq);
+  }
+  std::sort(order.begin(), order.end());
+  for (size_t i = 1; i < order.size(); ++i) {
+    EXPECT_GT(order[i].second, order[i - 1].second)
+        << "dispatch order diverged from FIFO admission order at " << i;
+  }
+}
+
+TEST_F(ServerlessTest, BatchedSameModelInvocationsMatchSerial) {
+  semirt::SemirtOptions options;
+  options.num_tcs = 2;
+  FunctionSpec spec;
+  spec.name = "batched";
+  spec.options = options;
+  spec.sched.max_batch = 4;
+  ASSERT_TRUE(platform_->DeployFunction(spec).ok());
+  sgx::Measurement es = semirt::SemirtInstance::MeasurementFor(options);
+  ASSERT_TRUE(owner_->GrantAccess(client_.get(), "m0", es, user_->id()).ok());
+  ASSERT_TRUE(user_->ProvisionRequestKey(client_.get(), "m0", es).ok());
+
+  // Serial baselines per seed.
+  std::map<uint64_t, std::vector<float>> expected;
+  for (uint64_t seed = 1; seed <= 3; ++seed) {
+    Bytes input = model::GenerateRandomInput(graph_, seed);
+    auto request = user_->BuildRequest("m0", input);
+    ASSERT_TRUE(request.ok());
+    auto sealed = platform_->Invoke("batched", *request);
+    ASSERT_TRUE(sealed.ok()) << sealed.status().ToString();
+    auto output = user_->DecryptResult("m0", *sealed);
+    ASSERT_TRUE(output.ok());
+    auto parsed = model::ParseOutput(*output);
+    ASSERT_TRUE(parsed.ok());
+    expected[seed] = *parsed;
+  }
+
+  // Queue 12 same-model requests while dispatch is paused so the coalescer
+  // has a backlog to batch, then release.
+  platform_->PauseDispatch();
+  std::vector<std::pair<uint64_t, std::future<InvocationResult>>> futures;
+  for (int i = 0; i < 12; ++i) {
+    const uint64_t seed = static_cast<uint64_t>(i % 3) + 1;
+    Bytes input = model::GenerateRandomInput(graph_, seed);
+    auto request = user_->BuildRequest("m0", input);
+    ASSERT_TRUE(request.ok());
+    futures.emplace_back(seed,
+                         platform_->InvokeAsync("batched", std::move(*request)));
+  }
+  platform_->ResumeDispatch();
+
+  int max_batch_seen = 0;
+  for (auto& [seed, future] : futures) {
+    InvocationResult result = future.get();
+    ASSERT_TRUE(result.response.ok()) << result.response.status().ToString();
+    max_batch_seen = std::max(max_batch_seen, result.batch_size);
+    auto output = user_->DecryptResult("m0", *result.response);
+    ASSERT_TRUE(output.ok());
+    auto parsed = model::ParseOutput(*output);
+    ASSERT_TRUE(parsed.ok());
+    const std::vector<float>& want = expected.at(seed);
+    ASSERT_EQ(parsed->size(), want.size());
+    for (size_t j = 0; j < want.size(); ++j) {
+      EXPECT_NEAR((*parsed)[j], want[j], 1e-5f) << "seed " << seed;
+    }
+  }
+  EXPECT_GT(max_batch_seen, 1) << "coalescer never built a batch";
+  const sched::SchedStats stats = platform_->scheduler_stats();
+  EXPECT_GT(stats.avg_batch_size, 1.0);
+  EXPECT_LE(stats.max_batch_size, 4u);  // respects the configured cap
+  EXPECT_EQ(platform_->stats().invocations, 3 + 12);
+}
+
+TEST_F(ServerlessTest, RateLimitedFunctionRejectsTyped) {
+  semirt::SemirtOptions options;
+  FunctionSpec spec;
+  spec.name = "limited";
+  spec.options = options;
+  spec.sched.rate_per_s = 2.0;
+  spec.sched.burst = 2.0;
+  ASSERT_TRUE(platform_->DeployFunction(spec).ok());
+  sgx::Measurement es = semirt::SemirtInstance::MeasurementFor(options);
+  ASSERT_TRUE(owner_->GrantAccess(client_.get(), "m0", es, user_->id()).ok());
+  ASSERT_TRUE(user_->ProvisionRequestKey(client_.get(), "m0", es).ok());
+
+  auto submit = [&] {
+    Bytes input = model::GenerateRandomInput(graph_, 1);
+    auto request = user_->BuildRequest("m0", input);
+    EXPECT_TRUE(request.ok());
+    return platform_->InvokeAsync("limited", std::move(*request));
+  };
+
+  auto r1 = submit().get();
+  auto r2 = submit().get();
+  auto r3 = submit().get();  // token bucket empty (ManualClock: no refill)
+  EXPECT_TRUE(r1.response.ok()) << r1.response.status().ToString();
+  EXPECT_TRUE(r2.response.ok());
+  EXPECT_TRUE(r3.response.status().IsResourceExhausted())
+      << r3.response.status().ToString();
+  EXPECT_EQ(platform_->scheduler_stats().rejected_rate, 1u);
+
+  clock_.Advance(SecondsToMicros(1));  // refill 2 tokens
+  auto r4 = submit().get();
+  EXPECT_TRUE(r4.response.ok());
+}
+
+TEST_F(ServerlessTest, WeightedFairPolicyServesBacklogByWeight) {
+  PlatformConfig config;
+  config.num_nodes = 2;
+  config.scheduler.policy = sched::PolicyKind::kWeightedFair;
+  config.max_inflight = 1;  // single dispatcher: dispatch order == pop order
+  ServerlessPlatform platform(config, &authority_, &storage_, keyservice_.get(),
+                              &clock_);
+
+  semirt::SemirtOptions options;
+  sgx::Measurement es = semirt::SemirtInstance::MeasurementFor(options);
+  ASSERT_TRUE(owner_->GrantAccess(client_.get(), "m0", es, user_->id()).ok());
+  ASSERT_TRUE(user_->ProvisionRequestKey(client_.get(), "m0", es).ok());
+  for (const auto& [name, weight] :
+       std::vector<std::pair<std::string, double>>{{"heavy", 2.0}, {"light", 1.0}}) {
+    FunctionSpec spec;
+    spec.name = name;
+    spec.options = options;
+    spec.sched.weight = weight;
+    ASSERT_TRUE(platform.DeployFunction(spec).ok());
+  }
+
+  platform.PauseDispatch();
+  std::vector<std::pair<std::string, std::future<InvocationResult>>> futures;
+  for (int i = 0; i < 12; ++i) {
+    for (const std::string fn : {"heavy", "light"}) {
+      Bytes input = model::GenerateRandomInput(graph_, 1);
+      auto request = user_->BuildRequest("m0", input);
+      ASSERT_TRUE(request.ok());
+      futures.emplace_back(fn, platform.InvokeAsync(fn, std::move(*request)));
+    }
+  }
+  platform.ResumeDispatch();
+
+  // Among the first 12 dispatches (both functions still backlogged), service
+  // must follow the 2:1 weights.
+  std::vector<std::pair<uint64_t, std::string>> dispatches;
+  for (auto& [fn, future] : futures) {
+    InvocationResult result = future.get();
+    ASSERT_TRUE(result.response.ok()) << result.response.status().ToString();
+    dispatches.emplace_back(result.dispatch_seq, fn);
+  }
+  std::sort(dispatches.begin(), dispatches.end());
+  int heavy_count = 0, light_count = 0;
+  for (int i = 0; i < 12; ++i) {
+    (dispatches[i].second == "heavy" ? heavy_count : light_count)++;
+  }
+  EXPECT_EQ(heavy_count, 8) << "2:1 weights over 12 dispatches";
+  EXPECT_EQ(light_count, 4);
 }
 
 TEST_F(ServerlessTest, RouterIntegrationFnPackerOverPlatform) {
