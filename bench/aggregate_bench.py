@@ -1,0 +1,121 @@
+#!/usr/bin/env python3
+"""Fold per-commit BENCH_*.json artifacts into one trajectory JSON.
+
+CI uploads two artifacts per commit (docs/BENCHMARKS.md):
+
+  BENCH_micro.json  google-benchmark JSON (bytes_per_second / FLOPS counters)
+  BENCH_sched.json  one JSON object per line, each with a "section" key
+
+Point this script at one or more of those files — or at directories holding
+them, e.g. one subdirectory per commit from `gh run download` — and it emits
+a single trajectory document on stdout (or --out):
+
+  {"points": [{"label": "<commit>", "metrics": {"BM_GcmSeal/65536": 1.4e9, ...},
+               "sched": {"fairness": {...}, ...}}, ...]}
+
+Labels default to the parent directory name of each file (the commit, when
+the artifact tree is one directory per commit); files sharing a label merge
+into one point. Points are ordered by each point's oldest file mtime —
+download order tracks commit order for CI artifacts, whereas name order
+would shuffle commits alphabetically by hash. Pass --keep-order to use
+argument/scan order instead (e.g. for hand-curated file lists). Example:
+
+  for sha in $(git rev-list --first-parent -n 20 HEAD); do
+    mkdir -p artifacts/$sha && ... download BENCH_*.json ...
+  done
+  python3 bench/aggregate_bench.py artifacts/*/BENCH_*.json --out trajectory.json
+"""
+
+import argparse
+import json
+import os
+import sys
+
+
+def load_micro(path, metrics):
+    """google-benchmark JSON -> {benchmark name: throughput-ish scalar}."""
+    with open(path) as f:
+        doc = json.load(f)
+    for bench in doc.get("benchmarks", []):
+        name = bench.get("name")
+        if not name or bench.get("run_type") == "aggregate":
+            continue
+        if "bytes_per_second" in bench:
+            metrics[name] = bench["bytes_per_second"]
+        elif "FLOPS" in bench:
+            metrics[name] = bench["FLOPS"]
+        elif "real_time" in bench:
+            metrics[name] = bench["real_time"]
+
+
+def load_sched(path, sections):
+    """JSON-lines with a "section" key -> {section: last object seen}."""
+    with open(path) as f:
+        for line in f:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                obj = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+            section = obj.get("section")
+            if section:
+                sections[section] = obj
+
+
+def expand_paths(args):
+    """Files as given; directories searched (recursively) for BENCH_*.json."""
+    for arg in args:
+        if os.path.isdir(arg):
+            for root, _, names in sorted(os.walk(arg)):
+                for name in sorted(names):
+                    if name.startswith("BENCH_") and name.endswith(".json"):
+                        yield os.path.join(root, name)
+        else:
+            yield arg
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("paths", nargs="+",
+                        help="BENCH_*.json files or directories of them")
+    parser.add_argument("--label", default=None,
+                        help="force one label for every input (default: each "
+                             "file's parent directory name)")
+    parser.add_argument("--out", default=None, help="write here instead of stdout")
+    parser.add_argument("--keep-order", action="store_true",
+                        help="emit points in argument/scan order instead of "
+                             "sorting by file mtime (chronological)")
+    args = parser.parse_args()
+
+    points = {}  # label -> point; ordered below
+    mtimes = {}  # label -> oldest contributing-file mtime
+    for path in expand_paths(args.paths):
+        if not os.path.isfile(path):
+            print(f"aggregate_bench: no such file: {path}", file=sys.stderr)
+            return 1
+        label = args.label or os.path.basename(os.path.dirname(os.path.abspath(path)))
+        point = points.setdefault(label, {"label": label, "metrics": {}, "sched": {}})
+        mtime = os.path.getmtime(path)
+        mtimes[label] = min(mtimes.get(label, mtime), mtime)
+        if os.path.basename(path) == "BENCH_sched.json":
+            load_sched(path, point["sched"])
+        else:
+            load_micro(path, point["metrics"])
+
+    ordered = list(points.values())
+    if not args.keep_order:
+        ordered.sort(key=lambda p: mtimes[p["label"]])
+    doc = {"points": ordered}
+    out = json.dumps(doc, indent=2, sort_keys=False)
+    if args.out:
+        with open(args.out, "w") as f:
+            f.write(out + "\n")
+    else:
+        print(out)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

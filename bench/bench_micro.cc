@@ -31,6 +31,11 @@ void BM_Sha256(benchmark::State& state) {
 }
 BENCHMARK(BM_Sha256)->Arg(1024)->Arg(64 * 1024)->Arg(1024 * 1024);
 
+// The hw-vs-portable series: the default benchmarks ride the process-wide
+// backend (AES-NI + PCLMUL where the CPU has them, labelled), and the
+// *Portable twins pin the T-table/Shoup fallback, so one run shows the
+// hardware dispatch speedup in-binary — the same pattern as the *Naive
+// inference kernels below.
 void BM_AesGcmEncrypt(benchmark::State& state) {
   Bytes key(16, 1), nonce(12, 2);
   Bytes data(static_cast<size_t>(state.range(0)), 0xcd);
@@ -39,8 +44,20 @@ void BM_AesGcmEncrypt(benchmark::State& state) {
     benchmark::DoNotOptimize(gcm->Encrypt(nonce, {}, data));
   }
   state.SetBytesProcessed(state.iterations() * state.range(0));
+  state.SetLabel(gcm->hardware() ? "hw" : "portable");
 }
 BENCHMARK(BM_AesGcmEncrypt)->Arg(1024)->Arg(64 * 1024)->Arg(1024 * 1024);
+
+void BM_AesGcmEncryptPortable(benchmark::State& state) {
+  Bytes key(16, 1), nonce(12, 2);
+  Bytes data(static_cast<size_t>(state.range(0)), 0xcd);
+  auto gcm = crypto::AesGcm::Create(key, crypto::CryptoBackend::kPortable);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gcm->Encrypt(nonce, {}, data));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_AesGcmEncryptPortable)->Arg(1024)->Arg(64 * 1024)->Arg(1024 * 1024);
 
 void BM_AesGcmDecrypt(benchmark::State& state) {
   Bytes key(16, 1), nonce(12, 2);
@@ -51,8 +68,21 @@ void BM_AesGcmDecrypt(benchmark::State& state) {
     benchmark::DoNotOptimize(gcm->Decrypt(nonce, {}, sealed));
   }
   state.SetBytesProcessed(state.iterations() * state.range(0));
+  state.SetLabel(gcm->hardware() ? "hw" : "portable");
 }
 BENCHMARK(BM_AesGcmDecrypt)->Arg(1024)->Arg(64 * 1024)->Arg(1024 * 1024);
+
+void BM_AesGcmDecryptPortable(benchmark::State& state) {
+  Bytes key(16, 1), nonce(12, 2);
+  Bytes data(static_cast<size_t>(state.range(0)), 0xcd);
+  auto gcm = crypto::AesGcm::Create(key, crypto::CryptoBackend::kPortable);
+  Bytes sealed = std::move(*gcm->Encrypt(nonce, {}, data));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gcm->Decrypt(nonce, {}, sealed));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_AesGcmDecryptPortable)->Arg(1024)->Arg(64 * 1024)->Arg(1024 * 1024);
 
 // GcmSeal/GcmOpen are the exact calls on the SeMIRT request path (key
 // schedule + GHASH table build per call included), reported as end-to-end
@@ -68,6 +98,20 @@ void BM_GcmSeal(benchmark::State& state) {
 }
 BENCHMARK(BM_GcmSeal)->Arg(1024)->Arg(64 * 1024)->Arg(1024 * 1024);
 
+// Portable twin of BM_GcmSeal (per-message cipher setup included, like the
+// keyed helper): the request-path end-to-end cost of the fallback.
+void BM_GcmSealPortable(benchmark::State& state) {
+  Bytes key(16, 7);
+  Bytes aad = ToBytes("sesemi-request:mbnet");
+  Bytes data(static_cast<size_t>(state.range(0)), 0x5c);
+  for (auto _ : state) {
+    auto gcm = crypto::AesGcm::Create(key, crypto::CryptoBackend::kPortable);
+    benchmark::DoNotOptimize(crypto::GcmSealPartsWith(*gcm, aad, {}, data));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_GcmSealPortable)->Arg(1024)->Arg(64 * 1024)->Arg(1024 * 1024);
+
 void BM_GcmOpen(benchmark::State& state) {
   Bytes key(16, 7);
   Bytes aad = ToBytes("sesemi-request:mbnet");
@@ -79,6 +123,19 @@ void BM_GcmOpen(benchmark::State& state) {
   state.SetBytesProcessed(state.iterations() * state.range(0));
 }
 BENCHMARK(BM_GcmOpen)->Arg(1024)->Arg(64 * 1024)->Arg(1024 * 1024);
+
+void BM_GcmOpenPortable(benchmark::State& state) {
+  Bytes key(16, 7);
+  Bytes aad = ToBytes("sesemi-request:mbnet");
+  Bytes data(static_cast<size_t>(state.range(0)), 0x5c);
+  Bytes sealed = std::move(*crypto::GcmSeal(key, aad, data));
+  for (auto _ : state) {
+    auto gcm = crypto::AesGcm::Create(key, crypto::CryptoBackend::kPortable);
+    benchmark::DoNotOptimize(crypto::GcmOpenPartsWith(*gcm, aad, {}, sealed));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_GcmOpenPortable)->Arg(1024)->Arg(64 * 1024)->Arg(1024 * 1024);
 
 // ------------------------------------------------ inference kernels
 // FLOPS counter = multiply-adds * 2 per second; naive twins measure the

@@ -1,7 +1,10 @@
 #include "crypto/aes.h"
 
 #include <array>
+#include <cstdlib>
 #include <cstring>
+
+#include "crypto/intrinsics.h"
 
 namespace sesemi::crypto {
 
@@ -93,13 +96,110 @@ inline void Store32BE(uint8_t* p, uint32_t v) {
   v = HostToBe32(v);
   std::memcpy(p, &v, 4);
 }
+
+#if SESEMI_CRYPTO_X86
+// AES-NI pipeline: all blocks advance one AESENC per step, so the rounds of
+// independent blocks overlap in the AES units exactly like the T-table path
+// interleaves its table lookups — but constant-time and ~an order of
+// magnitude fewer uops per block. Round keys arrive as the big-endian-word
+// serialization of the schedule, which is the byte layout AESENC consumes.
+__attribute__((target("aes,sse2"))) void AesniEncryptBlocks(
+    const uint8_t* round_key_bytes, int rounds, const uint8_t* in, uint8_t* out,
+    size_t nblocks) {
+  __m128i keys[15];
+  for (int r = 0; r <= rounds; ++r) {
+    keys[r] = _mm_loadu_si128(
+        reinterpret_cast<const __m128i*>(round_key_bytes + 16 * r));
+  }
+  while (nblocks >= 8) {
+    __m128i s[8];
+    for (int b = 0; b < 8; ++b) {
+      s[b] = _mm_xor_si128(
+          _mm_loadu_si128(reinterpret_cast<const __m128i*>(in + 16 * b)), keys[0]);
+    }
+    for (int r = 1; r < rounds; ++r) {
+      for (int b = 0; b < 8; ++b) s[b] = _mm_aesenc_si128(s[b], keys[r]);
+    }
+    for (int b = 0; b < 8; ++b) {
+      s[b] = _mm_aesenclast_si128(s[b], keys[rounds]);
+      _mm_storeu_si128(reinterpret_cast<__m128i*>(out + 16 * b), s[b]);
+    }
+    in += 8 * 16;
+    out += 8 * 16;
+    nblocks -= 8;
+  }
+  while (nblocks >= 4) {
+    __m128i s[4];
+    for (int b = 0; b < 4; ++b) {
+      s[b] = _mm_xor_si128(
+          _mm_loadu_si128(reinterpret_cast<const __m128i*>(in + 16 * b)), keys[0]);
+    }
+    for (int r = 1; r < rounds; ++r) {
+      for (int b = 0; b < 4; ++b) s[b] = _mm_aesenc_si128(s[b], keys[r]);
+    }
+    for (int b = 0; b < 4; ++b) {
+      s[b] = _mm_aesenclast_si128(s[b], keys[rounds]);
+      _mm_storeu_si128(reinterpret_cast<__m128i*>(out + 16 * b), s[b]);
+    }
+    in += 4 * 16;
+    out += 4 * 16;
+    nblocks -= 4;
+  }
+  while (nblocks > 0) {
+    __m128i s = _mm_xor_si128(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(in)), keys[0]);
+    for (int r = 1; r < rounds; ++r) s = _mm_aesenc_si128(s, keys[r]);
+    s = _mm_aesenclast_si128(s, keys[rounds]);
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(out), s);
+    in += 16;
+    out += 16;
+    nblocks--;
+  }
+}
+#endif  // SESEMI_CRYPTO_X86
 }  // namespace
 
-Result<Aes> Aes::Create(ByteSpan key) {
+const char* ToString(CryptoBackend backend) {
+  switch (backend) {
+    case CryptoBackend::kAuto: return "auto";
+    case CryptoBackend::kPortable: return "portable";
+    case CryptoBackend::kHardware: return "hardware";
+  }
+  return "unknown";
+}
+
+bool HardwareCryptoAvailable() {
+#if SESEMI_CRYPTO_X86
+  static const bool available = __builtin_cpu_supports("aes") &&
+                                __builtin_cpu_supports("pclmul") &&
+                                __builtin_cpu_supports("ssse3");
+  return available;
+#else
+  return false;
+#endif
+}
+
+CryptoBackend ActiveCryptoBackend() {
+  static const CryptoBackend active = [] {
+    const char* force = std::getenv("SESEMI_FORCE_PORTABLE");
+    const bool forced =
+        force != nullptr && force[0] != '\0' && !(force[0] == '0' && force[1] == '\0');
+    if (forced || !HardwareCryptoAvailable()) return CryptoBackend::kPortable;
+    return CryptoBackend::kHardware;
+  }();
+  return active;
+}
+
+Result<Aes> Aes::Create(ByteSpan key, CryptoBackend backend) {
   if (key.size() != kAes128KeySize && key.size() != kAes256KeySize) {
     return Status::InvalidArgument("AES key must be 16 or 32 bytes");
   }
+  if (backend == CryptoBackend::kAuto) backend = ActiveCryptoBackend();
+  if (backend == CryptoBackend::kHardware && !HardwareCryptoAvailable()) {
+    return Status::FailedPrecondition("AES-NI/PCLMUL not available on this CPU");
+  }
   Aes aes;
+  aes.hw_ = backend == CryptoBackend::kHardware;
   aes.ExpandKey(key);
   return aes;
 }
@@ -121,10 +221,19 @@ void Aes::ExpandKey(ByteSpan key) {
     }
     round_keys_[i] = round_keys_[i - nk] ^ temp;
   }
+  for (int i = 0; i < total_words; ++i) {
+    Store32BE(round_key_bytes_ + 4 * i, round_keys_[i]);
+  }
 }
 
 void Aes::EncryptBlock(const uint8_t in[kAesBlockSize],
                        uint8_t out[kAesBlockSize]) const {
+#if SESEMI_CRYPTO_X86
+  if (hw_) {
+    AesniEncryptBlocks(round_key_bytes_, rounds_, in, out, 1);
+    return;
+  }
+#endif
   const uint32_t* rk = round_keys_;
   uint32_t s0 = Load32BE(in) ^ rk[0];
   uint32_t s1 = Load32BE(in + 4) ^ rk[1];
@@ -172,6 +281,12 @@ void Aes::EncryptBlock(const uint8_t in[kAesBlockSize],
 
 void Aes::EncryptBlocks4(const uint8_t in[4 * kAesBlockSize],
                          uint8_t out[4 * kAesBlockSize]) const {
+#if SESEMI_CRYPTO_X86
+  if (hw_) {
+    AesniEncryptBlocks(round_key_bytes_, rounds_, in, out, 4);
+    return;
+  }
+#endif
   // Four independent blocks interleaved round-by-round: the per-lookup L1
   // latency of one block's round overlaps the others', which is what makes
   // the CTR keystream batch in GCM run close to table-lookup throughput.
@@ -228,6 +343,20 @@ void Aes::EncryptBlocks4(const uint8_t in[4 * kAesBlockSize],
     Store32BE(p + 8, o2 ^ rk[2]);
     Store32BE(p + 12, o3 ^ rk[3]);
   }
+}
+
+void Aes::EncryptBlocks8(const uint8_t in[8 * kAesBlockSize],
+                         uint8_t out[8 * kAesBlockSize]) const {
+#if SESEMI_CRYPTO_X86
+  if (hw_) {
+    AesniEncryptBlocks(round_key_bytes_, rounds_, in, out, 8);
+    return;
+  }
+#endif
+  // Portable fallback: two 4-block groups (8-wide interleave would spill the
+  // 32 state words out of registers on the scalar path).
+  EncryptBlocks4(in, out);
+  EncryptBlocks4(in + 4 * kAesBlockSize, out + 4 * kAesBlockSize);
 }
 
 }  // namespace sesemi::crypto

@@ -12,16 +12,49 @@ constexpr size_t kAesBlockSize = 16;
 constexpr size_t kAes128KeySize = 16;
 constexpr size_t kAes256KeySize = 32;
 
+/// Which AES/GHASH implementation a cipher instance runs on.
+///
+/// The selection is made once per process (see ActiveCryptoBackend) and every
+/// cipher built with kAuto inherits it, so the whole request path — semirt
+/// request codec, keyservice messages, the scheduler's batched RequestCipher —
+/// rides the hardware instructions with zero call-site changes. Tests and
+/// benchmarks pin a backend explicitly to compare the two byte-for-byte.
+enum class CryptoBackend {
+  kAuto = 0,   ///< resolve at startup: hardware when available, else portable
+  kPortable,   ///< T-table AES + 8-bit Shoup-table GHASH
+  kHardware,   ///< AES-NI block cipher + PCLMULQDQ GHASH
+};
+
+const char* ToString(CryptoBackend backend);
+
+/// True when this build and CPU can run the AES-NI + PCLMULQDQ path
+/// (x86-64 with the AES, PCLMUL, and SSSE3 CPUID bits).
+bool HardwareCryptoAvailable();
+
+/// The backend kAuto resolves to, decided once per process: portable when the
+/// SESEMI_FORCE_PORTABLE environment variable is set non-empty (and not "0")
+/// or when hardware support is missing, hardware otherwise. The forced-
+/// portable pin exists for tests, benches, and CI fallback legs.
+CryptoBackend ActiveCryptoBackend();
+
 /// AES block cipher (FIPS 197), 128- or 256-bit keys.
 ///
 /// Only the forward (encryption) direction is implemented: the library uses
 /// AES exclusively in counter-based modes (GCM), which never need the inverse
 /// cipher. This keeps the in-enclave TCB small, matching the paper's goal of a
 /// minimal enclave interface.
+///
+/// Two implementations sit behind one key schedule: constant-time AES-NI
+/// rounds (4/8-block pipelined) when the hardware backend is active, and the
+/// T-table path as the portable fallback. The classic table cache-timing
+/// caveat applies to the fallback only.
 class Aes {
  public:
-  /// Expands the key schedule. Accepts 16- or 32-byte keys.
-  static Result<Aes> Create(ByteSpan key);
+  /// Expands the key schedule. Accepts 16- or 32-byte keys. `backend` pins an
+  /// implementation; kAuto follows ActiveCryptoBackend(), and requesting
+  /// kHardware on a machine without AES-NI fails FailedPrecondition.
+  static Result<Aes> Create(ByteSpan key,
+                            CryptoBackend backend = CryptoBackend::kAuto);
 
   /// Encrypt exactly one 16-byte block, in == out allowed.
   void EncryptBlock(const uint8_t in[kAesBlockSize], uint8_t out[kAesBlockSize]) const;
@@ -31,15 +64,28 @@ class Aes {
   void EncryptBlocks4(const uint8_t in[4 * kAesBlockSize],
                       uint8_t out[4 * kAesBlockSize]) const;
 
+  /// Encrypt eight independent 16-byte blocks. On the hardware backend this
+  /// is a single 8-wide AESENC pipeline (the wide GCM keystream batch); the
+  /// portable path runs two 4-block groups.
+  void EncryptBlocks8(const uint8_t in[8 * kAesBlockSize],
+                      uint8_t out[8 * kAesBlockSize]) const;
+
   /// Number of AES rounds (10 for AES-128, 14 for AES-256).
   int rounds() const { return rounds_; }
+
+  /// True when this instance runs the AES-NI path.
+  bool hardware() const { return hw_; }
 
  private:
   Aes() = default;
   void ExpandKey(ByteSpan key);
 
   uint32_t round_keys_[60];  // max 15 round keys * 4 words
+  /// The same schedule serialized big-endian per word — exactly the byte
+  /// layout AESENC consumes — so the hardware path needs no aeskeygenassist.
+  alignas(16) uint8_t round_key_bytes_[15 * kAesBlockSize];
   int rounds_ = 0;
+  bool hw_ = false;
 };
 
 }  // namespace sesemi::crypto

@@ -2,6 +2,7 @@
 
 #include <cstring>
 
+#include "crypto/intrinsics.h"
 #include "crypto/random.h"
 
 namespace sesemi::crypto {
@@ -52,6 +53,119 @@ constexpr Reduce8Table MakeReduce8Table() {
 }
 
 constexpr Reduce8Table kReduce8 = MakeReduce8Table();
+
+#if SESEMI_CRYPTO_X86
+// ---------------------------------------------------------------------------
+// PCLMULQDQ GHASH. GHASH field elements are bit-reflected relative to their
+// wire bytes; loading each 16-byte block byte-reversed (PSHUFB) and fixing
+// the reflection with a single left-shift of the 256-bit product (the
+// "shift-XOR" method of the Intel carry-less-multiplication whitepaper) lets
+// the whole multiply run on CLMUL without per-bit reversal.
+
+__attribute__((target("ssse3"))) inline __m128i LoadReflected(const uint8_t* p) {
+  const __m128i kByteReverse =
+      _mm_set_epi8(0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15);
+  return _mm_shuffle_epi8(_mm_loadu_si128(reinterpret_cast<const __m128i*>(p)),
+                          kByteReverse);
+}
+
+__attribute__((target("ssse3"))) inline void StoreReflected(uint8_t* p, __m128i v) {
+  const __m128i kByteReverse =
+      _mm_set_epi8(0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15);
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(p), _mm_shuffle_epi8(v, kByteReverse));
+}
+
+// Accumulate the 256-bit carry-less product a·b into (lo, mid, hi). Products
+// are linear over XOR, so several multiplies can pile into one accumulator
+// and share a single reduction — the 4-block aggregation below.
+__attribute__((target("pclmul"))) inline void ClmulAccumulate(
+    __m128i a, __m128i b, __m128i* lo, __m128i* mid, __m128i* hi) {
+  *lo = _mm_xor_si128(*lo, _mm_clmulepi64_si128(a, b, 0x00));
+  *hi = _mm_xor_si128(*hi, _mm_clmulepi64_si128(a, b, 0x11));
+  *mid = _mm_xor_si128(*mid, _mm_xor_si128(_mm_clmulepi64_si128(a, b, 0x10),
+                                           _mm_clmulepi64_si128(a, b, 0x01)));
+}
+
+// Fold mid into the 256-bit (hi:lo), shift left one bit (the reflection
+// fixup), then reduce modulo x^128 + x^7 + x^2 + x + 1.
+__attribute__((target("pclmul"))) inline __m128i ClmulReduce(__m128i lo, __m128i mid,
+                                                             __m128i hi) {
+  lo = _mm_xor_si128(lo, _mm_slli_si128(mid, 8));
+  hi = _mm_xor_si128(hi, _mm_srli_si128(mid, 8));
+
+  const __m128i lo_carry = _mm_srli_epi32(lo, 31);
+  const __m128i hi_carry = _mm_srli_epi32(hi, 31);
+  lo = _mm_slli_epi32(lo, 1);
+  hi = _mm_slli_epi32(hi, 1);
+  hi = _mm_or_si128(hi, _mm_slli_si128(hi_carry, 4));
+  hi = _mm_or_si128(hi, _mm_srli_si128(lo_carry, 12));
+  lo = _mm_or_si128(lo, _mm_slli_si128(lo_carry, 4));
+
+  __m128i t = _mm_xor_si128(_mm_slli_epi32(lo, 31),
+                            _mm_xor_si128(_mm_slli_epi32(lo, 30),
+                                          _mm_slli_epi32(lo, 25)));
+  const __m128i t_hi = _mm_srli_si128(t, 4);
+  lo = _mm_xor_si128(lo, _mm_slli_si128(t, 12));
+  __m128i r = _mm_xor_si128(_mm_srli_epi32(lo, 1),
+                            _mm_xor_si128(_mm_srli_epi32(lo, 2),
+                                          _mm_srli_epi32(lo, 7)));
+  r = _mm_xor_si128(r, t_hi);
+  lo = _mm_xor_si128(lo, r);
+  return _mm_xor_si128(hi, lo);
+}
+
+// Full single multiply (reflected convention) — used for the H-power setup.
+__attribute__((target("pclmul"))) inline __m128i ClmulGfMul(__m128i a, __m128i b) {
+  __m128i lo = _mm_setzero_si128();
+  __m128i mid = _mm_setzero_si128();
+  __m128i hi = _mm_setzero_si128();
+  ClmulAccumulate(a, b, &lo, &mid, &hi);
+  return ClmulReduce(lo, mid, hi);
+}
+
+__attribute__((target("pclmul,ssse3"))) void ClmulBuildHPowers(
+    const uint8_t h[16], uint8_t h_powers[4][16]) {
+  const __m128i h1 = LoadReflected(h);
+  __m128i p = h1;
+  _mm_store_si128(reinterpret_cast<__m128i*>(h_powers[0]), p);
+  for (int i = 1; i < 4; ++i) {
+    p = ClmulGfMul(p, h1);
+    _mm_store_si128(reinterpret_cast<__m128i*>(h_powers[i]), p);
+  }
+}
+
+// Y <- GHASH update over `blocks` 16-byte blocks: 4 at a time against
+// H^4..H^1 with one shared reduction, then block-at-a-time for the tail.
+__attribute__((target("pclmul,ssse3"))) void ClmulGHashBlocks(
+    const uint8_t h_powers[4][16], uint8_t y[16], const uint8_t* data,
+    size_t blocks) {
+  const __m128i h1 = _mm_load_si128(reinterpret_cast<const __m128i*>(h_powers[0]));
+  __m128i acc = LoadReflected(y);
+  if (blocks >= 4) {
+    const __m128i h2 = _mm_load_si128(reinterpret_cast<const __m128i*>(h_powers[1]));
+    const __m128i h3 = _mm_load_si128(reinterpret_cast<const __m128i*>(h_powers[2]));
+    const __m128i h4 = _mm_load_si128(reinterpret_cast<const __m128i*>(h_powers[3]));
+    while (blocks >= 4) {
+      __m128i lo = _mm_setzero_si128();
+      __m128i mid = _mm_setzero_si128();
+      __m128i hi = _mm_setzero_si128();
+      ClmulAccumulate(_mm_xor_si128(acc, LoadReflected(data)), h4, &lo, &mid, &hi);
+      ClmulAccumulate(LoadReflected(data + 16), h3, &lo, &mid, &hi);
+      ClmulAccumulate(LoadReflected(data + 32), h2, &lo, &mid, &hi);
+      ClmulAccumulate(LoadReflected(data + 48), h1, &lo, &mid, &hi);
+      acc = ClmulReduce(lo, mid, hi);
+      data += 64;
+      blocks -= 4;
+    }
+  }
+  while (blocks > 0) {
+    acc = ClmulGfMul(_mm_xor_si128(acc, LoadReflected(data)), h1);
+    data += 16;
+    blocks--;
+  }
+  StoreReflected(y, acc);
+}
+#endif  // SESEMI_CRYPTO_X86
 }  // namespace
 
 struct AesGcm::GhashState {
@@ -60,8 +174,8 @@ struct AesGcm::GhashState {
   size_t buflen = 0;
 };
 
-Result<AesGcm> AesGcm::Create(ByteSpan key) {
-  SESEMI_ASSIGN_OR_RETURN(Aes aes, Aes::Create(key));
+Result<AesGcm> AesGcm::Create(ByteSpan key, CryptoBackend backend) {
+  SESEMI_ASSIGN_OR_RETURN(Aes aes, Aes::Create(key, backend));
   return AesGcm(std::move(aes));
 }
 
@@ -70,6 +184,14 @@ AesGcm::AesGcm(Aes aes) : aes_(std::move(aes)) {
   uint8_t h[16];
   aes_.EncryptBlock(zero, h);
 
+#if SESEMI_CRYPTO_X86
+  if (aes_.hardware()) {
+    // H^1..H^4 for the aggregated CLMUL walk; the 256-entry Shoup table is
+    // skipped entirely, which also makes per-message cipher setup cheaper.
+    ClmulBuildHPowers(h, h_powers_);
+    return;
+  }
+#endif
   // Build the 8-bit multiplication table: table[1000'0000b] = H, then halve
   // (multiply by x, i.e. right shift in the reflected representation) down to
   // 0000'0001b, and fill composites by XOR.
@@ -96,6 +218,12 @@ AesGcm::AesGcm(Aes aes) : aes_(std::move(aes)) {
 }
 
 void AesGcm::GHashBlocks(uint8_t y[16], const uint8_t* data, size_t blocks) const {
+#if SESEMI_CRYPTO_X86
+  if (aes_.hardware()) {
+    ClmulGHashBlocks(h_powers_, y, data, blocks);
+    return;
+  }
+#endif
   uint64_t yh = Load64BE(y);
   uint64_t yl = Load64BE(y + 8);
 
@@ -161,12 +289,9 @@ void AesGcm::GHashFlush(GhashState* st) const {
 
 void AesGcm::CtrCryptAndHash(const uint8_t j0[16], ByteSpan in, uint8_t* out,
                              uint8_t y[16], bool hash_output) const {
-  uint8_t counters[64];
-  uint8_t keystream[64];
-  std::memcpy(counters, j0, 12);
-  std::memcpy(counters + 16, j0, 12);
-  std::memcpy(counters + 32, j0, 12);
-  std::memcpy(counters + 48, j0, 12);
+  uint8_t counters[128];
+  uint8_t keystream[128];
+  for (int b = 0; b < 8; ++b) std::memcpy(counters + 16 * b, j0, 12);
   uint32_t ctr;
   std::memcpy(&ctr, j0 + 12, 4);
   ctr = HostToBe32(ctr);  // big-endian counter -> host int
@@ -174,22 +299,45 @@ void AesGcm::CtrCryptAndHash(const uint8_t j0[16], ByteSpan in, uint8_t* out,
   const uint8_t* src = in.data();
   size_t remaining = in.size();
 
-  // Fused bulk path: 4 counter blocks -> batched keystream -> XOR -> GHASH,
-  // all while the 64-byte batch is hot in L1.
-  while (remaining >= 64) {
-    for (int b = 0; b < 4; ++b) {
+  // inc32: the counter wraps modulo 2^32 (NIST SP 800-38D §6.2) — uint32_t
+  // arithmetic gives exactly that, on every batch width.
+  const auto set_counters = [&](int n) {
+    for (int b = 0; b < n; ++b) {
       const uint32_t c = HostToBe32(ctr + 1 + static_cast<uint32_t>(b));
       std::memcpy(counters + 16 * b + 12, &c, 4);
     }
-    ctr += 4;
-    aes_.EncryptBlocks4(counters, keystream);
-    for (int i = 0; i < 64; i += 8) {
+    ctr += static_cast<uint32_t>(n);
+  };
+  const auto xor_into = [&](size_t len) {
+    for (size_t i = 0; i < len; i += 8) {
       uint64_t d, k;
       std::memcpy(&d, src + i, 8);
       std::memcpy(&k, keystream + i, 8);
       d ^= k;
       std::memcpy(out + i, &d, 8);
     }
+  };
+
+  // Fused bulk path: counter blocks -> batched keystream -> XOR -> GHASH,
+  // all while the batch is hot in L1. The AES-NI pipeline is deep enough to
+  // keep 8 blocks in flight, so the hardware backend runs 128-byte batches
+  // (and its GHASH aggregates the 8 blocks as two 4-block CLMUL groups);
+  // the T-table path stays at the 4-block width that fits its registers.
+  if (aes_.hardware()) {
+    while (remaining >= 128) {
+      set_counters(8);
+      aes_.EncryptBlocks8(counters, keystream);
+      xor_into(128);
+      GHashBlocks(y, hash_output ? out : src, 8);
+      src += 128;
+      out += 128;
+      remaining -= 128;
+    }
+  }
+  while (remaining >= 64) {
+    set_counters(4);
+    aes_.EncryptBlocks4(counters, keystream);
+    xor_into(64);
     GHashBlocks(y, hash_output ? out : src, 4);
     src += 64;
     out += 64;
@@ -228,6 +376,10 @@ Status AesGcm::EncryptInto(ByteSpan nonce, ByteSpan aad_a, ByteSpan aad_b,
   if (nonce.size() != kGcmNonceSize) {
     return Status::InvalidArgument("GCM nonce must be 12 bytes");
   }
+  if (static_cast<uint64_t>(plaintext.size()) > kGcmMaxPlaintextSize) {
+    return Status::InvalidArgument(
+        "GCM plaintext exceeds the SP 800-38D limit of 2^39-256 bits");
+  }
   uint8_t j0[16];
   std::memcpy(j0, nonce.data(), 12);
   j0[12] = j0[13] = j0[14] = 0;
@@ -252,6 +404,10 @@ Status AesGcm::DecryptInto(ByteSpan nonce, ByteSpan aad_a, ByteSpan aad_b,
     return Status::Unauthenticated("GCM message shorter than tag");
   }
   const size_t ct_len = ciphertext_and_tag.size() - kGcmTagSize;
+  if (static_cast<uint64_t>(ct_len) > kGcmMaxPlaintextSize) {
+    return Status::InvalidArgument(
+        "GCM ciphertext exceeds the SP 800-38D limit of 2^39-256 bits");
+  }
   ByteSpan ct(ciphertext_and_tag.data(), ct_len);
   ByteSpan tag(ciphertext_and_tag.data() + ct_len, kGcmTagSize);
 
@@ -277,6 +433,10 @@ Status AesGcm::DecryptInto(ByteSpan nonce, ByteSpan aad_a, ByteSpan aad_b,
 }
 
 Result<Bytes> AesGcm::Encrypt(ByteSpan nonce, ByteSpan aad, ByteSpan plaintext) const {
+  if (static_cast<uint64_t>(plaintext.size()) > kGcmMaxPlaintextSize) {
+    return Status::InvalidArgument(
+        "GCM plaintext exceeds the SP 800-38D limit of 2^39-256 bits");
+  }
   Bytes out(plaintext.size() + kGcmTagSize);
   SESEMI_RETURN_IF_ERROR(EncryptInto(nonce, aad, {}, plaintext, out.data()));
   return out;
@@ -287,6 +447,11 @@ Result<Bytes> AesGcm::Decrypt(ByteSpan nonce, ByteSpan aad,
   if (ciphertext_and_tag.size() < kGcmTagSize) {
     return Status::Unauthenticated("GCM message shorter than tag");
   }
+  if (static_cast<uint64_t>(ciphertext_and_tag.size() - kGcmTagSize) >
+      kGcmMaxPlaintextSize) {
+    return Status::InvalidArgument(
+        "GCM ciphertext exceeds the SP 800-38D limit of 2^39-256 bits");
+  }
   Bytes plain(ciphertext_and_tag.size() - kGcmTagSize);
   SESEMI_RETURN_IF_ERROR(DecryptInto(nonce, aad, {}, ciphertext_and_tag, plain.data()));
   return plain;
@@ -294,6 +459,11 @@ Result<Bytes> AesGcm::Decrypt(ByteSpan nonce, ByteSpan aad,
 
 Result<Bytes> GcmSealPartsWith(const AesGcm& gcm, ByteSpan aad_a, ByteSpan aad_b,
                                ByteSpan plaintext) {
+  if (static_cast<uint64_t>(plaintext.size()) > kGcmMaxPlaintextSize) {
+    // Checked before the output allocation, not just inside EncryptInto.
+    return Status::InvalidArgument(
+        "GCM plaintext exceeds the SP 800-38D limit of 2^39-256 bits");
+  }
   // One allocation for nonce || ciphertext || tag, written in place.
   Bytes out(kGcmNonceSize + plaintext.size() + kGcmTagSize);
   FillRandomBytes(out.data(), kGcmNonceSize);
@@ -306,6 +476,11 @@ Result<Bytes> GcmOpenPartsWith(const AesGcm& gcm, ByteSpan aad_a, ByteSpan aad_b
                                ByteSpan sealed) {
   if (sealed.size() < kGcmNonceSize + kGcmTagSize) {
     return Status::Unauthenticated("sealed message too short");
+  }
+  if (static_cast<uint64_t>(sealed.size() - kGcmNonceSize - kGcmTagSize) >
+      kGcmMaxPlaintextSize) {
+    return Status::InvalidArgument(
+        "GCM ciphertext exceeds the SP 800-38D limit of 2^39-256 bits");
   }
   ByteSpan nonce(sealed.data(), kGcmNonceSize);
   ByteSpan ct(sealed.data() + kGcmNonceSize, sealed.size() - kGcmNonceSize);

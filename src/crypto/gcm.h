@@ -10,6 +10,12 @@ namespace sesemi::crypto {
 constexpr size_t kGcmNonceSize = 12;
 constexpr size_t kGcmTagSize = 16;
 
+/// NIST SP 800-38D limit on one message's plaintext: 2^39 - 256 bits
+/// (2^36 - 32 bytes). Beyond it the 32-bit invocation counter would repeat a
+/// counter block under the same key/nonce; sealing or opening anything longer
+/// is rejected with InvalidArgument instead of silently wrapping.
+constexpr uint64_t kGcmMaxPlaintextSize = (uint64_t{1} << 36) - 32;
+
 /// AES-GCM authenticated encryption (NIST SP 800-38D).
 ///
 /// This is the cipher the paper uses for both model and request encryption
@@ -18,13 +24,19 @@ constexpr size_t kGcmTagSize = 16;
 /// helpers below.
 ///
 /// The bulk path is a fused single pass: the CTR keystream is generated in
-/// 4-block (64-byte) batches and GHASH is accumulated over the same batch
-/// before moving on, so each ciphertext byte is touched once while hot in
-/// L1. GHASH uses a per-key 256-entry (8-bit Shoup) table.
+/// batches and GHASH is accumulated over the same batch before moving on, so
+/// each ciphertext byte is touched once while hot in L1. On the hardware
+/// backend (AES-NI + PCLMULQDQ, see ActiveCryptoBackend) keystream batches
+/// are 8 blocks wide and GHASH is a reflected carry-less multiply with
+/// 4-block aggregation over precomputed H^1..H^4; the portable fallback keeps
+/// 4-block batches and a per-key 256-entry (8-bit Shoup) table.
 class AesGcm {
  public:
-  /// Build a GCM instance over a 16- or 32-byte AES key.
-  static Result<AesGcm> Create(ByteSpan key);
+  /// Build a GCM instance over a 16- or 32-byte AES key. `backend` pins an
+  /// implementation (tests/benches compare the two); kAuto follows the
+  /// process-wide selection.
+  static Result<AesGcm> Create(ByteSpan key,
+                               CryptoBackend backend = CryptoBackend::kAuto);
 
   /// Encrypt `plaintext` with `nonce` (must be 12 bytes) and additional
   /// authenticated data `aad`. Output is ciphertext || tag.
@@ -45,8 +57,13 @@ class AesGcm {
   Status DecryptInto(ByteSpan nonce, ByteSpan aad_a, ByteSpan aad_b,
                      ByteSpan ciphertext_and_tag, uint8_t* out) const;
 
+  /// True when this instance runs AES-NI + PCLMUL.
+  bool hardware() const { return aes_.hardware(); }
+
  private:
   explicit AesGcm(Aes aes);
+
+  friend struct GcmTestPeer;  ///< counter-wrap regression drives CtrCryptAndHash
 
   struct GhashState;
   void GHashBlocks(uint8_t y[16], const uint8_t* data, size_t blocks) const;
@@ -63,10 +80,15 @@ class AesGcm {
                   size_t ct_len, uint8_t tag[16]) const;
 
   Aes aes_;
-  // 8-bit Shoup GHASH table: table_*_[b] = (the byte b, as the top 8 bits of
-  // a field element) · H, in two big-endian halves.
+  // Portable GHASH — 8-bit Shoup table: table_*_[b] = (the byte b, as the top
+  // 8 bits of a field element) · H, in two big-endian halves. Built only on
+  // the portable backend.
   uint64_t table_hi_[256];
   uint64_t table_lo_[256];
+  // Hardware GHASH — H^1..H^4 in the byte-reflected convention the PCLMUL
+  // kernel loads directly ([0] = H, [3] = H^4). Built only on the hardware
+  // backend; kept as raw bytes so <immintrin.h> stays out of this header.
+  alignas(16) uint8_t h_powers_[4][16];
 };
 
 /// Seal with a random nonce: returns nonce || ciphertext || tag.

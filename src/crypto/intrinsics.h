@@ -1,0 +1,13 @@
+#ifndef SESEMI_CRYPTO_INTRINSICS_H_
+#define SESEMI_CRYPTO_INTRINSICS_H_
+
+/// Single-sourced arch gate for the hardware crypto backend: aes.cc (AES-NI)
+/// and gcm.cc (PCLMUL GHASH) must agree on when the intrinsics paths are
+/// compiled in, or Aes::hardware() could promise a kernel the GCM side lacks.
+/// Add new architectures (e.g. NEON/PMULL) here, in one place.
+#if defined(__x86_64__) || defined(__i386__)
+#define SESEMI_CRYPTO_X86 1
+#include <immintrin.h>
+#endif
+
+#endif  // SESEMI_CRYPTO_INTRINSICS_H_

@@ -202,6 +202,12 @@ bool FairQueue::PopNext(QueuedRequest* out) {
   }
 }
 
+void FairQueue::ChargeCoalesced(FunctionShard* shard, size_t extra) {
+  if (extra == 0) return;
+  std::lock_guard<std::mutex> pop_lock(pop_mutex_);
+  shard->finish_tag += static_cast<double>(extra) / shard->params.weight;
+}
+
 std::vector<FunctionQueueStats> FairQueue::PerFunctionStats() const {
   std::shared_lock<std::shared_mutex> lock(table_mutex_);
   std::vector<FunctionQueueStats> out;

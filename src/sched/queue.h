@@ -200,6 +200,15 @@ class FairQueue {
 
   FunctionShard* FindShard(const std::string& function) const;
 
+  /// Batch-fairness accounting: PopNext charged the popped head 1/weight of
+  /// virtual time, so a coalesced batch of size k must charge the remaining
+  /// (k-1)/weight here or the batched function over-serves under
+  /// WeightedFair (each dispatch consumes k requests of service but only one
+  /// request's worth of virtual time). Called by SameModelBatcher after it
+  /// drains the companions; takes pop_mutex_, so callers must not hold any
+  /// shard mutex (lock order is pop_mutex_ -> shard->mutex).
+  void ChargeCoalesced(FunctionShard* shard, size_t extra);
+
   PolicyKind kind_;
   std::unique_ptr<SchedulerPolicy> policy_;
 

@@ -46,28 +46,54 @@ Status RequestScheduler::Submit(QueuedRequest request, uint64_t payload_bytes) {
   return Status::OK();
 }
 
-std::vector<QueuedRequest> RequestScheduler::PopBatch() {
+std::vector<QueuedRequest> RequestScheduler::PopBatch(
+    std::vector<QueuedRequest>* expired) {
   std::vector<QueuedRequest> batch;
+  // Deadlines gate execution only under DeadlineEdf; the other policies treat
+  // them as metadata.
+  const bool shed = queue_.policy_kind() == PolicyKind::kDeadlineEdf;
+
   QueuedRequest head;
-  if (!queue_.PopNext(&head)) return batch;
+  TimeMicros now = 0;
+  for (;;) {
+    if (!queue_.PopNext(&head)) return batch;
+    now = clock_->Now();
+    admission_.OnDequeue(head.function, head.payload_bytes);
+    if (shed && head.deadline != kNoDeadline && head.deadline < now) {
+      // Expired while queued: shed it (typed reject at the caller), never
+      // execute it, and keep popping — EDF pops earliest-deadline first, so
+      // live work is still behind this head.
+      drops_.fetch_add(1, std::memory_order_relaxed);
+      if (expired != nullptr) expired->push_back(std::move(head));
+      continue;
+    }
+    break;
+  }
 
   int max_batch = 1;
   if (const FunctionSchedParams* params = function_params(head.function)) {
     max_batch = params->max_batch;
   }
 
-  const TimeMicros now = clock_->Now();
   RecordWait(head.priority, now - head.enqueue_time);
-  admission_.OnDequeue(head.function, head.payload_bytes);
 
   batch.reserve(static_cast<size_t>(std::max(max_batch, 1)));
   batch.push_back(std::move(head));
   if (max_batch > 1) {
     batcher_.Coalesce(&queue_, batch.front(), max_batch, &batch);
+    size_t live = 1;
     for (size_t i = 1; i < batch.size(); ++i) {
-      RecordWait(batch[i].priority, now - batch[i].enqueue_time);
       admission_.OnDequeue(batch[i].function, batch[i].payload_bytes);
+      if (shed && batch[i].deadline != kNoDeadline && batch[i].deadline < now) {
+        drops_.fetch_add(1, std::memory_order_relaxed);
+        if (expired != nullptr) expired->push_back(std::move(batch[i]));
+        continue;
+      }
+      RecordWait(batch[i].priority, now - batch[i].enqueue_time);
+      if (live != i) batch[live] = std::move(batch[i]);
+      live++;
     }
+    batch.resize(live);
   }
   batcher_.RecordDispatch(batch.size());
   dispatched_.fetch_add(batch.size(), std::memory_order_relaxed);
@@ -107,6 +133,7 @@ SchedStats RequestScheduler::stats() const {
   s.rejected_rate = a.rejected_rate;
   s.rejected_depth = a.rejected_depth;
   s.rejected_global = a.rejected_global;
+  s.drops = drops_.load(std::memory_order_relaxed);
   s.queue_depth = queue_.TotalDepth();
 
   const BatchStats b = batcher_.stats();

@@ -36,6 +36,10 @@ struct SchedStats {
   uint64_t rejected_rate = 0;
   uint64_t rejected_depth = 0;
   uint64_t rejected_global = 0;
+  /// Requests shed at dispatch because their deadline had already passed
+  /// (DeadlineEdf only). Shed work is never executed; the caller resolves its
+  /// future with DeadlineExceeded.
+  uint64_t drops = 0;
   size_t queue_depth = 0;   ///< currently queued
   uint64_t batches = 0;
   double avg_batch_size = 0.0;
@@ -76,7 +80,13 @@ class RequestScheduler {
   /// same-model/same-session companions up to the function's max_batch.
   /// Returns an empty vector when nothing is queued. Queue-wait samples are
   /// recorded here (dequeue time - enqueue time, per priority class).
-  std::vector<QueuedRequest> PopBatch();
+  ///
+  /// Under DeadlineEdf, requests whose deadline already passed at dispatch
+  /// time are shed instead of returned: deadlines gate execution, not just
+  /// ordering. Shed requests are appended to `expired` (counted in
+  /// SchedStats.drops) so the caller can resolve their futures with a typed
+  /// DeadlineExceeded; passing nullptr discards them.
+  std::vector<QueuedRequest> PopBatch(std::vector<QueuedRequest>* expired = nullptr);
 
   size_t TotalDepth() const { return queue_.TotalDepth(); }
   PolicyKind policy_kind() const { return queue_.policy_kind(); }
@@ -110,6 +120,7 @@ class RequestScheduler {
 
   std::atomic<uint64_t> submitted_{0};
   std::atomic<uint64_t> dispatched_{0};
+  std::atomic<uint64_t> drops_{0};  ///< deadline-expired sheds (never executed)
   std::array<WaitWindow, kNumPriorityClasses> waits_;
 };
 

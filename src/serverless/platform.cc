@@ -372,7 +372,18 @@ void ServerlessPlatform::PumpScheduler() {
         return;
       }
     }
-    std::vector<sched::QueuedRequest> batch = scheduler_.PopBatch();
+    std::vector<sched::QueuedRequest> expired;
+    std::vector<sched::QueuedRequest> batch = scheduler_.PopBatch(&expired);
+    // Deadline-shed work (DeadlineEdf) is never executed: its futures resolve
+    // with a typed DeadlineExceeded right here at dispatch time.
+    for (sched::QueuedRequest& qr : expired) {
+      InvocationResult out;
+      out.response = Status::DeadlineExceeded(
+          "deadline passed before dispatch: " + qr.function);
+      out.sched_seq = qr.seq;
+      out.queue_wait = clock_->Now() - qr.enqueue_time;
+      PayloadOf(qr)->promise.set_value(std::move(out));
+    }
     if (batch.empty()) {
       // Exit only if the queue is truly drained: the depth re-check under
       // dispatch_mutex_ pairs with MaybeSpawnDispatcher's increment, so a

@@ -12,6 +12,18 @@
 #include "crypto/x25519.h"
 
 namespace sesemi::crypto {
+
+/// Test-only seam into the fused CTR+GHASH walk: the 32-bit counter-wrap
+/// regression needs a J0 whose counter field sits near 2^32, which a 12-byte
+/// nonce (counter always starts at 1) can never produce through the public
+/// API without a ~64 GiB message.
+struct GcmTestPeer {
+  static void CtrCryptAndHash(const AesGcm& gcm, const uint8_t j0[16], ByteSpan in,
+                              uint8_t* out, uint8_t y[16], bool hash_output) {
+    gcm.CtrCryptAndHash(j0, in, out, y, hash_output);
+  }
+};
+
 namespace {
 
 std::string HashHex(ByteSpan data) {
@@ -418,6 +430,273 @@ TEST(GcmTest, SpecCase16Aes256PartialBlockWithAad) {
   auto back = gcm->Decrypt(nonce, aad, *ct);
   ASSERT_TRUE(back.ok());
   EXPECT_EQ(*back, pt);
+}
+
+// ------------------------------------------- backend dispatch & parity
+// Every known-answer vector above implicitly runs on the process-wide
+// backend (hardware where available). The suites below pin each backend
+// explicitly so both implementations are proven against the NIST/CAVP
+// vectors and against each other, bytes-for-bytes.
+
+struct GcmKat {
+  const char* name;
+  const char* key;
+  const char* nonce;
+  const char* aad;
+  const char* plaintext;
+  const char* expected;  // ciphertext || tag
+};
+
+// The spec/CAVP vectors already used individually above, gathered so the
+// backend-parameterized suite replays all of them per backend.
+const GcmKat kGcmKats[] = {
+    {"SpecCase1", "00000000000000000000000000000000", "000000000000000000000000",
+     "", "", "58e2fccefa7e3061367f1d57a4e7455a"},
+    {"SpecCase2", "00000000000000000000000000000000", "000000000000000000000000",
+     "", "00000000000000000000000000000000",
+     "0388dace60b6a392f328c2b971b2fe78ab6e47d42cec13bdf53a67b21257bddf"},
+    {"SpecCase3", "feffe9928665731c6d6a8f9467308308", "cafebabefacedbaddecaf888", "",
+     "d9313225f88406e5a55909c5aff5269a86a7a9531534f7da2e4c303d8a318a72"
+     "1c3c0c95956809532fcf0e2449a6b525b16aedf5aa0de657ba637b391aafd255",
+     "42831ec2217774244b7221b784d0d49ce3aa212f2c02a4e035c17e2329aca12e"
+     "21d514b25466931c7d8f6a5aac84aa051ba30b396a0aac973d58e091473f5985"
+     "4d5c2af327cd64a62cf35abd2ba6fab4"},
+    {"SpecCase4Aad", "feffe9928665731c6d6a8f9467308308", "cafebabefacedbaddecaf888",
+     "feedfacedeadbeeffeedfacedeadbeefabaddad2",
+     "d9313225f88406e5a55909c5aff5269a86a7a9531534f7da2e4c303d8a318a72"
+     "1c3c0c95956809532fcf0e2449a6b525b16aedf5aa0de657ba637b39",
+     "42831ec2217774244b7221b784d0d49ce3aa212f2c02a4e035c17e2329aca12e"
+     "21d514b25466931c7d8f6a5aac84aa051ba30b396a0aac973d58e091"
+     "5bc94fbc3221a5db94fae95ae7121a47"},
+    {"CavpAadOnly", "77be63708971c4e240d1cb79e8d77feb", "e0e00f19fed7ba0136a797f3",
+     "7a43ec1d9c0a5a78a0b16533a6213cab", "", "209fcc8d3675ed938e9c7166709dd946"},
+    {"SpecCase13Aes256",
+     "0000000000000000000000000000000000000000000000000000000000000000",
+     "000000000000000000000000", "", "", "530f8afbc74536b9a963b4f1c4cb738b"},
+    {"SpecCase16Aes256",
+     "feffe9928665731c6d6a8f9467308308feffe9928665731c6d6a8f9467308308",
+     "cafebabefacedbaddecaf888", "feedfacedeadbeeffeedfacedeadbeefabaddad2",
+     "d9313225f88406e5a55909c5aff5269a86a7a9531534f7da2e4c303d8a318a72"
+     "1c3c0c95956809532fcf0e2449a6b525b16aedf5aa0de657ba637b39",
+     "522dc1f099567d07f47f37a32a84427d643a8cdcbfe5c0c97598a2bd2555d1aa"
+     "8cb08e48590dbb3da7b08b1056828838c5f61e6393ba7a0abcc9f662"
+     "76fc6ece0f4e1768cddf8853bb2d551b"},
+};
+
+class GcmBackendTest : public ::testing::TestWithParam<CryptoBackend> {
+ protected:
+  void SetUp() override {
+    if (GetParam() == CryptoBackend::kHardware && !HardwareCryptoAvailable()) {
+      GTEST_SKIP() << "AES-NI/PCLMUL not available on this machine";
+    }
+  }
+};
+
+TEST_P(GcmBackendTest, NistCavpVectors) {
+  for (const GcmKat& kat : kGcmKats) {
+    Bytes key = HexDecode(kat.key);
+    Bytes nonce = HexDecode(kat.nonce);
+    Bytes aad = HexDecode(kat.aad);
+    Bytes pt = HexDecode(kat.plaintext);
+    auto gcm = AesGcm::Create(key, GetParam());
+    ASSERT_TRUE(gcm.ok()) << kat.name;
+    auto ct = gcm->Encrypt(nonce, aad, pt);
+    ASSERT_TRUE(ct.ok()) << kat.name;
+    EXPECT_EQ(HexEncode(*ct), kat.expected) << kat.name;
+    auto back = gcm->Decrypt(nonce, aad, *ct);
+    ASSERT_TRUE(back.ok()) << kat.name;
+    EXPECT_EQ(*back, pt) << kat.name;
+  }
+}
+
+TEST_P(GcmBackendTest, BackendMatchesRequest) {
+  auto gcm = AesGcm::Create(Bytes(16, 0), GetParam());
+  ASSERT_TRUE(gcm.ok());
+  EXPECT_EQ(gcm->hardware(), GetParam() == CryptoBackend::kHardware);
+}
+
+INSTANTIATE_TEST_SUITE_P(Backends, GcmBackendTest,
+                         ::testing::Values(CryptoBackend::kPortable,
+                                           CryptoBackend::kHardware),
+                         [](const ::testing::TestParamInfo<CryptoBackend>& info) {
+                           return std::string(ToString(info.param));
+                         });
+
+TEST(AesBackendTest, HardwareBlocksMatchTtables) {
+  if (!HardwareCryptoAvailable()) {
+    GTEST_SKIP() << "AES-NI not available on this machine";
+  }
+  Rng rng(321);
+  for (size_t key_size : {size_t{16}, size_t{32}}) {
+    Bytes key = rng.NextBytes(key_size);
+    auto sw = Aes::Create(key, CryptoBackend::kPortable);
+    auto hw = Aes::Create(key, CryptoBackend::kHardware);
+    ASSERT_TRUE(sw.ok());
+    ASSERT_TRUE(hw.ok());
+    EXPECT_FALSE(sw->hardware());
+    EXPECT_TRUE(hw->hardware());
+
+    for (int trial = 0; trial < 50; ++trial) {
+      Bytes in = rng.NextBytes(8 * kAesBlockSize);
+      uint8_t sw_out[8 * kAesBlockSize], hw_out[8 * kAesBlockSize];
+
+      sw->EncryptBlock(in.data(), sw_out);
+      hw->EncryptBlock(in.data(), hw_out);
+      ASSERT_EQ(0, memcmp(sw_out, hw_out, kAesBlockSize)) << "1-block, trial " << trial;
+
+      sw->EncryptBlocks4(in.data(), sw_out);
+      hw->EncryptBlocks4(in.data(), hw_out);
+      ASSERT_EQ(0, memcmp(sw_out, hw_out, 4 * kAesBlockSize))
+          << "4-block, trial " << trial;
+
+      sw->EncryptBlocks8(in.data(), sw_out);
+      hw->EncryptBlocks8(in.data(), hw_out);
+      ASSERT_EQ(0, memcmp(sw_out, hw_out, 8 * kAesBlockSize))
+          << "8-block, trial " << trial;
+
+      // The wide paths must equal eight independent single-block calls.
+      for (int b = 0; b < 8; ++b) {
+        sw->EncryptBlock(in.data() + 16 * b, sw_out + 16 * b);
+      }
+      ASSERT_EQ(0, memcmp(sw_out, hw_out, 8 * kAesBlockSize))
+          << "8-block vs singles, trial " << trial;
+    }
+  }
+}
+
+TEST(GcmBackendTest2, RandomizedHardwarePortableParity) {
+  if (!HardwareCryptoAvailable()) {
+    GTEST_SKIP() << "AES-NI/PCLMUL not available on this machine";
+  }
+  // Random key/nonce/AAD/plaintext over lengths 0..4096 (biased toward the
+  // batch-width boundaries): the two backends must agree bytes-for-bytes on
+  // seal, and each must open the other's output.
+  Rng rng(654);
+  const size_t lengths[] = {0,  1,  15,  16,  17,  63,  64,   65,   127,  128,
+                            129, 255, 256, 257, 1000, 2048, 4095, 4096};
+  for (size_t len : lengths) {
+    for (int trial = 0; trial < 3; ++trial) {
+      Bytes key = rng.NextBytes(trial % 2 == 0 ? 16 : 32);
+      Bytes nonce = rng.NextBytes(12);
+      Bytes aad = rng.NextBytes(rng.UniformUint64(65));
+      Bytes pt = rng.NextBytes(len);
+      auto sw = AesGcm::Create(key, CryptoBackend::kPortable);
+      auto hw = AesGcm::Create(key, CryptoBackend::kHardware);
+      ASSERT_TRUE(sw.ok());
+      ASSERT_TRUE(hw.ok());
+
+      auto sw_ct = sw->Encrypt(nonce, aad, pt);
+      auto hw_ct = hw->Encrypt(nonce, aad, pt);
+      ASSERT_TRUE(sw_ct.ok());
+      ASSERT_TRUE(hw_ct.ok());
+      ASSERT_EQ(*sw_ct, *hw_ct) << "len " << len << " trial " << trial;
+
+      // Cross-open: hw opens sw's output and vice versa.
+      auto sw_open = sw->Decrypt(nonce, aad, *hw_ct);
+      auto hw_open = hw->Decrypt(nonce, aad, *sw_ct);
+      ASSERT_TRUE(sw_open.ok());
+      ASSERT_TRUE(hw_open.ok());
+      EXPECT_EQ(*sw_open, pt);
+      EXPECT_EQ(*hw_open, pt);
+
+      // Tampering must fail identically on both.
+      Bytes tampered = *hw_ct;
+      tampered[tampered.size() / 2] ^= 0x40;
+      EXPECT_FALSE(sw->Decrypt(nonce, aad, tampered).ok());
+      EXPECT_FALSE(hw->Decrypt(nonce, aad, tampered).ok());
+    }
+  }
+}
+
+TEST(GcmTest, CounterWrapNear2To32MatchesBlockwiseReference) {
+  // SP 800-38D inc32: the CTR counter wraps modulo 2^32 while the nonce
+  // bytes stay fixed. Start the J0 counter at 2^32 - 3 and stream 13 blocks
+  // (plus a partial tail) so the batch paths cross the wrap mid-batch on
+  // every width — 8-block (hardware), 4-block, and the single-block tail.
+  Rng rng(99);
+  const size_t len = 13 * 16 + 5;
+  Bytes pt = rng.NextBytes(len);
+
+  for (size_t key_size : {size_t{16}, size_t{32}}) {
+    Bytes key = rng.NextBytes(key_size);
+
+    uint8_t j0[16];
+    Bytes nonce = rng.NextBytes(12);
+    memcpy(j0, nonce.data(), 12);
+    j0[12] = 0xff;
+    j0[13] = 0xff;
+    j0[14] = 0xff;
+    j0[15] = 0xfd;  // counter = 2^32 - 3; first keystream block uses 2^32 - 2
+
+    // Blockwise reference: single-block encryptions with a hand-maintained
+    // wrapping counter (independent of the batch counter arithmetic).
+    auto aes = Aes::Create(key, CryptoBackend::kPortable);
+    ASSERT_TRUE(aes.ok());
+    Bytes expected(len);
+    uint32_t ctr = 0xfffffffd;
+    uint8_t block[16], ks[16];
+    memcpy(block, nonce.data(), 12);
+    for (size_t off = 0; off < len; off += 16) {
+      ++ctr;  // wraps through 0xffffffff -> 0x00000000
+      block[12] = static_cast<uint8_t>(ctr >> 24);
+      block[13] = static_cast<uint8_t>(ctr >> 16);
+      block[14] = static_cast<uint8_t>(ctr >> 8);
+      block[15] = static_cast<uint8_t>(ctr);
+      aes->EncryptBlock(block, ks);
+      const size_t take = std::min<size_t>(16, len - off);
+      for (size_t i = 0; i < take; ++i) expected[off + i] = pt[off + i] ^ ks[i];
+    }
+
+    std::vector<CryptoBackend> backends = {CryptoBackend::kPortable};
+    if (HardwareCryptoAvailable()) backends.push_back(CryptoBackend::kHardware);
+    Bytes first_y;
+    for (CryptoBackend backend : backends) {
+      auto gcm = AesGcm::Create(key, backend);
+      ASSERT_TRUE(gcm.ok());
+      Bytes out(len);
+      uint8_t y[16] = {0};
+      GcmTestPeer::CtrCryptAndHash(*gcm, j0, pt, out.data(), y,
+                                   /*hash_output=*/true);
+      EXPECT_EQ(out, expected) << ToString(backend) << " key " << key_size;
+      // GHASH accumulators must agree across backends too.
+      if (first_y.empty()) {
+        first_y = Bytes(y, y + 16);
+      } else {
+        EXPECT_EQ(Bytes(y, y + 16), first_y) << ToString(backend);
+      }
+    }
+  }
+}
+
+TEST(GcmTest, RejectsPlaintextBeyondNistLimit) {
+  if (sizeof(size_t) < 8) {
+    // A 32-bit size_t cannot even represent an over-limit length (the cast
+    // below would wrap under the cap and the probe would dereference the
+    // dummy span for real), and no caller can construct one either.
+    GTEST_SKIP() << "size_t cannot exceed the SP 800-38D cap on this platform";
+  }
+  auto gcm = AesGcm::Create(Bytes(16, 0));
+  ASSERT_TRUE(gcm.ok());
+  // The length check fires before any byte is touched, so a span with an
+  // oversize length (and no real backing store) exercises it safely.
+  uint8_t dummy = 0;
+  uint8_t out[1];
+  ByteSpan huge(&dummy, static_cast<size_t>(kGcmMaxPlaintextSize) + 1);
+  Status seal = gcm->EncryptInto(Bytes(12, 0), {}, {}, huge, out);
+  EXPECT_TRUE(seal.IsInvalidArgument()) << seal.ToString();
+
+  ByteSpan huge_ct(&dummy,
+                   static_cast<size_t>(kGcmMaxPlaintextSize) + 1 + kGcmTagSize);
+  Status open = gcm->DecryptInto(Bytes(12, 0), {}, {}, huge_ct, out);
+  EXPECT_TRUE(open.IsInvalidArgument()) << open.ToString();
+
+  // Exactly at the limit the *length check* passes (the walk would then read
+  // the span, so only the rejection path is probed here via the keyed
+  // helpers' pre-allocation guard).
+  EXPECT_TRUE(GcmSealParts(Bytes(16, 0), {}, {},
+                           ByteSpan(&dummy, static_cast<size_t>(kGcmMaxPlaintextSize) + 1))
+                  .status()
+                  .IsInvalidArgument());
 }
 
 TEST(GcmTest, SplitAadMatchesConcatenatedAad) {

@@ -268,6 +268,86 @@ TEST(SchedulerTest, BatcherNeverMixesModelsOrSessions) {
   EXPECT_EQ(scheduler.TotalDepth(), 0u);
 }
 
+/// Regression for the PR 3 batcher fairness bug: a coalesced batch used to
+/// charge only the head's 1/weight of virtual time, so a batch-eligible
+/// function over-served any unbatched competitor under WeightedFair (a full
+/// batch of 8 consumed 8 requests of service for one request's worth of
+/// virtual time — 16:1 completions here instead of 2:1). With batches
+/// charged batch_size/weight, 2:1 weights must yield 2:1 *completions* even
+/// when only the heavy function batches.
+TEST(SchedulerTest, WeightedFairHoldsWithBatchingEnabled) {
+  ManualClock clock;
+  SchedulerConfig config;
+  config.policy = PolicyKind::kWeightedFair;
+  RequestScheduler scheduler(config, &clock);
+
+  FunctionSchedParams heavy;
+  heavy.weight = 2.0;
+  heavy.max_batch = 8;  // single-model single-session stream: full batches
+  FunctionSchedParams light;
+  light.weight = 1.0;   // max_batch = 1: dispatches one request at a time
+  ASSERT_TRUE(scheduler.RegisterFunction("heavy", heavy).ok());
+  ASSERT_TRUE(scheduler.RegisterFunction("light", light).ok());
+
+  for (int i = 0; i < 320; ++i) {
+    ASSERT_TRUE(scheduler.Submit(Make("heavy"), 0).ok());
+    if (i < 160) ASSERT_TRUE(scheduler.Submit(Make("light"), 0).ok());
+  }
+
+  // Count completed requests per function over the first 240 dispatched
+  // requests — at a fair 2:1 that is 160 heavy + 80 light, so both functions
+  // stay backlogged throughout the window.
+  int heavy_done = 0, light_done = 0;
+  while (heavy_done + light_done < 240) {
+    std::vector<QueuedRequest> batch = scheduler.PopBatch();
+    ASSERT_FALSE(batch.empty());
+    (batch.front().function == "heavy" ? heavy_done : light_done) +=
+        static_cast<int>(batch.size());
+  }
+  ASSERT_GT(light_done, 0);
+  const double ratio = static_cast<double>(heavy_done) / light_done;
+  EXPECT_NEAR(ratio, 2.0, 0.2) << heavy_done << ":" << light_done;
+
+  const SchedStats stats = scheduler.stats();
+  EXPECT_GE(stats.max_batch_size, 8u);
+}
+
+/// DeadlineEdf must shed work whose deadline already passed at dispatch time
+/// (not just order by deadline): expired requests come back via the `expired`
+/// out-param, counted in SchedStats.drops, and are never part of a batch.
+TEST(SchedulerTest, EdfShedsExpiredRequestsAtDispatch) {
+  ManualClock clock;
+  SchedulerConfig config;
+  config.policy = PolicyKind::kDeadlineEdf;
+  RequestScheduler scheduler(config, &clock);
+  ASSERT_TRUE(scheduler.RegisterFunction("f", {}).ok());
+
+  ASSERT_TRUE(scheduler.Submit(Make("f", "m0", "u0", -1, /*deadline=*/1000), 0).ok());
+  ASSERT_TRUE(scheduler.Submit(Make("f", "m0", "u0", -1, /*deadline=*/1500), 0).ok());
+  ASSERT_TRUE(scheduler.Submit(Make("f", "m0", "u0", -1, /*deadline=*/50000), 0).ok());
+  ASSERT_TRUE(scheduler.Submit(Make("f"), 0).ok());  // no deadline: never shed
+
+  clock.Advance(2000);  // the first two deadlines are now in the past
+
+  std::vector<QueuedRequest> expired;
+  std::vector<QueuedRequest> batch = scheduler.PopBatch(&expired);
+  ASSERT_EQ(batch.size(), 1u);
+  EXPECT_EQ(batch.front().deadline, 50000);  // first live head
+  ASSERT_EQ(expired.size(), 2u);
+  EXPECT_EQ(expired[0].deadline, 1000);
+  EXPECT_EQ(expired[1].deadline, 1500);
+
+  batch = scheduler.PopBatch(&expired);
+  ASSERT_EQ(batch.size(), 1u);
+  EXPECT_EQ(batch.front().deadline, kNoDeadline);
+  EXPECT_EQ(expired.size(), 2u);  // nothing new shed
+
+  const SchedStats stats = scheduler.stats();
+  EXPECT_EQ(stats.drops, 2u);
+  EXPECT_EQ(stats.dispatched, 2u);  // shed work never counts as dispatched
+  EXPECT_EQ(scheduler.TotalDepth(), 0u);  // accounting balanced either way
+}
+
 TEST(SchedulerTest, QueueWaitPercentilesPerClass) {
   ManualClock clock;
   RequestScheduler scheduler(SchedulerConfig{}, &clock);

@@ -395,7 +395,10 @@ TEST_F(SemirtTest, PeakMemoryScalesSubLinearlyWithConcurrency) {
   uint64_t peak1 = peak_for(1);
   uint64_t peak4 = peak_for(4);
   EXPECT_LT(peak4, 4 * peak1);
-  EXPECT_GT(peak4, peak1);  // per-thread runtimes still cost something
+  // Per-thread runtimes cost something *when the threads overlap*; on a
+  // loaded single-core host the four requests can fully serialize onto one
+  // TCS slot, in which case equal peaks are the correct outcome.
+  EXPECT_GE(peak4, peak1);
 }
 
 TEST_F(SemirtTest, ClearExecutionContextFreesHeap) {

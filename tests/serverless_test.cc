@@ -488,6 +488,55 @@ TEST_F(ServerlessTest, WeightedFairPolicyServesBacklogByWeight) {
   EXPECT_EQ(light_count, 4);
 }
 
+TEST_F(ServerlessTest, DeadlineEdfShedsExpiredWorkInsteadOfExecuting) {
+  // DeadlineEdf used to be ordering-only: a request whose deadline had long
+  // passed was still dispatched into the enclave. It must be shed at dispatch
+  // time — a typed DeadlineExceeded on the future, counted in
+  // SchedStats.drops, and *never executed*.
+  PlatformConfig config;
+  config.num_nodes = 2;
+  config.scheduler.policy = sched::PolicyKind::kDeadlineEdf;
+  ServerlessPlatform platform(config, &authority_, &storage_, keyservice_.get(),
+                              &clock_);
+
+  semirt::SemirtOptions options;
+  sgx::Measurement es = semirt::SemirtInstance::MeasurementFor(options);
+  ASSERT_TRUE(owner_->GrantAccess(client_.get(), "m0", es, user_->id()).ok());
+  ASSERT_TRUE(user_->ProvisionRequestKey(client_.get(), "m0", es).ok());
+  FunctionSpec spec;
+  spec.name = "deadline";
+  spec.options = options;
+  ASSERT_TRUE(platform.DeployFunction(spec).ok());
+
+  // Build the backlog with dispatch paused, then let the deadline expire
+  // before releasing the dispatchers.
+  platform.PauseDispatch();
+  auto make_request = [&] {
+    Bytes input = model::GenerateRandomInput(graph_, 1);
+    auto request = user_->BuildRequest("m0", input);
+    EXPECT_TRUE(request.ok());
+    return std::move(*request);
+  };
+  InvokeOptions expiring;
+  expiring.deadline = clock_.Now() + 1000;
+  auto doomed = platform.InvokeAsync("deadline", make_request(), expiring);
+  auto live = platform.InvokeAsync("deadline", make_request());  // no deadline
+
+  clock_.Advance(SecondsToMicros(5));  // the 1 ms deadline is long gone
+  platform.ResumeDispatch();
+
+  InvocationResult shed = doomed.get();
+  EXPECT_EQ(shed.response.status().code(), StatusCode::kDeadlineExceeded)
+      << shed.response.status().ToString();
+
+  InvocationResult ran = live.get();
+  EXPECT_TRUE(ran.response.ok()) << ran.response.status().ToString();
+
+  // The expired request never reached an enclave: exactly one invocation ran.
+  EXPECT_EQ(platform.stats().invocations, 1);
+  EXPECT_EQ(platform.scheduler_stats().drops, 1u);
+}
+
 TEST_F(ServerlessTest, RouterIntegrationFnPackerOverPlatform) {
   // FnPacker routes two models onto pooled endpoints deployed as platform
   // functions — the live-mode analogue of the Table III/IV setup.
