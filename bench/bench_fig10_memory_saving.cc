@@ -73,7 +73,13 @@ void MeasuredSection() {
     }
     std::printf("\n");
   }
-  std::printf("(shape check: savings grow with N; TFLM > TVM for each model)\n");
+  std::printf("(shape check: savings grow with N for both frameworks. Since\n"
+              " the compile-once refactor TVM's packed copy lives in the\n"
+              " shared loaded model instead of every runtime, so its curve\n"
+              " now climbs with N like TFLM's — in the paper's model TVM\n"
+              " savings were capped by per-runtime weight duplication — and\n"
+              " asymptotically overtakes it (the shared artifact dominates\n"
+              " the per-thread arena).)\n");
 }
 
 }  // namespace

@@ -15,6 +15,8 @@
 #include "crypto/gcm.h"
 #include "crypto/sha256.h"
 #include "crypto/x25519.h"
+#include "inference/compiled_model.h"
+#include "inference/gemm.h"
 #include "inference/ops.h"
 #include "model/format.h"
 #include "ratls/handshake.h"
@@ -22,14 +24,29 @@
 namespace sesemi::bench {
 namespace {
 
+// SHA-256 rides the same hw-vs-portable dispatch as GCM: the default series
+// is labelled with the resolved backend (SHA-NI where the CPU has it), and
+// the *Portable twin pins the FIPS 180-4 scalar rounds.
 void BM_Sha256(benchmark::State& state) {
   Bytes data(static_cast<size_t>(state.range(0)), 0xab);
   for (auto _ : state) {
     benchmark::DoNotOptimize(crypto::Sha256::Hash(data));
   }
   state.SetBytesProcessed(state.iterations() * state.range(0));
+  state.SetLabel(crypto::Sha256().hardware() ? "hw" : "portable");
 }
 BENCHMARK(BM_Sha256)->Arg(1024)->Arg(64 * 1024)->Arg(1024 * 1024);
+
+void BM_Sha256Portable(benchmark::State& state) {
+  Bytes data(static_cast<size_t>(state.range(0)), 0xab);
+  for (auto _ : state) {
+    crypto::Sha256 h(crypto::CryptoBackend::kPortable);
+    h.Update(data);
+    benchmark::DoNotOptimize(h.Finish());
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Sha256Portable)->Arg(1024)->Arg(64 * 1024)->Arg(1024 * 1024);
 
 // The hw-vs-portable series: the default benchmarks ride the process-wide
 // backend (AES-NI + PCLMUL where the CPU has them, labelled), and the
@@ -191,6 +208,29 @@ void BM_Conv2dNaive(benchmark::State& state) {
 }
 BENCHMARK(BM_Conv2dNaive)->Args({32, 64, 64})->Args({16, 32, 64})->Args({64, 16, 16});
 
+// Prepacked twin of BM_Conv2d: the B panels are laid out once (MODEL_LOAD
+// semantics, outside the timed loop), so the delta against BM_Conv2d is
+// exactly what compile-once weight packing buys the hot path.
+void BM_Conv2dPrepacked(benchmark::State& state) {
+  ConvSetup s(static_cast<int>(state.range(0)), static_cast<int>(state.range(1)),
+              static_cast<int>(state.range(2)));
+  const int k = s.kernel * s.kernel * s.shape.c;
+  std::vector<float> packed(inference::gemm::PackedBElements(k, s.out_c));
+  inference::gemm::PackB(s.weights.data(), k, s.out_c, packed.data());
+  const float* bias = s.weights.data() + static_cast<size_t>(k) * s.out_c;
+  std::vector<float> scratch(
+      inference::ops::Conv2dScratchElements(s.shape, s.kernel, s.stride));
+  for (auto _ : state) {
+    inference::gemm::Conv2dGemmPrepacked(s.in.data(), s.shape, packed.data(),
+                                         bias, s.kernel, s.stride, s.out_c,
+                                         s.out.data(), scratch.data());
+    benchmark::DoNotOptimize(s.out.data());
+  }
+  state.counters["FLOPS"] = benchmark::Counter(
+      s.flops * static_cast<double>(state.iterations()), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_Conv2dPrepacked)->Args({32, 64, 64})->Args({16, 32, 64})->Args({64, 16, 16});
+
 struct DepthwiseSetup {
   model::TensorShape shape;
   static constexpr int kernel = 3;
@@ -263,6 +303,30 @@ void BM_DenseNaive(benchmark::State& state) {
 }
 BENCHMARK(BM_DenseNaive)->Args({1024, 1024})->Args({4096, 256});
 
+// Prepacked twin of BM_Dense: the M==1 GEMV over panel-major B (one
+// contiguous forward stream per panel, accumulators live in registers).
+void BM_DensePrepacked(benchmark::State& state) {
+  const size_t in_features = static_cast<size_t>(state.range(0));
+  const int units = static_cast<int>(state.range(1));
+  std::vector<float> in = BenchVec(in_features);
+  std::vector<float> weights = BenchVec(in_features * units + units);
+  std::vector<float> packed(
+      inference::gemm::PackedBElements(static_cast<int>(in_features), units));
+  inference::gemm::PackB(weights.data(), static_cast<int>(in_features), units,
+                         packed.data());
+  const float* bias = weights.data() + in_features * static_cast<size_t>(units);
+  std::vector<float> out(units);
+  for (auto _ : state) {
+    inference::gemm::GemmPrepacked(in.data(), packed.data(), bias, out.data(), 1,
+                                   units, static_cast<int>(in_features));
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.counters["FLOPS"] = benchmark::Counter(
+      2.0 * static_cast<double>(in_features) * units * state.iterations(),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_DensePrepacked)->Args({1024, 1024})->Args({4096, 256});
+
 void BM_X25519SharedSecret(benchmark::State& state) {
   auto a = crypto::GenerateX25519KeyPair();
   auto b = crypto::GenerateX25519KeyPair();
@@ -302,6 +366,63 @@ void BM_ModelSerializeParse(benchmark::State& state) {
   state.SetBytesProcessed(state.iterations() * wire.size());
 }
 BENCHMARK(BM_ModelSerializeParse);
+
+// MODEL_LOAD-time compile latency: what the compile-once split moved off the
+// request path. arg0 selects packing (1 = µTVM packed panels, 0 = µTFLM
+// plan-only); the packed_MB counter is the resident cost of the artifact.
+void BM_ModelCompile(benchmark::State& state) {
+  model::ZooSpec spec;
+  spec.arch = model::Architecture::kHybNet;
+  spec.scale = 0.02;
+  spec.input_hw = 16;
+  auto graph = model::BuildModel(spec);
+  inference::CompiledModel::Options options;
+  options.pack_weights = state.range(0) != 0;
+  uint64_t packed_bytes = 0;
+  for (auto _ : state) {
+    // The graph copy stands in for MODEL_LOAD's ownership handoff but is a
+    // megabyte-scale memcpy — keep it (and the artifact teardown) out of the
+    // timed region so the series measures Compile itself.
+    state.PauseTiming();
+    model::ModelGraph copy = *graph;
+    state.ResumeTiming();
+    auto compiled = inference::CompiledModel::Compile(std::move(copy), options);
+    benchmark::DoNotOptimize(compiled);
+    state.PauseTiming();
+    packed_bytes = compiled->packed_weight_bytes();
+    { auto dropped = std::move(compiled); }  // teardown outside the timer
+    state.ResumeTiming();
+  }
+  state.SetLabel(options.pack_weights ? "packed" : "plan-only");
+  state.counters["packed_MB"] =
+      static_cast<double>(packed_bytes) / (1024.0 * 1024.0);
+}
+BENCHMARK(BM_ModelCompile)->Arg(0)->Arg(1);
+
+// Batched execution over the compiled pipeline: Dense rides one M=batch
+// GEMM, conv/pool layers fan the batch over the pool. items/s is samples/s.
+void BM_CompiledExecuteBatch(benchmark::State& state) {
+  const int batch = static_cast<int>(state.range(0));
+  model::ZooSpec spec;
+  spec.arch = model::Architecture::kHybNet;
+  spec.scale = 0.02;
+  spec.input_hw = 16;
+  auto graph = model::BuildModel(spec);
+  auto compiled = inference::CompiledModel::Compile(*graph);
+  std::vector<Bytes> inputs;
+  for (int b = 0; b < batch; ++b) {
+    inputs.push_back(model::GenerateRandomInput(*graph, 100 + b));
+  }
+  std::vector<ByteSpan> spans(inputs.begin(), inputs.end());
+  std::vector<float> arena(compiled->batch_arena_elements(batch));
+  std::vector<Bytes> outputs;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        compiled->ExecuteBatch(spans, arena.data(), &outputs));
+  }
+  state.SetItemsProcessed(state.iterations() * batch);
+}
+BENCHMARK(BM_CompiledExecuteBatch)->Arg(1)->Arg(4)->Arg(8);
 
 void BM_InferenceExecute(benchmark::State& state) {
   auto kind = state.range(0) == 0 ? inference::FrameworkKind::kTflm

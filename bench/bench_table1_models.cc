@@ -33,11 +33,17 @@ void PaperSection() {
 void MeasuredSection(double scale) {
   PrintSection("Measured on this repo's synthetic models (scale " +
                std::to_string(scale) + " of paper sizes)");
-  std::printf("%-8s %12s %14s %12s %14s %12s\n", "Name", "Model size",
-              "TVM buffer", "(λ_tvm)", "TFLM buffer", "(λ_tflm)");
+  // Since the compile-once refactor the packed weights live in the LOADED
+  // model (built once at MODEL_LOAD), not in every runtime: λ_tvm is now
+  // loaded-model/model, and per-runtime buffers are activation arenas on
+  // both frameworks (one shared packed copy regardless of TCS count).
+  std::printf("%-8s %12s %16s %10s %12s %12s %10s\n", "Name", "Model size",
+              "TVM load+pack", "(λ_tvm)", "TVM arena", "TFLM arena",
+              "(λ_tflm)");
   for (model::Architecture arch : {model::Architecture::kMbNet,
                                    model::Architecture::kRsNet,
-                                   model::Architecture::kDsNet}) {
+                                   model::Architecture::kDsNet,
+                                   model::Architecture::kHybNet}) {
     model::ZooSpec spec;
     spec.model_id = model::ToString(arch);
     spec.arch = arch;
@@ -50,22 +56,28 @@ void MeasuredSection(double scale) {
       continue;
     }
     uint64_t model_bytes = model::SerializeModel(*graph).size();
-    uint64_t buffers[2] = {0, 0};
+    uint64_t tvm_loaded_bytes = 0;
+    uint64_t arenas[2] = {0, 0};
     for (auto kind : {inference::FrameworkKind::kTvm, inference::FrameworkKind::kTflm}) {
       auto framework = inference::CreateFramework(kind);
       auto loaded = framework->WrapModel(*graph);
       auto runtime = framework->CreateRuntime(*loaded);
-      buffers[kind == inference::FrameworkKind::kTvm ? 0 : 1] =
-          (*runtime)->buffer_bytes();
+      const int i = kind == inference::FrameworkKind::kTvm ? 0 : 1;
+      if (i == 0) tvm_loaded_bytes = (*loaded)->memory_bytes();
+      arenas[i] = (*runtime)->buffer_bytes();
     }
-    std::printf("%-8s %10.2fMB %12.2fMB %11.2f %12.2fMB %11.2f\n",
+    std::printf("%-8s %10.2fMB %14.2fMB %9.2f %10.2fMB %10.2fMB %9.2f\n",
                 model::ToString(arch), model_bytes / 1048576.0,
-                buffers[0] / 1048576.0, static_cast<double>(buffers[0]) / model_bytes,
-                buffers[1] / 1048576.0, static_cast<double>(buffers[1]) / model_bytes);
+                tvm_loaded_bytes / 1048576.0,
+                static_cast<double>(tvm_loaded_bytes) / model_bytes,
+                arenas[0] / 1048576.0, arenas[1] / 1048576.0,
+                static_cast<double>(arenas[1]) / model_bytes);
   }
-  std::printf("(paper λ: TVM 1.76/1.21/1.25, TFLM 0.29/0.14/0.27; "
-              "measured λ_tflm shrinks with model scale because the arena\n"
-              " tracks input resolution, not weights)\n");
+  std::printf("(paper λ: TVM 1.76/1.21/1.25, TFLM 0.29/0.14/0.27 — paper TVM\n"
+              " duplicated the packed copy per runtime; here it is compiled\n"
+              " once at MODEL_LOAD and shared, so λ_tvm ≈ 2 counted once and\n"
+              " the per-runtime cost is the arena. hybnet is this repo's\n"
+              " scenario model, not a Table I row.)\n");
 }
 
 }  // namespace

@@ -183,17 +183,11 @@ void ForkJoinPool::WorkerLoop() {
 
 int ParallelismDegree() { return ForkJoinPool::Instance().degree(); }
 
-void ParallelFor(int64_t begin, int64_t end, int64_t grain,
-                 const std::function<void(int64_t, int64_t)>& fn) {
-  if (begin >= end) return;
-  if (grain < 1) grain = 1;
-  // Serial fast path: tiny ranges, single-core machines, and nested calls
-  // (a pool worker re-entering ParallelFor would deadlock waiting on itself).
-  if (t_inside_parallel_for || end - begin <= grain ||
-      ForkJoinPool::Instance().degree() == 1) {
-    fn(begin, end);
-    return;
-  }
+bool InsideParallelForChunk() { return t_inside_parallel_for; }
+
+void ParallelForDispatch(int64_t begin, int64_t end, int64_t grain,
+                         const std::function<void(int64_t, int64_t)>& fn) {
+  // Serial short-circuits already ran in the ParallelFor template.
   t_inside_parallel_for = true;
   ForkJoinPool::Instance().Run(begin, end, grain, fn);
   t_inside_parallel_for = false;

@@ -26,12 +26,29 @@ namespace sesemi {
 /// \threadsafety Safe to call from any thread.
 int ParallelismDegree();
 
+/// True when a ParallelFor issued on this thread right now would run inline
+/// (the thread is already inside a ParallelFor chunk). Exposed for the
+/// template below; also usable by callers sizing per-worker scratch.
+bool InsideParallelForChunk();
+
+/// Pool dispatch behind ParallelFor — call the template instead. The
+/// std::function is only ever constructed around a reference to the caller's
+/// callable (see ParallelFor), so dispatch itself performs no heap
+/// allocation; the callable outlives the blocking call by construction.
+void ParallelForDispatch(int64_t begin, int64_t end, int64_t grain,
+                         const std::function<void(int64_t, int64_t)>& fn);
+
 /// Partition [begin, end) into contiguous chunks of at least `grain`
 /// iterations and run `fn(chunk_begin, chunk_end)` across the process-wide
 /// thread pool, blocking until every chunk is done. The calling thread
 /// participates, so ParallelFor never deadlocks on a single-core machine and
 /// degrades to a plain loop when the range is smaller than `grain` or the
-/// pool has one worker.
+/// pool has one worker. Chunk starts are begin + i*grain, so chunk_begin
+/// uniquely indexes a chunk (per-chunk scratch lanes rely on this).
+///
+/// Allocation-free on every path: the serial fast paths call `fn` directly,
+/// and pool dispatch wraps `fn` by reference (no type-erasure copy), so the
+/// steady-state inference path can promise zero per-request heap allocations.
 ///
 /// \threadsafety Safe to call from any thread, including from inside a
 /// TaskGroup task running on a pool worker (the caller then publishes a
@@ -42,8 +59,20 @@ int ParallelismDegree();
 /// never wait on a worker that is in turn waiting on the caller.
 ///
 /// `fn` must be safe to invoke concurrently on disjoint chunks.
-void ParallelFor(int64_t begin, int64_t end, int64_t grain,
-                 const std::function<void(int64_t, int64_t)>& fn);
+template <typename Fn>
+void ParallelFor(int64_t begin, int64_t end, int64_t grain, Fn&& fn) {
+  if (begin >= end) return;
+  if (grain < 1) grain = 1;
+  // Serial fast path: tiny ranges, single-core machines, and nested calls
+  // (a pool worker re-entering ParallelFor would deadlock waiting on itself).
+  if (InsideParallelForChunk() || end - begin <= grain ||
+      ParallelismDegree() == 1) {
+    fn(begin, end);
+    return;
+  }
+  ParallelForDispatch(begin, end, grain,
+                      std::function<void(int64_t, int64_t)>(std::ref(fn)));
+}
 
 /// A group of fire-and-forget tasks executed on the process-wide pool.
 /// This is the request-level counterpart to ParallelFor: each submitted task

@@ -2,6 +2,8 @@
 
 #include <cstring>
 
+#include "crypto/intrinsics.h"
+
 namespace sesemi::crypto {
 
 namespace {
@@ -19,22 +21,9 @@ constexpr uint32_t kK[64] = {
     0x90befffa, 0xa4506ceb, 0xbef9a3f7, 0xc67178f2};
 
 inline uint32_t Rotr(uint32_t x, int n) { return (x >> n) | (x << (32 - n)); }
-}  // namespace
 
-void Sha256::Reset() {
-  state_[0] = 0x6a09e667;
-  state_[1] = 0xbb67ae85;
-  state_[2] = 0x3c6ef372;
-  state_[3] = 0xa54ff53a;
-  state_[4] = 0x510e527f;
-  state_[5] = 0x9b05688c;
-  state_[6] = 0x1f83d9ab;
-  state_[7] = 0x5be0cd19;
-  bit_count_ = 0;
-  buffer_len_ = 0;
-}
-
-void Sha256::ProcessBlock(const uint8_t* block) {
+// Portable FIPS 180-4 compression, one block at a time.
+void ProcessBlockPortable(uint32_t state[8], const uint8_t* block) {
   uint32_t w[64];
   for (int i = 0; i < 16; ++i) {
     w[i] = (static_cast<uint32_t>(block[4 * i]) << 24) |
@@ -48,8 +37,8 @@ void Sha256::ProcessBlock(const uint8_t* block) {
     w[i] = w[i - 16] + s0 + w[i - 7] + s1;
   }
 
-  uint32_t a = state_[0], b = state_[1], c = state_[2], d = state_[3];
-  uint32_t e = state_[4], f = state_[5], g = state_[6], h = state_[7];
+  uint32_t a = state[0], b = state[1], c = state[2], d = state[3];
+  uint32_t e = state[4], f = state[5], g = state[6], h = state[7];
 
   for (int i = 0; i < 64; ++i) {
     uint32_t s1 = Rotr(e, 6) ^ Rotr(e, 11) ^ Rotr(e, 25);
@@ -68,14 +57,266 @@ void Sha256::ProcessBlock(const uint8_t* block) {
     a = temp1 + temp2;
   }
 
-  state_[0] += a;
-  state_[1] += b;
-  state_[2] += c;
-  state_[3] += d;
-  state_[4] += e;
-  state_[5] += f;
-  state_[6] += g;
-  state_[7] += h;
+  state[0] += a;
+  state[1] += b;
+  state[2] += c;
+  state[3] += d;
+  state[4] += e;
+  state[5] += f;
+  state[6] += g;
+  state[7] += h;
+}
+
+#if SESEMI_CRYPTO_X86
+// SHA-NI compression: sha256rnds2 retires two rounds per instruction and
+// sha256msg1/msg2 run the message schedule in-register, so a whole block is
+// ~70 instructions with no 64-entry w[] spill. The (ABEF, CDGH) register
+// split, the per-4-round pattern, and the state shuffles follow Intel's
+// canonical SHA extensions flow.
+__attribute__((target("sha,sse4.1"))) void ProcessBlocksShaNi(
+    uint32_t state[8], const uint8_t* data, size_t blocks) {
+  const __m128i kShuffle =
+      _mm_set_epi64x(0x0c0d0e0f08090a0bULL, 0x0405060700010203ULL);
+
+  // state_ is {a..h}; pack into the (ABEF, CDGH) lanes sha256rnds2 consumes.
+  __m128i tmp = _mm_loadu_si128(reinterpret_cast<const __m128i*>(&state[0]));
+  __m128i state1 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(&state[4]));
+  tmp = _mm_shuffle_epi32(tmp, 0xB1);           // CDAB
+  state1 = _mm_shuffle_epi32(state1, 0x1B);     // EFGH
+  __m128i state0 = _mm_alignr_epi8(tmp, state1, 8);   // ABEF
+  state1 = _mm_blend_epi16(state1, tmp, 0xF0);        // CDGH
+
+  while (blocks-- > 0) {
+    const __m128i abef_save = state0;
+    const __m128i cdgh_save = state1;
+    __m128i msg, msgtmp;
+
+    // Rounds 0-3
+    __m128i msg0 =
+        _mm_shuffle_epi8(_mm_loadu_si128(reinterpret_cast<const __m128i*>(data)),
+                         kShuffle);
+    msg = _mm_add_epi32(msg0,
+                        _mm_set_epi64x(0xE9B5DBA5B5C0FBCFULL, 0x71374491428A2F98ULL));
+    state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+    msg = _mm_shuffle_epi32(msg, 0x0E);
+    state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
+
+    // Rounds 4-7
+    __m128i msg1 = _mm_shuffle_epi8(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(data + 16)), kShuffle);
+    msg = _mm_add_epi32(msg1,
+                        _mm_set_epi64x(0xAB1C5ED5923F82A4ULL, 0x59F111F13956C25BULL));
+    state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+    msg = _mm_shuffle_epi32(msg, 0x0E);
+    state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
+    msg0 = _mm_sha256msg1_epu32(msg0, msg1);
+
+    // Rounds 8-11
+    __m128i msg2 = _mm_shuffle_epi8(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(data + 32)), kShuffle);
+    msg = _mm_add_epi32(msg2,
+                        _mm_set_epi64x(0x550C7DC3243185BEULL, 0x12835B01D807AA98ULL));
+    state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+    msg = _mm_shuffle_epi32(msg, 0x0E);
+    state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
+    msg1 = _mm_sha256msg1_epu32(msg1, msg2);
+
+    // Rounds 12-15
+    __m128i msg3 = _mm_shuffle_epi8(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(data + 48)), kShuffle);
+    msg = _mm_add_epi32(msg3,
+                        _mm_set_epi64x(0xC19BF1749BDC06A7ULL, 0x80DEB1FE72BE5D74ULL));
+    state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+    msgtmp = _mm_alignr_epi8(msg3, msg2, 4);
+    msg0 = _mm_add_epi32(msg0, msgtmp);
+    msg0 = _mm_sha256msg2_epu32(msg0, msg3);
+    msg = _mm_shuffle_epi32(msg, 0x0E);
+    state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
+    msg2 = _mm_sha256msg1_epu32(msg2, msg3);
+
+    // Rounds 16-19
+    msg = _mm_add_epi32(msg0,
+                        _mm_set_epi64x(0x240CA1CC0FC19DC6ULL, 0xEFBE4786E49B69C1ULL));
+    state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+    msgtmp = _mm_alignr_epi8(msg0, msg3, 4);
+    msg1 = _mm_add_epi32(msg1, msgtmp);
+    msg1 = _mm_sha256msg2_epu32(msg1, msg0);
+    msg = _mm_shuffle_epi32(msg, 0x0E);
+    state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
+    msg3 = _mm_sha256msg1_epu32(msg3, msg0);
+
+    // Rounds 20-23
+    msg = _mm_add_epi32(msg1,
+                        _mm_set_epi64x(0x76F988DA5CB0A9DCULL, 0x4A7484AA2DE92C6FULL));
+    state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+    msgtmp = _mm_alignr_epi8(msg1, msg0, 4);
+    msg2 = _mm_add_epi32(msg2, msgtmp);
+    msg2 = _mm_sha256msg2_epu32(msg2, msg1);
+    msg = _mm_shuffle_epi32(msg, 0x0E);
+    state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
+    msg0 = _mm_sha256msg1_epu32(msg0, msg1);
+
+    // Rounds 24-27
+    msg = _mm_add_epi32(msg2,
+                        _mm_set_epi64x(0xBF597FC7B00327C8ULL, 0xA831C66D983E5152ULL));
+    state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+    msgtmp = _mm_alignr_epi8(msg2, msg1, 4);
+    msg3 = _mm_add_epi32(msg3, msgtmp);
+    msg3 = _mm_sha256msg2_epu32(msg3, msg2);
+    msg = _mm_shuffle_epi32(msg, 0x0E);
+    state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
+    msg1 = _mm_sha256msg1_epu32(msg1, msg2);
+
+    // Rounds 28-31
+    msg = _mm_add_epi32(msg3,
+                        _mm_set_epi64x(0x1429296706CA6351ULL, 0xD5A79147C6E00BF3ULL));
+    state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+    msgtmp = _mm_alignr_epi8(msg3, msg2, 4);
+    msg0 = _mm_add_epi32(msg0, msgtmp);
+    msg0 = _mm_sha256msg2_epu32(msg0, msg3);
+    msg = _mm_shuffle_epi32(msg, 0x0E);
+    state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
+    msg2 = _mm_sha256msg1_epu32(msg2, msg3);
+
+    // Rounds 32-35
+    msg = _mm_add_epi32(msg0,
+                        _mm_set_epi64x(0x53380D134D2C6DFCULL, 0x2E1B213827B70A85ULL));
+    state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+    msgtmp = _mm_alignr_epi8(msg0, msg3, 4);
+    msg1 = _mm_add_epi32(msg1, msgtmp);
+    msg1 = _mm_sha256msg2_epu32(msg1, msg0);
+    msg = _mm_shuffle_epi32(msg, 0x0E);
+    state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
+    msg3 = _mm_sha256msg1_epu32(msg3, msg0);
+
+    // Rounds 36-39
+    msg = _mm_add_epi32(msg1,
+                        _mm_set_epi64x(0x92722C8581C2C92EULL, 0x766A0ABB650A7354ULL));
+    state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+    msgtmp = _mm_alignr_epi8(msg1, msg0, 4);
+    msg2 = _mm_add_epi32(msg2, msgtmp);
+    msg2 = _mm_sha256msg2_epu32(msg2, msg1);
+    msg = _mm_shuffle_epi32(msg, 0x0E);
+    state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
+    msg0 = _mm_sha256msg1_epu32(msg0, msg1);
+
+    // Rounds 40-43
+    msg = _mm_add_epi32(msg2,
+                        _mm_set_epi64x(0xC76C51A3C24B8B70ULL, 0xA81A664BA2BFE8A1ULL));
+    state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+    msgtmp = _mm_alignr_epi8(msg2, msg1, 4);
+    msg3 = _mm_add_epi32(msg3, msgtmp);
+    msg3 = _mm_sha256msg2_epu32(msg3, msg2);
+    msg = _mm_shuffle_epi32(msg, 0x0E);
+    state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
+    msg1 = _mm_sha256msg1_epu32(msg1, msg2);
+
+    // Rounds 44-47
+    msg = _mm_add_epi32(msg3,
+                        _mm_set_epi64x(0x106AA070F40E3585ULL, 0xD6990624D192E819ULL));
+    state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+    msgtmp = _mm_alignr_epi8(msg3, msg2, 4);
+    msg0 = _mm_add_epi32(msg0, msgtmp);
+    msg0 = _mm_sha256msg2_epu32(msg0, msg3);
+    msg = _mm_shuffle_epi32(msg, 0x0E);
+    state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
+    msg2 = _mm_sha256msg1_epu32(msg2, msg3);
+
+    // Rounds 48-51
+    msg = _mm_add_epi32(msg0,
+                        _mm_set_epi64x(0x34B0BCB52748774CULL, 0x1E376C0819A4C116ULL));
+    state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+    msgtmp = _mm_alignr_epi8(msg0, msg3, 4);
+    msg1 = _mm_add_epi32(msg1, msgtmp);
+    msg1 = _mm_sha256msg2_epu32(msg1, msg0);
+    msg = _mm_shuffle_epi32(msg, 0x0E);
+    state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
+    msg3 = _mm_sha256msg1_epu32(msg3, msg0);
+
+    // Rounds 52-55
+    msg = _mm_add_epi32(msg1,
+                        _mm_set_epi64x(0x682E6FF35B9CCA4FULL, 0x4ED8AA4A391C0CB3ULL));
+    state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+    msgtmp = _mm_alignr_epi8(msg1, msg0, 4);
+    msg2 = _mm_add_epi32(msg2, msgtmp);
+    msg2 = _mm_sha256msg2_epu32(msg2, msg1);
+    msg = _mm_shuffle_epi32(msg, 0x0E);
+    state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
+
+    // Rounds 56-59
+    msg = _mm_add_epi32(msg2,
+                        _mm_set_epi64x(0x8CC7020884C87814ULL, 0x78A5636F748F82EEULL));
+    state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+    msgtmp = _mm_alignr_epi8(msg2, msg1, 4);
+    msg3 = _mm_add_epi32(msg3, msgtmp);
+    msg3 = _mm_sha256msg2_epu32(msg3, msg2);
+    msg = _mm_shuffle_epi32(msg, 0x0E);
+    state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
+
+    // Rounds 60-63
+    msg = _mm_add_epi32(msg3,
+                        _mm_set_epi64x(0xC67178F2BEF9A3F7ULL, 0xA4506CEB90BEFFFAULL));
+    state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+    msg = _mm_shuffle_epi32(msg, 0x0E);
+    state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
+
+    state0 = _mm_add_epi32(state0, abef_save);
+    state1 = _mm_add_epi32(state1, cdgh_save);
+    data += kSha256BlockSize;
+  }
+
+  // Unpack (ABEF, CDGH) back to {a..h}.
+  tmp = _mm_shuffle_epi32(state0, 0x1B);        // FEBA
+  state1 = _mm_shuffle_epi32(state1, 0xB1);     // DCHG
+  state0 = _mm_blend_epi16(tmp, state1, 0xF0);  // DCBA
+  state1 = _mm_alignr_epi8(state1, tmp, 8);     // HGFE
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(&state[0]), state0);
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(&state[4]), state1);
+}
+#endif  // SESEMI_CRYPTO_X86
+
+}  // namespace
+
+bool Sha256HardwareAvailable() {
+#if SESEMI_CRYPTO_X86
+  static const bool available =
+      __builtin_cpu_supports("sha") && __builtin_cpu_supports("sse4.1");
+  return available;
+#else
+  return false;
+#endif
+}
+
+Sha256::Sha256(CryptoBackend backend) {
+  if (backend == CryptoBackend::kAuto) backend = ActiveCryptoBackend();
+  hw_ = backend == CryptoBackend::kHardware && Sha256HardwareAvailable();
+  Reset();
+}
+
+void Sha256::Reset() {
+  state_[0] = 0x6a09e667;
+  state_[1] = 0xbb67ae85;
+  state_[2] = 0x3c6ef372;
+  state_[3] = 0xa54ff53a;
+  state_[4] = 0x510e527f;
+  state_[5] = 0x9b05688c;
+  state_[6] = 0x1f83d9ab;
+  state_[7] = 0x5be0cd19;
+  bit_count_ = 0;
+  buffer_len_ = 0;
+}
+
+void Sha256::ProcessBlocks(const uint8_t* data, size_t blocks) {
+  if (blocks == 0) return;
+#if SESEMI_CRYPTO_X86
+  if (hw_) {
+    ProcessBlocksShaNi(state_, data, blocks);
+    return;
+  }
+#endif
+  for (size_t i = 0; i < blocks; ++i) {
+    ProcessBlockPortable(state_, data + i * kSha256BlockSize);
+  }
 }
 
 void Sha256::Update(ByteSpan data) {
@@ -87,13 +328,14 @@ void Sha256::Update(ByteSpan data) {
     buffer_len_ += take;
     offset = take;
     if (buffer_len_ == kSha256BlockSize) {
-      ProcessBlock(buffer_);
+      ProcessBlocks(buffer_, 1);
       buffer_len_ = 0;
     }
   }
-  while (offset + kSha256BlockSize <= data.size()) {
-    ProcessBlock(data.data() + offset);
-    offset += kSha256BlockSize;
+  if (offset + kSha256BlockSize <= data.size()) {
+    const size_t blocks = (data.size() - offset) / kSha256BlockSize;
+    ProcessBlocks(data.data() + offset, blocks);
+    offset += blocks * kSha256BlockSize;
   }
   if (offset < data.size()) {
     std::memcpy(buffer_, data.data() + offset, data.size() - offset);

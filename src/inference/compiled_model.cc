@@ -1,0 +1,292 @@
+#include "inference/compiled_model.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/parallel_for.h"
+#include "inference/gemm.h"
+#include "inference/ops.h"
+
+namespace sesemi::inference {
+
+using model::Layer;
+using model::LayerKind;
+using model::ModelGraph;
+
+Result<CompiledModel> CompiledModel::Compile(ModelGraph graph) {
+  return Compile(std::move(graph), Options());
+}
+
+Result<CompiledModel> CompiledModel::Compile(ModelGraph graph,
+                                             const Options& options) {
+  SESEMI_RETURN_IF_ERROR(graph.Validate());
+
+  CompiledModel compiled;
+  compiled.graph_ = std::move(graph);
+  compiled.options_ = options;
+  const ModelGraph& g = compiled.graph_;
+
+  compiled.layers_.reserve(g.layers.size());
+  uint64_t cursor = 0;
+  uint64_t scratch = 0;
+  uint64_t packed_floats = 0;
+  for (const Layer& layer : g.layers) {
+    CompiledLayer cl;
+    cl.kind = layer.kind;
+    cl.out_shape = layer.output_shape;
+    cl.out_elems = layer.output_shape.elements();
+    cl.arena_offset = cursor;
+    cursor += cl.out_elems;
+    cl.kernel = layer.kernel;
+    cl.stride = layer.stride;
+    cl.out_channels = layer.out_channels;
+    cl.units = layer.units;
+    cl.weight_offset = layer.weight_offset;
+    cl.packed_offset = CompiledLayer::kNotPacked;
+    if (!layer.inputs.empty()) {
+      cl.in0 = layer.inputs[0];
+      cl.in_shape = g.layers[cl.in0].output_shape;
+      cl.in_elems = cl.in_shape.elements();
+    }
+    if (layer.inputs.size() > 1) {
+      cl.in1 = layer.inputs[1];
+      cl.in1_shape = g.layers[cl.in1].output_shape;
+      cl.in1_elems = cl.in1_shape.elements();
+    }
+    switch (layer.kind) {
+      case LayerKind::kConv2d: {
+        cl.gemm_k = cl.kernel * cl.kernel * cl.in_shape.c;
+        cl.gemm_n = cl.out_channels;
+        cl.bias_offset = cl.weight_offset +
+                         static_cast<uint64_t>(cl.gemm_k) * cl.gemm_n;
+        scratch = std::max<uint64_t>(
+            scratch,
+            gemm::Conv2dScratchElements(cl.in_shape, cl.kernel, cl.stride));
+        if (options.pack_weights) {
+          cl.packed_offset = packed_floats;
+          packed_floats += gemm::PackedBElements(cl.gemm_k, cl.gemm_n);
+        }
+        break;
+      }
+      case LayerKind::kDense: {
+        cl.gemm_k = static_cast<int>(cl.in_elems);
+        cl.gemm_n = cl.units;
+        cl.bias_offset = cl.weight_offset +
+                         static_cast<uint64_t>(cl.gemm_k) * cl.gemm_n;
+        if (options.pack_weights) {
+          cl.packed_offset = packed_floats;
+          packed_floats += gemm::PackedBElements(cl.gemm_k, cl.gemm_n);
+        }
+        break;
+      }
+      default:
+        break;
+    }
+    compiled.layers_.push_back(cl);
+  }
+  compiled.total_elements_ = cursor;
+  compiled.scratch_elements_ = scratch;
+
+  // Second pass: lay every Dense/Conv B matrix into its panel slice. This is
+  // the compile-once cost; Execute never touches the row-major copies again.
+  if (options.pack_weights && packed_floats > 0) {
+    compiled.packed_.resize(packed_floats);
+    for (const CompiledLayer& cl : compiled.layers_) {
+      if (cl.packed_offset == CompiledLayer::kNotPacked) continue;
+      gemm::PackB(g.weights.data() + cl.weight_offset, cl.gemm_k, cl.gemm_n,
+                  compiled.packed_.data() + cl.packed_offset);
+    }
+  }
+  return compiled;
+}
+
+uint64_t CompiledModel::output_elements() const {
+  return layers_.empty() ? 0 : layers_.back().out_elems;
+}
+
+int CompiledModel::batch_scratch_lanes(int batch) const {
+  return std::max(1, std::min(batch, ParallelismDegree()));
+}
+
+void CompiledModel::RunLayerSample(const CompiledLayer& layer, const float* in0,
+                                   const float* in1, float* out,
+                                   float* scratch) const {
+  switch (layer.kind) {
+    case LayerKind::kInput:
+      break;  // handled by the caller (needs the request payload)
+    case LayerKind::kConv2d:
+      if (layer.packed_offset != CompiledLayer::kNotPacked) {
+        gemm::Conv2dGemmPrepacked(in0, layer.in_shape, layer_packed(layer),
+                                  layer_bias(layer), layer.kernel, layer.stride,
+                                  layer.out_channels, out, scratch);
+      } else {
+        gemm::Conv2dGemm(in0, layer.in_shape, layer_weights(layer), layer.kernel,
+                         layer.stride, layer.out_channels, out, scratch);
+      }
+      break;
+    case LayerKind::kDepthwiseConv2d:
+      gemm::DepthwiseConv2d(in0, layer.in_shape, layer_weights(layer),
+                            layer.kernel, layer.stride, out);
+      break;
+    case LayerKind::kDense:
+      if (layer.packed_offset != CompiledLayer::kNotPacked) {
+        gemm::GemmPrepacked(in0, layer_packed(layer), layer_bias(layer), out, 1,
+                            layer.gemm_n, layer.gemm_k);
+      } else {
+        ops::Dense(in0, layer.in_elems, layer_weights(layer), layer.units, out);
+      }
+      break;
+    case LayerKind::kRelu:
+      ops::Relu(in0, layer.in_elems, out);
+      break;
+    case LayerKind::kMaxPool:
+      ops::MaxPool2x2(in0, layer.in_shape, out);
+      break;
+    case LayerKind::kGlobalAvgPool:
+      ops::GlobalAvgPool(in0, layer.in_shape, out);
+      break;
+    case LayerKind::kAdd:
+      ops::Add(in0, in1, layer.in_elems, out);
+      break;
+    case LayerKind::kConcat:
+      ops::ConcatChannels(in0, layer.in_shape, in1, layer.in1_shape, out);
+      break;
+    case LayerKind::kSoftmax:
+      ops::Softmax(in0, layer.in_elems, out);
+      break;
+  }
+}
+
+Status CompiledModel::ExecuteInto(ByteSpan input, float* arena,
+                                  float* out) const {
+  const size_t input_bytes = graph_.input_shape.elements() * sizeof(float);
+  if (input.size() != input_bytes) {
+    return Status::InvalidArgument(
+        "input size mismatch: want " + std::to_string(input_bytes) +
+        " bytes, got " + std::to_string(input.size()));
+  }
+
+  // The shared conv scratch region sits after the last activation slot.
+  float* scratch = arena + total_elements_;
+
+  for (const CompiledLayer& layer : layers_) {
+    float* dst = arena + layer.arena_offset;
+    if (layer.kind == LayerKind::kInput) {
+      std::memcpy(dst, input.data(), input_bytes);
+      continue;
+    }
+    const float* in0 = arena + layers_[layer.in0].arena_offset;
+    const float* in1 =
+        layer.in1 >= 0 ? arena + layers_[layer.in1].arena_offset : nullptr;
+    RunLayerSample(layer, in0, in1, dst, scratch);
+  }
+
+  std::memcpy(out, arena + layers_.back().arena_offset,
+              output_elements() * sizeof(float));
+  return Status::OK();
+}
+
+Result<Bytes> CompiledModel::Execute(ByteSpan input, float* arena) const {
+  Bytes out(output_elements() * sizeof(float));
+  SESEMI_RETURN_IF_ERROR(
+      ExecuteInto(input, arena, reinterpret_cast<float*>(out.data())));
+  return out;
+}
+
+Status CompiledModel::ExecuteBatch(const std::vector<ByteSpan>& inputs,
+                                   float* arena,
+                                   std::vector<Bytes>* outputs) const {
+  const int batch = static_cast<int>(inputs.size());
+  if (batch == 0) return Status::InvalidArgument("empty batch");
+  const size_t input_bytes = graph_.input_shape.elements() * sizeof(float);
+  for (const ByteSpan& input : inputs) {
+    if (input.size() != input_bytes) {
+      return Status::InvalidArgument(
+          "batched input size mismatch: want " + std::to_string(input_bytes) +
+          " bytes, got " + std::to_string(input.size()));
+    }
+  }
+
+  // Batch-major slot layout: layer i's activations live at
+  // arena[offset(i)*batch + b*out_elems], so one layer's rows for the whole
+  // batch are contiguous — that contiguity is what turns Dense into a single
+  // M=batch GEMM.
+  float* scratch_base = arena + total_elements_ * batch;
+  auto slot = [&](int32_t layer) {
+    return arena + layers_[layer].arena_offset * batch;
+  };
+
+  // Spatial layers loop per sample; when workers are idle the batch dimension
+  // fans out over the fork-join pool, each chunk on its own im2col scratch
+  // lane (chunk starts are multiples of the grain, so b0/grain indexes lanes
+  // without collisions). Samples are independent and each one runs the exact
+  // per-sample kernels, so outputs do not depend on the carve-up.
+  const int lanes = batch_scratch_lanes(batch);
+  const int64_t grain = (batch + lanes - 1) / lanes;
+  // Generic over the body so no type-erased std::function is constructed —
+  // ExecuteBatch stays off the allocator for everything but its outputs.
+  auto for_each_sample = [&](auto&& body) {
+    if (lanes > 1) {
+      ParallelFor(0, batch, grain, [&](int64_t b0, int64_t b1) {
+        float* lane_scratch = scratch_base + (b0 / grain) * scratch_elements_;
+        for (int64_t b = b0; b < b1; ++b) body(static_cast<int>(b), lane_scratch);
+      });
+    } else {
+      for (int b = 0; b < batch; ++b) body(b, scratch_base);
+    }
+  };
+
+  for (const CompiledLayer& layer : layers_) {
+    float* out = arena + layer.arena_offset * batch;
+    const uint64_t out_elems = layer.out_elems;
+    switch (layer.kind) {
+      case LayerKind::kInput:
+        for_each_sample([&](int b, float*) {
+          std::memcpy(out + b * out_elems, inputs[b].data(), input_bytes);
+        });
+        break;
+      case LayerKind::kDense: {
+        // The whole batch in one GEMM: rows are the per-sample feature
+        // vectors, already contiguous in the batch-major slot.
+        const float* in0 = slot(layer.in0);
+        if (layer.packed_offset != CompiledLayer::kNotPacked) {
+          gemm::GemmPrepacked(in0, layer_packed(layer), layer_bias(layer), out,
+                              batch, layer.gemm_n, layer.gemm_k);
+        } else {
+          gemm::Gemm(in0, layer_weights(layer), layer_bias(layer), out, batch,
+                     layer.gemm_n, layer.gemm_k);
+        }
+        break;
+      }
+      case LayerKind::kRelu:
+        ops::Relu(slot(layer.in0), layer.in_elems * batch, out);
+        break;
+      case LayerKind::kAdd:
+        ops::Add(slot(layer.in0), slot(layer.in1), layer.in_elems * batch, out);
+        break;
+      default: {
+        const float* in0 = slot(layer.in0);
+        const float* in1 = layer.in1 >= 0 ? slot(layer.in1) : nullptr;
+        for_each_sample([&](int b, float* lane_scratch) {
+          RunLayerSample(layer, in0 + b * layer.in_elems,
+                         in1 != nullptr ? in1 + b * layer.in1_elems : nullptr,
+                         out + b * out_elems, lane_scratch);
+        });
+        break;
+      }
+    }
+  }
+
+  const uint64_t final_elems = output_elements();
+  const float* result = slot(static_cast<int32_t>(layers_.size()) - 1);
+  outputs->clear();
+  outputs->reserve(batch);
+  for (int b = 0; b < batch; ++b) {
+    Bytes out_bytes(final_elems * sizeof(float));
+    std::memcpy(out_bytes.data(), result + b * final_elems, out_bytes.size());
+    outputs->push_back(std::move(out_bytes));
+  }
+  return Status::OK();
+}
+
+}  // namespace sesemi::inference

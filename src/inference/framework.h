@@ -47,7 +47,7 @@ class ModelRuntime {
   /// `inputs.size()` samples, outputs in input order and numerically equal to
   /// per-sample Execute. The base implementation loops Execute; the executor-
   /// backed runtimes override it to feed the batch dimension through the
-  /// multi-row GEMM path (see GraphExecutionPlan::ExecuteBatch). The batch
+  /// multi-row GEMM path (see CompiledModel::ExecuteBatch). The batch
   /// activation arena is transient per call — it is working-set scratch, not
   /// part of the runtime's resident buffer_bytes() footprint.
   virtual Result<std::vector<Bytes>> ExecuteBatch(const std::vector<ByteSpan>& inputs);

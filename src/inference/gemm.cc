@@ -107,6 +107,126 @@ bool HasAvx2Fma() {
 #endif
 }
 
+static_assert(kNr == kPackPanelWidth,
+              "packed panels and the micro-kernel N blocking must agree");
+
+// Stride between consecutive column panels in the PackB layout.
+inline size_t PanelStride(int k) { return static_cast<size_t>(k) * kNr; }
+
+#ifdef SESEMI_GEMM_X86
+// Packed-B micro-tile: same accumulator shape as MicroKernelAvx2, but the
+// panel's k rows are contiguous (brow += 16), so B streams forward through
+// one cache line per step instead of striding N floats between rows.
+template <int MR>
+__attribute__((target("avx2,fma"))) void MicroKernelPackedAvx2(
+    const float* a, int lda, const float* bp, int n, const float* bias,
+    float* c, int k, int n0) {
+  __m256 acc_lo[MR], acc_hi[MR];
+  const __m256 seed_lo = bias != nullptr ? _mm256_loadu_ps(bias + n0) : _mm256_setzero_ps();
+  const __m256 seed_hi = bias != nullptr ? _mm256_loadu_ps(bias + n0 + 8) : _mm256_setzero_ps();
+  for (int r = 0; r < MR; ++r) {
+    acc_lo[r] = seed_lo;
+    acc_hi[r] = seed_hi;
+  }
+  for (int kk = 0; kk < k; ++kk, bp += kNr) {
+    const __m256 b_lo = _mm256_loadu_ps(bp);
+    const __m256 b_hi = _mm256_loadu_ps(bp + 8);
+    for (int r = 0; r < MR; ++r) {
+      const __m256 av = _mm256_set1_ps(a[static_cast<size_t>(r) * lda + kk]);
+      acc_lo[r] = _mm256_fmadd_ps(av, b_lo, acc_lo[r]);
+      acc_hi[r] = _mm256_fmadd_ps(av, b_hi, acc_hi[r]);
+    }
+  }
+  for (int r = 0; r < MR; ++r) {
+    _mm256_storeu_ps(c + static_cast<size_t>(r) * n + n0, acc_lo[r]);
+    _mm256_storeu_ps(c + static_cast<size_t>(r) * n + n0 + 8, acc_hi[r]);
+  }
+}
+#endif  // SESEMI_GEMM_X86
+
+template <int MR>
+void MicroKernelPackedPortable(const float* a, int lda, const float* bp, int n,
+                               const float* bias, float* c, int k, int n0) {
+  float acc[MR][kNr];
+  for (int r = 0; r < MR; ++r) {
+    for (int j = 0; j < kNr; ++j) acc[r][j] = bias != nullptr ? bias[n0 + j] : 0.0f;
+  }
+  for (int kk = 0; kk < k; ++kk, bp += kNr) {
+    for (int r = 0; r < MR; ++r) {
+      const float av = a[static_cast<size_t>(r) * lda + kk];
+      for (int j = 0; j < kNr; ++j) acc[r][j] += av * bp[j];
+    }
+  }
+  for (int r = 0; r < MR; ++r) {
+    std::memcpy(c + static_cast<size_t>(r) * n + n0, acc[r], kNr * sizeof(float));
+  }
+}
+
+// Ragged right edge of the packed layout: the last panel is zero-padded to 16
+// columns, but C (and bias) only have nr valid ones, so accumulate scalar
+// strips over the panel rows.
+void PackedEdgeKernel(const float* a, int lda, const float* bp, int n,
+                      const float* bias, float* c, int k, int n0, int mr, int nr) {
+  for (int r = 0; r < mr; ++r) {
+    float acc[kNr];
+    for (int j = 0; j < nr; ++j) acc[j] = bias != nullptr ? bias[n0 + j] : 0.0f;
+    const float* arow = a + static_cast<size_t>(r) * lda;
+    const float* brow = bp;
+    for (int kk = 0; kk < k; ++kk, brow += kNr) {
+      const float av = arow[kk];
+      for (int j = 0; j < nr; ++j) acc[j] += av * brow[j];
+    }
+    std::memcpy(c + static_cast<size_t>(r) * n + n0, acc, nr * sizeof(float));
+  }
+}
+
+#ifdef SESEMI_GEMM_X86
+// M == 1 over packed B: per panel, two accumulator registers live across the
+// whole k loop while the panel streams forward — every weight is touched
+// exactly once, contiguously, with no store traffic until the panel is done
+// (the unpacked GEMV re-reads and re-writes C once per k step).
+__attribute__((target("avx2,fma"))) void GemvPackedAvx2(
+    const float* a, const float* packed, const float* bias, float* c, int n,
+    int k) {
+  const int n_full = n - n % kNr;
+  for (int n0 = 0; n0 < n_full; n0 += kNr) {
+    const float* bp = packed + (n0 / kNr) * PanelStride(k);
+    __m256 acc_lo = bias != nullptr ? _mm256_loadu_ps(bias + n0) : _mm256_setzero_ps();
+    __m256 acc_hi = bias != nullptr ? _mm256_loadu_ps(bias + n0 + 8) : _mm256_setzero_ps();
+    for (int kk = 0; kk < k; ++kk, bp += kNr) {
+      const __m256 av = _mm256_set1_ps(a[kk]);
+      acc_lo = _mm256_fmadd_ps(av, _mm256_loadu_ps(bp), acc_lo);
+      acc_hi = _mm256_fmadd_ps(av, _mm256_loadu_ps(bp + 8), acc_hi);
+    }
+    _mm256_storeu_ps(c + n0, acc_lo);
+    _mm256_storeu_ps(c + n0 + 8, acc_hi);
+  }
+  if (n_full < n) {
+    PackedEdgeKernel(a, k, packed + (n_full / kNr) * PanelStride(k), n, bias, c,
+                     k, n_full, 1, n - n_full);
+  }
+}
+#endif  // SESEMI_GEMM_X86
+
+void GemvPackedPortable(const float* a, const float* packed, const float* bias,
+                        float* c, int n, int k) {
+  const int n_full = n - n % kNr;
+  for (int n0 = 0; n0 < n_full; n0 += kNr) {
+    const float* bp = packed + (n0 / kNr) * PanelStride(k);
+    float acc[kNr];
+    for (int j = 0; j < kNr; ++j) acc[j] = bias != nullptr ? bias[n0 + j] : 0.0f;
+    for (int kk = 0; kk < k; ++kk, bp += kNr) {
+      const float av = a[kk];
+      for (int j = 0; j < kNr; ++j) acc[j] += av * bp[j];
+    }
+    std::memcpy(c + n0, acc, kNr * sizeof(float));
+  }
+  if (n_full < n) {
+    PackedEdgeKernel(a, k, packed + (n_full / kNr) * PanelStride(k), n, bias, c,
+                     k, n_full, 1, n - n_full);
+  }
+}
+
 #ifdef SESEMI_GEMM_X86
 // M == 1 (Dense): the micro-tile column panels would stride through B once
 // per 16 columns; a row-streaming GEMV touches every weight exactly once in
@@ -156,6 +276,40 @@ KernelFn FullTileKernel(int mr) {
   if (HasAvx2Fma()) return avx2[mr - 1];
 #endif
   return portable[mr - 1];
+}
+
+KernelFn FullTilePackedKernel(int mr) {
+  static const KernelFn portable[kMaxMr] = {
+      MicroKernelPackedPortable<1>, MicroKernelPackedPortable<2>,
+      MicroKernelPackedPortable<3>, MicroKernelPackedPortable<4>,
+      MicroKernelPackedPortable<5>, MicroKernelPackedPortable<6>};
+#ifdef SESEMI_GEMM_X86
+  static const KernelFn avx2[kMaxMr] = {
+      MicroKernelPackedAvx2<1>, MicroKernelPackedAvx2<2>,
+      MicroKernelPackedAvx2<3>, MicroKernelPackedAvx2<4>,
+      MicroKernelPackedAvx2<5>, MicroKernelPackedAvx2<6>};
+  if (HasAvx2Fma()) return avx2[mr - 1];
+#endif
+  return portable[mr - 1];
+}
+
+// All rows [m0, m1) of C against the packed panels.
+void GemmPrepackedRows(const float* a, const float* packed, const float* bias,
+                       float* c, int m0, int m1, int n, int k) {
+  const int n_full = n - n % kNr;
+  for (int m = m0; m < m1; m += kMaxMr) {
+    const int mr = std::min(kMaxMr, m1 - m);
+    const float* arow = a + static_cast<size_t>(m) * k;
+    float* crow = c + static_cast<size_t>(m) * n;
+    KernelFn kernel = FullTilePackedKernel(mr);
+    for (int n0 = 0; n0 < n_full; n0 += kNr) {
+      kernel(arow, k, packed + (n0 / kNr) * PanelStride(k), n, bias, crow, k, n0);
+    }
+    if (n_full < n) {
+      PackedEdgeKernel(arow, k, packed + (n_full / kNr) * PanelStride(k), n,
+                       bias, crow, k, n_full, mr, n - n_full);
+    }
+  }
 }
 
 // All rows [m0, m1) of C for every column panel.
@@ -312,6 +466,49 @@ void Gemm(const float* a, const float* b, const float* bias, float* c, int m,
   });
 }
 
+size_t PackedBElements(int k, int n) {
+  const size_t panels = (static_cast<size_t>(n) + kNr - 1) / kNr;
+  return panels * PanelStride(k);
+}
+
+void PackB(const float* b, int k, int n, float* packed) {
+  for (int n0 = 0; n0 < n; n0 += kNr) {
+    const int nr = std::min(kNr, n - n0);
+    float* dst = packed + (n0 / kNr) * PanelStride(k);
+    const float* src = b + n0;
+    for (int kk = 0; kk < k; ++kk, dst += kNr, src += n) {
+      std::memcpy(dst, src, static_cast<size_t>(nr) * sizeof(float));
+      if (nr < kNr) {
+        std::memset(dst + nr, 0, static_cast<size_t>(kNr - nr) * sizeof(float));
+      }
+    }
+  }
+}
+
+void GemmPrepacked(const float* a, const float* packed_b, const float* bias,
+                   float* c, int m, int n, int k) {
+  if (m <= 0 || n <= 0) return;
+  if (m == 1) {
+#ifdef SESEMI_GEMM_X86
+    if (HasAvx2Fma()) {
+      GemvPackedAvx2(a, packed_b, bias, c, n, k);
+      return;
+    }
+#endif
+    GemvPackedPortable(a, packed_b, bias, c, n, k);
+    return;
+  }
+  const int64_t flops = static_cast<int64_t>(m) * n * k;
+  if (flops < kParallelFlopThreshold) {
+    GemmPrepackedRows(a, packed_b, bias, c, 0, m, n, k);
+    return;
+  }
+  ParallelFor(0, m, kPanelRows, [&](int64_t r0, int64_t r1) {
+    GemmPrepackedRows(a, packed_b, bias, c, static_cast<int>(r0),
+                      static_cast<int>(r1), n, k);
+  });
+}
+
 void Im2ColRows(const float* in, const TensorShape& in_shape, int kernel,
                 int stride, int out_w, int m0, int m1, float* patch) {
   const int pad = (kernel - 1) / 2;
@@ -361,18 +558,24 @@ size_t Conv2dScratchElements(const TensorShape& in_shape, int kernel, int stride
   return tile_rows * k;
 }
 
-void Conv2dGemm(const float* in, const TensorShape& in_shape,
-                const float* weights, int kernel, int stride, int out_c,
-                float* out, float* scratch) {
+namespace {
+
+// Shared conv driver: 1x1 stride-1 fast path plus the im2col row-tile loop,
+// with the GEMM step (unpacked or prepacked B) supplied by the caller as
+// gemm_step(a, c, m, n, k) — one copy of the tiling/scratch policy to keep
+// in sync with Conv2dScratchElements.
+template <typename GemmStep>
+void Conv2dGemmTiled(const float* in, const TensorShape& in_shape, int kernel,
+                     int stride, int out_c, float* out, float* scratch,
+                     GemmStep&& gemm_step) {
   const int out_h = (in_shape.h + stride - 1) / stride;
   const int out_w = (in_shape.w + stride - 1) / stride;
   const int m = out_h * out_w;
   const int k = kernel * kernel * in_shape.c;
-  const float* bias = weights + static_cast<size_t>(k) * out_c;
 
   if (kernel == 1 && stride == 1) {
     // A 1x1 stride-1 convolution is exactly C = in (M x c) * W (c x out_c).
-    Gemm(in, weights, bias, out, m, out_c, in_shape.c);
+    gemm_step(in, out, m, out_c, in_shape.c);
     return;
   }
 
@@ -382,9 +585,31 @@ void Conv2dGemm(const float* in, const TensorShape& in_shape,
   for (int m0 = 0; m0 < m; m0 += tile_rows) {
     const int m1 = std::min(m, m0 + tile_rows);
     Im2ColRows(in, in_shape, kernel, stride, out_w, m0, m1, scratch);
-    Gemm(scratch, weights, bias, out + static_cast<size_t>(m0) * out_c, m1 - m0,
-         out_c, k);
+    gemm_step(scratch, out + static_cast<size_t>(m0) * out_c, m1 - m0, out_c, k);
   }
+}
+
+}  // namespace
+
+void Conv2dGemm(const float* in, const TensorShape& in_shape,
+                const float* weights, int kernel, int stride, int out_c,
+                float* out, float* scratch) {
+  const float* bias =
+      weights + static_cast<size_t>(kernel) * kernel * in_shape.c * out_c;
+  Conv2dGemmTiled(in, in_shape, kernel, stride, out_c, out, scratch,
+                  [&](const float* a, float* c, int m, int n, int k) {
+                    Gemm(a, weights, bias, c, m, n, k);
+                  });
+}
+
+void Conv2dGemmPrepacked(const float* in, const TensorShape& in_shape,
+                         const float* packed_weights, const float* bias,
+                         int kernel, int stride, int out_c, float* out,
+                         float* scratch) {
+  Conv2dGemmTiled(in, in_shape, kernel, stride, out_c, out, scratch,
+                  [&](const float* a, float* c, int m, int n, int k) {
+                    GemmPrepacked(a, packed_weights, bias, c, m, n, k);
+                  });
 }
 
 }  // namespace sesemi::inference::gemm

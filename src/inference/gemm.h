@@ -35,6 +35,42 @@ void Conv2dGemm(const float* in, const TensorShape& in_shape,
                 const float* weights, int kernel, int stride, int out_c,
                 float* out, float* scratch);
 
+// --------------------------------------------------------------- pre-packing
+// MODEL_LOAD-time weight layout (the compile-once half of the pipeline): B is
+// repacked once into column panels of 16 — panel p holds the K rows of
+// columns [16p, 16p+16) back-to-back, zero-padded on the ragged right edge —
+// so the micro-kernel's per-k loads become a single contiguous forward stream
+// instead of stride-N row hops. The kernels below consume that layout; per-
+// element accumulation order (ascending k) is unchanged, so results match the
+// unpacked Gemm bit-for-bit on full panels and to FMA rounding vs the naive
+// loops.
+
+/// Width of a packed column panel (the micro-kernel's N blocking).
+inline constexpr int kPackPanelWidth = 16;
+
+/// Floats PackB writes for a K x N matrix: ceil(n/16) panels of k*16.
+size_t PackedBElements(int k, int n);
+
+/// Repack row-major B (K x N) into the panel layout. `packed` must hold
+/// PackedBElements(k, n) floats.
+void PackB(const float* b, int k, int n, float* packed);
+
+/// C (M x N) = A (M x K) * packed-B, bias-seeded like Gemm. `packed_b` is the
+/// PackB layout. M == 1 rides a panel-streaming GEMV over the same layout;
+/// M > 1 runs the register-blocked micro-kernels with row panels spread over
+/// the process pool exactly like Gemm.
+void GemmPrepacked(const float* a, const float* packed_b, const float* bias,
+                   float* c, int m, int n, int k);
+
+/// Same-padding convolution over a pre-packed weight matrix: im2col row tiles
+/// (identical tiling to Conv2dGemm) multiplied against the PackB layout of
+/// the w[ky][kx][ic][oc] matrix. `bias` points at the out_c conv biases
+/// (packed separately from the panels). `scratch` as for Conv2dGemm.
+void Conv2dGemmPrepacked(const float* in, const TensorShape& in_shape,
+                         const float* packed_weights, const float* bias,
+                         int kernel, int stride, int out_c, float* out,
+                         float* scratch);
+
 /// Same-padding depthwise convolution (channel multiplier 1) on the fast
 /// path: each output row is a panel of per-channel GEMV strips — the channel
 /// dimension is contiguous in HWC, so every (ky,kx) tap is one fused

@@ -2,12 +2,17 @@
 //
 // Characteristics mirrored from the real system (paper Table I, §VI-A):
 //  - the loaded model is the single source of weights; execution reads them
-//    in place (no packing), so runtime buffers are only the activation arena
-//    (λ = buffer/model ≈ 0.14-0.29);
-//  - RUNTIME_INIT is cheap (allocate the arena, no weight processing);
-//  - execution is interpreted, i.e. slower than TVM's compiled executor.
+//    in place (no packing — CompiledModel::Options::pack_weights off), so the
+//    resident footprint is ~the serialized model and runtime buffers are only
+//    the activation arena (λ = buffer/model ≈ 0.14-0.29);
+//  - MODEL_LOAD still compiles the execution plan (arena offsets, scratch
+//    bounds, batch strides — that part is cheap), so Execute does no per-
+//    request shape math either; RUNTIME_INIT allocates the arena and nothing
+//    else;
+//  - execution is interpreted over row-major weights, i.e. slower than TVM's
+//    packed compiled executor.
 
-#include "inference/executor.h"
+#include "inference/compiled_model.h"
 #include "inference/framework.h"
 #include "model/format.h"
 
@@ -16,26 +21,27 @@ namespace {
 
 class TflmLoadedModel final : public LoadedModel {
  public:
-  explicit TflmLoadedModel(model::ModelGraph graph)
-      : graph_(std::move(graph)), plan_(graph_) {}
+  explicit TflmLoadedModel(CompiledModel compiled)
+      : compiled_(std::move(compiled)) {}
 
-  const model::ModelGraph& graph() const override { return graph_; }
+  const model::ModelGraph& graph() const override { return compiled_.graph(); }
   uint64_t memory_bytes() const override {
-    // Flatbuffer-in-place semantics: the model occupies ~its serialized size.
-    return graph_.WeightBytes() + graph_.layers.size() * 128;
+    // Flatbuffer-in-place semantics: the model occupies ~its serialized size
+    // (no packed buffers; packed_weight_bytes() is 0 here by construction).
+    return graph().WeightBytes() + compiled_.packed_weight_bytes() +
+           graph().layers.size() * 128;
   }
-  const GraphExecutionPlan& plan() const { return plan_; }
+  const CompiledModel& compiled() const { return compiled_; }
 
  private:
-  model::ModelGraph graph_;
-  GraphExecutionPlan plan_;
+  CompiledModel compiled_;
 };
 
 class TflmRuntime final : public ModelRuntime {
  public:
   explicit TflmRuntime(std::shared_ptr<const TflmLoadedModel> loaded)
       : loaded_(std::move(loaded)),
-        arena_(loaded_->plan().arena_elements(), 0.0f) {}
+        arena_(loaded_->compiled().arena_elements(), 0.0f) {}
 
   const std::string& model_id() const override {
     return loaded_->graph().model_id;
@@ -47,25 +53,22 @@ class TflmRuntime final : public ModelRuntime {
 
   Result<Bytes> Execute(ByteSpan input) override {
     // Interpreter: weights are read from the shared loaded model in place.
-    return loaded_->plan().Execute(loaded_->graph(),
-                                   loaded_->graph().weights.data(), input,
-                                   arena_.data());
+    return loaded_->compiled().Execute(input, arena_.data());
   }
 
   Result<std::vector<Bytes>> ExecuteBatch(
       const std::vector<ByteSpan>& inputs) override {
     if (inputs.size() <= 1) return ModelRuntime::ExecuteBatch(inputs);
     // Grow-only uninitialized batch arena (see TvmRuntime::ExecuteBatch).
-    const uint64_t need =
-        loaded_->plan().batch_arena_elements(static_cast<int>(inputs.size()));
+    const uint64_t need = loaded_->compiled().batch_arena_elements(
+        static_cast<int>(inputs.size()));
     if (batch_arena_capacity_ < need) {
       batch_arena_ = std::unique_ptr<float[]>(new float[need]);
       batch_arena_capacity_ = need;
     }
     std::vector<Bytes> outputs;
-    SESEMI_RETURN_IF_ERROR(loaded_->plan().ExecuteBatch(
-        loaded_->graph(), loaded_->graph().weights.data(), inputs,
-        batch_arena_.get(), &outputs));
+    SESEMI_RETURN_IF_ERROR(loaded_->compiled().ExecuteBatch(
+        inputs, batch_arena_.get(), &outputs));
     return outputs;
   }
 
@@ -86,9 +89,12 @@ class TflmFramework final : public InferenceFramework {
   }
 
   Result<std::shared_ptr<LoadedModel>> WrapModel(model::ModelGraph graph) const override {
-    SESEMI_RETURN_IF_ERROR(graph.Validate());
+    CompiledModel::Options options;
+    options.pack_weights = false;  // interpreter reads weights in place
+    SESEMI_ASSIGN_OR_RETURN(CompiledModel compiled,
+                            CompiledModel::Compile(std::move(graph), options));
     return std::shared_ptr<LoadedModel>(
-        std::make_shared<TflmLoadedModel>(std::move(graph)));
+        std::make_shared<TflmLoadedModel>(std::move(compiled)));
   }
 
   Result<std::unique_ptr<ModelRuntime>> CreateRuntime(

@@ -1,16 +1,20 @@
 // µTVM: the Apache-TVM-flavoured framework.
 //
 // Characteristics mirrored from the real system (paper Table I, §VI-A):
-//  - RUNTIME_INIT packs a private copy of every weighted layer's parameters
-//    into the runtime, so runtime buffers exceed the model size
-//    (λ = buffer/model ≈ 1.2-1.8) and initialization cost scales with the
-//    model;
-//  - execution runs against the packed copy (compiled-executor semantics),
-//    which is what makes TVM's hot path fast and its warm path expensive.
+//  - MODEL_LOAD compiles the model once: every Dense/Conv weight matrix is
+//    re-laid into the 16-wide B panels the GEMM micro-kernels consume
+//    (compiled-executor semantics — the real TVM emits per-operator packed
+//    layouts ahead of time). The packed artifact is resident next to the
+//    model, so the loaded model exceeds the model size (λ > 1) and load cost
+//    scales with the model;
+//  - RUNTIME_INIT is just the activation arena: runtimes share the immutable
+//    compiled artifact, which is what makes TVM's hot path fast and lets N
+//    TCS slots serve one model without N weight copies.
 
 #include <cstring>
+#include <memory>
 
-#include "inference/executor.h"
+#include "inference/compiled_model.h"
 #include "inference/framework.h"
 #include "model/format.h"
 
@@ -19,41 +23,41 @@ namespace {
 
 class TvmLoadedModel final : public LoadedModel {
  public:
-  explicit TvmLoadedModel(model::ModelGraph graph)
-      : graph_(std::move(graph)), plan_(graph_) {}
+  explicit TvmLoadedModel(CompiledModel compiled)
+      : compiled_(std::move(compiled)) {}
 
-  const model::ModelGraph& graph() const override { return graph_; }
+  const model::ModelGraph& graph() const override { return compiled_.graph(); }
   uint64_t memory_bytes() const override {
-    return graph_.WeightBytes() + graph_.layers.size() * 128;
+    // The compiled artifact: weights + the pre-packed B panels built at
+    // MODEL_LOAD, plus per-layer plan metadata. Enclave heap accounting (and
+    // through it the platform's node reservation) charges this figure.
+    return graph().WeightBytes() + compiled_.packed_weight_bytes() +
+           graph().layers.size() * 128;
   }
-  const GraphExecutionPlan& plan() const { return plan_; }
+  const CompiledModel& compiled() const { return compiled_; }
 
  private:
-  model::ModelGraph graph_;
-  GraphExecutionPlan plan_;
+  CompiledModel compiled_;
 };
 
 class TvmRuntime final : public ModelRuntime {
  public:
   explicit TvmRuntime(std::shared_ptr<const TvmLoadedModel> loaded)
       : loaded_(std::move(loaded)),
-        packed_weights_(loaded_->graph().weights),  // private packed copy
-        arena_(loaded_->plan().arena_elements(), 0.0f) {
-    // A real TVM runtime lays weights out per-operator; copying is the
-    // observable cost and footprint, which is what we reproduce.
-  }
+        arena_(loaded_->compiled().arena_elements(), 0.0f) {}
 
   const std::string& model_id() const override {
     return loaded_->graph().model_id;
   }
 
   uint64_t buffer_bytes() const override {
-    return packed_weights_.size() * sizeof(float) + arena_.size() * sizeof(float);
+    // Per-TCS state is only the activation arena; the packed weights are the
+    // loaded model's (shared, counted once in memory_bytes()).
+    return arena_.size() * sizeof(float);
   }
 
   Result<Bytes> Execute(ByteSpan input) override {
-    return loaded_->plan().Execute(loaded_->graph(), packed_weights_.data(), input,
-                                   arena_.data());
+    return loaded_->compiled().Execute(input, arena_.data());
   }
 
   Result<std::vector<Bytes>> ExecuteBatch(
@@ -63,22 +67,20 @@ class TvmRuntime final : public ModelRuntime {
     // runtime is exclusive to one TCS slot, and every arena slot is written
     // before it is read (kInput copies, each layer fills its output, im2col
     // zero-fills its padding taps).
-    const uint64_t need =
-        loaded_->plan().batch_arena_elements(static_cast<int>(inputs.size()));
+    const uint64_t need = loaded_->compiled().batch_arena_elements(
+        static_cast<int>(inputs.size()));
     if (batch_arena_capacity_ < need) {
       batch_arena_ = std::unique_ptr<float[]>(new float[need]);
       batch_arena_capacity_ = need;
     }
     std::vector<Bytes> outputs;
-    SESEMI_RETURN_IF_ERROR(loaded_->plan().ExecuteBatch(
-        loaded_->graph(), packed_weights_.data(), inputs, batch_arena_.get(),
-        &outputs));
+    SESEMI_RETURN_IF_ERROR(loaded_->compiled().ExecuteBatch(
+        inputs, batch_arena_.get(), &outputs));
     return outputs;
   }
 
  private:
   std::shared_ptr<const TvmLoadedModel> loaded_;
-  std::vector<float> packed_weights_;
   std::vector<float> arena_;
   std::unique_ptr<float[]> batch_arena_;
   uint64_t batch_arena_capacity_ = 0;
@@ -94,9 +96,12 @@ class TvmFramework final : public InferenceFramework {
   }
 
   Result<std::shared_ptr<LoadedModel>> WrapModel(model::ModelGraph graph) const override {
-    SESEMI_RETURN_IF_ERROR(graph.Validate());
+    CompiledModel::Options options;
+    options.pack_weights = true;  // compiled-executor semantics
+    SESEMI_ASSIGN_OR_RETURN(CompiledModel compiled,
+                            CompiledModel::Compile(std::move(graph), options));
     return std::shared_ptr<LoadedModel>(
-        std::make_shared<TvmLoadedModel>(std::move(graph)));
+        std::make_shared<TvmLoadedModel>(std::move(compiled)));
   }
 
   Result<std::unique_ptr<ModelRuntime>> CreateRuntime(

@@ -12,6 +12,7 @@ const char* ToString(Architecture arch) {
     case Architecture::kMbNet: return "mbnet";
     case Architecture::kRsNet: return "rsnet";
     case Architecture::kDsNet: return "dsnet";
+    case Architecture::kHybNet: return "hybnet";
   }
   return "unknown";
 }
@@ -20,6 +21,7 @@ Result<Architecture> ArchitectureFromString(const std::string& name) {
   if (name == "mbnet") return Architecture::kMbNet;
   if (name == "rsnet") return Architecture::kRsNet;
   if (name == "dsnet") return Architecture::kDsNet;
+  if (name == "hybnet") return Architecture::kHybNet;
   return Status::InvalidArgument("unknown architecture: " + name);
 }
 
@@ -28,6 +30,7 @@ uint64_t PaperModelBytes(Architecture arch) {
     case Architecture::kMbNet: return 17ull << 20;
     case Architecture::kRsNet: return 170ull << 20;
     case Architecture::kDsNet: return 44ull << 20;
+    case Architecture::kHybNet: return 64ull << 20;
   }
   return 0;
 }
@@ -239,6 +242,35 @@ int32_t BuildDsNetBackbone(GraphBuilder* b) {
   return b->GlobalAvgPool(x);
 }
 
+int32_t BuildHybNetBackbone(GraphBuilder* b) {
+  // Mixed conv/dense scenario model: deeper than the three reproductions,
+  // with residual stages whose channel counts (24/40/72) sit off the 16-wide
+  // panel grid — every conv hits the packed-GEMM ragged edge — plus a dense
+  // trunk ahead of the sized classifier head so more than one fully
+  // connected layer rides the packed GEMV path.
+  int32_t x = b->Conv(0, 3, 1, 24);
+  x = b->Relu(x);
+  int stage_channels[] = {24, 40, 72};
+  for (size_t stage = 0; stage < 3; ++stage) {
+    int c = stage_channels[stage];
+    if (stage > 0) {
+      x = b->Conv(x, 3, 2, c);  // strided reduction into the new width
+      x = b->Relu(x);
+    }
+    for (int block = 0; block < 2; ++block) {
+      int32_t shortcut = x;
+      int32_t y = b->Conv(x, 3, 1, c);
+      y = b->Relu(y);
+      y = b->Conv(y, 1, 1, c);  // pointwise mix
+      x = b->Add(y, shortcut);
+      x = b->Relu(x);
+    }
+  }
+  x = b->GlobalAvgPool(x);
+  x = b->Dense(x, 96);
+  return b->Relu(x);
+}
+
 }  // namespace
 
 Result<ModelGraph> BuildModel(const ZooSpec& spec) {
@@ -251,6 +283,7 @@ Result<ModelGraph> BuildModel(const ZooSpec& spec) {
     case Architecture::kMbNet: features = BuildMbNetBackbone(&b); break;
     case Architecture::kRsNet: features = BuildRsNetBackbone(&b); break;
     case Architecture::kDsNet: features = BuildDsNetBackbone(&b); break;
+    case Architecture::kHybNet: features = BuildHybNetBackbone(&b); break;
     default: return Status::InvalidArgument("bad architecture");
   }
 

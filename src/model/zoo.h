@@ -6,14 +6,18 @@
 
 namespace sesemi::model {
 
-/// The three architectures the paper evaluates (Table I).
-enum class Architecture { kMbNet, kRsNet, kDsNet };
+/// The three architectures the paper evaluates (Table I), plus kHybNet — a
+/// deeper mixed conv/dense scenario model (not from the paper) whose channel
+/// counts sit off the 16-wide GEMM panel grid, so the packed-conv edge paths
+/// and the batch-parallel executor run on a non-trivial graph in benches.
+enum class Architecture { kMbNet, kRsNet, kDsNet, kHybNet };
 
 const char* ToString(Architecture arch);
 Result<Architecture> ArchitectureFromString(const std::string& name);
 
 /// Serialized size of the paper's models (Table I): MobileNetV1 17 MB,
-/// ResNet101v2 170 MB, DenseNet121 44 MB.
+/// ResNet101v2 170 MB, DenseNet121 44 MB. kHybNet is not a paper model; its
+/// nominal full-scale size is 64 MB.
 uint64_t PaperModelBytes(Architecture arch);
 
 /// Specification for a synthetic model.

@@ -11,6 +11,9 @@ constexpr int ArchIndex(model::Architecture arch) {
     case model::Architecture::kMbNet: return 0;
     case model::Architecture::kRsNet: return 1;
     case model::Architecture::kDsNet: return 2;
+    // kHybNet is a live-bench scenario model, not part of the paper's
+    // calibrated profiles; map it onto the closest-sized one.
+    case model::Architecture::kHybNet: return 2;
   }
   return 0;
 }

@@ -1,0 +1,384 @@
+// Pre-packing and compiled-pipeline coverage: packed-vs-naive GEMM parity on
+// shapes off the panel grid, compiled packed-vs-in-place execution parity,
+// batch-parallel determinism (run under TSan in CI), the zero-allocation
+// steady-state contract, and packed-weight memory accounting.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <cstdlib>
+#include <new>
+#include <thread>
+#include <vector>
+
+#include "common/parallel_for.h"
+#include "inference/compiled_model.h"
+#include "inference/framework.h"
+#include "inference/gemm.h"
+#include "inference/ops.h"
+#include "model/zoo.h"
+
+// ---------------------------------------------------------------- alloc probe
+// Global operator new override (this test binary only): counts allocations
+// while armed, so the zero-allocation claim on CompiledModel::ExecuteInto is
+// asserted, not just documented.
+
+namespace {
+std::atomic<bool> g_count_allocations{false};
+std::atomic<uint64_t> g_allocation_count{0};
+
+void* CountedAlloc(std::size_t n) {
+  if (g_count_allocations.load(std::memory_order_relaxed)) {
+    g_allocation_count.fetch_add(1, std::memory_order_relaxed);
+  }
+  void* p = std::malloc(n == 0 ? 1 : n);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+}  // namespace
+
+void* operator new(std::size_t n) { return CountedAlloc(n); }
+void* operator new[](std::size_t n) { return CountedAlloc(n); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace sesemi::inference {
+namespace {
+
+using model::Architecture;
+using model::TensorShape;
+using model::ZooSpec;
+
+float MaxScaledDiff(const std::vector<float>& a, const std::vector<float>& b) {
+  float worst = 0.0f;
+  for (size_t i = 0; i < a.size(); ++i) {
+    worst = std::max(worst, std::abs(a[i] - b[i]) / (1.0f + std::abs(a[i])));
+  }
+  return worst;
+}
+
+std::vector<float> RandomVec(size_t n, uint32_t seed) {
+  std::vector<float> v(n);
+  uint32_t state = seed * 2654435761u + 1;
+  for (size_t i = 0; i < n; ++i) {
+    state = state * 1664525u + 1013904223u;
+    v[i] = static_cast<float>(static_cast<int32_t>(state >> 8) % 2001 - 1000) / 500.0f;
+  }
+  return v;
+}
+
+// Reference GEMM: plain triple loop, ascending k, bias-seeded like the fast
+// kernels.
+void GemmRef(const float* a, const float* b, const float* bias, float* c,
+             int m, int n, int k) {
+  for (int i = 0; i < m; ++i) {
+    for (int j = 0; j < n; ++j) {
+      float acc = bias != nullptr ? bias[j] : 0.0f;
+      for (int kk = 0; kk < k; ++kk) {
+        acc += a[static_cast<size_t>(i) * k + kk] * b[static_cast<size_t>(kk) * n + j];
+      }
+      c[static_cast<size_t>(i) * n + j] = acc;
+    }
+  }
+}
+
+// ------------------------------------------------------ packed GEMM parity
+// Shapes deliberately off the panel grid: N not a multiple of 16 (ragged
+// edge panel), K not a multiple of any kernel depth, M around the 6-row
+// micro-tile, and M == 1 (the packed GEMV).
+
+struct GemmCase {
+  int m, n, k;
+};
+
+class PackedGemmParityTest : public ::testing::TestWithParam<GemmCase> {};
+
+TEST_P(PackedGemmParityTest, PrepackedMatchesReferenceAndUnpacked) {
+  const GemmCase p = GetParam();
+  std::vector<float> a = RandomVec(static_cast<size_t>(p.m) * p.k, 3);
+  std::vector<float> b = RandomVec(static_cast<size_t>(p.k) * p.n, 4);
+  std::vector<float> bias = RandomVec(p.n, 5);
+
+  std::vector<float> packed(gemm::PackedBElements(p.k, p.n), -7.0f);
+  gemm::PackB(b.data(), p.k, p.n, packed.data());
+
+  std::vector<float> want(static_cast<size_t>(p.m) * p.n);
+  std::vector<float> unpacked(want.size()), got(want.size());
+  GemmRef(a.data(), b.data(), bias.data(), want.data(), p.m, p.n, p.k);
+  gemm::Gemm(a.data(), b.data(), bias.data(), unpacked.data(), p.m, p.n, p.k);
+  gemm::GemmPrepacked(a.data(), packed.data(), bias.data(), got.data(), p.m,
+                      p.n, p.k);
+
+  EXPECT_LE(MaxScaledDiff(want, got), 1e-5f)
+      << p.m << "x" << p.n << "x" << p.k << " vs reference";
+  EXPECT_LE(MaxScaledDiff(unpacked, got), 1e-5f)
+      << p.m << "x" << p.n << "x" << p.k << " vs unpacked Gemm";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    OddShapes, PackedGemmParityTest,
+    ::testing::Values(GemmCase{1, 1, 1}, GemmCase{1, 17, 5}, GemmCase{1, 1000, 96},
+                      GemmCase{2, 15, 7}, GemmCase{5, 16, 16}, GemmCase{6, 33, 9},
+                      GemmCase{7, 100, 13}, GemmCase{13, 31, 257},
+                      GemmCase{48, 64, 20}, GemmCase{24, 10, 515}));
+
+TEST(PackedGemmTest, PackedSizeRoundsUpToWholePanels) {
+  EXPECT_EQ(gemm::PackedBElements(3, 16), 3u * 16u);
+  EXPECT_EQ(gemm::PackedBElements(3, 17), 3u * 32u);  // 2 panels
+  EXPECT_EQ(gemm::PackedBElements(5, 1), 5u * 16u);   // 1 zero-padded panel
+  EXPECT_EQ(gemm::PackedBElements(1, 33), 1u * 48u);  // 3 panels
+}
+
+TEST(PackedGemmTest, PackBZeroPadsRaggedEdge) {
+  // K=2, N=17: second panel holds column 16 and 15 zero columns.
+  std::vector<float> b(2 * 17);
+  for (size_t i = 0; i < b.size(); ++i) b[i] = static_cast<float>(i + 1);
+  std::vector<float> packed(gemm::PackedBElements(2, 17), -1.0f);
+  gemm::PackB(b.data(), 2, 17, packed.data());
+  // Panel 0, row k: columns 0..15 of b row k.
+  for (int kk = 0; kk < 2; ++kk) {
+    for (int j = 0; j < 16; ++j) {
+      EXPECT_EQ(packed[kk * 16 + j], b[kk * 17 + j]);
+    }
+  }
+  // Panel 1 (starts at 2*16): column 16 then zeros.
+  for (int kk = 0; kk < 2; ++kk) {
+    EXPECT_EQ(packed[32 + kk * 16], b[kk * 17 + 16]);
+    for (int j = 1; j < 16; ++j) EXPECT_EQ(packed[32 + kk * 16 + j], 0.0f);
+  }
+}
+
+struct ConvCase {
+  int h, w, c, kernel, stride, out_c;
+};
+
+class PackedConvParityTest : public ::testing::TestWithParam<ConvCase> {};
+
+TEST_P(PackedConvParityTest, PrepackedMatchesNaive) {
+  const ConvCase p = GetParam();
+  TensorShape shape{p.h, p.w, p.c};
+  const int k = p.kernel * p.kernel * p.c;
+  std::vector<float> in = RandomVec(shape.elements(), 11);
+  std::vector<float> weights =
+      RandomVec(static_cast<size_t>(k) * p.out_c + p.out_c, 12);
+  const int out_h = (p.h + p.stride - 1) / p.stride;
+  const int out_w = (p.w + p.stride - 1) / p.stride;
+  const size_t out_n = static_cast<size_t>(out_h) * out_w * p.out_c;
+
+  std::vector<float> want(out_n), got(out_n);
+  ops::Conv2dNaive(in.data(), shape, weights.data(), p.kernel, p.stride,
+                   p.out_c, want.data());
+
+  std::vector<float> packed(gemm::PackedBElements(k, p.out_c));
+  gemm::PackB(weights.data(), k, p.out_c, packed.data());
+  const float* bias = weights.data() + static_cast<size_t>(k) * p.out_c;
+  std::vector<float> scratch(
+      gemm::Conv2dScratchElements(shape, p.kernel, p.stride));
+  gemm::Conv2dGemmPrepacked(in.data(), shape, packed.data(), bias, p.kernel,
+                            p.stride, p.out_c, got.data(), scratch.data());
+  EXPECT_LE(MaxScaledDiff(want, got), 1e-5f)
+      << p.h << "x" << p.w << "x" << p.c << " k" << p.kernel << " s" << p.stride
+      << " oc" << p.out_c;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    OddShapes, PackedConvParityTest,
+    ::testing::Values(ConvCase{7, 9, 5, 3, 1, 17}, ConvCase{8, 8, 3, 3, 2, 15},
+                      ConvCase{16, 16, 8, 1, 1, 7}, ConvCase{5, 5, 2, 5, 1, 3},
+                      ConvCase{9, 9, 24, 3, 1, 40}, ConvCase{1, 1, 16, 3, 1, 16},
+                      ConvCase{13, 13, 6, 1, 2, 7}, ConvCase{12, 12, 32, 1, 1, 48}));
+
+// ------------------------------------------------------ compiled pipeline
+
+model::ModelGraph BuildGraph(Architecture arch, double scale) {
+  ZooSpec spec;
+  spec.arch = arch;
+  spec.scale = scale;
+  spec.input_hw = 16;
+  auto graph = model::BuildModel(spec);
+  EXPECT_TRUE(graph.ok()) << graph.status().ToString();
+  return std::move(*graph);
+}
+
+TEST(CompiledModelTest, PackedAndInPlaceExecutionAgree) {
+  struct {
+    Architecture arch;
+    double scale;
+  } cases[] = {{Architecture::kMbNet, 0.002},
+               {Architecture::kRsNet, 0.002},
+               {Architecture::kDsNet, 0.002},
+               {Architecture::kHybNet, 0.02}};
+  for (const auto& c : cases) {
+    model::ModelGraph graph = BuildGraph(c.arch, c.scale);
+    CompiledModel::Options packed_opts;
+    packed_opts.pack_weights = true;
+    CompiledModel::Options inplace_opts;
+    inplace_opts.pack_weights = false;
+    auto packed = CompiledModel::Compile(graph, packed_opts);
+    auto inplace = CompiledModel::Compile(graph, inplace_opts);
+    ASSERT_TRUE(packed.ok() && inplace.ok());
+    EXPECT_GT(packed->packed_weight_bytes(), 0u);
+    EXPECT_EQ(inplace->packed_weight_bytes(), 0u);
+
+    Bytes input = model::GenerateRandomInput(graph, 9);
+    std::vector<float> arena_a(packed->arena_elements());
+    std::vector<float> arena_b(inplace->arena_elements());
+    auto out_a = packed->Execute(input, arena_a.data());
+    auto out_b = inplace->Execute(input, arena_b.data());
+    ASSERT_TRUE(out_a.ok() && out_b.ok());
+    auto sa = model::ParseOutput(*out_a);
+    auto sb = model::ParseOutput(*out_b);
+    ASSERT_TRUE(sa.ok() && sb.ok());
+    EXPECT_LE(MaxScaledDiff(*sa, *sb), 1e-5f) << model::ToString(c.arch);
+  }
+}
+
+TEST(CompiledModelTest, BatchArenaCoversScratchLanes) {
+  model::ModelGraph graph = BuildGraph(Architecture::kRsNet, 0.002);
+  auto compiled = CompiledModel::Compile(std::move(graph));
+  ASSERT_TRUE(compiled.ok());
+  const uint64_t slots = compiled->arena_elements() - compiled->scratch_elements();
+  for (int batch : {1, 2, 8, 64}) {
+    const int lanes = compiled->batch_scratch_lanes(batch);
+    EXPECT_GE(lanes, 1);
+    EXPECT_LE(lanes, std::max(1, std::min(batch, ParallelismDegree())));
+    EXPECT_EQ(compiled->batch_arena_elements(batch),
+              slots * batch + compiled->scratch_elements() * lanes);
+  }
+}
+
+// Batch-parallel determinism: every sample of every batch size must equal
+// the unbatched execution bit-for-bit, no matter how the pool carves the
+// batch up. Run under TSan in CI, where the per-lane im2col scratch would
+// light up as a data race if two samples ever shared a lane.
+TEST(CompiledModelTest, ExecuteBatchIsDeterministicAndMatchesUnbatched) {
+  model::ModelGraph graph = BuildGraph(Architecture::kHybNet, 0.02);
+  auto compiled = CompiledModel::Compile(std::move(graph));
+  ASSERT_TRUE(compiled.ok());
+
+  constexpr int kMaxBatch = 6;
+  std::vector<Bytes> inputs;
+  std::vector<Bytes> want;
+  std::vector<float> arena(compiled->arena_elements());
+  for (int b = 0; b < kMaxBatch; ++b) {
+    inputs.push_back(model::GenerateRandomInput(compiled->graph(), 40 + b));
+    auto out = compiled->Execute(inputs.back(), arena.data());
+    ASSERT_TRUE(out.ok());
+    want.push_back(std::move(*out));
+  }
+
+  for (int batch : {2, 3, kMaxBatch}) {
+    std::vector<ByteSpan> spans(inputs.begin(), inputs.begin() + batch);
+    std::vector<float> batch_arena(compiled->batch_arena_elements(batch));
+    for (int repeat = 0; repeat < 3; ++repeat) {
+      std::vector<Bytes> outputs;
+      ASSERT_TRUE(
+          compiled->ExecuteBatch(spans, batch_arena.data(), &outputs).ok());
+      ASSERT_EQ(outputs.size(), static_cast<size_t>(batch));
+      for (int b = 0; b < batch; ++b) {
+        EXPECT_EQ(outputs[b], want[b]) << "batch " << batch << " sample " << b;
+      }
+    }
+  }
+}
+
+TEST(CompiledModelTest, ConcurrentBatchesShareThePoolSafely) {
+  // Several runtimes batching concurrently over one shared compiled model —
+  // the TSan target for the batch fan-out plus the immutable-artifact claim.
+  model::ModelGraph graph = BuildGraph(Architecture::kMbNet, 0.002);
+  auto framework = CreateFramework(FrameworkKind::kTvm);
+  auto loaded = framework->WrapModel(std::move(graph));
+  ASSERT_TRUE(loaded.ok());
+
+  constexpr int kThreads = 4;
+  constexpr int kBatch = 5;
+  std::vector<Bytes> inputs;
+  for (int b = 0; b < kBatch; ++b) {
+    inputs.push_back(model::GenerateRandomInput((*loaded)->graph(), 70 + b));
+  }
+  // Reference outputs from a single runtime.
+  auto ref_runtime = framework->CreateRuntime(*loaded);
+  ASSERT_TRUE(ref_runtime.ok());
+  std::vector<Bytes> want;
+  for (const Bytes& input : inputs) {
+    auto out = (*ref_runtime)->Execute(input);
+    ASSERT_TRUE(out.ok());
+    want.push_back(std::move(*out));
+  }
+
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      auto runtime = framework->CreateRuntime(*loaded);
+      if (!runtime.ok()) {
+        failures.fetch_add(1);
+        return;
+      }
+      std::vector<ByteSpan> spans(inputs.begin(), inputs.end());
+      for (int repeat = 0; repeat < 5; ++repeat) {
+        auto outputs = (*runtime)->ExecuteBatch(spans);
+        if (!outputs.ok() || outputs->size() != inputs.size()) {
+          failures.fetch_add(1);
+          return;
+        }
+        for (size_t b = 0; b < want.size(); ++b) {
+          if ((*outputs)[b] != want[b]) failures.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(failures.load(), 0);
+}
+
+TEST(CompiledModelTest, SteadyStateExecuteMakesZeroHeapAllocations) {
+  model::ModelGraph graph = BuildGraph(Architecture::kRsNet, 0.002);
+  auto compiled = CompiledModel::Compile(std::move(graph));
+  ASSERT_TRUE(compiled.ok());
+
+  Bytes input = model::GenerateRandomInput(compiled->graph(), 21);
+  std::vector<float> arena(compiled->arena_elements());
+  std::vector<float> out(compiled->output_elements());
+  // Warm once (first call touches nothing lazily today, but keep the probe
+  // honest about steady state rather than first-run).
+  ASSERT_TRUE(compiled->ExecuteInto(input, arena.data(), out.data()).ok());
+
+  g_allocation_count.store(0);
+  g_count_allocations.store(true);
+  for (int i = 0; i < 5; ++i) {
+    Status status = compiled->ExecuteInto(input, arena.data(), out.data());
+    if (!status.ok()) break;
+  }
+  g_count_allocations.store(false);
+  EXPECT_EQ(g_allocation_count.load(), 0u)
+      << "steady-state ExecuteInto must not touch the heap";
+}
+
+TEST(CompiledModelTest, PackedBytesCountedInLoadedModelFootprint) {
+  // The packed panels are part of the compiled artifact the enclave charges
+  // at MODEL_LOAD: µTVM's loaded model counts them, µTFLM (in-place) has
+  // none, and the per-runtime buffers no longer duplicate weights.
+  model::ModelGraph graph = BuildGraph(Architecture::kDsNet, 0.01);
+  const uint64_t weight_bytes = graph.WeightBytes();
+
+  auto compiled = CompiledModel::Compile(graph);
+  ASSERT_TRUE(compiled.ok());
+  const uint64_t packed_bytes = compiled->packed_weight_bytes();
+  EXPECT_GT(packed_bytes, 0u);
+
+  auto tvm = CreateFramework(FrameworkKind::kTvm);
+  auto tflm = CreateFramework(FrameworkKind::kTflm);
+  auto lm_tvm = tvm->WrapModel(graph);
+  auto lm_tflm = tflm->WrapModel(graph);
+  ASSERT_TRUE(lm_tvm.ok() && lm_tflm.ok());
+  EXPECT_GE((*lm_tvm)->memory_bytes(), weight_bytes + packed_bytes);
+  EXPECT_LT((*lm_tflm)->memory_bytes(), weight_bytes + packed_bytes);
+  EXPECT_EQ((*lm_tvm)->memory_bytes() - (*lm_tflm)->memory_bytes(), packed_bytes);
+}
+
+}  // namespace
+}  // namespace sesemi::inference

@@ -3,7 +3,7 @@
 #include <cmath>
 #include <numeric>
 
-#include "inference/executor.h"
+#include "inference/compiled_model.h"
 #include "inference/framework.h"
 #include "inference/ops.h"
 #include "model/format.h"
@@ -267,14 +267,15 @@ TEST(GemmParityTest, DenseMatchesNaiveAcrossSizes) {
   }
 }
 
-TEST(GemmParityTest, ExecutorArenaIncludesScratch) {
-  // The plan's arena must be at least activations + the largest conv
+TEST(GemmParityTest, CompiledArenaIncludesScratch) {
+  // The compiled arena must be at least activations + the largest conv
   // scratch; a model with a 3x3 conv therefore reports a nonzero region.
   auto graph = model::BuildModel(SmallSpec(Architecture::kRsNet));
   ASSERT_TRUE(graph.ok());
-  GraphExecutionPlan plan(*graph);
-  EXPECT_GT(plan.scratch_elements(), 0u);
-  EXPECT_GE(plan.arena_elements(), plan.scratch_elements());
+  auto compiled = CompiledModel::Compile(*graph);
+  ASSERT_TRUE(compiled.ok());
+  EXPECT_GT(compiled->scratch_elements(), 0u);
+  EXPECT_GE(compiled->arena_elements(), compiled->scratch_elements());
 }
 
 // ---------------------------------------------------------------- frameworks
@@ -369,7 +370,10 @@ INSTANTIATE_TEST_SUITE_P(
                                          Architecture::kDsNet)));
 
 TEST(FrameworkContrastTest, BothFrameworksAgreeOnOutput) {
-  // Same graph, same input — the two execution strategies must agree.
+  // Same graph, same input — the two execution strategies must agree. TFLM
+  // reads row-major weights in place, TVM the pre-packed panels; the ragged
+  // panel edges round differently (same FMA-level tolerance as the naive
+  // parity suite), so agreement is numeric, not bitwise.
   auto graph = model::BuildModel(SmallSpec(Architecture::kRsNet));
   ASSERT_TRUE(graph.ok());
   Bytes input = model::GenerateRandomInput(*graph, 3);
@@ -385,12 +389,18 @@ TEST(FrameworkContrastTest, BothFrameworksAgreeOnOutput) {
   auto o1 = (*r1)->Execute(input);
   auto o2 = (*r2)->Execute(input);
   ASSERT_TRUE(o1.ok() && o2.ok());
-  EXPECT_EQ(*o1, *o2);
+  auto s1 = model::ParseOutput(*o1);
+  auto s2 = model::ParseOutput(*o2);
+  ASSERT_TRUE(s1.ok() && s2.ok());
+  ASSERT_EQ(s1->size(), s2->size());
+  EXPECT_LE(MaxScaledDiff(*s1, *s2), 1e-5f);
 }
 
-TEST(FrameworkContrastTest, TvmBuffersExceedTflmBuffers) {
-  // Table I: TVM runtime buffers include packed weights, TFLM's only the
-  // activation arena. The λ ordering must hold for every architecture.
+TEST(FrameworkContrastTest, TvmPackedModelExceedsTflmModel) {
+  // Table I, post-compile: TVM's MODEL_LOAD builds the packed artifact next
+  // to the weights (λ_model > 1), TFLM reads weights in place (λ_model ≈ 1).
+  // Runtimes on both sides hold only the activation arena — the packed copy
+  // is shared, not duplicated per TCS slot.
   for (Architecture arch : {Architecture::kMbNet, Architecture::kRsNet,
                             Architecture::kDsNet}) {
     // Large enough that weights dominate activations, as with the real models.
@@ -408,10 +418,15 @@ TEST(FrameworkContrastTest, TvmBuffersExceedTflmBuffers) {
     ASSERT_TRUE(rt_tflm.ok() && rt_tvm.ok());
 
     uint64_t model_bytes = graph->WeightBytes();
+    EXPECT_GT((*lm_tvm)->memory_bytes(), model_bytes)
+        << ToString(arch) << ": TVM loaded model must carry the packed panels";
+    EXPECT_GT((*lm_tvm)->memory_bytes(), (*lm_tflm)->memory_bytes())
+        << ToString(arch) << ": packing must cost resident bytes vs in-place";
     EXPECT_LT((*rt_tflm)->buffer_bytes(), model_bytes)
         << ToString(arch) << ": TFLM arena must be smaller than the model";
-    EXPECT_GT((*rt_tvm)->buffer_bytes(), model_bytes)
-        << ToString(arch) << ": TVM buffer must exceed the model (packed copy)";
+    EXPECT_LT((*rt_tvm)->buffer_bytes(), model_bytes)
+        << ToString(arch)
+        << ": TVM per-runtime state is the arena only (packed copy is shared)";
   }
 }
 

@@ -90,6 +90,37 @@ TEST(ZooTest, PaperSizesMatchTableOne) {
   EXPECT_EQ(PaperModelBytes(Architecture::kDsNet), 44ull << 20);
 }
 
+TEST(ZooTest, HybNetIsDeepMixedConvDense) {
+  // The scenario model (not from the paper): residual conv stages plus a
+  // dense trunk, with channel counts off the 16-wide panel grid so packed
+  // GEMM edge paths get graph-level coverage. Its backbone is bigger than
+  // the paper reproductions', so it needs a larger minimum scale.
+  auto count_kind = [](const ModelGraph& g, LayerKind k) {
+    int n = 0;
+    for (const auto& layer : g.layers) n += (layer.kind == k);
+    return n;
+  };
+  ZooSpec spec = SmallSpec(Architecture::kHybNet);
+  spec.scale = 0.02;
+  auto hybnet = BuildModel(spec);
+  ASSERT_TRUE(hybnet.ok()) << hybnet.status().ToString();
+  EXPECT_TRUE(hybnet->Validate().ok());
+  EXPECT_EQ(hybnet->architecture, "hybnet");
+  EXPECT_GE(count_kind(*hybnet, LayerKind::kConv2d), 9);
+  EXPECT_GE(count_kind(*hybnet, LayerKind::kDense), 3);  // trunk + sized head
+  EXPECT_GT(count_kind(*hybnet, LayerKind::kAdd), 0);    // residual stages
+  auto mbnet = BuildModel(SmallSpec(Architecture::kMbNet));
+  ASSERT_TRUE(mbnet.ok());
+  EXPECT_GT(hybnet->layers.size(), mbnet->layers.size());
+  bool off_grid_conv = false;
+  for (const auto& layer : hybnet->layers) {
+    if (layer.kind == LayerKind::kConv2d && layer.out_channels % 16 != 0) {
+      off_grid_conv = true;
+    }
+  }
+  EXPECT_TRUE(off_grid_conv) << "hybnet must exercise ragged panel edges";
+}
+
 TEST(ZooTest, RejectsImpossiblySmallTarget) {
   ZooSpec spec = SmallSpec(Architecture::kRsNet);
   spec.scale = 1e-6;

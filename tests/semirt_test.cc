@@ -3,6 +3,7 @@
 #include <thread>
 
 #include "client/clients.h"
+#include "inference/compiled_model.h"
 #include "keyservice/keyservice.h"
 #include "model/format.h"
 #include "model/zoo.h"
@@ -399,6 +400,41 @@ TEST_F(SemirtTest, PeakMemoryScalesSubLinearlyWithConcurrency) {
   // loaded single-core host the four requests can fully serialize onto one
   // TCS slot, in which case equal peaks are the correct outcome.
   EXPECT_GE(peak4, peak1);
+}
+
+TEST_F(SemirtTest, PackedWeightsChargedAgainstEnclaveHeap) {
+  // MODEL_LOAD charges the compiled artifact — weights plus the pre-packed
+  // GEMM panels — against the enclave heap budget, so a heap sized for the
+  // flat weights alone must reject the load and a heap with headroom for the
+  // packed panels must serve. This is the reservation the platform's node
+  // memory accounting inherits via memory_bytes().
+  auto compiled = inference::CompiledModel::Compile(graphs_["m0"]);
+  ASSERT_TRUE(compiled.ok());
+  const uint64_t packed_bytes = compiled->packed_weight_bytes();
+  ASSERT_GT(packed_bytes, 0u);
+  const uint64_t weight_bytes = graphs_["m0"].WeightBytes();
+  // Ciphertext staging + decrypted weights fit, packed panels do not.
+  const uint64_t tight_heap = 2 * weight_bytes + packed_bytes / 2 + 4096;
+
+  SemirtOptions tight;
+  tight.framework = inference::FrameworkKind::kTvm;
+  tight.heap_size_bytes = tight_heap;
+  Authorize("m0", tight);
+  sgx::Measurement tight_es = SemirtInstance::MeasurementFor(tight);
+  auto instance = MakeInstance(tight);
+  ASSERT_TRUE(instance.ok());
+  EXPECT_FALSE(RunRequest(instance->get(), "m0", nullptr, 1, &tight_es).ok())
+      << "heap without room for the packed panels must reject MODEL_LOAD";
+
+  SemirtOptions roomy = tight;
+  roomy.heap_size_bytes = 4 * weight_bytes + 2 * packed_bytes + (8ull << 20);
+  Authorize("m0", roomy);
+  sgx::Measurement es = SemirtInstance::MeasurementFor(roomy);
+  auto ok_instance = MakeInstance(roomy);
+  ASSERT_TRUE(ok_instance.ok());
+  ASSERT_TRUE(RunRequest(ok_instance->get(), "m0", nullptr, 1, &es).ok());
+  // The heap peak reflects the packed buffers, not just the flat weights.
+  EXPECT_GE((*ok_instance)->heap_peak(), weight_bytes + packed_bytes);
 }
 
 TEST_F(SemirtTest, ClearExecutionContextFreesHeap) {
