@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "bench/bench_common.h"
+#include "common/faultpoint.h"
 #include "serverless/platform.h"
 #include "sim/cluster.h"
 
@@ -148,6 +149,7 @@ void LiveConcurrencySection() {
     const int total = in_flight * 8;
     std::vector<double> latencies;
     latencies.reserve(total);
+    int errors = 0;
     const auto start = std::chrono::steady_clock::now();
     std::deque<std::future<serverless::InvocationResult>> window;
     int launched = 0;
@@ -161,6 +163,8 @@ void LiveConcurrencySection() {
       window.pop_front();
       if (result.response.ok()) {
         latencies.push_back(static_cast<double>(result.timings.total));
+      } else {
+        errors++;
       }
     }
     const double wall_s =
@@ -169,10 +173,52 @@ void LiveConcurrencySection() {
     std::sort(latencies.begin(), latencies.end());
     std::printf(
         "{\"bench\":\"fig11_live\",\"in_flight\":%d,\"invocations\":%zu,"
-        "\"wall_s\":%.4f,\"inv_per_s\":%.1f,\"p50_us\":%.0f,\"p99_us\":%.0f}\n",
+        "\"wall_s\":%.4f,\"inv_per_s\":%.1f,\"p50_us\":%.0f,\"p99_us\":%.0f,"
+        "\"error_rate\":%.4f}\n",
         in_flight, latencies.size(), wall_s,
         wall_s > 0 ? static_cast<double>(latencies.size()) / wall_s : 0.0,
-        PercentileMicros(latencies, 50.0), PercentileMicros(latencies, 99.0));
+        PercentileMicros(latencies, 50.0), PercentileMicros(latencies, 99.0),
+        static_cast<double>(errors) / total);
+  }
+
+  // Recovery counters for the trajectory: a short seeded fault burst, then a
+  // fault-free wave whose throughput is the recovered/s figure.
+  {
+    FaultInjector::Instance().DisarmAll();
+    FaultInjector::Instance().Reseed(0xf1611);
+    FaultConfig poison;
+    poison.probability = 0.05;
+    poison.error_code = StatusCode::kInternal;
+    FaultInjector::Instance().Arm(faults::kEcallEnter, poison);
+
+    const int burst = 64;
+    int burst_errors = 0;
+    for (int i = 0; i < burst; ++i) {
+      if (!platform.Invoke("f", requests[i % requests.size()]).ok()) {
+        burst_errors++;
+      }
+    }
+    FaultInjector::Instance().DisarmAll();
+
+    const int wave = 64;
+    int wave_ok = 0;
+    const auto start = std::chrono::steady_clock::now();
+    for (int i = 0; i < wave; ++i) {
+      if (platform.Invoke("f", requests[i % requests.size()]).ok()) wave_ok++;
+    }
+    const double wave_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+    const serverless::RecoveryStats rs = platform.recovery_stats();
+    std::printf(
+        "{\"bench\":\"fig11_recovery\",\"burst\":%d,\"error_rate\":%.4f,"
+        "\"recovered_per_s\":%.1f,\"wave_ok\":%d,\"wave_n\":%d,"
+        "\"enclave_failures\":%llu,\"relaunches\":%llu,\"retries\":%llu}\n",
+        burst, static_cast<double>(burst_errors) / burst,
+        wave_s > 0 ? wave_ok / wave_s : 0.0, wave_ok, wave,
+        static_cast<unsigned long long>(rs.enclave_failures),
+        static_cast<unsigned long long>(rs.relaunches),
+        static_cast<unsigned long long>(rs.retries));
   }
   // Scheduler's view of the sweep (the live section now runs through
   // src/sched): dispatch counts, coalescing, and queue-wait percentiles.

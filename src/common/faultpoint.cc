@@ -1,0 +1,98 @@
+#include "common/faultpoint.h"
+
+#include <chrono>
+#include <thread>
+
+namespace sesemi {
+
+namespace faultpoint_internal {
+std::atomic<uint32_t> g_armed_points{0};
+}  // namespace faultpoint_internal
+
+FaultInjector& FaultInjector::Instance() {
+  static FaultInjector* instance = new FaultInjector();  // never destroyed
+  return *instance;
+}
+
+void FaultInjector::Arm(std::string_view point, const FaultConfig& config) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto [it, inserted] = points_.try_emplace(std::string(point));
+  it->second.config = config;
+  it->second.stats = FaultPointStats{};
+  if (inserted) {
+    faultpoint_internal::g_armed_points.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void FaultInjector::Disarm(std::string_view point) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (points_.erase(std::string(point)) > 0) {
+    faultpoint_internal::g_armed_points.fetch_sub(1, std::memory_order_relaxed);
+  }
+}
+
+void FaultInjector::DisarmAll() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  faultpoint_internal::g_armed_points.fetch_sub(
+      static_cast<uint32_t>(points_.size()), std::memory_order_relaxed);
+  points_.clear();
+  total_evaluations_.store(0, std::memory_order_relaxed);
+  total_fires_.store(0, std::memory_order_relaxed);
+}
+
+void FaultInjector::Reseed(uint64_t seed) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  rng_ = Rng(seed);
+  total_evaluations_.store(0, std::memory_order_relaxed);
+  total_fires_.store(0, std::memory_order_relaxed);
+  for (auto& [name, entry] : points_) entry.stats = FaultPointStats{};
+}
+
+FaultPointStats FaultInjector::stats(std::string_view point) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = points_.find(std::string(point));
+  return it == points_.end() ? FaultPointStats{} : it->second.stats;
+}
+
+uint64_t FaultInjector::total_fires() const {
+  return total_fires_.load(std::memory_order_relaxed);
+}
+
+uint64_t FaultInjector::total_evaluations() const {
+  return total_evaluations_.load(std::memory_order_relaxed);
+}
+
+Status FaultInjector::Evaluate(std::string_view point) {
+  TimeMicros latency = 0;
+  StatusCode code = StatusCode::kOk;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    total_evaluations_.fetch_add(1, std::memory_order_relaxed);
+    auto it = points_.find(std::string(point));
+    if (it == points_.end()) return Status::OK();  // a different point is armed
+    Point& entry = it->second;
+    entry.stats.evaluations++;
+    if (entry.stats.evaluations <=
+        static_cast<uint64_t>(entry.config.skip_first)) {
+      return Status::OK();
+    }
+    if (entry.config.max_fires >= 0 &&
+        entry.stats.fires >= static_cast<uint64_t>(entry.config.max_fires)) {
+      return Status::OK();
+    }
+    if (!rng_.Bernoulli(entry.config.probability)) return Status::OK();
+    entry.stats.fires++;
+    total_fires_.fetch_add(1, std::memory_order_relaxed);
+    latency = entry.config.latency_micros;
+    code = entry.config.error_code;
+  }
+  // Stall outside the registry lock so a latency fault on one point never
+  // serializes evaluation of the others.
+  if (latency > 0) {
+    std::this_thread::sleep_for(std::chrono::microseconds(latency));
+  }
+  if (code == StatusCode::kOk) return Status::OK();
+  return Status(code, "fault injected: " + std::string(point));
+}
+
+}  // namespace sesemi

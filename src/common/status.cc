@@ -22,6 +22,15 @@ std::string_view StatusCodeToString(StatusCode code) {
   return "Unknown";
 }
 
+std::optional<StatusCode> StatusCodeFromString(std::string_view name) {
+  for (int i = static_cast<int>(StatusCode::kOk);
+       i <= static_cast<int>(StatusCode::kAborted); ++i) {
+    auto code = static_cast<StatusCode>(i);
+    if (StatusCodeToString(code) == name) return code;
+  }
+  return std::nullopt;
+}
+
 std::string Status::ToString() const {
   if (ok()) return "OK";
   std::string out(StatusCodeToString(code_));

@@ -1,6 +1,7 @@
 #ifndef SESEMI_COMMON_STATUS_H_
 #define SESEMI_COMMON_STATUS_H_
 
+#include <optional>
 #include <string>
 #include <string_view>
 #include <utility>
@@ -28,6 +29,10 @@ enum class StatusCode : int {
 
 /// Human-readable name of a StatusCode (e.g. "NotFound").
 std::string_view StatusCodeToString(StatusCode code);
+
+/// Inverse of StatusCodeToString; nullopt for an unrecognised name. Used by
+/// log/bench tooling that round-trips codes through text.
+std::optional<StatusCode> StatusCodeFromString(std::string_view name);
 
 /// Outcome of a fallible operation: a code plus an optional message.
 ///

@@ -10,7 +10,7 @@ Sha256Digest HmacSha256(ByteSpan key, ByteSpan message) {
   if (key.size() > kSha256BlockSize) {
     Sha256Digest kd = Sha256::Hash(key);
     std::memcpy(block_key, kd.data(), kd.size());
-  } else {
+  } else if (!key.empty()) {  // empty key: data() may be null, keep zeros
     std::memcpy(block_key, key.data(), key.size());
   }
 

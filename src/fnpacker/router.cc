@@ -48,6 +48,90 @@ bool FnPackerRouter::TryStickyAddPending(EndpointSlot* endpoint, uint32_t mark) 
   }
 }
 
+bool FnPackerRouter::BreakerAdmit(EndpointSlot* endpoint, TimeMicros now) {
+  uint64_t word = endpoint->breaker.load(std::memory_order_acquire);
+  for (;;) {
+    const uint32_t state = BreakerState(word);
+    if (state == kBreakerClosed) return true;
+    if (state == kBreakerOpen) {
+      if (now < endpoint->open_until.load(std::memory_order_acquire)) {
+        return false;
+      }
+      // Open interval elapsed: go half-open, consuming one probe for this
+      // request in the same CAS.
+      const uint32_t spare = static_cast<uint32_t>(
+          std::max(0, spec_.breaker_half_open_probes - 1));
+      const uint64_t want =
+          PackBreaker(kBreakerHalfOpen, spare, BreakerFailures(word));
+      if (endpoint->breaker.compare_exchange_weak(word, want,
+                                                  std::memory_order_acq_rel,
+                                                  std::memory_order_acquire)) {
+        return true;
+      }
+      continue;
+    }
+    // Half-open: admit only while probes remain.
+    const uint32_t probes = BreakerProbes(word);
+    if (probes == 0) return false;
+    const uint64_t want =
+        PackBreaker(kBreakerHalfOpen, probes - 1, BreakerFailures(word));
+    if (endpoint->breaker.compare_exchange_weak(word, want,
+                                                std::memory_order_acq_rel,
+                                                std::memory_order_acquire)) {
+      return true;
+    }
+  }
+}
+
+void FnPackerRouter::BreakerOnSuccess(EndpointSlot* endpoint) {
+  uint64_t word = endpoint->breaker.load(std::memory_order_acquire);
+  for (;;) {
+    // A success closes a half-open breaker and clears the failure streak;
+    // nothing to do when already closed and clean.
+    if (BreakerState(word) == kBreakerClosed && BreakerFailures(word) == 0) {
+      return;
+    }
+    if (endpoint->breaker.compare_exchange_weak(
+            word, PackBreaker(kBreakerClosed, 0, 0), std::memory_order_acq_rel,
+            std::memory_order_acquire)) {
+      return;
+    }
+  }
+}
+
+void FnPackerRouter::BreakerOnFailure(EndpointSlot* endpoint, TimeMicros now) {
+  uint64_t word = endpoint->breaker.load(std::memory_order_acquire);
+  for (;;) {
+    const uint32_t state = BreakerState(word);
+    const uint32_t failures = BreakerFailures(word) + 1;
+    uint64_t want;
+    bool opening = false;
+    if (state == kBreakerHalfOpen) {
+      // A failed probe reopens immediately.
+      want = PackBreaker(kBreakerOpen, 0, failures);
+      opening = true;
+    } else if (state == kBreakerClosed &&
+               failures >= static_cast<uint32_t>(spec_.breaker_failure_threshold)) {
+      want = PackBreaker(kBreakerOpen, 0, failures);
+      opening = true;
+    } else {
+      want = PackBreaker(state, BreakerProbes(word), failures);
+    }
+    if (opening) {
+      // Publish the rejection window before the state flips so an Admit that
+      // observes "open" never reads a stale open_until.
+      endpoint->open_until.store(now + spec_.breaker_open_interval,
+                                 std::memory_order_release);
+    }
+    if (endpoint->breaker.compare_exchange_weak(word, want,
+                                                std::memory_order_acq_rel,
+                                                std::memory_order_acquire)) {
+      if (opening) breaker_opens_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+  }
+}
+
 Result<int> FnPackerRouter::Route(const std::string& model_id, TimeMicros now) {
   // Lock-free lookup: the key set is an immutable snapshot taken at
   // construction, so find() races only with other readers.
@@ -57,6 +141,19 @@ Result<int> FnPackerRouter::Route(const std::string& model_id, TimeMicros now) {
   }
   ModelSlot& model = *it->second;
   const uint32_t my = model.index;
+
+  // Breaker gate, memoized per endpoint: BreakerAdmit may consume a
+  // half-open probe, and one Route call must not drain several probes while
+  // considering the same endpoint on different paths.
+  std::vector<int8_t> admit_cache;
+  if (breaker_enabled()) admit_cache.assign(endpoints_.size(), -1);
+  auto breaker_allows = [&](int i) -> bool {
+    if (!breaker_enabled()) return true;
+    if (admit_cache[i] < 0) {
+      admit_cache[i] = BreakerAdmit(endpoints_[i].get(), now) ? 1 : 0;
+    }
+    return admit_cache[i] != 0;
+  };
 
   // One CAS claim attempt on endpoint i. The compare-exchange verifies
   // "pending == 0 and mark compatible" and takes the endpoint in the same
@@ -89,6 +186,7 @@ Result<int> FnPackerRouter::Route(const std::string& model_id, TimeMicros now) {
   int chosen = -1;
   const int sticky = model.endpoint.load(std::memory_order_acquire);
   if (model.pending.load(std::memory_order_acquire) > 0 && sticky >= 0 &&
+      breaker_allows(sticky) &&
       TryStickyAddPending(endpoints_[sticky].get(), my)) {
     // Sticky: in-flight work pins the model to its endpoint and marks it
     // exclusive, so a busy model never interleaves with others.
@@ -96,30 +194,38 @@ Result<int> FnPackerRouter::Route(const std::string& model_id, TimeMicros now) {
   } else {
     // Prefer the endpoint already serving this model (loaded state), if free
     // (the preferred probe does not break another model's un-expired mark).
-    if (sticky >= 0 && try_claim_idle(sticky, /*allow_expired=*/false)) {
+    if (sticky >= 0 && breaker_allows(sticky) &&
+        try_claim_idle(sticky, /*allow_expired=*/false)) {
       chosen = sticky;
     }
     if (chosen < 0) {
       for (size_t i = 0; i < endpoints_.size(); ++i) {
-        if (try_claim_idle(static_cast<int>(i), /*allow_expired=*/true)) {
+        if (breaker_allows(static_cast<int>(i)) &&
+            try_claim_idle(static_cast<int>(i), /*allow_expired=*/true)) {
           chosen = static_cast<int>(i);
           break;
         }
       }
     }
     if (chosen < 0) {
-      // Every endpoint busy: fall back to the least-loaded one (mark kept —
-      // overflow does not grant exclusivity).
-      chosen = 0;
-      uint32_t best_pending = WordPending(
-          endpoints_[0]->word.load(std::memory_order_acquire));
-      for (size_t i = 1; i < endpoints_.size(); ++i) {
+      // Every endpoint busy: fall back to the least-loaded one whose breaker
+      // admits traffic (mark kept — overflow does not grant exclusivity).
+      uint32_t best_pending = 0;
+      for (size_t i = 0; i < endpoints_.size(); ++i) {
+        if (!breaker_allows(static_cast<int>(i))) continue;
         const uint32_t pending = WordPending(
             endpoints_[i]->word.load(std::memory_order_acquire));
-        if (pending < best_pending) {
+        if (chosen < 0 || pending < best_pending) {
           best_pending = pending;
           chosen = static_cast<int>(i);
         }
+      }
+      if (chosen < 0) {
+        // Every endpoint's breaker is open: shed with a typed error instead
+        // of queueing onto a known-bad replica.
+        breaker_rejections_.fetch_add(1, std::memory_order_relaxed);
+        return Status::Unavailable("all endpoints circuit-broken for model " +
+                                   model_id);
       }
       AddPending(endpoints_[chosen].get(), kNoModel);
       overflow_.fetch_add(1, std::memory_order_relaxed);
@@ -140,6 +246,23 @@ Result<int> FnPackerRouter::Route(const std::string& model_id, TimeMicros now) {
 void FnPackerRouter::OnComplete(const std::string& model_id, int endpoint,
                                 TimeMicros now) {
   (void)now;
+  CompleteInternal(model_id, endpoint);
+  if (breaker_enabled() && endpoint >= 0 &&
+      endpoint < static_cast<int>(endpoints_.size())) {
+    BreakerOnSuccess(endpoints_[endpoint].get());
+  }
+}
+
+void FnPackerRouter::OnFailure(const std::string& model_id, int endpoint,
+                               TimeMicros now) {
+  CompleteInternal(model_id, endpoint);
+  if (breaker_enabled() && endpoint >= 0 &&
+      endpoint < static_cast<int>(endpoints_.size())) {
+    BreakerOnFailure(endpoints_[endpoint].get(), now);
+  }
+}
+
+void FnPackerRouter::CompleteInternal(const std::string& model_id, int endpoint) {
   auto it = models_.find(model_id);  // lock-free (immutable key set)
   if (it != models_.end()) {
     // Floor-zero decrement: a stray completion never drives pending negative.
@@ -170,6 +293,8 @@ RouterStats FnPackerRouter::stats() const {
   stats.routed = routed_.load(std::memory_order_relaxed);
   stats.model_switches = model_switches_.load(std::memory_order_relaxed);
   stats.overflow = overflow_.load(std::memory_order_relaxed);
+  stats.breaker_opens = breaker_opens_.load(std::memory_order_relaxed);
+  stats.breaker_rejections = breaker_rejections_.load(std::memory_order_relaxed);
   return stats;
 }
 
@@ -191,6 +316,9 @@ EndpointState FnPackerRouter::endpoint_state(int endpoint) const {
   const uint32_t exclusive = WordExclusive(word);
   if (exclusive != kNoModel) state.exclusive_model = spec_.models[exclusive];
   state.last_request = slot.last_request.load(std::memory_order_acquire);
+  const uint64_t breaker = slot.breaker.load(std::memory_order_acquire);
+  state.breaker_failures = static_cast<int>(BreakerFailures(breaker));
+  state.breaker_open = BreakerState(breaker) == kBreakerOpen;
   return state;
 }
 

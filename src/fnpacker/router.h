@@ -27,6 +27,8 @@ struct EndpointState {
   int pending = 0;
   std::string exclusive_model;  ///< empty = unmarked
   TimeMicros last_request = -1;
+  int breaker_failures = 0;     ///< consecutive failures recorded
+  bool breaker_open = false;    ///< endpoint currently rejects traffic
 };
 
 /// Routing statistics for evaluation.
@@ -34,6 +36,8 @@ struct RouterStats {
   int routed = 0;
   int model_switches = 0;  ///< endpoint had to change serving model
   int overflow = 0;        ///< no preferred endpoint free; least-loaded fallback
+  int breaker_opens = 0;       ///< closed/half-open -> open transitions
+  int breaker_rejections = 0;  ///< routes refused because every endpoint open
 };
 
 /// Abstract request router: decides which function endpoint serves a request.
@@ -54,6 +58,18 @@ class RequestRouter {
   virtual void OnComplete(const std::string& model_id, int endpoint,
                           TimeMicros now) = 0;
 
+  /// Record a *failed* completion. Routers with endpoint health tracking
+  /// (circuit breakers) override this; the default treats a failure like any
+  /// other completion.
+  virtual void OnFailure(const std::string& model_id, int endpoint,
+                         TimeMicros now) {
+    OnComplete(model_id, endpoint, now);
+  }
+
+  /// Total closed/half-open -> open breaker transitions (0 for routers
+  /// without breakers). Feeds PlatformStats::breaker_opens.
+  virtual uint64_t breaker_opens() const { return 0; }
+
   virtual int num_endpoints() const = 0;
   virtual const char* name() const = 0;
 };
@@ -65,6 +81,16 @@ struct FnPoolSpec {
   int num_endpoints = 2;
   /// "large interval" after which an exclusive endpoint may be reassigned.
   TimeMicros exclusive_idle_timeout = SecondsToMicros(30);
+
+  // Per-endpoint circuit breaker (0 = disabled, the default: no overhead on
+  // the routing fast path).
+  /// Consecutive failures that open an endpoint's breaker.
+  int breaker_failure_threshold = 0;
+  /// How long an open breaker rejects traffic before letting probes through.
+  TimeMicros breaker_open_interval = SecondsToMicros(1);
+  /// Probe requests admitted in the half-open state; one success closes the
+  /// breaker, one failure reopens it.
+  int breaker_half_open_probes = 1;
 };
 
 /// FnPacker's scheduler (§IV-C): requests to models with pending responses
@@ -104,6 +130,10 @@ class FnPackerRouter final : public RequestRouter {
 
   Result<int> Route(const std::string& model_id, TimeMicros now) override;
   void OnComplete(const std::string& model_id, int endpoint, TimeMicros now) override;
+  void OnFailure(const std::string& model_id, int endpoint, TimeMicros now) override;
+  uint64_t breaker_opens() const override {
+    return static_cast<uint64_t>(breaker_opens_.load(std::memory_order_relaxed));
+  }
   int num_endpoints() const override { return static_cast<int>(endpoints_.size()); }
   const char* name() const override { return "fnpacker"; }
 
@@ -125,14 +155,38 @@ class FnPackerRouter final : public RequestRouter {
     std::atomic<TimeMicros> last_invocation{-1};
   };
 
+  /// Circuit-breaker states (packed into EndpointSlot::breaker).
+  static constexpr uint32_t kBreakerClosed = 0;
+  static constexpr uint32_t kBreakerOpen = 1;
+  static constexpr uint32_t kBreakerHalfOpen = 2;
+
   /// Per-endpoint CAS slot: word = {exclusive model index:32 | pending:32},
   /// mutated only through compare-exchange so idleness checks and claims are
   /// one atomic step. last_request is advisory (exclusivity expiry) and
-  /// tracked separately.
+  /// tracked separately. breaker = {state:8 | half-open probes:24 |
+  /// consecutive failures:32}, same single-word CAS discipline so a state
+  /// check and a probe consumption are one atomic step.
   struct EndpointSlot {
     std::atomic<uint64_t> word{PackWord(kNoModel, 0)};
     std::atomic<TimeMicros> last_request{-1};
+    std::atomic<uint64_t> breaker{0};
+    std::atomic<TimeMicros> open_until{0};
   };
+
+  static constexpr uint64_t PackBreaker(uint32_t state, uint32_t probes,
+                                        uint32_t failures) {
+    return (static_cast<uint64_t>(state) << 56) |
+           (static_cast<uint64_t>(probes & 0xffffffu) << 32) | failures;
+  }
+  static constexpr uint32_t BreakerState(uint64_t word) {
+    return static_cast<uint32_t>(word >> 56);
+  }
+  static constexpr uint32_t BreakerProbes(uint64_t word) {
+    return static_cast<uint32_t>(word >> 32) & 0xffffffu;
+  }
+  static constexpr uint32_t BreakerFailures(uint64_t word) {
+    return static_cast<uint32_t>(word);
+  }
 
   static constexpr uint64_t PackWord(uint32_t exclusive, uint32_t pending) {
     return (static_cast<uint64_t>(exclusive) << 32) | pending;
@@ -153,6 +207,17 @@ class FnPackerRouter final : public RequestRouter {
   /// the endpoint drained — the caller re-decides from scratch.
   bool TryStickyAddPending(EndpointSlot* endpoint, uint32_t mark);
 
+  /// Does `endpoint`'s breaker admit a request at `now`? May consume a
+  /// half-open probe, so Route memoizes the answer per endpoint per call.
+  bool BreakerAdmit(EndpointSlot* endpoint, TimeMicros now);
+  void BreakerOnSuccess(EndpointSlot* endpoint);
+  void BreakerOnFailure(EndpointSlot* endpoint, TimeMicros now);
+
+  /// Shared pending-count bookkeeping for OnComplete / OnFailure.
+  void CompleteInternal(const std::string& model_id, int endpoint);
+
+  bool breaker_enabled() const { return spec_.breaker_failure_threshold > 0; }
+
   FnPoolSpec spec_;
 
   /// Key set frozen at construction; values are atomic slots.
@@ -163,6 +228,8 @@ class FnPackerRouter final : public RequestRouter {
   std::atomic<int> routed_{0};
   std::atomic<int> model_switches_{0};
   std::atomic<int> overflow_{0};
+  std::atomic<int> breaker_opens_{0};
+  std::atomic<int> breaker_rejections_{0};
 };
 
 /// Baseline: one endpoint per model (no sharing; every cold model cold-starts

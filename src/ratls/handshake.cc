@@ -1,5 +1,6 @@
 #include "ratls/handshake.h"
 
+#include "common/faultpoint.h"
 #include "crypto/sha256.h"
 
 namespace sesemi::ratls {
@@ -92,6 +93,7 @@ RatlsInitiator::RatlsInitiator(const sgx::AttestationAuthority* authority,
     : authority_(authority), enclave_(enclave) {}
 
 Result<ClientHello> RatlsInitiator::Start() {
+  SESEMI_FAULT_POINT(faults::kRatlsHandshake);
   ephemeral_ = crypto::GenerateX25519KeyPair();
   started_ = true;
   ClientHello hello;
@@ -136,6 +138,7 @@ Result<SecureSession> RatlsInitiator::Finish(
 
 Result<RatlsAcceptor::Accepted> RatlsAcceptor::Accept(const ClientHello& hello,
                                                       bool require_peer_quote) {
+  SESEMI_FAULT_POINT(faults::kRatlsHandshake);
   std::optional<sgx::Measurement> peer;
   if (require_peer_quote) {
     if (!hello.quote.has_value()) {

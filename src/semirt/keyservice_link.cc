@@ -1,5 +1,6 @@
 #include "semirt/keyservice_link.h"
 
+#include "common/faultpoint.h"
 #include "ratls/handshake.h"
 
 namespace sesemi::semirt {
@@ -22,6 +23,7 @@ Status KeyServiceLink::EnsureSession(sgx::Enclave* enclave) {
 Result<std::pair<Bytes, Bytes>> KeyServiceLink::FetchKeys(
     sgx::Enclave* enclave, const std::string& user_id, const std::string& model_id) {
   std::lock_guard<std::mutex> lock(mutex_);
+  SESEMI_FAULT_POINT(faults::kKeyServiceFetch);
   SESEMI_RETURN_IF_ERROR(EnsureSession(enclave));
 
   keyservice::Request request;

@@ -4,6 +4,7 @@
 #include <chrono>
 #include <cmath>
 
+#include "common/faultpoint.h"
 #include "model/format.h"
 
 namespace sesemi::semirt {
@@ -344,7 +345,8 @@ Status SemirtInstance::EnsureRuntime(
 }
 
 Result<Bytes> SemirtInstance::HandleRequest(const InferenceRequest& request,
-                                            StageTimings* timings) {
+                                            StageTimings* timings,
+                                            const ExecDeadline* deadline) {
   if (request.model_id.empty() || request.encrypted_input.empty()) {
     return Status::InvalidArgument("empty model id or input");
   }
@@ -353,6 +355,9 @@ Result<Bytes> SemirtInstance::HandleRequest(const InferenceRequest& request,
     return Status::PermissionDenied("enclave is fixed to model " +
                                     options_.fixed_model_id);
   }
+  if (deadline != nullptr && deadline->Expired()) {
+    return Status::DeadlineExceeded("deadline passed before execution");
+  }
 
   StageTimings local;
   StageTimings* t = timings != nullptr ? timings : &local;
@@ -360,15 +365,16 @@ Result<Bytes> SemirtInstance::HandleRequest(const InferenceRequest& request,
 
   int slot = AcquireSlot();
   Result<Bytes> result = options_.mode == RuntimeMode::kUntrusted
-                             ? HandleUntrusted(request, slot, t)
-                             : HandleTrusted(request, slot, t);
+                             ? HandleUntrusted(request, slot, t, deadline)
+                             : HandleTrusted(request, slot, t, deadline);
   ReleaseSlot(slot);
   t->total = NowMicros() - start;
   return result;
 }
 
 std::vector<Result<Bytes>> SemirtInstance::HandleRequestBatch(
-    const std::vector<const InferenceRequest*>& batch, StageTimings* timings) {
+    const std::vector<const InferenceRequest*>& batch, StageTimings* timings,
+    const ExecDeadline* deadline) {
   std::vector<Result<Bytes>> results;
   results.reserve(batch.size());
   if (batch.empty()) return results;
@@ -378,12 +384,13 @@ std::vector<Result<Bytes>> SemirtInstance::HandleRequestBatch(
   if (batch.size() == 1 || options_.mode != RuntimeMode::kSesemi ||
       options_.sequential_mode) {
     for (const InferenceRequest* request : batch) {
-      results.push_back(HandleRequest(*request, timings));
+      results.push_back(HandleRequest(*request, timings, deadline));
     }
     return results;
   }
 
-  results.assign(batch.size(), Status::Internal("not executed"));
+  results.assign(batch.size(),
+                 Status::Aborted("request dropped before execution"));
   const InferenceRequest& head = *batch[0];
 
   StageTimings local;
@@ -405,10 +412,31 @@ std::vector<Result<Bytes>> SemirtInstance::HandleRequestBatch(
                                       options_.fixed_model_id));
     return results;
   }
+  if (deadline != nullptr && deadline->Expired()) {
+    fail_all(Status::DeadlineExceeded("deadline passed before execution"));
+    return results;
+  }
+
+  // Cooperative deadline cut between stages (never mid-inference).
+  auto deadline_cut = [&](const char* stage) -> bool {
+    if (deadline == nullptr) return false;
+    Status cut = deadline->Check(stage);
+    if (cut.ok()) return false;
+    fail_all(cut);
+    return true;
+  };
 
   // One slot, one enclave entry for the whole batch — the other TCS slots
   // stay free for concurrent (unbatched or other-session) traffic.
   const int slot = AcquireSlot();
+  if (FaultInjector::AnyArmed()) {
+    Status fault = FaultInjector::Instance().Evaluate(faults::kEcallEnter);
+    if (!fault.ok()) {
+      ReleaseSlot(slot);
+      fail_all(fault);
+      return results;
+    }
+  }
   {
     sgx::TcsGuard tcs = enclave_->EnterEcall();
     bool key_fetched = false, model_loaded = false, runtime_inited = false;
@@ -421,6 +449,10 @@ std::vector<Result<Bytes>> SemirtInstance::HandleRequestBatch(
       return results;
     }
     t->key_fetch = NowMicros() - mark;
+    if (deadline_cut("key fetch")) {
+      ReleaseSlot(slot);
+      return results;
+    }
     const Bytes& model_key = keys->first;
     const Bytes& request_key = keys->second;
 
@@ -432,6 +464,10 @@ std::vector<Result<Bytes>> SemirtInstance::HandleRequestBatch(
       return results;
     }
     t->model_load = NowMicros() - mark;
+    if (deadline_cut("model load")) {
+      ReleaseSlot(slot);
+      return results;
+    }
 
     mark = NowMicros();
     Status runtime_ok = EnsureRuntime(slot, head.model_id, *model, &runtime_inited);
@@ -441,6 +477,10 @@ std::vector<Result<Bytes>> SemirtInstance::HandleRequestBatch(
       return results;
     }
     t->runtime_init = NowMicros() - mark;
+    if (deadline_cut("runtime init")) {
+      ReleaseSlot(slot);
+      return results;
+    }
 
     mark = NowMicros();
     // One K_R cipher context for the whole batch: the AES key schedule +
@@ -516,7 +556,8 @@ std::vector<Result<Bytes>> SemirtInstance::HandleRequestBatch(
 }
 
 Result<Bytes> SemirtInstance::HandleTrusted(const InferenceRequest& request,
-                                            int slot, StageTimings* timings) {
+                                            int slot, StageTimings* timings,
+                                            const ExecDeadline* deadline) {
   if (request.user_id.empty()) {
     return Status::InvalidArgument("missing user id");
   }
@@ -531,6 +572,7 @@ Result<Bytes> SemirtInstance::HandleTrusted(const InferenceRequest& request,
     enclave_fresh_ = true;
   }
   // EC_MODEL_INF: a thread enters the enclave through a TCS.
+  SESEMI_FAULT_POINT(faults::kEcallEnter);
   sgx::TcsGuard tcs = enclave_->EnterEcall();
 
   bool key_fetched = false, model_loaded = false, runtime_inited = false;
@@ -539,6 +581,7 @@ Result<Bytes> SemirtInstance::HandleTrusted(const InferenceRequest& request,
   SESEMI_ASSIGN_OR_RETURN(auto keys,
                           EnsureKeys(request.user_id, request.model_id, &key_fetched));
   timings->key_fetch = NowMicros() - mark;
+  if (deadline != nullptr) SESEMI_RETURN_IF_ERROR(deadline->Check("key fetch"));
   const Bytes& model_key = keys.first;
   const Bytes& request_key = keys.second;
 
@@ -547,11 +590,15 @@ Result<Bytes> SemirtInstance::HandleTrusted(const InferenceRequest& request,
       std::shared_ptr<inference::LoadedModel> model,
       EnsureModel(request.model_id, model_key, &model_loaded));
   timings->model_load = NowMicros() - mark;
+  if (deadline != nullptr) SESEMI_RETURN_IF_ERROR(deadline->Check("model load"));
 
   mark = NowMicros();
   SESEMI_RETURN_IF_ERROR(
       EnsureRuntime(slot, request.model_id, model, &runtime_inited));
   timings->runtime_init = NowMicros() - mark;
+  if (deadline != nullptr) {
+    SESEMI_RETURN_IF_ERROR(deadline->Check("runtime init"));
+  }
 
   mark = NowMicros();
   SESEMI_ASSIGN_OR_RETURN(
@@ -595,7 +642,8 @@ Result<Bytes> SemirtInstance::HandleTrusted(const InferenceRequest& request,
 }
 
 Result<Bytes> SemirtInstance::HandleUntrusted(const InferenceRequest& request,
-                                              int slot, StageTimings* timings) {
+                                              int slot, StageTimings* timings,
+                                              const ExecDeadline* deadline) {
   bool model_loaded = false, runtime_inited = false;
 
   // Plaintext model path (no keys, no attestation).
@@ -623,11 +671,15 @@ Result<Bytes> SemirtInstance::HandleUntrusted(const InferenceRequest& request,
     model_loaded = true;
   }
   timings->model_load = NowMicros() - mark;
+  if (deadline != nullptr) SESEMI_RETURN_IF_ERROR(deadline->Check("model load"));
 
   mark = NowMicros();
   SESEMI_RETURN_IF_ERROR(
       EnsureRuntime(slot, request.model_id, model, &runtime_inited));
   timings->runtime_init = NowMicros() - mark;
+  if (deadline != nullptr) {
+    SESEMI_RETURN_IF_ERROR(deadline->Check("runtime init"));
+  }
 
   mark = NowMicros();
   Result<Bytes> output = [&]() -> Result<Bytes> {

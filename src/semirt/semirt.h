@@ -62,6 +62,23 @@ struct StageTimings {
   TimeMicros total = 0;
 };
 
+/// Cooperative execution deadline. The pipeline checks it *between* stages
+/// (after key fetch, model load, runtime init) — never mid-inference, so a
+/// started MODEL_EXEC always runs to completion — and cuts the request with
+/// kDeadlineExceeded once `clock->Now() >= deadline`. DeadlineEdf sheds only
+/// at dispatch; this catches requests that start in time but overrun on a
+/// cold path.
+struct ExecDeadline {
+  TimeMicros deadline = 0;
+  const Clock* clock = nullptr;
+
+  bool Expired() const { return clock != nullptr && clock->Now() >= deadline; }
+  Status Check(const char* stage) const {
+    if (!Expired()) return Status::OK();
+    return Status::DeadlineExceeded(std::string("deadline cut after ") + stage);
+  }
+};
+
 /// Cumulative instance statistics.
 struct SemirtStats {
   int cold_invocations = 0;
@@ -112,8 +129,11 @@ class SemirtInstance {
 
   /// ECALL EC_MODEL_INF + EC_GET_OUTPUT: serve one request, returning the
   /// result encrypted under the request key (raw output in kUntrusted mode).
+  /// `deadline` (optional) is checked cooperatively between pipeline stages;
+  /// an expired deadline cuts the request with kDeadlineExceeded.
   Result<Bytes> HandleRequest(const InferenceRequest& request,
-                              StageTimings* timings = nullptr);
+                              StageTimings* timings = nullptr,
+                              const ExecDeadline* deadline = nullptr);
 
   /// Serve a same-user, same-model batch (the scheduler's coalescer output)
   /// through ONE TCS slot and ONE enclave entry: keys, model, and runtime are
@@ -131,7 +151,7 @@ class SemirtInstance {
   /// `timings` receives the batch's stage timings (shared by its requests).
   std::vector<Result<Bytes>> HandleRequestBatch(
       const std::vector<const InferenceRequest*>& batch,
-      StageTimings* timings = nullptr);
+      StageTimings* timings = nullptr, const ExecDeadline* deadline = nullptr);
 
   /// ECALL EC_CLEAR_EXEC_CTX: drop all thread-local runtimes, the cached
   /// model, and cached keys, returning the enclave to its post-init state.
@@ -167,9 +187,11 @@ class SemirtInstance {
 
   Status Initialize();
   Result<Bytes> HandleTrusted(const InferenceRequest& request, int slot,
-                              StageTimings* timings);
+                              StageTimings* timings,
+                              const ExecDeadline* deadline);
   Result<Bytes> HandleUntrusted(const InferenceRequest& request, int slot,
-                                StageTimings* timings);
+                                StageTimings* timings,
+                                const ExecDeadline* deadline);
 
   /// Ensure (K_M, K_R) for (uid, Moid) are available, honoring the one-pair
   /// key cache. Sets *fetched if a KeyService round trip happened.

@@ -1,7 +1,11 @@
 #include "serverless/platform.h"
 
 #include <algorithm>
+#include <chrono>
+#include <thread>
 #include <utility>
+
+#include "common/faultpoint.h"
 
 namespace sesemi::serverless {
 
@@ -53,6 +57,11 @@ ServerlessPlatform::ServerlessPlatform(const PlatformConfig& config,
       keyservice_(keyservice),
       owned_clock_(clock == nullptr ? std::make_unique<RealClock>() : nullptr),
       clock_(clock == nullptr ? owned_clock_.get() : clock),
+      relaunch_gate_(config.recovery),
+      retry_backoff_(config.recovery.retry.backoff_base_micros,
+                     config.recovery.retry.backoff_max_micros,
+                     // Distinct stream from the relaunch gate's jitter.
+                     config.recovery.backoff_seed ^ 0x9e3779b97f4a7c15ULL),
       scheduler_(WithDefaultLimits(config.scheduler, config), clock_) {
   nodes_ = std::vector<Node>(config_.num_nodes);
   for (auto& node : nodes_) {
@@ -62,10 +71,43 @@ ServerlessPlatform::ServerlessPlatform(const PlatformConfig& config,
 }
 
 ServerlessPlatform::~ServerlessPlatform() {
-  // Release any paused backlog so every outstanding future resolves before
-  // members are torn down.
-  ResumeDispatch();
+  // Stop accepting work and stop executing the backlog: still-queued futures
+  // resolve with typed Unavailable("shutting down") rather than being run
+  // (or worse, abandoned). In-flight dispatches finish normally.
+  shutting_down_.store(true, std::memory_order_release);
+  {
+    std::lock_guard<std::mutex> lock(dispatch_mutex_);
+    dispatch_paused_ = false;  // parked backlog must drain, not execute
+  }
+  DrainForShutdown();
   async_tasks_.Wait();
+  // A dispatcher may have been mid-PopBatch during the first drain; nothing
+  // new can be queued now, so a second sweep leaves the scheduler empty.
+  DrainForShutdown();
+}
+
+void ServerlessPlatform::DrainForShutdown() {
+  for (;;) {
+    std::vector<sched::QueuedRequest> expired;
+    std::vector<sched::QueuedRequest> batch = scheduler_.PopBatch(&expired);
+    if (batch.empty() && expired.empty()) break;
+    const TimeMicros now = clock_->Now();
+    auto resolve = [&](sched::QueuedRequest& qr, Status status) {
+      InvocationResult out;
+      out.response = std::move(status);
+      out.sched_seq = qr.seq;
+      out.queue_wait = now - qr.enqueue_time;
+      PayloadOf(qr)->promise.set_value(std::move(out));
+    };
+    for (sched::QueuedRequest& qr : expired) {
+      resolve(qr, Status::DeadlineExceeded("deadline passed before dispatch: " +
+                                           qr.function));
+    }
+    for (sched::QueuedRequest& qr : batch) {
+      resolve(qr, Status::Unavailable("shutting down"));
+      shutdown_drops_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
 }
 
 Status ServerlessPlatform::DeployFunction(const FunctionSpec& spec) {
@@ -194,6 +236,16 @@ int ServerlessPlatform::ChooseAndReserveNode(FunctionShard* shard, uint64_t byte
 Result<ServerlessPlatform::Container*> ServerlessPlatform::ColdStart(
     FunctionShard* shard, uint32_t* slot_index) {
   const FunctionSpec& spec = shard->spec;
+  // Relaunch gate: after enclave *launch* failures, back off instead of
+  // hammering a failing platform. Memory admission below is capacity, not
+  // health, and deliberately bypasses the gate.
+  {
+    Status admit = relaunch_gate_.Admit(clock_->Now());
+    if (!admit.ok()) {
+      relaunch_backoffs_.fetch_add(1, std::memory_order_relaxed);
+      return admit;
+    }
+  }
   const int node = ChooseAndReserveNode(shard, spec.container_memory_bytes);
   if (node < 0) {
     return Status::ResourceExhausted("no invoker has memory for " + spec.name);
@@ -206,8 +258,18 @@ Result<ServerlessPlatform::Container*> ServerlessPlatform::ColdStart(
   if (!instance.ok()) {
     nodes_[node].memory_used.fetch_sub(spec.container_memory_bytes,
                                        std::memory_order_acq_rel);
+    relaunch_gate_.OnLaunchFailure(clock_->Now());
     return instance.status();
   }
+  relaunch_gate_.OnLaunchSuccess();
+  // A successful launch while poisonings are outstanding is the recovery
+  // event the relaunch counter tracks.
+  int pending = pending_relaunches_.load(std::memory_order_acquire);
+  while (pending > 0 &&
+         !pending_relaunches_.compare_exchange_weak(pending, pending - 1,
+                                                    std::memory_order_acq_rel)) {
+  }
+  if (pending > 0) relaunches_.fetch_add(1, std::memory_order_relaxed);
 
   auto container = std::make_unique<Container>();
   container->function = spec.name;
@@ -250,10 +312,21 @@ Result<ServerlessPlatform::Container*> ServerlessPlatform::AcquireContainer(
     FunctionShard* shard, const std::string& model_id, uint32_t* slot_index,
     bool* cold) {
   *cold = false;
-  uint32_t index = PopWarmSlot(shard);
+  uint32_t index = kNilSlot;
   Container* container = nullptr;
-  if (index != kNilSlot) {
+  // Pop until a healthy token surfaces; poisoned containers' tokens are
+  // quarantined on sight (holding a token is the exclusive right to decide
+  // its fate, so this races with nothing).
+  for (;;) {
+    index = PopWarmSlot(shard);
+    if (index == kNilSlot) break;
     container = SlotAt(*shard, index)->container.load(std::memory_order_relaxed);
+    if (!container->poisoned.load(std::memory_order_acquire)) break;
+    QuarantineSlot(shard, container, index);
+    MaybeRetireContainer(shard, container);
+    container = nullptr;
+  }
+  if (index != kNilSlot) {
     // Model affinity: LIFO already lands on the hottest container, but under
     // pooled endpoints two warm containers may hold different models. Peek a
     // bounded number of further tokens for one whose instance has this
@@ -268,6 +341,11 @@ Result<ServerlessPlatform::Container*> ServerlessPlatform::AcquireContainer(
         if (other_index == kNilSlot) break;
         Container* other =
             SlotAt(*shard, other_index)->container.load(std::memory_order_relaxed);
+        if (other->poisoned.load(std::memory_order_acquire)) {
+          QuarantineSlot(shard, other, other_index);
+          MaybeRetireContainer(shard, other);
+          continue;
+        }
         if (other->instance->loaded_model_id() == model_id) {
           returned[returned_count] = index;
           returned_owner[returned_count++] = container;
@@ -295,14 +373,144 @@ void ServerlessPlatform::ReleaseContainer(FunctionShard* shard,
                                           Container* container,
                                           uint32_t slot_index) {
   container->last_used.store(clock_->Now(), std::memory_order_relaxed);
+  if (container->poisoned.load(std::memory_order_acquire)) {
+    // Never return a poisoned container's token to the freelist: quarantine
+    // it, then retire the container once in-flight work has drained.
+    QuarantineSlot(shard, container, slot_index);
+    container->in_flight.fetch_sub(1, std::memory_order_acq_rel);
+    MaybeRetireContainer(shard, container);
+    return;
+  }
   container->in_flight.fetch_sub(1, std::memory_order_acq_rel);
   PushWarmSlot(shard, slot_index, container);
+}
+
+void ServerlessPlatform::PoisonContainer(Container* container) {
+  bool expected = false;
+  if (!container->poisoned.compare_exchange_strong(expected, true,
+                                                   std::memory_order_acq_rel)) {
+    return;  // already poisoned by a concurrent failure
+  }
+  enclave_failures_.fetch_add(1, std::memory_order_relaxed);
+  pending_relaunches_.fetch_add(1, std::memory_order_acq_rel);
+}
+
+void ServerlessPlatform::QuarantineSlotLocked(FunctionShard* shard,
+                                              Container* container,
+                                              uint32_t slot_index) {
+  shard->spare_slots.push_back(slot_index);
+  container->quarantined.fetch_add(1, std::memory_order_acq_rel);
+  quarantined_slots_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void ServerlessPlatform::QuarantineSlot(FunctionShard* shard,
+                                        Container* container,
+                                        uint32_t slot_index) {
+  std::lock_guard<std::mutex> lock(shard->mutex);
+  QuarantineSlotLocked(shard, container, slot_index);
+}
+
+void ServerlessPlatform::MaybeRetireContainer(FunctionShard* shard,
+                                              Container* container) {
+  std::lock_guard<std::mutex> lock(shard->mutex);
+  // Membership check FIRST, by pointer identity only: a concurrent
+  // quarantiner may have already retired (freed) the container, so no
+  // dereference is legal until it is confirmed still present.
+  auto it = std::find_if(
+      shard->containers.begin(), shard->containers.end(),
+      [&](const std::unique_ptr<Container>& c) { return c.get() == container; });
+  if (it == shard->containers.end()) return;  // already retired
+  // Retirement needs every token quarantined AND no request executing: both
+  // hold only once no thread can still hand the container new work, so
+  // destroying the instance (enclave teardown) here is safe.
+  if (container->quarantined.load(std::memory_order_acquire) <
+          container->num_tokens ||
+      container->in_flight.load(std::memory_order_acquire) != 0) {
+    return;
+  }
+  nodes_[container->node].memory_used.fetch_sub(container->memory_bytes,
+                                                std::memory_order_acq_rel);
+  shard->containers.erase(it);
+}
+
+Result<Bytes> ServerlessPlatform::ExecuteAttempt(
+    FunctionShard* shard, const semirt::InferenceRequest& request,
+    const semirt::ExecDeadline* deadline, semirt::StageTimings* timings,
+    bool* cold) {
+  SESEMI_FAULT_POINT(faults::kServerlessDispatch);
+  if (deadline != nullptr && deadline->Expired()) {
+    return Status::DeadlineExceeded("deadline passed before execution");
+  }
+
+  bool cold_here = false;
+  uint32_t slot_index = 0;
+  SESEMI_ASSIGN_OR_RETURN(Container * container,
+                          AcquireContainer(shard, request.model_id, &slot_index,
+                                           &cold_here));
+  if (cold_here) *cold = true;
+
+  Result<Bytes> result =
+      container->instance->HandleRequest(request, timings, deadline);
+
+  if (config_.recovery.enabled && !result.ok() &&
+      IsEnclavePoisoning(result.status().code())) {
+    // The enclave's internal state can no longer be trusted: poison it so
+    // the release below quarantines the token instead of recycling it.
+    PoisonContainer(container);
+  }
+  ReleaseContainer(shard, container, slot_index);
+  invocations_.fetch_add(1, std::memory_order_relaxed);
+  return result;
+}
+
+Result<Bytes> ServerlessPlatform::ExecuteOne(
+    FunctionShard* shard, const semirt::InferenceRequest& request,
+    const semirt::ExecDeadline* deadline, semirt::StageTimings* timings,
+    bool* cold) {
+  const RetryPolicy& policy = config_.recovery.retry;
+  const int max_attempts =
+      config_.recovery.enabled ? std::max(1, policy.max_attempts) : 1;
+
+  Result<Bytes> result = Status::Aborted("request dropped before execution");
+  for (int attempt = 0;; ++attempt) {
+    result = ExecuteAttempt(shard, request, deadline, timings, cold);
+    if (result.ok()) break;
+    const StatusCode code = result.status().code();
+    if (code == StatusCode::kDeadlineExceeded) {
+      deadline_cuts_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    }
+    if (IsEnclavePoisoning(code)) {
+      // The inference ecall itself faulted: never retried (it may have
+      // consumed or mutated state), but surfaced as typed Unavailable — the
+      // enclave is quarantined and a relaunch restores service.
+      result = Status::Unavailable("enclave failure: " +
+                                   result.status().message());
+      break;
+    }
+    if (!config_.recovery.enabled || !IsRetryableFailure(code) ||
+        attempt + 1 >= max_attempts ||
+        (deadline != nullptr && deadline->Expired())) {
+      break;
+    }
+    // Retryable (kUnavailable) failures come only from idempotent stages —
+    // key fetch, handshake, model fetch, or pre-entry dispatch faults.
+    retries_.fetch_add(1, std::memory_order_relaxed);
+    const TimeMicros delay = retry_backoff_.Next(attempt);
+    if (delay > 0) {
+      std::this_thread::sleep_for(std::chrono::microseconds(delay));
+    }
+  }
+  return result;
 }
 
 Result<Bytes> ServerlessPlatform::Invoke(const std::string& function,
                                          const semirt::InferenceRequest& request,
                                          semirt::StageTimings* timings,
                                          bool* cold_start) {
+  if (shutting_down_.load(std::memory_order_acquire)) {
+    return Status::Unavailable("shutting down");
+  }
   MaybeReap();
 
   FunctionShard* shard = FindShard(function);
@@ -311,22 +519,22 @@ Result<Bytes> ServerlessPlatform::Invoke(const std::string& function,
   }
 
   bool cold = false;
-  uint32_t slot_index = 0;
-  SESEMI_ASSIGN_OR_RETURN(Container * container,
-                          AcquireContainer(shard, request.model_id, &slot_index,
-                                           &cold));
+  Result<Bytes> result = ExecuteOne(shard, request, nullptr, timings, &cold);
   if (cold_start != nullptr) *cold_start = cold;
-
-  Result<Bytes> result = container->instance->HandleRequest(request, timings);
-
-  ReleaseContainer(shard, container, slot_index);
-  invocations_.fetch_add(1, std::memory_order_relaxed);
   return result;
 }
 
 std::future<InvocationResult> ServerlessPlatform::InvokeAsync(
     const std::string& function, semirt::InferenceRequest request,
     const InvokeOptions& options) {
+  if (shutting_down_.load(std::memory_order_acquire)) {
+    shutdown_drops_.fetch_add(1, std::memory_order_relaxed);
+    std::promise<InvocationResult> rejected;
+    InvocationResult out;
+    out.response = Status::Unavailable("shutting down");
+    rejected.set_value(std::move(out));
+    return rejected.get_future();
+  }
   auto pending = std::make_shared<PendingInvocation>();
   pending->request = std::move(request);
   std::future<InvocationResult> future = pending->promise.get_future();
@@ -367,7 +575,8 @@ void ServerlessPlatform::PumpScheduler() {
   for (;;) {
     {
       std::lock_guard<std::mutex> lock(dispatch_mutex_);
-      if (dispatch_paused_) {
+      if (dispatch_paused_ || shutting_down_.load(std::memory_order_acquire)) {
+        // On shutdown the destructor's drain resolves whatever remains queued.
         active_dispatchers_--;
         return;
       }
@@ -431,6 +640,21 @@ void ServerlessPlatform::DispatchBatch(std::vector<sched::QueuedRequest> batch) 
     }
   };
 
+  // Deadline enforcement at execution time: cooperative cuts between
+  // pipeline stages, never mid-inference. Earliest deadline governs a batch.
+  semirt::ExecDeadline exec_deadline;
+  const semirt::ExecDeadline* deadline_ptr = nullptr;
+  if (config_.recovery.enabled) {
+    TimeMicros earliest = sched::kNoDeadline;
+    for (const sched::QueuedRequest& qr : batch) {
+      earliest = std::min(earliest, qr.deadline);
+    }
+    if (earliest != sched::kNoDeadline) {
+      exec_deadline = {earliest, clock_};
+      deadline_ptr = &exec_deadline;
+    }
+  }
+
   if (batch.size() == 1) {
     sched::QueuedRequest& qr = batch.front();
     auto pending = PayloadOf(qr);
@@ -438,8 +662,14 @@ void ServerlessPlatform::DispatchBatch(std::vector<sched::QueuedRequest> batch) 
     out.sched_seq = qr.seq;
     out.dispatch_seq = qr.dispatch_seq;
     out.queue_wait = now - qr.enqueue_time;
-    out.response = Invoke(qr.function, pending->request, &out.timings,
-                          &out.cold_start);
+    MaybeReap();
+    FunctionShard* shard = FindShard(qr.function);
+    if (shard == nullptr) {
+      out.response = Status::NotFound("no such function: " + qr.function);
+    } else {
+      out.response = ExecuteOne(shard, pending->request, deadline_ptr,
+                                &out.timings, &out.cold_start);
+    }
     pending->promise.set_value(std::move(out));
     return;
   }
@@ -473,7 +703,21 @@ void ServerlessPlatform::DispatchBatch(std::vector<sched::QueuedRequest> batch) 
 
   semirt::StageTimings timings;
   std::vector<Result<Bytes>> results =
-      (*container)->instance->HandleRequestBatch(requests, &timings);
+      (*container)->instance->HandleRequestBatch(requests, &timings,
+                                                 deadline_ptr);
+
+  // Batch dispatches are never retried (the enclave entry is not idempotent);
+  // poisoning failures quarantine the container and surface as Unavailable.
+  for (Result<Bytes>& r : results) {
+    if (r.ok()) continue;
+    const StatusCode code = r.status().code();
+    if (code == StatusCode::kDeadlineExceeded) {
+      deadline_cuts_.fetch_add(1, std::memory_order_relaxed);
+    } else if (config_.recovery.enabled && IsEnclavePoisoning(code)) {
+      PoisonContainer(*container);
+      r = Status::Unavailable("enclave failure: " + r.status().message());
+    }
+  }
 
   ReleaseContainer(shard, *container, slot_index);
   invocations_.fetch_add(static_cast<int>(batch.size()),
@@ -525,16 +769,38 @@ int ServerlessPlatform::ReapShard(FunctionShard* shard, TimeMicros now) {
 
   // Group the stolen tokens by container. A container is reapable only if
   // every one of its tokens was in the freelist (nothing in flight).
+  // Poisoned containers' tokens are quarantined here instead of regrouped, so
+  // a sweep also mops up tokens a failing enclave left circulating.
   std::unordered_map<Container*, std::vector<uint32_t>> tokens;
   for (uint32_t index = HeadIndex(head); index != kNilSlot;) {
     WarmSlot* slot = SlotAt(*shard, index);
-    tokens[slot->container.load(std::memory_order_relaxed)].push_back(index);
-    index = slot->next.load(std::memory_order_relaxed);
+    Container* owner = slot->container.load(std::memory_order_relaxed);
+    const uint32_t next = slot->next.load(std::memory_order_relaxed);
+    if (owner != nullptr && owner->poisoned.load(std::memory_order_acquire)) {
+      QuarantineSlotLocked(shard, owner, index);
+    } else {
+      tokens[owner].push_back(index);
+    }
+    index = next;
   }
 
   int reaped = 0;
   for (auto it = shard->containers.begin(); it != shard->containers.end();) {
     Container* c = it->get();
+    if (c->poisoned.load(std::memory_order_acquire)) {
+      // Quarantined enclaves retire as soon as they drain, regardless of
+      // keep_alive; they never return to service and are not counted as
+      // idle-reaped.
+      if (c->quarantined.load(std::memory_order_acquire) >= c->num_tokens &&
+          c->in_flight.load(std::memory_order_acquire) == 0) {
+        nodes_[c->node].memory_used.fetch_sub(c->memory_bytes,
+                                              std::memory_order_acq_rel);
+        it = shard->containers.erase(it);
+      } else {
+        ++it;
+      }
+      continue;
+    }
     auto token_it = tokens.find(c);
     const size_t free_tokens = token_it == tokens.end() ? 0 : token_it->second.size();
     const bool idle = free_tokens == c->num_tokens &&
@@ -593,6 +859,23 @@ PlatformStats ServerlessPlatform::stats() const {
   stats.invocations = invocations_.load(std::memory_order_relaxed);
   stats.cold_starts = cold_starts_.load(std::memory_order_relaxed);
   stats.reaped_containers = reaped_containers_.load(std::memory_order_relaxed);
+  stats.enclave_failures = enclave_failures_.load(std::memory_order_relaxed);
+  stats.relaunches = relaunches_.load(std::memory_order_relaxed);
+  stats.retries = retries_.load(std::memory_order_relaxed);
+  stats.deadline_cuts = deadline_cuts_.load(std::memory_order_relaxed);
+  stats.breaker_opens = router_ != nullptr ? router_->breaker_opens() : 0;
+  return stats;
+}
+
+RecoveryStats ServerlessPlatform::recovery_stats() const {
+  RecoveryStats stats;
+  stats.enclave_failures = enclave_failures_.load(std::memory_order_relaxed);
+  stats.quarantined_slots = quarantined_slots_.load(std::memory_order_relaxed);
+  stats.relaunches = relaunches_.load(std::memory_order_relaxed);
+  stats.relaunch_backoffs = relaunch_backoffs_.load(std::memory_order_relaxed);
+  stats.retries = retries_.load(std::memory_order_relaxed);
+  stats.deadline_cuts = deadline_cuts_.load(std::memory_order_relaxed);
+  stats.shutdown_drops = shutdown_drops_.load(std::memory_order_relaxed);
   return stats;
 }
 

@@ -19,6 +19,7 @@
 #include "keyservice/keyservice.h"
 #include "sched/scheduler.h"
 #include "semirt/semirt.h"
+#include "serverless/recovery.h"
 #include "sgx/platform.h"
 #include "storage/object_store.h"
 
@@ -43,6 +44,9 @@ struct PlatformConfig {
   /// ResourceExhausted) instead of queueing unboundedly — set an explicit
   /// large value to lift it.
   sched::SchedulerConfig scheduler;
+  /// Failure model: enclave poisoning/quarantine/relaunch, idempotent-stage
+  /// retries, and execution-time deadline cuts (see serverless/recovery.h).
+  RecoveryConfig recovery;
 };
 
 /// A deployed function: a name bound to a SeMIRT (or baseline) runtime
@@ -63,6 +67,12 @@ struct PlatformStats {
   int invocations = 0;
   int cold_starts = 0;
   int reaped_containers = 0;
+  // Recovery counters (full breakdown via recovery_stats()).
+  uint64_t enclave_failures = 0;  ///< enclaves poisoned by a faulting ecall
+  uint64_t relaunches = 0;        ///< successful cold starts after a poisoning
+  uint64_t retries = 0;           ///< idempotent-stage retry attempts
+  uint64_t breaker_opens = 0;     ///< from the attached router, if any
+  uint64_t deadline_cuts = 0;     ///< invocations cut at execution time
 };
 
 /// Everything one asynchronous invocation produces: the sealed response (or
@@ -70,7 +80,10 @@ struct PlatformStats {
 /// the scheduler's view of the request (admission order, dispatch order,
 /// queue wait, and the size of the coalesced batch it rode in).
 struct InvocationResult {
-  Result<Bytes> response = Status::Internal("not executed");
+  /// Every platform path overwrites this with either the sealed response or
+  /// a specific typed error; the Aborted default can only surface if a
+  /// result object escapes without passing through the platform at all.
+  Result<Bytes> response = Status::Aborted("request dropped before execution");
   semirt::StageTimings timings;
   bool cold_start = false;
   uint64_t sched_seq = 0;     ///< arrival order assigned at admission
@@ -119,8 +132,10 @@ class ServerlessPlatform {
                      keyservice::KeyServiceServer* keyservice,
                      Clock* clock = nullptr);
 
-  /// Waits for every outstanding InvokeAsync to complete before tearing the
-  /// platform down.
+  /// Shuts the platform down: still-queued requests resolve immediately with
+  /// typed Unavailable("shutting down") (they are NOT executed), in-flight
+  /// dispatches run to completion, and every outstanding InvokeAsync future
+  /// is satisfied before any member is destroyed.
   ~ServerlessPlatform();
 
   /// Register a function (the owner's deployment step). Fails on duplicates.
@@ -173,6 +188,15 @@ class ServerlessPlatform {
 
   PlatformStats stats() const;
 
+  /// Snapshot of the failure-recovery counters (quarantines, relaunch
+  /// backoffs, shutdown drops — the full breakdown behind stats()).
+  RecoveryStats recovery_stats() const;
+
+  /// Attach a request router so its breaker transitions surface through
+  /// stats().breaker_opens. Call before traffic; the platform does not take
+  /// ownership and the router must outlive it.
+  void AttachRouter(fnpacker::RequestRouter* router) { router_ = router; }
+
   /// The SGX platform backing node `i` (for EPC/attestation inspection).
   sgx::SgxPlatform* node(int i) { return nodes_.at(i).platform.get(); }
 
@@ -188,6 +212,13 @@ class ServerlessPlatform {
     uint32_t num_tokens = 0;
     std::atomic<int> in_flight{0};
     std::atomic<TimeMicros> last_used{0};
+    /// Set once by PoisonContainer after a poisoning ecall failure. A
+    /// poisoned container accepts no new work: its tokens are quarantined as
+    /// they surface, and the container is retired (enclave destroyed, memory
+    /// returned) once every token is accounted for and in-flight work drains.
+    std::atomic<bool> poisoned{false};
+    /// Tokens quarantined so far; retirement requires == num_tokens.
+    std::atomic<uint32_t> quarantined{0};
   };
 
   /// One warm TCS slot token. A container contributes `num_tcs` tokens to its
@@ -255,12 +286,43 @@ class ServerlessPlatform {
   Result<Container*> ColdStart(FunctionShard* shard, uint32_t* slot_index);
 
   /// Acquire one execution right on a container for `shard` (warm slot with
-  /// model affinity, else cold start). Pairs with ReleaseContainer.
+  /// model affinity, else cold start). Pairs with ReleaseContainer. Poisoned
+  /// containers surfacing from the freelist are quarantined and skipped.
   Result<Container*> AcquireContainer(FunctionShard* shard,
                                       const std::string& model_id,
                                       uint32_t* slot_index, bool* cold);
   void ReleaseContainer(FunctionShard* shard, Container* container,
                         uint32_t slot_index);
+
+  /// Mark `container` poisoned (idempotent); arms the relaunch accounting.
+  void PoisonContainer(Container* container);
+  /// Take `slot_index` out of circulation: the record returns to the spare
+  /// pool and the container's quarantine count advances.
+  void QuarantineSlot(FunctionShard* shard, Container* container,
+                      uint32_t slot_index);
+  void QuarantineSlotLocked(FunctionShard* shard, Container* container,
+                            uint32_t slot_index);  ///< requires shard->mutex
+  /// Retire a fully-quarantined, fully-drained poisoned container: destroy
+  /// the enclave and return its memory.
+  void MaybeRetireContainer(FunctionShard* shard, Container* container);
+
+  /// One execution attempt: acquire, run (with optional exec deadline),
+  /// poison on enclave failure, release.
+  Result<Bytes> ExecuteAttempt(FunctionShard* shard,
+                               const semirt::InferenceRequest& request,
+                               const semirt::ExecDeadline* deadline,
+                               semirt::StageTimings* timings, bool* cold);
+  /// ExecuteAttempt wrapped in the recovery policy: retries retryable
+  /// failures (idempotent stages only — a poisoning inference failure is
+  /// translated to Unavailable and never retried), counts deadline cuts.
+  Result<Bytes> ExecuteOne(FunctionShard* shard,
+                           const semirt::InferenceRequest& request,
+                           const semirt::ExecDeadline* deadline,
+                           semirt::StageTimings* timings, bool* cold);
+
+  /// Resolve every request still queued in the scheduler with a typed
+  /// shutdown error (deadline-shed entries keep DeadlineExceeded).
+  void DrainForShutdown();
 
   /// Dispatcher task body: pull batches from the scheduler until it drains.
   void PumpScheduler();
@@ -288,6 +350,20 @@ class ServerlessPlatform {
   std::atomic<int> cold_starts_{0};
   std::atomic<int> reaped_containers_{0};
   std::atomic<TimeMicros> last_reap_{0};
+
+  // Recovery state (see serverless/recovery.h for the policy).
+  RelaunchGate relaunch_gate_;
+  JitteredBackoff retry_backoff_;
+  std::atomic<int> pending_relaunches_{0};  ///< poisonings awaiting a relaunch
+  std::atomic<uint64_t> enclave_failures_{0};
+  std::atomic<uint64_t> quarantined_slots_{0};
+  std::atomic<uint64_t> relaunches_{0};
+  std::atomic<uint64_t> relaunch_backoffs_{0};
+  std::atomic<uint64_t> retries_{0};
+  std::atomic<uint64_t> deadline_cuts_{0};
+  std::atomic<uint64_t> shutdown_drops_{0};
+  std::atomic<bool> shutting_down_{false};
+  fnpacker::RequestRouter* router_ = nullptr;  ///< optional breaker surface
 
   /// Request scheduler (admission + fair queues + batcher). Dispatcher tasks
   /// on the fork-join pool pull from it; their count is bounded by

@@ -1,5 +1,6 @@
 #include "sgx/enclave.h"
 
+#include "common/faultpoint.h"
 #include "crypto/hmac.h"
 #include "sgx/platform.h"
 
@@ -59,6 +60,7 @@ int Enclave::busy_tcs() const {
 }
 
 Status Enclave::AllocateTrusted(uint64_t bytes) {
+  SESEMI_FAULT_POINT(faults::kEnclaveHeapAlloc);
   uint64_t used = heap_used_.fetch_add(bytes) + bytes;
   if (used > image_.config().heap_size_bytes) {
     heap_used_.fetch_sub(bytes);

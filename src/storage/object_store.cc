@@ -1,5 +1,7 @@
 #include "storage/object_store.h"
 
+#include "common/faultpoint.h"
+
 namespace sesemi::storage {
 
 Status InMemoryObjectStore::Put(const std::string& key, Bytes data) {
@@ -9,6 +11,7 @@ Status InMemoryObjectStore::Put(const std::string& key, Bytes data) {
 }
 
 Result<Bytes> InMemoryObjectStore::Get(const std::string& key) const {
+  SESEMI_FAULT_POINT(faults::kStorageGet);
   std::lock_guard<std::mutex> lock(mutex_);
   auto it = objects_.find(key);
   if (it == objects_.end()) return Status::NotFound("no object: " + key);

@@ -1,0 +1,244 @@
+// Chaos soak for the failure-recovery layer: every cross-component fault
+// point armed at a low rate while many threads drive the platform, then the
+// faults are disarmed and the platform must return to a fully-healthy steady
+// state. Run under TSan and ASan in CI. The injector draws from a seeded
+// generator, so a failing soak replays under the same seed.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <thread>
+#include <vector>
+
+#include "client/clients.h"
+#include "common/faultpoint.h"
+#include "model/zoo.h"
+#include "serverless/platform.h"
+
+namespace sesemi::serverless {
+namespace {
+
+using client::KeyServiceClient;
+using client::ModelOwner;
+using client::ModelUser;
+
+class ChaosTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    FaultInjector::Instance().DisarmAll();
+    FaultInjector::Instance().Reseed(0xc4a05);
+
+    auto server = keyservice::StartKeyService(&ks_platform_);
+    ASSERT_TRUE(server.ok());
+    keyservice_ = std::move(*server);
+    auto ks_client = KeyServiceClient::Connect(
+        keyservice_.get(), &authority_,
+        keyservice::KeyServiceEnclave::ExpectedMeasurement());
+    ASSERT_TRUE(ks_client.ok());
+    client_ = std::move(*ks_client);
+
+    owner_ = std::make_unique<ModelOwner>("owner");
+    user_ = std::make_unique<ModelUser>("user");
+    ASSERT_TRUE(owner_->Register(client_.get()).ok());
+    ASSERT_TRUE(user_->Register(client_.get()).ok());
+
+    model::ZooSpec spec;
+    spec.model_id = "m0";
+    spec.scale = 0.002;
+    spec.input_hw = 16;
+    auto graph = model::BuildModel(spec);
+    ASSERT_TRUE(graph.ok());
+    graph_ = *graph;
+    ASSERT_TRUE(owner_->DeployModel(client_.get(), &storage_, *graph).ok());
+
+    PlatformConfig config;
+    config.num_nodes = 2;
+    // Tight retry/relaunch backoffs so the soak converges in test time; the
+    // policy shape (jittered, bounded, idempotent-only) is what's under test.
+    config.recovery.retry.max_attempts = 3;
+    config.recovery.retry.backoff_base_micros = 50;
+    config.recovery.retry.backoff_max_micros = 500;
+    config.recovery.relaunch_max_attempts = 1000;
+    config.recovery.relaunch_backoff_base_micros = 100;
+    config.recovery.relaunch_backoff_max_micros = 1000;
+    platform_ = std::make_unique<ServerlessPlatform>(config, &authority_,
+                                                     &storage_, keyservice_.get());
+
+    FunctionSpec fn;
+    fn.name = "predict";
+    ASSERT_TRUE(platform_->DeployFunction(fn).ok());
+    sgx::Measurement es = semirt::SemirtInstance::MeasurementFor({});
+    ASSERT_TRUE(owner_->GrantAccess(client_.get(), "m0", es, user_->id()).ok());
+    ASSERT_TRUE(user_->ProvisionRequestKey(client_.get(), "m0", es).ok());
+  }
+
+  void TearDown() override { FaultInjector::Instance().DisarmAll(); }
+
+  semirt::InferenceRequest BuildRequest() {
+    Bytes input = model::GenerateRandomInput(graph_, 1);
+    auto request = user_->BuildRequest("m0", input);
+    EXPECT_TRUE(request.ok());
+    return *request;
+  }
+
+  sgx::AttestationAuthority authority_;
+  sgx::SgxPlatform ks_platform_{sgx::SgxGeneration::kSgx2, &authority_};
+  std::unique_ptr<keyservice::KeyServiceServer> keyservice_;
+  std::unique_ptr<KeyServiceClient> client_;
+  std::unique_ptr<ModelOwner> owner_;
+  std::unique_ptr<ModelUser> user_;
+  storage::InMemoryObjectStore storage_;
+  model::ModelGraph graph_;
+  std::unique_ptr<ServerlessPlatform> platform_;
+};
+
+// Is `code` one of the codes the platform is allowed to surface under chaos?
+// kAborted (the never-executed default) and kInternal (poisoning must be
+// translated before it escapes) are specifically forbidden.
+bool IsTypedChaosOutcome(StatusCode code) {
+  return code == StatusCode::kOk || code == StatusCode::kUnavailable ||
+         code == StatusCode::kDeadlineExceeded ||
+         code == StatusCode::kResourceExhausted;
+}
+
+TEST_F(ChaosTest, SoakRecoversToSteadyState) {
+  // ~1-2% fault rate across every hardened boundary, mixed codes + latency.
+  auto arm = [](std::string_view point, double p, StatusCode code,
+                TimeMicros latency = 0) {
+    FaultConfig config;
+    config.probability = p;
+    config.error_code = code;
+    config.latency_micros = latency;
+    FaultInjector::Instance().Arm(point, config);
+  };
+  arm(faults::kEcallEnter, 0.02, StatusCode::kInternal);  // poisons enclaves
+  arm(faults::kEnclaveHeapAlloc, 0.01, StatusCode::kUnavailable);
+  arm(faults::kKeyServiceFetch, 0.02, StatusCode::kUnavailable);
+  arm(faults::kRatlsHandshake, 0.01, StatusCode::kUnavailable, 200);
+  arm(faults::kStorageGet, 0.02, StatusCode::kUnavailable);
+  arm(faults::kServerlessDispatch, 0.01, StatusCode::kUnavailable);
+
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 75;
+  std::atomic<int> ok_count{0};
+  std::atomic<int> failed_count{0};
+  std::atomic<int> untyped_count{0};
+
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      std::vector<std::future<InvocationResult>> futures;
+      futures.reserve(kPerThread);
+      for (int i = 0; i < kPerThread; ++i) {
+        futures.push_back(platform_->InvokeAsync("predict", BuildRequest()));
+      }
+      // Every future must resolve — a lost promise would hang right here.
+      for (auto& f : futures) {
+        InvocationResult out = f.get();
+        const StatusCode code = out.response.status().code();
+        if (!IsTypedChaosOutcome(code)) untyped_count.fetch_add(1);
+        if (out.response.ok()) {
+          ok_count.fetch_add(1);
+        } else {
+          failed_count.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  EXPECT_EQ(untyped_count.load(), 0) << "untyped/default code escaped";
+  EXPECT_GT(ok_count.load(), 0) << "chaos rate swamped the platform";
+  EXPECT_EQ(ok_count.load() + failed_count.load(), kThreads * kPerThread);
+  EXPECT_GT(FaultInjector::Instance().total_fires(), 0u)
+      << "soak exercised no faults — rates too low for the request volume";
+
+  // Faults off: the platform must recover without intervention. Any poisoned
+  // enclave relaunches (bounded backoff), so a bounded settle loop reaches a
+  // first success...
+  FaultInjector::Instance().DisarmAll();
+  bool recovered = false;
+  for (int i = 0; i < 200 && !recovered; ++i) {
+    auto r = platform_->Invoke("predict", BuildRequest());
+    recovered = r.ok();
+    if (!recovered) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
+  ASSERT_TRUE(recovered) << "platform did not return to service";
+
+  // ...and steady state after it is fault-free.
+  for (int i = 0; i < 20; ++i) {
+    auto r = platform_->Invoke("predict", BuildRequest());
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+  }
+
+  // A sweep retires every drained poisoned enclave; the counters must agree:
+  // each poisoned container contributes at least one quarantined token.
+  platform_->ReapIdleContainers();
+  RecoveryStats rs = platform_->recovery_stats();
+  if (rs.enclave_failures > 0) {
+    EXPECT_GE(rs.quarantined_slots, rs.enclave_failures);
+  }
+  EXPECT_GE(platform_->ContainerCount("predict"), 1);
+  PlatformStats stats = platform_->stats();
+  EXPECT_EQ(stats.enclave_failures, rs.enclave_failures);
+  EXPECT_EQ(stats.retries, rs.retries);
+}
+
+// Poisoning must quarantine and relaunch deterministically, not just under
+// load: one guaranteed ecall fault, then the very next (retried) traffic is
+// healthy again and the stats show exactly one failure.
+TEST_F(ChaosTest, SingleEcallFaultQuarantinesAndRelaunches) {
+  auto warm = platform_->Invoke("predict", BuildRequest());
+  ASSERT_TRUE(warm.ok()) << warm.status().ToString();
+
+  {
+    FaultConfig config;
+    config.probability = 1.0;
+    config.max_fires = 1;
+    config.error_code = StatusCode::kInternal;
+    ScopedFault fault(faults::kEcallEnter, config);
+    auto r = platform_->Invoke("predict", BuildRequest());
+    ASSERT_FALSE(r.ok());
+    // Poisoning surfaces as typed Unavailable — the ecall is never retried.
+    EXPECT_EQ(r.status().code(), StatusCode::kUnavailable);
+    EXPECT_NE(r.status().message().find("enclave failure"), std::string::npos);
+  }
+
+  RecoveryStats rs = platform_->recovery_stats();
+  EXPECT_EQ(rs.enclave_failures, 1u);
+  EXPECT_EQ(rs.retries, 0u);  // the inference ecall is not an idempotent stage
+
+  // Service resumes on fresh capacity (bounded settle for relaunch backoff).
+  bool recovered = false;
+  for (int i = 0; i < 200 && !recovered; ++i) {
+    recovered = platform_->Invoke("predict", BuildRequest()).ok();
+    if (!recovered) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
+  EXPECT_TRUE(recovered);
+  platform_->ReapIdleContainers();  // retires the drained poisoned enclave
+  EXPECT_GE(platform_->recovery_stats().quarantined_slots, 1u);
+}
+
+// Idempotent-stage faults (model fetch here) are retried inside one Invoke:
+// a single guaranteed fault still yields an OK result and one retry counted.
+TEST_F(ChaosTest, IdempotentStageFaultIsRetriedTransparently) {
+  FaultConfig config;
+  config.probability = 1.0;
+  config.max_fires = 1;
+  config.error_code = StatusCode::kUnavailable;
+  ScopedFault fault(faults::kStorageGet, config);
+
+  auto r = platform_->Invoke("predict", BuildRequest());
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(platform_->recovery_stats().retries, 1u);
+  EXPECT_EQ(platform_->recovery_stats().enclave_failures, 0u);
+}
+
+}  // namespace
+}  // namespace sesemi::serverless

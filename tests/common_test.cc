@@ -33,6 +33,21 @@ TEST(StatusTest, AllCodesHaveNames) {
   }
 }
 
+TEST(StatusTest, CodeNameRoundTripsForEveryCode) {
+  std::set<std::string_view> names;
+  for (int c = 0; c <= 13; ++c) {
+    const StatusCode code = static_cast<StatusCode>(c);
+    const std::string_view name = StatusCodeToString(code);
+    EXPECT_TRUE(names.insert(name).second) << "duplicate name: " << name;
+    auto parsed = StatusCodeFromString(name);
+    ASSERT_TRUE(parsed.has_value()) << name;
+    EXPECT_EQ(*parsed, code);
+  }
+  EXPECT_FALSE(StatusCodeFromString("NoSuchCode").has_value());
+  EXPECT_FALSE(StatusCodeFromString("").has_value());
+  EXPECT_FALSE(StatusCodeFromString("ok").has_value());  // case-sensitive
+}
+
 TEST(StatusTest, EqualityComparesCodeOnly) {
   EXPECT_EQ(Status::NotFound("a"), Status::NotFound("b"));
   EXPECT_FALSE(Status::NotFound("a") == Status::Internal("a"));

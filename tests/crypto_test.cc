@@ -49,14 +49,12 @@ TEST(Sha256Test, TwoBlockMessage) {
 }
 
 TEST(Sha256Test, MillionA) {
+  // (A previous version called Finish() twice and spliced iterators from two
+  // distinct temporaries — UB the ASan CI leg caught.)
   Sha256 h;
   Bytes chunk(1000, 'a');
   for (int i = 0; i < 1000; ++i) h.Update(chunk);
-  EXPECT_EQ(HexEncode(Bytes(h.Finish().begin(), h.Finish().end())).substr(0, 0), "");
-  // Finish() mutates; recompute properly.
-  Sha256 h2;
-  for (int i = 0; i < 1000; ++i) h2.Update(chunk);
-  auto d = h2.Finish();
+  auto d = h.Finish();
   EXPECT_EQ(HexEncode(ByteSpan(d.data(), d.size())),
             "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
 }

@@ -1,0 +1,161 @@
+#include "common/faultpoint.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+#include <vector>
+
+// ---------------------------------------------------------------- alloc probe
+// Global operator new override (this test binary only): counts allocations
+// while armed, so the "disarmed probe is zero-overhead" claim is enforced,
+// not just asserted in a comment (same idiom as compiled_model_test.cc).
+namespace {
+std::atomic<bool> g_count_allocations{false};
+std::atomic<uint64_t> g_allocation_count{0};
+}  // namespace
+
+void* operator new(std::size_t n) {
+  if (g_count_allocations.load(std::memory_order_relaxed)) {
+    g_allocation_count.fetch_add(1, std::memory_order_relaxed);
+  }
+  void* p = std::malloc(n == 0 ? 1 : n);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+
+namespace sesemi {
+namespace {
+
+// A function body carrying the probe, exactly as production call sites do.
+Status ProbedOperation() {
+  SESEMI_FAULT_POINT(faults::kStorageGet);
+  return Status::OK();
+}
+
+class FaultPointTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    FaultInjector::Instance().DisarmAll();
+    FaultInjector::Instance().Reseed(0x5e5e31);
+  }
+  void TearDown() override { FaultInjector::Instance().DisarmAll(); }
+};
+
+TEST_F(FaultPointTest, DisarmedProbeIsZeroOverhead) {
+  ASSERT_FALSE(FaultInjector::AnyArmed());
+  g_allocation_count.store(0, std::memory_order_relaxed);
+  g_count_allocations.store(true, std::memory_order_relaxed);
+  for (int i = 0; i < 1000; ++i) {
+    Status s = ProbedOperation();
+    if (!s.ok()) break;  // never taken; keeps the call from being elided
+  }
+  g_count_allocations.store(false, std::memory_order_relaxed);
+  EXPECT_EQ(g_allocation_count.load(std::memory_order_relaxed), 0u);
+  // The slow path was never entered: no evaluation was even recorded.
+  EXPECT_EQ(FaultInjector::Instance().total_evaluations(), 0u);
+}
+
+TEST_F(FaultPointTest, ArmedPointFiresWithTypedError) {
+  FaultConfig config;
+  config.probability = 1.0;
+  config.error_code = StatusCode::kCorruption;
+  ScopedFault fault(faults::kStorageGet, config);
+  ASSERT_TRUE(FaultInjector::AnyArmed());
+
+  Status s = ProbedOperation();
+  EXPECT_TRUE(s.IsCorruption());
+  EXPECT_NE(s.message().find("storage.object.get"), std::string::npos);
+
+  FaultPointStats stats = FaultInjector::Instance().stats(faults::kStorageGet);
+  EXPECT_EQ(stats.evaluations, 1u);
+  EXPECT_EQ(stats.fires, 1u);
+}
+
+TEST_F(FaultPointTest, UnarmedPointPassesWhileAnotherIsArmed) {
+  ScopedFault fault(faults::kRatlsHandshake, FaultConfig{});
+  // kStorageGet is not armed: its probe evaluates (the global gate is up)
+  // but passes.
+  EXPECT_TRUE(ProbedOperation().ok());
+  EXPECT_EQ(FaultInjector::Instance().stats(faults::kStorageGet).fires, 0u);
+}
+
+TEST_F(FaultPointTest, SkipFirstAndMaxFiresBudget) {
+  FaultConfig config;
+  config.probability = 1.0;
+  config.skip_first = 2;
+  config.max_fires = 3;
+  ScopedFault fault(faults::kStorageGet, config);
+
+  std::vector<bool> fired;
+  for (int i = 0; i < 8; ++i) fired.push_back(!ProbedOperation().ok());
+  // Evaluations 1-2 skipped, 3-5 fire, 6+ exhausted the budget.
+  EXPECT_EQ(fired, (std::vector<bool>{false, false, true, true, true,
+                                      false, false, false}));
+  EXPECT_EQ(FaultInjector::Instance().stats(faults::kStorageGet).fires, 3u);
+}
+
+TEST_F(FaultPointTest, LatencyOnlyPointNeverFails) {
+  FaultConfig config;
+  config.probability = 1.0;
+  config.error_code = StatusCode::kOk;  // stall-only
+  config.latency_micros = 0;
+  ScopedFault fault(faults::kStorageGet, config);
+
+  for (int i = 0; i < 5; ++i) EXPECT_TRUE(ProbedOperation().ok());
+  EXPECT_EQ(FaultInjector::Instance().stats(faults::kStorageGet).fires, 5u);
+}
+
+TEST_F(FaultPointTest, DeterministicUnderFixedSeed) {
+  FaultConfig config;
+  config.probability = 0.3;
+
+  auto run = [&]() {
+    FaultInjector::Instance().DisarmAll();
+    FaultInjector::Instance().Reseed(0xfeedbeef);
+    FaultInjector::Instance().Arm(faults::kStorageGet, config);
+    std::vector<bool> pattern;
+    for (int i = 0; i < 200; ++i) pattern.push_back(!ProbedOperation().ok());
+    FaultInjector::Instance().Disarm(faults::kStorageGet);
+    return pattern;
+  };
+
+  std::vector<bool> first = run();
+  std::vector<bool> second = run();
+  EXPECT_EQ(first, second);  // bit-identical replay under the same seed
+  size_t fires = 0;
+  for (bool b : first) fires += b ? 1 : 0;
+  EXPECT_GT(fires, 0u);
+  EXPECT_LT(fires, first.size());
+}
+
+TEST_F(FaultPointTest, ScopedFaultDisarmsOnScopeExit) {
+  {
+    ScopedFault fault(faults::kServerlessDispatch, FaultConfig{});
+    EXPECT_TRUE(FaultInjector::AnyArmed());
+  }
+  EXPECT_FALSE(FaultInjector::AnyArmed());
+  EXPECT_TRUE(ProbedOperation().ok());
+}
+
+TEST_F(FaultPointTest, RearmResetsCountersAndReplacesConfig) {
+  FaultConfig always;
+  always.probability = 1.0;
+  FaultInjector::Instance().Arm(faults::kStorageGet, always);
+  EXPECT_FALSE(ProbedOperation().ok());
+
+  FaultConfig never;
+  never.probability = 0.0;
+  FaultInjector::Instance().Arm(faults::kStorageGet, never);
+  EXPECT_TRUE(ProbedOperation().ok());
+  FaultPointStats stats = FaultInjector::Instance().stats(faults::kStorageGet);
+  EXPECT_EQ(stats.evaluations, 1u);  // re-arming reset the counters
+  EXPECT_EQ(stats.fires, 0u);
+}
+
+}  // namespace
+}  // namespace sesemi

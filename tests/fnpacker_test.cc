@@ -303,5 +303,128 @@ TEST(FnPackerConcurrencyTest, DistinctEndpointsRouteInParallel) {
   }
 }
 
+// ------------------------------------------------------------ circuit breaker
+
+FnPoolSpec BreakerPoolOf(std::vector<std::string> models, int endpoints,
+                         int threshold, int probes = 1) {
+  FnPoolSpec spec;
+  spec.models = std::move(models);
+  spec.num_endpoints = endpoints;
+  spec.breaker_failure_threshold = threshold;
+  spec.breaker_half_open_probes = probes;
+  return spec;
+}
+
+TEST(FnPackerBreakerTest, DisabledByDefaultNeverOpens) {
+  FnPackerRouter router(PoolOf({"m0"}, 1));
+  for (int i = 0; i < 10; ++i) {
+    auto e = router.Route("m0", i);
+    ASSERT_TRUE(e.ok());
+    router.OnFailure("m0", *e, i);
+  }
+  EXPECT_FALSE(router.endpoint_state(0).breaker_open);
+  EXPECT_EQ(router.stats().breaker_opens, 0);
+  EXPECT_EQ(router.breaker_opens(), 0u);
+}
+
+TEST(FnPackerBreakerTest, OpensAfterConsecutiveFailuresAndRoutesAround) {
+  FnPackerRouter router(BreakerPoolOf({"m0"}, 2, /*threshold=*/2));
+  auto first = router.Route("m0", 0);
+  ASSERT_TRUE(first.ok());
+  router.OnFailure("m0", *first, 1);
+  EXPECT_FALSE(router.endpoint_state(*first).breaker_open);  // 1 < threshold
+
+  auto again = router.Route("m0", 2);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(*again, *first);  // still preferred while closed
+  router.OnFailure("m0", *again, 3);
+
+  EXPECT_TRUE(router.endpoint_state(*first).breaker_open);
+  EXPECT_EQ(router.stats().breaker_opens, 1);
+  EXPECT_EQ(router.breaker_opens(), 1u);
+  EXPECT_EQ(router.endpoint_state(*first).breaker_failures, 2);
+
+  // The open endpoint is skipped: traffic lands on the replica.
+  auto rerouted = router.Route("m0", 4);
+  ASSERT_TRUE(rerouted.ok());
+  EXPECT_NE(*rerouted, *first);
+
+  // A success resets the replica's failure streak.
+  router.OnComplete("m0", *rerouted, 5);
+  EXPECT_EQ(router.endpoint_state(*rerouted).breaker_failures, 0);
+}
+
+TEST(FnPackerBreakerTest, AllEndpointsOpenShedsWithTypedUnavailable) {
+  FnPackerRouter router(BreakerPoolOf({"m0"}, 2, /*threshold=*/1));
+  for (int round = 0; round < 2; ++round) {
+    auto e = router.Route("m0", round);
+    ASSERT_TRUE(e.ok());
+    router.OnFailure("m0", *e, round);
+  }
+  EXPECT_TRUE(router.endpoint_state(0).breaker_open);
+  EXPECT_TRUE(router.endpoint_state(1).breaker_open);
+
+  // Inside the open interval every endpoint rejects: typed shed, no endpoint.
+  auto shed = router.Route("m0", 10);
+  ASSERT_FALSE(shed.ok());
+  EXPECT_EQ(shed.status().code(), StatusCode::kUnavailable);
+  EXPECT_EQ(router.stats().breaker_rejections, 1);
+}
+
+TEST(FnPackerBreakerTest, HalfOpenProbeClosesOnSuccess) {
+  FnPoolSpec spec = BreakerPoolOf({"m0"}, 1, /*threshold=*/1);
+  spec.breaker_open_interval = 1000;
+  FnPackerRouter router(spec);
+
+  auto e = router.Route("m0", 0);
+  ASSERT_TRUE(e.ok());
+  router.OnFailure("m0", *e, 0);  // opens until t=1000
+  ASSERT_TRUE(router.endpoint_state(0).breaker_open);
+  EXPECT_FALSE(router.Route("m0", 500).ok());  // still open
+
+  // Past the interval one probe is admitted; its success closes the breaker.
+  auto probe = router.Route("m0", 2000);
+  ASSERT_TRUE(probe.ok());
+  router.OnComplete("m0", *probe, 2001);
+  EXPECT_FALSE(router.endpoint_state(0).breaker_open);
+  EXPECT_EQ(router.endpoint_state(0).breaker_failures, 0);
+  EXPECT_TRUE(router.Route("m0", 2002).ok());  // normal service resumed
+  EXPECT_EQ(router.stats().breaker_opens, 1);
+}
+
+TEST(FnPackerBreakerTest, HalfOpenProbeFailureReopens) {
+  FnPoolSpec spec = BreakerPoolOf({"m0"}, 1, /*threshold=*/1);
+  spec.breaker_open_interval = 1000;
+  FnPackerRouter router(spec);
+
+  auto e = router.Route("m0", 0);
+  ASSERT_TRUE(e.ok());
+  router.OnFailure("m0", *e, 0);
+
+  auto probe = router.Route("m0", 2000);  // half-open probe admitted
+  ASSERT_TRUE(probe.ok());
+  router.OnFailure("m0", *probe, 2001);  // probe failed: reopen immediately
+
+  EXPECT_TRUE(router.endpoint_state(0).breaker_open);
+  EXPECT_EQ(router.stats().breaker_opens, 2);
+  EXPECT_FALSE(router.Route("m0", 2500).ok());  // new open interval running
+}
+
+TEST(FnPackerBreakerTest, HalfOpenAdmitsConfiguredProbeBudget) {
+  FnPoolSpec spec = BreakerPoolOf({"m0"}, 1, /*threshold=*/1, /*probes=*/2);
+  spec.breaker_open_interval = 1000;
+  FnPackerRouter router(spec);
+
+  auto e = router.Route("m0", 0);
+  ASSERT_TRUE(e.ok());
+  router.OnFailure("m0", *e, 0);
+
+  // Two probes pass (distinct Route calls), the third is rejected while the
+  // probe outcomes are still pending.
+  EXPECT_TRUE(router.Route("m0", 2000).ok());
+  EXPECT_TRUE(router.Route("m0", 2001).ok());
+  EXPECT_FALSE(router.Route("m0", 2002).ok());
+}
+
 }  // namespace
 }  // namespace sesemi::fnpacker

@@ -560,5 +560,58 @@ TEST_F(ServerlessTest, RouterIntegrationFnPackerOverPlatform) {
   EXPECT_EQ(router.stats().routed, 1);
 }
 
+TEST_F(ServerlessTest, ShutdownResolvesBacklogWithTypedUnavailable) {
+  // Destroying the platform with a parked backlog used to execute the queued
+  // work during teardown; it must instead resolve every future with a typed
+  // Unavailable("shutting down") — and resolve ALL of them (a lost promise
+  // would hang the .get() below forever).
+  DeployAndAuthorize("predict");
+  platform_->PauseDispatch();
+
+  constexpr int kBacklog = 32;
+  std::vector<std::future<InvocationResult>> futures;
+  for (int i = 0; i < kBacklog; ++i) {
+    Bytes input = model::GenerateRandomInput(graph_, 1);
+    auto request = user_->BuildRequest("m0", input);
+    ASSERT_TRUE(request.ok());
+    futures.push_back(platform_->InvokeAsync("predict", std::move(*request)));
+  }
+
+  platform_.reset();  // dispatch still paused: nothing was executed
+
+  for (auto& f : futures) {
+    InvocationResult out = f.get();
+    EXPECT_EQ(out.response.status().code(), StatusCode::kUnavailable)
+        << out.response.status().ToString();
+    EXPECT_NE(out.response.status().message().find("shutting down"),
+              std::string::npos);
+  }
+}
+
+TEST_F(ServerlessTest, ExecutionDeadlineCutsExpiredRequestBeforeEnclaveEntry) {
+  // Under FIFO the scheduler does not shed on deadlines — enforcement happens
+  // at execution time: the dispatch-side ExecDeadline cuts the request before
+  // it ever acquires a container, with a typed DeadlineExceeded.
+  DeployAndAuthorize("predict");
+  platform_->PauseDispatch();
+
+  Bytes input = model::GenerateRandomInput(graph_, 1);
+  auto request = user_->BuildRequest("m0", input);
+  ASSERT_TRUE(request.ok());
+  InvokeOptions options;
+  options.deadline = clock_.Now() + 1000;
+  auto doomed = platform_->InvokeAsync("predict", std::move(*request), options);
+
+  clock_.Advance(SecondsToMicros(5));  // deadline long gone before resume
+  platform_->ResumeDispatch();
+
+  InvocationResult out = doomed.get();
+  EXPECT_EQ(out.response.status().code(), StatusCode::kDeadlineExceeded)
+      << out.response.status().ToString();
+  EXPECT_EQ(platform_->stats().invocations, 0);  // never reached an enclave
+  EXPECT_EQ(platform_->stats().deadline_cuts, 1u);
+  EXPECT_EQ(platform_->recovery_stats().deadline_cuts, 1u);
+}
+
 }  // namespace
 }  // namespace sesemi::serverless
