@@ -1,17 +1,19 @@
 #!/usr/bin/env python3
 """Fold per-commit BENCH_*.json artifacts into one trajectory JSON.
 
-CI uploads two artifacts per commit (docs/BENCHMARKS.md):
+CI uploads three artifacts per commit (docs/BENCHMARKS.md):
 
-  BENCH_micro.json  google-benchmark JSON (bytes_per_second / FLOPS counters)
-  BENCH_sched.json  one JSON object per line, each with a "section" key
+  BENCH_micro.json    google-benchmark JSON (bytes_per_second / FLOPS counters)
+  BENCH_sched.json    one JSON object per line, each with a "section" key
+  BENCH_cluster.json  same JSON-lines shape, from the cluster dataplane bench
 
 Point this script at one or more of those files — or at directories holding
 them, e.g. one subdirectory per commit from `gh run download` — and it emits
 a single trajectory document on stdout (or --out):
 
   {"points": [{"label": "<commit>", "metrics": {"BM_GcmSeal/65536": 1.4e9, ...},
-               "sched": {"fairness": {...}, ...}}, ...]}
+               "sched": {"fairness": {...}, ...},
+               "cluster": {"replay": {...}, ...}}, ...]}
 
 Labels default to the parent directory name of each file (the commit, when
 the artifact tree is one directory per commit); files sharing a label merge
@@ -96,11 +98,15 @@ def main():
             print(f"aggregate_bench: no such file: {path}", file=sys.stderr)
             return 1
         label = args.label or os.path.basename(os.path.dirname(os.path.abspath(path)))
-        point = points.setdefault(label, {"label": label, "metrics": {}, "sched": {}})
+        point = points.setdefault(
+            label, {"label": label, "metrics": {}, "sched": {}, "cluster": {}})
         mtime = os.path.getmtime(path)
         mtimes[label] = min(mtimes.get(label, mtime), mtime)
-        if os.path.basename(path) == "BENCH_sched.json":
+        base = os.path.basename(path)
+        if base == "BENCH_sched.json":
             load_sched(path, point["sched"])
+        elif base == "BENCH_cluster.json":
+            load_sched(path, point["cluster"])
         else:
             load_micro(path, point["metrics"])
 

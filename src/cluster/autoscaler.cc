@@ -1,0 +1,48 @@
+#include "cluster/autoscaler.h"
+
+namespace sesemi::cluster {
+
+const char* ToString(ScaleDecision decision) {
+  switch (decision) {
+    case ScaleDecision::kHold: return "hold";
+    case ScaleDecision::kUp: return "up";
+    case ScaleDecision::kDown: return "down";
+  }
+  return "?";
+}
+
+ScaleDecision Autoscaler::Tick(const std::vector<NodeLoadSample>& active) {
+  stats_.ticks++;
+  if (!config_.enabled || active.empty()) return ScaleDecision::kHold;
+  if (cooldown_remaining_ > 0) {
+    cooldown_remaining_--;
+    stats_.cooldown_holds++;
+    return ScaleDecision::kHold;
+  }
+
+  uint64_t backlog = 0;
+  bool degraded = false;
+  for (const NodeLoadSample& sample : active) {
+    backlog += sample.queue_depth;
+    degraded |= sample.enclave_failures_delta >= config_.degraded_failures_per_tick;
+  }
+  const double per_node =
+      static_cast<double>(backlog) / static_cast<double>(active.size());
+  const int n = static_cast<int>(active.size());
+
+  if (per_node > config_.scale_up_backlog_per_node &&
+      (config_.max_nodes <= 0 || n < config_.max_nodes)) {
+    stats_.ups++;
+    cooldown_remaining_ = config_.cooldown_ticks;
+    return ScaleDecision::kUp;
+  }
+  if (per_node < config_.scale_down_backlog_per_node && !degraded &&
+      n > config_.min_nodes) {
+    stats_.downs++;
+    cooldown_remaining_ = config_.cooldown_ticks;
+    return ScaleDecision::kDown;
+  }
+  return ScaleDecision::kHold;
+}
+
+}  // namespace sesemi::cluster

@@ -1,0 +1,295 @@
+#include "cluster/cluster.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/faultpoint.h"
+
+namespace sesemi::cluster {
+
+using serverless::InvocationResult;
+
+std::string NodeDispatchFaultPoint(int node) {
+  return "cluster.node." + std::to_string(node) + ".dispatch";
+}
+
+ClusterDataplane::ClusterDataplane(const ClusterConfig& config,
+                                   sgx::AttestationAuthority* authority,
+                                   storage::ObjectStore* storage,
+                                   keyservice::KeyServiceServer* keyservice,
+                                   Clock* clock)
+    : config_(config),
+      ring_(config.ring),
+      autoscaler_(config.autoscale) {
+  if (clock == nullptr) {
+    owned_clock_ = std::make_unique<RealClock>();
+    clock_ = owned_clock_.get();
+  } else {
+    clock_ = clock;
+  }
+  const int initial = std::max(config_.initial_nodes, 1);
+  const int total = initial + std::max(config_.standby_nodes, 0);
+  serverless::PlatformConfig node_config = config_.node;
+  node_config.num_nodes = 1;  // one invoker per cluster node
+  nodes_.reserve(static_cast<size_t>(total));
+  for (int i = 0; i < total; ++i) {
+    auto state = std::make_unique<NodeState>(i);
+    state->platform = std::make_unique<serverless::ServerlessPlatform>(
+        node_config, authority, storage, keyservice, clock);
+    if (i < initial) {
+      state->active.store(true, std::memory_order_release);
+      ring_.AddNode(i);
+    }
+    nodes_.push_back(std::move(state));
+  }
+}
+
+ClusterDataplane::~ClusterDataplane() = default;
+
+Status ClusterDataplane::DeployFunction(const serverless::FunctionSpec& spec) {
+  for (auto& node : nodes_) {
+    Status status = node->platform->DeployFunction(spec);
+    if (!status.ok()) return status;
+  }
+  return Status::OK();
+}
+
+int ClusterDataplane::active_nodes() const {
+  int n = 0;
+  for (const auto& node : nodes_) {
+    n += node->active.load(std::memory_order_acquire);
+  }
+  return n;
+}
+
+Status ClusterDataplane::ProbeNode(NodeState* node) {
+  if (!FaultInjector::AnyArmed()) return Status::OK();
+  return FaultInjector::Instance().Evaluate(node->fault_point);
+}
+
+std::future<InvocationResult> ClusterDataplane::InvokeAsync(
+    const std::string& function, semirt::InferenceRequest request,
+    const serverless::InvokeOptions& options) {
+  const std::string key = function + "|" + request.model_id;
+
+  // Snapshot placement under the shared ring lock: clockwise preference
+  // order plus the bounded-load pick over current scheduler backlogs.
+  std::vector<int> preference;
+  int bounded = -1;
+  {
+    std::shared_lock<std::shared_mutex> lock(ring_mutex_);
+    preference = ring_.Preference(key, total_nodes());
+    if (!preference.empty()) {
+      uint64_t total_backlog = 0;
+      for (int node : ring_.nodes()) {
+        total_backlog += nodes_[static_cast<size_t>(node)]->platform->queue_depth();
+      }
+      bounded = ring_.PickBounded(
+          key,
+          [this](int node) {
+            return static_cast<uint64_t>(
+                nodes_[static_cast<size_t>(node)]->platform->queue_depth());
+          },
+          total_backlog);
+    }
+  }
+  if (preference.empty()) {
+    no_capacity_.fetch_add(1, std::memory_order_relaxed);
+    std::promise<InvocationResult> promise;
+    InvocationResult result;
+    result.response = Status::Unavailable("cluster: no active node");
+    promise.set_value(std::move(result));
+    return promise.get_future();
+  }
+
+  const int home = preference.front();
+  int first = bounded >= 0 ? bounded : home;
+
+  // Warm-slot stealing: a queued dispatch on a node that already has a live
+  // container beats a cold start on a container-less home. Scan in ring
+  // preference order so the steal target is deterministic.
+  bool stolen = false;
+  const TimeMicros now = clock_->Now();
+  if (config_.enable_stealing &&
+      nodes_[static_cast<size_t>(first)]->platform->ContainerCount(function) == 0) {
+    for (int candidate : preference) {
+      if (candidate == first) continue;
+      NodeState* state = nodes_[static_cast<size_t>(candidate)].get();
+      if (!state->active.load(std::memory_order_acquire)) continue;
+      if (!Healthy(*state, now)) continue;
+      if (state->platform->ContainerCount(function) > 0) {
+        first = candidate;
+        stolen = true;
+        break;
+      }
+    }
+  }
+
+  // Attempt order: chosen target first, then the remaining preference order,
+  // capped at reroute_attempts.
+  std::vector<int> attempts;
+  attempts.reserve(preference.size());
+  attempts.push_back(first);
+  for (int candidate : preference) {
+    if (candidate != first) attempts.push_back(candidate);
+  }
+  const size_t max_attempts =
+      std::max<size_t>(1, static_cast<size_t>(config_.reroute_attempts));
+  if (attempts.size() > max_attempts) attempts.resize(max_attempts);
+
+  // Pass 1 honors health cooldowns; pass 2 ignores them so a fully-ejected
+  // cluster still probes for recovery instead of going dark.
+  for (int pass = 0; pass < 2; ++pass) {
+    for (size_t i = 0; i < attempts.size(); ++i) {
+      NodeState* state = nodes_[static_cast<size_t>(attempts[i])].get();
+      if (!state->active.load(std::memory_order_acquire)) continue;
+      if (pass == 0 && !Healthy(*state, now)) {
+        reroutes_.fetch_add(1, std::memory_order_relaxed);
+        continue;
+      }
+      Status probe = ProbeNode(state);
+      if (!probe.ok()) {
+        state->unhealthy_until.store(now + config_.health_cooldown,
+                                     std::memory_order_release);
+        reroutes_.fetch_add(1, std::memory_order_relaxed);
+        continue;
+      }
+      state->routed.fetch_add(1, std::memory_order_relaxed);
+      if (stolen && state->id == first) {
+        state->steal_wins.fetch_add(1, std::memory_order_relaxed);
+        steals_.fetch_add(1, std::memory_order_relaxed);
+      }
+      if (state->id == home) home_hits_.fetch_add(1, std::memory_order_relaxed);
+      invocations_.fetch_add(1, std::memory_order_relaxed);
+      return state->platform->InvokeAsync(function, std::move(request), options);
+    }
+    if (pass == 0) {
+      // Only retry unhealthy-skipped nodes; probe failures already burned
+      // their attempt this pass but may pass next pass (probabilistic
+      // faults) — the loop re-probes them.
+      continue;
+    }
+  }
+
+  no_capacity_.fetch_add(1, std::memory_order_relaxed);
+  std::promise<InvocationResult> promise;
+  InvocationResult result;
+  result.response =
+      Status::Unavailable("cluster: no healthy node for " + function);
+  promise.set_value(std::move(result));
+  return promise.get_future();
+}
+
+Status ClusterDataplane::ActivateNode(int node) {
+  if (node < 0 || node >= total_nodes()) {
+    return Status::InvalidArgument("no such node");
+  }
+  NodeState* state = nodes_[static_cast<size_t>(node)].get();
+  std::unique_lock<std::shared_mutex> lock(ring_mutex_);
+  if (state->active.load(std::memory_order_acquire)) {
+    return Status::FailedPrecondition("node already active");
+  }
+  state->active.store(true, std::memory_order_release);
+  state->unhealthy_until.store(0, std::memory_order_release);
+  ring_.AddNode(node);
+  return Status::OK();
+}
+
+Status ClusterDataplane::DeactivateNode(int node) {
+  if (node < 0 || node >= total_nodes()) {
+    return Status::InvalidArgument("no such node");
+  }
+  NodeState* state = nodes_[static_cast<size_t>(node)].get();
+  std::unique_lock<std::shared_mutex> lock(ring_mutex_);
+  if (!state->active.load(std::memory_order_acquire)) {
+    return Status::FailedPrecondition("node not active");
+  }
+  if (ring_.size() <= 1) {
+    return Status::FailedPrecondition("cannot deactivate the last node");
+  }
+  state->active.store(false, std::memory_order_release);
+  ring_.RemoveNode(node);
+  return Status::OK();
+}
+
+int ClusterDataplane::AutoscaleTick() {
+  std::lock_guard<std::mutex> lock(autoscale_mutex_);
+  std::vector<NodeLoadSample> samples;
+  samples.reserve(nodes_.size());
+  for (auto& node : nodes_) {
+    if (!node->active.load(std::memory_order_acquire)) continue;
+    const sched::SchedStats sched_stats = node->platform->scheduler_stats();
+    const serverless::RecoveryStats recovery = node->platform->recovery_stats();
+    NodeLoadSample sample;
+    sample.node = node->id;
+    sample.queue_depth = sched_stats.queue_depth;
+    sample.dispatched_delta = sched_stats.dispatched - node->last_dispatched;
+    sample.enclave_failures_delta =
+        recovery.enclave_failures - node->last_enclave_failures;
+    node->last_dispatched = sched_stats.dispatched;
+    node->last_enclave_failures = recovery.enclave_failures;
+    samples.push_back(sample);
+  }
+
+  switch (autoscaler_.Tick(samples)) {
+    case ScaleDecision::kHold:
+      return 0;
+    case ScaleDecision::kUp: {
+      for (auto& node : nodes_) {
+        if (!node->active.load(std::memory_order_acquire)) {
+          if (ActivateNode(node->id).ok()) {
+            scale_ups_.fetch_add(1, std::memory_order_relaxed);
+            return +1;
+          }
+        }
+      }
+      return 0;  // no standby capacity left
+    }
+    case ScaleDecision::kDown: {
+      // Drain the emptiest active node (ties: highest id, so node 0 — the
+      // one every min_nodes=1 cluster keeps — drains last).
+      int victim = -1;
+      uint64_t victim_depth = 0;
+      for (const NodeLoadSample& sample : samples) {
+        if (victim < 0 || sample.queue_depth < victim_depth ||
+            (sample.queue_depth == victim_depth && sample.node > victim)) {
+          victim = sample.node;
+          victim_depth = sample.queue_depth;
+        }
+      }
+      if (victim >= 0 && DeactivateNode(victim).ok()) {
+        scale_downs_.fetch_add(1, std::memory_order_relaxed);
+        return -1;
+      }
+      return 0;
+    }
+  }
+  return 0;
+}
+
+ClusterStats ClusterDataplane::stats() const {
+  ClusterStats stats;
+  stats.invocations = invocations_.load(std::memory_order_relaxed);
+  stats.home_hits = home_hits_.load(std::memory_order_relaxed);
+  stats.steals = steals_.load(std::memory_order_relaxed);
+  stats.reroutes = reroutes_.load(std::memory_order_relaxed);
+  stats.no_capacity = no_capacity_.load(std::memory_order_relaxed);
+  stats.scale_ups = scale_ups_.load(std::memory_order_relaxed);
+  stats.scale_downs = scale_downs_.load(std::memory_order_relaxed);
+  const TimeMicros now = clock_->Now();
+  stats.nodes.reserve(nodes_.size());
+  for (const auto& node : nodes_) {
+    ClusterNodeStats ns;
+    ns.node = node->id;
+    ns.active = node->active.load(std::memory_order_acquire);
+    ns.healthy = Healthy(*node, now);
+    ns.routed = node->routed.load(std::memory_order_relaxed);
+    ns.steal_wins = node->steal_wins.load(std::memory_order_relaxed);
+    ns.queue_depth = node->platform->queue_depth();
+    ns.containers = node->platform->ContainerCount();
+    stats.nodes.push_back(ns);
+  }
+  return stats;
+}
+
+}  // namespace sesemi::cluster

@@ -1,0 +1,178 @@
+#ifndef SESEMI_CLUSTER_CLUSTER_H_
+#define SESEMI_CLUSTER_CLUSTER_H_
+
+#include <atomic>
+#include <future>
+#include <memory>
+#include <shared_mutex>
+#include <string>
+#include <vector>
+
+#include "cluster/autoscaler.h"
+#include "cluster/hash_ring.h"
+#include "common/clock.h"
+#include "serverless/platform.h"
+
+namespace sesemi::cluster {
+
+/// Cluster-level configuration. Each node is one single-invoker
+/// ServerlessPlatform built from the `node` template (its own scheduler,
+/// admission limits, warm pool, and recovery state), so per-node admission
+/// and per-node backpressure come from the existing sched/ stack unchanged.
+struct ClusterConfig {
+  /// Nodes active (in the ring) at construction.
+  int initial_nodes = 4;
+  /// Extra pre-built nodes the autoscaler can activate. Standby nodes get
+  /// every DeployFunction so activation is instant (no redeploy).
+  int standby_nodes = 0;
+  /// Per-node platform template; num_nodes is forced to 1.
+  serverless::PlatformConfig node;
+  HashRingConfig ring;
+  AutoscaleConfig autoscale;
+  /// Cross-node warm-slot stealing: when the routed node has no live
+  /// container for the function but another active node does, route there
+  /// instead of paying a cold start.
+  bool enable_stealing = true;
+  /// Nodes tried per request (home + fallbacks in ring preference order)
+  /// before the request resolves with typed Unavailable.
+  int reroute_attempts = 3;
+  /// How long a node stays ejected from routing after a dispatch failure.
+  TimeMicros health_cooldown = SecondsToMicros(0.05);
+};
+
+/// Per-node routing counters (platform-internal counters are available via
+/// ClusterDataplane::node()->stats()).
+struct ClusterNodeStats {
+  int node = 0;
+  bool active = false;
+  bool healthy = true;
+  uint64_t routed = 0;       ///< requests dispatched to this node
+  uint64_t steal_wins = 0;   ///< requests stolen *to* this node's warm pool
+  size_t queue_depth = 0;    ///< node scheduler backlog at snapshot time
+  int containers = 0;        ///< live containers at snapshot time
+};
+
+/// Cluster-wide counters.
+struct ClusterStats {
+  uint64_t invocations = 0;  ///< InvokeAsync calls routed somewhere
+  uint64_t home_hits = 0;    ///< dispatched to the clockwise home node
+  uint64_t steals = 0;       ///< warm-slot steals (home had no container)
+  uint64_t reroutes = 0;     ///< dispatch moved past a failed/unhealthy node
+  uint64_t no_capacity = 0;  ///< requests resolved Unavailable (no node left)
+  uint64_t scale_ups = 0;
+  uint64_t scale_downs = 0;
+  std::vector<ClusterNodeStats> nodes;
+};
+
+/// Name of the per-node dispatch fault point ("cluster.node.<i>.dispatch").
+/// Chaos tests arm it to kill one node's dataplane entry while the rest of
+/// the cluster stays healthy; the router treats a fire exactly like a dead
+/// node (eject + reroute).
+std::string NodeDispatchFaultPoint(int node);
+
+/// An in-process multi-node dataplane: N single-invoker ServerlessPlatform
+/// shards behind a consistent-hash router. This is the real-execution
+/// counterpart of sim::ClusterSim — the differential harness
+/// (tests/cluster_sim_parity_test.cc) replays one seeded trace through both
+/// and checks the sim's cost model against measured behaviour.
+///
+/// Routing, per request:
+///  1. placement key = "function|model" hashed onto the ring
+///     (bounded-load variant: a node whose scheduler backlog exceeds
+///     load_factor x the cluster mean is skipped clockwise);
+///  2. warm-slot stealing: if the routed node has no live container for the
+///     function and another active node does, the request is stolen to the
+///     warm node — a queued dispatch there beats a cold start at home;
+///  3. health: a node whose dispatch probe fails is ejected for
+///     health_cooldown and the request reroutes along the ring preference
+///     order; when every attempt fails the future resolves with typed
+///     Unavailable (never an exception, never a hang).
+///
+/// \threadsafety All public methods are safe to call concurrently.
+/// AutoscaleTick serializes on its own mutex; membership reads on the
+/// invocation path take a shared lock.
+class ClusterDataplane {
+ public:
+  ClusterDataplane(const ClusterConfig& config,
+                   sgx::AttestationAuthority* authority,
+                   storage::ObjectStore* storage,
+                   keyservice::KeyServiceServer* keyservice,
+                   Clock* clock = nullptr);
+  ~ClusterDataplane();
+
+  /// Deploy `spec` on every node (active and standby). Fails on duplicates.
+  Status DeployFunction(const serverless::FunctionSpec& spec);
+
+  /// Route one request through the cluster (see class comment for the
+  /// policy). The returned future is always satisfied.
+  std::future<serverless::InvocationResult> InvokeAsync(
+      const std::string& function, semirt::InferenceRequest request,
+      const serverless::InvokeOptions& options = {});
+
+  /// Evaluate the autoscaling policy over the active nodes'
+  /// scheduler_stats()/recovery_stats() and apply the decision: kUp
+  /// activates the lowest-numbered standby node, kDown drains the
+  /// emptiest active node (it leaves the ring but finishes queued work).
+  /// Returns the change in active node count (-1, 0, +1).
+  int AutoscaleTick();
+
+  int active_nodes() const;
+  int total_nodes() const { return static_cast<int>(nodes_.size()); }
+  /// Direct access to node `i`'s platform (tests, benches).
+  serverless::ServerlessPlatform* node(int i) { return nodes_.at(i)->platform.get(); }
+
+  ClusterStats stats() const;
+  const Autoscaler& autoscaler() const { return autoscaler_; }
+
+  /// Membership surgery for tests (AutoscaleTick uses the same paths).
+  /// Activate/deactivate keep the platform alive; only ring membership and
+  /// routing eligibility change.
+  Status ActivateNode(int node);
+  Status DeactivateNode(int node);
+
+ private:
+  struct NodeState {
+    explicit NodeState(int id) : id(id), fault_point(NodeDispatchFaultPoint(id)) {}
+    const int id;
+    const std::string fault_point;
+    std::unique_ptr<serverless::ServerlessPlatform> platform;
+    std::atomic<bool> active{false};
+    std::atomic<TimeMicros> unhealthy_until{0};
+    std::atomic<uint64_t> routed{0};
+    std::atomic<uint64_t> steal_wins{0};
+    // Previous-tick counters for the autoscaler's deltas.
+    uint64_t last_dispatched = 0;        ///< guarded by autoscale_mutex_
+    uint64_t last_enclave_failures = 0;  ///< guarded by autoscale_mutex_
+  };
+
+  bool Healthy(const NodeState& node, TimeMicros now) const {
+    return now >= node.unhealthy_until.load(std::memory_order_acquire);
+  }
+
+  /// Dispatch-time node probe: OK, or the injected per-node fault.
+  Status ProbeNode(NodeState* node);
+
+  ClusterConfig config_;
+  std::unique_ptr<Clock> owned_clock_;
+  Clock* clock_;
+
+  std::vector<std::unique_ptr<NodeState>> nodes_;
+
+  mutable std::shared_mutex ring_mutex_;
+  HashRing ring_;  ///< guarded by ring_mutex_ (reads shared)
+
+  std::mutex autoscale_mutex_;
+  Autoscaler autoscaler_;  ///< guarded by autoscale_mutex_
+
+  std::atomic<uint64_t> invocations_{0};
+  std::atomic<uint64_t> home_hits_{0};
+  std::atomic<uint64_t> steals_{0};
+  std::atomic<uint64_t> reroutes_{0};
+  std::atomic<uint64_t> no_capacity_{0};
+  std::atomic<uint64_t> scale_ups_{0};
+  std::atomic<uint64_t> scale_downs_{0};
+};
+
+}  // namespace sesemi::cluster
+
+#endif  // SESEMI_CLUSTER_CLUSTER_H_

@@ -1,0 +1,125 @@
+#include "cluster/hash_ring.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace sesemi::cluster {
+
+namespace {
+
+inline uint64_t SplitMix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// FNV-1a over the bytes, finalized through splitmix64 with the seed folded
+/// in. Stable across platforms (unlike std::hash) so ring layouts are
+/// reproducible everywhere the tests run.
+uint64_t HashBytes(uint64_t seed, std::string_view bytes) {
+  uint64_t h = 0xcbf29ce484222325ULL ^ seed;
+  for (unsigned char c : bytes) {
+    h ^= c;
+    h *= 0x100000001b3ULL;
+  }
+  return SplitMix64(h);
+}
+
+}  // namespace
+
+HashRing::HashRing(const HashRingConfig& config) : config_(config) {
+  if (config_.vnodes < 1) config_.vnodes = 1;
+}
+
+uint64_t HashRing::KeyHash(std::string_view key) const {
+  return HashBytes(config_.seed, key);
+}
+
+void HashRing::AddNode(int node) {
+  if (Contains(node)) return;
+  nodes_.insert(std::lower_bound(nodes_.begin(), nodes_.end(), node), node);
+  ring_.reserve(ring_.size() + static_cast<size_t>(config_.vnodes));
+  for (int r = 0; r < config_.vnodes; ++r) {
+    uint64_t position = SplitMix64(
+        config_.seed ^ SplitMix64(static_cast<uint64_t>(node) * 0x9e3779b1ULL +
+                                  static_cast<uint64_t>(r)));
+    ring_.push_back({position, node});
+  }
+  std::sort(ring_.begin(), ring_.end());
+}
+
+void HashRing::RemoveNode(int node) {
+  nodes_.erase(std::remove(nodes_.begin(), nodes_.end(), node), nodes_.end());
+  ring_.erase(std::remove_if(ring_.begin(), ring_.end(),
+                             [node](const Vnode& v) { return v.node == node; }),
+              ring_.end());
+}
+
+bool HashRing::Contains(int node) const {
+  return std::binary_search(nodes_.begin(), nodes_.end(), node);
+}
+
+size_t HashRing::LowerBound(uint64_t position) const {
+  size_t lo = 0, hi = ring_.size();
+  while (lo < hi) {
+    size_t mid = (lo + hi) / 2;
+    if (ring_[mid].position < position) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo == ring_.size() ? 0 : lo;  // wrap
+}
+
+int HashRing::Pick(std::string_view key) const {
+  if (ring_.empty()) return -1;
+  return ring_[LowerBound(KeyHash(key))].node;
+}
+
+int HashRing::PickBounded(std::string_view key,
+                          const std::function<uint64_t(int)>& load,
+                          uint64_t total_load) const {
+  if (ring_.empty()) return -1;
+  if (config_.load_factor <= 1.0 || nodes_.size() <= 1) return Pick(key);
+  const double mean = static_cast<double>(total_load + 1) /
+                      static_cast<double>(nodes_.size());
+  const uint64_t bound =
+      static_cast<uint64_t>(std::ceil(config_.load_factor * mean));
+  const size_t start = LowerBound(KeyHash(key));
+  const int home = ring_[start].node;
+  // Clockwise walk over distinct nodes; the first under-bound node wins.
+  std::vector<int> visited;
+  visited.reserve(nodes_.size());
+  for (size_t i = start, steps = 0;
+       steps < ring_.size() && visited.size() < nodes_.size();
+       i = (i + 1) % ring_.size(), ++steps) {
+    int node = ring_[i].node;
+    if (std::find(visited.begin(), visited.end(), node) != visited.end()) {
+      continue;
+    }
+    visited.push_back(node);
+    if (load(node) < bound) return node;
+  }
+  return home;  // everyone saturated: work-conserving fallback
+}
+
+std::vector<int> HashRing::Preference(std::string_view key, int count) const {
+  std::vector<int> order;
+  if (ring_.empty() || count <= 0) return order;
+  order.reserve(std::min<size_t>(static_cast<size_t>(count), nodes_.size()));
+  const size_t start = LowerBound(KeyHash(key));
+  for (size_t i = start, steps = 0;
+       steps < ring_.size() && order.size() < static_cast<size_t>(count) &&
+       order.size() < nodes_.size();
+       i = (i + 1) % ring_.size(), ++steps) {
+    int node = ring_[i].node;
+    if (std::find(order.begin(), order.end(), node) == order.end()) {
+      order.push_back(node);
+    }
+  }
+  return order;
+}
+
+}  // namespace sesemi::cluster

@@ -1,0 +1,94 @@
+#ifndef SESEMI_CLUSTER_HASH_RING_H_
+#define SESEMI_CLUSTER_HASH_RING_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sesemi::cluster {
+
+/// Ring construction parameters.
+struct HashRingConfig {
+  /// Virtual nodes per physical node. More vnodes = smoother key spread and
+  /// smaller churn variance on membership changes, at O(vnodes * nodes)
+  /// ring size.
+  int vnodes = 96;
+  /// Seed mixed into every ring-position hash. The ring layout (and therefore
+  /// every placement decision) is a pure function of (seed, membership), so a
+  /// fixed seed makes cluster placement reproducible run-to-run.
+  uint64_t seed = 0x5e5e313ULL;
+  /// Bounded-load factor c: PickBounded skips a node whose load exceeds
+  /// ceil(c * total_load / nodes) and walks clockwise to the next. c <= 1
+  /// disables the bound (plain consistent hashing).
+  double load_factor = 1.25;
+};
+
+/// Consistent-hash ring with the bounded-load variant of clockwise placement
+/// (Mirrokni et al.: "consistent hashing with bounded loads"). Keys map to
+/// the first virtual node clockwise of their hash; membership changes move
+/// only the keys that mapped to the affected arcs, so adding or removing one
+/// node remaps ~1/n of the key space instead of reshuffling everything.
+///
+/// Deterministic: placement is a pure function of (config.seed, membership,
+/// key, loads). No RNG, no wall clock.
+///
+/// \threadsafety Const methods are safe concurrently; membership mutation
+/// (AddNode/RemoveNode) requires external serialization against readers —
+/// the dataplane holds its ring behind a shared_mutex.
+class HashRing {
+ public:
+  explicit HashRing(const HashRingConfig& config = {});
+
+  /// Insert `node` (idempotent). Ring positions derive from
+  /// hash(seed, node, replica).
+  void AddNode(int node);
+  /// Remove `node` (idempotent). Only keys that mapped to `node` change
+  /// placement.
+  void RemoveNode(int node);
+  bool Contains(int node) const;
+
+  /// First node clockwise of hash(key); -1 on an empty ring.
+  int Pick(std::string_view key) const;
+
+  /// Bounded-load pick: walk clockwise from hash(key), skipping nodes whose
+  /// `load(node)` already exceeds ceil(load_factor * (total_load + 1) /
+  /// nodes) — the +1 counts the request being placed. Falls back to the
+  /// unbounded home if every node is saturated (work-conserving), so it
+  /// never fails on a non-empty ring.
+  int PickBounded(std::string_view key,
+                  const std::function<uint64_t(int)>& load,
+                  uint64_t total_load) const;
+
+  /// Distinct nodes in clockwise preference order starting at hash(key),
+  /// at most `count` entries: the home first, then the reroute/steal
+  /// fallback order.
+  std::vector<int> Preference(std::string_view key, int count) const;
+
+  size_t size() const { return nodes_.size(); }
+  const std::vector<int>& nodes() const { return nodes_; }
+
+  /// The stable 64-bit key hash the ring uses (exposed for tests).
+  uint64_t KeyHash(std::string_view key) const;
+
+ private:
+  struct Vnode {
+    uint64_t position;
+    int node;
+    bool operator<(const Vnode& other) const {
+      return position != other.position ? position < other.position
+                                        : node < other.node;
+    }
+  };
+
+  size_t LowerBound(uint64_t position) const;
+
+  HashRingConfig config_;
+  std::vector<Vnode> ring_;  ///< sorted by position
+  std::vector<int> nodes_;   ///< sorted member list
+};
+
+}  // namespace sesemi::cluster
+
+#endif  // SESEMI_CLUSTER_HASH_RING_H_

@@ -172,6 +172,12 @@ class ServerlessPlatform {
   /// per-class queue-wait percentiles, per-function service counts.
   sched::SchedStats scheduler_stats() const { return scheduler_.stats(); }
 
+  /// Requests currently queued in this platform's scheduler. One atomic
+  /// read — cheap enough for the cluster router's bounded-load placement to
+  /// poll on every invocation (scheduler_stats() is the heavyweight
+  /// snapshot).
+  size_t queue_depth() const { return scheduler_.TotalDepth(); }
+
   /// Gate the dispatcher tasks (benchmarks/tests): while paused, InvokeAsync
   /// submissions accumulate in the scheduler; Resume releases them in policy
   /// order. The destructor resumes automatically so queued work drains.

@@ -97,6 +97,40 @@ CostModel CostModel::PaperSgx1() {
   return m;
 }
 
+CostModel CostModel::Calibrated(const CalibrationProfile& c) {
+  CostModel m;
+  m.generation_ = sgx::SgxGeneration::kSgx2;
+  m.epc_bytes_ = c.epc_bytes;
+  m.cores_per_node_ = c.cores_per_node;
+  m.sandbox_init_s_ = c.sandbox_init_s;
+  m.platform_overhead_s_ = c.platform_overhead_s;
+  m.warm_key_fetch_s_ = c.warm_key_fetch_s;
+  // Size-independent enclave launch: the measured launch cost is whatever the
+  // live run paid, and the measured stages already include any contention.
+  m.enclave_init_base_s_ = c.enclave_init_s;
+  m.enclave_init_rate_s_per_gb_ = 0;
+  m.attestation_base_s_ = 0;
+  m.attestation_per_concurrent_s_ = 0;
+  for (int f = 0; f < 2; ++f) {
+    for (int a = 0; a < 3; ++a) {
+      ModelProfile& p = m.profiles_[f][a];
+      p.enclave_init_s = c.enclave_init_s;
+      p.key_fetch_s = c.key_fetch_s;
+      p.model_load_s = c.model_load_s;
+      p.runtime_init_s = c.runtime_init_s;
+      p.execute_s = c.execute_s;
+      p.plain_model_load_s = c.model_load_s;
+      p.plain_runtime_init_s = c.runtime_init_s;
+      p.plain_execute_s = c.execute_s;
+      p.model_bytes = c.model_bytes;
+      p.buffer_bytes = c.buffer_bytes;
+      p.enclave_bytes = c.enclave_bytes;
+      p.paging_sensitivity = 0;
+    }
+  }
+  return m;
+}
+
 const ModelProfile& CostModel::profile(inference::FrameworkKind framework,
                                        model::Architecture arch) const {
   return profiles_[FrameworkIndex(framework)][ArchIndex(arch)];

@@ -36,6 +36,27 @@ struct ModelProfile {
   double paging_sensitivity = 2.0;
 };
 
+/// Measured per-stage costs for CostModel::Calibrated. The differential
+/// sim-vs-real harness (cluster/replay.h, tests/cluster_sim_parity_test.cc)
+/// fills this from a live replay's StageTimings so the simulator predicts
+/// the *measured* dataplane instead of the paper testbed — closing the loop
+/// the paper only simulates.
+struct CalibrationProfile {
+  double execute_s = 0;       ///< hot-path execute mean
+  double key_fetch_s = 0;     ///< cold key fetch (attestation + provisioning)
+  double model_load_s = 0;    ///< cold model fetch + decrypt + compile
+  double runtime_init_s = 0;  ///< cold runtime init
+  double enclave_init_s = 0;  ///< enclave-launch share of a cold start
+  double sandbox_init_s = 0;
+  double platform_overhead_s = 0;
+  double warm_key_fetch_s = 0;
+  uint64_t model_bytes = 1ull << 20;
+  uint64_t buffer_bytes = 1ull << 20;
+  uint64_t enclave_bytes = 64ull << 20;
+  int cores_per_node = 12;
+  uint64_t epc_bytes = 64ull << 30;
+};
+
 /// Cluster-wide latency/memory model for the discrete-event simulator. All
 /// scaling laws are calibrated against the paper's appendix measurements and
 /// documented inline.
@@ -45,6 +66,13 @@ class CostModel {
   static CostModel PaperSgx2();
   /// SGX1 testbed (Xeon W-1290P, 128 MB EPC, EPID attestation via IAS).
   static CostModel PaperSgx1();
+  /// A model whose every (framework, arch) profile carries the *measured*
+  /// stage costs in `calibration` — used by the differential harness to ask
+  /// "does the simulator's composition of these stages reproduce the
+  /// measured end-to-end behaviour?". Attestation-contention surcharges and
+  /// EPC paging are disabled (the measured stages already include whatever
+  /// contention the live run saw).
+  static CostModel Calibrated(const CalibrationProfile& calibration);
 
   const ModelProfile& profile(inference::FrameworkKind framework,
                               model::Architecture arch) const;

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "client/clients.h"
+#include "cluster/cluster.h"
 #include "common/faultpoint.h"
 #include "model/zoo.h"
 #include "serverless/platform.h"
@@ -238,6 +239,142 @@ TEST_F(ChaosTest, IdempotentStageFaultIsRetriedTransparently) {
   EXPECT_TRUE(r.ok()) << r.status().ToString();
   EXPECT_EQ(platform_->recovery_stats().retries, 1u);
   EXPECT_EQ(platform_->recovery_stats().enclave_failures, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Cluster chaos: one node dies mid-replay while low-rate enclave poisoning
+// runs cluster-wide. The router must reroute around the dead node (typed
+// outcomes only, every future resolved), and after the faults disarm the
+// cluster must return to steady state *including* home routing to the
+// revived node.
+// ---------------------------------------------------------------------------
+
+class ClusterChaosTest : public ChaosTest {
+ protected:
+  void SetUp() override {
+    ChaosTest::SetUp();
+    cluster::ClusterConfig config;
+    config.initial_nodes = 3;
+    // Short health cooldown so the post-chaos settle loop re-probes the
+    // revived node quickly; per-node recovery uses the same tight backoffs
+    // as the single-platform soak.
+    config.health_cooldown = SecondsToMicros(0.002);
+    config.node.recovery.retry.max_attempts = 3;
+    config.node.recovery.retry.backoff_base_micros = 50;
+    config.node.recovery.retry.backoff_max_micros = 500;
+    config.node.recovery.relaunch_max_attempts = 1000;
+    config.node.recovery.relaunch_backoff_base_micros = 100;
+    config.node.recovery.relaunch_backoff_max_micros = 1000;
+    cluster_ = std::make_unique<cluster::ClusterDataplane>(
+        config, &authority_, &storage_, keyservice_.get());
+    FunctionSpec fn;
+    fn.name = "predict";
+    ASSERT_TRUE(cluster_->DeployFunction(fn).ok());
+    // Model grants/keys were provisioned by the base fixture.
+  }
+
+  Result<Bytes> ClusterInvoke() {
+    InvocationResult out =
+        cluster_->InvokeAsync("predict", BuildRequest()).get();
+    return std::move(out.response);
+  }
+
+  std::unique_ptr<cluster::ClusterDataplane> cluster_;
+};
+
+TEST_F(ClusterChaosTest, NodeKillMidReplayReroutesAndRecovers) {
+  // Warm once to learn the function's home node — the chaos victim.
+  auto warm = ClusterInvoke();
+  ASSERT_TRUE(warm.ok()) << warm.status().ToString();
+  int victim = -1;
+  for (int i = 0; i < cluster_->total_nodes(); ++i) {
+    if (cluster_->node(i)->ContainerCount("predict") > 0) victim = i;
+  }
+  ASSERT_GE(victim, 0);
+  const uint64_t victim_routed_before =
+      cluster_->stats().nodes[static_cast<size_t>(victim)].routed;
+
+  // Storm: the victim's dispatch path fails every probe (a dead node), and
+  // a low-rate ecall fault poisons enclaves anywhere in the cluster.
+  {
+    FaultConfig dead;
+    dead.probability = 1.0;
+    dead.error_code = StatusCode::kUnavailable;
+    FaultInjector::Instance().Arm(cluster::NodeDispatchFaultPoint(victim), dead);
+    FaultConfig poison;
+    poison.probability = 0.02;
+    poison.error_code = StatusCode::kInternal;
+    FaultInjector::Instance().Arm(faults::kEcallEnter, poison);
+  }
+
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 40;
+  std::atomic<int> ok_count{0};
+  std::atomic<int> failed_count{0};
+  std::atomic<int> untyped_count{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      std::vector<std::future<InvocationResult>> futures;
+      futures.reserve(kPerThread);
+      for (int i = 0; i < kPerThread; ++i) {
+        futures.push_back(cluster_->InvokeAsync("predict", BuildRequest()));
+      }
+      // Every future must resolve — a lost promise hangs right here.
+      for (auto& f : futures) {
+        InvocationResult out = f.get();
+        const StatusCode code = out.response.status().code();
+        if (!IsTypedChaosOutcome(code)) untyped_count.fetch_add(1);
+        if (out.response.ok()) {
+          ok_count.fetch_add(1);
+        } else {
+          failed_count.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  EXPECT_EQ(untyped_count.load(), 0) << "untyped/default code escaped";
+  EXPECT_GT(ok_count.load(), 0) << "router failed to reroute around the victim";
+  EXPECT_EQ(ok_count.load() + failed_count.load(), kThreads * kPerThread);
+
+  cluster::ClusterStats storm = cluster_->stats();
+  EXPECT_GT(storm.reroutes, 0u);
+  // The dead node's dispatch probe never admitted a request.
+  EXPECT_EQ(storm.nodes[static_cast<size_t>(victim)].routed,
+            victim_routed_before);
+
+  // Faults off: the cluster must recover unaided — first to service, then
+  // to home routing on the revived victim (its health cooldown expires and
+  // the bounded-load home pick sends the key back).
+  FaultInjector::Instance().DisarmAll();
+  bool recovered = false;
+  for (int i = 0; i < 500 && !recovered; ++i) {
+    const bool ok = ClusterInvoke().ok();
+    recovered =
+        ok && cluster_->stats().nodes[static_cast<size_t>(victim)].routed >
+                  victim_routed_before;
+    if (!recovered) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
+  ASSERT_TRUE(recovered) << "victim node never rejoined routing";
+
+  // Steady state is fault-free.
+  for (int i = 0; i < 20; ++i) {
+    auto r = ClusterInvoke();
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+  }
+
+  // Counter consistency: every routed request is an invocation, and the
+  // routed totals across nodes account for all of them.
+  cluster::ClusterStats stats = cluster_->stats();
+  uint64_t routed = 0;
+  for (const auto& node : stats.nodes) routed += node.routed;
+  EXPECT_EQ(routed, stats.invocations);
+  EXPECT_EQ(stats.no_capacity, 0u);
 }
 
 }  // namespace

@@ -187,6 +187,7 @@ TEST(ClusterSimTest, ColdWarmHotProgression) {
 
 TEST(ClusterSimTest, HotLatencyMatchesCalibratedExecution) {
   SimConfig config;
+  config.num_nodes = 1;  // assertions below are single-node semantics
   ClusterSim sim(config);
   sim.AddFunction(TvmMbnetFunction("f", RuntimeMode::kSesemi));
   ASSERT_TRUE(sim.Prewarm("f", 1, "m0", "u0").ok());
@@ -201,6 +202,7 @@ TEST(ClusterSimTest, HotLatencyMatchesCalibratedExecution) {
 
 TEST(ClusterSimTest, ModelSwitchIsWarm) {
   SimConfig config;
+  config.num_nodes = 1;  // assertions below are single-node semantics
   ClusterSim sim(config);
   sim.AddFunction(TvmMbnetFunction("f", RuntimeMode::kSesemi));
   ASSERT_TRUE(sim.Prewarm("f", 1, "m0", "u0").ok());
@@ -212,6 +214,7 @@ TEST(ClusterSimTest, ModelSwitchIsWarm) {
 
 TEST(ClusterSimTest, IsoReuseAlwaysReloads) {
   SimConfig config;
+  config.num_nodes = 1;  // assertions below are single-node semantics
   ClusterSim sim(config);
   sim.AddFunction(TvmMbnetFunction("f", RuntimeMode::kIsoReuse));
   ASSERT_TRUE(sim.Prewarm("f", 1, "m0", "u0").ok());
@@ -224,6 +227,7 @@ TEST(ClusterSimTest, IsoReuseAlwaysReloads) {
 
 TEST(ClusterSimTest, NativeRelaunchesEnclaveEachRequest) {
   SimConfig config;
+  config.num_nodes = 1;  // assertions below are single-node semantics
   ClusterSim sim(config);
   sim.AddFunction(TvmMbnetFunction("f", RuntimeMode::kNative));
   ASSERT_TRUE(sim.Prewarm("f", 1, "m0", "u0").ok());
@@ -238,6 +242,7 @@ TEST(ClusterSimTest, NativeRelaunchesEnclaveEachRequest) {
 
 TEST(ClusterSimTest, UntrustedSkipsEnclaveCosts) {
   SimConfig config;
+  config.num_nodes = 1;  // assertions below are single-node semantics
   ClusterSim sim(config);
   sim.AddFunction(TvmMbnetFunction("f", RuntimeMode::kUntrusted));
   sim.Submit("f", "m0", "u0", 0);
@@ -253,6 +258,7 @@ TEST(ClusterSimTest, UntrustedSkipsEnclaveCosts) {
 
 TEST(ClusterSimTest, ConcurrencySharesContainer) {
   SimConfig config;
+  config.num_nodes = 1;  // assertions below are single-node semantics
   ClusterSim sim(config);
   SimFunction fn = TvmMbnetFunction("f", RuntimeMode::kSesemi, /*tcs=*/4);
   sim.AddFunction(fn);
@@ -266,6 +272,7 @@ TEST(ClusterSimTest, ConcurrencySharesContainer) {
 
 TEST(ClusterSimTest, SingleTcsContainersScaleOut) {
   SimConfig config;
+  config.num_nodes = 1;  // assertions below are single-node semantics
   ClusterSim sim(config);
   sim.AddFunction(TvmMbnetFunction("f", RuntimeMode::kSesemi, /*tcs=*/1));
   // Two simultaneous requests -> second needs a second container (cold).
@@ -277,6 +284,7 @@ TEST(ClusterSimTest, SingleTcsContainersScaleOut) {
 
 TEST(ClusterSimTest, KeepAliveReclaimsMemory) {
   SimConfig config;
+  config.num_nodes = 1;  // assertions below are single-node semantics
   config.keep_alive = SecondsToMicros(180);
   ClusterSim sim(config);
   sim.AddFunction(TvmMbnetFunction("f", RuntimeMode::kSesemi));
@@ -291,6 +299,7 @@ TEST(ClusterSimTest, KeepAliveReclaimsMemory) {
 
 TEST(ClusterSimTest, WarmReuseWithinKeepAlive) {
   SimConfig config;
+  config.num_nodes = 1;  // assertions below are single-node semantics
   ClusterSim sim(config);
   sim.AddFunction(TvmMbnetFunction("f", RuntimeMode::kSesemi));
   sim.Submit("f", "m0", "u0", 0);
@@ -302,6 +311,7 @@ TEST(ClusterSimTest, WarmReuseWithinKeepAlive) {
 
 TEST(ClusterSimTest, ColdStartAfterKeepAliveExpiry) {
   SimConfig config;
+  config.num_nodes = 1;  // assertions below are single-node semantics
   config.keep_alive = SecondsToMicros(180);
   ClusterSim sim(config);
   sim.AddFunction(TvmMbnetFunction("f", RuntimeMode::kSesemi));
@@ -380,6 +390,42 @@ TEST(ClusterSimTest, Sgx1EpcPressureSlowsExecution) {
     crowded = sim.metrics().AvgLatencySeconds();
   }
   EXPECT_GT(crowded, solo * 1.5);
+}
+
+TEST(CostModelTest, CalibratedModelCarriesMeasuredStages) {
+  // The differential harness builds this model from live StageTimings; every
+  // (framework, arch) profile must carry the measured values verbatim, with
+  // the paper's contention surcharges and paging pressure switched off.
+  CalibrationProfile calibration;
+  calibration.execute_s = 0.004;
+  calibration.key_fetch_s = 0.02;
+  calibration.model_load_s = 0.003;
+  calibration.runtime_init_s = 0.001;
+  CostModel model = CostModel::Calibrated(calibration);
+
+  const ModelProfile& p = model.profile(FrameworkKind::kTflm, Architecture::kRsNet);
+  EXPECT_DOUBLE_EQ(p.execute_s, 0.004);
+  EXPECT_DOUBLE_EQ(p.key_fetch_s, 0.02);
+  EXPECT_DOUBLE_EQ(p.model_load_s, 0.003);
+  EXPECT_DOUBLE_EQ(p.runtime_init_s, 0.001);
+  EXPECT_DOUBLE_EQ(p.paging_sensitivity, 0.0);
+  EXPECT_DOUBLE_EQ(model.AttestationSeconds(16), 0.0);
+  EXPECT_DOUBLE_EQ(model.SandboxInitSeconds(), 0.0);
+  EXPECT_DOUBLE_EQ(model.PlatformOverheadSeconds(), 0.0);
+
+  // End to end: a prewarmed single-node sim's hot latency is exactly the
+  // calibrated execute time (no overhead terms left).
+  SimConfig config;
+  config.num_nodes = 1;
+  config.cost_model = model;
+  ClusterSim sim(config);
+  sim.AddFunction(TvmMbnetFunction("f", RuntimeMode::kSesemi));
+  ASSERT_TRUE(sim.Prewarm("f", 1, "m0", "u0").ok());
+  sim.Submit("f", "m0", "u0", SecondsToMicros(1));
+  sim.Run();
+  ASSERT_EQ(sim.metrics().records().size(), 1u);
+  EXPECT_EQ(sim.metrics().records()[0].kind, InvocationKind::kHot);
+  EXPECT_NEAR(MicrosToSeconds(sim.metrics().records()[0].latency()), 0.004, 1e-4);
 }
 
 }  // namespace

@@ -76,6 +76,9 @@ TEST(MmppTest, RateAlternatesBetweenStates) {
 TEST(MmppTest, OrderedAndBounded) {
   MmppSpec spec;
   spec.duration_s = 100;
+  // Every test pins its own seed: no test depends on the struct default, so
+  // reseeding one test (or running under ctest -j) can't perturb another.
+  spec.seed = 0xb0b;
   auto trace = Mmpp(spec, "m", "u");
   for (size_t i = 1; i < trace.size(); ++i) {
     EXPECT_GE(trace[i].time, trace[i - 1].time);
@@ -103,6 +106,59 @@ TEST(MergeTest, ProducesTimeOrderedUnion) {
   }
   EXPECT_EQ(merged[0].model_id, "a");
   EXPECT_EQ(merged[1].model_id, "b");
+}
+
+// The multi-tenant generators drive the cluster replay harness
+// (cluster/replay.h): determinism and per-tenant stream independence are
+// what make the sim-vs-real differential test reproducible under ctest -j.
+
+TEST(MultiTenantPoissonTest, DeterministicPerSeedAndOrdered) {
+  std::vector<TenantSpec> tenants = {{"t0", "u0", 5.0}, {"t1", "u1", 2.0}};
+  auto a = MultiTenantPoisson(tenants, 20, 0x51ee7);
+  auto b = MultiTenantPoisson(tenants, 20, 0x51ee7);
+  auto c = MultiTenantPoisson(tenants, 20, 0x51ee8);
+  ASSERT_FALSE(a.empty());
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].time, b[i].time);
+    EXPECT_EQ(a[i].model_id, b[i].model_id);
+    EXPECT_EQ(a[i].user_id, b[i].user_id);
+    if (i > 0) EXPECT_GE(a[i].time, a[i - 1].time);
+  }
+  EXPECT_NE(a.size(), c.size());
+}
+
+TEST(MultiTenantPoissonTest, TenantStreamsAreIndependentlySeeded) {
+  // Tenant i's stream is seeded from (seed + i): changing another tenant's
+  // rate must not move tenant 0's arrivals. This is the property that lets
+  // cluster tests add tenants without re-baselining existing assertions.
+  std::vector<TenantSpec> one = {{"t0", "u0", 5.0}, {"t1", "u1", 1.0}};
+  std::vector<TenantSpec> other = {{"t0", "u0", 5.0}, {"t1", "u1", 9.0}};
+  auto extract_t0 = [](const std::vector<Arrival>& trace) {
+    std::vector<TimeMicros> times;
+    for (const Arrival& a : trace) {
+      if (a.model_id == "t0") times.push_back(a.time);
+    }
+    return times;
+  };
+  auto a = extract_t0(MultiTenantPoisson(one, 20, 0xfeed));
+  auto b = extract_t0(MultiTenantPoisson(other, 20, 0xfeed));
+  ASSERT_FALSE(a.empty());
+  EXPECT_EQ(a, b);
+}
+
+TEST(ZipfRatesTest, NormalizedAndMonotone) {
+  auto rates = ZipfRates(16, 1.0, 100.0);
+  ASSERT_EQ(rates.size(), 16u);
+  double sum = 0;
+  for (size_t i = 0; i < rates.size(); ++i) {
+    sum += rates[i];
+    if (i > 0) EXPECT_LE(rates[i], rates[i - 1]);
+  }
+  EXPECT_NEAR(sum, 100.0, 1e-6);
+  // alpha = 0 splits evenly.
+  auto uniform = ZipfRates(4, 0.0, 8.0);
+  for (double r : uniform) EXPECT_NEAR(r, 2.0, 1e-9);
 }
 
 TEST(RatePerSecondTest, CountsPerBucket) {
