@@ -10,7 +10,10 @@
 //  (c) autoscale — stats-driven scale-up from a real scheduler backlog and
 //                  scale-down when idle, against a standby pool.
 //
-// Flags: --quick shrinks the trace (CI / TSan smoke).
+// Flags: --quick shrinks the trace (CI / TSan smoke); --trace=FILE records
+// the replay with the obs tracer and writes Chrome trace-event JSON
+// (chrome://tracing / Perfetto) covering route -> dispatch -> ecall ->
+// pipeline stages, plus the sim's virtual-time counterpart.
 
 #include <algorithm>
 #include <cstdio>
@@ -257,13 +260,27 @@ void AutoscaleSection() {
 }  // namespace sesemi::bench
 
 int main(int argc, char** argv) {
+  std::string trace_path;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--quick") == 0) sesemi::bench::g_quick = true;
+    if (std::strncmp(argv[i], "--trace=", 8) == 0) trace_path = argv[i] + 8;
   }
   sesemi::bench::PrintHeader(
       "Cluster dataplane — consistent-hash routing, warm-slot stealing, "
       "sim parity, autoscaling");
+  if (!trace_path.empty()) sesemi::obs::Tracer::Enable();
   sesemi::bench::ReplayAndParitySections();
   sesemi::bench::AutoscaleSection();
+  if (!trace_path.empty()) {
+    sesemi::obs::Tracer::Disable();
+    const sesemi::obs::TraceSnapshot snapshot = sesemi::obs::Tracer::Snap();
+    const sesemi::Status status =
+        sesemi::obs::WriteChromeTraceJson(snapshot, trace_path);
+    std::printf("{\"bench\":\"cluster\",\"section\":\"trace\",\"file\":\"%s\","
+                "\"spans\":%zu,\"dropped\":%llu,\"ok\":%s}\n",
+                trace_path.c_str(), snapshot.spans.size(),
+                static_cast<unsigned long long>(snapshot.dropped),
+                status.ok() ? "true" : "false");
+  }
   return 0;
 }

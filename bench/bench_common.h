@@ -2,6 +2,7 @@
 #define SESEMI_BENCH_BENCH_COMMON_H_
 
 #include <cstdio>
+#include <cstring>
 #include <map>
 #include <memory>
 #include <string>
@@ -11,6 +12,7 @@
 #include "inference/framework.h"
 #include "keyservice/keyservice.h"
 #include "model/zoo.h"
+#include "obs/trace.h"
 #include "semirt/semirt.h"
 #include "sgx/platform.h"
 #include "sim/cost_model.h"
@@ -55,6 +57,19 @@ inline void PrintHeader(const std::string& title) {
 
 inline void PrintSection(const std::string& title) {
   std::printf("\n--- %s ---\n", title.c_str());
+}
+
+/// Mean duration (seconds) of stage `name` in a tracer rollup; 0 when the
+/// stage never ran. The breakdown figures read their per-stage numbers from
+/// the same spans the production tracer records — no bench-local timers.
+inline double StageMeanSeconds(const std::vector<obs::StageRollup>& rollup,
+                               const char* name) {
+  for (const obs::StageRollup& stage : rollup) {
+    if (stage.name != nullptr && std::strcmp(stage.name, name) == 0) {
+      return stage.mean_s();
+    }
+  }
+  return 0.0;
 }
 
 /// A live end-to-end rig for measured (as opposed to calibrated) numbers:

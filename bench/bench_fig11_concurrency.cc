@@ -14,8 +14,10 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <cstring>
 #include <deque>
 #include <future>
+#include <string>
 #include <vector>
 
 #include "bench/bench_common.h"
@@ -242,10 +244,26 @@ void LiveConcurrencySection() {
 }  // namespace
 }  // namespace sesemi::bench
 
-int main() {
+int main(int argc, char** argv) {
+  std::string trace_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--trace=", 8) == 0) trace_path = argv[i] + 8;
+  }
   sesemi::bench::PrintHeader("Figure 11 — latency w.r.t. number of concurrent executions");
+  if (!trace_path.empty()) sesemi::obs::Tracer::Enable();
   sesemi::bench::Sgx2Section();
   sesemi::bench::Sgx1Section();
   sesemi::bench::LiveConcurrencySection();
+  if (!trace_path.empty()) {
+    sesemi::obs::Tracer::Disable();
+    const sesemi::obs::TraceSnapshot snapshot = sesemi::obs::Tracer::Snap();
+    const sesemi::Status status =
+        sesemi::obs::WriteChromeTraceJson(snapshot, trace_path);
+    std::printf("{\"bench\":\"fig11_trace\",\"file\":\"%s\",\"spans\":%zu,"
+                "\"dropped\":%llu,\"ok\":%s}\n",
+                trace_path.c_str(), snapshot.spans.size(),
+                static_cast<unsigned long long>(snapshot.dropped),
+                status.ok() ? "true" : "false");
+  }
   return 0;
 }

@@ -1,8 +1,7 @@
 // Reproduces Appendix G Figure 17: absolute per-stage execution time for one
 // request WITH SGX (enclave init, key fetch, model load, runtime init,
-// execution), all six combos. Calibrated values + live measurements.
-
-#include <chrono>
+// execution), all six combos. Calibrated values + live measurements read
+// from the obs tracer's per-stage span rollup.
 
 #include "bench/bench_common.h"
 
@@ -32,16 +31,22 @@ void MeasuredSection() {
     semirt::SemirtOptions options;
     options.framework = combo.framework;
     rig.Authorize(combo.arch, options);
-    auto t0 = std::chrono::steady_clock::now();
+    // One rollup per combo: the tracer's stage spans ARE the measurement.
+    obs::Tracer::Reset();
+    obs::Tracer::Enable();
     auto instance = rig.MakeInstance(options);
-    double init_s = std::chrono::duration<double>(
-        std::chrono::steady_clock::now() - t0).count();
-    if (instance == nullptr) continue;
-    auto t = rig.TimedRequest(instance.get(), combo.arch, options);
+    auto t = instance != nullptr
+                 ? rig.TimedRequest(instance.get(), combo.arch, options)
+                 : Result<semirt::StageTimings>(Status::Internal("no instance"));
+    obs::Tracer::Disable();
     if (!t.ok()) continue;
-    std::printf("%-12s %12.4f %10.4f %10.5f %10.5f %10.4f\n", combo.label, init_s,
-                MicrosToSeconds(t->key_fetch), MicrosToSeconds(t->model_load),
-                MicrosToSeconds(t->runtime_init), MicrosToSeconds(t->execute));
+    const auto rollup = obs::Tracer::Rollup();
+    std::printf("%-12s %12.4f %10.4f %10.5f %10.5f %10.4f\n", combo.label,
+                StageMeanSeconds(rollup, obs::spans::kEnclaveInit),
+                StageMeanSeconds(rollup, obs::spans::kKeyFetch),
+                StageMeanSeconds(rollup, obs::spans::kModelLoad),
+                StageMeanSeconds(rollup, obs::spans::kRuntimeInit),
+                StageMeanSeconds(rollup, obs::spans::kInference));
   }
   std::printf("(shape check: key fetch (attestation) dominates non-execution cost;\n"
               " TVM runtime init >> TFLM runtime init; RSNET loads slowest)\n");

@@ -1,6 +1,6 @@
 // Reproduces Appendix G Figure 18: per-stage execution time WITHOUT SGX
 // (model load, runtime init, execution). Calibrated + live measurements via
-// the untrusted runtime mode.
+// the untrusted runtime mode, read from the obs tracer's span rollup.
 
 #include "bench/bench_common.h"
 
@@ -27,13 +27,19 @@ void MeasuredSection() {
     semirt::SemirtOptions options;
     options.framework = combo.framework;
     options.mode = semirt::RuntimeMode::kUntrusted;
+    obs::Tracer::Reset();
+    obs::Tracer::Enable();
     auto instance = rig.MakeInstance(options);
-    if (instance == nullptr) continue;
-    auto t = rig.TimedRequest(instance.get(), combo.arch, options);
+    auto t = instance != nullptr
+                 ? rig.TimedRequest(instance.get(), combo.arch, options)
+                 : Result<semirt::StageTimings>(Status::Internal("no instance"));
+    obs::Tracer::Disable();
     if (!t.ok()) continue;
+    const auto rollup = obs::Tracer::Rollup();
     std::printf("%-12s %10.4f %10.5f %10.4f\n", combo.label,
-                MicrosToSeconds(t->model_load), MicrosToSeconds(t->runtime_init),
-                MicrosToSeconds(t->execute));
+                StageMeanSeconds(rollup, obs::spans::kModelLoad),
+                StageMeanSeconds(rollup, obs::spans::kRuntimeInit),
+                StageMeanSeconds(rollup, obs::spans::kInference));
   }
   std::printf("(shape check vs Figure 17: execution time is nearly identical with\n"
               " and without the enclave — the overhead lives in init + attestation;\n"

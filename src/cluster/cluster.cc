@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "common/faultpoint.h"
+#include "obs/trace.h"
 
 namespace sesemi::cluster {
 
@@ -70,6 +71,10 @@ Status ClusterDataplane::ProbeNode(NodeState* node) {
 std::future<InvocationResult> ClusterDataplane::InvokeAsync(
     const std::string& function, semirt::InferenceRequest request,
     const serverless::InvokeOptions& options) {
+  // Root of the cluster hop: routing is synchronous on the caller thread, so
+  // the platform's submit span (and everything the queued context carries
+  // downstream) nests under this via the thread-current context.
+  obs::Span route(obs::spans::kClusterRoute);
   const std::string key = function + "|" + request.model_id;
 
   // Snapshot placement under the shared ring lock: clockwise preference
@@ -145,6 +150,8 @@ std::future<InvocationResult> ClusterDataplane::InvokeAsync(
       if (!state->active.load(std::memory_order_acquire)) continue;
       if (pass == 0 && !Healthy(*state, now)) {
         reroutes_.fetch_add(1, std::memory_order_relaxed);
+        obs::Tracer::EmitInstant(route.context(), obs::spans::kClusterReroute,
+                                 "node", state->id);
         continue;
       }
       Status probe = ProbeNode(state);
@@ -152,15 +159,20 @@ std::future<InvocationResult> ClusterDataplane::InvokeAsync(
         state->unhealthy_until.store(now + config_.health_cooldown,
                                      std::memory_order_release);
         reroutes_.fetch_add(1, std::memory_order_relaxed);
+        obs::Tracer::EmitInstant(route.context(), obs::spans::kClusterReroute,
+                                 "node", state->id);
         continue;
       }
       state->routed.fetch_add(1, std::memory_order_relaxed);
       if (stolen && state->id == first) {
         state->steal_wins.fetch_add(1, std::memory_order_relaxed);
         steals_.fetch_add(1, std::memory_order_relaxed);
+        obs::Tracer::EmitInstant(route.context(), obs::spans::kClusterSteal,
+                                 "node", state->id);
       }
       if (state->id == home) home_hits_.fetch_add(1, std::memory_order_relaxed);
       invocations_.fetch_add(1, std::memory_order_relaxed);
+      route.set_arg("node", state->id);
       return state->platform->InvokeAsync(function, std::move(request), options);
     }
     if (pass == 0) {
@@ -290,6 +302,53 @@ ClusterStats ClusterDataplane::stats() const {
     stats.nodes.push_back(ns);
   }
   return stats;
+}
+
+void ClusterDataplane::RegisterMetrics(obs::MetricsRegistry* registry) {
+  for (auto& node : nodes_) {
+    node->platform->RegisterMetrics(registry,
+                                    {{"node", std::to_string(node->id)}});
+  }
+  metrics_collector_ = obs::ScopedCollector(registry, [this]() {
+    std::vector<obs::Sample> samples;
+    const ClusterStats s = stats();
+    samples.push_back(obs::MakeCounterSample(
+        "sesemi_cluster_invocations_total", static_cast<double>(s.invocations)));
+    samples.push_back(obs::MakeCounterSample(
+        "sesemi_cluster_home_hits_total", static_cast<double>(s.home_hits)));
+    samples.push_back(obs::MakeCounterSample(
+        "sesemi_cluster_steals_total", static_cast<double>(s.steals)));
+    samples.push_back(obs::MakeCounterSample(
+        "sesemi_cluster_reroutes_total", static_cast<double>(s.reroutes)));
+    samples.push_back(obs::MakeCounterSample(
+        "sesemi_cluster_no_capacity_total", static_cast<double>(s.no_capacity)));
+    samples.push_back(obs::MakeCounterSample(
+        "sesemi_cluster_scale_ups_total", static_cast<double>(s.scale_ups)));
+    samples.push_back(obs::MakeCounterSample(
+        "sesemi_cluster_scale_downs_total", static_cast<double>(s.scale_downs)));
+    samples.push_back(obs::MakeGaugeSample("sesemi_cluster_active_nodes",
+                                           active_nodes()));
+    for (const ClusterNodeStats& node : s.nodes) {
+      const std::vector<std::pair<std::string, std::string>> labels = {
+          {"node", std::to_string(node.node)}};
+      samples.push_back(obs::MakeCounterSample("sesemi_cluster_node_routed_total",
+                                               static_cast<double>(node.routed),
+                                               labels));
+      samples.push_back(obs::MakeCounterSample(
+          "sesemi_cluster_node_steal_wins_total",
+          static_cast<double>(node.steal_wins), labels));
+      samples.push_back(obs::MakeGaugeSample(
+          "sesemi_cluster_node_queue_depth",
+          static_cast<double>(node.queue_depth), labels));
+      samples.push_back(obs::MakeGaugeSample("sesemi_cluster_node_containers",
+                                             node.containers, labels));
+      samples.push_back(obs::MakeGaugeSample("sesemi_cluster_node_active",
+                                             node.active ? 1 : 0, labels));
+      samples.push_back(obs::MakeGaugeSample("sesemi_cluster_node_healthy",
+                                             node.healthy ? 1 : 0, labels));
+    }
+    return samples;
+  });
 }
 
 }  // namespace sesemi::cluster

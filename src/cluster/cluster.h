@@ -124,6 +124,12 @@ class ClusterDataplane {
   ClusterStats stats() const;
   const Autoscaler& autoscaler() const { return autoscaler_; }
 
+  /// Re-home the cluster/autoscaler counters into `registry` as a
+  /// scrape-time collector (`sesemi_cluster_*` names; per-node samples carry
+  /// a node="i" label) and register every node's platform with a matching
+  /// label. Deregistration is automatic at destruction.
+  void RegisterMetrics(obs::MetricsRegistry* registry);
+
   /// Membership surgery for tests (AutoscaleTick uses the same paths).
   /// Activate/deactivate keep the platform alive; only ring membership and
   /// routing eligibility change.
@@ -171,6 +177,9 @@ class ClusterDataplane {
   std::atomic<uint64_t> no_capacity_{0};
   std::atomic<uint64_t> scale_ups_{0};
   std::atomic<uint64_t> scale_downs_{0};
+
+  /// Deregisters the cluster collector before the counters it reads die.
+  obs::ScopedCollector metrics_collector_;
 };
 
 }  // namespace sesemi::cluster

@@ -10,6 +10,14 @@ namespace {
 std::atomic<int> g_level{static_cast<int>(LogLevel::kWarn)};
 std::mutex g_emit_mutex;
 
+void StderrSink(const char* line, size_t length) {
+  // One fwrite per complete line: a single stdio operation, so lines from
+  // other processes sharing the fd interleave at line granularity at worst.
+  std::fwrite(line, 1, length, stderr);
+}
+
+std::atomic<LogSink> g_sink{&StderrSink};
+
 const char* LevelTag(LogLevel level) {
   switch (level) {
     case LogLevel::kDebug: return "DEBUG";
@@ -24,6 +32,10 @@ const char* LevelTag(LogLevel level) {
 void SetLogLevel(LogLevel level) { g_level.store(static_cast<int>(level)); }
 LogLevel GetLogLevel() { return static_cast<LogLevel>(g_level.load()); }
 
+void SetLogSink(LogSink sink) {
+  g_sink.store(sink != nullptr ? sink : &StderrSink);
+}
+
 namespace internal {
 void EmitLog(LogLevel level, const char* file, int line, const std::string& msg) {
   if (static_cast<int>(level) < g_level.load()) return;
@@ -31,8 +43,22 @@ void EmitLog(LogLevel level, const char* file, int line, const std::string& msg)
   for (const char* p = file; *p; ++p) {
     if (*p == '/') base = p + 1;
   }
+  // Build the complete line outside the lock; the sink call is the only
+  // serialized section and performs exactly one write.
+  std::string formatted;
+  formatted.reserve(msg.size() + 64);
+  formatted += '[';
+  formatted += LevelTag(level);
+  formatted += ' ';
+  formatted += base;
+  formatted += ':';
+  formatted += std::to_string(line);
+  formatted += "] ";
+  formatted += msg;
+  formatted += '\n';
+  LogSink sink = g_sink.load();
   std::lock_guard<std::mutex> lock(g_emit_mutex);
-  std::fprintf(stderr, "[%s %s:%d] %s\n", LevelTag(level), base, line, msg.c_str());
+  sink(formatted.c_str(), formatted.size());
 }
 }  // namespace internal
 

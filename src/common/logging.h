@@ -12,7 +12,18 @@ enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff =
 void SetLogLevel(LogLevel level);
 LogLevel GetLogLevel();
 
+/// Where formatted log lines go. Receives exactly one complete,
+/// newline-terminated line per call; calls are serialized by the logger.
+using LogSink = void (*)(const char* line, size_t length);
+
+/// Replace the sink (nullptr restores the stderr default). Test seam for the
+/// interleaving regression test; the sink must be callable from any thread.
+void SetLogSink(LogSink sink);
+
 namespace internal {
+/// Formats the entire "[LEVEL file:line] msg\n" line into one buffer and
+/// hands it to the sink as a single write under one mutex, so concurrent
+/// writers can never interleave fragments of two messages.
 void EmitLog(LogLevel level, const char* file, int line, const std::string& msg);
 
 class LogMessage {

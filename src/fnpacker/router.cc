@@ -298,6 +298,24 @@ RouterStats FnPackerRouter::stats() const {
   return stats;
 }
 
+void FnPackerRouter::RegisterMetrics(obs::MetricsRegistry* registry) {
+  metrics_collector_ = obs::ScopedCollector(registry, [this]() {
+    const RouterStats s = stats();
+    std::vector<obs::Sample> samples;
+    samples.push_back(
+        obs::MakeCounterSample("sesemi_router_routed_total", s.routed));
+    samples.push_back(obs::MakeCounterSample(
+        "sesemi_router_model_switches_total", s.model_switches));
+    samples.push_back(
+        obs::MakeCounterSample("sesemi_router_overflow_total", s.overflow));
+    samples.push_back(obs::MakeCounterSample("sesemi_router_breaker_opens_total",
+                                             s.breaker_opens));
+    samples.push_back(obs::MakeCounterSample(
+        "sesemi_router_breaker_rejections_total", s.breaker_rejections));
+    return samples;
+  });
+}
+
 ModelState FnPackerRouter::model_state(const std::string& model_id) const {
   auto it = models_.find(model_id);
   if (it == models_.end()) return ModelState{};

@@ -10,6 +10,7 @@
 
 #include "common/clock.h"
 #include "common/result.h"
+#include "obs/metrics.h"
 
 namespace sesemi::fnpacker {
 
@@ -142,6 +143,10 @@ class FnPackerRouter final : public RequestRouter {
   ModelState model_state(const std::string& model_id) const;
   EndpointState endpoint_state(int endpoint) const;
 
+  /// Re-home RouterStats into `registry` (`sesemi_router_*` names) as a
+  /// scrape-time collector; deregistration is automatic at destruction.
+  void RegisterMetrics(obs::MetricsRegistry* registry);
+
  private:
   /// `exclusive` value meaning "no exclusivity mark".
   static constexpr uint32_t kNoModel = 0xffffffffu;
@@ -230,6 +235,9 @@ class FnPackerRouter final : public RequestRouter {
   std::atomic<int> overflow_{0};
   std::atomic<int> breaker_opens_{0};
   std::atomic<int> breaker_rejections_{0};
+
+  /// Deregisters the stats collector before the counters it reads die.
+  obs::ScopedCollector metrics_collector_;
 };
 
 /// Baseline: one endpoint per model (no sharing; every cold model cold-starts

@@ -14,6 +14,7 @@
 
 #include "common/clock.h"
 #include "common/result.h"
+#include "obs/trace.h"
 
 namespace sesemi::sched {
 
@@ -89,6 +90,11 @@ struct QueuedRequest {
   /// Set by RequestScheduler::Submit: bytes charged against the global
   /// memory-backpressure budget while queued.
   uint64_t payload_bytes = 0;
+
+  /// Trace propagation across the queue: the submitter's span context rides
+  /// the request to whichever dispatcher thread pops it (zero when tracing
+  /// is disabled — see obs/trace.h).
+  obs::TraceContext trace;
 
   std::shared_ptr<void> payload;
 };

@@ -1,12 +1,16 @@
 #include "semirt/keyservice_link.h"
 
 #include "common/faultpoint.h"
+#include "obs/trace.h"
 #include "ratls/handshake.h"
 
 namespace sesemi::semirt {
 
 Status KeyServiceLink::EnsureSession(sgx::Enclave* enclave) {
   if (session_.has_value()) return Status::OK();
+  // Only an actual RA-TLS establishment gets a span: the cached-session
+  // early return above is the hot path.
+  obs::Span span(obs::spans::kHandshake);
   ratls::RatlsInitiator initiator(enclave->platform()->authority(), enclave);
   SESEMI_ASSIGN_OR_RETURN(ratls::ClientHello hello, initiator.Start());
   uint64_t session_id = 0;

@@ -6,6 +6,7 @@
 
 #include "common/faultpoint.h"
 #include "model/format.h"
+#include "obs/trace.h"
 
 namespace sesemi::semirt {
 
@@ -14,6 +15,17 @@ TimeMicros NowMicros() {
   return std::chrono::duration_cast<std::chrono::microseconds>(
              std::chrono::steady_clock::now().time_since_epoch())
       .count();
+}
+
+/// Record a just-finished pipeline stage of `duration` micros under the
+/// thread-current span (the open semirt.ecall / semirt.request). StageTimings
+/// marks use NowMicros (a different epoch than the tracer), so the span is
+/// reconstructed backwards from the tracer's own now.
+void EmitStage(const char* name, TimeMicros duration) {
+  if (!obs::Tracer::Enabled()) return;
+  const TimeMicros end = obs::Tracer::Now();
+  obs::Tracer::EmitSpan(obs::Tracer::Current(), name,
+                        end - (duration > 0 ? duration : 0), end);
 }
 
 /// §IV-D model-extraction mitigation: quantize the raw float32 output to
@@ -123,6 +135,7 @@ SemirtInstance::~SemirtInstance() { ClearExecutionContext(); }
 
 Status SemirtInstance::Initialize() {
   if (options_.mode == RuntimeMode::kUntrusted) return Status::OK();
+  obs::Span span(obs::spans::kEnclaveInit);
 
   std::vector<std::pair<std::string, Bytes>> units = {
       {"semirt-core", ToBytes("sesemi semirt runtime v1")},
@@ -363,6 +376,7 @@ Result<Bytes> SemirtInstance::HandleRequest(const InferenceRequest& request,
   StageTimings* t = timings != nullptr ? timings : &local;
   const TimeMicros start = NowMicros();
 
+  obs::Span span(obs::spans::kRequest);
   int slot = AcquireSlot();
   Result<Bytes> result = options_.mode == RuntimeMode::kUntrusted
                              ? HandleUntrusted(request, slot, t, deadline)
@@ -438,6 +452,8 @@ std::vector<Result<Bytes>> SemirtInstance::HandleRequestBatch(
     }
   }
   {
+    obs::Span ecall(obs::spans::kEcall);
+    ecall.set_arg("batch_size", static_cast<int64_t>(batch.size()));
     sgx::TcsGuard tcs = enclave_->EnterEcall();
     bool key_fetched = false, model_loaded = false, runtime_inited = false;
 
@@ -449,6 +465,7 @@ std::vector<Result<Bytes>> SemirtInstance::HandleRequestBatch(
       return results;
     }
     t->key_fetch = NowMicros() - mark;
+    EmitStage(obs::spans::kKeyFetch, t->key_fetch);
     if (deadline_cut("key fetch")) {
       ReleaseSlot(slot);
       return results;
@@ -464,6 +481,7 @@ std::vector<Result<Bytes>> SemirtInstance::HandleRequestBatch(
       return results;
     }
     t->model_load = NowMicros() - mark;
+    EmitStage(obs::spans::kModelLoad, t->model_load);
     if (deadline_cut("model load")) {
       ReleaseSlot(slot);
       return results;
@@ -477,6 +495,7 @@ std::vector<Result<Bytes>> SemirtInstance::HandleRequestBatch(
       return results;
     }
     t->runtime_init = NowMicros() - mark;
+    EmitStage(obs::spans::kRuntimeInit, t->runtime_init);
     if (deadline_cut("runtime init")) {
       ReleaseSlot(slot);
       return results;
@@ -493,6 +512,7 @@ std::vector<Result<Bytes>> SemirtInstance::HandleRequestBatch(
     }
     // Decrypt per request; a bad ciphertext (or a mixed-in foreign request)
     // drops only that entry from the execution batch.
+    TimeMicros stage_mark = NowMicros();
     std::vector<Bytes> plain(batch.size());
     std::vector<size_t> live;
     live.reserve(batch.size());
@@ -512,17 +532,21 @@ std::vector<Result<Bytes>> SemirtInstance::HandleRequestBatch(
       plain[i] = std::move(*input);
       live.push_back(i);
     }
+    EmitStage(obs::spans::kDecrypt, NowMicros() - stage_mark);
 
     if (!live.empty()) {
       std::vector<ByteSpan> inputs;
       inputs.reserve(live.size());
       for (size_t i : live) inputs.push_back(plain[i]);
+      stage_mark = NowMicros();
       auto outputs = [&]() -> Result<std::vector<Bytes>> {
         std::unique_lock<std::mutex> lock(mutex_);
         inference::ModelRuntime* runtime = contexts_[slot].runtime.get();
         lock.unlock();
         return runtime->ExecuteBatch(inputs);
       }();
+      EmitStage(obs::spans::kInference, NowMicros() - stage_mark);
+      stage_mark = NowMicros();
       if (!outputs.ok()) {
         for (size_t i : live) results[i] = outputs.status();
       } else {
@@ -531,6 +555,7 @@ std::vector<Result<Bytes>> SemirtInstance::HandleRequestBatch(
           RoundScores(&output, options_.round_scores_decimals);
           results[live[k]] = cipher->EncryptResult(head.model_id, output);
         }
+        EmitStage(obs::spans::kEncrypt, NowMicros() - stage_mark);
       }
     }
     t->execute = NowMicros() - mark;
@@ -573,6 +598,7 @@ Result<Bytes> SemirtInstance::HandleTrusted(const InferenceRequest& request,
   }
   // EC_MODEL_INF: a thread enters the enclave through a TCS.
   SESEMI_FAULT_POINT(faults::kEcallEnter);
+  obs::Span ecall(obs::spans::kEcall);
   sgx::TcsGuard tcs = enclave_->EnterEcall();
 
   bool key_fetched = false, model_loaded = false, runtime_inited = false;
@@ -581,6 +607,7 @@ Result<Bytes> SemirtInstance::HandleTrusted(const InferenceRequest& request,
   SESEMI_ASSIGN_OR_RETURN(auto keys,
                           EnsureKeys(request.user_id, request.model_id, &key_fetched));
   timings->key_fetch = NowMicros() - mark;
+  EmitStage(obs::spans::kKeyFetch, timings->key_fetch);
   if (deadline != nullptr) SESEMI_RETURN_IF_ERROR(deadline->Check("key fetch"));
   const Bytes& model_key = keys.first;
   const Bytes& request_key = keys.second;
@@ -590,20 +617,25 @@ Result<Bytes> SemirtInstance::HandleTrusted(const InferenceRequest& request,
       std::shared_ptr<inference::LoadedModel> model,
       EnsureModel(request.model_id, model_key, &model_loaded));
   timings->model_load = NowMicros() - mark;
+  EmitStage(obs::spans::kModelLoad, timings->model_load);
   if (deadline != nullptr) SESEMI_RETURN_IF_ERROR(deadline->Check("model load"));
 
   mark = NowMicros();
   SESEMI_RETURN_IF_ERROR(
       EnsureRuntime(slot, request.model_id, model, &runtime_inited));
   timings->runtime_init = NowMicros() - mark;
+  EmitStage(obs::spans::kRuntimeInit, timings->runtime_init);
   if (deadline != nullptr) {
     SESEMI_RETURN_IF_ERROR(deadline->Check("runtime init"));
   }
 
   mark = NowMicros();
+  TimeMicros stage_mark = mark;
   SESEMI_ASSIGN_OR_RETURN(
       Bytes input, DecryptRequestPayload(request_key, request.model_id,
                                          request.encrypted_input));
+  EmitStage(obs::spans::kDecrypt, NowMicros() - stage_mark);
+  stage_mark = NowMicros();
   Result<Bytes> output = [&]() -> Result<Bytes> {
     std::unique_lock<std::mutex> lock(mutex_);
     inference::ModelRuntime* runtime = contexts_[slot].runtime.get();
@@ -612,8 +644,11 @@ Result<Bytes> SemirtInstance::HandleTrusted(const InferenceRequest& request,
   }();
   if (!output.ok()) return output.status();
   RoundScores(&output.value(), options_.round_scores_decimals);
+  EmitStage(obs::spans::kInference, NowMicros() - stage_mark);
+  stage_mark = NowMicros();
   SESEMI_ASSIGN_OR_RETURN(
       Bytes sealed, EncryptResultPayload(request_key, request.model_id, *output));
+  EmitStage(obs::spans::kEncrypt, NowMicros() - stage_mark);
   timings->execute = NowMicros() - mark;
 
   std::lock_guard<std::mutex> lock(mutex_);
@@ -671,12 +706,14 @@ Result<Bytes> SemirtInstance::HandleUntrusted(const InferenceRequest& request,
     model_loaded = true;
   }
   timings->model_load = NowMicros() - mark;
+  EmitStage(obs::spans::kModelLoad, timings->model_load);
   if (deadline != nullptr) SESEMI_RETURN_IF_ERROR(deadline->Check("model load"));
 
   mark = NowMicros();
   SESEMI_RETURN_IF_ERROR(
       EnsureRuntime(slot, request.model_id, model, &runtime_inited));
   timings->runtime_init = NowMicros() - mark;
+  EmitStage(obs::spans::kRuntimeInit, timings->runtime_init);
   if (deadline != nullptr) {
     SESEMI_RETURN_IF_ERROR(deadline->Check("runtime init"));
   }
@@ -690,6 +727,7 @@ Result<Bytes> SemirtInstance::HandleUntrusted(const InferenceRequest& request,
   }();
   if (!output.ok()) return output.status();
   timings->execute = NowMicros() - mark;
+  EmitStage(obs::spans::kInference, timings->execute);
 
   std::lock_guard<std::mutex> lock(mutex_);
   if (enclave_fresh_) {

@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "common/faultpoint.h"
+#include "obs/trace.h"
 
 namespace sesemi::serverless {
 
@@ -235,6 +236,7 @@ int ServerlessPlatform::ChooseAndReserveNode(FunctionShard* shard, uint64_t byte
 
 Result<ServerlessPlatform::Container*> ServerlessPlatform::ColdStart(
     FunctionShard* shard, uint32_t* slot_index) {
+  obs::Span span(obs::spans::kColdStart);
   const FunctionSpec& spec = shard->spec;
   // Relaunch gate: after enclave *launch* failures, back off instead of
   // hammering a failing platform. Memory admission below is capacity, not
@@ -311,6 +313,7 @@ Result<ServerlessPlatform::Container*> ServerlessPlatform::ColdStart(
 Result<ServerlessPlatform::Container*> ServerlessPlatform::AcquireContainer(
     FunctionShard* shard, const std::string& model_id, uint32_t* slot_index,
     bool* cold) {
+  obs::Span span(obs::spans::kWarmAcquire);
   *cold = false;
   uint32_t index = kNilSlot;
   Container* container = nullptr;
@@ -365,6 +368,7 @@ Result<ServerlessPlatform::Container*> ServerlessPlatform::AcquireContainer(
     SESEMI_ASSIGN_OR_RETURN(container, ColdStart(shard, &index));
     *cold = true;
   }
+  span.set_arg("cold", *cold ? 1 : 0);
   *slot_index = index;
   return container;
 }
@@ -539,12 +543,18 @@ std::future<InvocationResult> ServerlessPlatform::InvokeAsync(
   pending->request = std::move(request);
   std::future<InvocationResult> future = pending->promise.get_future();
 
+  // Nests under cluster.route when the router invoked us on this thread;
+  // otherwise roots a new trace. The context rides the queued request to
+  // whichever dispatcher thread pops it.
+  obs::Span submit(obs::spans::kPlatformSubmit);
+
   sched::QueuedRequest queued;
   queued.function = function;
   queued.model_id = pending->request.model_id;
   queued.session_id = pending->request.user_id;
   queued.priority = options.priority;
   queued.deadline = options.deadline;
+  queued.trace = submit.context();
   queued.payload = pending;
   const uint64_t payload_bytes = pending->request.encrypted_input.size();
 
@@ -627,6 +637,28 @@ void ServerlessPlatform::ResumeDispatch() {
 
 void ServerlessPlatform::DispatchBatch(std::vector<sched::QueuedRequest> batch) {
   const TimeMicros now = clock_->Now();
+
+  // Continue the head request's trace on this dispatcher thread. Coalesced
+  // companions keep their own traces: each gets a reconstructed queue-wait
+  // span plus (for non-heads) a sched.coalesced instant pointing at the
+  // trace that carries the shared dispatch/ecall spans.
+  obs::Span dispatch(obs::spans::kDispatch, batch.front().trace);
+  dispatch.set_arg("batch_size", static_cast<int64_t>(batch.size()));
+  if (obs::Tracer::Enabled()) {
+    const TimeMicros trace_now = obs::Tracer::Now();
+    for (size_t i = 0; i < batch.size(); ++i) {
+      const sched::QueuedRequest& qr = batch[i];
+      const TimeMicros wait = now >= qr.enqueue_time ? now - qr.enqueue_time : 0;
+      obs::Tracer::EmitSpan(qr.trace, obs::spans::kQueueWait, trace_now - wait,
+                            trace_now, "batch_size",
+                            static_cast<int64_t>(batch.size()));
+      if (i > 0) {
+        obs::Tracer::EmitInstant(
+            qr.trace, obs::spans::kCoalesced, "head_trace",
+            static_cast<int64_t>(batch.front().trace.trace_id));
+      }
+    }
+  }
 
   auto resolve_all = [&](const Status& status) {
     for (sched::QueuedRequest& qr : batch) {
@@ -877,6 +909,102 @@ RecoveryStats ServerlessPlatform::recovery_stats() const {
   stats.deadline_cuts = deadline_cuts_.load(std::memory_order_relaxed);
   stats.shutdown_drops = shutdown_drops_.load(std::memory_order_relaxed);
   return stats;
+}
+
+void ServerlessPlatform::RegisterMetrics(
+    obs::MetricsRegistry* registry,
+    std::vector<std::pair<std::string, std::string>> labels) {
+  // Scrape-time collector over the existing atomic counters: the hot paths
+  // keep their plain relaxed fetch_adds; the registry only pays at
+  // Snapshot(). Metric names: docs/BENCHMARKS.md "Metric names".
+  metrics_collector_ = obs::ScopedCollector(
+      registry, [this, labels = std::move(labels)]() {
+        std::vector<obs::Sample> samples;
+        samples.reserve(32);
+        const PlatformStats p = stats();
+        samples.push_back(obs::MakeCounterSample(
+            "sesemi_platform_invocations_total", p.invocations, labels));
+        samples.push_back(obs::MakeCounterSample(
+            "sesemi_platform_cold_starts_total", p.cold_starts, labels));
+        samples.push_back(obs::MakeCounterSample(
+            "sesemi_platform_reaped_containers_total", p.reaped_containers,
+            labels));
+        samples.push_back(obs::MakeCounterSample(
+            "sesemi_platform_breaker_opens_total",
+            static_cast<double>(p.breaker_opens), labels));
+
+        const RecoveryStats r = recovery_stats();
+        samples.push_back(obs::MakeCounterSample(
+            "sesemi_recovery_enclave_failures_total",
+            static_cast<double>(r.enclave_failures), labels));
+        samples.push_back(obs::MakeCounterSample(
+            "sesemi_recovery_quarantined_slots_total",
+            static_cast<double>(r.quarantined_slots), labels));
+        samples.push_back(obs::MakeCounterSample(
+            "sesemi_recovery_relaunches_total",
+            static_cast<double>(r.relaunches), labels));
+        samples.push_back(obs::MakeCounterSample(
+            "sesemi_recovery_relaunch_backoffs_total",
+            static_cast<double>(r.relaunch_backoffs), labels));
+        samples.push_back(obs::MakeCounterSample(
+            "sesemi_recovery_retries_total", static_cast<double>(r.retries),
+            labels));
+        samples.push_back(obs::MakeCounterSample(
+            "sesemi_recovery_deadline_cuts_total",
+            static_cast<double>(r.deadline_cuts), labels));
+        samples.push_back(obs::MakeCounterSample(
+            "sesemi_recovery_shutdown_drops_total",
+            static_cast<double>(r.shutdown_drops), labels));
+
+        const sched::SchedStats s = scheduler_stats();
+        auto with = [&labels](std::string key, std::string value) {
+          auto combined = labels;
+          combined.emplace_back(std::move(key), std::move(value));
+          return combined;
+        };
+        samples.push_back(obs::MakeGaugeSample("sesemi_sched_policy_info", 1,
+                                               with("policy", s.policy)));
+        samples.push_back(obs::MakeCounterSample(
+            "sesemi_sched_submitted_total", static_cast<double>(s.submitted),
+            labels));
+        samples.push_back(obs::MakeCounterSample(
+            "sesemi_sched_admitted_total", static_cast<double>(s.admitted),
+            labels));
+        samples.push_back(obs::MakeCounterSample(
+            "sesemi_sched_dispatched_total", static_cast<double>(s.dispatched),
+            labels));
+        samples.push_back(obs::MakeCounterSample(
+            "sesemi_sched_rejected_total", static_cast<double>(s.rejected_rate),
+            with("reason", "rate")));
+        samples.push_back(obs::MakeCounterSample(
+            "sesemi_sched_rejected_total",
+            static_cast<double>(s.rejected_depth), with("reason", "depth")));
+        samples.push_back(obs::MakeCounterSample(
+            "sesemi_sched_rejected_total",
+            static_cast<double>(s.rejected_global), with("reason", "global")));
+        samples.push_back(obs::MakeCounterSample(
+            "sesemi_sched_deadline_drops_total", static_cast<double>(s.drops),
+            labels));
+        samples.push_back(obs::MakeGaugeSample(
+            "sesemi_sched_queue_depth", static_cast<double>(s.queue_depth),
+            labels));
+        samples.push_back(obs::MakeCounterSample(
+            "sesemi_sched_batches_total", static_cast<double>(s.batches),
+            labels));
+        samples.push_back(obs::MakeGaugeSample("sesemi_sched_avg_batch_size",
+                                               s.avg_batch_size, labels));
+        for (int cls = 0; cls < sched::kNumPriorityClasses; ++cls) {
+          const auto& wait = s.wait[static_cast<size_t>(cls)];
+          auto cls_labels = with("class", std::to_string(cls));
+          samples.push_back(obs::MakeGaugeSample(
+              "sesemi_sched_wait_p50_seconds",
+              MicrosToSeconds(wait.p50), cls_labels));
+          samples.push_back(obs::MakeGaugeSample(
+              "sesemi_sched_wait_p99_seconds",
+              MicrosToSeconds(wait.p99), cls_labels));
+        }
+        return samples;
+      });
 }
 
 }  // namespace sesemi::serverless

@@ -17,6 +17,7 @@
 #include "common/result.h"
 #include "fnpacker/router.h"
 #include "keyservice/keyservice.h"
+#include "obs/metrics.h"
 #include "sched/scheduler.h"
 #include "semirt/semirt.h"
 #include "serverless/recovery.h"
@@ -203,6 +204,14 @@ class ServerlessPlatform {
   /// ownership and the router must outlive it.
   void AttachRouter(fnpacker::RequestRouter* router) { router_ = router; }
 
+  /// Re-home this platform's counters (PlatformStats, RecoveryStats,
+  /// SchedStats) into `registry` as a scrape-time collector under
+  /// `sesemi_platform_*` / `sesemi_sched_*` names. The label (e.g.
+  /// node="2") distinguishes platforms sharing one registry; deregistration
+  /// is automatic at destruction. See docs/ARCHITECTURE.md "Observability".
+  void RegisterMetrics(obs::MetricsRegistry* registry,
+                       std::vector<std::pair<std::string, std::string>> labels = {});
+
   /// The SGX platform backing node `i` (for EPC/attestation inspection).
   sgx::SgxPlatform* node(int i) { return nodes_.at(i).platform.get(); }
 
@@ -379,6 +388,9 @@ class ServerlessPlatform {
   int active_dispatchers_ = 0;  ///< guarded by dispatch_mutex_
   bool dispatch_paused_ = false;  ///< guarded by dispatch_mutex_
   int window_limit_ = 0;
+
+  /// Deregisters the stats collector before the counters it reads die.
+  obs::ScopedCollector metrics_collector_;
 
   /// Declared last so outstanding async invocations drain before any other
   /// member is destroyed.

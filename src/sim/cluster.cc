@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "obs/trace.h"
+
 namespace sesemi::sim {
 
 using semirt::InvocationKind;
@@ -204,6 +206,11 @@ void ClusterSim::StartRequest(const PendingRequest& request, Container* containe
   double pre_s = config_.cost_model.PlatformOverheadSeconds();
   bool key_fetched = false, model_loaded = false, runtime_inited = false;
   const std::string key_id = request.model_id + "|" + request.user_id;
+  // Per-stage costs tracked alongside pre_s for the virtual-time trace
+  // (same semirt.* stage names as the live path, so sim-vs-real traces of
+  // one replay are directly comparable).
+  const double overhead_s = pre_s;
+  double relaunch_s = 0, key_s = 0, model_s = 0, rt_s = 0;
 
   if (trusted) {
     if (fn.mode == RuntimeMode::kNative && !fresh) {
@@ -211,8 +218,9 @@ void ClusterSim::StartRequest(const PendingRequest& request, Container* containe
       Node& node = nodes_[container->node];
       double size_scale = static_cast<double>(container->enclave_bytes) /
                           static_cast<double>(profile.enclave_bytes);
-      pre_s += profile.enclave_init_s * size_scale *
-               (node.launches_in_progress + 1);
+      relaunch_s = profile.enclave_init_s * size_scale *
+                   (node.launches_in_progress + 1);
+      pre_s += relaunch_s;
       container->attested = false;
       container->cached_key.clear();
       container->loaded_model.clear();
@@ -229,14 +237,16 @@ void ClusterSim::StartRequest(const PendingRequest& request, Container* containe
         double contention =
             config_.cost_model.AttestationSeconds(node.attestations_in_progress) -
             config_.cost_model.AttestationSeconds(1);
-        pre_s += profile.key_fetch_s + contention;
+        key_s = profile.key_fetch_s + contention;
+        pre_s += key_s;
         int node_id = container->node;
         queue_.ScheduleAfter(SecondsToMicros(pre_s), [this, node_id] {
           nodes_[node_id].attestations_in_progress--;
         });
         container->attested = true;
       } else {
-        pre_s += config_.cost_model.WarmKeyFetchSeconds();
+        key_s = config_.cost_model.WarmKeyFetchSeconds();
+        pre_s += key_s;
       }
       container->cached_key = fn.sequential_isolation ? "" : key_id;
     }
@@ -244,11 +254,12 @@ void ClusterSim::StartRequest(const PendingRequest& request, Container* containe
                               fn.mode == RuntimeMode::kSesemi;
     if (!model_cached) {
       model_loaded = true;
-      pre_s += profile.model_load_s;
+      model_s = profile.model_load_s;
       if (config_.remote_storage) {
-        pre_s += MicrosToSeconds(
+        model_s += MicrosToSeconds(
             config_.cost_model.storage_latency().TransferTime(profile.model_bytes));
       }
+      pre_s += model_s;
       container->loaded_model = request.model_id;
       for (auto& s : container->slots) s.runtime_model.clear();
     }
@@ -257,7 +268,8 @@ void ClusterSim::StartRequest(const PendingRequest& request, Container* containe
         fn.mode == RuntimeMode::kSesemi && !fn.sequential_isolation;
     if (!runtime_cached) {
       runtime_inited = true;
-      pre_s += profile.runtime_init_s;
+      rt_s = profile.runtime_init_s;
+      pre_s += rt_s;
       container->slots[slot].runtime_model = request.model_id;
     }
     if (fn.sequential_isolation && !key_fetched && !model_loaded && !runtime_inited) {
@@ -268,17 +280,19 @@ void ClusterSim::StartRequest(const PendingRequest& request, Container* containe
     const bool model_cached = container->loaded_model == request.model_id;
     if (!model_cached) {
       model_loaded = true;
-      pre_s += profile.plain_model_load_s;
+      model_s = profile.plain_model_load_s;
       if (config_.remote_storage) {
-        pre_s += MicrosToSeconds(
+        model_s += MicrosToSeconds(
             config_.cost_model.storage_latency().TransferTime(profile.model_bytes));
       }
+      pre_s += model_s;
       container->loaded_model = request.model_id;
       for (auto& s : container->slots) s.runtime_model.clear();
     }
     if (container->slots[slot].runtime_model != request.model_id) {
       runtime_inited = true;
-      pre_s += profile.plain_runtime_init_s;
+      rt_s = profile.plain_runtime_init_s;
+      pre_s += rt_s;
       container->slots[slot].runtime_model = request.model_id;
     }
   }
@@ -294,7 +308,30 @@ void ClusterSim::StartRequest(const PendingRequest& request, Container* containe
   TimeMicros exec_begin = begin + SecondsToMicros(pre_s);
   int container_id = container->id;
   PendingRequest req = request;
-  queue_.ScheduleAt(exec_begin, [this, req, container_id, slot, kind, trusted] {
+
+  // Virtual-time trace: pre-execution stage spans laid out sequentially from
+  // `begin` under a pre-minted root (closed at completion below). Explicit
+  // timestamps, so no clock override is needed — the exported JSON simply
+  // carries simulated time.
+  obs::TraceContext trace_root;
+  if (obs::Tracer::Enabled()) {
+    trace_root = obs::Tracer::NewContext();
+    TimeMicros cursor = begin;
+    auto stage = [&cursor, &trace_root](const char* name, double seconds) {
+      if (seconds <= 0) return;
+      const TimeMicros end = cursor + SecondsToMicros(seconds);
+      obs::Tracer::EmitSpan(trace_root, name, cursor, end);
+      cursor = end;
+    };
+    stage(obs::spans::kSimOverhead, overhead_s);
+    stage(obs::spans::kEnclaveInit, relaunch_s);
+    stage(obs::spans::kKeyFetch, key_s);
+    stage(obs::spans::kModelLoad, model_s);
+    stage(obs::spans::kRuntimeInit, rt_s);
+  }
+
+  queue_.ScheduleAt(exec_begin, [this, req, container_id, slot, kind, trusted,
+                                 trace_root] {
     auto it = containers_.find(container_id);
     assert(it != containers_.end());
     Container* c = it->second.get();
@@ -310,11 +347,20 @@ void ClusterSim::StartRequest(const PendingRequest& request, Container* containe
         config_.cost_model.ExecuteSeconds(p, node.runnable,
                                           config_.cost_model.cores_per_node(),
                                           epc_util, trusted);
-    queue_.ScheduleAfter(SecondsToMicros(exec_s), [this, req, container_id, slot, kind] {
+    if (trace_root.valid() && obs::Tracer::Enabled()) {
+      obs::Tracer::EmitSpan(trace_root, obs::spans::kInference, queue_.now(),
+                            queue_.now() + SecondsToMicros(exec_s));
+    }
+    queue_.ScheduleAfter(SecondsToMicros(exec_s), [this, req, container_id,
+                                                   slot, kind, trace_root] {
       auto it2 = containers_.find(container_id);
       assert(it2 != containers_.end());
       Container* c2 = it2->second.get();
       nodes_[c2->node].runnable--;
+      if (trace_root.valid()) {
+        obs::Tracer::EmitRoot(trace_root, obs::spans::kSimRequest, req.submit,
+                              queue_.now(), "node", c2->node);
+      }
       FinishRequest(req, c2, slot, kind);
     });
   });
