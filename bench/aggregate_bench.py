@@ -6,6 +6,7 @@ CI uploads three artifacts per commit (docs/BENCHMARKS.md):
   BENCH_micro.json    google-benchmark JSON (bytes_per_second / FLOPS counters)
   BENCH_sched.json    one JSON object per line, each with a "section" key
   BENCH_cluster.json  same JSON-lines shape, from the cluster dataplane bench
+  BENCH_fig13.json    same JSON-lines shape, from the MMPP/per-class bench
 
 Point this script at one or more of those files — or at directories holding
 them, e.g. one subdirectory per commit from `gh run download` — and it emits
@@ -13,7 +14,8 @@ a single trajectory document on stdout (or --out):
 
   {"points": [{"label": "<commit>", "metrics": {"BM_GcmSeal/65536": 1.4e9, ...},
                "sched": {"fairness": {...}, ...},
-               "cluster": {"replay": {...}, ...}}, ...]}
+               "cluster": {"replay": {...}, ...},
+               "fig13": {"classes": {...}, ...}}, ...]}
 
 Labels default to the parent directory name of each file (the commit, when
 the artifact tree is one directory per commit); files sharing a label merge
@@ -99,7 +101,9 @@ def main():
             return 1
         label = args.label or os.path.basename(os.path.dirname(os.path.abspath(path)))
         point = points.setdefault(
-            label, {"label": label, "metrics": {}, "sched": {}, "cluster": {}})
+            label,
+            {"label": label, "metrics": {}, "sched": {}, "cluster": {},
+             "fig13": {}})
         mtime = os.path.getmtime(path)
         mtimes[label] = min(mtimes.get(label, mtime), mtime)
         base = os.path.basename(path)
@@ -107,6 +111,8 @@ def main():
             load_sched(path, point["sched"])
         elif base == "BENCH_cluster.json":
             load_sched(path, point["cluster"])
+        elif base == "BENCH_fig13.json":
+            load_sched(path, point["fig13"])
         else:
             load_micro(path, point["metrics"])
 

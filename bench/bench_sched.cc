@@ -16,11 +16,14 @@
 // single JSON line with inv/s for both modes (CI asserts <= 5% delta).
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cstring>
+#include <deque>
 #include <future>
 #include <map>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -28,6 +31,11 @@
 #include "common/faultpoint.h"
 #include "serverless/platform.h"
 #include "workload/generators.h"
+
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+#endif
 
 namespace sesemi::bench {
 namespace {
@@ -59,8 +67,41 @@ struct Rig {
                                     input, &es);
   }
 
+  /// Deploy a second, much lighter model ("light") beside the rig's kMbNet:
+  /// the isolation section pairs a heavy bulk model with a cheap interactive
+  /// one, the workload shape the RT tier targets.
+  bool DeployLightModel(double light_scale) {
+    auto ks_client = client::KeyServiceClient::Connect(
+        live.keyservice(), &live.authority(),
+        keyservice::KeyServiceEnclave::ExpectedMeasurement());
+    if (!ks_client.ok()) return false;
+    model::ZooSpec spec;
+    spec.model_id = "light";
+    spec.scale = light_scale;
+    spec.input_hw = 16;
+    auto built = model::BuildModel(spec);
+    if (!built.ok()) return false;
+    light_graph = std::move(*built);
+    const sgx::Measurement es = semirt::SemirtInstance::MeasurementFor(options);
+    return live.owner()
+               .DeployModel(ks_client->get(), &live.storage(), light_graph,
+                            /*with_plaintext_copy=*/true)
+               .ok() &&
+           live.owner()
+               .GrantAccess(ks_client->get(), "light", es, live.user().id())
+               .ok() &&
+           live.user().ProvisionRequestKey(ks_client->get(), "light", es).ok();
+  }
+
+  Result<semirt::InferenceRequest> LightRequest(uint64_t seed) {
+    const sgx::Measurement es = semirt::SemirtInstance::MeasurementFor(options);
+    Bytes input = model::GenerateRandomInput(light_graph, seed);
+    return live.user().BuildRequest("light", input, &es);
+  }
+
   LiveRig live;
   const model::ModelGraph* graph = nullptr;
+  model::ModelGraph light_graph;
   semirt::SemirtOptions options;
   std::unique_ptr<serverless::ServerlessPlatform> platform;
 };
@@ -473,18 +514,255 @@ void OverheadSection() {
       " docs/ARCHITECTURE.md \"Observability\")\n");
 }
 
+struct IsolationRun {
+  double interactive_p50_us = 0;
+  double interactive_p99_us = 0;
+  double bulk_inv_per_s = 0;
+  bool ok = false;
+};
+
+/// Elevate the calling (measuring) thread to SCHED_FIFO just below the RT
+/// lanes' priority for the duration of a run. A real interactive client is a
+/// separate machine; in-process, an un-elevated observer's own wakeup
+/// latency under a saturated CPU would otherwise dominate the p99 of BOTH
+/// modes and drown the signal. Applied symmetrically to the shared and RT
+/// runs; quietly a no-op where the container forbids it (the CI gate is
+/// retry-tolerant for that noisier case).
+class ScopedObserverPriority {
+ public:
+  ScopedObserverPriority() {
+#if defined(__linux__)
+    pthread_getschedparam(pthread_self(), &old_policy_, &old_param_);
+    sched_param param{};
+    param.sched_priority = 39;  // below the lanes' 40: never preempts them
+    elevated_ =
+        pthread_setschedparam(pthread_self(), SCHED_FIFO, &param) == 0;
+#endif
+  }
+  ~ScopedObserverPriority() {
+#if defined(__linux__)
+    if (elevated_) {
+      pthread_setschedparam(pthread_self(), old_policy_, &old_param_);
+    }
+#endif
+  }
+
+ private:
+#if defined(__linux__)
+  int old_policy_ = 0;
+  sched_param old_param_{};
+#endif
+  bool elevated_ = false;
+};
+
+// One saturated run: a producer thread keeps a fixed window of heavy bulk
+// requests in flight for the whole measurement — sustained saturation, not a
+// transient burst that the pool drains before interactive traffic arrives —
+// while cheap interactive (class 0) requests trickle in. With the RT tier
+// the interactive class bypasses pool and batcher onto dedicated lanes;
+// without it interactive latency inherits the dispatch-window occupancy of
+// the backlog. Bulk throughput is completions/s over the same wall window in
+// both modes, so the regression comparison is like-for-like.
+IsolationRun RunIsolation(bool rt_enabled) {
+  IsolationRun out;
+  const int interactive_n = g_quick ? 16 : 32;
+  const int producers_n = 3;
+  const int per_producer_inflight = 16;
+  const auto measure_window = std::chrono::milliseconds(g_quick ? 300 : 600);
+
+  serverless::PlatformConfig config;
+  // A single dispatch-window slot: the saturation regime the tier is for is
+  // "every shared dispatcher is occupied by a bulk batch". One slot makes
+  // that regime hold by construction on any core count (the CI runner and
+  // dev boxes differ wildly), instead of only when offered load happens to
+  // beat 2x ParallelismDegree().
+  config.max_inflight = 1;
+  if (rt_enabled) {
+    config.rt.enabled = true;
+    config.rt.classes = 1;
+    config.rt.executor.num_lanes = 1;
+    // Privileged knobs degrade to unpinned lanes without CAP_SYS_NICE.
+    config.rt.executor.pin_threads = true;
+    config.rt.executor.elevate_priority = true;
+  }
+  // Heavy bulk model (see BatchingSection), cheap interactive model: the
+  // workload split the tier exists for.
+  Rig rig(config, /*scale=*/0.05);
+  if (!rig.DeployLightModel(/*light_scale=*/0.002)) return out;
+  // Wide batches: each dispatch occupies its slot for the whole multi-row
+  // enclave entry, which is exactly the occupancy interactive requests queue
+  // behind on the shared path.
+  sched::FunctionSchedParams bulk_params;
+  bulk_params.priority = 1;
+  bulk_params.max_batch = 16;
+  sched::FunctionSchedParams rt_params;
+  rt_params.priority = 0;
+  if (!rig.Deploy("fn-bulk", bulk_params) || !rig.Deploy("fn-rt", rt_params)) {
+    return out;
+  }
+  // Warm both containers (and the RT lane's first dispatch) off the clock.
+  {
+    auto bulk_request = rig.Request(1);
+    if (!bulk_request.ok()) return out;
+    (void)rig.platform->Invoke("fn-bulk", *bulk_request);
+    auto rt_request = rig.LightRequest(1);
+    if (!rt_request.ok()) return out;
+    (void)rig.platform->Invoke("fn-rt", *rt_request);
+  }
+
+  // Pre-built request templates: the producer must never touch the client
+  // concurrently with the interactive loop (BuildRequest is not synchronized).
+  std::vector<semirt::InferenceRequest> templates;
+  for (uint64_t seed = 2; seed < 10; ++seed) {
+    auto request = rig.Request(seed);
+    if (!request.ok()) return out;
+    templates.push_back(std::move(*request));
+  }
+
+  std::atomic<bool> stop{false};
+  std::atomic<bool> bulk_failed{false};
+  std::atomic<uint64_t> bulk_done{0};
+  // Several producers, each holding a bounded in-flight window: one of them
+  // (whoever grabbed the single dispatch slot) becomes the de-facto
+  // dispatcher while the rest keep the backlog topped up, so batches
+  // coalesce deep and the slot never idles.
+  std::vector<std::thread> producers;
+  producers.reserve(producers_n);
+  for (int p = 0; p < producers_n; ++p) {
+    producers.emplace_back([&, p] {
+      std::deque<std::future<serverless::InvocationResult>> inflight;
+      uint64_t seq = static_cast<uint64_t>(p);
+      while (!stop.load(std::memory_order_relaxed)) {
+        while (static_cast<int>(inflight.size()) < per_producer_inflight) {
+          semirt::InferenceRequest copy = templates[seq++ % templates.size()];
+          inflight.push_back(
+              rig.platform->InvokeAsync("fn-bulk", std::move(copy)));
+        }
+        if (!inflight.front().get().response.ok()) {
+          bulk_failed.store(true, std::memory_order_relaxed);
+        }
+        inflight.pop_front();
+        bulk_done.fetch_add(1, std::memory_order_relaxed);
+      }
+      for (auto& future : inflight) {
+        if (!future.get().response.ok()) {
+          bulk_failed.store(true, std::memory_order_relaxed);
+        }
+        bulk_done.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+
+  // Let the backlog establish before the measured window opens.
+  while (bulk_done.load(std::memory_order_relaxed) <
+         static_cast<uint64_t>(producers_n * per_producer_inflight)) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+
+  const auto window_t0 = std::chrono::steady_clock::now();
+  const uint64_t window_d0 = bulk_done.load(std::memory_order_relaxed);
+
+  ScopedObserverPriority observer_priority;
+  bool interactive_failed = false;
+  std::vector<double> interactive_us;
+  interactive_us.reserve(interactive_n);
+  for (int i = 0; i < interactive_n; ++i) {
+    auto request = rig.LightRequest(static_cast<uint64_t>(i % 8) + 2);
+    if (!request.ok()) {
+      interactive_failed = true;
+      break;
+    }
+    const auto start = std::chrono::steady_clock::now();
+    serverless::InvocationResult result =
+        rig.platform->InvokeAsync("fn-rt", std::move(*request)).get();
+    if (!result.response.ok()) {
+      interactive_failed = true;
+      break;
+    }
+    interactive_us.push_back(
+        std::chrono::duration<double, std::micro>(
+            std::chrono::steady_clock::now() - start)
+            .count());
+    // Spread arrivals across the saturated window instead of measuring one
+    // back-to-back clump.
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+
+  std::this_thread::sleep_until(window_t0 + measure_window);
+  const uint64_t window_d1 = bulk_done.load(std::memory_order_relaxed);
+  const double window_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    window_t0)
+          .count();
+  stop.store(true, std::memory_order_relaxed);
+  for (std::thread& t : producers) t.join();
+  if (interactive_failed || bulk_failed.load(std::memory_order_relaxed)) {
+    return out;
+  }
+
+  std::sort(interactive_us.begin(), interactive_us.end());
+  auto pct = [&](double p) {
+    const double rank = p / 100.0 * (interactive_us.size() - 1);
+    return interactive_us[static_cast<size_t>(rank + 0.5)];
+  };
+  out.interactive_p50_us = pct(50.0);
+  out.interactive_p99_us = pct(99.0);
+  out.bulk_inv_per_s =
+      window_s > 0 ? static_cast<double>(window_d1 - window_d0) / window_s : 0.0;
+  out.ok = true;
+  return out;
+}
+
+void IsolationSection() {
+  PrintSection("(e) execution tiers — interactive p99 under bulk saturation");
+  // Back-to-back in one process so both configurations see the same machine
+  // state; the CI gate retries the whole binary on transient noise.
+  const IsolationRun shared = RunIsolation(/*rt_enabled=*/false);
+  const IsolationRun rt = RunIsolation(/*rt_enabled=*/true);
+  if (!shared.ok || !rt.ok) {
+    std::printf("(isolation section failed to complete; skipping line)\n");
+    return;
+  }
+  const double ratio = shared.interactive_p99_us > 0
+                           ? rt.interactive_p99_us / shared.interactive_p99_us
+                           : 0.0;
+  const double bulk_regression_pct =
+      shared.bulk_inv_per_s > 0
+          ? (1.0 - rt.bulk_inv_per_s / shared.bulk_inv_per_s) * 100.0
+          : 0.0;
+  std::printf(
+      "{\"bench\":\"sched\",\"section\":\"isolation\","
+      "\"interactive_p50_rt_us\":%.0f,\"interactive_p99_rt_us\":%.0f,"
+      "\"interactive_p50_shared_us\":%.0f,\"interactive_p99_shared_us\":%.0f,"
+      "\"p99_ratio\":%.3f,\"bulk_inv_per_s_rt\":%.1f,"
+      "\"bulk_inv_per_s_shared\":%.1f,\"bulk_regression_pct\":%.1f}\n",
+      rt.interactive_p50_us, rt.interactive_p99_us, shared.interactive_p50_us,
+      shared.interactive_p99_us, ratio, rt.bulk_inv_per_s,
+      shared.bulk_inv_per_s, bulk_regression_pct);
+  std::printf(
+      "(shape check: p99_ratio <= 0.5 — the execution-tier bound in\n"
+      " docs/ARCHITECTURE.md \"Execution tiers\"; bulk_regression_pct <= 10)\n");
+}
+
 }  // namespace
 }  // namespace sesemi::bench
 
 int main(int argc, char** argv) {
   bool overhead_check = false;
+  bool isolation_check = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--quick") == 0) sesemi::bench::g_quick = true;
     if (std::strcmp(argv[i], "--overhead-check") == 0) overhead_check = true;
+    if (std::strcmp(argv[i], "--isolation-check") == 0) isolation_check = true;
   }
   if (overhead_check) {
     sesemi::bench::PrintHeader("Scheduler — tracing overhead probe");
     sesemi::bench::OverheadSection();
+    return 0;
+  }
+  if (isolation_check) {
+    sesemi::bench::PrintHeader("Scheduler — execution-tier isolation probe");
+    sesemi::bench::IsolationSection();
     return 0;
   }
   sesemi::bench::PrintHeader(
@@ -493,5 +771,6 @@ int main(int argc, char** argv) {
   sesemi::bench::BatchingSection();
   sesemi::bench::AdmissionSection();
   sesemi::bench::RecoverySection();
+  sesemi::bench::IsolationSection();
   return 0;
 }

@@ -20,14 +20,21 @@ ScaleDecision Autoscaler::Tick(const std::vector<NodeLoadSample>& active) {
     return ScaleDecision::kHold;
   }
 
-  uint64_t backlog = 0;
+  double backlog = 0.0;
   bool degraded = false;
+  bool rt_busy = false;
   for (const NodeLoadSample& sample : active) {
-    backlog += sample.queue_depth;
+    // interactive_depth is a subset of queue_depth, so the weight applies
+    // as a surcharge on top of the class-blind count.
+    backlog += static_cast<double>(sample.queue_depth);
+    if (config_.interactive_backlog_weight > 1.0) {
+      backlog += (config_.interactive_backlog_weight - 1.0) *
+                 static_cast<double>(sample.interactive_depth);
+    }
     degraded |= sample.enclave_failures_delta >= config_.degraded_failures_per_tick;
+    rt_busy |= sample.rt_busy_lanes > 0;
   }
-  const double per_node =
-      static_cast<double>(backlog) / static_cast<double>(active.size());
+  const double per_node = backlog / static_cast<double>(active.size());
   const int n = static_cast<int>(active.size());
 
   if (per_node > config_.scale_up_backlog_per_node &&
@@ -38,6 +45,10 @@ ScaleDecision Autoscaler::Tick(const std::vector<NodeLoadSample>& active) {
   }
   if (per_node < config_.scale_down_backlog_per_node && !degraded &&
       n > config_.min_nodes) {
+    if (rt_busy && config_.rt_busy_vetoes_scale_down) {
+      stats_.rt_vetoes++;
+      return ScaleDecision::kHold;
+    }
     stats_.downs++;
     cooldown_remaining_ = config_.cooldown_ticks;
     return ScaleDecision::kDown;

@@ -22,6 +22,15 @@ struct AutoscaleConfig {
   /// (capacity is about to relaunch, not idle) and count toward scale-up
   /// pressure.
   uint64_t degraded_failures_per_tick = 2;
+  /// Interactive (RT-class) backlog counts this many times a bulk request
+  /// toward scale-up pressure: latency-class work queued behind busy lanes
+  /// is a stronger capacity signal than coalescible bulk depth. 1.0 =
+  /// class-blind (the pre-tier behaviour).
+  double interactive_backlog_weight = 4.0;
+  /// When any node reports busy RT lanes, veto scale-down: the tier is
+  /// serving latency-sensitive work right now, and removing a node would
+  /// rebalance interactive traffic onto colder warm pools.
+  bool rt_busy_vetoes_scale_down = true;
   int min_nodes = 1;
   /// 0 = no limit beyond the dataplane's standby pool.
   int max_nodes = 0;
@@ -36,6 +45,10 @@ struct NodeLoadSample {
   uint64_t queue_depth = 0;        ///< requests waiting in the node scheduler
   uint64_t dispatched_delta = 0;   ///< dispatches since the previous tick
   uint64_t enclave_failures_delta = 0;  ///< poisonings since the previous tick
+  /// RT tier occupancy (zero when the node runs without the tier).
+  int rt_busy_lanes = 0;
+  /// Requests parked in RT classes (a subset of queue_depth).
+  uint64_t interactive_depth = 0;
 };
 
 enum class ScaleDecision { kHold, kUp, kDown };
@@ -48,6 +61,7 @@ struct AutoscalerStats {
   uint64_t ups = 0;
   uint64_t downs = 0;
   uint64_t cooldown_holds = 0;
+  uint64_t rt_vetoes = 0;  ///< scale-downs suppressed by busy RT lanes
 };
 
 /// Stats-driven autoscaler: pure policy, no side effects. The dataplane

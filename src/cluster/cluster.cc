@@ -238,6 +238,9 @@ int ClusterDataplane::AutoscaleTick() {
     sample.dispatched_delta = sched_stats.dispatched - node->last_dispatched;
     sample.enclave_failures_delta =
         recovery.enclave_failures - node->last_enclave_failures;
+    const serverless::RtTierStats rt = node->platform->rt_stats();
+    sample.rt_busy_lanes = rt.busy_lanes;
+    sample.interactive_depth = rt.interactive_depth;
     node->last_dispatched = sched_stats.dispatched;
     node->last_enclave_failures = recovery.enclave_failures;
     samples.push_back(sample);
@@ -299,6 +302,10 @@ ClusterStats ClusterDataplane::stats() const {
     ns.steal_wins = node->steal_wins.load(std::memory_order_relaxed);
     ns.queue_depth = node->platform->queue_depth();
     ns.containers = node->platform->ContainerCount();
+    const serverless::RtTierStats rt = node->platform->rt_stats();
+    ns.rt_enabled = rt.enabled;
+    ns.rt_busy_lanes = rt.busy_lanes;
+    ns.rt_dispatches = rt.dispatches;
     stats.nodes.push_back(ns);
   }
   return stats;
@@ -346,6 +353,10 @@ void ClusterDataplane::RegisterMetrics(obs::MetricsRegistry* registry) {
                                              node.active ? 1 : 0, labels));
       samples.push_back(obs::MakeGaugeSample("sesemi_cluster_node_healthy",
                                              node.healthy ? 1 : 0, labels));
+      if (node.rt_enabled) {
+        samples.push_back(obs::MakeGaugeSample(
+            "sesemi_cluster_node_rt_busy_lanes", node.rt_busy_lanes, labels));
+      }
     }
     return samples;
   });

@@ -50,6 +50,9 @@ struct ClusterNodeStats {
   uint64_t steal_wins = 0;   ///< requests stolen *to* this node's warm pool
   size_t queue_depth = 0;    ///< node scheduler backlog at snapshot time
   int containers = 0;        ///< live containers at snapshot time
+  bool rt_enabled = false;   ///< node runs the pinned RT inference tier
+  int rt_busy_lanes = 0;     ///< RT lanes executing at snapshot time
+  uint64_t rt_dispatches = 0;  ///< requests served on RT lanes
 };
 
 /// Cluster-wide counters.

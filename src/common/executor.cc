@@ -1,0 +1,26 @@
+#include "common/executor.h"
+
+#include "common/parallel_for.h"
+
+namespace sesemi {
+
+namespace {
+thread_local ExecTier t_exec_tier = ExecTier::kBulk;
+}  // namespace
+
+ExecTier CurrentExecTier() { return t_exec_tier; }
+
+ScopedExecTier::ScopedExecTier(ExecTier tier) : saved_(t_exec_tier) {
+  t_exec_tier = tier;
+}
+
+ScopedExecTier::~ScopedExecTier() { t_exec_tier = saved_; }
+
+bool BulkExecutor::Submit(JobFn fn, void* arg) {
+  group_->Submit([fn, arg] { fn(arg); });
+  return true;
+}
+
+int BulkExecutor::lanes() const { return ParallelismDegree(); }
+
+}  // namespace sesemi

@@ -1,0 +1,93 @@
+#ifndef SESEMI_COMMON_EXECUTOR_H_
+#define SESEMI_COMMON_EXECUTOR_H_
+
+namespace sesemi {
+
+class TaskGroup;
+
+/// \file
+/// The execution-tier seam (docs/ARCHITECTURE.md "Execution tiers").
+///
+/// Two tiers share the machine:
+///
+///  - kBulk:     the process-wide fork-join pool (common/parallel_for). Whole
+///               requests and their data-parallel GEMM panels interleave
+///               freely; throughput-optimal, latency-indifferent.
+///  - kRealtime: a small set of pinned, elevated-priority lanes
+///               (common/rt_executor). One request per lane at a time;
+///               nothing on a lane ever waits on bulk-pool progress.
+///
+/// The tier is a thread property: every worker thread carries a thread-local
+/// ExecTier, and latency-sensitive primitives consult it. ParallelFor runs
+/// inline (single-threaded) on a kRealtime thread, so an RT lane never fans
+/// work back into the pool it exists to bypass — and never blocks on workers
+/// that are busy with bulk batches.
+
+enum class ExecTier : int {
+  kBulk = 0,      ///< shared fork-join pool (the default for every thread)
+  kRealtime = 1,  ///< dedicated pinned inference lane
+};
+
+/// The calling thread's execution tier (kBulk unless a ScopedExecTier or an
+/// RT lane says otherwise).
+ExecTier CurrentExecTier();
+
+/// RAII tier override for the current thread; restores the previous tier on
+/// destruction. RT lanes hold one for their whole lifetime; tests use it to
+/// exercise the RT-inline ParallelFor path without real lanes.
+class ScopedExecTier {
+ public:
+  explicit ScopedExecTier(ExecTier tier);
+  ~ScopedExecTier();
+  ScopedExecTier(const ScopedExecTier&) = delete;
+  ScopedExecTier& operator=(const ScopedExecTier&) = delete;
+
+ private:
+  ExecTier saved_;
+};
+
+/// What the platform's dispatch layer routes onto: something that runs
+/// fire-and-forget jobs. Both tiers implement it, so class-aware dispatch is
+/// "pick an Executor by priority class, Submit a pump job".
+///
+/// Jobs are a plain function pointer + context word (not std::function) so
+/// implementations can promise an allocation-free submit path.
+class Executor {
+ public:
+  virtual ~Executor() = default;
+
+  using JobFn = void (*)(void*);
+
+  /// Queue `fn(arg)` for execution. Returns false when the executor cannot
+  /// accept (bounded ring full, shutting down) — the caller falls back to
+  /// another tier. `arg` must stay valid until the job runs.
+  virtual bool Submit(JobFn fn, void* arg) = 0;
+
+  virtual const char* name() const = 0;
+  virtual ExecTier tier() const = 0;
+  /// Worker threads this executor can run jobs on concurrently.
+  virtual int lanes() const = 0;
+};
+
+/// The shared fork-join pool behind the Executor seam: jobs become TaskGroup
+/// tasks, so the owner's existing group remains the join/lifetime handle
+/// (ServerlessPlatform points this at its async_tasks_ group and keeps its
+/// shutdown drain unchanged). Submit never rejects; it may allocate (bulk
+/// jobs tolerate that — the zero-alloc promise belongs to the RT tier).
+class BulkExecutor final : public Executor {
+ public:
+  /// `group` must outlive the executor; completed jobs are accounted to it.
+  explicit BulkExecutor(TaskGroup* group) : group_(group) {}
+
+  bool Submit(JobFn fn, void* arg) override;
+  const char* name() const override { return "bulk"; }
+  ExecTier tier() const override { return ExecTier::kBulk; }
+  int lanes() const override;
+
+ private:
+  TaskGroup* group_;
+};
+
+}  // namespace sesemi
+
+#endif  // SESEMI_COMMON_EXECUTOR_H_

@@ -6,6 +6,8 @@
 #include <functional>
 #include <mutex>
 
+#include "common/executor.h"
+
 namespace sesemi {
 
 /// \file
@@ -30,6 +32,16 @@ int ParallelismDegree();
 /// (the thread is already inside a ParallelFor chunk). Exposed for the
 /// template below; also usable by callers sizing per-worker scratch.
 bool InsideParallelForChunk();
+
+/// Per-class CPU budget hook (docs/ARCHITECTURE.md "Execution tiers"): while
+/// `limit` > 0, at most `limit` threads (caller included) concurrently drain
+/// any one ParallelFor job — workers beyond the cap skip the job and serve
+/// queued tasks instead. The RT tier sets this while its lanes are busy so
+/// bulk GEMM fan-out leaves whole cores to the pinned lanes; 0 restores the
+/// unclamped default. Advisory and racy by design: a worker already inside a
+/// chunk finishes it.
+void SetBulkHelperLimit(int limit);
+int BulkHelperLimit();
 
 /// Pool dispatch behind ParallelFor — call the template instead. The
 /// std::function is only ever constructed around a reference to the caller's
@@ -63,10 +75,13 @@ template <typename Fn>
 void ParallelFor(int64_t begin, int64_t end, int64_t grain, Fn&& fn) {
   if (begin >= end) return;
   if (grain < 1) grain = 1;
-  // Serial fast path: tiny ranges, single-core machines, and nested calls
-  // (a pool worker re-entering ParallelFor would deadlock waiting on itself).
+  // Serial fast path: tiny ranges, single-core machines, nested calls (a
+  // pool worker re-entering ParallelFor would deadlock waiting on itself),
+  // and RT-tier threads — a pinned real-time lane must never fan work into
+  // (or block on) the bulk pool it exists to bypass, so its ParallelFor is
+  // single-threaded by contract (common/executor.h).
   if (InsideParallelForChunk() || end - begin <= grain ||
-      ParallelismDegree() == 1) {
+      ParallelismDegree() == 1 || CurrentExecTier() == ExecTier::kRealtime) {
     fn(begin, end);
     return;
   }

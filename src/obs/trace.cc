@@ -138,7 +138,7 @@ TraceContext Tracer::NewContext() {
 
 TraceContext Tracer::EmitSpan(TraceContext parent, const char* name,
                               TimeMicros start, TimeMicros end,
-                              const char* arg_name, int64_t arg) {
+                              const char* arg_name, int64_t arg, int priority) {
   if (!Enabled()) return {};
   SpanRecord record;
   record.trace_id = parent.valid() ? parent.trace_id : NextId();
@@ -149,6 +149,7 @@ TraceContext Tracer::EmitSpan(TraceContext parent, const char* name,
   record.end = end;
   record.arg_name = arg_name;
   record.arg = arg;
+  record.priority = static_cast<int32_t>(priority);
   Record(record);
   TraceContext context;
   context.trace_id = record.trace_id;
@@ -297,6 +298,10 @@ std::string ToChromeTraceJson(const TraceSnapshot& snapshot) {
       AppendEscaped(&out, span.arg_name);
       std::snprintf(buf, sizeof(buf), "\":%lld",
                     static_cast<long long>(span.arg));
+      out += buf;
+    }
+    if (span.priority >= 0) {
+      std::snprintf(buf, sizeof(buf), ",\"priority\":%d", span.priority);
       out += buf;
     }
     out += "}}";

@@ -56,6 +56,9 @@ struct SpanRecord {
   uint32_t thread_index = 0;   ///< stable per recording thread (tid in JSON)
   const char* arg_name = nullptr;  ///< nullptr = no argument
   int64_t arg = 0;
+  /// Priority class of the request this span belongs to (-1 = untagged).
+  /// Exported as a "priority" arg so Chrome traces filter by class.
+  int32_t priority = -1;
 };
 
 /// A snapshot of every recorded span plus the drop accounting.
@@ -121,7 +124,8 @@ class Tracer {
   /// so callers can chain children. No-op (zero context) when disabled.
   static TraceContext EmitSpan(TraceContext parent, const char* name,
                                TimeMicros start, TimeMicros end,
-                               const char* arg_name = nullptr, int64_t arg = 0);
+                               const char* arg_name = nullptr, int64_t arg = 0,
+                               int priority = -1);
 
   /// Record an instant event (zero-duration span) under `parent`.
   static void EmitInstant(TraceContext parent, const char* name,
@@ -202,6 +206,7 @@ class Span {
     record.end = Tracer::Now();
     record.arg_name = arg_name_;
     record.arg = arg_;
+    record.priority = priority_;
     Tracer::Record(record);
     Tracer::SetCurrent(saved_);
   }
@@ -213,6 +218,13 @@ class Span {
     arg_ = value;
   }
 
+  /// Tag the span with the request's priority class (kept separate from the
+  /// one free-form arg so every dispatch span can carry both).
+  void set_priority(int priority) {
+    if (!armed_) return;
+    priority_ = static_cast<int32_t>(priority);
+  }
+
   /// Context to hand to another thread (e.g. QueuedRequest::trace). Zero
   /// when tracing is disabled.
   TraceContext context() const { return armed_ ? context_ : TraceContext{}; }
@@ -222,6 +234,7 @@ class Span {
   const char* name_ = nullptr;
   const char* arg_name_ = nullptr;
   int64_t arg_ = 0;
+  int32_t priority_ = -1;
   TimeMicros start_ = 0;
   TraceContext context_;
   TraceContext parent_;
@@ -240,6 +253,7 @@ inline constexpr const char* kPlatformSubmit = "platform.submit";
 inline constexpr const char* kQueueWait = "sched.queue_wait";
 inline constexpr const char* kCoalesced = "sched.coalesced";
 inline constexpr const char* kDispatch = "platform.dispatch";
+inline constexpr const char* kRtLane = "rt.lane";
 inline constexpr const char* kWarmAcquire = "platform.warm_acquire";
 inline constexpr const char* kColdStart = "platform.cold_start";
 // SeMIRT pipeline.

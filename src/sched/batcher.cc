@@ -37,6 +37,10 @@ size_t SameModelBatcher::Coalesce(FairQueue* queue, QueuedRequest head,
       shard->depth.fetch_sub(taken, std::memory_order_acq_rel);
       shard->dispatched.fetch_add(taken, std::memory_order_relaxed);
       queue->total_depth_.fetch_sub(taken, std::memory_order_acq_rel);
+      // Companions share the head's class (Compatible requires equal
+      // priority), so one subtraction keeps the per-class slice exact.
+      queue->class_depth_[head.priority].fetch_sub(taken,
+                                                   std::memory_order_acq_rel);
     }
   }
   // The pop charged only the head's 1/weight; charge the companions too so a

@@ -93,6 +93,7 @@ Status FairQueue::Enqueue(QueuedRequest request, TimeMicros now) {
     request.deadline = now + shard->params.default_slack;
   }
   request.enqueue_time = now;
+  const int cls = request.priority;
 
   size_t prev_depth = 0;
   {
@@ -116,6 +117,7 @@ Status FairQueue::Enqueue(QueuedRequest request, TimeMicros now) {
   }
   shard->enqueued.fetch_add(1, std::memory_order_relaxed);
   total_depth_.fetch_add(1, std::memory_order_acq_rel);
+  class_depth_[cls].fetch_add(1, std::memory_order_acq_rel);
 
   if (prev_depth == 0) {
     // Idle -> backlogged transition: catch the flow's virtual tag up to the
@@ -130,7 +132,7 @@ Status FairQueue::Enqueue(QueuedRequest request, TimeMicros now) {
   return Status::OK();
 }
 
-bool FairQueue::PopNext(QueuedRequest* out) {
+bool FairQueue::PopNext(ClassMask mask, QueuedRequest* out) {
   std::lock_guard<std::mutex> pop_lock(pop_mutex_);
 
   // Stable shard pointers: registration only appends.
@@ -146,6 +148,7 @@ bool FairQueue::PopNext(QueuedRequest* out) {
   for (;;) {
     bool retry = false;
     for (int cls = 0; cls < kNumPriorityClasses && !retry; ++cls) {
+      if ((mask & ClassMaskOf(cls)) == 0) continue;
       std::vector<QueueView> views;
       std::vector<FunctionShard*> owners;
       for (FunctionShard* shard : shards) {
@@ -196,10 +199,21 @@ bool FairQueue::PopNext(QueuedRequest* out) {
       out->dispatch_seq = next_dispatch_seq_++;
       shard->dispatched.fetch_add(1, std::memory_order_relaxed);
       total_depth_.fetch_sub(1, std::memory_order_acq_rel);
+      class_depth_[cls].fetch_sub(1, std::memory_order_acq_rel);
       return true;
     }
     if (!retry) return false;
   }
+}
+
+size_t FairQueue::DepthInClasses(ClassMask mask) const {
+  size_t depth = 0;
+  for (int cls = 0; cls < kNumPriorityClasses; ++cls) {
+    if (mask & ClassMaskOf(cls)) {
+      depth += class_depth_[cls].load(std::memory_order_acquire);
+    }
+  }
+  return depth;
 }
 
 void FairQueue::ChargeCoalesced(FunctionShard* shard, size_t extra) {

@@ -1,6 +1,7 @@
 #ifndef SESEMI_SCHED_QUEUE_H_
 #define SESEMI_SCHED_QUEUE_H_
 
+#include <array>
 #include <atomic>
 #include <cstdint>
 #include <deque>
@@ -44,6 +45,20 @@ const char* ToString(PolicyKind kind);
 /// Strict priority tiers: all class-0 work dispatches before any class-1
 /// work, and so on. Within one tier the policy decides.
 inline constexpr int kNumPriorityClasses = 3;
+
+/// Bit mask over priority classes (bit c set = class c eligible). The
+/// execution tiers split dispatch with these: RT lanes pop with the
+/// interactive-class mask, bulk dispatchers with its complement, and the
+/// tier-less configuration uses kAllClasses — identical to unmasked popping.
+using ClassMask = uint32_t;
+inline constexpr ClassMask kAllClasses = (1u << kNumPriorityClasses) - 1;
+inline constexpr ClassMask ClassMaskOf(int cls) { return 1u << cls; }
+/// Classes [0, n) — the "n highest tiers" mask.
+inline constexpr ClassMask ClassMaskUpTo(int n) {
+  return n <= 0 ? 0u
+         : n >= kNumPriorityClasses ? kAllClasses
+                                    : ((1u << n) - 1);
+}
 
 inline constexpr TimeMicros kNoDeadline = std::numeric_limits<TimeMicros>::max();
 
@@ -179,10 +194,18 @@ class FairQueue {
 
   /// Pop the next request in policy order (assigns dispatch_seq). Returns
   /// false when every queue is empty.
-  bool PopNext(QueuedRequest* out);
+  bool PopNext(QueuedRequest* out) { return PopNext(kAllClasses, out); }
+
+  /// Class-restricted pop: same policy order, considering only priority
+  /// classes in `mask`. With kAllClasses this is exactly the unmasked pop.
+  bool PopNext(ClassMask mask, QueuedRequest* out);
 
   /// Requests currently queued across all functions (racy snapshot).
   size_t TotalDepth() const { return total_depth_.load(std::memory_order_acquire); }
+
+  /// Requests currently queued in the classes selected by `mask` (racy
+  /// snapshot; the per-tier dispatcher exit condition).
+  size_t DepthInClasses(ClassMask mask) const;
 
   const SchedulerPolicy& policy() const { return *policy_; }
   PolicyKind policy_kind() const { return kind_; }
@@ -233,6 +256,10 @@ class FairQueue {
 
   std::atomic<uint64_t> next_seq_{0};
   std::atomic<size_t> total_depth_{0};
+  /// Per-class share of total_depth_ (same update points, including the
+  /// batcher's coalesce drain), so tier dispatchers can poll their slice
+  /// without touching any shard.
+  std::array<std::atomic<size_t>, kNumPriorityClasses> class_depth_{};
 };
 
 }  // namespace sesemi::sched

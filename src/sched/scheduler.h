@@ -86,9 +86,29 @@ class RequestScheduler {
   /// ordering. Shed requests are appended to `expired` (counted in
   /// SchedStats.drops) so the caller can resolve their futures with a typed
   /// DeadlineExceeded; passing nullptr discards them.
-  std::vector<QueuedRequest> PopBatch(std::vector<QueuedRequest>* expired = nullptr);
+  std::vector<QueuedRequest> PopBatch(std::vector<QueuedRequest>* expired = nullptr) {
+    return PopBatch(kAllClasses, expired);
+  }
+
+  /// Class-restricted PopBatch: considers only priority classes in
+  /// `classes`. The bulk tier's dispatchers pass the non-interactive mask so
+  /// RT-routed work is never stolen onto a pool worker; with kAllClasses the
+  /// behavior is exactly the unmasked PopBatch.
+  std::vector<QueuedRequest> PopBatch(ClassMask classes,
+                                      std::vector<QueuedRequest>* expired);
+
+  /// The RT tier's latency-first pop: exactly one request from `classes`, in
+  /// policy order, bypassing the batcher's same-model lookahead (coalescing
+  /// trades head latency for throughput — the wrong trade for the
+  /// interactive class). Expired-deadline shedding and queue-wait sampling
+  /// match PopBatch. Returns false when the masked classes are empty.
+  bool PopOne(ClassMask classes, QueuedRequest* out,
+              std::vector<QueuedRequest>* expired);
 
   size_t TotalDepth() const { return queue_.TotalDepth(); }
+  size_t DepthInClasses(ClassMask classes) const {
+    return queue_.DepthInClasses(classes);
+  }
   PolicyKind policy_kind() const { return queue_.policy_kind(); }
   const FunctionSchedParams* function_params(const std::string& function) const;
 

@@ -69,6 +69,13 @@ ServerlessPlatform::ServerlessPlatform(const PlatformConfig& config,
     node.platform = std::make_unique<sgx::SgxPlatform>(config_.generation, authority);
   }
   window_limit_ = WindowLimitFor(config_);
+  if (config_.rt.enabled) {
+    const int classes =
+        std::clamp(config_.rt.classes, 1, sched::kNumPriorityClasses);
+    rt_mask_ = sched::ClassMaskUpTo(classes);
+    bulk_mask_ = sched::kAllClasses & ~rt_mask_;
+    rt_exec_ = std::make_unique<RtExecutor>(config_.rt.executor);
+  }
 }
 
 ServerlessPlatform::~ServerlessPlatform() {
@@ -80,6 +87,10 @@ ServerlessPlatform::~ServerlessPlatform() {
     std::lock_guard<std::mutex> lock(dispatch_mutex_);
     dispatch_paused_ = false;  // parked backlog must drain, not execute
   }
+  // Retire the RT lanes before draining: queued pump jobs run (and see
+  // shutting_down_, so they pop nothing), in-flight RT dispatches finish,
+  // and no lane can touch the scheduler once the drains below start.
+  rt_exec_.reset();
   DrainForShutdown();
   async_tasks_.Wait();
   // A dispatcher may have been mid-PopBatch during the first drain; nothing
@@ -558,6 +569,10 @@ std::future<InvocationResult> ServerlessPlatform::InvokeAsync(
   queued.payload = pending;
   const uint64_t payload_bytes = pending->request.encrypted_input.size();
 
+  // Resolve the class before Submit consumes the request: it decides which
+  // tier's doorbell to ring after a successful enqueue.
+  const int effective_class = EffectiveClass(function, options.priority);
+
   Status admitted = scheduler_.Submit(std::move(queued), payload_bytes);
   if (!admitted.ok()) {
     // Typed rejection (rate limit / backlog full / unknown function): the
@@ -568,8 +583,64 @@ std::future<InvocationResult> ServerlessPlatform::InvokeAsync(
     return future;
   }
 
-  MaybeSpawnDispatcher();
+  if (rt_exec_ != nullptr &&
+      (sched::ClassMaskOf(effective_class) & rt_mask_) != 0) {
+    KickRtLane();
+  } else {
+    MaybeSpawnDispatcher();
+  }
   return future;
+}
+
+int ServerlessPlatform::EffectiveClass(const std::string& function,
+                                       int priority) const {
+  if (priority < 0) {
+    const sched::FunctionSchedParams* params =
+        scheduler_.function_params(function);
+    priority = params != nullptr ? params->priority : 1;
+  }
+  return std::clamp(priority, 0, sched::kNumPriorityClasses - 1);
+}
+
+void ServerlessPlatform::RtPumpTrampoline(void* self) {
+  static_cast<ServerlessPlatform*>(self)->RtPumpOne();
+}
+
+void ServerlessPlatform::KickRtLane() {
+  {
+    std::lock_guard<std::mutex> lock(dispatch_mutex_);
+    if (dispatch_paused_) return;  // ResumeDispatch re-rings per queued request
+  }
+  // Zero-allocation handoff: one slot-ring publish + one semaphore release.
+  if (rt_exec_->Submit(&RtPumpTrampoline, this)) return;
+  // Ring full — the interactive classes are severely oversubscribed. Degrade
+  // to a shared-pool task running the same single-request pump, so the
+  // request is late rather than stranded.
+  rt_fallbacks_.fetch_add(1, std::memory_order_relaxed);
+  async_tasks_.Submit([this] { RtPumpOne(); });
+}
+
+void ServerlessPlatform::RtPumpOne() {
+  if (shutting_down_.load(std::memory_order_acquire)) {
+    return;  // the destructor's drain resolves whatever is queued
+  }
+  {
+    std::lock_guard<std::mutex> lock(dispatch_mutex_);
+    if (dispatch_paused_) return;
+  }
+  std::vector<sched::QueuedRequest> expired;
+  sched::QueuedRequest qr;
+  const bool got = scheduler_.PopOne(rt_mask_, &qr, &expired);
+  for (sched::QueuedRequest& ex : expired) {
+    InvocationResult out;
+    out.response = Status::DeadlineExceeded("deadline passed before dispatch: " +
+                                            ex.function);
+    out.sched_seq = ex.seq;
+    out.queue_wait = clock_->Now() - ex.enqueue_time;
+    PayloadOf(ex)->promise.set_value(std::move(out));
+  }
+  if (!got) return;  // raced with another lane (or shed everything)
+  DispatchOne(std::move(qr), RtExecutor::LaneIndex());
 }
 
 void ServerlessPlatform::MaybeSpawnDispatcher() {
@@ -592,7 +663,10 @@ void ServerlessPlatform::PumpScheduler() {
       }
     }
     std::vector<sched::QueuedRequest> expired;
-    std::vector<sched::QueuedRequest> batch = scheduler_.PopBatch(&expired);
+    // Bulk dispatchers serve only the non-RT classes (bulk_mask_ is
+    // kAllClasses when the tier is disabled, making this the unmasked pop).
+    std::vector<sched::QueuedRequest> batch =
+        scheduler_.PopBatch(bulk_mask_, &expired);
     // Deadline-shed work (DeadlineEdf) is never executed: its futures resolve
     // with a typed DeadlineExceeded right here at dispatch time.
     for (sched::QueuedRequest& qr : expired) {
@@ -609,7 +683,10 @@ void ServerlessPlatform::PumpScheduler() {
       // submission that saw active_dispatchers_ == limit is guaranteed to be
       // observed by one of those dispatchers before it exits.
       std::lock_guard<std::mutex> lock(dispatch_mutex_);
-      if (scheduler_.TotalDepth() == 0 || dispatch_paused_) {
+      // Depth is checked through the bulk mask: backlog parked in RT-only
+      // classes belongs to the lanes, and spinning on it here would wedge
+      // this dispatcher forever.
+      if (scheduler_.DepthInClasses(bulk_mask_) == 0 || dispatch_paused_) {
         active_dispatchers_--;
         return;
       }
@@ -631,8 +708,71 @@ void ServerlessPlatform::ResumeDispatch() {
   }
   // One dispatcher per window slot (bounded inside MaybeSpawnDispatcher);
   // surplus dispatchers find the queue empty and exit.
-  const size_t depth = scheduler_.TotalDepth();
+  const size_t depth = scheduler_.DepthInClasses(bulk_mask_);
   for (size_t i = 0; i < depth; ++i) MaybeSpawnDispatcher();
+  if (rt_exec_ != nullptr) {
+    // One doorbell per parked RT request; surplus pumps pop nothing and exit.
+    const size_t rt_depth = scheduler_.DepthInClasses(rt_mask_);
+    for (size_t i = 0; i < rt_depth; ++i) KickRtLane();
+  }
+}
+
+void ServerlessPlatform::ObserveClassLatency(int cls, TimeMicros wait,
+                                             TimeMicros exec) {
+  cls = std::clamp(cls, 0, sched::kNumPriorityClasses - 1);
+  if (obs::Histogram* h =
+          wait_hist_[cls].load(std::memory_order_relaxed)) {
+    h->Observe(MicrosToSeconds(wait < 0 ? 0 : wait));
+  }
+  if (obs::Histogram* h =
+          exec_hist_[cls].load(std::memory_order_relaxed)) {
+    h->Observe(MicrosToSeconds(exec < 0 ? 0 : exec));
+  }
+}
+
+void ServerlessPlatform::DispatchOne(sched::QueuedRequest qr, int rt_lane) {
+  const TimeMicros now = clock_->Now();
+  auto pending = PayloadOf(qr);
+
+  // RT dispatches get their own span name so lane occupancy reads directly
+  // off a Chrome trace; both carry the priority class for filtering.
+  obs::Span dispatch(
+      rt_lane >= 0 ? obs::spans::kRtLane : obs::spans::kDispatch, qr.trace);
+  dispatch.set_arg("lane", rt_lane);
+  dispatch.set_priority(qr.priority);
+  if (obs::Tracer::Enabled()) {
+    const TimeMicros trace_now = obs::Tracer::Now();
+    const TimeMicros wait = now >= qr.enqueue_time ? now - qr.enqueue_time : 0;
+    obs::Tracer::EmitSpan(qr.trace, obs::spans::kQueueWait, trace_now - wait,
+                          trace_now, "batch_size", 1, qr.priority);
+  }
+
+  InvocationResult out;
+  out.sched_seq = qr.seq;
+  out.dispatch_seq = qr.dispatch_seq;
+  out.queue_wait = now - qr.enqueue_time;
+  out.rt_lane = rt_lane;
+  out.exec_thread = std::hash<std::thread::id>{}(std::this_thread::get_id());
+
+  semirt::ExecDeadline exec_deadline;
+  const semirt::ExecDeadline* deadline_ptr = nullptr;
+  if (config_.recovery.enabled && qr.deadline != sched::kNoDeadline) {
+    exec_deadline = {qr.deadline, clock_};
+    deadline_ptr = &exec_deadline;
+  }
+
+  MaybeReap();
+  FunctionShard* shard = FindShard(qr.function);
+  const TimeMicros exec_start = clock_->Now();
+  if (shard == nullptr) {
+    out.response = Status::NotFound("no such function: " + qr.function);
+  } else {
+    out.response = ExecuteOne(shard, pending->request, deadline_ptr,
+                              &out.timings, &out.cold_start);
+  }
+  if (rt_lane >= 0) rt_dispatches_.fetch_add(1, std::memory_order_relaxed);
+  ObserveClassLatency(qr.priority, out.queue_wait, clock_->Now() - exec_start);
+  pending->promise.set_value(std::move(out));
 }
 
 void ServerlessPlatform::DispatchBatch(std::vector<sched::QueuedRequest> batch) {
@@ -644,6 +784,7 @@ void ServerlessPlatform::DispatchBatch(std::vector<sched::QueuedRequest> batch) 
   // trace that carries the shared dispatch/ecall spans.
   obs::Span dispatch(obs::spans::kDispatch, batch.front().trace);
   dispatch.set_arg("batch_size", static_cast<int64_t>(batch.size()));
+  dispatch.set_priority(batch.front().priority);
   if (obs::Tracer::Enabled()) {
     const TimeMicros trace_now = obs::Tracer::Now();
     for (size_t i = 0; i < batch.size(); ++i) {
@@ -651,7 +792,7 @@ void ServerlessPlatform::DispatchBatch(std::vector<sched::QueuedRequest> batch) 
       const TimeMicros wait = now >= qr.enqueue_time ? now - qr.enqueue_time : 0;
       obs::Tracer::EmitSpan(qr.trace, obs::spans::kQueueWait, trace_now - wait,
                             trace_now, "batch_size",
-                            static_cast<int64_t>(batch.size()));
+                            static_cast<int64_t>(batch.size()), qr.priority);
       if (i > 0) {
         obs::Tracer::EmitInstant(
             qr.trace, obs::spans::kCoalesced, "head_trace",
@@ -694,14 +835,17 @@ void ServerlessPlatform::DispatchBatch(std::vector<sched::QueuedRequest> batch) 
     out.sched_seq = qr.seq;
     out.dispatch_seq = qr.dispatch_seq;
     out.queue_wait = now - qr.enqueue_time;
+    out.exec_thread = std::hash<std::thread::id>{}(std::this_thread::get_id());
     MaybeReap();
     FunctionShard* shard = FindShard(qr.function);
+    const TimeMicros exec_start = clock_->Now();
     if (shard == nullptr) {
       out.response = Status::NotFound("no such function: " + qr.function);
     } else {
       out.response = ExecuteOne(shard, pending->request, deadline_ptr,
                                 &out.timings, &out.cold_start);
     }
+    ObserveClassLatency(qr.priority, out.queue_wait, clock_->Now() - exec_start);
     pending->promise.set_value(std::move(out));
     return;
   }
@@ -734,9 +878,11 @@ void ServerlessPlatform::DispatchBatch(std::vector<sched::QueuedRequest> batch) 
   }
 
   semirt::StageTimings timings;
+  const TimeMicros exec_start = clock_->Now();
   std::vector<Result<Bytes>> results =
       (*container)->instance->HandleRequestBatch(requests, &timings,
                                                  deadline_ptr);
+  const TimeMicros exec_micros = clock_->Now() - exec_start;
 
   // Batch dispatches are never retried (the enclave entry is not idempotent);
   // poisoning failures quarantine the container and surface as Unavailable.
@@ -755,6 +901,8 @@ void ServerlessPlatform::DispatchBatch(std::vector<sched::QueuedRequest> batch) 
   invocations_.fetch_add(static_cast<int>(batch.size()),
                          std::memory_order_relaxed);
 
+  const uint64_t exec_thread =
+      std::hash<std::thread::id>{}(std::this_thread::get_id());
   for (size_t i = 0; i < batch.size(); ++i) {
     InvocationResult out;
     out.response = std::move(results[i]);
@@ -764,6 +912,8 @@ void ServerlessPlatform::DispatchBatch(std::vector<sched::QueuedRequest> batch) 
     out.dispatch_seq = batch[i].dispatch_seq;
     out.queue_wait = now - batch[i].enqueue_time;
     out.batch_size = static_cast<int>(batch.size());
+    out.exec_thread = exec_thread;
+    ObserveClassLatency(batch[i].priority, out.queue_wait, exec_micros);
     pendings[i]->promise.set_value(std::move(out));
   }
 }
@@ -911,9 +1061,41 @@ RecoveryStats ServerlessPlatform::recovery_stats() const {
   return stats;
 }
 
+RtTierStats ServerlessPlatform::rt_stats() const {
+  RtTierStats stats;
+  stats.enabled = rt_exec_ != nullptr;
+  if (rt_exec_ != nullptr) {
+    const RtExecutorStats e = rt_exec_->stats();
+    stats.lanes = e.lanes;
+    stats.busy_lanes = e.busy_lanes;
+    stats.rejected_full = e.rejected_full;
+    stats.pinned = e.pinned;
+    stats.elevated = e.elevated;
+    stats.interactive_depth = scheduler_.DepthInClasses(rt_mask_);
+  }
+  stats.dispatches = rt_dispatches_.load(std::memory_order_relaxed);
+  stats.fallbacks = rt_fallbacks_.load(std::memory_order_relaxed);
+  return stats;
+}
+
 void ServerlessPlatform::RegisterMetrics(
     obs::MetricsRegistry* registry,
     std::vector<std::pair<std::string, std::string>> labels) {
+  // Per-class latency histograms are bound once here and observed lock-free
+  // on the dispatch paths; until registration they stay null and dispatch
+  // skips the observation entirely.
+  for (int cls = 0; cls < sched::kNumPriorityClasses; ++cls) {
+    auto cls_labels = labels;
+    cls_labels.emplace_back("class", std::to_string(cls));
+    wait_hist_[static_cast<size_t>(cls)].store(
+        registry->GetHistogram("sesemi_sched_wait_seconds",
+                               obs::Histogram::LatencyBounds(), cls_labels),
+        std::memory_order_release);
+    exec_hist_[static_cast<size_t>(cls)].store(
+        registry->GetHistogram("sesemi_platform_exec_seconds",
+                               obs::Histogram::LatencyBounds(), cls_labels),
+        std::memory_order_release);
+  }
   // Scrape-time collector over the existing atomic counters: the hot paths
   // keep their plain relaxed fetch_adds; the registry only pays at
   // Snapshot(). Metric names: docs/BENCHMARKS.md "Metric names".
@@ -1002,6 +1184,29 @@ void ServerlessPlatform::RegisterMetrics(
           samples.push_back(obs::MakeGaugeSample(
               "sesemi_sched_wait_p99_seconds",
               MicrosToSeconds(wait.p99), cls_labels));
+        }
+
+        const RtTierStats rt = rt_stats();
+        samples.push_back(obs::MakeGaugeSample(
+            "sesemi_rt_tier_enabled", rt.enabled ? 1.0 : 0.0, labels));
+        if (rt.enabled) {
+          samples.push_back(obs::MakeGaugeSample(
+              "sesemi_rt_lanes", static_cast<double>(rt.lanes), labels));
+          samples.push_back(obs::MakeGaugeSample(
+              "sesemi_rt_busy_lanes", static_cast<double>(rt.busy_lanes),
+              labels));
+          samples.push_back(obs::MakeCounterSample(
+              "sesemi_rt_dispatches_total",
+              static_cast<double>(rt.dispatches), labels));
+          samples.push_back(obs::MakeCounterSample(
+              "sesemi_rt_fallbacks_total", static_cast<double>(rt.fallbacks),
+              labels));
+          samples.push_back(obs::MakeCounterSample(
+              "sesemi_rt_rejected_full_total",
+              static_cast<double>(rt.rejected_full), labels));
+          samples.push_back(obs::MakeGaugeSample(
+              "sesemi_rt_interactive_depth",
+              static_cast<double>(rt.interactive_depth), labels));
         }
         return samples;
       });

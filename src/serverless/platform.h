@@ -15,6 +15,7 @@
 #include "common/clock.h"
 #include "common/parallel_for.h"
 #include "common/result.h"
+#include "common/rt_executor.h"
 #include "fnpacker/router.h"
 #include "keyservice/keyservice.h"
 #include "obs/metrics.h"
@@ -25,6 +26,18 @@
 #include "storage/object_store.h"
 
 namespace sesemi::serverless {
+
+/// Per-node execution-tier configuration (docs/ARCHITECTURE.md "Execution
+/// tiers"). Disabled (the default) is behaviorally identical to the
+/// single-tier dispatcher: every class rides the shared fork-join pool.
+struct RtTierConfig {
+  bool enabled = false;
+  /// Priority classes [0, classes) route to the RT tier; the rest keep the
+  /// coalesced bulk path. Clamped to [1, kNumPriorityClasses].
+  int classes = 1;
+  /// The lanes themselves: count, pinning, handoff ring, bulk clamp.
+  RtExecutorConfig executor;
+};
 
 /// Platform-level configuration (the OpenWhisk knobs from Table V).
 struct PlatformConfig {
@@ -48,6 +61,9 @@ struct PlatformConfig {
   /// Failure model: enclave poisoning/quarantine/relaunch, idempotent-stage
   /// retries, and execution-time deadline cuts (see serverless/recovery.h).
   RecoveryConfig recovery;
+  /// Latency-class execution tiers: dedicated pinned RT lanes for the
+  /// interactive classes, bypassing the shared pool and the batcher.
+  RtTierConfig rt;
 };
 
 /// A deployed function: a name bound to a SeMIRT (or baseline) runtime
@@ -91,6 +107,24 @@ struct InvocationResult {
   uint64_t dispatch_seq = 0;  ///< policy order assigned at dispatch
   TimeMicros queue_wait = 0;  ///< time spent queued before dispatch
   int batch_size = 1;         ///< requests coalesced into this dispatch
+  /// RT lane that executed this request, or -1 for the shared-pool path.
+  int rt_lane = -1;
+  /// Hashed std::thread::id of the executing thread. The isolation tests
+  /// assert interactive and bulk executions land on disjoint thread sets.
+  uint64_t exec_thread = 0;
+};
+
+/// Point-in-time view of the RT tier (zeroed when the tier is disabled).
+struct RtTierStats {
+  bool enabled = false;
+  int lanes = 0;
+  int busy_lanes = 0;
+  uint64_t dispatches = 0;        ///< requests executed on RT lanes
+  uint64_t fallbacks = 0;         ///< ring-full degradations to the shared pool
+  uint64_t rejected_full = 0;     ///< raw executor-ring rejections
+  size_t interactive_depth = 0;   ///< queued requests in the RT classes
+  bool pinned = false;            ///< lane affinity applied (EPERM degrades)
+  bool elevated = false;          ///< SCHED_FIFO applied (EPERM degrades)
 };
 
 /// Per-call scheduling overrides for InvokeAsync (defaults inherit the
@@ -172,6 +206,10 @@ class ServerlessPlatform {
   /// Scheduler introspection: queue depth, drops by reason, batch sizes,
   /// per-class queue-wait percentiles, per-function service counts.
   sched::SchedStats scheduler_stats() const { return scheduler_.stats(); }
+
+  /// Execution-tier introspection: lane occupancy, RT dispatch/fallback
+  /// counters, interactive backlog (what the cluster autoscaler samples).
+  RtTierStats rt_stats() const;
 
   /// Requests currently queued in this platform's scheduler. One atomic
   /// read — cheap enough for the cluster router's bounded-load placement to
@@ -345,6 +383,22 @@ class ServerlessPlatform {
   /// Execute one policy-ordered dispatch unit and resolve its promises.
   void DispatchBatch(std::vector<sched::QueuedRequest> batch);
 
+  /// RT-tier routing (no-ops unless config_.rt.enabled):
+  /// the effective priority class a submission will enqueue under.
+  int EffectiveClass(const std::string& function, int priority) const;
+  /// Hand one pump job to the RT lanes; on a full ring, degrade to a
+  /// shared-pool task so the request never strands (counted as a fallback).
+  void KickRtLane();
+  /// One RT dispatch: pop exactly one interactive-class request (no
+  /// coalescing) and execute it on the calling lane.
+  void RtPumpOne();
+  static void RtPumpTrampoline(void* self);
+  /// Execute a single request on the calling thread and resolve its promise
+  /// (`rt_lane` >= 0 tags the RT path in result + span).
+  void DispatchOne(sched::QueuedRequest qr, int rt_lane);
+  /// Feed the per-class wait/exec histograms (no-op until RegisterMetrics).
+  void ObserveClassLatency(int cls, TimeMicros wait, TimeMicros exec);
+
   void MaybeReap();
   int ReapShard(FunctionShard* shard, TimeMicros now);
 
@@ -388,6 +442,23 @@ class ServerlessPlatform {
   int active_dispatchers_ = 0;  ///< guarded by dispatch_mutex_
   bool dispatch_paused_ = false;  ///< guarded by dispatch_mutex_
   int window_limit_ = 0;
+
+  /// Execution tiers (common/executor.h). The bulk dispatchers pop with
+  /// bulk_mask_; RT lanes pop with rt_mask_. Tier disabled: rt_mask_ == 0
+  /// and bulk_mask_ == kAllClasses, making every path bit-identical to the
+  /// single-tier dispatcher.
+  sched::ClassMask rt_mask_ = 0;
+  sched::ClassMask bulk_mask_ = sched::kAllClasses;
+  std::unique_ptr<RtExecutor> rt_exec_;  ///< reset first in the destructor
+  std::atomic<uint64_t> rt_dispatches_{0};
+  std::atomic<uint64_t> rt_fallbacks_{0};
+
+  /// Per-class latency histograms, bound at RegisterMetrics (null = not
+  /// registered; the hot path pays one relaxed load to find out).
+  std::array<std::atomic<obs::Histogram*>, sched::kNumPriorityClasses>
+      wait_hist_{};
+  std::array<std::atomic<obs::Histogram*>, sched::kNumPriorityClasses>
+      exec_hist_{};
 
   /// Deregisters the stats collector before the counters it reads die.
   obs::ScopedCollector metrics_collector_;

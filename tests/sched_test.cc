@@ -482,5 +482,106 @@ TEST(SchedulerConcurrencyTest, FifoDispatchMatchesAdmissionOrder) {
   }
 }
 
+TEST(SchedulerTest, ClassMaskHelpers) {
+  EXPECT_EQ(ClassMaskUpTo(0), 0u);
+  EXPECT_EQ(ClassMaskUpTo(1), ClassMaskOf(0));
+  EXPECT_EQ(ClassMaskUpTo(2), ClassMaskOf(0) | ClassMaskOf(1));
+  EXPECT_EQ(ClassMaskUpTo(kNumPriorityClasses), kAllClasses);
+  EXPECT_EQ(ClassMaskUpTo(kNumPriorityClasses + 5), kAllClasses);
+}
+
+TEST(SchedulerTest, MaskedPopBatchServesOnlyRequestedClasses) {
+  ManualClock clock;
+  RequestScheduler scheduler(SchedulerConfig{}, &clock);
+  ASSERT_TRUE(scheduler.RegisterFunction("f", {}).ok());
+
+  ASSERT_TRUE(scheduler.Submit(Make("f", "m0", "u0", /*priority=*/0), 0).ok());
+  ASSERT_TRUE(scheduler.Submit(Make("f", "m0", "u0", /*priority=*/1), 0).ok());
+  ASSERT_TRUE(scheduler.Submit(Make("f", "m0", "u0", /*priority=*/0), 0).ok());
+
+  EXPECT_EQ(scheduler.DepthInClasses(ClassMaskOf(0)), 2u);
+  EXPECT_EQ(scheduler.DepthInClasses(ClassMaskOf(1)), 1u);
+  EXPECT_EQ(scheduler.DepthInClasses(kAllClasses), 3u);
+
+  // A bulk dispatcher masked to class 1 must never pop the class-0 backlog.
+  const ClassMask bulk = kAllClasses & ~ClassMaskOf(0);
+  std::vector<QueuedRequest> batch = scheduler.PopBatch(bulk, nullptr);
+  ASSERT_EQ(batch.size(), 1u);
+  EXPECT_EQ(batch[0].priority, 1);
+  EXPECT_TRUE(scheduler.PopBatch(bulk, nullptr).empty());
+  EXPECT_EQ(scheduler.DepthInClasses(ClassMaskOf(0)), 2u);
+
+  batch = scheduler.PopBatch(ClassMaskOf(0), nullptr);
+  ASSERT_EQ(batch.size(), 1u);
+  EXPECT_EQ(batch[0].priority, 0);
+  EXPECT_EQ(scheduler.TotalDepth(), 1u);
+}
+
+TEST(SchedulerTest, PopOneBypassesBatchCoalescing) {
+  ManualClock clock;
+  RequestScheduler scheduler(SchedulerConfig{}, &clock);
+  FunctionSchedParams params;
+  params.max_batch = 4;
+  params.priority = 0;
+  ASSERT_TRUE(scheduler.RegisterFunction("f", params).ok());
+
+  // Four coalescible same-model requests: the RT pop takes exactly one —
+  // lookahead batching is a throughput tool the latency tier must not pay.
+  for (int i = 0; i < 4; ++i) ASSERT_TRUE(scheduler.Submit(Make("f"), 0).ok());
+  QueuedRequest out;
+  ASSERT_TRUE(scheduler.PopOne(ClassMaskOf(0), &out, nullptr));
+  EXPECT_EQ(out.priority, 0);
+  EXPECT_EQ(scheduler.TotalDepth(), 3u);
+  EXPECT_EQ(scheduler.stats().dispatched, 1u);
+
+  // Masked away: the pop must refuse even with a queued backlog.
+  EXPECT_FALSE(scheduler.PopOne(ClassMaskOf(1), &out, nullptr));
+  EXPECT_EQ(scheduler.TotalDepth(), 3u);
+}
+
+TEST(SchedulerTest, PopOneShedsExpiredDeadlines) {
+  ManualClock clock;
+  SchedulerConfig config;
+  config.policy = PolicyKind::kDeadlineEdf;
+  RequestScheduler scheduler(config, &clock);
+  FunctionSchedParams params;
+  params.priority = 0;
+  ASSERT_TRUE(scheduler.RegisterFunction("f", params).ok());
+
+  ASSERT_TRUE(scheduler
+                  .Submit(Make("f", "m0", "u0", 0, /*deadline=*/100), 0)
+                  .ok());
+  ASSERT_TRUE(scheduler
+                  .Submit(Make("f", "m0", "u0", 0, /*deadline=*/SecondsToMicros(10)), 0)
+                  .ok());
+  clock.Advance(200);  // first deadline passed while queued
+
+  std::vector<QueuedRequest> expired;
+  QueuedRequest out;
+  ASSERT_TRUE(scheduler.PopOne(kAllClasses, &out, &expired));
+  ASSERT_EQ(expired.size(), 1u);
+  EXPECT_EQ(expired[0].deadline, 100);
+  EXPECT_EQ(out.deadline, SecondsToMicros(10));
+  EXPECT_EQ(scheduler.stats().drops, 1u);
+}
+
+TEST(SchedulerTest, CoalesceKeepsPerClassDepthConsistent) {
+  ManualClock clock;
+  RequestScheduler scheduler(SchedulerConfig{}, &clock);
+  FunctionSchedParams params;
+  params.max_batch = 4;
+  params.priority = 2;
+  ASSERT_TRUE(scheduler.RegisterFunction("f", params).ok());
+
+  for (int i = 0; i < 6; ++i) ASSERT_TRUE(scheduler.Submit(Make("f"), 0).ok());
+  ASSERT_EQ(scheduler.DepthInClasses(ClassMaskOf(2)), 6u);
+  // Coalescing pulls companions out from under the per-class counters too.
+  EXPECT_EQ(scheduler.PopBatch().size(), 4u);
+  EXPECT_EQ(scheduler.DepthInClasses(ClassMaskOf(2)), 2u);
+  EXPECT_EQ(scheduler.PopBatch().size(), 2u);
+  EXPECT_EQ(scheduler.DepthInClasses(ClassMaskOf(2)), 0u);
+  EXPECT_EQ(scheduler.DepthInClasses(kAllClasses), 0u);
+}
+
 }  // namespace
 }  // namespace sesemi::sched
