@@ -36,11 +36,29 @@ import os
 import sys
 
 
+def warn(message):
+    print(f"aggregate_bench: {message}", file=sys.stderr)
+
+
 def load_micro(path, metrics):
-    """google-benchmark JSON -> {benchmark name: throughput-ish scalar}."""
-    with open(path) as f:
-        doc = json.load(f)
+    """google-benchmark JSON -> {benchmark name: throughput-ish scalar}.
+
+    A truncated or otherwise unparseable file is reported and skipped — one
+    bad artifact (a crashed bench run, an interrupted upload) must not sink
+    the whole trajectory.
+    """
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError, UnicodeDecodeError) as e:
+        warn(f"skipping unreadable micro artifact {path}: {e}")
+        return
+    if not isinstance(doc, dict):
+        warn(f"skipping {path}: expected a JSON object, got {type(doc).__name__}")
+        return
     for bench in doc.get("benchmarks", []):
+        if not isinstance(bench, dict):
+            continue
         name = bench.get("name")
         if not name or bench.get("run_type") == "aggregate":
             continue
@@ -53,19 +71,34 @@ def load_micro(path, metrics):
 
 
 def load_sched(path, sections):
-    """JSON-lines with a "section" key -> {section: last object seen}."""
-    with open(path) as f:
-        for line in f:
-            line = line.strip()
-            if not line:
-                continue
-            try:
-                obj = json.loads(line)
-            except json.JSONDecodeError:
-                continue
-            section = obj.get("section")
-            if section:
-                sections[section] = obj
+    """JSON-lines with a "section" key -> {section: last object seen}.
+
+    Individual bad lines were always skipped; an unreadable file now is too
+    (with a warning) instead of raising.
+    """
+    bad_lines = 0
+    try:
+        with open(path) as f:
+            for line in f:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    obj = json.loads(line)
+                except json.JSONDecodeError:
+                    bad_lines += 1
+                    continue
+                if not isinstance(obj, dict):
+                    bad_lines += 1
+                    continue
+                section = obj.get("section")
+                if section:
+                    sections[section] = obj
+    except (OSError, UnicodeDecodeError) as e:
+        warn(f"skipping unreadable artifact {path}: {e}")
+        return
+    if bad_lines:
+        warn(f"{path}: skipped {bad_lines} malformed line(s)")
 
 
 def expand_paths(args):
@@ -97,8 +130,13 @@ def main():
     mtimes = {}  # label -> oldest contributing-file mtime
     for path in expand_paths(args.paths):
         if not os.path.isfile(path):
-            print(f"aggregate_bench: no such file: {path}", file=sys.stderr)
-            return 1
+            # A commit whose CI run expired or never uploaded: warn and move
+            # on, the remaining points still form a valid trajectory.
+            warn(f"no such file: {path} (skipped)")
+            continue
+        if os.path.getsize(path) == 0:
+            warn(f"empty artifact: {path} (skipped)")
+            continue
         label = args.label or os.path.basename(os.path.dirname(os.path.abspath(path)))
         point = points.setdefault(
             label,
@@ -116,7 +154,15 @@ def main():
         else:
             load_micro(path, point["metrics"])
 
-    ordered = list(points.values())
+    # Drop points every one of whose artifacts was skipped — an all-corrupt
+    # commit contributes nothing, and an empty point would plot as a gap of
+    # zeros rather than a gap.
+    ordered = []
+    for point in points.values():
+        if point["metrics"] or point["sched"] or point["cluster"] or point["fig13"]:
+            ordered.append(point)
+        else:
+            warn(f"point {point['label']!r} had no usable data (dropped)")
     if not args.keep_order:
         ordered.sort(key=lambda p: mtimes[p["label"]])
     doc = {"points": ordered}

@@ -10,7 +10,9 @@
 // JSON lines (grep '^{' -> BENCH_fig13.json, docs/BENCHMARKS.md):
 //   section "mmpp_dsnet"/"mmpp_rsnet" — per-mode overall averages (sim);
 //   section "classes" — interactive_*/bulk_* inv/s and p50/p99 (live).
-// Flags: --quick shrinks the live replay for CI smoke runs.
+// Flags: --quick shrinks the live replay for CI smoke runs; --quantize runs
+// the live per-class leg through the int8 inference tier (the "classes" line
+// carries a "quantize" field so trajectories can tell the series apart).
 
 #include <algorithm>
 #include <chrono>
@@ -28,6 +30,7 @@ namespace sesemi::bench {
 namespace {
 
 bool g_quick = false;
+bool g_quantize = false;
 
 struct RunResult {
   std::vector<double> bucket_avg;  // avg latency per 30 s bucket
@@ -141,6 +144,9 @@ void ClassesSection() {
   const model::ModelGraph& graph = live.DeployModel(model::Architecture::kMbNet);
   semirt::SemirtOptions options;
   options.num_tcs = 8;
+  // --quantize: the containers compile MBNET through the int8 tier (and the
+  // enclave identity users authorize against reflects it).
+  options.quantize = g_quantize;
   live.Authorize(model::Architecture::kMbNet, options);
   serverless::ServerlessPlatform platform(config, &live.authority(),
                                           &live.storage(), live.keyservice());
@@ -233,16 +239,18 @@ void ClassesSection() {
               static_cast<unsigned long long>(rt.dispatches),
               static_cast<unsigned long long>(rt.fallbacks));
   std::printf(
-      "{\"bench\":\"fig13\",\"section\":\"classes\","
+      "{\"bench\":\"fig13\",\"section\":\"%s\","
       "\"interactive_inv_per_s\":%.1f,\"interactive_p50_us\":%.0f,"
       "\"interactive_p99_us\":%.0f,\"bulk_inv_per_s\":%.1f,"
       "\"bulk_p50_us\":%.0f,\"bulk_p99_us\":%.0f,"
-      "\"rt_dispatches\":%llu,\"rt_fallbacks\":%llu}\n",
-      interactive_ok / wall_s, PercentileUs(interactive_us, 50.0),
+      "\"rt_dispatches\":%llu,\"rt_fallbacks\":%llu,\"quantize\":%s}\n",
+      g_quantize ? "classes_int8" : "classes", interactive_ok / wall_s,
+      PercentileUs(interactive_us, 50.0),
       PercentileUs(interactive_us, 99.0), bulk_ok / wall_s,
       PercentileUs(bulk_us, 50.0), PercentileUs(bulk_us, 99.0),
       static_cast<unsigned long long>(rt.dispatches),
-      static_cast<unsigned long long>(rt.fallbacks));
+      static_cast<unsigned long long>(rt.fallbacks),
+      g_quantize ? "true" : "false");
 }
 
 }  // namespace
@@ -251,6 +259,7 @@ void ClassesSection() {
 int main(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--quick") == 0) sesemi::bench::g_quick = true;
+    if (std::strcmp(argv[i], "--quantize") == 0) sesemi::bench::g_quantize = true;
   }
   sesemi::bench::PrintHeader("Figure 13 — serving under the MMPP workload (8 nodes)");
   sesemi::bench::RunModel("(b) TVM-DSNET", "mmpp_dsnet",

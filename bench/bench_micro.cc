@@ -11,6 +11,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cmath>
+
 #include "bench/bench_common.h"
 #include "crypto/gcm.h"
 #include "crypto/sha256.h"
@@ -128,6 +130,31 @@ void BM_GcmSealPortable(benchmark::State& state) {
   state.SetBytesProcessed(state.iterations() * state.range(0));
 }
 BENCHMARK(BM_GcmSealPortable)->Arg(1024)->Arg(64 * 1024)->Arg(1024 * 1024);
+
+// VAES twin of BM_GcmSeal: pins the AVX-512 4×128-lane keystream +
+// VPCLMULQDQ 8-block GHASH tier (per-message cipher setup included, like the
+// other twins), so one run shows what the wide tier buys over single-block
+// AES-NI. Skips with a note where the CPU lacks VAES/AVX-512.
+void BM_GcmSealVaes(benchmark::State& state) {
+  if (!crypto::VaesCryptoAvailable()) {
+    // This libbenchmark predates SkipWithMessage; an empty run with a label
+    // keeps the series present (CI asserts on the name) without faking a
+    // throughput number.
+    for (auto _ : state) {
+    }
+    state.SetLabel("skipped: VAES/AVX-512 unavailable");
+    return;
+  }
+  Bytes key(16, 7);
+  Bytes aad = ToBytes("sesemi-request:mbnet");
+  Bytes data(static_cast<size_t>(state.range(0)), 0x5c);
+  for (auto _ : state) {
+    auto gcm = crypto::AesGcm::Create(key, crypto::CryptoBackend::kHardwareVaes);
+    benchmark::DoNotOptimize(crypto::GcmSealPartsWith(*gcm, aad, {}, data));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_GcmSealVaes)->Arg(1024)->Arg(64 * 1024)->Arg(1024 * 1024);
 
 void BM_GcmOpen(benchmark::State& state) {
   Bytes key(16, 7);
@@ -326,6 +353,128 @@ void BM_DensePrepacked(benchmark::State& state) {
       benchmark::Counter::kIsRate);
 }
 BENCHMARK(BM_DensePrepacked)->Args({1024, 1024})->Args({4096, 256});
+
+// Int8 twin of BM_DensePrepacked: weights quantized and packed once
+// (MODEL_LOAD semantics), the timed loop is the per-request hot path —
+// dynamic activation quantization + the u7×s8 GEMV with the fp32 dequant
+// epilogue. The FLOPS counter uses the same multiply-add count as the fp32
+// twins, so the series divide directly into a speedup. arg2 pins the
+// instruction tier (0 = auto, 1 = portable, 2 = AVX2, 3 = AVX-512 VNNI);
+// pinned tiers the CPU lacks emit an empty labelled run, like BM_GcmSealVaes.
+void BM_DenseInt8(benchmark::State& state) {
+  const int in_features = static_cast<int>(state.range(0));
+  const int units = static_cast<int>(state.range(1));
+  const auto isa = static_cast<inference::gemm::GemmIsa>(state.range(2));
+  if (!inference::gemm::GemmIsaAvailable(isa)) {
+    for (auto _ : state) {
+    }
+    state.SetLabel(std::string("skipped: ") + inference::gemm::ToString(isa) +
+                   " unavailable");
+    return;
+  }
+  std::vector<float> in = BenchVec(static_cast<size_t>(in_features));
+  std::vector<float> weights =
+      BenchVec(static_cast<size_t>(in_features) * units + units);
+  const float* bias =
+      weights.data() + static_cast<size_t>(in_features) * units;
+
+  // MODEL_LOAD: per-column symmetric int8 quantization + panel packing.
+  std::vector<int8_t> wq(static_cast<size_t>(in_features) * units);
+  std::vector<float> w_scales(units);
+  for (int j = 0; j < units; ++j) {
+    float absmax = 0.0f;
+    for (int kk = 0; kk < in_features; ++kk) {
+      absmax = std::max(absmax,
+                        std::abs(weights[static_cast<size_t>(kk) * units + j]));
+    }
+    w_scales[j] = absmax > 0.0f ? absmax / 127.0f : 1.0f;
+    for (int kk = 0; kk < in_features; ++kk) {
+      const size_t at = static_cast<size_t>(kk) * units + j;
+      wq[at] = static_cast<int8_t>(
+          std::lrintf(weights[at] / w_scales[j]));
+    }
+  }
+  std::vector<int8_t> packed(
+      inference::gemm::PackedBInt8Bytes(in_features, units));
+  inference::gemm::PackBInt8(wq.data(), in_features, units, packed.data());
+  std::vector<int32_t> colsums(units);
+  inference::gemm::Int8ColumnSums(wq.data(), in_features, units, colsums.data());
+
+  const int k4 = inference::gemm::RoundUpK4(in_features);
+  std::vector<uint8_t> in_q(static_cast<size_t>(k4), 0);
+  std::vector<float> out(units);
+  for (auto _ : state) {
+    const inference::gemm::ActQuant aq = inference::gemm::QuantizeActivations(
+        in.data(), static_cast<size_t>(in_features), in_q.data());
+    const float a_scale = aq.scale;
+    const int32_t a_zp = aq.zero_point;
+    inference::gemm::GemmInt8Prepacked(in_q.data(), k4, &a_scale, &a_zp,
+                                       packed.data(), w_scales.data(),
+                                       colsums.data(), bias, out.data(), 1,
+                                       units, in_features, isa);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetLabel(inference::gemm::ToString(
+      isa == inference::gemm::GemmIsa::kAuto ? inference::gemm::ActiveGemmIsa()
+                                             : isa));
+  state.counters["FLOPS"] = benchmark::Counter(
+      2.0 * static_cast<double>(in_features) * units * state.iterations(),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_DenseInt8)
+    ->Args({1024, 1024, 0})
+    ->Args({4096, 256, 0})
+    ->Args({1024, 1024, 2})
+    ->Args({4096, 256, 2})
+    ->Args({1024, 1024, 3})
+    ->Args({4096, 256, 3});
+
+// Int8 twin of BM_Conv2dPrepacked: per-output-channel quantized weights in
+// int8 panels, dynamic input quantization + u8 im2col + int8 GEMM per
+// iteration — exactly the compiled quantized conv path.
+void BM_Conv2dInt8(benchmark::State& state) {
+  ConvSetup s(static_cast<int>(state.range(0)), static_cast<int>(state.range(1)),
+              static_cast<int>(state.range(2)));
+  const int k = s.kernel * s.kernel * s.shape.c;
+  std::vector<int8_t> wq(static_cast<size_t>(k) * s.out_c);
+  std::vector<float> w_scales(s.out_c);
+  for (int j = 0; j < s.out_c; ++j) {
+    float absmax = 0.0f;
+    for (int kk = 0; kk < k; ++kk) {
+      absmax = std::max(
+          absmax, std::abs(s.weights[static_cast<size_t>(kk) * s.out_c + j]));
+    }
+    w_scales[j] = absmax > 0.0f ? absmax / 127.0f : 1.0f;
+    for (int kk = 0; kk < k; ++kk) {
+      const size_t at = static_cast<size_t>(kk) * s.out_c + j;
+      wq[at] = static_cast<int8_t>(std::lrintf(s.weights[at] / w_scales[j]));
+    }
+  }
+  std::vector<int8_t> packed(inference::gemm::PackedBInt8Bytes(k, s.out_c));
+  inference::gemm::PackBInt8(wq.data(), k, s.out_c, packed.data());
+  std::vector<int32_t> colsums(s.out_c);
+  inference::gemm::Int8ColumnSums(wq.data(), k, s.out_c, colsums.data());
+  const float* bias = s.weights.data() + static_cast<size_t>(k) * s.out_c;
+
+  const size_t in_elems = s.shape.elements();
+  std::vector<uint8_t> in_q((in_elems + 3) & ~size_t{3}, 0);
+  std::vector<uint8_t> scratch(
+      inference::gemm::Conv2dScratchBytesInt8(s.shape, s.kernel, s.stride));
+  for (auto _ : state) {
+    const inference::gemm::ActQuant aq = inference::gemm::QuantizeActivations(
+        s.in.data(), in_elems, in_q.data());
+    inference::gemm::Conv2dGemmInt8Prepacked(
+        in_q.data(), aq, s.shape, packed.data(), w_scales.data(),
+        colsums.data(), bias, s.kernel, s.stride, s.out_c, s.out.data(),
+        scratch.empty() ? nullptr : scratch.data());
+    benchmark::DoNotOptimize(s.out.data());
+  }
+  state.SetLabel(inference::gemm::ToString(inference::gemm::ActiveGemmIsa()));
+  state.counters["FLOPS"] = benchmark::Counter(
+      s.flops * static_cast<double>(state.iterations()),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_Conv2dInt8)->Args({32, 64, 64})->Args({16, 32, 64})->Args({64, 16, 16});
 
 void BM_X25519SharedSecret(benchmark::State& state) {
   auto a = crypto::GenerateX25519KeyPair();

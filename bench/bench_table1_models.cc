@@ -80,6 +80,58 @@ void MeasuredSection(double scale) {
               " scenario model, not a Table I row.)\n");
 }
 
+void QuantizedSection(double scale) {
+  PrintSection("Int8 quantized tier: loaded-model footprint vs fp32 (scale " +
+               std::to_string(scale) + ")");
+  // The enclave-heap claim behind FrameworkOptions::quantize: int8 panels
+  // replace both the fp32 matrices and the fp32 packed panels, so the bytes
+  // charged at MODEL_LOAD (and with them Figure 10's per-node capacity)
+  // shrink by the ratio printed here. Wire size is the version-2 file.
+  std::printf("%-8s %14s %14s %8s %14s %14s %8s\n", "Name", "fp32 loaded",
+              "int8 loaded", "(ratio)", "fp32 wire", "int8 wire", "(ratio)");
+  for (model::Architecture arch : {model::Architecture::kMbNet,
+                                   model::Architecture::kRsNet,
+                                   model::Architecture::kDsNet,
+                                   model::Architecture::kHybNet}) {
+    model::ZooSpec spec;
+    spec.model_id = model::ToString(arch);
+    spec.arch = arch;
+    spec.scale = scale;
+    spec.input_hw = 16;
+    auto graph = model::BuildModel(spec);
+    if (!graph.ok()) {
+      std::printf("%-8s build failed: %s\n", model::ToString(arch),
+                  graph.status().ToString().c_str());
+      continue;
+    }
+    auto fp32_fw = inference::CreateFramework(inference::FrameworkKind::kTvm);
+    inference::FrameworkOptions qopts;
+    qopts.quantize = true;
+    auto int8_fw =
+        inference::CreateFramework(inference::FrameworkKind::kTvm, qopts);
+    auto lm_fp32 = fp32_fw->WrapModel(*graph);
+    auto lm_int8 = int8_fw->WrapModel(*graph);
+    if (!lm_fp32.ok() || !lm_int8.ok()) {
+      std::printf("%-8s compile failed\n", model::ToString(arch));
+      continue;
+    }
+    const uint64_t fp32_wire = model::SerializeModel(*graph).size();
+    model::ModelGraph compacted = *graph;
+    const model::ModelQuant quant = model::QuantizeModelWeights(compacted);
+    uint64_t int8_wire = 0;
+    if (model::CompactQuantizedWeights(&compacted, quant).ok()) {
+      int8_wire = model::SerializeQuantizedModel(compacted, quant).size();
+    }
+    const uint64_t a = (*lm_fp32)->memory_bytes();
+    const uint64_t b = (*lm_int8)->memory_bytes();
+    std::printf("%-8s %12.2fMB %12.2fMB %7.2fx %12.2fMB %12.2fMB %7.2fx\n",
+                model::ToString(arch), a / 1048576.0, b / 1048576.0,
+                static_cast<double>(a) / b, fp32_wire / 1048576.0,
+                int8_wire / 1048576.0,
+                int8_wire ? static_cast<double>(fp32_wire) / int8_wire : 0.0);
+  }
+}
+
 }  // namespace
 }  // namespace sesemi::bench
 
@@ -87,5 +139,6 @@ int main() {
   sesemi::bench::PrintHeader("Table I — models for the evaluation");
   sesemi::bench::PaperSection();
   sesemi::bench::MeasuredSection(0.05);
+  sesemi::bench::QuantizedSection(0.05);
   return 0;
 }

@@ -1,0 +1,112 @@
+#!/usr/bin/env python3
+"""Smoke tests for aggregate_bench.py (run in CI: python3 bench/test_aggregate_bench.py).
+
+The aggregator folds per-commit artifact folders into one trajectory, and
+real artifact trees are messy: commits whose CI run expired (missing files),
+interrupted uploads (empty or truncated JSON), crashed bench runs (garbage
+lines). Every one of those must warn and skip — never abort the fold, never
+emit an invalid trajectory document.
+"""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import unittest
+
+AGGREGATE = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                         "aggregate_bench.py")
+
+
+def run(args, cwd):
+    return subprocess.run([sys.executable, AGGREGATE] + args, cwd=cwd,
+                          capture_output=True, text=True)
+
+
+def micro_doc(names_and_flops):
+    return json.dumps({"benchmarks": [
+        {"name": name, "FLOPS": flops} for name, flops in names_and_flops]})
+
+
+class AggregateBenchTest(unittest.TestCase):
+    def setUp(self):
+        self.tmp = tempfile.TemporaryDirectory()
+        self.dir = self.tmp.name
+
+    def tearDown(self):
+        self.tmp.cleanup()
+
+    def write(self, rel, content):
+        path = os.path.join(self.dir, rel)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        with open(path, "w") as f:
+            f.write(content)
+        return path
+
+    def test_happy_path_two_commits(self):
+        self.write("a1b2c3/BENCH_micro.json",
+                   micro_doc([("BM_DenseFp32/256", 1e9),
+                              ("BM_DenseInt8/256", 2e9)]))
+        self.write("a1b2c3/BENCH_sched.json",
+                   '{"section": "fairness", "jain": 0.99}\n')
+        self.write("d4e5f6/BENCH_micro.json",
+                   micro_doc([("BM_DenseFp32/256", 1.1e9)]))
+        r = run([self.dir, "--keep-order"], self.dir)
+        self.assertEqual(r.returncode, 0, r.stderr)
+        doc = json.loads(r.stdout)
+        self.assertEqual(len(doc["points"]), 2)
+        by_label = {p["label"]: p for p in doc["points"]}
+        self.assertEqual(by_label["a1b2c3"]["metrics"]["BM_DenseInt8/256"], 2e9)
+        self.assertEqual(by_label["a1b2c3"]["sched"]["fairness"]["jain"], 0.99)
+        self.assertEqual(by_label["d4e5f6"]["metrics"]["BM_DenseFp32/256"], 1.1e9)
+
+    def test_missing_file_warns_and_skips(self):
+        good = self.write("ok/BENCH_micro.json",
+                          micro_doc([("BM_GcmSealVaes/65536", 3e9)]))
+        r = run([good, os.path.join(self.dir, "gone/BENCH_micro.json")],
+                self.dir)
+        self.assertEqual(r.returncode, 0, r.stderr)
+        self.assertIn("no such file", r.stderr)
+        doc = json.loads(r.stdout)
+        self.assertEqual(len(doc["points"]), 1)
+        self.assertIn("BM_GcmSealVaes/65536", doc["points"][0]["metrics"])
+
+    def test_empty_and_corrupt_artifacts_warn_and_skip(self):
+        self.write("c1/BENCH_micro.json", "")                  # empty upload
+        self.write("c1/BENCH_sched.json",
+                   'not json\n{"section": "batching", "n": 3}\n')  # partial
+        self.write("c2/BENCH_micro.json", '{"benchmarks": [truncated')
+        self.write("c3/BENCH_micro.json",
+                   micro_doc([("BM_Conv2dInt8/mbnet", 4e9)]))
+        r = run([self.dir], self.dir)
+        self.assertEqual(r.returncode, 0, r.stderr)
+        self.assertIn("empty artifact", r.stderr)
+        self.assertIn("malformed line", r.stderr)
+        self.assertIn("unreadable micro artifact", r.stderr)
+        doc = json.loads(r.stdout)
+        # c1 survives through its one good sched line; c2 had nothing usable
+        # and is dropped rather than emitted as an all-empty point.
+        labels = {p["label"] for p in doc["points"]}
+        self.assertEqual(labels, {"c1", "c3"})
+        self.assertIn("dropped", r.stderr)
+        c1 = next(p for p in doc["points"] if p["label"] == "c1")
+        self.assertEqual(c1["sched"]["batching"]["n"], 3)
+
+    def test_everything_missing_still_emits_valid_doc(self):
+        r = run([os.path.join(self.dir, "nothing-here")], self.dir)
+        self.assertEqual(r.returncode, 0, r.stderr)
+        self.assertEqual(json.loads(r.stdout), {"points": []})
+
+    def test_label_override_merges_files(self):
+        self.write("x/BENCH_micro.json", micro_doc([("BM_A", 1.0)]))
+        self.write("y/BENCH_micro.json", micro_doc([("BM_B", 2.0)]))
+        r = run([self.dir, "--label", "head"], self.dir)
+        self.assertEqual(r.returncode, 0, r.stderr)
+        doc = json.loads(r.stdout)
+        self.assertEqual(len(doc["points"]), 1)
+        self.assertEqual(set(doc["points"][0]["metrics"]), {"BM_A", "BM_B"})
+
+
+if __name__ == "__main__":
+    unittest.main()

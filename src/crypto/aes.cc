@@ -4,6 +4,7 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "common/cpuid.h"
 #include "crypto/intrinsics.h"
 
 namespace sesemi::crypto {
@@ -156,6 +157,30 @@ __attribute__((target("aes,sse2"))) void AesniEncryptBlocks(
     nblocks--;
   }
 }
+
+// VAES pipeline: four 512-bit streams of 4×128-bit lanes each — 16 blocks in
+// flight per AESENC step, each round key broadcast across the lanes. Same
+// big-endian-serialized schedule as the 128-bit path.
+__attribute__((target("avx512f,avx512bw,avx512vl,vaes"))) void VaesEncryptBlocks16(
+    const uint8_t* round_key_bytes, int rounds, const uint8_t* in, uint8_t* out) {
+  __m512i keys[15];
+  for (int r = 0; r <= rounds; ++r) {
+    keys[r] = _mm512_broadcast_i32x4(_mm_loadu_si128(
+        reinterpret_cast<const __m128i*>(round_key_bytes + 16 * r)));
+  }
+  __m512i s[4];
+  for (int g = 0; g < 4; ++g) {
+    s[g] = _mm512_xor_si512(
+        _mm512_loadu_si512(reinterpret_cast<const void*>(in + 64 * g)), keys[0]);
+  }
+  for (int r = 1; r < rounds; ++r) {
+    for (int g = 0; g < 4; ++g) s[g] = _mm512_aesenc_epi128(s[g], keys[r]);
+  }
+  for (int g = 0; g < 4; ++g) {
+    s[g] = _mm512_aesenclast_epi128(s[g], keys[rounds]);
+    _mm512_storeu_si512(reinterpret_cast<void*>(out + 64 * g), s[g]);
+  }
+}
 #endif  // SESEMI_CRYPTO_X86
 }  // namespace
 
@@ -164,16 +189,22 @@ const char* ToString(CryptoBackend backend) {
     case CryptoBackend::kAuto: return "auto";
     case CryptoBackend::kPortable: return "portable";
     case CryptoBackend::kHardware: return "hardware";
+    case CryptoBackend::kHardwareVaes: return "hardware-vaes";
   }
   return "unknown";
 }
 
 bool HardwareCryptoAvailable() {
 #if SESEMI_CRYPTO_X86
-  static const bool available = __builtin_cpu_supports("aes") &&
-                                __builtin_cpu_supports("pclmul") &&
-                                __builtin_cpu_supports("ssse3");
-  return available;
+  return GetCpuFeatures().AesniGcm();
+#else
+  return false;
+#endif
+}
+
+bool VaesCryptoAvailable() {
+#if SESEMI_CRYPTO_X86
+  return GetCpuFeatures().VaesGcm();
 #else
   return false;
 #endif
@@ -185,6 +216,7 @@ CryptoBackend ActiveCryptoBackend() {
     const bool forced =
         force != nullptr && force[0] != '\0' && !(force[0] == '0' && force[1] == '\0');
     if (forced || !HardwareCryptoAvailable()) return CryptoBackend::kPortable;
+    if (VaesCryptoAvailable()) return CryptoBackend::kHardwareVaes;
     return CryptoBackend::kHardware;
   }();
   return active;
@@ -198,8 +230,14 @@ Result<Aes> Aes::Create(ByteSpan key, CryptoBackend backend) {
   if (backend == CryptoBackend::kHardware && !HardwareCryptoAvailable()) {
     return Status::FailedPrecondition("AES-NI/PCLMUL not available on this CPU");
   }
+  if (backend == CryptoBackend::kHardwareVaes && !VaesCryptoAvailable()) {
+    return Status::FailedPrecondition(
+        "VAES/VPCLMULQDQ/AVX-512 not available on this CPU");
+  }
   Aes aes;
-  aes.hw_ = backend == CryptoBackend::kHardware;
+  aes.hw_ = backend == CryptoBackend::kHardware ||
+            backend == CryptoBackend::kHardwareVaes;
+  aes.vaes_ = backend == CryptoBackend::kHardwareVaes;
   aes.ExpandKey(key);
   return aes;
 }
@@ -357,6 +395,18 @@ void Aes::EncryptBlocks8(const uint8_t in[8 * kAesBlockSize],
   // 32 state words out of registers on the scalar path).
   EncryptBlocks4(in, out);
   EncryptBlocks4(in + 4 * kAesBlockSize, out + 4 * kAesBlockSize);
+}
+
+void Aes::EncryptBlocks16(const uint8_t in[16 * kAesBlockSize],
+                          uint8_t out[16 * kAesBlockSize]) const {
+#if SESEMI_CRYPTO_X86
+  if (vaes_) {
+    VaesEncryptBlocks16(round_key_bytes_, rounds_, in, out);
+    return;
+  }
+#endif
+  EncryptBlocks8(in, out);
+  EncryptBlocks8(in + 8 * kAesBlockSize, out + 8 * kAesBlockSize);
 }
 
 }  // namespace sesemi::crypto

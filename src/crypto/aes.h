@@ -20,9 +20,10 @@ constexpr size_t kAes256KeySize = 32;
 /// rides the hardware instructions with zero call-site changes. Tests and
 /// benchmarks pin a backend explicitly to compare the two byte-for-byte.
 enum class CryptoBackend {
-  kAuto = 0,   ///< resolve at startup: hardware when available, else portable
-  kPortable,   ///< T-table AES + 8-bit Shoup-table GHASH
-  kHardware,   ///< AES-NI block cipher + PCLMULQDQ GHASH
+  kAuto = 0,      ///< resolve at startup: widest available tier, else portable
+  kPortable,      ///< T-table AES + 8-bit Shoup-table GHASH
+  kHardware,      ///< AES-NI block cipher + PCLMULQDQ GHASH
+  kHardwareVaes,  ///< VAES 4×128-lane keystream + VPCLMULQDQ 8-block GHASH
 };
 
 const char* ToString(CryptoBackend backend);
@@ -31,10 +32,16 @@ const char* ToString(CryptoBackend backend);
 /// (x86-64 with the AES, PCLMUL, and SSSE3 CPUID bits).
 bool HardwareCryptoAvailable();
 
+/// True when the wide tier can run: VAES + VPCLMULQDQ with full AVX-512
+/// (F/BW/VL) and the OS saving ZMM state (XCR0). Implies
+/// HardwareCryptoAvailable() on any real machine.
+bool VaesCryptoAvailable();
+
 /// The backend kAuto resolves to, decided once per process: portable when the
 /// SESEMI_FORCE_PORTABLE environment variable is set non-empty (and not "0")
-/// or when hardware support is missing, hardware otherwise. The forced-
-/// portable pin exists for tests, benches, and CI fallback legs.
+/// or when hardware support is missing; otherwise the widest supported tier
+/// (VAES+AVX-512 when available, else AES-NI). The forced-portable pin exists
+/// for tests, benches, and CI fallback legs.
 CryptoBackend ActiveCryptoBackend();
 
 /// AES block cipher (FIPS 197), 128- or 256-bit keys.
@@ -70,11 +77,20 @@ class Aes {
   void EncryptBlocks8(const uint8_t in[8 * kAesBlockSize],
                       uint8_t out[8 * kAesBlockSize]) const;
 
+  /// Encrypt sixteen independent 16-byte blocks. On the VAES tier this is
+  /// four 512-bit AESENC streams (4×128-bit lanes each, 16 blocks in flight);
+  /// lower tiers run two EncryptBlocks8 groups.
+  void EncryptBlocks16(const uint8_t in[16 * kAesBlockSize],
+                       uint8_t out[16 * kAesBlockSize]) const;
+
   /// Number of AES rounds (10 for AES-128, 14 for AES-256).
   int rounds() const { return rounds_; }
 
-  /// True when this instance runs the AES-NI path.
+  /// True when this instance runs the AES-NI path (or wider).
   bool hardware() const { return hw_; }
+
+  /// True when this instance runs the 512-bit VAES path.
+  bool vaes() const { return vaes_; }
 
  private:
   Aes() = default;
@@ -86,6 +102,7 @@ class Aes {
   alignas(16) uint8_t round_key_bytes_[15 * kAesBlockSize];
   int rounds_ = 0;
   bool hw_ = false;
+  bool vaes_ = false;
 };
 
 }  // namespace sesemi::crypto

@@ -124,11 +124,11 @@ __attribute__((target("pclmul"))) inline __m128i ClmulGfMul(__m128i a, __m128i b
 }
 
 __attribute__((target("pclmul,ssse3"))) void ClmulBuildHPowers(
-    const uint8_t h[16], uint8_t h_powers[4][16]) {
+    const uint8_t h[16], uint8_t h_powers[8][16], int count) {
   const __m128i h1 = LoadReflected(h);
   __m128i p = h1;
   _mm_store_si128(reinterpret_cast<__m128i*>(h_powers[0]), p);
-  for (int i = 1; i < 4; ++i) {
+  for (int i = 1; i < count; ++i) {
     p = ClmulGfMul(p, h1);
     _mm_store_si128(reinterpret_cast<__m128i*>(h_powers[i]), p);
   }
@@ -137,7 +137,7 @@ __attribute__((target("pclmul,ssse3"))) void ClmulBuildHPowers(
 // Y <- GHASH update over `blocks` 16-byte blocks: 4 at a time against
 // H^4..H^1 with one shared reduction, then block-at-a-time for the tail.
 __attribute__((target("pclmul,ssse3"))) void ClmulGHashBlocks(
-    const uint8_t h_powers[4][16], uint8_t y[16], const uint8_t* data,
+    const uint8_t h_powers[8][16], uint8_t y[16], const uint8_t* data,
     size_t blocks) {
   const __m128i h1 = _mm_load_si128(reinterpret_cast<const __m128i*>(h_powers[0]));
   __m128i acc = LoadReflected(y);
@@ -165,6 +165,73 @@ __attribute__((target("pclmul,ssse3"))) void ClmulGHashBlocks(
   }
   StoreReflected(y, acc);
 }
+
+// XOR-fold the four 128-bit lanes of a 512-bit accumulator down to one
+// 128-bit value (products are linear over XOR, so lanes can merge before the
+// shared reduction).
+__attribute__((target("avx512f,avx512vl,avx2"))) inline __m128i Fold512(__m512i v) {
+  const __m256i t = _mm256_xor_si256(_mm512_extracti64x4_epi64(v, 0),
+                                     _mm512_extracti64x4_epi64(v, 1));
+  return _mm_xor_si128(_mm256_extracti128_si256(t, 0),
+                       _mm256_extracti128_si256(t, 1));
+}
+
+// 512-bit GHASH: 8 blocks per shared reduction. VPCLMULQDQ runs four
+// independent 128-bit carry-less multiplies (one per lane), so two 512-bit
+// accumulation steps cover blocks b0..b7 against H^8..H^1 — the same
+// aggregated-powers scheme as the 4-block kernel, at twice the aggregation
+// width and half the reductions per byte. `groups` counts 8-block groups.
+__attribute__((target(
+    "avx512f,avx512bw,avx512vl,vpclmulqdq,pclmul,ssse3,avx2"))) void
+VclmulGHashBlocks8(const uint8_t h_powers[8][16], uint8_t y[16],
+                   const uint8_t* data, size_t groups) {
+  const __m512i kByteReverse512 = _mm512_broadcast_i32x4(
+      _mm_set_epi8(0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15));
+  // Lane l of the first data vector holds block l (earliest in the stream),
+  // which multiplies H^(8-l): lane order [H^8,H^7,H^6,H^5], then
+  // [H^4,H^3,H^2,H^1] for the second vector.
+  __m512i h_hi = _mm512_castsi128_si512(
+      _mm_load_si128(reinterpret_cast<const __m128i*>(h_powers[7])));
+  h_hi = _mm512_inserti32x4(
+      h_hi, _mm_load_si128(reinterpret_cast<const __m128i*>(h_powers[6])), 1);
+  h_hi = _mm512_inserti32x4(
+      h_hi, _mm_load_si128(reinterpret_cast<const __m128i*>(h_powers[5])), 2);
+  h_hi = _mm512_inserti32x4(
+      h_hi, _mm_load_si128(reinterpret_cast<const __m128i*>(h_powers[4])), 3);
+  __m512i h_lo = _mm512_castsi128_si512(
+      _mm_load_si128(reinterpret_cast<const __m128i*>(h_powers[3])));
+  h_lo = _mm512_inserti32x4(
+      h_lo, _mm_load_si128(reinterpret_cast<const __m128i*>(h_powers[2])), 1);
+  h_lo = _mm512_inserti32x4(
+      h_lo, _mm_load_si128(reinterpret_cast<const __m128i*>(h_powers[1])), 2);
+  h_lo = _mm512_inserti32x4(
+      h_lo, _mm_load_si128(reinterpret_cast<const __m128i*>(h_powers[0])), 3);
+
+  __m128i acc = LoadReflected(y);
+  while (groups-- > 0) {
+    __m512i d0 = _mm512_shuffle_epi8(
+        _mm512_loadu_si512(reinterpret_cast<const void*>(data)), kByteReverse512);
+    const __m512i d1 = _mm512_shuffle_epi8(
+        _mm512_loadu_si512(reinterpret_cast<const void*>(data + 64)),
+        kByteReverse512);
+    // The running accumulator joins the earliest block (lane 0 of d0) before
+    // the multiply, exactly as in the narrow kernel.
+    d0 = _mm512_mask_xor_epi64(d0, 0x03, d0, _mm512_zextsi128_si512(acc));
+
+    __m512i lo = _mm512_clmulepi64_epi128(d0, h_hi, 0x00);
+    __m512i hi = _mm512_clmulepi64_epi128(d0, h_hi, 0x11);
+    __m512i mid = _mm512_xor_si512(_mm512_clmulepi64_epi128(d0, h_hi, 0x10),
+                                   _mm512_clmulepi64_epi128(d0, h_hi, 0x01));
+    lo = _mm512_xor_si512(lo, _mm512_clmulepi64_epi128(d1, h_lo, 0x00));
+    hi = _mm512_xor_si512(hi, _mm512_clmulepi64_epi128(d1, h_lo, 0x11));
+    mid = _mm512_xor_si512(
+        mid, _mm512_xor_si512(_mm512_clmulepi64_epi128(d1, h_lo, 0x10),
+                              _mm512_clmulepi64_epi128(d1, h_lo, 0x01)));
+    acc = ClmulReduce(Fold512(lo), Fold512(mid), Fold512(hi));
+    data += 128;
+  }
+  StoreReflected(y, acc);
+}
 #endif  // SESEMI_CRYPTO_X86
 }  // namespace
 
@@ -186,9 +253,10 @@ AesGcm::AesGcm(Aes aes) : aes_(std::move(aes)) {
 
 #if SESEMI_CRYPTO_X86
   if (aes_.hardware()) {
-    // H^1..H^4 for the aggregated CLMUL walk; the 256-entry Shoup table is
-    // skipped entirely, which also makes per-message cipher setup cheaper.
-    ClmulBuildHPowers(h, h_powers_);
+    // H^1..H^4 for the aggregated CLMUL walk (H^1..H^8 on the VAES tier);
+    // the 256-entry Shoup table is skipped entirely, which also makes
+    // per-message cipher setup cheaper.
+    ClmulBuildHPowers(h, h_powers_, aes_.vaes() ? 8 : 4);
     return;
   }
 #endif
@@ -220,7 +288,13 @@ AesGcm::AesGcm(Aes aes) : aes_(std::move(aes)) {
 void AesGcm::GHashBlocks(uint8_t y[16], const uint8_t* data, size_t blocks) const {
 #if SESEMI_CRYPTO_X86
   if (aes_.hardware()) {
-    ClmulGHashBlocks(h_powers_, y, data, blocks);
+    if (aes_.vaes() && blocks >= 8) {
+      const size_t groups = blocks / 8;
+      VclmulGHashBlocks8(h_powers_, y, data, groups);
+      data += groups * 128;
+      blocks -= groups * 8;
+    }
+    if (blocks > 0) ClmulGHashBlocks(h_powers_, y, data, blocks);
     return;
   }
 #endif
@@ -289,9 +363,9 @@ void AesGcm::GHashFlush(GhashState* st) const {
 
 void AesGcm::CtrCryptAndHash(const uint8_t j0[16], ByteSpan in, uint8_t* out,
                              uint8_t y[16], bool hash_output) const {
-  uint8_t counters[128];
-  uint8_t keystream[128];
-  for (int b = 0; b < 8; ++b) std::memcpy(counters + 16 * b, j0, 12);
+  uint8_t counters[256];
+  uint8_t keystream[256];
+  for (int b = 0; b < 16; ++b) std::memcpy(counters + 16 * b, j0, 12);
   uint32_t ctr;
   std::memcpy(&ctr, j0 + 12, 4);
   ctr = HostToBe32(ctr);  // big-endian counter -> host int
@@ -319,10 +393,23 @@ void AesGcm::CtrCryptAndHash(const uint8_t j0[16], ByteSpan in, uint8_t* out,
   };
 
   // Fused bulk path: counter blocks -> batched keystream -> XOR -> GHASH,
-  // all while the batch is hot in L1. The AES-NI pipeline is deep enough to
-  // keep 8 blocks in flight, so the hardware backend runs 128-byte batches
-  // (and its GHASH aggregates the 8 blocks as two 4-block CLMUL groups);
-  // the T-table path stays at the 4-block width that fits its registers.
+  // all while the batch is hot in L1. The VAES tier keeps 16 blocks in
+  // flight (four 512-bit AESENC streams) and aggregates GHASH 8 blocks per
+  // reduction; the AES-NI pipeline is deep enough to keep 8 blocks in
+  // flight, so that backend runs 128-byte batches (and its GHASH aggregates
+  // the 8 blocks as two 4-block CLMUL groups); the T-table path stays at the
+  // 4-block width that fits its registers.
+  if (aes_.vaes()) {
+    while (remaining >= 256) {
+      set_counters(16);
+      aes_.EncryptBlocks16(counters, keystream);
+      xor_into(256);
+      GHashBlocks(y, hash_output ? out : src, 16);
+      src += 256;
+      out += 256;
+      remaining -= 256;
+    }
+  }
   if (aes_.hardware()) {
     while (remaining >= 128) {
       set_counters(8);

@@ -28,8 +28,11 @@ constexpr uint64_t kGcmMaxPlaintextSize = (uint64_t{1} << 36) - 32;
 /// each ciphertext byte is touched once while hot in L1. On the hardware
 /// backend (AES-NI + PCLMULQDQ, see ActiveCryptoBackend) keystream batches
 /// are 8 blocks wide and GHASH is a reflected carry-less multiply with
-/// 4-block aggregation over precomputed H^1..H^4; the portable fallback keeps
-/// 4-block batches and a per-key 256-entry (8-bit Shoup) table.
+/// 4-block aggregation over precomputed H^1..H^4; the VAES+AVX-512 tier
+/// widens this to 16-block (256-byte) keystream batches over 4×128-bit-lane
+/// AESENC with 8-block VPCLMULQDQ GHASH aggregation over H^1..H^8; the
+/// portable fallback keeps 4-block batches and a per-key 256-entry (8-bit
+/// Shoup) table.
 class AesGcm {
  public:
   /// Build a GCM instance over a 16- or 32-byte AES key. `backend` pins an
@@ -57,8 +60,11 @@ class AesGcm {
   Status DecryptInto(ByteSpan nonce, ByteSpan aad_a, ByteSpan aad_b,
                      ByteSpan ciphertext_and_tag, uint8_t* out) const;
 
-  /// True when this instance runs AES-NI + PCLMUL.
+  /// True when this instance runs AES-NI + PCLMUL (or the wider VAES tier).
   bool hardware() const { return aes_.hardware(); }
+
+  /// True when this instance runs the VAES+VPCLMULQDQ 512-bit tier.
+  bool vaes() const { return aes_.vaes(); }
 
  private:
   explicit AesGcm(Aes aes);
@@ -85,10 +91,12 @@ class AesGcm {
   // the portable backend.
   uint64_t table_hi_[256];
   uint64_t table_lo_[256];
-  // Hardware GHASH — H^1..H^4 in the byte-reflected convention the PCLMUL
-  // kernel loads directly ([0] = H, [3] = H^4). Built only on the hardware
-  // backend; kept as raw bytes so <immintrin.h> stays out of this header.
-  alignas(16) uint8_t h_powers_[4][16];
+  // Hardware GHASH — H^1..H^8 in the byte-reflected convention the PCLMUL
+  // kernel loads directly ([0] = H, [7] = H^8). Built only on the hardware
+  // backends (the AES-NI tier uses H^1..H^4, the VAES tier aggregates 8
+  // blocks against all eight powers); kept as raw bytes so <immintrin.h>
+  // stays out of this header.
+  alignas(16) uint8_t h_powers_[8][16];
 };
 
 /// Seal with a random nonce: returns nonce || ciphertext || tag.

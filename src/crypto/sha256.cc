@@ -2,6 +2,7 @@
 
 #include <cstring>
 
+#include "common/cpuid.h"
 #include "crypto/intrinsics.h"
 
 namespace sesemi::crypto {
@@ -279,9 +280,7 @@ __attribute__((target("sha,sse4.1"))) void ProcessBlocksShaNi(
 
 bool Sha256HardwareAvailable() {
 #if SESEMI_CRYPTO_X86
-  static const bool available =
-      __builtin_cpu_supports("sha") && __builtin_cpu_supports("sse4.1");
-  return available;
+  return GetCpuFeatures().ShaNi();
 #else
   return false;
 #endif

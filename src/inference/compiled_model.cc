@@ -19,7 +19,34 @@ Result<CompiledModel> CompiledModel::Compile(ModelGraph graph) {
 
 Result<CompiledModel> CompiledModel::Compile(ModelGraph graph,
                                              const Options& options) {
+  return CompileImpl(std::move(graph), model::ModelQuant(), options);
+}
+
+Result<CompiledModel> CompiledModel::Compile(ModelGraph graph,
+                                             model::ModelQuant quant,
+                                             const Options& options) {
+  Options opts = options;
+  opts.quantize = true;
+  return CompileImpl(std::move(graph), std::move(quant), opts);
+}
+
+Result<CompiledModel> CompiledModel::CompileImpl(ModelGraph graph,
+                                                 model::ModelQuant quant,
+                                                 const Options& options) {
   SESEMI_RETURN_IF_ERROR(graph.Validate());
+
+  // Int8 tier: quantize at MODEL_LOAD (unless the caller brought pre-made
+  // int8 weights, e.g. from a version-2 model file), then drop the fp32
+  // matrices from the weight blob — the int8 panels replace them.
+  if (options.quantize) {
+    if (quant.empty()) quant = model::QuantizeModelWeights(graph);
+    SESEMI_RETURN_IF_ERROR(model::CompactQuantizedWeights(&graph, quant));
+    SESEMI_RETURN_IF_ERROR(graph.Validate());
+  }
+  std::vector<const model::LayerQuant*> quant_for(graph.layers.size(), nullptr);
+  for (const model::LayerQuant& lq : quant.layers) {
+    quant_for[lq.layer] = &lq;
+  }
 
   CompiledModel compiled;
   compiled.graph_ = std::move(graph);
@@ -30,7 +57,11 @@ Result<CompiledModel> CompiledModel::Compile(ModelGraph graph,
   uint64_t cursor = 0;
   uint64_t scratch = 0;
   uint64_t packed_floats = 0;
-  for (const Layer& layer : g.layers) {
+  uint64_t qpacked_bytes = 0;
+  uint64_t qmeta = 0;
+  for (size_t li = 0; li < g.layers.size(); ++li) {
+    const Layer& layer = g.layers[li];
+    const model::LayerQuant* lq = quant_for[li];
     CompiledLayer cl;
     cl.kind = layer.kind;
     cl.out_shape = layer.output_shape;
@@ -57,25 +88,55 @@ Result<CompiledModel> CompiledModel::Compile(ModelGraph graph,
       case LayerKind::kConv2d: {
         cl.gemm_k = cl.kernel * cl.kernel * cl.in_shape.c;
         cl.gemm_n = cl.out_channels;
-        cl.bias_offset = cl.weight_offset +
-                         static_cast<uint64_t>(cl.gemm_k) * cl.gemm_n;
-        scratch = std::max<uint64_t>(
-            scratch,
-            gemm::Conv2dScratchElements(cl.in_shape, cl.kernel, cl.stride));
-        if (options.pack_weights) {
-          cl.packed_offset = packed_floats;
-          packed_floats += gemm::PackedBElements(cl.gemm_k, cl.gemm_n);
+        if (lq != nullptr) {
+          if (lq->k != cl.gemm_k || lq->n != cl.gemm_n) {
+            return Status::InvalidArgument("quantized conv dims mismatch");
+          }
+          cl.bias_offset = cl.weight_offset;  // compacted: bias-only slice
+          cl.qpacked_offset = qpacked_bytes;
+          qpacked_bytes += gemm::PackedBInt8Bytes(cl.gemm_k, cl.gemm_n);
+          cl.qmeta_offset = qmeta;
+          qmeta += cl.gemm_n;
+          // u8 staging: the quantized input tensor, then the im2col tile.
+          const uint64_t qbytes =
+              ((cl.in_elems + 3) & ~uint64_t{3}) +
+              gemm::Conv2dScratchBytesInt8(cl.in_shape, cl.kernel, cl.stride);
+          scratch = std::max<uint64_t>(scratch, (qbytes + 3) / 4);
+        } else {
+          cl.bias_offset = cl.weight_offset +
+                           static_cast<uint64_t>(cl.gemm_k) * cl.gemm_n;
+          scratch = std::max<uint64_t>(
+              scratch,
+              gemm::Conv2dScratchElements(cl.in_shape, cl.kernel, cl.stride));
+          if (options.pack_weights) {
+            cl.packed_offset = packed_floats;
+            packed_floats += gemm::PackedBElements(cl.gemm_k, cl.gemm_n);
+          }
         }
         break;
       }
       case LayerKind::kDense: {
         cl.gemm_k = static_cast<int>(cl.in_elems);
         cl.gemm_n = cl.units;
-        cl.bias_offset = cl.weight_offset +
-                         static_cast<uint64_t>(cl.gemm_k) * cl.gemm_n;
-        if (options.pack_weights) {
-          cl.packed_offset = packed_floats;
-          packed_floats += gemm::PackedBElements(cl.gemm_k, cl.gemm_n);
+        if (lq != nullptr) {
+          if (lq->k != cl.gemm_k || lq->n != cl.gemm_n) {
+            return Status::InvalidArgument("quantized dense dims mismatch");
+          }
+          cl.bias_offset = cl.weight_offset;  // compacted: bias-only slice
+          cl.qpacked_offset = qpacked_bytes;
+          qpacked_bytes += gemm::PackedBInt8Bytes(cl.gemm_k, cl.gemm_n);
+          cl.qmeta_offset = qmeta;
+          qmeta += cl.gemm_n;
+          const uint64_t k4 = gemm::RoundUpK4(cl.gemm_k);
+          scratch = std::max<uint64_t>(scratch, k4 / 4);
+          compiled.max_dense_k4_ = std::max(compiled.max_dense_k4_, k4);
+        } else {
+          cl.bias_offset = cl.weight_offset +
+                           static_cast<uint64_t>(cl.gemm_k) * cl.gemm_n;
+          if (options.pack_weights) {
+            cl.packed_offset = packed_floats;
+            packed_floats += gemm::PackedBElements(cl.gemm_k, cl.gemm_n);
+          }
         }
         break;
       }
@@ -97,6 +158,24 @@ Result<CompiledModel> CompiledModel::Compile(ModelGraph graph,
                   compiled.packed_.data() + cl.packed_offset);
     }
   }
+  // Int8 artifacts: K-grouped panels + per-output-channel scales and column
+  // sums, shared read-only by every TCS slot like the fp32 panels.
+  if (qpacked_bytes > 0) {
+    compiled.packed_q_.resize(qpacked_bytes);
+    compiled.qscales_.resize(qmeta);
+    compiled.qcolsums_.resize(qmeta);
+    for (size_t li = 0; li < compiled.layers_.size(); ++li) {
+      const CompiledLayer& cl = compiled.layers_[li];
+      if (cl.qpacked_offset == CompiledLayer::kNotPacked) continue;
+      const model::LayerQuant& lq = *quant_for[li];
+      gemm::PackBInt8(lq.weights.data(), cl.gemm_k, cl.gemm_n,
+                      compiled.packed_q_.data() + cl.qpacked_offset);
+      std::copy(lq.scales.begin(), lq.scales.end(),
+                compiled.qscales_.begin() + cl.qmeta_offset);
+      gemm::Int8ColumnSums(lq.weights.data(), cl.gemm_k, cl.gemm_n,
+                           compiled.qcolsums_.data() + cl.qmeta_offset);
+    }
+  }
   return compiled;
 }
 
@@ -115,7 +194,19 @@ void CompiledModel::RunLayerSample(const CompiledLayer& layer, const float* in0,
     case LayerKind::kInput:
       break;  // handled by the caller (needs the request payload)
     case LayerKind::kConv2d:
-      if (layer.packed_offset != CompiledLayer::kNotPacked) {
+      if (layer.qpacked_offset != CompiledLayer::kNotPacked) {
+        // Int8 tier: dynamically quantize the input tensor into the u8
+        // staging region, then run the im2col + int8 GEMM pipeline; the
+        // epilogue dequantizes straight into the fp32 activation slot.
+        uint8_t* q_in = reinterpret_cast<uint8_t*>(scratch);
+        const gemm::ActQuant aq =
+            gemm::QuantizeActivations(in0, layer.in_elems, q_in);
+        uint8_t* conv_scratch = q_in + ((layer.in_elems + 3) & ~uint64_t{3});
+        gemm::Conv2dGemmInt8Prepacked(
+            q_in, aq, layer.in_shape, layer_qpacked(layer),
+            layer_qscales(layer), layer_qcolsums(layer), layer_bias(layer),
+            layer.kernel, layer.stride, layer.out_channels, out, conv_scratch);
+      } else if (layer.packed_offset != CompiledLayer::kNotPacked) {
         gemm::Conv2dGemmPrepacked(in0, layer.in_shape, layer_packed(layer),
                                   layer_bias(layer), layer.kernel, layer.stride,
                                   layer.out_channels, out, scratch);
@@ -129,7 +220,20 @@ void CompiledModel::RunLayerSample(const CompiledLayer& layer, const float* in0,
                             layer.kernel, layer.stride, out);
       break;
     case LayerKind::kDense:
-      if (layer.packed_offset != CompiledLayer::kNotPacked) {
+      if (layer.qpacked_offset != CompiledLayer::kNotPacked) {
+        uint8_t* q_in = reinterpret_cast<uint8_t*>(scratch);
+        const int k = layer.gemm_k;
+        const int k4 = gemm::RoundUpK4(k);
+        const gemm::ActQuant aq =
+            gemm::QuantizeActivations(in0, layer.in_elems, q_in);
+        if (k4 > k) std::memset(q_in + k, 0, k4 - k);  // pad x packed zeros
+        const float a_scale = aq.scale;
+        const int32_t a_zp = aq.zero_point;
+        gemm::GemmInt8Prepacked(q_in, k4, &a_scale, &a_zp,
+                                layer_qpacked(layer), layer_qscales(layer),
+                                layer_qcolsums(layer), layer_bias(layer), out,
+                                1, layer.gemm_n, k);
+      } else if (layer.packed_offset != CompiledLayer::kNotPacked) {
         gemm::GemmPrepacked(in0, layer_packed(layer), layer_bias(layer), out, 1,
                             layer.gemm_n, layer.gemm_k);
       } else {
@@ -212,6 +316,11 @@ Status CompiledModel::ExecuteBatch(const std::vector<ByteSpan>& inputs,
   // batch are contiguous — that contiguity is what turns Dense into a single
   // M=batch GEMM.
   float* scratch_base = arena + total_elements_ * batch;
+  // Quantized-Dense staging lives after the scratch lanes (sized by
+  // quant_batch_elements; unused and zero-sized for fp32 models).
+  float* quant_base = scratch_base +
+                      scratch_elements_ * static_cast<uint64_t>(
+                                              batch_scratch_lanes(batch));
   auto slot = [&](int32_t layer) {
     return arena + layers_[layer].arena_offset * batch;
   };
@@ -249,7 +358,30 @@ Status CompiledModel::ExecuteBatch(const std::vector<ByteSpan>& inputs,
         // The whole batch in one GEMM: rows are the per-sample feature
         // vectors, already contiguous in the batch-major slot.
         const float* in0 = slot(layer.in0);
-        if (layer.packed_offset != CompiledLayer::kNotPacked) {
+        if (layer.qpacked_offset != CompiledLayer::kNotPacked) {
+          // Int8 tier: per-row dynamic quantization into the batch staging
+          // region (u7 rows padded to the k-group, then the per-row scale and
+          // zero-point arrays), one M=batch int8 GEMM.
+          const int k = layer.gemm_k;
+          const int k4 = gemm::RoundUpK4(k);
+          uint8_t* qrows = reinterpret_cast<uint8_t*>(quant_base);
+          float* a_scales = reinterpret_cast<float*>(
+              qrows + static_cast<size_t>(batch) * k4);
+          int32_t* a_zps = reinterpret_cast<int32_t*>(a_scales + batch);
+          for (int b = 0; b < batch; ++b) {
+            uint8_t* row = qrows + static_cast<size_t>(b) * k4;
+            const gemm::ActQuant aq =
+                gemm::QuantizeActivations(in0 + static_cast<size_t>(b) * k,
+                                          static_cast<size_t>(k), row);
+            if (k4 > k) std::memset(row + k, 0, k4 - k);
+            a_scales[b] = aq.scale;
+            a_zps[b] = aq.zero_point;
+          }
+          gemm::GemmInt8Prepacked(qrows, k4, a_scales, a_zps,
+                                  layer_qpacked(layer), layer_qscales(layer),
+                                  layer_qcolsums(layer), layer_bias(layer),
+                                  out, batch, layer.gemm_n, k);
+        } else if (layer.packed_offset != CompiledLayer::kNotPacked) {
           gemm::GemmPrepacked(in0, layer_packed(layer), layer_bias(layer), out,
                               batch, layer.gemm_n, layer.gemm_k);
         } else {

@@ -7,6 +7,7 @@
 #include "common/bytes.h"
 #include "common/result.h"
 #include "model/graph.h"
+#include "model/quantize.h"
 
 namespace sesemi::inference {
 
@@ -39,6 +40,13 @@ struct CompiledLayer {
   uint64_t packed_offset = 0;
   /// Offset of the bias vector in the graph weight blob (weighted layers).
   uint64_t bias_offset = 0;
+  /// Int8 tier (Options::quantize): offset of this layer's K-grouped int8
+  /// panels in the quantized panel buffer, or kNotPacked when the layer runs
+  /// fp32.
+  uint64_t qpacked_offset = kNotPacked;
+  /// First of this layer's gemm_n entries in the per-output-channel scale and
+  /// column-sum arrays (quantized layers only).
+  uint64_t qmeta_offset = 0;
 
   static constexpr uint64_t kNotPacked = ~0ull;
 };
@@ -69,6 +77,13 @@ class CompiledModel {
     /// kernels read the graph's row-major weights in place (µTFLM
     /// interpreter semantics: no load-time weight processing).
     bool pack_weights = true;
+    /// Int8 tier: quantize every Dense/Conv weight matrix at compile time
+    /// (symmetric per-output-channel), drop the fp32 matrices from the weight
+    /// blob, and execute those layers through the int8 GEMM kernels with
+    /// dynamically quantized u7 activations. The compiled artifact is ~4x
+    /// smaller than fp32 pack_weights (int8 panels replace both the fp32
+    /// matrices and the fp32 panels); Execute stays allocation-free.
+    bool quantize = false;
   };
 
   /// Build the compiled artifact. Validates the graph and takes ownership of
@@ -78,6 +93,14 @@ class CompiledModel {
   /// Default options (pack_weights on).
   static Result<CompiledModel> Compile(model::ModelGraph graph);
 
+  /// Compile a model whose int8 weights were already produced elsewhere (a
+  /// parsed version-2 model file): `graph` may be compacted (quantized
+  /// layers' fp32 slices reduced to bias-only) or full fp32, `quant` carries
+  /// the matching int8 matrices. Implies Options::quantize.
+  static Result<CompiledModel> Compile(model::ModelGraph graph,
+                                       model::ModelQuant quant,
+                                       const Options& options);
+
   CompiledModel(CompiledModel&&) = default;
   CompiledModel& operator=(CompiledModel&&) = default;
   CompiledModel(const CompiledModel&) = delete;
@@ -85,10 +108,16 @@ class CompiledModel {
 
   const model::ModelGraph& graph() const { return graph_; }
   bool packs_weights() const { return options_.pack_weights; }
+  bool quantized() const { return options_.quantize; }
 
-  /// Bytes of the pre-packed panel buffer (0 when pack_weights is off).
-  /// Counted by enclave memory accounting as part of the loaded model.
-  uint64_t packed_weight_bytes() const { return packed_.size() * sizeof(float); }
+  /// Bytes of the pre-packed panel buffers (fp32 panels, plus the int8
+  /// panels/scales/column-sums when quantized; 0 when pack_weights is off and
+  /// quantize is off). Counted by enclave memory accounting as part of the
+  /// loaded model.
+  uint64_t packed_weight_bytes() const {
+    return packed_.size() * sizeof(float) + packed_q_.size() +
+           qscales_.size() * sizeof(float) + qcolsums_.size() * sizeof(int32_t);
+  }
 
   /// Total floats of arena required for one sample (slots + conv scratch).
   uint64_t arena_elements() const { return total_elements_ + scratch_elements_; }
@@ -104,10 +133,13 @@ class CompiledModel {
   /// fan the batch dimension out (min(batch, ParallelismDegree())).
   int batch_scratch_lanes(int batch) const;
 
-  /// Arena floats a batched execution over `batch` samples needs.
+  /// Arena floats a batched execution over `batch` samples needs. Quantized
+  /// models append one region for the batch-wide Dense activation rows
+  /// (batch x padded-K u7 bytes plus per-row scale/zero-point).
   uint64_t batch_arena_elements(int batch) const {
     return total_elements_ * static_cast<uint64_t>(batch) +
-           scratch_elements_ * static_cast<uint64_t>(batch_scratch_lanes(batch));
+           scratch_elements_ * static_cast<uint64_t>(batch_scratch_lanes(batch)) +
+           quant_batch_elements(batch);
   }
 
   /// Run one sample, writing the final activation (output_elements() floats)
@@ -133,10 +165,23 @@ class CompiledModel {
  private:
   CompiledModel() = default;
 
+  static Result<CompiledModel> CompileImpl(model::ModelGraph graph,
+                                           model::ModelQuant quant,
+                                           const Options& options);
+
   /// Run one sample of layer i: activations at the given slot pointers,
-  /// conv im2col tiles through `scratch`.
+  /// conv im2col tiles (and quantized u8 staging) through `scratch`.
   void RunLayerSample(const CompiledLayer& layer, const float* in0,
                       const float* in1, float* out, float* scratch) const;
+
+  /// Floats of the trailing per-batch quantized-Dense region (0 for fp32
+  /// models): batch rows of padded-K u7 activations + per-row quant params.
+  uint64_t quant_batch_elements(int batch) const {
+    if (max_dense_k4_ == 0) return 0;
+    const uint64_t bytes =
+        static_cast<uint64_t>(batch) * (max_dense_k4_ + 2 * sizeof(float));
+    return (bytes + sizeof(float) - 1) / sizeof(float);
+  }
 
   const float* layer_weights(const CompiledLayer& layer) const {
     return graph_.weights.data() + layer.weight_offset;
@@ -147,13 +192,26 @@ class CompiledModel {
   const float* layer_packed(const CompiledLayer& layer) const {
     return packed_.data() + layer.packed_offset;
   }
+  const int8_t* layer_qpacked(const CompiledLayer& layer) const {
+    return packed_q_.data() + layer.qpacked_offset;
+  }
+  const float* layer_qscales(const CompiledLayer& layer) const {
+    return qscales_.data() + layer.qmeta_offset;
+  }
+  const int32_t* layer_qcolsums(const CompiledLayer& layer) const {
+    return qcolsums_.data() + layer.qmeta_offset;
+  }
 
   model::ModelGraph graph_;
   Options options_;
   std::vector<CompiledLayer> layers_;
-  std::vector<float> packed_;  ///< all layers' B panels, back-to-back
+  std::vector<float> packed_;    ///< all layers' fp32 B panels, back-to-back
+  std::vector<int8_t> packed_q_; ///< all layers' int8 K-grouped panels
+  std::vector<float> qscales_;   ///< per-output-channel weight scales
+  std::vector<int32_t> qcolsums_;  ///< per-column weight sums (zp correction)
   uint64_t total_elements_ = 0;
   uint64_t scratch_elements_ = 0;
+  uint64_t max_dense_k4_ = 0;  ///< widest padded Dense K of a quantized layer
 };
 
 }  // namespace sesemi::inference

@@ -2,8 +2,8 @@
 
 namespace sesemi::inference {
 
-std::unique_ptr<InferenceFramework> CreateTflmFramework();
-std::unique_ptr<InferenceFramework> CreateTvmFramework();
+std::unique_ptr<InferenceFramework> CreateTflmFramework(const FrameworkOptions& options);
+std::unique_ptr<InferenceFramework> CreateTvmFramework(const FrameworkOptions& options);
 
 Result<std::vector<Bytes>> ModelRuntime::ExecuteBatch(
     const std::vector<ByteSpan>& inputs) {
@@ -27,7 +27,13 @@ Result<FrameworkKind> FrameworkFromString(const std::string& name) {
 }
 
 std::unique_ptr<InferenceFramework> CreateFramework(FrameworkKind kind) {
-  return kind == FrameworkKind::kTflm ? CreateTflmFramework() : CreateTvmFramework();
+  return CreateFramework(kind, FrameworkOptions());
+}
+
+std::unique_ptr<InferenceFramework> CreateFramework(FrameworkKind kind,
+                                                    const FrameworkOptions& options) {
+  return kind == FrameworkKind::kTflm ? CreateTflmFramework(options)
+                                      : CreateTvmFramework(options);
 }
 
 }  // namespace sesemi::inference

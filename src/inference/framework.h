@@ -72,8 +72,21 @@ class InferenceFramework {
       std::shared_ptr<const LoadedModel> loaded) const = 0;
 };
 
+/// Deployment-time framework configuration (part of the enclave identity
+/// when SeMIRT creates the framework — see SemirtOptions).
+struct FrameworkOptions {
+  /// Compile models through the int8 tier (CompiledModel::Options::quantize):
+  /// weights quantized at MODEL_LOAD, ~4x smaller resident artifacts,
+  /// int8 GEMM execution. Version-2 (pre-quantized) model files always load
+  /// quantized regardless of this flag — their fp32 matrices are not on the
+  /// wire.
+  bool quantize = false;
+};
+
 /// Create the framework implementation for `kind`.
 std::unique_ptr<InferenceFramework> CreateFramework(FrameworkKind kind);
+std::unique_ptr<InferenceFramework> CreateFramework(FrameworkKind kind,
+                                                    const FrameworkOptions& options);
 
 }  // namespace sesemi::inference
 

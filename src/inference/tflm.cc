@@ -27,7 +27,8 @@ class TflmLoadedModel final : public LoadedModel {
   const model::ModelGraph& graph() const override { return compiled_.graph(); }
   uint64_t memory_bytes() const override {
     // Flatbuffer-in-place semantics: the model occupies ~its serialized size
-    // (no packed buffers; packed_weight_bytes() is 0 here by construction).
+    // (no fp32 packed buffers; packed_weight_bytes() is 0 unless the int8
+    // tier replaced the fp32 matrices with quantized panels — a net shrink).
     return graph().WeightBytes() + compiled_.packed_weight_bytes() +
            graph().layers.size() * 128;
   }
@@ -81,16 +82,33 @@ class TflmRuntime final : public ModelRuntime {
 
 class TflmFramework final : public InferenceFramework {
  public:
+  explicit TflmFramework(const FrameworkOptions& options) : options_(options) {}
+
   FrameworkKind kind() const override { return FrameworkKind::kTflm; }
 
   Result<std::shared_ptr<LoadedModel>> LoadModel(ByteSpan plain_model) const override {
-    SESEMI_ASSIGN_OR_RETURN(model::ModelGraph graph, model::ParseModel(plain_model));
-    return WrapModel(std::move(graph));
+    SESEMI_ASSIGN_OR_RETURN(model::QuantizedModelFile file,
+                            model::ParseQuantizedModel(plain_model));
+    if (!file.quant.empty()) {
+      // Pre-quantized (version-2) file: must run the int8 tier — the fp32
+      // matrices were dropped from the wire. (TFLite Micro likewise executes
+      // int8 flatbuffers with int8 kernels, interpreter semantics or not.)
+      CompiledModel::Options options;
+      options.pack_weights = false;
+      SESEMI_ASSIGN_OR_RETURN(
+          CompiledModel compiled,
+          CompiledModel::Compile(std::move(file.graph), std::move(file.quant),
+                                 options));
+      return std::shared_ptr<LoadedModel>(
+          std::make_shared<TflmLoadedModel>(std::move(compiled)));
+    }
+    return WrapModel(std::move(file.graph));
   }
 
   Result<std::shared_ptr<LoadedModel>> WrapModel(model::ModelGraph graph) const override {
     CompiledModel::Options options;
     options.pack_weights = false;  // interpreter reads weights in place
+    options.quantize = options_.quantize;
     SESEMI_ASSIGN_OR_RETURN(CompiledModel compiled,
                             CompiledModel::Compile(std::move(graph), options));
     return std::shared_ptr<LoadedModel>(
@@ -105,12 +123,16 @@ class TflmFramework final : public InferenceFramework {
     }
     return std::unique_ptr<ModelRuntime>(std::make_unique<TflmRuntime>(std::move(typed)));
   }
+
+ private:
+  FrameworkOptions options_;
 };
 
 }  // namespace
 
-std::unique_ptr<InferenceFramework> CreateTflmFramework() {
-  return std::make_unique<TflmFramework>();
+std::unique_ptr<InferenceFramework> CreateTflmFramework(
+    const FrameworkOptions& options) {
+  return std::make_unique<TflmFramework>(options);
 }
 
 }  // namespace sesemi::inference

@@ -88,16 +88,32 @@ class TvmRuntime final : public ModelRuntime {
 
 class TvmFramework final : public InferenceFramework {
  public:
+  explicit TvmFramework(const FrameworkOptions& options) : options_(options) {}
+
   FrameworkKind kind() const override { return FrameworkKind::kTvm; }
 
   Result<std::shared_ptr<LoadedModel>> LoadModel(ByteSpan plain_model) const override {
-    SESEMI_ASSIGN_OR_RETURN(model::ModelGraph graph, model::ParseModel(plain_model));
-    return WrapModel(std::move(graph));
+    SESEMI_ASSIGN_OR_RETURN(model::QuantizedModelFile file,
+                            model::ParseQuantizedModel(plain_model));
+    if (!file.quant.empty()) {
+      // Pre-quantized (version-2) file: its fp32 matrices are not on the
+      // wire, so it always compiles through the int8 tier.
+      CompiledModel::Options options;
+      options.pack_weights = true;
+      SESEMI_ASSIGN_OR_RETURN(
+          CompiledModel compiled,
+          CompiledModel::Compile(std::move(file.graph), std::move(file.quant),
+                                 options));
+      return std::shared_ptr<LoadedModel>(
+          std::make_shared<TvmLoadedModel>(std::move(compiled)));
+    }
+    return WrapModel(std::move(file.graph));
   }
 
   Result<std::shared_ptr<LoadedModel>> WrapModel(model::ModelGraph graph) const override {
     CompiledModel::Options options;
     options.pack_weights = true;  // compiled-executor semantics
+    options.quantize = options_.quantize;
     SESEMI_ASSIGN_OR_RETURN(CompiledModel compiled,
                             CompiledModel::Compile(std::move(graph), options));
     return std::shared_ptr<LoadedModel>(
@@ -112,12 +128,16 @@ class TvmFramework final : public InferenceFramework {
     }
     return std::unique_ptr<ModelRuntime>(std::make_unique<TvmRuntime>(std::move(typed)));
   }
+
+ private:
+  FrameworkOptions options_;
 };
 
 }  // namespace
 
-std::unique_ptr<InferenceFramework> CreateTvmFramework() {
-  return std::make_unique<TvmFramework>();
+std::unique_ptr<InferenceFramework> CreateTvmFramework(
+    const FrameworkOptions& options) {
+  return std::make_unique<TvmFramework>(options);
 }
 
 }  // namespace sesemi::inference

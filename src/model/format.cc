@@ -24,44 +24,48 @@ bool ReadShape(ByteReader* r, TensorShape* s) {
   s->c = static_cast<int32_t>(c);
   return true;
 }
-}  // namespace
 
-Bytes SerializeModel(const ModelGraph& graph) {
-  ByteWriter w;
-  w.WriteBytes(ByteSpan(reinterpret_cast<const uint8_t*>(kMagic), 4));
-  w.WriteUint32(kModelFormatVersion);
-  w.WriteLengthPrefixedString(graph.model_id);
-  w.WriteLengthPrefixedString(graph.architecture);
-  WriteShape(&w, graph.input_shape);
+/// Everything both versions share: magic, version, header, layer table, fp32
+/// weight blob.
+void WriteCommonBody(ByteWriter* w, const ModelGraph& graph, uint32_t version) {
+  w->WriteBytes(ByteSpan(reinterpret_cast<const uint8_t*>(kMagic), 4));
+  w->WriteUint32(version);
+  w->WriteLengthPrefixedString(graph.model_id);
+  w->WriteLengthPrefixedString(graph.architecture);
+  WriteShape(w, graph.input_shape);
 
-  w.WriteUint32(static_cast<uint32_t>(graph.layers.size()));
+  w->WriteUint32(static_cast<uint32_t>(graph.layers.size()));
   for (const Layer& layer : graph.layers) {
-    w.WriteUint8(static_cast<uint8_t>(layer.kind));
-    w.WriteLengthPrefixedString(layer.name);
-    w.WriteUint32(static_cast<uint32_t>(layer.inputs.size()));
-    for (int32_t in : layer.inputs) w.WriteUint32(static_cast<uint32_t>(in));
-    w.WriteUint32(static_cast<uint32_t>(layer.kernel));
-    w.WriteUint32(static_cast<uint32_t>(layer.stride));
-    w.WriteUint32(static_cast<uint32_t>(layer.out_channels));
-    w.WriteUint32(static_cast<uint32_t>(layer.units));
-    w.WriteUint64(layer.weight_offset);
-    w.WriteUint64(layer.weight_count);
-    WriteShape(&w, layer.output_shape);
+    w->WriteUint8(static_cast<uint8_t>(layer.kind));
+    w->WriteLengthPrefixedString(layer.name);
+    w->WriteUint32(static_cast<uint32_t>(layer.inputs.size()));
+    for (int32_t in : layer.inputs) w->WriteUint32(static_cast<uint32_t>(in));
+    w->WriteUint32(static_cast<uint32_t>(layer.kernel));
+    w->WriteUint32(static_cast<uint32_t>(layer.stride));
+    w->WriteUint32(static_cast<uint32_t>(layer.out_channels));
+    w->WriteUint32(static_cast<uint32_t>(layer.units));
+    w->WriteUint64(layer.weight_offset);
+    w->WriteUint64(layer.weight_count);
+    WriteShape(w, layer.output_shape);
   }
 
-  w.WriteUint64(graph.weights.size());
+  w->WriteUint64(graph.weights.size());
   // Weights are stored little-endian IEEE-754, i.e. memcpy on the platforms
   // we target; a portability shim would go here for big-endian hosts.
   const uint8_t* raw = reinterpret_cast<const uint8_t*>(graph.weights.data());
-  w.WriteBytes(ByteSpan(raw, graph.weights.size() * sizeof(float)));
+  w->WriteBytes(ByteSpan(raw, graph.weights.size() * sizeof(float)));
+}
 
+Bytes FinishWithDigest(ByteWriter&& w) {
   Bytes body = std::move(w).Take();
   Bytes digest = crypto::Sha256::HashToBytes(body);
   Append(&body, digest);
   return body;
 }
 
-Result<ModelGraph> ParseModel(ByteSpan wire) {
+/// Digest check + magic + version. On success `*r` is positioned after the
+/// version field and covers only the body (trailer stripped).
+Status OpenBody(ByteSpan wire, ByteReader* r, uint32_t* version) {
   if (wire.size() < 4 + 4 + crypto::kSha256DigestSize) {
     return Status::Corruption("model blob too short");
   }
@@ -72,35 +76,35 @@ Result<ModelGraph> ParseModel(ByteSpan wire) {
     return Status::Corruption("model integrity digest mismatch");
   }
 
-  ByteReader r(body);
+  *r = ByteReader(body);
   Bytes magic;
-  if (!r.ReadBytes(4, &magic) || std::memcmp(magic.data(), kMagic, 4) != 0) {
+  if (!r->ReadBytes(4, &magic) || std::memcmp(magic.data(), kMagic, 4) != 0) {
     return Status::Corruption("bad model magic");
   }
-  uint32_t version = 0;
-  if (!r.ReadUint32(&version)) return Status::Corruption("truncated model header");
-  if (version != kModelFormatVersion) {
-    return Status::InvalidArgument("unsupported model format version " +
-                                   std::to_string(version));
-  }
+  if (!r->ReadUint32(version)) return Status::Corruption("truncated model header");
+  return Status::OK();
+}
 
-  ModelGraph graph;
-  if (!r.ReadLengthPrefixedString(&graph.model_id) ||
-      !r.ReadLengthPrefixedString(&graph.architecture) ||
-      !ReadShape(&r, &graph.input_shape)) {
+/// Header + layer table + weight blob (the part shared by both versions).
+/// Does not validate the graph; version-2 callers parse the quant section
+/// first.
+Status ParseCommonBody(ByteReader* r, bool expect_more, ModelGraph* graph) {
+  if (!r->ReadLengthPrefixedString(&graph->model_id) ||
+      !r->ReadLengthPrefixedString(&graph->architecture) ||
+      !ReadShape(r, &graph->input_shape)) {
     return Status::Corruption("truncated model header");
   }
 
   uint32_t layer_count = 0;
-  if (!r.ReadUint32(&layer_count)) return Status::Corruption("truncated layer table");
+  if (!r->ReadUint32(&layer_count)) return Status::Corruption("truncated layer table");
   if (layer_count > 1'000'000) return Status::Corruption("absurd layer count");
-  graph.layers.reserve(layer_count);
+  graph->layers.reserve(layer_count);
   for (uint32_t i = 0; i < layer_count; ++i) {
     Layer layer;
     uint8_t kind = 0;
     uint32_t input_count = 0;
-    if (!r.ReadUint8(&kind) || kind > static_cast<uint8_t>(LayerKind::kSoftmax) ||
-        !r.ReadLengthPrefixedString(&layer.name) || !r.ReadUint32(&input_count) ||
+    if (!r->ReadUint8(&kind) || kind > static_cast<uint8_t>(LayerKind::kSoftmax) ||
+        !r->ReadLengthPrefixedString(&layer.name) || !r->ReadUint32(&input_count) ||
         input_count > 16) {
       return Status::Corruption("truncated layer entry");
     }
@@ -108,37 +112,137 @@ Result<ModelGraph> ParseModel(ByteSpan wire) {
     layer.inputs.resize(input_count);
     for (uint32_t j = 0; j < input_count; ++j) {
       uint32_t in = 0;
-      if (!r.ReadUint32(&in)) return Status::Corruption("truncated layer inputs");
+      if (!r->ReadUint32(&in)) return Status::Corruption("truncated layer inputs");
       layer.inputs[j] = static_cast<int32_t>(in);
     }
     uint32_t kernel, stride, out_channels, units;
-    if (!r.ReadUint32(&kernel) || !r.ReadUint32(&stride) ||
-        !r.ReadUint32(&out_channels) || !r.ReadUint32(&units) ||
-        !r.ReadUint64(&layer.weight_offset) || !r.ReadUint64(&layer.weight_count) ||
-        !ReadShape(&r, &layer.output_shape)) {
+    if (!r->ReadUint32(&kernel) || !r->ReadUint32(&stride) ||
+        !r->ReadUint32(&out_channels) || !r->ReadUint32(&units) ||
+        !r->ReadUint64(&layer.weight_offset) || !r->ReadUint64(&layer.weight_count) ||
+        !ReadShape(r, &layer.output_shape)) {
       return Status::Corruption("truncated layer entry");
     }
     layer.kernel = static_cast<int32_t>(kernel);
     layer.stride = static_cast<int32_t>(stride);
     layer.out_channels = static_cast<int32_t>(out_channels);
     layer.units = static_cast<int32_t>(units);
-    graph.layers.push_back(std::move(layer));
+    graph->layers.push_back(std::move(layer));
   }
 
   uint64_t weight_count = 0;
-  if (!r.ReadUint64(&weight_count)) return Status::Corruption("truncated weights");
-  if (r.remaining() != weight_count * sizeof(float)) {
+  if (!r->ReadUint64(&weight_count)) return Status::Corruption("truncated weights");
+  const uint64_t weight_bytes = weight_count * sizeof(float);
+  if (expect_more ? r->remaining() < weight_bytes : r->remaining() != weight_bytes) {
     return Status::Corruption("weight blob size mismatch");
   }
   Bytes raw;
-  if (!r.ReadBytes(weight_count * sizeof(float), &raw)) {
+  if (!r->ReadBytes(weight_bytes, &raw)) {
     return Status::Corruption("truncated weights");
   }
-  graph.weights.resize(weight_count);
-  std::memcpy(graph.weights.data(), raw.data(), raw.size());
+  graph->weights.resize(weight_count);
+  std::memcpy(graph->weights.data(), raw.data(), raw.size());
+  return Status::OK();
+}
 
+Status ParseQuantSection(ByteReader* r, const ModelGraph& graph,
+                         ModelQuant* quant) {
+  uint32_t count = 0;
+  if (!r->ReadUint32(&count)) return Status::Corruption("truncated quant section");
+  if (count > graph.layers.size()) {
+    return Status::Corruption("quant section names more layers than the model has");
+  }
+  quant->layers.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    LayerQuant lq;
+    uint32_t layer = 0, k = 0, n = 0;
+    if (!r->ReadUint32(&layer) || !r->ReadUint32(&k) || !r->ReadUint32(&n)) {
+      return Status::Corruption("truncated quant entry");
+    }
+    if (layer >= graph.layers.size() || !LayerQuantizable(graph.layers[layer])) {
+      return Status::Corruption("quant entry names a non-quantizable layer");
+    }
+    if (k == 0 || n == 0 || static_cast<uint64_t>(k) * n > (1ull << 28)) {
+      return Status::Corruption("absurd quant matrix dims");
+    }
+    lq.layer = static_cast<int32_t>(layer);
+    lq.k = static_cast<int32_t>(k);
+    lq.n = static_cast<int32_t>(n);
+
+    Bytes scales_raw, weights_raw;
+    if (!r->ReadBytes(static_cast<size_t>(n) * sizeof(float), &scales_raw) ||
+        !r->ReadBytes(static_cast<size_t>(k) * n, &weights_raw)) {
+      return Status::Corruption("truncated quant entry");
+    }
+    lq.scales.resize(n);
+    std::memcpy(lq.scales.data(), scales_raw.data(), scales_raw.size());
+    lq.weights.resize(static_cast<size_t>(k) * n);
+    std::memcpy(lq.weights.data(), weights_raw.data(), weights_raw.size());
+    quant->layers.push_back(std::move(lq));
+  }
+  if (r->remaining() != 0) return Status::Corruption("trailing bytes after quant section");
+  return Status::OK();
+}
+
+}  // namespace
+
+Bytes SerializeModel(const ModelGraph& graph) {
+  ByteWriter w;
+  WriteCommonBody(&w, graph, kModelFormatVersion);
+  return FinishWithDigest(std::move(w));
+}
+
+Bytes SerializeQuantizedModel(const ModelGraph& graph, const ModelQuant& quant) {
+  ByteWriter w;
+  WriteCommonBody(&w, graph, kModelFormatVersionInt8);
+  w.WriteUint32(static_cast<uint32_t>(quant.layers.size()));
+  for (const LayerQuant& lq : quant.layers) {
+    w.WriteUint32(static_cast<uint32_t>(lq.layer));
+    w.WriteUint32(static_cast<uint32_t>(lq.k));
+    w.WriteUint32(static_cast<uint32_t>(lq.n));
+    w.WriteBytes(ByteSpan(reinterpret_cast<const uint8_t*>(lq.scales.data()),
+                          lq.scales.size() * sizeof(float)));
+    w.WriteBytes(ByteSpan(reinterpret_cast<const uint8_t*>(lq.weights.data()),
+                          lq.weights.size()));
+  }
+  return FinishWithDigest(std::move(w));
+}
+
+Result<ModelGraph> ParseModel(ByteSpan wire) {
+  ByteReader r{ByteSpan()};
+  uint32_t version = 0;
+  SESEMI_RETURN_IF_ERROR(OpenBody(wire, &r, &version));
+  if (version == kModelFormatVersionInt8) {
+    return Status::InvalidArgument(
+        "model is int8-quantized (format version 2); use ParseQuantizedModel");
+  }
+  if (version != kModelFormatVersion) {
+    return Status::InvalidArgument("unsupported model format version " +
+                                   std::to_string(version));
+  }
+  ModelGraph graph;
+  SESEMI_RETURN_IF_ERROR(ParseCommonBody(&r, /*expect_more=*/false, &graph));
   SESEMI_RETURN_IF_ERROR(graph.Validate());
   return graph;
+}
+
+Result<QuantizedModelFile> ParseQuantizedModel(ByteSpan wire) {
+  ByteReader r{ByteSpan()};
+  uint32_t version = 0;
+  SESEMI_RETURN_IF_ERROR(OpenBody(wire, &r, &version));
+  if (version != kModelFormatVersion && version != kModelFormatVersionInt8) {
+    return Status::InvalidArgument("unsupported model format version " +
+                                   std::to_string(version));
+  }
+  QuantizedModelFile file;
+  const bool quantized = version == kModelFormatVersionInt8;
+  SESEMI_RETURN_IF_ERROR(ParseCommonBody(&r, /*expect_more=*/quantized, &file.graph));
+  if (quantized) {
+    SESEMI_RETURN_IF_ERROR(ParseQuantSection(&r, file.graph, &file.quant));
+  } else if (r.remaining() != 0) {
+    return Status::Corruption("weight blob size mismatch");
+  }
+  SESEMI_RETURN_IF_ERROR(file.graph.Validate());
+  return file;
 }
 
 Result<Bytes> EncryptModel(const ModelGraph& graph, ByteSpan model_key) {

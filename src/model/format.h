@@ -4,11 +4,19 @@
 #include "common/bytes.h"
 #include "common/result.h"
 #include "model/graph.h"
+#include "model/quantize.h"
 
 namespace sesemi::model {
 
 /// Binary model format version understood by this build.
 constexpr uint32_t kModelFormatVersion = 1;
+
+/// Version 2 adds a trailing int8 weight section: per quantized layer, the
+/// per-output-channel scales and the K x N int8 matrix. The fp32 weight blob
+/// of a version-2 model is normally compacted (CompactQuantizedWeights) so
+/// quantized matrices are carried once, as int8 — roughly 4x smaller on the
+/// wire and in enclave memory.
+constexpr uint32_t kModelFormatVersionInt8 = 2;
 
 /// Serialize a model to the SeSeMI binary format:
 ///   magic "SSMI" | version | header (id, arch, input shape) |
@@ -19,8 +27,26 @@ Bytes SerializeModel(const ModelGraph& graph);
 
 /// Parse and validate a serialized model. Rejects bad magic, unsupported
 /// versions, truncated layer tables, weight-blob size mismatches, digest
-/// mismatches, and graphs that fail ModelGraph::Validate().
+/// mismatches, and graphs that fail ModelGraph::Validate(). Version-2
+/// (quantized) models are rejected here — their fp32 blob is compacted, so
+/// callers must go through ParseQuantizedModel to get the int8 weights too.
 Result<ModelGraph> ParseModel(ByteSpan wire);
+
+/// A parsed model together with its int8 weight section (empty for
+/// version-1 files).
+struct QuantizedModelFile {
+  ModelGraph graph;
+  ModelQuant quant;
+};
+
+/// Serialize a model with its int8 weight section (format version 2).
+/// `graph` is written as passed — normally after CompactQuantizedWeights, so
+/// the fp32 blob carries only biases and non-quantized weights.
+Bytes SerializeQuantizedModel(const ModelGraph& graph, const ModelQuant& quant);
+
+/// Parse either format version: version 1 yields an empty quant section,
+/// version 2 yields the int8 weights alongside the (compacted) graph.
+Result<QuantizedModelFile> ParseQuantizedModel(ByteSpan wire);
 
 /// Encrypt a serialized model under the owner's model key K_M, binding the
 /// model id as AAD so a ciphertext cannot be re-labelled as another model.

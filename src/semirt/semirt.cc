@@ -77,7 +77,8 @@ sgx::Measurement SemirtInstance::MeasurementFor(const SemirtOptions& options) {
   std::vector<std::pair<std::string, Bytes>> units = {
       {"semirt-core", ToBytes("sesemi semirt runtime v1")},
       {"inference-framework",
-       ToBytes(std::string("framework:") + inference::ToString(options.framework))},
+       ToBytes(std::string("framework:") + inference::ToString(options.framework) +
+               (options.quantize ? "+int8" : ""))},
       {"keyservice-identity",
        ToBytes(keyservice::KeyServiceEnclave::ExpectedMeasurement().ToHex())},
   };
@@ -121,7 +122,9 @@ SemirtInstance::SemirtInstance(sgx::SgxPlatform* platform, SemirtOptions options
       options_(std::move(options)),
       storage_(storage),
       keyservice_(keyservice),
-      framework_(inference::CreateFramework(options_.framework)),
+      framework_(inference::CreateFramework(
+          options_.framework,
+          inference::FrameworkOptions{.quantize = options_.quantize})),
       contexts_(options_.num_tcs),
       use_slot_bitmap_(options_.num_tcs <= 64) {
   if (use_slot_bitmap_) {
@@ -140,7 +143,8 @@ Status SemirtInstance::Initialize() {
   std::vector<std::pair<std::string, Bytes>> units = {
       {"semirt-core", ToBytes("sesemi semirt runtime v1")},
       {"inference-framework",
-       ToBytes(std::string("framework:") + inference::ToString(options_.framework))},
+       ToBytes(std::string("framework:") + inference::ToString(options_.framework) +
+               (options_.quantize ? "+int8" : ""))},
       {"keyservice-identity",
        ToBytes(keyservice::KeyServiceEnclave::ExpectedMeasurement().ToHex())},
   };

@@ -38,6 +38,11 @@ const char* ToString(InvocationKind kind);
 /// defaults is part of the enclave identity (MeasurementFor), matching §V.
 struct SemirtOptions {
   inference::FrameworkKind framework = inference::FrameworkKind::kTvm;
+  /// Compile models through the int8 quantized tier (see
+  /// inference::FrameworkOptions::quantize). Changes the numbers a model
+  /// produces, so it is part of the enclave identity: users attesting the
+  /// enclave see whether their requests run int8 or fp32.
+  bool quantize = false;
   RuntimeMode mode = RuntimeMode::kSesemi;
   uint32_t num_tcs = 1;
   uint64_t heap_size_bytes = 256ull << 20;

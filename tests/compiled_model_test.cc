@@ -380,5 +380,117 @@ TEST(CompiledModelTest, PackedBytesCountedInLoadedModelFootprint) {
   EXPECT_EQ((*lm_tvm)->memory_bytes() - (*lm_tflm)->memory_bytes(), packed_bytes);
 }
 
+TEST(PackedGemmTest, KBlockedShapesMatchReferenceAndAreDeterministic) {
+  // m > 1 with K deep enough that the packed panels blow the L2 budget —
+  // these shapes take the K-blocked slab path inside GemmPrepacked (first
+  // slab bias-seeded, later slabs accumulate into C). The split is invisible
+  // from outside, so assert parity against the reference and the unpacked
+  // kernel, plus run-to-run determinism of the blocked path itself.
+  struct KCase { int m, n, k; };
+  for (const KCase p : {KCase{8, 256, 1300}, KCase{2, 520, 1025},
+                        KCase{6, 300, 2049}}) {
+    std::vector<float> a = RandomVec(static_cast<size_t>(p.m) * p.k, 31);
+    std::vector<float> b = RandomVec(static_cast<size_t>(p.k) * p.n, 32);
+    std::vector<float> bias = RandomVec(p.n, 33);
+    std::vector<float> packed(gemm::PackedBElements(p.k, p.n));
+    gemm::PackB(b.data(), p.k, p.n, packed.data());
+
+    std::vector<float> want(static_cast<size_t>(p.m) * p.n);
+    std::vector<float> unpacked(want.size()), got(want.size()), again(want.size());
+    GemmRef(a.data(), b.data(), bias.data(), want.data(), p.m, p.n, p.k);
+    gemm::Gemm(a.data(), b.data(), bias.data(), unpacked.data(), p.m, p.n, p.k);
+    gemm::GemmPrepacked(a.data(), packed.data(), bias.data(), got.data(), p.m,
+                        p.n, p.k);
+    gemm::GemmPrepacked(a.data(), packed.data(), bias.data(), again.data(),
+                        p.m, p.n, p.k);
+
+    EXPECT_LE(MaxScaledDiff(want, got), 1e-4f)
+        << p.m << "x" << p.n << "x" << p.k << " vs reference";
+    EXPECT_LE(MaxScaledDiff(unpacked, got), 1e-4f)
+        << p.m << "x" << p.n << "x" << p.k << " vs unpacked Gemm";
+    EXPECT_EQ(0, std::memcmp(got.data(), again.data(),
+                             got.size() * sizeof(float)))
+        << p.m << "x" << p.n << "x" << p.k << " not deterministic";
+  }
+}
+
+TEST(CompiledModelTest, QuantizedSteadyStateExecuteMakesZeroHeapAllocations) {
+  // The int8 tier stages activation quantization in the pre-sized scratch
+  // region, so the allocation-free Execute contract must survive quantize.
+  model::ModelGraph graph = BuildGraph(Architecture::kHybNet, 0.02);
+  CompiledModel::Options options;
+  options.quantize = true;
+  auto compiled = CompiledModel::Compile(std::move(graph), options);
+  ASSERT_TRUE(compiled.ok());
+  ASSERT_TRUE(compiled->quantized());
+
+  Bytes input = model::GenerateRandomInput(compiled->graph(), 22);
+  std::vector<float> arena(compiled->arena_elements());
+  std::vector<float> out(compiled->output_elements());
+  ASSERT_TRUE(compiled->ExecuteInto(input, arena.data(), out.data()).ok());
+
+  g_allocation_count.store(0);
+  g_count_allocations.store(true);
+  for (int i = 0; i < 5; ++i) {
+    Status status = compiled->ExecuteInto(input, arena.data(), out.data());
+    if (!status.ok()) break;
+  }
+  g_count_allocations.store(false);
+  EXPECT_EQ(g_allocation_count.load(), 0u)
+      << "quantized steady-state ExecuteInto must not touch the heap";
+}
+
+TEST(CompiledModelTest, ConcurrentQuantizedBatchesShareThePoolSafely) {
+  // TSan leg for the int8 tier: several runtimes batching concurrently over
+  // one shared quantized artifact (immutable int8 panels + per-layer quant
+  // metadata), outputs bitwise-stable across threads and repeats.
+  model::ModelGraph graph = BuildGraph(Architecture::kMbNet, 0.002);
+  FrameworkOptions fopts;
+  fopts.quantize = true;
+  auto framework = CreateFramework(FrameworkKind::kTvm, fopts);
+  auto loaded = framework->WrapModel(std::move(graph));
+  ASSERT_TRUE(loaded.ok());
+
+  constexpr int kThreads = 4;
+  constexpr int kBatch = 5;
+  std::vector<Bytes> inputs;
+  for (int b = 0; b < kBatch; ++b) {
+    inputs.push_back(model::GenerateRandomInput((*loaded)->graph(), 80 + b));
+  }
+  auto ref_runtime = framework->CreateRuntime(*loaded);
+  ASSERT_TRUE(ref_runtime.ok());
+  std::vector<Bytes> want;
+  for (const Bytes& input : inputs) {
+    auto out = (*ref_runtime)->Execute(input);
+    ASSERT_TRUE(out.ok());
+    want.push_back(std::move(*out));
+  }
+
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      auto runtime = framework->CreateRuntime(*loaded);
+      if (!runtime.ok()) {
+        failures.fetch_add(1);
+        return;
+      }
+      std::vector<ByteSpan> spans(inputs.begin(), inputs.end());
+      for (int repeat = 0; repeat < 5; ++repeat) {
+        auto outputs = (*runtime)->ExecuteBatch(spans);
+        if (!outputs.ok() || outputs->size() != inputs.size()) {
+          failures.fetch_add(1);
+          return;
+        }
+        for (size_t b = 0; b < want.size(); ++b) {
+          if ((*outputs)[b] != want[b]) failures.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(failures.load(), 0);
+}
+
 }  // namespace
 }  // namespace sesemi::inference

@@ -543,6 +543,9 @@ class GcmBackendTest : public ::testing::TestWithParam<CryptoBackend> {
     if (GetParam() == CryptoBackend::kHardware && !HardwareCryptoAvailable()) {
       GTEST_SKIP() << "AES-NI/PCLMUL not available on this machine";
     }
+    if (GetParam() == CryptoBackend::kHardwareVaes && !VaesCryptoAvailable()) {
+      GTEST_SKIP() << "VAES/VPCLMULQDQ/AVX-512 not available on this machine";
+    }
   }
 };
 
@@ -566,14 +569,20 @@ TEST_P(GcmBackendTest, NistCavpVectors) {
 TEST_P(GcmBackendTest, BackendMatchesRequest) {
   auto gcm = AesGcm::Create(Bytes(16, 0), GetParam());
   ASSERT_TRUE(gcm.ok());
-  EXPECT_EQ(gcm->hardware(), GetParam() == CryptoBackend::kHardware);
+  EXPECT_EQ(gcm->hardware(), GetParam() != CryptoBackend::kPortable);
+  EXPECT_EQ(gcm->vaes(), GetParam() == CryptoBackend::kHardwareVaes);
 }
 
 INSTANTIATE_TEST_SUITE_P(Backends, GcmBackendTest,
                          ::testing::Values(CryptoBackend::kPortable,
-                                           CryptoBackend::kHardware),
+                                           CryptoBackend::kHardware,
+                                           CryptoBackend::kHardwareVaes),
                          [](const ::testing::TestParamInfo<CryptoBackend>& info) {
-                           return std::string(ToString(info.param));
+                           std::string name = ToString(info.param);
+                           for (char& c : name) {
+                             if (c == '-') c = '_';
+                           }
+                           return name;
                          });
 
 TEST(AesBackendTest, HardwareBlocksMatchTtables) {
@@ -662,13 +671,83 @@ TEST(GcmBackendTest2, RandomizedHardwarePortableParity) {
   }
 }
 
+TEST(AesBackendTest, VaesBlocks16MatchAesni) {
+  if (!VaesCryptoAvailable()) {
+    GTEST_SKIP() << "VAES/AVX-512 not available on this machine";
+  }
+  Rng rng(777);
+  for (size_t key_size : {size_t{16}, size_t{32}}) {
+    Bytes key = rng.NextBytes(key_size);
+    auto aesni = Aes::Create(key, CryptoBackend::kHardware);
+    auto vaes = Aes::Create(key, CryptoBackend::kHardwareVaes);
+    ASSERT_TRUE(aesni.ok());
+    ASSERT_TRUE(vaes.ok());
+    EXPECT_FALSE(aesni->vaes());
+    EXPECT_TRUE(vaes->vaes());
+    for (int trial = 0; trial < 50; ++trial) {
+      Bytes in = rng.NextBytes(16 * kAesBlockSize);
+      uint8_t narrow_out[16 * kAesBlockSize], wide_out[16 * kAesBlockSize];
+      aesni->EncryptBlocks16(in.data(), narrow_out);
+      vaes->EncryptBlocks16(in.data(), wide_out);
+      ASSERT_EQ(0, memcmp(narrow_out, wide_out, sizeof narrow_out))
+          << "16-block, trial " << trial;
+    }
+  }
+}
+
+TEST(GcmBackendTest2, VaesMatchesAesniAndPortable) {
+  if (!VaesCryptoAvailable()) {
+    GTEST_SKIP() << "VAES/VPCLMULQDQ/AVX-512 not available on this machine";
+  }
+  // Lengths biased around the 256-byte VAES batch boundary and the 128-byte
+  // AES-NI batch it falls back to, plus long streams covering several wide
+  // batches. All three tiers must agree byte-for-byte and cross-open.
+  Rng rng(432);
+  const size_t lengths[] = {0,   1,    127,  128,  129,  255,  256,  257,
+                            383, 384,  511,  512,  513,  768,  1024, 4096,
+                            4097, 8191, 8192, 16384};
+  for (size_t len : lengths) {
+    Bytes key = rng.NextBytes(len % 2 == 0 ? 16 : 32);
+    Bytes nonce = rng.NextBytes(12);
+    Bytes aad = rng.NextBytes(rng.UniformUint64(129));
+    Bytes pt = rng.NextBytes(len);
+    auto sw = AesGcm::Create(key, CryptoBackend::kPortable);
+    auto hw = AesGcm::Create(key, CryptoBackend::kHardware);
+    auto wide = AesGcm::Create(key, CryptoBackend::kHardwareVaes);
+    ASSERT_TRUE(sw.ok());
+    ASSERT_TRUE(hw.ok());
+    ASSERT_TRUE(wide.ok());
+
+    auto sw_ct = sw->Encrypt(nonce, aad, pt);
+    auto hw_ct = hw->Encrypt(nonce, aad, pt);
+    auto wide_ct = wide->Encrypt(nonce, aad, pt);
+    ASSERT_TRUE(sw_ct.ok());
+    ASSERT_TRUE(hw_ct.ok());
+    ASSERT_TRUE(wide_ct.ok());
+    ASSERT_EQ(*wide_ct, *hw_ct) << "len " << len;
+    ASSERT_EQ(*wide_ct, *sw_ct) << "len " << len;
+
+    auto open_narrow = hw->Decrypt(nonce, aad, *wide_ct);
+    auto open_wide = wide->Decrypt(nonce, aad, *sw_ct);
+    ASSERT_TRUE(open_narrow.ok());
+    ASSERT_TRUE(open_wide.ok());
+    EXPECT_EQ(*open_narrow, pt);
+    EXPECT_EQ(*open_wide, pt);
+
+    Bytes tampered = *wide_ct;
+    tampered[tampered.size() / 2] ^= 0x01;
+    EXPECT_FALSE(wide->Decrypt(nonce, aad, tampered).ok());
+  }
+}
+
 TEST(GcmTest, CounterWrapNear2To32MatchesBlockwiseReference) {
   // SP 800-38D inc32: the CTR counter wraps modulo 2^32 while the nonce
-  // bytes stay fixed. Start the J0 counter at 2^32 - 3 and stream 13 blocks
+  // bytes stay fixed. Start the J0 counter at 2^32 - 3 and stream 37 blocks
   // (plus a partial tail) so the batch paths cross the wrap mid-batch on
-  // every width — 8-block (hardware), 4-block, and the single-block tail.
+  // every width — 16-block (VAES), 8-block (AES-NI), 4-block, and the
+  // single-block tail.
   Rng rng(99);
-  const size_t len = 13 * 16 + 5;
+  const size_t len = 37 * 16 + 5;
   Bytes pt = rng.NextBytes(len);
 
   for (size_t key_size : {size_t{16}, size_t{32}}) {
@@ -703,6 +782,7 @@ TEST(GcmTest, CounterWrapNear2To32MatchesBlockwiseReference) {
 
     std::vector<CryptoBackend> backends = {CryptoBackend::kPortable};
     if (HardwareCryptoAvailable()) backends.push_back(CryptoBackend::kHardware);
+    if (VaesCryptoAvailable()) backends.push_back(CryptoBackend::kHardwareVaes);
     Bytes first_y;
     for (CryptoBackend backend : backends) {
       auto gcm = AesGcm::Create(key, backend);
